@@ -1,0 +1,232 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **PFI interposition overhead** — messages/second through a stack with
+//!   no PFI layer, a pass-through native filter, and progressively richer
+//!   script filters. This quantifies the cost of "script-driven" against
+//!   "compiled-in" fault injection.
+//! * **Script interpreter throughput** — parse and eval costs for typical
+//!   filter scripts.
+//! * **Simulator event throughput** — raw discrete-event engine speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfi_core::{Filter, PfiLayer, RawStub};
+use pfi_script::{Interp, NoHost, Script};
+use pfi_sim::{Context, Layer, Message, NodeId, SimDuration, World};
+use std::any::Any;
+use std::hint::black_box;
+
+struct Src;
+struct Burst(NodeId, u32);
+impl Layer for Src {
+    fn name(&self) -> &'static str {
+        "src"
+    }
+    fn push(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_down(m);
+    }
+    fn pop(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_up(m);
+    }
+    fn control(&mut self, op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+        let Burst(dst, n) = *op.downcast::<Burst>().unwrap();
+        for i in 0..n {
+            c.send_down(Message::new(c.node(), dst, &i.to_be_bytes()));
+        }
+        Box::new(())
+    }
+}
+struct Sink;
+impl Layer for Sink {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+    fn push(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_down(m);
+    }
+    fn pop(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_up(m);
+    }
+}
+
+const BURST: u32 = 1_000;
+
+fn run_burst(pfi: Option<PfiLayer>) -> usize {
+    let mut world = World::new(1);
+    let mut stack: Vec<Box<dyn Layer>> = vec![Box::new(Src)];
+    if let Some(p) = pfi {
+        stack.push(Box::new(p));
+    }
+    let a = world.add_node(stack);
+    let b = world.add_node(vec![Box::new(Sink)]);
+    world.control::<()>(a, 0, Burst(b, BURST));
+    world.run_for(SimDuration::from_secs(1));
+    world.drain_inbox(b).len()
+}
+
+fn bench_pfi_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfi_interposition_overhead");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("no_pfi_layer", |b| b.iter(|| black_box(run_burst(None))));
+    g.bench_function("native_passthrough", |b| {
+        b.iter(|| black_box(run_burst(Some(PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::native(|_| {}))))))
+    });
+    g.bench_function("script_empty", |b| {
+        b.iter(|| {
+            black_box(run_burst(Some(
+                PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::script("").unwrap()),
+            )))
+        })
+    });
+    g.bench_function("script_counting", |b| {
+        b.iter(|| {
+            black_box(run_burst(Some(
+                PfiLayer::new(Box::new(RawStub))
+                    .with_send_filter(Filter::script("incr n").unwrap()),
+            )))
+        })
+    });
+    g.bench_function("script_typed_conditional", |b| {
+        b.iter(|| {
+            black_box(run_burst(Some(
+                PfiLayer::new(Box::new(RawStub)).with_send_filter(
+                    Filter::script(
+                        r#"
+                        incr n
+                        set t [msg_type]
+                        if {$n % 100 == 0 && $t != "none"} { xDelay 1 }
+                    "#,
+                    )
+                    .unwrap(),
+                ),
+            )))
+        })
+    });
+    g.finish();
+}
+
+fn bench_script_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("script_interpreter");
+    let filter_src = r#"
+        incr count
+        set t [msg_type]
+        if {$t == "ACK" && $count > 30} { xDrop cur_msg }
+    "#;
+    g.bench_function("parse_filter_script", |b| {
+        b.iter(|| black_box(Script::parse(filter_src).unwrap()))
+    });
+    g.bench_function("eval_preparsed_filter", |b| {
+        let script = Script::parse("incr count; expr {$count * 3 + 1}").unwrap();
+        let mut interp = Interp::new();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.bench_function("expr_arith", |b| {
+        let mut interp = Interp::new();
+        interp.set_var("x", "17");
+        let script = Script::parse("expr {($x * 3 + 7) % 11 < $x && $x ** 2 > 100}").unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.bench_function("proc_fib_10", |b| {
+        let mut interp = Interp::new();
+        interp
+            .eval(
+                &mut NoHost,
+                "proc fib {n} { if {$n < 2} { return $n }; expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]} }",
+            )
+            .unwrap();
+        let script = Script::parse("fib 10").unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("timer_churn_10k", |b| {
+        struct Ticker(u32);
+        impl Layer for Ticker {
+            fn name(&self) -> &'static str {
+                "ticker"
+            }
+            fn push(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn timer(&mut self, _t: u64, c: &mut Context<'_>) {
+                self.0 += 1;
+                if self.0 < 10_000 {
+                    c.set_timer(SimDuration::from_micros(10), 0);
+                }
+            }
+            fn control(&mut self, _op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+                c.set_timer(SimDuration::from_micros(10), 0);
+                Box::new(())
+            }
+        }
+        b.iter(|| {
+            let mut world = World::new(1);
+            let n = world.add_node(vec![Box::new(Ticker(0))]);
+            world.control::<()>(n, 0, ());
+            world.run_for(SimDuration::from_secs(1));
+            black_box(world.now())
+        })
+    });
+    g.bench_function("message_hops_10k", |b| {
+        b.iter(|| {
+            let mut world = World::new(1);
+            let a = world.add_node(vec![Box::new(Src)]);
+            let bnode = world.add_node(vec![Box::new(Sink)]);
+            for _ in 0..10 {
+                world.control::<()>(a, 0, Burst(bnode, 1_000));
+            }
+            world.run_for(SimDuration::from_secs(1));
+            black_box(world.drain_inbox(bnode).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_congestion_ablation(c: &mut Criterion) {
+    use pfi_core::faults;
+    use pfi_tcp::{TcpControl, TcpLayer, TcpProfile, TcpReply};
+
+    // Time-to-deliver 32 KiB over a 5%-lossy receive path: the plain 1995
+    // sender (timeout-driven recovery) vs the Tahoe extension (fast
+    // retransmit + slow start).
+    fn transfer(profile: TcpProfile) -> u64 {
+        let mut world = World::new(3);
+        let client = world.add_node(vec![Box::new(TcpLayer::new(profile))]);
+        let pfi = PfiLayer::new(Box::new(pfi_tcp::TcpStub)).with_recv_filter(faults::omission(0.05));
+        let server = world.add_node(vec![
+            Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+            Box::new(pfi),
+        ]);
+        world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+        let conn = world
+            .control::<TcpReply>(client, 0, TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            })
+            .expect_conn();
+        world.run_for(SimDuration::from_secs(2));
+        world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![7u8; 32_768] });
+        world.run_for(SimDuration::from_secs(600));
+        world.now().as_micros()
+    }
+
+    let mut g = c.benchmark_group("congestion_ablation");
+    g.sample_size(10);
+    g.bench_function("plain_1995_sender", |b| {
+        b.iter(|| black_box(transfer(TcpProfile::sunos_4_1_3())))
+    });
+    g.bench_function("tahoe_extension", |b| b.iter(|| black_box(transfer(TcpProfile::tahoe()))));
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_pfi_overhead,
+    bench_script_interp,
+    bench_sim_engine,
+    bench_congestion_ablation
+);
+criterion_main!(ablations);

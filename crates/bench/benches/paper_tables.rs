@@ -1,0 +1,139 @@
+//! One bench per table and figure of the paper's evaluation: each target
+//! regenerates the corresponding result from scratch (testbed construction,
+//! scripted fault injection, virtual-time execution, trace reduction).
+//!
+//! ```text
+//! cargo bench -p pfi-bench --bench paper_tables            # everything
+//! cargo bench -p pfi-bench --bench paper_tables table1     # one artifact
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfi_experiments::{
+    gmp_exp1, gmp_exp2, gmp_exp3, gmp_exp4, tcp_exp1, tcp_exp2, tcp_exp3, tcp_exp4, tcp_exp5,
+};
+use pfi_tcp::TcpProfile;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_retransmission");
+    g.sample_size(10);
+    g.bench_function("sunos", |b| {
+        b.iter(|| black_box(tcp_exp1::run_vendor(TcpProfile::sunos_4_1_3())))
+    });
+    g.bench_function("solaris", |b| {
+        b.iter(|| black_box(tcp_exp1::run_vendor(TcpProfile::solaris_2_3())))
+    });
+    g.bench_function("all_vendors", |b| b.iter(|| black_box(tcp_exp1::run_all())));
+    g.finish();
+}
+
+fn bench_table2_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fig4_delayed_acks");
+    g.sample_size(10);
+    g.bench_function("sunos_3s", |b| {
+        b.iter(|| black_box(tcp_exp2::run_delay(TcpProfile::sunos_4_1_3(), 3)))
+    });
+    g.bench_function("solaris_3s", |b| {
+        b.iter(|| black_box(tcp_exp2::run_delay(TcpProfile::solaris_2_3(), 3)))
+    });
+    g.bench_function("sunos_8s", |b| {
+        b.iter(|| black_box(tcp_exp2::run_delay(TcpProfile::sunos_4_1_3(), 8)))
+    });
+    g.bench_function("counter_probe_solaris", |b| {
+        b.iter(|| black_box(tcp_exp2::run_counter_probe(TcpProfile::solaris_2_3())))
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_keepalive");
+    g.sample_size(10);
+    g.bench_function("sunos_dropped", |b| {
+        b.iter(|| black_box(tcp_exp3::run_vendor(TcpProfile::sunos_4_1_3())))
+    });
+    g.bench_function("solaris_dropped", |b| {
+        b.iter(|| black_box(tcp_exp3::run_vendor(TcpProfile::solaris_2_3())))
+    });
+    g.bench_function("solaris_acked_112h", |b| {
+        b.iter(|| black_box(tcp_exp3::run_vendor_acked(TcpProfile::solaris_2_3(), 112)))
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_zero_window");
+    g.sample_size(10);
+    g.bench_function("sunos_acked", |b| {
+        b.iter(|| black_box(tcp_exp4::run_vendor(TcpProfile::sunos_4_1_3(), tcp_exp4::Exp4Variant::Acked)))
+    });
+    g.bench_function("solaris_acked", |b| {
+        b.iter(|| black_box(tcp_exp4::run_vendor(TcpProfile::solaris_2_3(), tcp_exp4::Exp4Variant::Acked)))
+    });
+    g.bench_function("two_day_unplug", |b| {
+        b.iter(|| {
+            black_box(tcp_exp4::run_vendor(TcpProfile::aix_3_2_3(), tcp_exp4::Exp4Variant::Unplugged))
+        })
+    });
+    g.finish();
+}
+
+fn bench_exp5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_reorder");
+    g.sample_size(10);
+    g.bench_function("all_vendors", |b| b.iter(|| black_box(tcp_exp5::run_all())));
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_gmp_interruption");
+    g.sample_size(10);
+    g.bench_function("self_heartbeat_buggy", |b| {
+        b.iter(|| black_box(gmp_exp1::run_self_heartbeat(true)))
+    });
+    g.bench_function("kick_cycle", |b| b.iter(|| black_box(gmp_exp1::run_kick_cycle())));
+    g.bench_function("drop_ack", |b| b.iter(|| black_box(gmp_exp1::run_drop_ack())));
+    g.bench_function("drop_commit", |b| b.iter(|| black_box(gmp_exp1::run_drop_commit())));
+    g.finish();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_partitions");
+    g.sample_size(10);
+    g.bench_function("partition_cycle", |b| {
+        b.iter(|| black_box(gmp_exp2::run_partition_cycle()))
+    });
+    g.bench_function("leader_cp_separation", |b| {
+        b.iter(|| black_box(gmp_exp2::run_leader_cp_separation()))
+    });
+    g.finish();
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_proclaim_forwarding");
+    g.sample_size(10);
+    g.bench_function("buggy", |b| b.iter(|| black_box(gmp_exp3::run(true))));
+    g.bench_function("fixed", |b| b.iter(|| black_box(gmp_exp3::run(false))));
+    g.finish();
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_timer_test");
+    g.sample_size(10);
+    g.bench_function("buggy", |b| b.iter(|| black_box(gmp_exp4::run(true))));
+    g.bench_function("fixed", |b| b.iter(|| black_box(gmp_exp4::run(false))));
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2_fig4,
+    bench_table3,
+    bench_table4,
+    bench_exp5,
+    bench_table5,
+    bench_table6,
+    bench_table7,
+    bench_table8
+);
+criterion_main!(tables);

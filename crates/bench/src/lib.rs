@@ -1,0 +1,11 @@
+//! # pfi-bench — benchmark entry points
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `paper_tables` — regenerates every table/figure of the paper's
+//!   evaluation as a benchmark target (`cargo bench table1`, …), timing the
+//!   full experiment pipeline (world construction, scripted fault
+//!   injection, virtual-time execution, trace analysis).
+//! * `ablations` — design-choice ablations: PFI interposition overhead
+//!   (none vs native vs script filter), script interpreter throughput, and
+//!   raw simulator event throughput.

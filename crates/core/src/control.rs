@@ -1,0 +1,93 @@
+//! Runtime control operations on a [`PfiLayer`](crate::PfiLayer).
+//!
+//! "Testing different failure scenarios and creating different tests is
+//! accomplished simply by invoking different scripts … changing the scripts
+//! does not require recompilation of the tool." Experiments swap filters,
+//! poke interpreter state, and harvest packet logs through these ops via
+//! [`World::control`](pfi_sim::World::control).
+
+use pfi_script::ScriptError;
+
+use crate::filter::Filter;
+use crate::log::LogEntry;
+
+/// Operations accepted by [`PfiLayer::control`](crate::PfiLayer).
+#[derive(Debug)]
+pub enum PfiControl {
+    /// Replaces the send filter.
+    SetSendFilter(Filter),
+    /// Replaces the receive filter.
+    SetRecvFilter(Filter),
+    /// Removes the send filter (pass-through).
+    ClearSendFilter,
+    /// Removes the receive filter (pass-through).
+    ClearRecvFilter,
+    /// Evaluates a script in the send interpreter (state setup/query).
+    EvalInSend(String),
+    /// Evaluates a script in the receive interpreter.
+    EvalInRecv(String),
+    /// Emulates a process crash seen from this layer downward: discard all
+    /// traffic in both directions until [`Revive`](PfiControl::Revive).
+    Kill,
+    /// Undoes [`Kill`](PfiControl::Kill).
+    Revive,
+    /// Takes (and clears) the packet log accumulated by `msg_log`.
+    TakeLog,
+    /// Releases all held messages now.
+    ReleaseHeld,
+    /// Reports how many messages are currently held.
+    HeldCount,
+}
+
+/// Replies produced by [`PfiLayer::control`](crate::PfiLayer).
+#[derive(Debug)]
+pub enum PfiReply {
+    /// Operation completed with nothing to report.
+    Unit,
+    /// Result of an `EvalIn*` operation.
+    Eval(Result<String, ScriptError>),
+    /// The harvested packet log.
+    Log(Vec<LogEntry>),
+    /// A count (held messages).
+    Count(usize),
+    /// The op was not a [`PfiControl`] value.
+    UnknownOp,
+}
+
+impl PfiReply {
+    /// Unwraps an `Eval` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is not `Eval` or the evaluation failed.
+    pub fn expect_eval(self) -> String {
+        match self {
+            PfiReply::Eval(Ok(v)) => v,
+            other => panic!("expected successful Eval reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Log` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is not `Log`.
+    pub fn expect_log(self) -> Vec<LogEntry> {
+        match self {
+            PfiReply::Log(log) => log,
+            other => panic!("expected Log reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Count` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is not `Count`.
+    pub fn expect_count(self) -> usize {
+        match self {
+            PfiReply::Count(n) => n,
+            other => panic!("expected Count reply, got {other:?}"),
+        }
+    }
+}

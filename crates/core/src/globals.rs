@@ -1,0 +1,86 @@
+//! Cross-node script coordination.
+//!
+//! "Predefined procedures can be used for … synchronizing scripts executed
+//! by PFI layers running on different nodes." In the single-threaded
+//! simulation this is a shared blackboard: every PFI layer cloned from the
+//! same board sees the same key/value state, so a send filter on one node
+//! can flip a flag that a receive filter on another node checks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A shared string-valued blackboard for scripts across all PFI layers.
+///
+/// Cloning yields another handle to the same board.
+///
+/// # Examples
+///
+/// ```
+/// use pfi_core::GlobalBoard;
+///
+/// let board = GlobalBoard::new();
+/// let other = board.clone();
+/// board.set("phase", "dropping");
+/// assert_eq!(other.get("phase"), Some("dropping".to_string()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalBoard {
+    map: Rc<RefCell<HashMap<String, String>>>,
+}
+
+impl GlobalBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a key.
+    pub fn set(&self, key: impl Into<String>, value: impl Into<String>) {
+        self.map.borrow_mut().insert(key.into(), value.into());
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.borrow().get(key).cloned()
+    }
+
+    /// Removes a key, returning its previous value.
+    pub fn remove(&self, key: &str) -> Option<String> {
+        self.map.borrow_mut().remove(key)
+    }
+
+    /// Number of keys on the board.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// Whether the board is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_across_clones() {
+        let a = GlobalBoard::new();
+        let b = a.clone();
+        a.set("k", "v");
+        assert_eq!(b.get("k").as_deref(), Some("v"));
+        assert_eq!(b.remove("k").as_deref(), Some("v"));
+        assert!(a.get("k").is_none());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn distinct_boards_are_independent() {
+        let a = GlobalBoard::new();
+        let b = GlobalBoard::new();
+        a.set("k", "v");
+        assert!(b.get("k").is_none());
+    }
+}

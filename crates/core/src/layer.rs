@@ -1,0 +1,345 @@
+//! The PFI layer itself: interposition, filter execution, and effects.
+//!
+//! Insert a [`PfiLayer`] between any two layers of a stack. Every message
+//! pushed down runs the *send filter*; every message popped up runs the
+//! *receive filter*. Each direction owns a persistent Tcl interpreter, so
+//! script state (counters, phase flags) survives across messages; the
+//! `peer_*` commands let one filter adjust the other's state, exactly as in
+//! the paper's tool.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use pfi_script::Interp;
+use pfi_sim::{Context, Layer, Message};
+
+use crate::bindings::{Bindings, ControlBindings};
+use crate::control::{PfiControl, PfiReply};
+use crate::filter::{Direction, Effects, Filter, FilterCtx, Verdict};
+use crate::globals::GlobalBoard;
+use crate::log::{LogEntry, PfiEvent};
+use crate::stub::PacketStub;
+
+/// The probe/fault-injection layer.
+///
+/// # Examples
+///
+/// Dropping every message after the first 30 (the paper's TCP experiment 1
+/// setup), as a script filter:
+///
+/// ```
+/// use pfi_core::{Filter, PfiLayer, RawStub};
+///
+/// let filter = Filter::script(r#"
+///     incr count
+///     if {$count > 30} { xDrop cur_msg }
+/// "#).unwrap();
+/// let layer = PfiLayer::new(Box::new(RawStub)).with_recv_filter(filter);
+/// # let _ = layer;
+/// ```
+pub struct PfiLayer {
+    stub: Box<dyn PacketStub>,
+    /// `[send, receive]` filters.
+    filters: [Option<Filter>; 2],
+    /// `[send, receive]` interpreters (persistent across messages).
+    interps: [Interp; 2],
+    held: Vec<(Direction, Message)>,
+    delayed: HashMap<u64, (Direction, Message)>,
+    timer_scripts: HashMap<u64, (Direction, pfi_script::Script)>,
+    next_token: u64,
+    killed: bool,
+    packet_log: Vec<LogEntry>,
+    globals: GlobalBoard,
+}
+
+impl std::fmt::Debug for PfiLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PfiLayer")
+            .field("stub", &self.stub.protocol())
+            .field("killed", &self.killed)
+            .field("held", &self.held.len())
+            .field("delayed", &self.delayed.len())
+            .field("logged", &self.packet_log.len())
+            .finish()
+    }
+}
+
+fn idx(dir: Direction) -> usize {
+    match dir {
+        Direction::Send => 0,
+        Direction::Receive => 1,
+    }
+}
+
+impl PfiLayer {
+    /// Creates a pass-through PFI layer with the given packet stub.
+    pub fn new(stub: Box<dyn PacketStub>) -> Self {
+        PfiLayer {
+            stub,
+            filters: [None, None],
+            interps: [Interp::new(), Interp::new()],
+            held: Vec::new(),
+            delayed: HashMap::new(),
+            timer_scripts: HashMap::new(),
+            next_token: 0,
+            killed: false,
+            packet_log: Vec::new(),
+            globals: GlobalBoard::new(),
+        }
+    }
+
+    /// Installs the send filter (runs on every message pushed down).
+    pub fn with_send_filter(mut self, f: Filter) -> Self {
+        self.filters[0] = Some(f);
+        self
+    }
+
+    /// Installs the receive filter (runs on every message popped up).
+    pub fn with_recv_filter(mut self, f: Filter) -> Self {
+        self.filters[1] = Some(f);
+        self
+    }
+
+    /// Shares a cross-node blackboard with this layer (clone the same board
+    /// into every PFI layer that should coordinate).
+    pub fn with_globals(mut self, board: GlobalBoard) -> Self {
+        self.globals = board;
+        self
+    }
+
+    /// Pre-sets a variable in the send filter's interpreter.
+    pub fn with_send_var(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.interps[0].set_var(name, value);
+        self
+    }
+
+    /// Pre-sets a variable in the receive filter's interpreter.
+    pub fn with_recv_var(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.interps[1].set_var(name, value);
+        self
+    }
+
+    fn run_filter(&mut self, dir: Direction, msg: &mut Message, ctx: &mut Context<'_>) -> Effects {
+        let mut effects = Effects::default();
+        let i = idx(dir);
+        let Some(mut filter) = self.filters[i].take() else {
+            return effects;
+        };
+        let now = ctx.now();
+        let node = ctx.node();
+        let mut script_error: Option<String> = None;
+        {
+            let [send_interp, recv_interp] = &mut self.interps;
+            let (own, peer) = match dir {
+                Direction::Send => (send_interp, recv_interp),
+                Direction::Receive => (recv_interp, send_interp),
+            };
+            let fctx = FilterCtx {
+                dir,
+                msg,
+                stub: self.stub.as_ref(),
+                effects: &mut effects,
+                log: &mut self.packet_log,
+                now,
+                node,
+                rng: ctx.rng(),
+                globals: &self.globals,
+            };
+            match &mut filter {
+                Filter::Native(f) => f(&mut { fctx }),
+                Filter::Script(script) => {
+                    let mut host = Bindings { fctx, peer };
+                    if let Err(e) = own.eval_parsed(&mut host, script) {
+                        script_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        self.filters[i] = Some(filter);
+        if let Some(error) = script_error {
+            // A failing filter must not eat traffic silently: pass the
+            // message and record the failure.
+            effects.verdict = Verdict::Pass;
+            ctx.emit(PfiEvent::ScriptFailed { dir, error });
+        }
+        effects
+    }
+
+    fn forward(dir: Direction, msg: Message, ctx: &mut Context<'_>) {
+        match dir {
+            Direction::Send => ctx.send_down(msg),
+            Direction::Receive => ctx.send_up(msg),
+        }
+    }
+
+    fn apply(&mut self, dir: Direction, msg: Message, effects: Effects, ctx: &mut Context<'_>) {
+        let msg_type = || self.stub.type_of(&msg).unwrap_or_else(|| "?".to_string());
+        if effects.duplicates > 0 {
+            ctx.emit(PfiEvent::Duplicated { dir, msg_type: msg_type(), copies: effects.duplicates });
+            for _ in 0..effects.duplicates {
+                Self::forward(dir, msg.clone(), ctx);
+            }
+        }
+        match effects.verdict {
+            Verdict::Pass => Self::forward(dir, msg, ctx),
+            Verdict::Drop => {
+                ctx.emit(PfiEvent::Dropped { dir, msg_type: msg_type() });
+            }
+            Verdict::Delay(d) => {
+                ctx.emit(PfiEvent::Delayed { dir, msg_type: msg_type(), delay: d });
+                self.next_token += 1;
+                let token = self.next_token;
+                self.delayed.insert(token, (dir, msg));
+                ctx.set_timer(d, token);
+            }
+            Verdict::Hold => {
+                ctx.emit(PfiEvent::Held { dir, msg_type: msg_type() });
+                self.held.push((dir, msg));
+            }
+        }
+        for inj in effects.injections {
+            ctx.emit(PfiEvent::Injected {
+                dir: inj.dir,
+                msg_type: self.stub.type_of(&inj.msg).unwrap_or_else(|| "?".to_string()),
+            });
+            Self::forward(inj.dir, inj.msg, ctx);
+        }
+        if effects.release {
+            self.release_held(ctx);
+        }
+        for (delay, script) in effects.timer_scripts {
+            self.next_token += 1;
+            let token = self.next_token;
+            self.timer_scripts.insert(token, (dir, script));
+            ctx.set_timer(delay, token);
+        }
+    }
+
+    fn release_held(&mut self, ctx: &mut Context<'_>) {
+        let held = std::mem::take(&mut self.held);
+        if held.is_empty() {
+            return;
+        }
+        ctx.emit(PfiEvent::Released { count: held.len() });
+        for (dir, msg) in held {
+            Self::forward(dir, msg, ctx);
+        }
+    }
+
+    /// The packet log accumulated by `msg_log` calls.
+    pub fn packet_log(&self) -> &[LogEntry] {
+        &self.packet_log
+    }
+
+    /// Evaluates a script in one direction's interpreter, outside any
+    /// message context (only state commands available).
+    fn eval_control(
+        &mut self,
+        dir: Direction,
+        src: &str,
+    ) -> Result<String, pfi_script::ScriptError> {
+        let [send_interp, recv_interp] = &mut self.interps;
+        let (own, peer) = match dir {
+            Direction::Send => (send_interp, recv_interp),
+            Direction::Receive => (recv_interp, send_interp),
+        };
+        let mut host = ControlBindings { globals: &self.globals, peer };
+        own.eval(&mut host, src)
+    }
+}
+
+impl Layer for PfiLayer {
+    fn name(&self) -> &'static str {
+        "pfi"
+    }
+
+    fn push(&mut self, mut msg: Message, ctx: &mut Context<'_>) {
+        if self.killed {
+            return;
+        }
+        let effects = self.run_filter(Direction::Send, &mut msg, ctx);
+        self.apply(Direction::Send, msg, effects, ctx);
+    }
+
+    fn pop(&mut self, mut msg: Message, ctx: &mut Context<'_>) {
+        if self.killed {
+            return;
+        }
+        let effects = self.run_filter(Direction::Receive, &mut msg, ctx);
+        self.apply(Direction::Receive, msg, effects, ctx);
+    }
+
+    fn timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if self.killed {
+            return;
+        }
+        if let Some((dir, msg)) = self.delayed.remove(&token) {
+            ctx.emit(PfiEvent::Resumed { dir });
+            Self::forward(dir, msg, ctx);
+        } else if let Some((dir, script)) = self.timer_scripts.remove(&token) {
+            // A script armed by xAfter: evaluate it in its direction's
+            // interpreter, without a current message.
+            let [send_interp, recv_interp] = &mut self.interps;
+            let (own, peer) = match dir {
+                Direction::Send => (send_interp, recv_interp),
+                Direction::Receive => (recv_interp, send_interp),
+            };
+            let mut host = ControlBindings { globals: &self.globals, peer };
+            if let Err(e) = own.eval_parsed(&mut host, &script) {
+                ctx.emit(PfiEvent::ScriptFailed { dir, error: e.to_string() });
+            }
+        }
+    }
+
+    fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
+        let Ok(op) = op.downcast::<PfiControl>() else {
+            return Box::new(PfiReply::UnknownOp);
+        };
+        let reply = match *op {
+            PfiControl::SetSendFilter(f) => {
+                self.filters[0] = Some(f);
+                PfiReply::Unit
+            }
+            PfiControl::SetRecvFilter(f) => {
+                self.filters[1] = Some(f);
+                PfiReply::Unit
+            }
+            PfiControl::ClearSendFilter => {
+                self.filters[0] = None;
+                PfiReply::Unit
+            }
+            PfiControl::ClearRecvFilter => {
+                self.filters[1] = None;
+                PfiReply::Unit
+            }
+            PfiControl::EvalInSend(src) => {
+                PfiReply::Eval(self.eval_control(Direction::Send, &src))
+            }
+            PfiControl::EvalInRecv(src) => {
+                PfiReply::Eval(self.eval_control(Direction::Receive, &src))
+            }
+            PfiControl::Kill => {
+                if !self.killed {
+                    self.killed = true;
+                    ctx.emit(PfiEvent::Killed);
+                }
+                PfiReply::Unit
+            }
+            PfiControl::Revive => {
+                if self.killed {
+                    self.killed = false;
+                    ctx.emit(PfiEvent::Revived);
+                }
+                PfiReply::Unit
+            }
+            PfiControl::TakeLog => PfiReply::Log(std::mem::take(&mut self.packet_log)),
+            PfiControl::ReleaseHeld => {
+                let n = self.held.len();
+                self.release_held(ctx);
+                PfiReply::Count(n)
+            }
+            PfiControl::HeldCount => PfiReply::Count(self.held.len()),
+        };
+        Box::new(reply)
+    }
+}

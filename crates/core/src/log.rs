@@ -1,0 +1,92 @@
+//! The PFI layer's packet log and trace events.
+//!
+//! Every experiment in the paper begins with "each packet was logged with a
+//! timestamp by the receive filter script" — [`LogEntry`] is that record.
+//! [`PfiEvent`] values additionally land in the simulator-wide
+//! [`TraceLog`](pfi_sim::TraceLog) for cross-node analysis.
+
+use pfi_sim::{SimDuration, SimTime};
+
+use crate::filter::Direction;
+
+/// One packet logged by `msg_log` (script) or
+/// [`FilterCtx::log_msg`](crate::FilterCtx::log_msg) (native).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Virtual time the packet passed the filter.
+    pub time: SimTime,
+    /// Which filter logged it.
+    pub dir: Direction,
+    /// Message type per the packet stub (`"?"` if unrecognised).
+    pub msg_type: String,
+    /// Bytes in the message.
+    pub len: usize,
+    /// The stub's one-line summary.
+    pub summary: String,
+}
+
+/// Trace events emitted by the PFI layer into the world's trace log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfiEvent {
+    /// A filter dropped a message.
+    Dropped {
+        /// Filter direction.
+        dir: Direction,
+        /// Message type per the stub.
+        msg_type: String,
+    },
+    /// A filter delayed a message.
+    Delayed {
+        /// Filter direction.
+        dir: Direction,
+        /// Message type per the stub.
+        msg_type: String,
+        /// How long it was parked.
+        delay: SimDuration,
+    },
+    /// A delayed/held message resumed its journey.
+    Resumed {
+        /// Original direction of travel.
+        dir: Direction,
+    },
+    /// A filter duplicated a message.
+    Duplicated {
+        /// Filter direction.
+        dir: Direction,
+        /// Message type per the stub.
+        msg_type: String,
+        /// Extra copies forwarded.
+        copies: u32,
+    },
+    /// A filter injected a forged message.
+    Injected {
+        /// Direction the injected message travels.
+        dir: Direction,
+        /// Message type per the stub.
+        msg_type: String,
+    },
+    /// A filter held a message for deterministic reordering.
+    Held {
+        /// Filter direction.
+        dir: Direction,
+        /// Message type per the stub.
+        msg_type: String,
+    },
+    /// Held messages were released.
+    Released {
+        /// Number of messages released.
+        count: usize,
+    },
+    /// The PFI layer was killed (crash emulation): it now discards
+    /// everything in both directions.
+    Killed,
+    /// The PFI layer was revived.
+    Revived,
+    /// A filter script raised an error; the message passed unfiltered.
+    ScriptFailed {
+        /// Filter direction.
+        dir: Direction,
+        /// The script error message.
+        error: String,
+    },
+}

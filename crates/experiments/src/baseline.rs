@@ -1,0 +1,177 @@
+//! **Baseline: active probing à la Comer & Lin (paper §5, related work).**
+//!
+//! The paper's main comparator treats a TCP "as a black box" probed with
+//! *crash failures only*, observed by a passive network analyzer
+//! (NetMetrix). We implement that technique — crash the peer, watch the
+//! wire — and reproduce what it *can* do (Table 1's retransmission counts,
+//! which the paper notes duplicates Comer & Lin's result) and demonstrate
+//! what it *cannot*: distinguishing RTO adaptability requires manipulating
+//! ACK timing, which a monitor-only technique has no way to do.
+
+use std::collections::BTreeMap;
+
+use pfi_sim::{SimDuration, SimTime, World};
+use pfi_tcp::{Segment, TcpControl, TcpLayer, TcpProfile, TcpReply};
+
+use crate::common::intervals_secs;
+
+/// Result of a crash-failure active probe, measured purely from the wire.
+#[derive(Debug, Clone)]
+pub struct CrashProbeRow {
+    /// Vendor name.
+    pub vendor: String,
+    /// Retransmissions of the black-holed segment, counted by a passive
+    /// wire monitor (repeated transmissions of the same sequence number).
+    pub retransmissions: usize,
+    /// Gaps between the repeated transmissions, in seconds.
+    pub intervals: Vec<f64>,
+    /// Whether a RST was observed on the wire at the end.
+    pub reset_observed: bool,
+}
+
+/// Wire-level observation of one vendor: open a connection, stream data,
+/// crash the receiver (the only fault active probing can induce), and
+/// passively record every packet the vendor puts on the wire through a
+/// `WireTap` — our NetMetrix.
+pub fn run_crash_probe(profile: TcpProfile) -> CrashProbeRow {
+    run_crash_probe_with_tap_profile(profile)
+}
+
+/// A passive wire tap: a pass-through layer that records every segment it
+/// carries. It has no ability to drop, delay, duplicate, modify, or inject
+/// — the structural limitation of monitoring-based approaches.
+#[derive(Debug, Default)]
+struct WireTap {
+    captured: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, Segment)>>>,
+}
+
+impl pfi_sim::Layer for WireTap {
+    fn name(&self) -> &'static str {
+        "tap"
+    }
+    fn push(&mut self, msg: pfi_sim::Message, ctx: &mut pfi_sim::Context<'_>) {
+        if let Ok(seg) = Segment::decode(&msg) {
+            self.captured.borrow_mut().push((ctx.now(), seg));
+        }
+        ctx.send_down(msg);
+    }
+    fn pop(&mut self, msg: pfi_sim::Message, ctx: &mut pfi_sim::Context<'_>) {
+        ctx.send_up(msg);
+    }
+}
+
+/// The technique gap the paper claims: under crash-only probing, an
+/// RTT-adaptive stack and an identical-but-non-adaptive stack leave
+/// indistinguishable wire traces (on a fast LAN both sit at the RTO floor),
+/// while PFI's delayed-ACK experiment separates them immediately.
+///
+/// Returns `(passive_distinguishes, pfi_distinguishes)`.
+pub fn adaptability_distinguishability() -> (bool, bool) {
+    let adaptive = TcpProfile::sunos_4_1_3();
+    let non_adaptive = TcpProfile { rtt_adaptive: false, ..TcpProfile::sunos_4_1_3() };
+
+    // Passive crash probe on both: compare the retransmission interval
+    // series (what a wire monitor can measure).
+    let a = run_crash_probe(adaptive.clone());
+    let b = {
+        // run_crash_probe resolves by name; run the non-adaptive variant
+        // through the tap directly.
+        let mut row = run_crash_probe_with_tap_profile(non_adaptive.clone());
+        row.vendor = "SunOS (non-adaptive variant)".to_string();
+        row
+    };
+    let quantise = |v: &[f64]| -> Vec<i64> { v.iter().map(|x| (x * 10.0).round() as i64).collect() };
+    let passive_distinguishes = quantise(&a.intervals) != quantise(&b.intervals);
+
+    // PFI's experiment 2 on both: the adapted first-retransmission gap.
+    let pa = crate::tcp_exp2::run_delay(adaptive, 3);
+    let pb = crate::tcp_exp2::run_delay(non_adaptive, 3);
+    let pfi_distinguishes = pa.adapted != pb.adapted;
+    (passive_distinguishes, pfi_distinguishes)
+}
+
+fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
+    let name = profile.name.to_string();
+    let mut world = World::new(1995);
+    let captured = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let vendor = world.add_node(vec![
+        Box::new(TcpLayer::new(profile)),
+        Box::new(WireTap { captured: captured.clone() }),
+    ]);
+    let peer = world.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference()))]);
+    world.control::<TcpReply>(peer, 0, TcpControl::Listen { port: 80 });
+    let conn = world
+        .control::<TcpReply>(vendor, 0, TcpControl::Open {
+            local_port: 0,
+            remote: peer,
+            remote_port: 80,
+        })
+        .expect_conn();
+    world.run_for(SimDuration::from_millis(50));
+    for i in 0..40u32 {
+        let at = SimDuration::from_millis(100 * i as u64);
+        world.schedule_in(at, move |w| {
+            w.control::<TcpReply>(vendor, 0, TcpControl::Send { conn, data: vec![7u8; 512] });
+        });
+    }
+    world.schedule_in(SimDuration::from_secs(3), move |w| w.crash(peer));
+    world.run_for(SimDuration::from_secs(3_000));
+    let captured = captured.borrow();
+    let mut tx_times: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
+    let mut reset_observed = false;
+    for (t, seg) in captured.iter() {
+        if seg.has(pfi_tcp::flags::RST) {
+            reset_observed = true;
+        }
+        if !seg.payload.is_empty() {
+            tx_times.entry(seg.seq).or_default().push(*t);
+        }
+    }
+    let times = tx_times.values().max_by_key(|v| v.len()).cloned().unwrap_or_default();
+    CrashProbeRow {
+        vendor: name,
+        retransmissions: times.len().saturating_sub(1),
+        intervals: intervals_secs(&times),
+        reset_observed,
+    }
+}
+
+/// Runs the crash probe for all four vendors.
+pub fn run_all() -> Vec<CrashProbeRow> {
+    TcpProfile::vendors().into_iter().map(run_crash_probe).collect()
+}
+
+/// Something a monitor cannot ever express: `NetTrace` events record what
+/// crossed the wire, never offering a verdict hook. This function exists to
+/// document the structural limitation in one sentence for the `repro`
+/// output.
+pub fn monitoring_limitation() -> &'static str {
+    "a passive monitor can count and time packets, but cannot delay a \
+     specific ACK, reorder two segments, or inject a probe — the paper's \
+     experiments 2, 4 (variations), and 5 are out of its reach"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_probe_duplicates_comer_lin_counts() {
+        // The paper: "Comer & Lin did show that for a crash failure, a
+        // packet is retransmitted nine times before the connection is
+        // dropped. We duplicated this result."
+        let sun = run_crash_probe(TcpProfile::sunos_4_1_3());
+        assert_eq!(sun.retransmissions, 12, "{sun:?}");
+        assert!(sun.reset_observed, "{sun:?}");
+        let sol = run_crash_probe(TcpProfile::solaris_2_3());
+        assert_eq!(sol.retransmissions, 9, "{sol:?}");
+        assert!(!sol.reset_observed, "{sol:?}");
+    }
+
+    #[test]
+    fn passive_probing_cannot_distinguish_rtt_adaptability_but_pfi_can() {
+        let (passive, pfi) = adaptability_distinguishability();
+        assert!(!passive, "crash-only probing must not separate the two stacks");
+        assert!(pfi, "the delayed-ACK experiment must separate them");
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared experiment infrastructure: the paper's two testbeds.
+//!
+//! **TCP testbed** (paper Figure 3): one *vendor machine* running a vendor
+//! TCP talks to the *x-Kernel machine*, whose stack carries the PFI layer
+//! directly between TCP and the wire. Connections are opened from the
+//! vendor machine to the x-Kernel machine, and filters on the x-Kernel side
+//! manipulate what the vendor sees.
+//!
+//! **GMP testbed** (paper Figure 5): `n` group membership daemons, each
+//! with a PFI layer between the daemon and its reliable datagram layer.
+
+use pfi_core::{Filter, GlobalBoard, PfiControl, PfiLayer, PfiReply};
+use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpLayer, GmpReply, GmpStatusReport, GmpStub};
+use pfi_rudp::RudpLayer;
+use pfi_sim::{NodeId, SimDuration, SimTime, World};
+use pfi_tcp::{ConnId, TcpControl, TcpEvent, TcpLayer, TcpProfile, TcpReply, TcpStub};
+
+/// The TCP testbed.
+#[derive(Debug)]
+pub struct TcpTestbed {
+    /// The simulation world.
+    pub world: World,
+    /// The vendor machine (node 0).
+    pub vendor: NodeId,
+    /// The x-Kernel machine (node 1); layer 0 is TCP, layer 1 the PFI
+    /// layer.
+    pub xk: NodeId,
+    /// The vendor-side connection handle.
+    pub conn: ConnId,
+}
+
+/// Stack layer index of the PFI layer on the x-Kernel machine.
+pub const XK_PFI: usize = 1;
+/// Stack layer index of TCP on either machine.
+pub const TCP: usize = 0;
+/// Port the x-Kernel machine listens on.
+pub const XK_PORT: u16 = 7777;
+
+impl TcpTestbed {
+    /// Builds the testbed and opens a connection from the vendor machine
+    /// to the x-Kernel machine (completing the handshake).
+    pub fn new(vendor_profile: TcpProfile) -> Self {
+        let mut world = World::new(1995);
+        let vendor = world.add_node(vec![Box::new(TcpLayer::new(vendor_profile))]);
+        let xk = world.add_node(vec![
+            Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+            Box::new(PfiLayer::new(Box::new(TcpStub))),
+        ]);
+        world.control::<TcpReply>(xk, TCP, TcpControl::Listen { port: XK_PORT });
+        let conn = world
+            .control::<TcpReply>(
+                vendor,
+                TCP,
+                TcpControl::Open { local_port: 0, remote: xk, remote_port: XK_PORT },
+            )
+            .expect_conn();
+        world.run_for(SimDuration::from_millis(50));
+        TcpTestbed { world, vendor, xk, conn }
+    }
+
+    /// The x-Kernel side's accepted connection.
+    pub fn xk_conn(&mut self) -> ConnId {
+        match self.world.control::<TcpReply>(self.xk, TCP, TcpControl::AcceptedOn { port: XK_PORT })
+        {
+            TcpReply::MaybeConn(Some(c)) => c,
+            other => panic!("handshake did not complete: {other:?}"),
+        }
+    }
+
+    /// Installs a receive filter on the x-Kernel PFI layer.
+    pub fn set_recv_filter(&mut self, f: Filter) {
+        let _: PfiReply = self.world.control(self.xk, XK_PFI, PfiControl::SetRecvFilter(f));
+    }
+
+    /// Installs a send filter on the x-Kernel PFI layer.
+    pub fn set_send_filter(&mut self, f: Filter) {
+        let _: PfiReply = self.world.control(self.xk, XK_PFI, PfiControl::SetSendFilter(f));
+    }
+
+    /// Installs a parsed script as the receive filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on script parse errors.
+    pub fn recv_script(&mut self, src: &str) {
+        self.set_recv_filter(Filter::script(src).expect("receive filter script"));
+    }
+
+    /// Installs a parsed script as the send filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on script parse errors.
+    pub fn send_script(&mut self, src: &str) {
+        self.set_send_filter(Filter::script(src).expect("send filter script"));
+    }
+
+    /// Queues a stream of `count` segments of `seg_size` bytes on the
+    /// vendor connection, one every `interval` (the driver workload).
+    pub fn vendor_stream(&mut self, seg_size: usize, count: u32, interval: SimDuration) {
+        let vendor = self.vendor;
+        let conn = self.conn;
+        for i in 0..count {
+            self.world.schedule_in(interval * i as u64, move |w| {
+                let data = vec![(i % 251) as u8; seg_size];
+                w.control::<TcpReply>(vendor, TCP, TcpControl::Send { conn, data });
+            });
+        }
+    }
+
+    /// Times of every retransmission on the vendor connection.
+    pub fn vendor_retransmit_times(&self) -> Vec<SimTime> {
+        self.world
+            .trace()
+            .events_of::<TcpEvent>(Some(self.vendor))
+            .into_iter()
+            .filter(|(_, e)| matches!(e, TcpEvent::Retransmit { .. }))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// All TCP events on the vendor node.
+    pub fn vendor_events(&self) -> Vec<(SimTime, TcpEvent)> {
+        self.world.trace().events_of::<TcpEvent>(Some(self.vendor))
+    }
+
+    /// The vendor connection's state name.
+    pub fn vendor_state(&mut self) -> &'static str {
+        let conn = self.conn;
+        self.world.control::<TcpReply>(self.vendor, TCP, TcpControl::State { conn }).expect_state()
+    }
+}
+
+/// Gaps between consecutive instants, in seconds.
+pub fn intervals_secs(times: &[SimTime]) -> Vec<f64> {
+    times.windows(2).map(|p| (p[1] - p[0]).as_secs_f64()).collect()
+}
+
+/// Whether a series of gaps is (approximately) exponentially increasing
+/// until it saturates: every step either roughly doubles or stays at the
+/// cap.
+pub fn is_exponential_backoff(gaps: &[f64]) -> bool {
+    gaps.windows(2).all(|p| {
+        let ratio = p[1] / p[0];
+        (0.85..=2.3).contains(&ratio)
+    }) && gaps.windows(2).all(|p| p[1] >= p[0] * 0.85)
+}
+
+/// The GMP testbed.
+#[derive(Debug)]
+pub struct GmpTestbed {
+    /// The simulation world.
+    pub world: World,
+    /// All daemon nodes in id order.
+    pub peers: Vec<NodeId>,
+    /// Shared script blackboard across all PFI layers.
+    pub board: GlobalBoard,
+}
+
+/// Stack layer index of the daemon.
+pub const GMD: usize = 0;
+/// Stack layer index of the PFI layer on GMP nodes.
+pub const GMP_PFI: usize = 1;
+
+impl GmpTestbed {
+    /// Builds `n` daemons (not yet started) with the given bugs.
+    pub fn new(n: u32, bugs: GmpBugs) -> Self {
+        let mut world = World::new(1995);
+        let board = GlobalBoard::new();
+        let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        for _ in 0..n {
+            let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(bugs));
+            let pfi = PfiLayer::new(Box::new(GmpStub)).with_globals(board.clone());
+            world.add_node(vec![Box::new(gmd), Box::new(pfi), Box::new(RudpLayer::default())]);
+        }
+        GmpTestbed { world, peers, board }
+    }
+
+    /// Starts one daemon.
+    pub fn start(&mut self, node: NodeId) {
+        self.world.control::<GmpReply>(node, GMD, GmpControl::Start);
+    }
+
+    /// Starts every daemon.
+    pub fn start_all(&mut self) {
+        for p in self.peers.clone() {
+            self.start(p);
+        }
+    }
+
+    /// A daemon's current view.
+    pub fn view(&mut self, node: NodeId) -> GmpStatusReport {
+        self.world.control::<GmpReply>(node, GMD, GmpControl::Status).expect_status()
+    }
+
+    /// A daemon's member list as raw ids.
+    pub fn members(&mut self, node: NodeId) -> Vec<u32> {
+        self.view(node).group.members.iter().map(|m| m.as_u32()).collect()
+    }
+
+    /// Installs a send filter on one daemon's PFI layer.
+    pub fn send_script(&mut self, node: NodeId, src: &str) {
+        let f = Filter::script(src).expect("send filter script");
+        let _: PfiReply = self.world.control(node, GMP_PFI, PfiControl::SetSendFilter(f));
+    }
+
+    /// Installs a receive filter on one daemon's PFI layer.
+    pub fn recv_script(&mut self, node: NodeId, src: &str) {
+        let f = Filter::script(src).expect("receive filter script");
+        let _: PfiReply = self.world.control(node, GMP_PFI, PfiControl::SetRecvFilter(f));
+    }
+
+    /// Runs the world forward.
+    pub fn run(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+}

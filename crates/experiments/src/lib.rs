@@ -1,0 +1,38 @@
+//! # pfi-experiments — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of Dawson & Jahanian's evaluation section,
+//! each staging the experiment with PFI filter scripts on the simulated
+//! testbeds and reducing the trace to the paper's reported observables.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`tcp_exp1`] | Table 1 — retransmission intervals |
+//! | [`tcp_exp2`] | Table 2 + Figure 4 — RTO with delayed ACKs; global error counter |
+//! | [`tcp_exp3`] | Table 3 — keep-alive |
+//! | [`tcp_exp4`] | Table 4 — zero-window probes |
+//! | [`tcp_exp5`] | §4.1 experiment 5 — reordering |
+//! | [`gmp_exp1`] | Table 5 — packet interruption |
+//! | [`gmp_exp2`] | Table 6 — network partitions |
+//! | [`gmp_exp3`] | Table 7 — proclaim forwarding |
+//! | [`gmp_exp4`] | Table 8 — timer test |
+//! | [`identify`] | §4 aspect (iii) — vendor identification from behaviour alone |
+//! | [`baseline`] | §5 comparator — Comer & Lin crash-only active probing |
+//!
+//! The `repro` binary prints every table; `EXPERIMENTS.md` in the
+//! repository root records paper-vs-measured values.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod common;
+pub mod gmp_exp1;
+pub mod gmp_exp2;
+pub mod gmp_exp3;
+pub mod gmp_exp4;
+pub mod identify;
+pub mod report;
+pub mod tcp_exp1;
+pub mod tcp_exp2;
+pub mod tcp_exp3;
+pub mod tcp_exp4;
+pub mod tcp_exp5;

@@ -1,0 +1,162 @@
+//! Plain-text table rendering for the `repro` binary, mirroring the
+//! paper's result tables.
+
+/// A rendered table: title, column headers, and rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (e.g. `"Table 1: TCP Retransmission Timeout Results"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let sep: String =
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:w$} ", w = w));
+                if i + 1 < widths.len() {
+                    line.push('|');
+                }
+            }
+            line
+        };
+        out.push_str(&format!("{}\n", fmt_row(&self.headers)));
+        out.push_str(&format!("{sep}\n"));
+        for row in &self.rows {
+            out.push_str(&format!("{}\n", fmt_row(row)));
+        }
+        out
+    }
+}
+
+/// Formats a float series compactly (`"1.0, 2.0, 4.0, …"`), keeping the
+/// first `max` values.
+pub fn series(vals: &[f64], max: usize) -> String {
+    let shown: Vec<String> = vals.iter().take(max).map(|v| format!("{v:.2}")).collect();
+    let mut s = shown.join(", ");
+    if vals.len() > max {
+        s.push_str(", …");
+    }
+    s
+}
+
+/// Renders a boolean as yes/no.
+pub fn yn(v: bool) -> String {
+    if v { "yes" } else { "no" }.to_string()
+}
+
+/// Renders labelled series as an ASCII chart (value vs index), linear
+/// y-axis — the shape of the paper's Figure 4 graphs.
+pub fn ascii_chart(title: &str, series: &[(&str, &[f64])], height: usize) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(1.0f64, f64::max);
+    let width = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut grid = vec![vec![' '; width * 3]; height];
+    let marks = ['o', 'x', '+', '*', '#'];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        for (i, &v) in vals.iter().enumerate() {
+            let row = ((v / max) * (height - 1) as f64).round() as usize;
+            let col = i * 3 + 1;
+            grid[height - 1 - row][col] = marks[si % marks.len()];
+        }
+    }
+    let mut out = format!("{title}\n");
+    for (ri, row) in grid.iter().enumerate() {
+        let y = max * (height - 1 - ri) as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y:7.1} |{}\n", line.trim_end()));
+    }
+    out.push_str(&format!("        +{}\n", "-".repeat(width * 3)));
+    out.push_str("         retransmission number →\n");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("         {} = {}\n", marks[si % marks.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Test Table", &["name", "value"]);
+        t.row(&["short".to_string(), "1".to_string()]);
+        t.row(&["a much longer name".to_string(), "22".to_string()]);
+        let out = t.render();
+        assert!(out.starts_with("Test Table\n"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All body lines have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert!(out.contains("a much longer name"));
+    }
+
+    #[test]
+    fn series_truncates() {
+        assert_eq!(series(&[1.0, 2.0], 5), "1.00, 2.00");
+        assert_eq!(series(&[1.0, 2.0, 3.0], 2), "1.00, 2.00, …");
+    }
+
+    #[test]
+    fn yn_formats() {
+        assert_eq!(yn(true), "yes");
+        assert_eq!(yn(false), "no");
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_places_series_marks() {
+        let a = [1.0, 2.0, 4.0, 8.0];
+        let b = [1.0, 1.0, 1.0];
+        let out = ascii_chart("t", &[("A", &a[..]), ("B", &b[..])], 8);
+        assert!(out.starts_with("t\n"));
+        assert!(out.contains("o = A"));
+        assert!(out.contains("x = B"));
+        // The max value labels the top row.
+        assert!(out.contains("    8.0 |"), "{out}");
+        // Four data marks plus the one in the legend line "o = A".
+        assert_eq!(out.matches('o').count(), 5, "{out}");
+    }
+}

@@ -1,0 +1,117 @@
+//! **TCP Experiment 1 — retransmission intervals (paper Table 1).**
+//!
+//! "The receive filter script of the PFI layer was configured such that
+//! after allowing thirty packets through without dropping or delaying
+//! their ACKs, all incoming packets were dropped … each packet was logged
+//! with a timestamp by the receive filter script before it was dropped."
+//!
+//! Paper findings: SunOS/AIX/NeXT retransmit the segment 12 times with
+//! exponentially increasing timeouts capped at 64 s, then send a RST and
+//! close; Solaris retransmits 9 times from a ~330 ms floor and closes
+//! abruptly without a reset.
+
+use pfi_sim::SimDuration;
+use pfi_tcp::{CloseReason, TcpEvent, TcpProfile};
+
+use crate::common::{intervals_secs, is_exponential_backoff, TcpTestbed};
+
+/// Result row for one vendor.
+#[derive(Debug, Clone)]
+pub struct Exp1Row {
+    /// Vendor name.
+    pub vendor: String,
+    /// Number of retransmissions of the black-holed segment.
+    pub retransmissions: usize,
+    /// Gaps between consecutive retransmissions, in seconds.
+    pub intervals: Vec<f64>,
+    /// The largest stable retransmission interval (the RTO upper bound).
+    pub rto_upper_bound_secs: f64,
+    /// Whether the timeouts grew exponentially until the cap.
+    pub exponential_backoff: bool,
+    /// Whether a RST was sent when the connection was abandoned.
+    pub reset_sent: bool,
+    /// Whether the connection was closed with a timeout.
+    pub timed_out: bool,
+}
+
+/// The paper's receive filter: log everything, pass 30 packets, then drop.
+pub const RECV_FILTER: &str = r#"
+    msg_log cur_msg
+    incr count
+    if {$count > 30} { xDrop cur_msg }
+"#;
+
+/// Runs experiment 1 for one vendor profile.
+pub fn run_vendor(profile: TcpProfile) -> Exp1Row {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    tb.recv_script(RECV_FILTER);
+    // Driver workload: a steady stream from the vendor machine.
+    tb.vendor_stream(512, 60, SimDuration::from_millis(100));
+    tb.world.run_for(SimDuration::from_secs(3_000));
+
+    let retx_times = tb.vendor_retransmit_times();
+    let intervals = intervals_secs(&retx_times);
+    let events = tb.vendor_events();
+    let reset_sent = events.iter().any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. }));
+    let timed_out = events
+        .iter()
+        .any(|(_, e)| matches!(e, TcpEvent::Closed { reason: CloseReason::Timeout, .. }));
+    let rto_upper_bound_secs = intervals.iter().copied().fold(0.0, f64::max);
+    Exp1Row {
+        vendor: name,
+        retransmissions: retx_times.len(),
+        exponential_backoff: is_exponential_backoff(&intervals),
+        intervals,
+        rto_upper_bound_secs,
+        reset_sent,
+        timed_out,
+    }
+}
+
+/// Runs experiment 1 for all four vendors (Table 1).
+pub fn run_all() -> Vec<Exp1Row> {
+    TcpProfile::vendors().into_iter().map(run_vendor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bsd_family() {
+        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
+        {
+            let row = run_vendor(profile);
+            assert_eq!(row.retransmissions, 12, "{}: {:?}", row.vendor, row.intervals);
+            assert!(row.exponential_backoff, "{}: {:?}", row.vendor, row.intervals);
+            assert!(
+                (row.rto_upper_bound_secs - 64.0).abs() < 1.0,
+                "{}: upper bound {}",
+                row.vendor,
+                row.rto_upper_bound_secs
+            );
+            assert!(row.reset_sent, "{} must send a RST", row.vendor);
+            assert!(row.timed_out);
+        }
+    }
+
+    #[test]
+    fn table1_solaris() {
+        let row = run_vendor(TcpProfile::solaris_2_3());
+        assert_eq!(row.retransmissions, 9, "{:?}", row.intervals);
+        assert!(!row.reset_sent, "Solaris closes without a reset");
+        assert!(row.timed_out);
+        assert!(row.exponential_backoff, "{:?}", row.intervals);
+        // Exponential backoff from the very short 330 ms floor: the first
+        // interval is sub-second…
+        assert!(row.intervals[0] < 1.0, "{:?}", row.intervals);
+        // …and the connection dies before *stabilising* at an upper bound:
+        // never two consecutive intervals pinned at the 64 s cap.
+        let stable_at_cap = row
+            .intervals
+            .windows(2)
+            .any(|p| (p[0] - 64.0).abs() < 0.5 && (p[1] - 64.0).abs() < 0.5);
+        assert!(!stable_at_cap, "Solaris must not stabilise at a cap: {:?}", row.intervals);
+    }
+}

@@ -1,0 +1,242 @@
+//! **TCP Experiment 2 — RTO with delayed ACKs (paper Table 2 + Figure 4),
+//! and the Solaris global-error-counter probe.**
+//!
+//! "The send script of the fault injection layer was set up to delay each
+//! outgoing ACK for 30 ACKs in a row. After doing this, the receive filter
+//! started dropping all incoming packets." The BSD family adapts its RTO to
+//! the apparent network delay (first retransmission later than the injected
+//! delay); Solaris does not (first retransmission far *below* the delay).
+//!
+//! The follow-up probe delays a single ACK by 35 s: Solaris's global fault
+//! counter makes the connection die after only three retransmissions of
+//! the *next* segment (6 of m1 + 3 of m2 = 9), revealing an implementation
+//! detail that crash-only active probing cannot discover.
+
+use std::collections::BTreeMap;
+
+use pfi_sim::SimDuration;
+use pfi_tcp::{TcpEvent, TcpProfile};
+
+use crate::common::{intervals_secs, TcpTestbed};
+
+/// Result row for one vendor at one ACK delay (Table 2; one Figure 4
+/// series).
+#[derive(Debug, Clone)]
+pub struct Exp2Row {
+    /// Vendor name.
+    pub vendor: String,
+    /// Injected ACK delay in seconds.
+    pub ack_delay_secs: u64,
+    /// Seconds from the last fresh transmission of the first black-holed
+    /// segment to its first retransmission (the adapted RTO).
+    pub first_retx_gap_secs: f64,
+    /// Whether the RTO adapted to the injected delay (gap > delay).
+    pub adapted: bool,
+    /// The retransmission-interval series (Figure 4 data: RTO per
+    /// retransmission number).
+    pub series: Vec<f64>,
+}
+
+/// Runs one delay variation for one vendor.
+pub fn run_delay(profile: TcpProfile, ack_delay_secs: u64) -> Exp2Row {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    // Send filter: delay 30 ACKs, then tell the receive filter to black-hole.
+    tb.send_script(&format!(
+        r#"
+        if {{[msg_type] == "ACK"}} {{
+            incr acks
+            if {{$acks <= 30}} {{ xDelay {} }}
+            if {{$acks == 30}} {{ peer_set dropping 1 }}
+        }}
+    "#,
+        ack_delay_secs * 1_000
+    ));
+    tb.recv_script(
+        r#"
+        msg_log cur_msg
+        if {[info exists dropping]} { xDrop cur_msg }
+    "#,
+    );
+    tb.vendor_stream(512, 80, SimDuration::from_millis(400));
+    tb.world.run_for(SimDuration::from_secs(4_000));
+
+    // The first black-holed segment: the one whose retransmissions ran to
+    // exhaustion. Reconstruct per-seq series from the trace.
+    let events = tb.vendor_events();
+    let mut sent_at: BTreeMap<u32, pfi_sim::SimTime> = BTreeMap::new();
+    let mut retx: BTreeMap<u32, Vec<pfi_sim::SimTime>> = BTreeMap::new();
+    for (t, e) in &events {
+        match e {
+            TcpEvent::SegmentSent { seq, .. } => {
+                sent_at.entry(*seq).or_insert(*t);
+            }
+            TcpEvent::Retransmit { seq, .. } => retx.entry(*seq).or_default().push(*t),
+            _ => {}
+        }
+    }
+    // The most-retransmitted segment is the black-holed one.
+    let (&seq, times) = retx.iter().max_by_key(|(_, v)| v.len()).expect("a retransmitted segment");
+    let first_gap = times[0].saturating_since(sent_at[&seq]).as_secs_f64();
+    let mut series = vec![first_gap];
+    series.extend(intervals_secs(times));
+    // Adaptation test: the timer-driven gap between the first and second
+    // retransmission is the (once backed-off) RTO, independent of when the
+    // segment happened to be queued. An adapted RTO exceeds the injected
+    // delay; Solaris's pinned-estimator RTO stays well below it.
+    let rto_gap = series.get(1).copied().unwrap_or(first_gap);
+    Exp2Row {
+        vendor: name,
+        ack_delay_secs,
+        first_retx_gap_secs: first_gap,
+        adapted: rto_gap > ack_delay_secs as f64,
+        series,
+    }
+}
+
+/// Runs all vendors at the paper's 0/3/8-second delays (Figure 4's three
+/// graphs; the 0-second baseline reuses the experiment-1 setup implicitly).
+pub fn run_all() -> Vec<Exp2Row> {
+    let mut rows = Vec::new();
+    for delay in [0u64, 3, 8] {
+        for profile in TcpProfile::vendors() {
+            rows.push(run_delay(profile, delay));
+        }
+    }
+    rows
+}
+
+/// Result of the global-error-counter probe.
+#[derive(Debug, Clone)]
+pub struct CounterProbe {
+    /// Vendor name.
+    pub vendor: String,
+    /// Retransmissions of m1 (the segment whose ACK was delayed 35 s).
+    pub m1_retx: usize,
+    /// Retransmissions of m2 (the next segment) before the close.
+    pub m2_retx: usize,
+    /// Whether the connection was closed.
+    pub closed: bool,
+}
+
+/// Runs the 35-second single-ACK-delay probe for one vendor.
+///
+/// Thirty packets pass; the next segment (m1) is ACKed with a 35 s delay;
+/// everything after m1 is dropped on arrival.
+pub fn run_counter_probe(profile: TcpProfile) -> CounterProbe {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    tb.recv_script(
+        r#"
+        msg_log cur_msg
+        if {[msg_type] == "DATA"} {
+            incr data_in
+            if {$data_in == 31} { peer_set delay_m1_ack 1 }
+            if {$data_in > 31} { xDrop cur_msg }
+        }
+    "#,
+    );
+    tb.send_script(
+        r#"
+        if {[msg_type] == "ACK" && [info exists delay_m1_ack]} {
+            unset delay_m1_ack
+            xDelay 35000
+        }
+    "#,
+    );
+    // One segment at a time so segment 31 is exactly m1 and segment 32 m2.
+    tb.vendor_stream(512, 40, SimDuration::from_millis(400));
+    tb.world.run_for(SimDuration::from_secs(4_000));
+
+    let events = tb.vendor_events();
+    let mut retx: BTreeMap<u32, usize> = BTreeMap::new();
+    for (_, e) in &events {
+        if let TcpEvent::Retransmit { seq, .. } = e {
+            *retx.entry(*seq).or_default() += 1;
+        }
+    }
+    let closed = events.iter().any(|(_, e)| matches!(e, TcpEvent::Closed { .. }));
+    // m1 and m2 are the two most-retransmitted sequence numbers, in order.
+    let mut hot: Vec<(u32, usize)> = retx.into_iter().filter(|(_, n)| *n > 0).collect();
+    hot.sort_by_key(|(seq, _)| *seq);
+    // Keep the final two (the black-holed tail).
+    let tail: Vec<(u32, usize)> = hot.iter().rev().take(2).rev().copied().collect();
+    let (m1_retx, m2_retx) = match tail.as_slice() {
+        [(_, a), (_, b)] => (*a, *b),
+        [(_, a)] => (*a, 0),
+        _ => (0, 0),
+    };
+    CounterProbe { vendor: name, m1_retx, m2_retx, closed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsd_adapts_to_three_second_delay() {
+        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
+        {
+            let row = run_delay(profile, 3);
+            assert!(
+                row.adapted,
+                "{} must adapt: first retx after {:.2}s",
+                row.vendor, row.first_retx_gap_secs
+            );
+            // Paper saw 5–8 s first retransmissions for a 3 s delay.
+            assert!(
+                (3.0..20.0).contains(&row.first_retx_gap_secs),
+                "{}: {:.2}",
+                row.vendor,
+                row.first_retx_gap_secs
+            );
+        }
+    }
+
+    #[test]
+    fn bsd_adapts_to_eight_second_delay() {
+        let row = run_delay(TcpProfile::sunos_4_1_3(), 8);
+        assert!(row.adapted, "first retx after {:.2}s", row.first_retx_gap_secs);
+    }
+
+    #[test]
+    fn solaris_does_not_adapt() {
+        for delay in [3u64, 8] {
+            let row = run_delay(TcpProfile::solaris_2_3(), delay);
+            assert!(
+                !row.adapted,
+                "Solaris must not adapt (delay {delay}s, series {:?})",
+                row.series
+            );
+            // Its (backed-off) RTO stays far below the injected delay.
+            let rto_gap = row.series[1];
+            assert!(rto_gap < delay as f64 / 2.0, "{:?}", row.series);
+        }
+    }
+
+    #[test]
+    fn figure4_series_back_off_exponentially() {
+        let row = run_delay(TcpProfile::sunos_4_1_3(), 3);
+        assert!(row.series.len() >= 8, "{:?}", row.series);
+        for pair in row.series.windows(2) {
+            assert!(pair[1] >= pair[0] * 0.85, "series must grow: {:?}", row.series);
+        }
+        assert!(row.series.iter().any(|g| (63.0..65.0).contains(g)), "{:?}", row.series);
+    }
+
+    #[test]
+    fn solaris_global_counter_kills_connection_early() {
+        let probe = run_counter_probe(TcpProfile::solaris_2_3());
+        assert!(probe.closed);
+        // The paper observed exactly 6 + 3.
+        assert_eq!(probe.m1_retx, 6, "{probe:?}");
+        assert_eq!(probe.m2_retx, 3, "{probe:?}");
+    }
+
+    #[test]
+    fn bsd_per_segment_counter_gives_m2_full_budget() {
+        let probe = run_counter_probe(TcpProfile::sunos_4_1_3());
+        assert!(probe.closed);
+        assert_eq!(probe.m2_retx, 12, "{probe:?}");
+    }
+}

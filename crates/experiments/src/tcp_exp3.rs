@@ -1,0 +1,193 @@
+//! **TCP Experiment 3 — keep-alive probing (paper Table 3).**
+//!
+//! "The receive filter of the PFI layer was configured to drop all incoming
+//! packets" while the vendor machine kept an idle connection with
+//! keep-alive enabled. BSD-family stacks probe ~7200 s after the connection
+//! goes idle, retransmit eight times at 75 s intervals, then reset; Solaris
+//! probes at 6752 s (violating the ≥7200 s spec threshold), retransmits
+//! with exponential backoff seven times, and drops the connection silently.
+//! A variation ACKs the probes instead: probing then continues at the idle
+//! interval indefinitely (the paper ran 8–112 hours per vendor).
+
+use pfi_sim::{SimDuration, SimTime};
+use pfi_tcp::{TcpControl, TcpEvent, TcpProfile, TcpReply};
+
+use crate::common::{intervals_secs, TcpTestbed, TCP};
+
+/// Result row for one vendor (probes dropped).
+#[derive(Debug, Clone)]
+pub struct Exp3Row {
+    /// Vendor name.
+    pub vendor: String,
+    /// Seconds of idle time before the first keep-alive probe.
+    pub first_probe_secs: f64,
+    /// Total probes sent before giving up.
+    pub probes: usize,
+    /// Gaps between successive probes, in seconds.
+    pub probe_intervals: Vec<f64>,
+    /// Garbage bytes carried by the probes (1 on SunOS, 0 elsewhere).
+    pub garbage_bytes: usize,
+    /// Whether a RST was sent when the connection was dropped.
+    pub reset_sent: bool,
+    /// Whether the idle threshold violates the spec's 7200 s minimum.
+    pub spec_violation: bool,
+}
+
+fn probe_times(events: &[(SimTime, TcpEvent)]) -> (Vec<SimTime>, usize) {
+    let mut times = Vec::new();
+    let mut garbage = 0;
+    for (t, e) in events {
+        if let TcpEvent::KeepaliveProbe { garbage_bytes, .. } = e {
+            times.push(*t);
+            garbage = *garbage_bytes;
+        }
+    }
+    (times, garbage)
+}
+
+/// Runs the probes-dropped variant for one vendor.
+pub fn run_vendor(profile: TcpProfile) -> Exp3Row {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    let conn = tb.conn;
+    tb.world.control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
+    let idle_start = tb.world.now();
+    tb.recv_script(
+        r#"
+        msg_log cur_msg
+        xDrop cur_msg
+    "#,
+    );
+    tb.world.run_for(SimDuration::from_secs(12_000));
+    let events = tb.vendor_events();
+    let (times, garbage_bytes) = probe_times(&events);
+    let first_probe_secs = times
+        .first()
+        .map(|t| t.saturating_since(idle_start).as_secs_f64())
+        .unwrap_or(f64::NAN);
+    Exp3Row {
+        vendor: name,
+        first_probe_secs,
+        probes: times.len(),
+        probe_intervals: intervals_secs(&times),
+        garbage_bytes,
+        reset_sent: events.iter().any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. })),
+        spec_violation: first_probe_secs < 7_200.0 - 1.0,
+    }
+}
+
+/// Result row for the ACKed variant.
+#[derive(Debug, Clone)]
+pub struct Exp3AckedRow {
+    /// Vendor name.
+    pub vendor: String,
+    /// Hours of virtual time the connection was observed (paper: 8 h SunOS
+    /// … 112 h Solaris).
+    pub observed_hours: u64,
+    /// Probes observed.
+    pub probes: usize,
+    /// Mean gap between probes, in seconds.
+    pub mean_interval_secs: f64,
+    /// Whether the connection was still established at the end.
+    pub still_open: bool,
+}
+
+/// Runs the probes-ACKed variant: probes pass, the connection stays open,
+/// and probes continue at the idle interval for the whole observation.
+pub fn run_vendor_acked(profile: TcpProfile, observed_hours: u64) -> Exp3AckedRow {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    let conn = tb.conn;
+    tb.world.control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
+    tb.world.run_for(SimDuration::from_secs(observed_hours * 3_600));
+    let events = tb.vendor_events();
+    let (times, _) = probe_times(&events);
+    let gaps = intervals_secs(&times);
+    let mean = if gaps.is_empty() { f64::NAN } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+    Exp3AckedRow {
+        vendor: name,
+        observed_hours,
+        probes: times.len(),
+        mean_interval_secs: mean,
+        still_open: tb.vendor_state() == "Established",
+    }
+}
+
+/// Runs the dropped variant for all vendors (Table 3).
+pub fn run_all() -> Vec<Exp3Row> {
+    TcpProfile::vendors().into_iter().map(run_vendor).collect()
+}
+
+/// Runs the ACKed variant with the paper's per-vendor observation windows.
+pub fn run_all_acked() -> Vec<Exp3AckedRow> {
+    vec![
+        run_vendor_acked(TcpProfile::sunos_4_1_3(), 8),
+        run_vendor_acked(TcpProfile::aix_3_2_3(), 14),
+        run_vendor_acked(TcpProfile::next_mach(), 20),
+        run_vendor_acked(TcpProfile::solaris_2_3(), 112),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_bsd_family() {
+        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
+        {
+            let row = run_vendor(profile);
+            assert!(
+                (7_195.0..7_210.0).contains(&row.first_probe_secs),
+                "{}: first probe at {}",
+                row.vendor,
+                row.first_probe_secs
+            );
+            assert!(!row.spec_violation, "{}", row.vendor);
+            // First probe + 8 retransmissions at 75 s intervals.
+            assert_eq!(row.probes, 9, "{}: {:?}", row.vendor, row.probe_intervals);
+            for gap in &row.probe_intervals {
+                assert!((74.0..76.0).contains(gap), "{}: {:?}", row.vendor, row.probe_intervals);
+            }
+            assert!(row.reset_sent, "{}", row.vendor);
+        }
+    }
+
+    #[test]
+    fn table3_garbage_byte_distinguishes_sunos() {
+        assert_eq!(run_vendor(TcpProfile::sunos_4_1_3()).garbage_bytes, 1);
+        assert_eq!(run_vendor(TcpProfile::aix_3_2_3()).garbage_bytes, 0);
+        assert_eq!(run_vendor(TcpProfile::next_mach()).garbage_bytes, 0);
+    }
+
+    #[test]
+    fn table3_solaris() {
+        let row = run_vendor(TcpProfile::solaris_2_3());
+        assert!(
+            (6_745.0..6_760.0).contains(&row.first_probe_secs),
+            "first probe at {}",
+            row.first_probe_secs
+        );
+        assert!(row.spec_violation, "6752 s violates the 7200 s spec threshold");
+        assert_eq!(row.probes, 8, "{:?}", row.probe_intervals);
+        // Exponential backoff between retransmissions.
+        for pair in row.probe_intervals.windows(2) {
+            assert!(pair[1] > pair[0] * 1.5, "{:?}", row.probe_intervals);
+        }
+        assert!(!row.reset_sent, "Solaris drops silently");
+    }
+
+    #[test]
+    fn acked_probes_continue_indefinitely() {
+        let sun = run_vendor_acked(TcpProfile::sunos_4_1_3(), 8);
+        assert!(sun.still_open);
+        assert!((3..=4).contains(&sun.probes), "{sun:?}");
+        assert!((7_190.0..7_215.0).contains(&sun.mean_interval_secs), "{sun:?}");
+
+        let sol = run_vendor_acked(TcpProfile::solaris_2_3(), 112);
+        assert!(sol.still_open);
+        // 112 h / 6752 s ≈ 59 probes (the paper counted 60).
+        assert!((55..=62).contains(&sol.probes), "{sol:?}");
+        assert!((6_745.0..6_765.0).contains(&sol.mean_interval_secs), "{sol:?}");
+    }
+}

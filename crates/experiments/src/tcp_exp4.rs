@@ -1,0 +1,151 @@
+//! **TCP Experiment 4 — zero-window probing (paper Table 4).**
+//!
+//! The x-Kernel driver stops consuming received data, so the advertised
+//! window closes. All vendors back their persist probes off to a cap (60 s
+//! BSD family, 56 s Solaris) and keep probing. The variations show probes
+//! continue *forever* even when unACKed — through 90 minutes of dropped
+//! responses and a two-day unplugged ethernet — which the paper flags as a
+//! potential problem (a crashed receiver pins the sender in the probing
+//! state indefinitely).
+
+use pfi_sim::{SimDuration, SimTime};
+use pfi_tcp::{TcpControl, TcpEvent, TcpProfile, TcpReply};
+
+use crate::common::{intervals_secs, TcpTestbed, TCP};
+
+/// Result row for one vendor and one variant.
+#[derive(Debug, Clone)]
+pub struct Exp4Row {
+    /// Vendor name.
+    pub vendor: String,
+    /// Which variant ran.
+    pub variant: Exp4Variant,
+    /// Zero-window probes observed.
+    pub probes: usize,
+    /// Gaps between successive probes, in seconds.
+    pub intervals: Vec<f64>,
+    /// The stable (capped) probe interval, in seconds.
+    pub cap_secs: f64,
+    /// Whether probing was still going at the end of the observation.
+    pub still_probing: bool,
+    /// Whether the connection survived.
+    pub still_open: bool,
+}
+
+/// The three variations of experiment 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exp4Variant {
+    /// Probes are ACKed (window stays zero).
+    Acked,
+    /// Once the window closes, all incoming packets are dropped: probes go
+    /// unACKed for 90 minutes.
+    Unacked,
+    /// The ethernet is unplugged for two days mid-probing, then replugged.
+    Unplugged,
+}
+
+fn stage(profile: TcpProfile) -> TcpTestbed {
+    let mut tb = TcpTestbed::new(profile);
+    let xc = tb.xk_conn();
+    // The driver does not reset the receive buffer space: the window fills.
+    tb.world.control::<TcpReply>(tb.xk, TCP, TcpControl::SetConsume { conn: xc, on: false });
+    tb.vendor_stream(512, 30, SimDuration::from_millis(50));
+    tb
+}
+
+fn analyse(tb: &TcpTestbed, variant: Exp4Variant, observe_until: SimTime) -> Exp4Row {
+    let events = tb.vendor_events();
+    let times: Vec<SimTime> = events
+        .iter()
+        .filter(|(_, e)| matches!(e, TcpEvent::ZeroWindowProbe { .. }))
+        .map(|(t, _)| *t)
+        .collect();
+    let intervals = intervals_secs(&times);
+    let cap_secs = intervals.iter().copied().fold(0.0, f64::max);
+    let last_probe = times.last().copied().unwrap_or(SimTime::ZERO);
+    // "Still probing": a probe within two cap intervals of the end.
+    let still_probing =
+        observe_until.saturating_since(last_probe).as_secs_f64() < cap_secs * 2.0 + 1.0;
+    Exp4Row {
+        vendor: String::new(),
+        variant,
+        probes: times.len(),
+        intervals,
+        cap_secs,
+        still_probing,
+        still_open: false,
+    }
+}
+
+/// Runs one variant for one vendor.
+pub fn run_vendor(profile: TcpProfile, variant: Exp4Variant) -> Exp4Row {
+    let name = profile.name.to_string();
+    let mut tb = stage(profile);
+    // Let the window close and probing reach steady state.
+    tb.world.run_for(SimDuration::from_secs(400));
+    match variant {
+        Exp4Variant::Acked => {
+            tb.world.run_for(SimDuration::from_secs(3_600));
+        }
+        Exp4Variant::Unacked => {
+            // Receive filter drops everything: probes now go unACKed for
+            // 90 minutes.
+            tb.recv_script("msg_log cur_msg; xDrop cur_msg");
+            tb.world.run_for(SimDuration::from_secs(90 * 60));
+        }
+        Exp4Variant::Unplugged => {
+            let (v, x) = (tb.vendor, tb.xk);
+            tb.world.network_mut().set_link_down(v, x);
+            tb.world.run_for(SimDuration::from_secs(48 * 3_600));
+            tb.world.network_mut().set_link_up(v, x);
+            tb.world.run_for(SimDuration::from_secs(600));
+        }
+    }
+    let end = tb.world.now();
+    let mut row = analyse(&tb, variant, end);
+    row.vendor = name;
+    row.still_open = tb.vendor_state() == "Established";
+    row
+}
+
+/// Runs the ACKed variant for all vendors (Table 4's headline numbers).
+pub fn run_all() -> Vec<Exp4Row> {
+    TcpProfile::vendors().into_iter().map(|p| run_vendor(p, Exp4Variant::Acked)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_caps_60s_bsd_56s_solaris() {
+        let sun = run_vendor(TcpProfile::sunos_4_1_3(), Exp4Variant::Acked);
+        assert!((59.0..61.0).contains(&sun.cap_secs), "{:?}", sun.intervals);
+        assert!(sun.still_probing && sun.still_open, "{sun:?}");
+        // Backoff grows up to the cap.
+        assert!(sun.intervals.first().unwrap() < &20.0, "{:?}", sun.intervals);
+
+        let sol = run_vendor(TcpProfile::solaris_2_3(), Exp4Variant::Acked);
+        assert!((55.0..57.0).contains(&sol.cap_secs), "{:?}", sol.intervals);
+        assert!(sol.still_probing && sol.still_open, "{sol:?}");
+    }
+
+    #[test]
+    fn table4_unacked_probes_continue_90_minutes() {
+        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::solaris_2_3()] {
+            let row = run_vendor(profile, Exp4Variant::Unacked);
+            assert!(row.still_probing, "{}: probing must never give up", row.vendor);
+            assert!(row.still_open, "{}: the connection must stay up", row.vendor);
+            assert!(row.probes > 80, "{}: only {} probes", row.vendor, row.probes);
+        }
+    }
+
+    #[test]
+    fn table4_probes_survive_two_day_unplug() {
+        let row = run_vendor(TcpProfile::aix_3_2_3(), Exp4Variant::Unplugged);
+        assert!(row.still_probing, "{row:?}");
+        assert!(row.still_open, "{row:?}");
+        // Two days of probes at the 60 s cap is ~2880 probes.
+        assert!(row.probes > 2_000, "{row:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! **TCP Experiment 5 — reordering of messages (paper §4.1, exp 5).**
+//!
+//! "The send filter of the fault injection layer was configured to send
+//! two outgoing segments out of order … the first segment was delayed by
+//! three seconds, and any retransmissions of the second segment were
+//! dropped." All four vendors queued the out-of-order segment and, when
+//! the first segment finally arrived, ACKed the data from both segments
+//! with a single cumulative acknowledgement.
+
+use pfi_sim::SimDuration;
+use pfi_tcp::{TcpControl, TcpEvent, TcpProfile, TcpReply};
+
+use crate::common::{TcpTestbed, TCP};
+
+/// Result row for one vendor (acting as the receiver).
+#[derive(Debug, Clone)]
+pub struct Exp5Row {
+    /// Vendor name.
+    pub vendor: String,
+    /// Whether the vendor queued the early out-of-order segment.
+    pub queued: bool,
+    /// Whether both segments were acknowledged by one cumulative ACK
+    /// (rather than the second being retransmitted end-to-end).
+    pub single_cumulative_ack: bool,
+    /// Whether the application data arrived complete and in order.
+    pub data_intact: bool,
+}
+
+/// Runs experiment 5 with the given vendor as receiver. The x-Kernel side
+/// sends two segments; its send filter delays the first by 3 s and drops
+/// any retransmission of the second.
+pub fn run_vendor(profile: TcpProfile) -> Exp5Row {
+    let name = profile.name.to_string();
+    let mut tb = TcpTestbed::new(profile);
+    tb.send_script(
+        r#"
+        if {[msg_type] == "DATA"} {
+            set seq [msg_field seq]
+            if {![info exists first_seq]} {
+                set first_seq $seq
+                xDelay 3000
+            } elseif {$seq == $first_seq} {
+                # retransmission of the delayed first segment: drop it so
+                # the 3-second-late original is what completes the stream
+                xDrop cur_msg
+            } elseif {![info exists second_seq]} {
+                set second_seq $seq
+            } elseif {$seq == $second_seq} {
+                # a retransmission of the second segment
+                xDrop cur_msg
+            }
+        }
+    "#,
+    );
+    // Two MSS-sized segments from the x-Kernel machine toward the vendor.
+    let xc = tb.xk_conn();
+    let payload: Vec<u8> = (0..1_024u32).map(|i| (i % 256) as u8).collect();
+    tb.world.control::<TcpReply>(tb.xk, TCP, TcpControl::Send { conn: xc, data: payload.clone() });
+    tb.world.run_for(SimDuration::from_secs(30));
+
+    let vendor_events = tb.vendor_events();
+    let queued =
+        vendor_events.iter().any(|(_, e)| matches!(e, TcpEvent::OutOfOrderQueued { .. }));
+    // The second segment's data must have been delivered from the queue,
+    // not from a retransmission (those were all dropped).
+    let conn = tb.conn;
+    let got = tb
+        .world
+        .control::<TcpReply>(tb.vendor, TCP, TcpControl::RecvTake { conn })
+        .expect_data();
+    let data_intact = got == payload;
+    // Cumulative ACK: after the delayed first segment arrives, the very
+    // next ACK the vendor sends covers both segments. Since retransmissions
+    // of segment 2 never got through, intact data implies the queue+single
+    // cumulative ACK did the job; double-check by counting deliveries.
+    let delivered_events = vendor_events
+        .iter()
+        .filter(|(_, e)| matches!(e, TcpEvent::DataDelivered { .. }))
+        .count();
+    let single_cumulative_ack = data_intact && delivered_events == 2 && queued;
+    Exp5Row { vendor: name, queued, single_cumulative_ack, data_intact }
+}
+
+/// Runs experiment 5 for all four vendors.
+pub fn run_all() -> Vec<Exp5Row> {
+    TcpProfile::vendors().into_iter().map(run_vendor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vendors_queue_out_of_order_segments() {
+        for row in run_all() {
+            assert!(row.queued, "{} must queue the early segment", row.vendor);
+            assert!(row.data_intact, "{} must deliver intact data", row.vendor);
+            assert!(row.single_cumulative_ack, "{} must ack both at once", row.vendor);
+        }
+    }
+}

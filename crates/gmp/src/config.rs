@@ -1,0 +1,103 @@
+//! Daemon configuration and the injectable implementation bugs.
+
+use pfi_sim::{NodeId, SimDuration};
+
+/// The three implementation bugs the paper's fault-injection experiments
+/// uncovered in the student GMP. All default **off** (the fixed protocol);
+/// experiments flip them on to reproduce each finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GmpBugs {
+    /// Experiment 1: when a daemon misses its *own* heartbeats it declares
+    /// itself dead to the group, fails to form a singleton group (staying
+    /// in the old group marked "down"), and its proclaim-forwarding path
+    /// calls a routine with the wrong parameter so forwarded proclaims are
+    /// silently lost.
+    pub self_death: bool,
+    /// Experiment 3: the leader answers a forwarded `PROCLAIM` to the
+    /// *forwarder* instead of the originator, creating a proclaim loop
+    /// between leader and forwarder.
+    pub proclaim_forward: bool,
+    /// Experiment 4: the timer-unregistration routine has its NULL/non-NULL
+    /// logic inverted, so entering `IN_TRANSITION` cancels only the first
+    /// heartbeat-expect timer instead of all of them; stale timers then
+    /// fire during the transition.
+    pub timer_unset: bool,
+}
+
+impl GmpBugs {
+    /// All bugs present — the implementation as originally submitted.
+    pub fn all() -> Self {
+        GmpBugs { self_death: true, proclaim_forward: true, timer_unset: true }
+    }
+
+    /// No bugs — the fixed implementation.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Timing and topology configuration of a group membership daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmpConfig {
+    /// All daemons in the system (the address book proclaims go to).
+    pub peers: Vec<NodeId>,
+    /// Gap between heartbeats to every group member (including self).
+    pub heartbeat_interval: SimDuration,
+    /// Silence from a member before it is suspected.
+    pub heartbeat_timeout: SimDuration,
+    /// Gap between proclaim rounds while seeking members.
+    pub proclaim_interval: SimDuration,
+    /// How long the leader collects ACK/NAKs before committing with
+    /// whoever answered.
+    pub mc_collect_timeout: SimDuration,
+    /// How long a member waits in `IN_TRANSITION` for the `COMMIT` before
+    /// giving up and forming a singleton group.
+    pub mc_commit_timeout: SimDuration,
+    /// Which implementation bugs are present.
+    pub bugs: GmpBugs,
+}
+
+impl GmpConfig {
+    /// Defaults used throughout the experiments: 1 s heartbeats, 3.5 s
+    /// suspicion, 4 s proclaim rounds, 2 s ACK collection, 6 s commit wait.
+    pub fn new(peers: Vec<NodeId>) -> Self {
+        GmpConfig {
+            peers,
+            heartbeat_interval: SimDuration::from_secs(1),
+            heartbeat_timeout: SimDuration::from_millis(3_500),
+            proclaim_interval: SimDuration::from_secs(4),
+            mc_collect_timeout: SimDuration::from_secs(2),
+            mc_commit_timeout: SimDuration::from_secs(6),
+            bugs: GmpBugs::none(),
+        }
+    }
+
+    /// Same configuration with the given bugs injected.
+    pub fn with_bugs(mut self, bugs: GmpBugs) -> Self {
+        self.bugs = bugs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let peers: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let c = GmpConfig::new(peers.clone());
+        assert_eq!(c.peers, peers);
+        assert!(c.heartbeat_timeout > c.heartbeat_interval * 2);
+        assert!(c.mc_commit_timeout > c.mc_collect_timeout);
+        assert_eq!(c.bugs, GmpBugs::none());
+    }
+
+    #[test]
+    fn bug_presets() {
+        assert!(GmpBugs::all().self_death && GmpBugs::all().proclaim_forward && GmpBugs::all().timer_unset);
+        assert_eq!(GmpBugs::none(), GmpBugs::default());
+        let c = GmpConfig::new(vec![]).with_bugs(GmpBugs { self_death: true, ..GmpBugs::none() });
+        assert!(c.bugs.self_death && !c.bugs.timer_unset);
+    }
+}

@@ -1,0 +1,81 @@
+//! Trace events emitted by group membership daemons.
+
+/// One observable GMP action. Node ids are raw `u32` indices for easy
+//  comparison in experiment analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmpEvent {
+    /// The daemon started (singleton group of itself).
+    Started,
+    /// A committed group view was adopted.
+    GroupView {
+        /// Group id.
+        gid: u64,
+        /// Sorted member ids.
+        members: Vec<u32>,
+        /// Leader id (lowest member).
+        leader: u32,
+    },
+    /// Entered `IN_TRANSITION` after accepting a `MEMBERSHIP_CHANGE`.
+    InTransition {
+        /// Proposed group id.
+        gid: u64,
+    },
+    /// A member went silent and is now suspected.
+    MemberSuspected {
+        /// The suspect's id.
+        suspect: u32,
+    },
+    /// This daemon (as acting leader) started a two-phase change.
+    McInitiated {
+        /// Proposed group id.
+        gid: u64,
+        /// Proposed members.
+        members: Vec<u32>,
+    },
+    /// Gave up waiting for a `COMMIT` and fell back to a singleton group.
+    CommitTimedOut,
+    /// Formed a singleton group.
+    FormedSingleton,
+    /// Sent a `PROCLAIM`.
+    ProclaimSent {
+        /// Destination.
+        to: u32,
+    },
+    /// Forwarded someone else's `PROCLAIM` to the leader.
+    ProclaimForwarded {
+        /// The original proclaimer.
+        origin: u32,
+        /// The leader it was forwarded to.
+        to: u32,
+    },
+    /// The leader answered a `PROCLAIM`.
+    ProclaimAnswered {
+        /// Who the answer was addressed to — under the forwarding bug this
+        /// is the forwarder, not the originator.
+        to: u32,
+        /// The original proclaimer.
+        origin: u32,
+    },
+    /// Sent a `JOIN` (possibly defecting to a lower-id leader).
+    JoinSent {
+        /// The prospective leader.
+        to: u32,
+    },
+    /// Sent a `NAK` for an invalid `MEMBERSHIP_CHANGE`.
+    NakSent {
+        /// The proposer.
+        to: u32,
+    },
+    /// **Bug symptom** (experiment 1): the daemon declared itself dead
+    /// after missing its own heartbeats.
+    SelfDeclaredDead,
+    /// **Bug symptom** (experiment 1): a proclaim was lost in the broken
+    /// forwarding path of a self-declared-dead daemon.
+    ProclaimForwardDroppedByBug,
+    /// **Bug symptom** (experiment 4): a heartbeat-expect timer fired while
+    /// the daemon was `IN_TRANSITION` — it should have been unregistered.
+    SpuriousTimerInTransition {
+        /// The member the stale timer was watching.
+        suspect: u32,
+    },
+}

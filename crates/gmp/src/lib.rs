@@ -1,0 +1,54 @@
+//! # pfi-gmp — the strong group membership protocol
+//!
+//! The application-level fault-injection target of the paper: an agreement
+//! protocol "for achieving a consistent system-wide view of the operational
+//! processors in the presence of failures — determining who is up and who
+//! is down". The member with the lowest id leads (standing in for "lowest
+//! IP address"); the next in line is the *crown prince*. Membership changes
+//! run as a two-phase protocol (`MEMBERSHIP_CHANGE` → `ACK`/`NAK` →
+//! `COMMIT`) with members passing through an `IN_TRANSITION` state, so all
+//! members see changes in the same order.
+//!
+//! The paper's experiments found three implementation bugs in the student
+//! implementation; all three are faithfully reproducible through
+//! [`GmpBugs`] so the experiments can demonstrate both the buggy finding
+//! and the fixed behaviour.
+//!
+//! Daemons run on top of [`pfi_rudp`]; the PFI layer is interposed between
+//! the daemon and the reliable layer, exactly where the paper "inserted the
+//! PFI tool into the communication interface code where udp send and
+//! receive calls were made".
+//!
+//! # Examples
+//!
+//! ```
+//! use pfi_gmp::{GmpConfig, GmpControl, GmpLayer, GmpReply};
+//! use pfi_rudp::RudpLayer;
+//! use pfi_sim::{NodeId, SimDuration, World};
+//!
+//! let mut world = World::new(1);
+//! let peers: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+//! for _ in 0..3 {
+//!     let gmd = GmpLayer::new(GmpConfig::new(peers.clone()));
+//!     world.add_node(vec![Box::new(gmd), Box::new(RudpLayer::default())]);
+//! }
+//! for &n in &peers {
+//!     world.control::<GmpReply>(n, 0, GmpControl::Start);
+//! }
+//! world.run_for(SimDuration::from_secs(30));
+//! let view = world.control::<GmpReply>(peers[0], 0, GmpControl::Status).expect_status();
+//! assert_eq!(view.group.members, peers, "all three daemons form one group");
+//! assert_eq!(view.group.leader(), peers[0], "lowest id leads");
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod events;
+mod layer;
+mod packet;
+
+pub use config::{GmpBugs, GmpConfig};
+pub use events::GmpEvent;
+pub use layer::{GmpControl, GmpLayer, GmpReply, GmpStatus, GmpStatusReport, Group};
+pub use packet::{GmpPacket, GmpStub, GmpType, MAGIC};

@@ -1,0 +1,464 @@
+//! # pfi-ip — datagram fragmentation and reassembly
+//!
+//! The layer the paper's Figure 3 shows directly below the fault-injection
+//! layer: an IP-style datagram service. Messages larger than the configured
+//! MTU are split into fragments and reassembled at the receiver; a lost
+//! fragment loses the whole datagram (cleaned up by a reassembly timeout),
+//! which is exactly the failure surface transport protocols above must
+//! absorb.
+//!
+//! ## Wire header (12 bytes)
+//!
+//! ```text
+//! offset size field
+//!      0    4 identification (per-sender datagram id)
+//!      4    2 fragment offset (bytes)
+//!      6    2 total datagram length (bytes)
+//!      8    1 flags (bit 0: more fragments)
+//!      9    3 reserved
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pfi_ip::IpLayer;
+//!
+//! // An MTU of 128 bytes forces a 532-byte TCP segment into 5 fragments.
+//! let ip = IpLayer::new(128);
+//! assert_eq!(ip.mtu(), 128);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+use pfi_core::PacketStub;
+use pfi_sim::{Context, Layer, Message, NodeId, SimDuration};
+
+/// Size of the fragment header.
+pub const HEADER_LEN: usize = 12;
+
+const FLAG_MORE_FRAGMENTS: u8 = 0x01;
+
+/// How long partial datagrams are kept before being discarded.
+pub const REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// Trace events emitted by the layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpEvent {
+    /// A datagram exceeded the MTU and was fragmented.
+    Fragmented {
+        /// Datagram identification.
+        ident: u32,
+        /// Number of fragments sent.
+        fragments: usize,
+    },
+    /// A fragmented datagram was fully reassembled and delivered.
+    Reassembled {
+        /// Datagram identification.
+        ident: u32,
+    },
+    /// A partial datagram timed out and was discarded (a fragment was
+    /// lost; the datagram is gone).
+    ReassemblyTimeout {
+        /// Datagram identification.
+        ident: u32,
+    },
+    /// An undecodable buffer arrived.
+    DecodeFailed,
+}
+
+/// A decoded fragment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FragHeader {
+    ident: u32,
+    offset: u16,
+    total_len: u16,
+    more: bool,
+}
+
+impl FragHeader {
+    fn encode(self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..4].copy_from_slice(&self.ident.to_be_bytes());
+        b[4..6].copy_from_slice(&self.offset.to_be_bytes());
+        b[6..8].copy_from_slice(&self.total_len.to_be_bytes());
+        b[8] = if self.more { FLAG_MORE_FRAGMENTS } else { 0 };
+        b
+    }
+
+    fn decode(b: &[u8]) -> Option<FragHeader> {
+        if b.len() < HEADER_LEN {
+            return None;
+        }
+        Some(FragHeader {
+            ident: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            offset: u16::from_be_bytes([b[4], b[5]]),
+            total_len: u16::from_be_bytes([b[6], b[7]]),
+            more: b[8] & FLAG_MORE_FRAGMENTS != 0,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct PartialDatagram {
+    total_len: usize,
+    chunks: BTreeMap<u16, Vec<u8>>,
+}
+
+impl PartialDatagram {
+    fn received_bytes(&self) -> usize {
+        self.chunks.values().map(Vec::len).sum()
+    }
+
+    fn complete(&self) -> bool {
+        // Offsets are unique per fragment (no overlap from a well-formed
+        // sender); completeness = all bytes present and contiguous.
+        if self.received_bytes() != self.total_len {
+            return false;
+        }
+        let mut expect = 0usize;
+        for (&off, chunk) in &self.chunks {
+            if off as usize != expect {
+                return false;
+            }
+            expect += chunk.len();
+        }
+        true
+    }
+
+    fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len);
+        for chunk in self.chunks.values() {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+}
+
+/// The IP-style fragmentation layer.
+#[derive(Debug)]
+pub struct IpLayer {
+    mtu: usize,
+    next_ident: u32,
+    partial: HashMap<(NodeId, u32), PartialDatagram>,
+    next_token: u64,
+    timeout_of: HashMap<u64, (NodeId, u32)>,
+}
+
+impl IpLayer {
+    /// Creates a layer with the given MTU (maximum bytes per wire message,
+    /// including the fragment header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` does not leave room for at least one payload byte.
+    pub fn new(mtu: usize) -> Self {
+        assert!(mtu > HEADER_LEN, "mtu must exceed the {HEADER_LEN}-byte header");
+        IpLayer {
+            mtu,
+            next_ident: 0,
+            partial: HashMap::new(),
+            next_token: 0,
+            timeout_of: HashMap::new(),
+        }
+    }
+
+    /// The configured MTU.
+    pub fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    /// Datagrams currently awaiting missing fragments.
+    pub fn partial_count(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+impl Layer for IpLayer {
+    fn name(&self) -> &'static str {
+        "ip"
+    }
+
+    fn push(&mut self, msg: Message, ctx: &mut Context<'_>) {
+        let payload = msg.bytes();
+        let total = payload.len();
+        if total > u16::MAX as usize {
+            // Oversized datagram: nothing sensible to do; drop loudly.
+            ctx.emit(IpEvent::DecodeFailed);
+            return;
+        }
+        self.next_ident = self.next_ident.wrapping_add(1);
+        let ident = self.next_ident;
+        let chunk_size = self.mtu - HEADER_LEN;
+        if total <= chunk_size {
+            let hdr =
+                FragHeader { ident, offset: 0, total_len: total as u16, more: false }.encode();
+            let mut out = msg;
+            out.push_header(&hdr);
+            ctx.send_down(out);
+            return;
+        }
+        let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
+        let n = chunks.len();
+        let mut offset = 0u16;
+        let mut frags = Vec::with_capacity(n);
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let hdr = FragHeader {
+                ident,
+                offset,
+                total_len: total as u16,
+                more: i + 1 < n,
+            }
+            .encode();
+            let mut frag = Message::new(msg.src(), msg.dst(), chunk);
+            frag.push_header(&hdr);
+            frags.push(frag);
+            offset += chunk.len() as u16;
+        }
+        ctx.emit(IpEvent::Fragmented { ident, fragments: n });
+        for frag in frags {
+            ctx.send_down(frag);
+        }
+    }
+
+    fn pop(&mut self, mut msg: Message, ctx: &mut Context<'_>) {
+        let Some(hdr_bytes) = msg.strip_header(HEADER_LEN) else {
+            ctx.emit(IpEvent::DecodeFailed);
+            return;
+        };
+        let Some(hdr) = FragHeader::decode(&hdr_bytes) else {
+            ctx.emit(IpEvent::DecodeFailed);
+            return;
+        };
+        if hdr.offset == 0 && !hdr.more {
+            // Unfragmented fast path.
+            if msg.len() != hdr.total_len as usize {
+                ctx.emit(IpEvent::DecodeFailed);
+                return;
+            }
+            ctx.send_up(msg);
+            return;
+        }
+        let key = (msg.src(), hdr.ident);
+        let entry = self.partial.entry(key).or_insert_with(|| {
+            // First fragment of this datagram: arm the reassembly timeout.
+            PartialDatagram { total_len: hdr.total_len as usize, chunks: BTreeMap::new() }
+        });
+        if entry.chunks.is_empty() {
+            self.next_token += 1;
+            self.timeout_of.insert(self.next_token, key);
+            ctx.set_timer(REASSEMBLY_TIMEOUT, self.next_token);
+        }
+        entry.chunks.entry(hdr.offset).or_insert_with(|| msg.bytes().to_vec());
+        if entry.complete() {
+            let data = entry.assemble();
+            self.partial.remove(&key);
+            ctx.emit(IpEvent::Reassembled { ident: hdr.ident });
+            ctx.send_up(Message::new(msg.src(), msg.dst(), &data));
+        }
+    }
+
+    fn timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if let Some(key) = self.timeout_of.remove(&token) {
+            if self.partial.remove(&key).is_some() {
+                ctx.emit(IpEvent::ReassemblyTimeout { ident: key.1 });
+            }
+        }
+    }
+}
+
+/// Packet stub for PFI layers interposed *below* IP (on the fragment side).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpStub;
+
+impl PacketStub for IpStub {
+    fn protocol(&self) -> &'static str {
+        "ip"
+    }
+
+    fn type_of(&self, msg: &Message) -> Option<String> {
+        let hdr = FragHeader::decode(msg.bytes())?;
+        Some(if hdr.offset == 0 && !hdr.more {
+            "DATAGRAM".to_string()
+        } else {
+            "FRAGMENT".to_string()
+        })
+    }
+
+    fn field(&self, msg: &Message, name: &str) -> Option<i64> {
+        let hdr = FragHeader::decode(msg.bytes())?;
+        match name {
+            "ident" => Some(hdr.ident as i64),
+            "offset" => Some(hdr.offset as i64),
+            "total_len" => Some(hdr.total_len as i64),
+            "more" => Some(hdr.more as i64),
+            _ => None,
+        }
+    }
+
+    fn set_field(&self, _msg: &mut Message, _name: &str, _value: i64) -> bool {
+        false
+    }
+
+    fn generate(&self, _src: NodeId, _args: &[String]) -> Result<Message, String> {
+        Err("ip stub does not generate packets".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfi_sim::World;
+    use std::any::Any;
+
+    struct Src;
+    struct Fire(NodeId, Vec<u8>);
+    impl Layer for Src {
+        fn name(&self) -> &'static str {
+            "src"
+        }
+        fn push(&mut self, m: Message, c: &mut Context<'_>) {
+            c.send_down(m);
+        }
+        fn pop(&mut self, m: Message, c: &mut Context<'_>) {
+            c.send_up(m);
+        }
+        fn control(&mut self, op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+            let Fire(dst, payload) = *op.downcast::<Fire>().unwrap();
+            c.send_down(Message::new(c.node(), dst, &payload));
+            Box::new(())
+        }
+    }
+
+    fn pair(mtu: usize) -> (World, NodeId, NodeId) {
+        let mut w = World::new(6);
+        let a = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(mtu))]);
+        let b = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(mtu))]);
+        (w, a, b)
+    }
+
+    #[test]
+    fn small_datagrams_pass_unfragmented() {
+        let (mut w, a, b) = pair(128);
+        w.control::<()>(a, 0, Fire(b, vec![7u8; 100]));
+        w.run_for(SimDuration::from_secs(1));
+        let got = w.drain_inbox(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.bytes(), &vec![7u8; 100][..]);
+        assert!(w.trace().events_of::<IpEvent>(None).is_empty());
+    }
+
+    #[test]
+    fn large_datagrams_fragment_and_reassemble() {
+        let (mut w, a, b) = pair(128);
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        w.control::<()>(a, 0, Fire(b, payload.clone()));
+        w.run_for(SimDuration::from_secs(1));
+        let got = w.drain_inbox(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.bytes(), &payload[..]);
+        let evs = w.trace().events_of::<IpEvent>(None);
+        // 1000 bytes / 116-byte chunks = 9 fragments.
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, IpEvent::Fragmented { fragments: 9, .. })));
+        assert!(evs.iter().any(|(_, e)| matches!(e, IpEvent::Reassembled { .. })));
+    }
+
+    #[test]
+    fn fragments_reassemble_even_when_reordered() {
+        let (mut w, a, b) = pair(128);
+        // Random jitter reorders fragments in flight.
+        w.network_mut().default_link_mut().jitter = SimDuration::from_millis(20);
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i * 7 % 256) as u8).collect();
+        w.control::<()>(a, 0, Fire(b, payload.clone()));
+        w.run_for(SimDuration::from_secs(1));
+        let got = w.drain_inbox(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.bytes(), &payload[..]);
+    }
+
+    #[test]
+    fn lost_fragment_loses_the_datagram_and_times_out() {
+        let (mut w, a, b) = pair(128);
+        // 100% loss for a moment: drop exactly the first fragment by
+        // breaking the link for the first transmission instant.
+        use pfi_core::{Filter, PfiLayer};
+        let mut w2 = World::new(6);
+        let drop_one_fragment = Filter::script(
+            r#"
+            if {[msg_type] == "FRAGMENT" && ![info exists dropped]} {
+                set dropped 1
+                xDrop
+            }
+        "#,
+        )
+        .unwrap();
+        let a2 = w2.add_node(vec![
+            Box::new(Src),
+            Box::new(IpLayer::new(128)),
+            Box::new(PfiLayer::new(Box::new(IpStub)).with_send_filter(drop_one_fragment)),
+        ]);
+        let b2 = w2.add_node(vec![Box::new(Src), Box::new(IpLayer::new(128))]);
+        w2.control::<()>(a2, 0, Fire(b2, vec![1u8; 500]));
+        w2.run_for(SimDuration::from_secs(60));
+        assert!(w2.drain_inbox(b2).is_empty(), "a lost fragment must lose the datagram");
+        let evs = w2.trace().events_of::<IpEvent>(Some(b2));
+        assert!(evs.iter().any(|(_, e)| matches!(e, IpEvent::ReassemblyTimeout { .. })));
+        let _ = (a, b, &mut w);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_idempotent() {
+        use pfi_core::{Filter, PfiLayer};
+        let mut w = World::new(6);
+        let dup = Filter::script(r#"if {[msg_type] == "FRAGMENT"} { xDuplicate 1 }"#).unwrap();
+        let a = w.add_node(vec![
+            Box::new(Src),
+            Box::new(IpLayer::new(128)),
+            Box::new(PfiLayer::new(Box::new(IpStub)).with_send_filter(dup)),
+        ]);
+        let b = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(128))]);
+        let payload = vec![9u8; 700];
+        w.control::<()>(a, 0, Fire(b, payload.clone()));
+        w.run_for(SimDuration::from_secs(1));
+        let got = w.drain_inbox(b);
+        assert_eq!(got.len(), 1, "duplicated fragments must not duplicate the datagram");
+        assert_eq!(got[0].1.bytes(), &payload[..]);
+    }
+
+    #[test]
+    fn interleaved_datagrams_from_multiple_senders() {
+        let mut w = World::new(8);
+        let mtu = 100;
+        let a = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(mtu))]);
+        let b = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(mtu))]);
+        let c = w.add_node(vec![Box::new(Src), Box::new(IpLayer::new(mtu))]);
+        let pa = vec![1u8; 400];
+        let pb = vec![2u8; 400];
+        w.control::<()>(a, 0, Fire(c, pa.clone()));
+        w.control::<()>(b, 0, Fire(c, pb.clone()));
+        w.run_for(SimDuration::from_secs(1));
+        let got: Vec<Vec<u8>> = w.drain_inbox(c).into_iter().map(|(_, m)| m.bytes().to_vec()).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&pa) && got.contains(&pb));
+    }
+
+    #[test]
+    fn stub_recognises_fragments() {
+        let hdr = FragHeader { ident: 5, offset: 116, total_len: 500, more: true }.encode();
+        let mut m = Message::new(NodeId::new(0), NodeId::new(1), &[0u8; 116]);
+        m.push_header(&hdr);
+        assert_eq!(IpStub.type_of(&m).as_deref(), Some("FRAGMENT"));
+        assert_eq!(IpStub.field(&m, "ident"), Some(5));
+        assert_eq!(IpStub.field(&m, "offset"), Some(116));
+        assert_eq!(IpStub.field(&m, "more"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must exceed")]
+    fn tiny_mtu_rejected() {
+        let _ = IpLayer::new(HEADER_LEN);
+    }
+}

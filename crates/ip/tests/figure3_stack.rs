@@ -1,0 +1,159 @@
+//! The paper's exact Figure 3 stack: TCP above the PFI layer above IP.
+//! TCP must survive fragmentation below it, PFI-injected fragment loss, and
+//! small MTUs — and the whole stack stays property-clean.
+
+use pfi_core::{Filter, PfiLayer};
+use pfi_ip::{IpEvent, IpLayer, IpStub};
+use pfi_sim::{NodeId, SimDuration, World};
+use pfi_tcp::{TcpControl, TcpLayer, TcpProfile, TcpReply, TcpStub};
+use proptest::prelude::*;
+
+/// Builds the Figure 3 stack: client = [TCP, PFI(tcp), IP], server =
+/// [TCP, IP]. The PFI layer sits between TCP and IP, exactly as drawn.
+fn figure3(mtu: usize, pfi_filter: Option<Filter>) -> (World, NodeId, NodeId, pfi_tcp::ConnId) {
+    let mut w = World::new(3);
+    let mut pfi = PfiLayer::new(Box::new(TcpStub));
+    if let Some(f) = pfi_filter {
+        pfi = pfi.with_send_filter(f);
+    }
+    let client = w.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3())),
+        Box::new(pfi),
+        Box::new(IpLayer::new(mtu)),
+    ]);
+    let server = w.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+        Box::new(IpLayer::new(mtu)),
+    ]);
+    w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+    let conn = w
+        .control::<TcpReply>(client, 0, TcpControl::Open {
+            local_port: 0,
+            remote: server,
+            remote_port: 80,
+        })
+        .expect_conn();
+    w.run_for(SimDuration::from_secs(2));
+    (w, client, server, conn)
+}
+
+fn server_data(w: &mut World, server: NodeId) -> Vec<u8> {
+    match w.control::<TcpReply>(server, 0, TcpControl::AcceptedOn { port: 80 }) {
+        TcpReply::MaybeConn(Some(sc)) => {
+            w.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sc }).expect_data()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn tcp_transfers_intact_over_a_fragmenting_ip() {
+    // MTU 128 splits every 532-byte TCP segment into 5 fragments.
+    let (mut w, client, server, conn) = figure3(128, None);
+    let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.run_for(SimDuration::from_secs(60));
+    assert_eq!(server_data(&mut w, server), payload);
+    // Fragmentation actually happened.
+    let fragged = w
+        .trace()
+        .events_of::<IpEvent>(Some(client))
+        .iter()
+        .filter(|(_, e)| matches!(e, IpEvent::Fragmented { .. }))
+        .count();
+    assert!(fragged >= 20, "every data segment must fragment, saw {fragged}");
+}
+
+#[test]
+fn tcp_recovers_from_pfi_dropping_whole_segments_above_ip() {
+    // The PFI layer (between TCP and IP, per Figure 3) drops every fifth
+    // TCP segment before it ever reaches IP; retransmission repairs it.
+    let drop_fifth = Filter::script(
+        r#"
+        if {[msg_type] == "DATA"} {
+            incr n
+            if {$n % 5 == 0} { xDrop }
+        }
+    "#,
+    )
+    .unwrap();
+    let (mut w, client, server, conn) = figure3(256, Some(drop_fifth));
+    let payload: Vec<u8> = (0..8_000u32).map(|i| (i * 3 % 256) as u8).collect();
+    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.run_for(SimDuration::from_secs(300));
+    assert_eq!(server_data(&mut w, server), payload);
+}
+
+#[test]
+fn fragment_level_loss_below_tcp_is_also_recovered() {
+    // A second PFI layer below IP drops 5% of *fragments*: each hit loses
+    // an entire TCP segment (reassembly never completes), and TCP must
+    // still deliver the stream.
+    let mut w = World::new(17);
+    let client = w.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3())),
+        Box::new(IpLayer::new(128)),
+        Box::new(PfiLayer::new(Box::new(IpStub)).with_send_filter(pfi_core::faults::omission(0.05))),
+    ]);
+    let server = w.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+        Box::new(IpLayer::new(128)),
+    ]);
+    w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+    let conn = w
+        .control::<TcpReply>(client, 0, TcpControl::Open {
+            local_port: 0,
+            remote: server,
+            remote_port: 80,
+        })
+        .expect_conn();
+    w.run_for(SimDuration::from_secs(2));
+    let payload: Vec<u8> = (0..6_000u32).map(|i| (i * 13 % 256) as u8).collect();
+    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.run_for(SimDuration::from_secs(600));
+    assert_eq!(server_data(&mut w, server), payload);
+    // Fragment loss manifested as reassembly timeouts at the server.
+    let timeouts = w
+        .trace()
+        .events_of::<IpEvent>(Some(server))
+        .iter()
+        .filter(|(_, e)| matches!(e, IpEvent::ReassemblyTimeout { .. }))
+        .count();
+    assert!(timeouts > 0, "5% fragment loss must lose some datagrams");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the MTU and payload size, the Figure 3 stack delivers the
+    /// exact byte stream.
+    #[test]
+    fn any_mtu_delivers_exactly(
+        mtu in 64usize..600,
+        payload_len in 1usize..6_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut w = World::new(seed);
+        let client = w.add_node(vec![
+            Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3())),
+            Box::new(IpLayer::new(mtu)),
+        ]);
+        let server = w.add_node(vec![
+            Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+            Box::new(IpLayer::new(mtu)),
+        ]);
+        w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+        let conn = w
+            .control::<TcpReply>(client, 0, TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            })
+            .expect_conn();
+        w.run_for(SimDuration::from_secs(2));
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i * 31 % 256) as u8).collect();
+        w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+        w.run_for(SimDuration::from_secs(120));
+        prop_assert_eq!(server_data(&mut w, server), payload);
+    }
+}

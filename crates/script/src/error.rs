@@ -1,0 +1,88 @@
+//! Script error and internal control-flow exception types.
+
+use std::fmt;
+
+/// An error raised while parsing or evaluating a script.
+///
+/// The [`Display`](fmt::Display) form matches Tcl's terse error style
+/// (lowercase, no trailing punctuation), e.g. `can't read "x": no such
+/// variable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line the error was raised on (0 if unknown).
+    pub line: u32,
+}
+
+impl ScriptError {
+    /// Creates an error with no line attribution.
+    pub fn new(message: impl Into<String>) -> Self {
+        ScriptError { message: message.into(), line: 0 }
+    }
+
+    /// Creates an error attributed to a source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        ScriptError { message: message.into(), line }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} (line {})", self.message, self.line)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Internal control flow used during evaluation: errors plus the non-error
+/// exceptional returns of Tcl (`break`, `continue`, `return`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Exc {
+    Error(ScriptError),
+    Break,
+    Continue,
+    Return(String),
+}
+
+impl From<ScriptError> for Exc {
+    fn from(e: ScriptError) -> Self {
+        Exc::Error(e)
+    }
+}
+
+impl Exc {
+    /// Converts a loop-less context's exception into a user-facing error.
+    pub(crate) fn into_error(self) -> ScriptError {
+        match self {
+            Exc::Error(e) => e,
+            Exc::Break => ScriptError::new("invoked \"break\" outside of a loop"),
+            Exc::Continue => ScriptError::new("invoked \"continue\" outside of a loop"),
+            Exc::Return(_) => ScriptError::new("invoked \"return\" outside of a proc"),
+        }
+    }
+}
+
+pub(crate) type EvalResult = Result<String, Exc>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(ScriptError::new("boom").to_string(), "boom");
+        assert_eq!(ScriptError::at(3, "boom").to_string(), "boom (line 3)");
+    }
+
+    #[test]
+    fn exc_into_error() {
+        assert_eq!(Exc::Break.into_error().message, "invoked \"break\" outside of a loop");
+        let e = ScriptError::new("x");
+        assert_eq!(Exc::Error(e.clone()).into_error(), e);
+    }
+}

@@ -1,0 +1,1022 @@
+//! The `expr` evaluator.
+//!
+//! Tcl's `expr` takes a string (typically a braced word, so substitutions
+//! are deferred) and evaluates it with its own `$var`/`[cmd]` substitution,
+//! numeric coercion, short-circuiting boolean operators, and math functions.
+//!
+//! Substitutions are resolved while tokenizing (via [`Resolver`]); operator
+//! evaluation is lazy, so `&&`/`||`/`?:` short-circuit arithmetic errors in
+//! the untaken branch (e.g. `$n != 0 && $x / $n > 2`).
+
+use crate::error::ScriptError;
+
+/// Resolves `$var` and `[command]` substitutions inside an expression.
+pub(crate) trait Resolver {
+    fn var(&mut self, name: &str) -> Result<String, ScriptError>;
+    fn cmd(&mut self, script: &str) -> Result<String, ScriptError>;
+}
+
+/// A Tcl value as seen by `expr`: integer, double, or string.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    Int(i64),
+    Dbl(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Interprets a Tcl string as a value (integers, hex integers, doubles,
+    /// otherwise string).
+    pub(crate) fn from_tcl(s: &str) -> Value {
+        let t = s.trim();
+        if t.is_empty() {
+            return Value::Str(s.to_string());
+        }
+        if let Some(i) = parse_int(t) {
+            return Value::Int(i);
+        }
+        if let Ok(d) = t.parse::<f64>() {
+            // Reject strings like "nan" propagating silently? Tcl accepts Inf/NaN forms; keep.
+            return Value::Dbl(d);
+        }
+        Value::Str(s.to_string())
+    }
+
+    pub(crate) fn to_output(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Dbl(d) => fmt_double(*d),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    fn truthy(&self) -> Result<bool, ScriptError> {
+        match self {
+            Value::Int(i) => Ok(*i != 0),
+            Value::Dbl(d) => Ok(*d != 0.0),
+            Value::Str(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "true" | "yes" | "on" => Ok(true),
+                "false" | "no" | "off" => Ok(false),
+                other => Err(ScriptError::new(format!(
+                    "expected boolean value but got \"{other}\""
+                ))),
+            },
+        }
+    }
+
+    fn numeric(&self) -> Option<Value> {
+        match self {
+            Value::Int(_) | Value::Dbl(_) => Some(self.clone()),
+            Value::Str(s) => match Value::from_tcl(s) {
+                v @ (Value::Int(_) | Value::Dbl(_)) => Some(v),
+                Value::Str(_) => None,
+            },
+        }
+    }
+}
+
+fn parse_int(t: &str) -> Option<i64> {
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Formats a double the way Tcl prints expr results: integral values keep a
+/// trailing `.0` so the type stays visible.
+pub(crate) fn fmt_double(d: f64) -> String {
+    if d.is_finite() && d.fract() == 0.0 && d.abs() < 1e16 {
+        format!("{d:.1}")
+    } else {
+        format!("{d}")
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Val(Value),
+    Ident(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let mut toks = Vec::new();
+    while pos < chars.len() {
+        let c = chars[pos];
+        if c.is_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && chars.get(pos + 1).is_some_and(|n| n.is_ascii_digit())) {
+            let start = pos;
+            let mut is_dbl = false;
+            while pos < chars.len() {
+                let c = chars[pos];
+                if c.is_ascii_digit() {
+                    pos += 1;
+                } else if c == '.' {
+                    is_dbl = true;
+                    pos += 1;
+                } else if c == 'e' || c == 'E' {
+                    // Exponent (only if followed by digit or sign+digit).
+                    let next = chars.get(pos + 1).copied();
+                    let next2 = chars.get(pos + 2).copied();
+                    if next.is_some_and(|n| n.is_ascii_digit())
+                        || (matches!(next, Some('+') | Some('-'))
+                            && next2.is_some_and(|n| n.is_ascii_digit()))
+                    {
+                        is_dbl = true;
+                        pos += 2;
+                    } else {
+                        break;
+                    }
+                } else if (c == 'x' || c == 'X') && pos == start + 1 && chars[start] == '0' {
+                    pos += 1;
+                    while pos < chars.len() && chars[pos].is_ascii_hexdigit() {
+                        pos += 1;
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            let text: String = chars[start..pos].iter().collect();
+            let v = if is_dbl {
+                Value::Dbl(text.parse::<f64>().map_err(|_| {
+                    ScriptError::new(format!("invalid number \"{text}\""))
+                })?)
+            } else {
+                Value::Int(parse_int(&text).ok_or_else(|| {
+                    ScriptError::new(format!("invalid number \"{text}\""))
+                })?)
+            };
+            toks.push(Tok::Val(v));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = pos;
+            while pos < chars.len() && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_') {
+                pos += 1;
+            }
+            toks.push(Tok::Ident(chars[start..pos].iter().collect()));
+            continue;
+        }
+        match c {
+            '$' => {
+                pos += 1;
+                let name = if chars.get(pos) == Some(&'{') {
+                    pos += 1;
+                    let start = pos;
+                    while pos < chars.len() && chars[pos] != '}' {
+                        pos += 1;
+                    }
+                    if pos >= chars.len() {
+                        return Err(ScriptError::new("missing close-brace for variable name"));
+                    }
+                    let n: String = chars[start..pos].iter().collect();
+                    pos += 1;
+                    n
+                } else {
+                    let start = pos;
+                    while pos < chars.len()
+                        && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_')
+                    {
+                        pos += 1;
+                    }
+                    if pos == start {
+                        return Err(ScriptError::new("invalid character \"$\" in expression"));
+                    }
+                    chars[start..pos].iter().collect()
+                };
+                // `$name(index)`: an array element; `$vars` inside the
+                // index are resolved too (e.g. `$counts($type)`).
+                let name = if chars.get(pos) == Some(&'(') {
+                    pos += 1;
+                    let mut index = String::new();
+                    let mut depth = 1usize;
+                    while pos < chars.len() {
+                        let c = chars[pos];
+                        match c {
+                            '(' => depth += 1,
+                            ')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        index.push(c);
+                        pos += 1;
+                    }
+                    if depth != 0 {
+                        return Err(ScriptError::new("missing close-paren for array index"));
+                    }
+                    pos += 1;
+                    let resolved = resolve_index_vars(&index, r)?;
+                    format!("{name}({resolved})")
+                } else {
+                    name
+                };
+                let val = r.var(&name)?;
+                toks.push(Tok::Val(Value::from_tcl(&val)));
+            }
+            '[' => {
+                pos += 1;
+                let start = pos;
+                let mut depth = 1usize;
+                while pos < chars.len() {
+                    match chars[pos] {
+                        '\\' => pos += 1,
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    pos += 1;
+                }
+                if depth != 0 {
+                    return Err(ScriptError::new("missing close-bracket in expression"));
+                }
+                let script: String = chars[start..pos].iter().collect();
+                pos += 1;
+                let val = r.cmd(&script)?;
+                toks.push(Tok::Val(Value::from_tcl(&val)));
+            }
+            '"' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    if pos >= chars.len() {
+                        return Err(ScriptError::new("missing close-quote in expression"));
+                    }
+                    match chars[pos] {
+                        '"' => {
+                            pos += 1;
+                            break;
+                        }
+                        '\\' if pos + 1 < chars.len() => {
+                            s.push(chars[pos + 1]);
+                            pos += 2;
+                        }
+                        c => {
+                            s.push(c);
+                            pos += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Val(Value::Str(s)));
+            }
+            '{' => {
+                pos += 1;
+                let mut depth = 1usize;
+                let mut s = String::new();
+                loop {
+                    if pos >= chars.len() {
+                        return Err(ScriptError::new("missing close-brace in expression"));
+                    }
+                    match chars[pos] {
+                        '{' => {
+                            depth += 1;
+                            s.push('{');
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                pos += 1;
+                                break;
+                            }
+                            s.push('}');
+                        }
+                        c => s.push(c),
+                    }
+                    pos += 1;
+                }
+                toks.push(Tok::Val(Value::Str(s)));
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                pos += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                pos += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                pos += 1;
+            }
+            _ => {
+                let two: String = chars[pos..(pos + 2).min(chars.len())].iter().collect();
+                let op2 = ["**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+                    .iter()
+                    .find(|&&o| o == two);
+                if let Some(&op) = op2 {
+                    toks.push(Tok::Op(op));
+                    pos += 2;
+                } else {
+                    let op1 = ["+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":"]
+                        .iter()
+                        .find(|&&o| o.starts_with(c));
+                    match op1 {
+                        Some(&op) => {
+                            toks.push(Tok::Op(op));
+                            pos += 1;
+                        }
+                        None => {
+                            return Err(ScriptError::new(format!(
+                                "invalid character \"{c}\" in expression"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Resolves `$name` substitutions inside an array index.
+fn resolve_index_vars(index: &str, r: &mut dyn Resolver) -> Result<String, ScriptError> {
+    let chars: Vec<char> = index.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0usize;
+    while pos < chars.len() {
+        if chars[pos] == '$' {
+            pos += 1;
+            let start = pos;
+            while pos < chars.len() && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_') {
+                pos += 1;
+            }
+            if pos == start {
+                out.push('$');
+                continue;
+            }
+            let name: String = chars[start..pos].iter().collect();
+            out.push_str(&r.var(&name)?);
+        } else {
+            out.push(chars[pos]);
+            pos += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug)]
+enum Node {
+    Val(Value),
+    Unary(&'static str, Box<Node>),
+    Bin(&'static str, Box<Node>, Box<Node>),
+    Ternary(Box<Node>, Box<Node>, Box<Node>),
+    Func(String, Vec<Node>),
+}
+
+struct ExprParser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl ExprParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), ScriptError> {
+        match self.bump() {
+            Some(Tok::Op(o)) if o == op => Ok(()),
+            other => Err(ScriptError::new(format!("expected \"{op}\", got {other:?}"))),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Node, ScriptError> {
+        match self.bump() {
+            Some(Tok::Val(v)) => Ok(Node::Val(v)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_bp(1)?);
+                            match self.bump() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                other => {
+                                    return Err(ScriptError::new(format!(
+                                        "expected \",\" or \")\" in function arguments, got {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    } else {
+                        self.bump();
+                    }
+                    Ok(Node::Func(name, args))
+                } else {
+                    match name.to_ascii_lowercase().as_str() {
+                        "true" | "yes" | "on" => Ok(Node::Val(Value::Int(1))),
+                        "false" | "no" | "off" => Ok(Node::Val(Value::Int(0))),
+                        "eq" | "ne" => Err(ScriptError::new(format!(
+                            "misplaced operator \"{name}\""
+                        ))),
+                        _ => Err(ScriptError::new(format!(
+                            "unknown identifier \"{name}\" in expression"
+                        ))),
+                    }
+                }
+            }
+            Some(Tok::LParen) => {
+                let node = self.parse_bp(1)?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(node),
+                    other => Err(ScriptError::new(format!("expected \")\", got {other:?}"))),
+                }
+            }
+            Some(Tok::Op(op)) if matches!(op, "-" | "+" | "!" | "~") => {
+                let operand = self.parse_bp(13)?;
+                Ok(Node::Unary(op, Box::new(operand)))
+            }
+            other => Err(ScriptError::new(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_bp(&mut self, min_bp: u8) -> Result<Node, ScriptError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op(o)) => *o,
+                Some(Tok::Ident(i)) if i == "eq" || i == "ne" => {
+                    if i == "eq" {
+                        "eq"
+                    } else {
+                        "ne"
+                    }
+                }
+                _ => break,
+            };
+            if op == ":" {
+                break;
+            }
+            if op == "?" {
+                if min_bp > 1 {
+                    break;
+                }
+                self.bump();
+                let mid = self.parse_bp(1)?;
+                self.expect_op(":")?;
+                let rhs = self.parse_bp(1)?;
+                lhs = Node::Ternary(Box::new(lhs), Box::new(mid), Box::new(rhs));
+                continue;
+            }
+            let (l_bp, r_bp) = match op {
+                "||" => (2, 3),
+                "&&" => (3, 4),
+                "|" => (4, 5),
+                "^" => (5, 6),
+                "&" => (6, 7),
+                "==" | "!=" | "eq" | "ne" => (7, 8),
+                "<" | ">" | "<=" | ">=" => (8, 9),
+                "<<" | ">>" => (9, 10),
+                "+" | "-" => (10, 11),
+                "*" | "/" | "%" => (11, 12),
+                "**" => (14, 13), // right-associative
+                _ => return Err(ScriptError::new(format!("unexpected operator \"{op}\""))),
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_bp(r_bp)?;
+            lhs = Node::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+}
+
+/// Evaluates a Tcl expression string, resolving substitutions through `r`.
+pub(crate) fn eval_expr(src: &str, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
+    let toks = tokenize(src, r)?;
+    if toks.is_empty() {
+        return Err(ScriptError::new("empty expression"));
+    }
+    let mut p = ExprParser { toks, pos: 0 };
+    let node = p.parse_bp(1)?;
+    if p.pos != p.toks.len() {
+        return Err(ScriptError::new("trailing tokens in expression"));
+    }
+    eval_node(&node)
+}
+
+fn eval_node(n: &Node) -> Result<Value, ScriptError> {
+    match n {
+        Node::Val(v) => Ok(v.clone()),
+        Node::Unary(op, a) => {
+            let v = eval_node(a)?;
+            match *op {
+                "!" => Ok(Value::Int(if v.truthy()? { 0 } else { 1 })),
+                "~" => match v.numeric() {
+                    Some(Value::Int(i)) => Ok(Value::Int(!i)),
+                    _ => Err(non_numeric(&v, "~")),
+                },
+                "-" => match v.numeric() {
+                    Some(Value::Int(i)) => Ok(Value::Int(i.checked_neg().ok_or_else(overflow)?)),
+                    Some(Value::Dbl(d)) => Ok(Value::Dbl(-d)),
+                    _ => Err(non_numeric(&v, "-")),
+                },
+                "+" => v.numeric().ok_or_else(|| non_numeric(&v, "+")),
+                _ => unreachable!(),
+            }
+        }
+        Node::Bin(op, a, b) => eval_bin(op, a, b),
+        Node::Ternary(c, t, f) => {
+            if eval_node(c)?.truthy()? {
+                eval_node(t)
+            } else {
+                eval_node(f)
+            }
+        }
+        Node::Func(name, args) => eval_func(name, args),
+    }
+}
+
+fn non_numeric(v: &Value, op: &str) -> ScriptError {
+    ScriptError::new(format!(
+        "can't use non-numeric string \"{}\" as operand of \"{op}\"",
+        v.to_output()
+    ))
+}
+
+fn overflow() -> ScriptError {
+    ScriptError::new("integer overflow")
+}
+
+/// Tcl's integer division floors toward negative infinity.
+fn floor_div(a: i64, b: i64) -> Result<i64, ScriptError> {
+    if b == 0 {
+        return Err(ScriptError::new("divide by zero"));
+    }
+    let q = a.checked_div(b).ok_or_else(overflow)?;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        Ok(q - 1)
+    } else {
+        Ok(q)
+    }
+}
+
+/// Tcl's `%` takes the sign of the divisor.
+fn floor_mod(a: i64, b: i64) -> Result<i64, ScriptError> {
+    if b == 0 {
+        return Err(ScriptError::new("divide by zero"));
+    }
+    let r = a.checked_rem(b).ok_or_else(overflow)?;
+    if r != 0 && ((r < 0) != (b < 0)) {
+        Ok(r + b)
+    } else {
+        Ok(r)
+    }
+}
+
+fn eval_bin(op: &str, an: &Node, bn: &Node) -> Result<Value, ScriptError> {
+    // Short-circuit operators evaluate lazily.
+    match op {
+        "&&" => {
+            if !eval_node(an)?.truthy()? {
+                return Ok(Value::Int(0));
+            }
+            return Ok(Value::Int(if eval_node(bn)?.truthy()? { 1 } else { 0 }));
+        }
+        "||" => {
+            if eval_node(an)?.truthy()? {
+                return Ok(Value::Int(1));
+            }
+            return Ok(Value::Int(if eval_node(bn)?.truthy()? { 1 } else { 0 }));
+        }
+        _ => {}
+    }
+    let a = eval_node(an)?;
+    let b = eval_node(bn)?;
+    match op {
+        "eq" => return Ok(Value::Int((a.to_output() == b.to_output()) as i64)),
+        "ne" => return Ok(Value::Int((a.to_output() != b.to_output()) as i64)),
+        _ => {}
+    }
+    // Comparisons: numeric when both are numeric, else string compare.
+    if matches!(op, "==" | "!=" | "<" | ">" | "<=" | ">=") {
+        let ord = match (a.numeric(), b.numeric()) {
+            (Some(x), Some(y)) => match (x, y) {
+                (Value::Int(i), Value::Int(j)) => i.cmp(&j),
+                (x, y) => {
+                    let xf = as_f64(&x);
+                    let yf = as_f64(&y);
+                    xf.partial_cmp(&yf).unwrap_or(std::cmp::Ordering::Equal)
+                }
+            },
+            _ => a.to_output().cmp(&b.to_output()),
+        };
+        use std::cmp::Ordering::*;
+        let result = match op {
+            "==" => ord == Equal,
+            "!=" => ord != Equal,
+            "<" => ord == Less,
+            ">" => ord == Greater,
+            "<=" => ord != Greater,
+            ">=" => ord != Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Int(result as i64));
+    }
+    // Arithmetic / bitwise: numeric operands required.
+    let x = a.numeric().ok_or_else(|| non_numeric(&a, op))?;
+    let y = b.numeric().ok_or_else(|| non_numeric(&b, op))?;
+    match (x, y) {
+        (Value::Int(i), Value::Int(j)) => {
+            let v = match op {
+                "+" => Value::Int(i.checked_add(j).ok_or_else(overflow)?),
+                "-" => Value::Int(i.checked_sub(j).ok_or_else(overflow)?),
+                "*" => Value::Int(i.checked_mul(j).ok_or_else(overflow)?),
+                "/" => Value::Int(floor_div(i, j)?),
+                "%" => Value::Int(floor_mod(i, j)?),
+                "**" => {
+                    if j < 0 {
+                        Value::Dbl((i as f64).powf(j as f64))
+                    } else {
+                        let e: u32 = j
+                            .try_into()
+                            .map_err(|_| ScriptError::new("exponent too large"))?;
+                        Value::Int(i.checked_pow(e).ok_or_else(overflow)?)
+                    }
+                }
+                "<<" => {
+                    check_shift(j)?;
+                    Value::Int(i.checked_shl(j as u32).ok_or_else(overflow)?)
+                }
+                ">>" => {
+                    check_shift(j)?;
+                    Value::Int(i >> (j as u32))
+                }
+                "&" => Value::Int(i & j),
+                "|" => Value::Int(i | j),
+                "^" => Value::Int(i ^ j),
+                _ => return Err(ScriptError::new(format!("unknown operator \"{op}\""))),
+            };
+            Ok(v)
+        }
+        (x, y) => {
+            let i = as_f64(&x);
+            let j = as_f64(&y);
+            let v = match op {
+                "+" => i + j,
+                "-" => i - j,
+                "*" => i * j,
+                "/" => {
+                    if j == 0.0 {
+                        return Err(ScriptError::new("divide by zero"));
+                    }
+                    i / j
+                }
+                "**" => i.powf(j),
+                "%" | "<<" | ">>" | "&" | "|" | "^" => {
+                    return Err(ScriptError::new(format!(
+                        "can't use floating-point value as operand of \"{op}\""
+                    )))
+                }
+                _ => return Err(ScriptError::new(format!("unknown operator \"{op}\""))),
+            };
+            Ok(Value::Dbl(v))
+        }
+    }
+}
+
+fn check_shift(j: i64) -> Result<(), ScriptError> {
+    if !(0..64).contains(&j) {
+        return Err(ScriptError::new("shift amount out of range"));
+    }
+    Ok(())
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Dbl(d) => *d,
+        Value::Str(_) => f64::NAN,
+    }
+}
+
+fn eval_func(name: &str, args: &[Node]) -> Result<Value, ScriptError> {
+    let vals: Vec<Value> = args.iter().map(eval_node).collect::<Result<_, _>>()?;
+    let need = |n: usize| -> Result<(), ScriptError> {
+        if vals.len() == n {
+            Ok(())
+        } else {
+            Err(ScriptError::new(format!(
+                "wrong # args for math function \"{name}\""
+            )))
+        }
+    };
+    let numeric = |i: usize| -> Result<Value, ScriptError> {
+        vals[i].numeric().ok_or_else(|| non_numeric(&vals[i], name))
+    };
+    let f = |i: usize| -> Result<f64, ScriptError> { Ok(as_f64(&numeric(i)?)) };
+    match name {
+        "abs" => {
+            need(1)?;
+            match numeric(0)? {
+                Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(overflow)?)),
+                Value::Dbl(d) => Ok(Value::Dbl(d.abs())),
+                Value::Str(_) => unreachable!(),
+            }
+        }
+        "int" => {
+            need(1)?;
+            match numeric(0)? {
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Dbl(d) => Ok(Value::Int(d.trunc() as i64)),
+                Value::Str(_) => unreachable!(),
+            }
+        }
+        "double" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?))
+        }
+        "round" => {
+            need(1)?;
+            Ok(Value::Int(f(0)?.round() as i64))
+        }
+        "floor" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.floor()))
+        }
+        "ceil" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.ceil()))
+        }
+        "sqrt" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.sqrt()))
+        }
+        "exp" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.exp()))
+        }
+        "log" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.ln()))
+        }
+        "log10" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.log10()))
+        }
+        "sin" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.sin()))
+        }
+        "cos" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.cos()))
+        }
+        "tan" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.tan()))
+        }
+        "atan" => {
+            need(1)?;
+            Ok(Value::Dbl(f(0)?.atan()))
+        }
+        "atan2" => {
+            need(2)?;
+            Ok(Value::Dbl(f(0)?.atan2(f(1)?)))
+        }
+        "pow" => {
+            need(2)?;
+            Ok(Value::Dbl(f(0)?.powf(f(1)?)))
+        }
+        "fmod" => {
+            need(2)?;
+            Ok(Value::Dbl(f(0)? % f(1)?))
+        }
+        "hypot" => {
+            need(2)?;
+            Ok(Value::Dbl(f(0)?.hypot(f(1)?)))
+        }
+        "min" | "max" => {
+            if vals.is_empty() {
+                return Err(ScriptError::new(format!(
+                    "wrong # args for math function \"{name}\""
+                )));
+            }
+            let mut best = numeric(0)?;
+            for i in 1..vals.len() {
+                let v = numeric(i)?;
+                let take = if name == "min" {
+                    as_f64(&v) < as_f64(&best)
+                } else {
+                    as_f64(&v) > as_f64(&best)
+                };
+                if take {
+                    best = v;
+                }
+            }
+            Ok(best)
+        }
+        _ => Err(ScriptError::new(format!("unknown math function \"{name}\""))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapResolver(HashMap<String, String>);
+    impl Resolver for MapResolver {
+        fn var(&mut self, name: &str) -> Result<String, ScriptError> {
+            self.0
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ScriptError::new(format!("can't read \"{name}\": no such variable")))
+        }
+        fn cmd(&mut self, script: &str) -> Result<String, ScriptError> {
+            // Test stub: `[double X]` returns X twice.
+            if let Some(rest) = script.strip_prefix("twice ") {
+                let n: i64 = rest.trim().parse().unwrap();
+                return Ok((n * 2).to_string());
+            }
+            Err(ScriptError::new(format!("unknown cmd {script}")))
+        }
+    }
+
+    fn ev(src: &str) -> Result<String, ScriptError> {
+        let mut r = MapResolver(HashMap::from([
+            ("x".to_string(), "10".to_string()),
+            ("y".to_string(), "2.5".to_string()),
+            ("s".to_string(), "hello".to_string()),
+            ("zero".to_string(), "0".to_string()),
+        ]));
+        eval_expr(src, &mut r).map(|v| v.to_output())
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(ev("1 + 2 * 3").unwrap(), "7");
+        assert_eq!(ev("(1 + 2) * 3").unwrap(), "9");
+        assert_eq!(ev("2 ** 3 ** 2").unwrap(), "512"); // right assoc
+        assert_eq!(ev("10 - 3 - 2").unwrap(), "5"); // left assoc
+    }
+
+    #[test]
+    fn integer_division_floors() {
+        assert_eq!(ev("-7 / 2").unwrap(), "-4");
+        assert_eq!(ev("7 / 2").unwrap(), "3");
+        assert_eq!(ev("-7 % 2").unwrap(), "1"); // sign of divisor
+        assert_eq!(ev("7 % -2").unwrap(), "-1");
+    }
+
+    #[test]
+    fn doubles_and_mixing() {
+        assert_eq!(ev("1 / 2.0").unwrap(), "0.5");
+        assert_eq!(ev("2.5 * 2").unwrap(), "5.0");
+        assert_eq!(ev("1e3 + 1").unwrap(), "1001.0");
+        assert_eq!(ev(".5 + .5").unwrap(), "1.0");
+    }
+
+    #[test]
+    fn divide_by_zero_errors() {
+        assert!(ev("1 / 0").unwrap_err().message.contains("divide by zero"));
+        assert!(ev("1 % 0").is_err());
+        assert!(ev("1.0 / 0").is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev("3 < 10").unwrap(), "1");
+        assert_eq!(ev("3 >= 10").unwrap(), "0");
+        // Numeric compare even when one side is a numeric string.
+        assert_eq!(ev("\"10\" == 10").unwrap(), "1");
+        // Non-numeric strings compare lexicographically.
+        assert_eq!(ev("\"abc\" < \"abd\"").unwrap(), "1");
+        assert_eq!(ev("$s eq \"hello\"").unwrap(), "1");
+        assert_eq!(ev("$s ne \"hello\"").unwrap(), "0");
+    }
+
+    #[test]
+    fn logical_short_circuit() {
+        assert_eq!(ev("$zero != 0 && 1 / $zero > 2").unwrap(), "0");
+        assert_eq!(ev("1 || 1 / 0").unwrap(), "1");
+        assert!(ev("1 && 1 / 0").is_err());
+    }
+
+    #[test]
+    fn ternary() {
+        assert_eq!(ev("$x > 5 ? \"big\" : \"small\"").unwrap(), "big");
+        assert_eq!(ev("0 ? 1/0 : 42").unwrap(), "42");
+        assert_eq!(ev("1 ? 2 : 3 + 100").unwrap(), "2");
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(ev("-$x").unwrap(), "-10");
+        assert_eq!(ev("!0").unwrap(), "1");
+        assert_eq!(ev("!3").unwrap(), "0");
+        assert_eq!(ev("~0").unwrap(), "-1");
+        assert_eq!(ev("- - 5").unwrap(), "5");
+    }
+
+    #[test]
+    fn variables_and_command_substitution() {
+        assert_eq!(ev("$x + $y").unwrap(), "12.5");
+        assert_eq!(ev("[twice 21]").unwrap(), "42");
+        assert_eq!(ev("[twice 3] * [twice 2]").unwrap(), "24");
+        assert!(ev("$missing").is_err());
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(ev("abs(-5)").unwrap(), "5");
+        assert_eq!(ev("abs(-5.5)").unwrap(), "5.5");
+        assert_eq!(ev("int(3.9)").unwrap(), "3");
+        assert_eq!(ev("round(3.5)").unwrap(), "4");
+        assert_eq!(ev("sqrt(16)").unwrap(), "4.0");
+        assert_eq!(ev("min(3, 1, 2)").unwrap(), "1");
+        assert_eq!(ev("max(3, 1, 2)").unwrap(), "3");
+        assert_eq!(ev("pow(2, 10)").unwrap(), "1024.0");
+        assert!(ev("nosuch(1)").is_err());
+        assert!(ev("sqrt()").is_err());
+    }
+
+    #[test]
+    fn bitwise_and_shift() {
+        assert_eq!(ev("0x0F & 0x3C").unwrap(), "12");
+        assert_eq!(ev("1 | 6").unwrap(), "7");
+        assert_eq!(ev("5 ^ 1").unwrap(), "4");
+        assert_eq!(ev("1 << 10").unwrap(), "1024");
+        assert_eq!(ev("1024 >> 3").unwrap(), "128");
+        assert!(ev("1 << 99").is_err());
+        assert!(ev("1.5 & 2").is_err());
+    }
+
+    #[test]
+    fn booleans_as_words() {
+        assert_eq!(ev("true && on").unwrap(), "1");
+        assert_eq!(ev("false || off").unwrap(), "0");
+    }
+
+    #[test]
+    fn braced_string_literal() {
+        assert_eq!(ev("{abc} eq {abc}").unwrap(), "1");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(ev("").is_err());
+        assert!(ev("1 +").is_err());
+        assert!(ev("(1").is_err());
+        assert!(ev("1 2").is_err());
+        assert!(ev("\"a\" + 1").is_err());
+        assert!(ev("@").is_err());
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(ev("0xff").unwrap(), "255");
+        assert_eq!(ev("0x10 + 1").unwrap(), "17");
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert!(ev("9223372036854775807 + 1").is_err());
+        assert!(ev("2 ** 100").is_err());
+    }
+
+    #[test]
+    fn double_formatting() {
+        assert_eq!(fmt_double(2.0), "2.0");
+        assert_eq!(fmt_double(2.5), "2.5");
+        assert_eq!(fmt_double(0.1), "0.1");
+    }
+}

@@ -1,0 +1,578 @@
+//! Parser for the Tcl-subset scripting language.
+//!
+//! Follows Tcl's word rules: commands are separated by newlines or `;`,
+//! words by whitespace. A word is either `{braced}` (literal, nestable),
+//! `"quoted"` (with `$`, `[…]`, and `\` substitution), or bare (same
+//! substitutions). `[…]` holds a nested script, parsed recursively so that
+//! arbitrary nesting of braces/brackets/quotes works structurally.
+
+use crate::error::ScriptError;
+
+/// A parsed script: a sequence of commands.
+///
+/// Parsing is separated from evaluation so that filter scripts can be parsed
+/// once when installed into a PFI layer and then executed per message.
+///
+/// # Examples
+///
+/// ```
+/// use pfi_script::Script;
+///
+/// let s = Script::parse("set x 1; incr x").unwrap();
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    pub(crate) commands: Vec<Command>,
+}
+
+impl Script {
+    /// Parses source text into a script.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScriptError`] on malformed input (unbalanced braces,
+    /// brackets, or quotes, or trailing garbage after a closing brace).
+    pub fn parse(src: &str) -> Result<Script, ScriptError> {
+        let mut p = Parser::new(src);
+        let script = p.parse_script(None)?;
+        Ok(script)
+    }
+
+    /// Number of commands in the script.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the script contains no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+/// One command: a list of words, plus the source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Command {
+    pub(crate) words: Vec<Word>,
+    pub(crate) line: u32,
+}
+
+/// One word of a command.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Word {
+    /// `{…}`: a literal with no substitution.
+    Braced(String),
+    /// Bare or `"…"`: concatenation of parts, substituted at eval time.
+    Parts(Vec<Part>),
+}
+
+/// A fragment of a substituting word.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Part {
+    /// Literal text.
+    Lit(String),
+    /// `$name` / `${name}` variable substitution.
+    Var(String),
+    /// `$name(index)` array-element substitution; the index itself is
+    /// substituted at eval time.
+    ArrVar(String, Vec<Part>),
+    /// `[…]` command substitution (pre-parsed).
+    Cmd(Script),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Self {
+        Parser { chars: src.chars().collect(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ScriptError {
+        ScriptError::at(self.line, msg)
+    }
+
+    /// Skips spaces/tabs and backslash-newline continuations (not command
+    /// separators).
+    fn skip_blank(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\r') => {
+                    self.bump();
+                }
+                Some('\\') if self.chars.get(self.pos + 1) == Some(&'\n') => {
+                    self.bump();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Parses a script until EOF or the given terminator character (which is
+    /// consumed).
+    fn parse_script(&mut self, terminator: Option<char>) -> Result<Script, ScriptError> {
+        let mut commands = Vec::new();
+        loop {
+            self.skip_blank();
+            match self.peek() {
+                None => {
+                    if let Some(t) = terminator {
+                        return Err(self.err(format!("missing close-{}", name_of(t))));
+                    }
+                    break;
+                }
+                Some(c) if Some(c) == terminator => {
+                    self.bump();
+                    break;
+                }
+                Some('\n') | Some(';') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    // Comment to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        // Backslash-newline continues the comment.
+                        if c == '\\' && self.chars.get(self.pos + 1) == Some(&'\n') {
+                            self.bump();
+                        }
+                        self.bump();
+                    }
+                }
+                Some(_) => {
+                    let cmd = self.parse_command(terminator)?;
+                    if !cmd.words.is_empty() {
+                        commands.push(cmd);
+                    }
+                }
+            }
+        }
+        Ok(Script { commands })
+    }
+
+    /// Parses one command; stops (without consuming) at `\n`, `;`, EOF, or
+    /// the enclosing terminator.
+    fn parse_command(&mut self, terminator: Option<char>) -> Result<Command, ScriptError> {
+        let line = self.line;
+        let mut words = Vec::new();
+        loop {
+            self.skip_blank();
+            match self.peek() {
+                None => break,
+                Some(c) if c == '\n' || c == ';' => break,
+                Some(c) if Some(c) == terminator => break,
+                Some(_) => words.push(self.parse_word(terminator)?),
+            }
+        }
+        Ok(Command { words, line })
+    }
+
+    fn at_word_end(&self, terminator: Option<char>) -> bool {
+        match self.peek() {
+            None => true,
+            Some(c) => {
+                c == ' '
+                    || c == '\t'
+                    || c == '\r'
+                    || c == '\n'
+                    || c == ';'
+                    || Some(c) == terminator
+            }
+        }
+    }
+
+    fn parse_word(&mut self, terminator: Option<char>) -> Result<Word, ScriptError> {
+        match self.peek() {
+            Some('{') => {
+                let content = self.parse_braced()?;
+                if !self.at_word_end(terminator) {
+                    return Err(self.err("extra characters after close-brace"));
+                }
+                Ok(Word::Braced(content))
+            }
+            Some('"') => {
+                self.bump();
+                let parts = self.parse_parts(PartsEnd::Quote)?;
+                if !self.at_word_end(terminator) {
+                    return Err(self.err("extra characters after close-quote"));
+                }
+                Ok(Word::Parts(parts))
+            }
+            _ => {
+                let parts = self.parse_parts(PartsEnd::Bare(terminator))?;
+                Ok(Word::Parts(parts))
+            }
+        }
+    }
+
+    /// Parses `{…}` with nesting; returns the raw content.
+    fn parse_braced(&mut self) -> Result<String, ScriptError> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let mut depth = 1usize;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("missing close-brace")),
+                Some('\\') => {
+                    // A backslash escapes the next character (kept verbatim,
+                    // including the backslash, per Tcl brace semantics).
+                    out.push('\\');
+                    if let Some(c) = self.bump() {
+                        out.push(c);
+                    }
+                }
+                Some('{') => {
+                    depth += 1;
+                    out.push('{');
+                }
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(out);
+                    }
+                    out.push('}');
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_parts(&mut self, end: PartsEnd) -> Result<Vec<Part>, ScriptError> {
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        macro_rules! flush {
+            () => {
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(std::mem::take(&mut lit)));
+                }
+            };
+        }
+        loop {
+            let c = match self.peek() {
+                None => {
+                    match end {
+                        PartsEnd::Quote => return Err(self.err("missing close-quote")),
+                        PartsEnd::Paren => {
+                            return Err(self.err("missing close-paren for array index"))
+                        }
+                        PartsEnd::Bare(_) => {}
+                    }
+                    break;
+                }
+                Some(c) => c,
+            };
+            match end {
+                PartsEnd::Quote => {
+                    if c == '"' {
+                        self.bump();
+                        break;
+                    }
+                }
+                PartsEnd::Paren => {
+                    if c == ')' {
+                        self.bump();
+                        break;
+                    }
+                }
+                PartsEnd::Bare(term) => {
+                    if c == ' '
+                        || c == '\t'
+                        || c == '\r'
+                        || c == '\n'
+                        || c == ';'
+                        || Some(c) == term
+                    {
+                        break;
+                    }
+                }
+            }
+            match c {
+                '\\' => {
+                    self.bump();
+                    match self.bump() {
+                        None => lit.push('\\'),
+                        Some('n') => lit.push('\n'),
+                        Some('t') => lit.push('\t'),
+                        Some('r') => lit.push('\r'),
+                        Some('\n') => lit.push(' '), // line continuation
+                        Some(other) => lit.push(other),
+                    }
+                }
+                '$' => {
+                    self.bump();
+                    let braced_name = self.peek() == Some('{');
+                    let name = self.parse_var_name()?;
+                    match name {
+                        Some(n) => {
+                            flush!();
+                            // `$name(index)`: an array element (only for
+                            // bare names; `${a}(x)` is a var plus literal).
+                            if !braced_name && self.peek() == Some('(') {
+                                self.bump();
+                                let index = self.parse_parts(PartsEnd::Paren)?;
+                                parts.push(Part::ArrVar(n, index));
+                            } else {
+                                parts.push(Part::Var(n));
+                            }
+                        }
+                        None => lit.push('$'),
+                    }
+                }
+                '[' => {
+                    self.bump();
+                    let script = self.parse_script(Some(']'))?;
+                    flush!();
+                    parts.push(Part::Cmd(script));
+                }
+                other => {
+                    self.bump();
+                    lit.push(other);
+                }
+            }
+        }
+        flush!();
+        if parts.is_empty() {
+            parts.push(Part::Lit(String::new()));
+        }
+        Ok(parts)
+    }
+
+    /// Parses the name after `$`; `None` means the `$` was literal.
+    fn parse_var_name(&mut self) -> Result<Option<String>, ScriptError> {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let mut name = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("missing close-brace for variable name")),
+                        Some('}') => break,
+                        Some(c) => name.push(c),
+                    }
+                }
+                Ok(Some(name))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Some(name))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PartsEnd {
+    Quote,
+    Bare(Option<char>),
+    /// Array index: runs to the matching `)`.
+    Paren,
+}
+
+fn name_of(c: char) -> &'static str {
+    match c {
+        ']' => "bracket",
+        '}' => "brace",
+        _ => "delimiter",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<Word> {
+        let s = Script::parse(src).unwrap();
+        assert_eq!(s.commands.len(), 1, "expected one command in {src:?}");
+        s.commands[0].words.clone()
+    }
+
+    #[test]
+    fn simple_command_splits_words() {
+        let w = words("set x 10");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], Word::Parts(vec![Part::Lit("set".into())]));
+    }
+
+    #[test]
+    fn commands_split_on_newline_and_semicolon() {
+        let s = Script::parse("a\nb; c\n\n;\nd").unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let s = Script::parse("# a comment\nset x 1\n  # another ; with ; semis\nset y 2").unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn braced_word_is_literal() {
+        let w = words("set x {hello $world [cmd]}");
+        assert_eq!(w[2], Word::Braced("hello $world [cmd]".into()));
+    }
+
+    #[test]
+    fn braces_nest() {
+        let w = words("proc f {} {if {1} {puts hi}}");
+        assert_eq!(w[3], Word::Braced("if {1} {puts hi}".into()));
+    }
+
+    #[test]
+    fn quoted_word_substitutes() {
+        let w = words(r#"puts "x is $x!""#);
+        assert_eq!(
+            w[1],
+            Word::Parts(vec![
+                Part::Lit("x is ".into()),
+                Part::Var("x".into()),
+                Part::Lit("!".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn bare_word_with_var_and_cmd() {
+        let w = words("set y $x[foo]z");
+        match &w[2] {
+            Word::Parts(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(parts[0], Part::Var("x".into()));
+                assert!(matches!(parts[1], Part::Cmd(_)));
+                assert_eq!(parts[2], Part::Lit("z".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dollar_brace_var() {
+        let w = words("puts ${weird name}");
+        assert_eq!(w[1], Word::Parts(vec![Part::Var("weird name".into())]));
+    }
+
+    #[test]
+    fn lone_dollar_is_literal() {
+        let w = words("puts a$ b");
+        assert_eq!(w[1], Word::Parts(vec![Part::Lit("a$".into())]));
+    }
+
+    #[test]
+    fn escapes_in_bare_and_quoted() {
+        let w = words(r#"puts a\ b"#);
+        assert_eq!(w[1], Word::Parts(vec![Part::Lit("a b".into())]));
+        let w = words(r#"puts "tab\there""#);
+        assert_eq!(w[1], Word::Parts(vec![Part::Lit("tab\there".into())]));
+    }
+
+    #[test]
+    fn escaped_dollar_is_literal() {
+        let w = words(r#"puts \$x"#);
+        assert_eq!(w[1], Word::Parts(vec![Part::Lit("$x".into())]));
+    }
+
+    #[test]
+    fn line_continuation_joins_command() {
+        let s = Script::parse("set x \\\n 5").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.commands[0].words.len(), 3);
+    }
+
+    #[test]
+    fn nested_brackets_parse_recursively() {
+        let w = words("set x [outer [inner a b] c]");
+        match &w[2] {
+            Word::Parts(parts) => match &parts[0] {
+                Part::Cmd(s) => {
+                    assert_eq!(s.len(), 1);
+                    assert_eq!(s.commands[0].words.len(), 3);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brackets_containing_braces_with_brackets() {
+        // The braced word inside the bracket contains an unbalanced-looking
+        // bracket; structural parsing must handle it.
+        let w = words("set x [string match {[a]} $v]");
+        assert!(matches!(&w[2], Word::Parts(p) if matches!(p[0], Part::Cmd(_))));
+    }
+
+    #[test]
+    fn unbalanced_inputs_error() {
+        assert!(Script::parse("set x {oops").is_err());
+        assert!(Script::parse("set x [oops").is_err());
+        assert!(Script::parse("set x \"oops").is_err());
+        assert!(Script::parse("set x {a}b").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = Script::parse("set a 1\nset b \"unclosed").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn empty_and_whitespace_scripts() {
+        assert!(Script::parse("").unwrap().is_empty());
+        assert!(Script::parse("  \n\t ;; \n# just a comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn backslash_escaped_brace_inside_braces() {
+        let w = words(r"set x {a\}b}");
+        assert_eq!(w[2], Word::Braced(r"a\}b".into()));
+    }
+
+    #[test]
+    fn command_line_numbers() {
+        let s = Script::parse("a\n\nb\nc").unwrap();
+        let lines: Vec<u32> = s.commands.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn semicolon_inside_quotes_is_literal() {
+        let s = Script::parse(r#"puts "a;b""#).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.commands[0].words[1], Word::Parts(vec![Part::Lit("a;b".into())]));
+    }
+
+    #[test]
+    fn multiline_braced_word() {
+        let s = Script::parse("proc f {} {\n puts a\n puts b\n}").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.commands[0].words.len(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the Tcl-subset interpreter.
+
+use pfi_script::{glob_match, list_format, list_parse, Interp, NoHost, Script};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any vector of strings survives a format → parse round trip.
+    #[test]
+    fn list_roundtrip(elems in proptest::collection::vec(".*", 0..8)) {
+        let formatted = list_format(&elems);
+        let parsed = list_parse(&formatted).unwrap();
+        prop_assert_eq!(parsed, elems);
+    }
+
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(src in ".*") {
+        let _ = Script::parse(&src);
+    }
+
+    /// The interpreter never panics on arbitrary input (errors are fine).
+    #[test]
+    fn interp_never_panics(src in ".{0,120}") {
+        let mut interp = Interp::new();
+        interp.set_fuel_limit(10_000);
+        let _ = interp.eval(&mut NoHost, &src);
+    }
+
+    /// A glob pattern built by escaping a literal matches exactly that
+    /// literal.
+    #[test]
+    fn escaped_literal_globs_itself(text in "[a-zA-Z0-9*?\\[\\]-]{0,20}") {
+        let escaped: String = text.chars().flat_map(|c| {
+            if matches!(c, '*' | '?' | '[' | ']' | '\\') {
+                vec!['\\', c]
+            } else {
+                vec![c]
+            }
+        }).collect();
+        prop_assert!(glob_match(&escaped, &text));
+    }
+
+    /// `expr` agrees with a Rust oracle on randomly generated integer
+    /// arithmetic.
+    #[test]
+    fn expr_matches_oracle(tree in arb_expr(4)) {
+        let (src, expected) = tree;
+        let mut interp = Interp::new();
+        let got = interp.eval(&mut NoHost, &format!("expr {{{src}}}"));
+        match expected {
+            Some(v) => prop_assert_eq!(got.unwrap(), v.to_string(), "expr was {}", src),
+            // Oracle hit overflow or division by zero: interp must error too.
+            None => prop_assert!(got.is_err(), "expr was {}", src),
+        }
+    }
+
+    /// Variables set through the API are visible to scripts and vice versa.
+    #[test]
+    fn var_api_and_script_agree(name in "[a-z][a-z0-9_]{0,10}", value in "[ -~]{0,30}") {
+        let mut interp = Interp::new();
+        interp.set_var(&name, value.clone());
+        let read = interp.eval(&mut NoHost, &format!("set {name}")).unwrap();
+        prop_assert_eq!(read, value);
+    }
+
+    /// `string length` agrees with Rust's char count.
+    #[test]
+    fn string_length_agrees(s in "[a-zA-Z0-9_.]{0,40}") {
+        let mut interp = Interp::new();
+        let got = interp.eval(&mut NoHost, &format!("string length \"{s}\"")).unwrap();
+        prop_assert_eq!(got, s.chars().count().to_string());
+    }
+}
+
+/// Generates a random arithmetic expression and its oracle value
+/// (`None` when evaluation would overflow or divide by zero).
+fn arb_expr(depth: u32) -> impl Strategy<Value = (String, Option<i64>)> {
+    let leaf = (-1000i64..1000).prop_map(|n| {
+        if n < 0 {
+            (format!("({n})"), Some(n))
+        } else {
+            (n.to_string(), Some(n))
+        }
+    });
+    type BinOp = fn(i64, i64) -> Option<i64>;
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        (inner.clone(), inner, 0u8..4).prop_map(|((ls, lv), (rs, rv), op)| {
+            let (sym, f): (&str, BinOp) = match op {
+                0 => ("+", i64::checked_add),
+                1 => ("-", i64::checked_sub),
+                2 => ("*", i64::checked_mul),
+                _ => ("/", |a: i64, b: i64| {
+                    if b == 0 {
+                        None
+                    } else {
+                        // Tcl integer division floors.
+                        let q = a.checked_div(b)?;
+                        if (a % b != 0) && ((a < 0) != (b < 0)) {
+                            Some(q - 1)
+                        } else {
+                            Some(q)
+                        }
+                    }
+                }),
+            };
+            let v = match (lv, rv) {
+                (Some(a), Some(b)) => f(a, b),
+                _ => None,
+            };
+            (format!("({ls} {sym} {rs})"), v)
+        })
+    })
+}

@@ -1,0 +1,92 @@
+//! Identifier newtypes used throughout the simulator.
+
+use std::fmt;
+
+/// Identifies a node (a simulated machine) within a [`World`].
+///
+/// Node ids are assigned densely from zero in the order nodes are added.
+/// Protocols that need an ordering over participants (the GMP leader is the
+/// member with the lowest id, standing in for "lowest IP address") compare
+/// `NodeId`s directly.
+///
+/// [`World`]: crate::World
+///
+/// # Examples
+///
+/// ```
+/// use pfi_sim::NodeId;
+///
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "n0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as `u32`.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Handle to a pending timer, used to cancel it.
+///
+/// Timer ids are unique within a [`World`](crate::World) for its lifetime;
+/// cancelling an already-fired or already-cancelled timer is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// The raw unique value of this timer id.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_and_display() {
+        let ids: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        assert!(ids[0] < ids[1] && ids[1] < ids[2]);
+        assert_eq!(ids[2].to_string(), "n2");
+        assert_eq!(ids[1].index(), 1);
+    }
+
+    #[test]
+    fn node_id_from_u32() {
+        assert_eq!(NodeId::from(7u32), NodeId::new(7));
+    }
+}

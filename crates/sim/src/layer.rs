@@ -1,0 +1,210 @@
+//! The x-Kernel-style protocol layer abstraction.
+//!
+//! "Each protocol is specified as a layer in the protocol stack such that
+//! each layer, from the device-level to the application-level protocol,
+//! provides an abstract communication service to higher layers." A stack is
+//! an ordered list of [`Layer`]s, index 0 at the top (the paper's *driver*
+//! layer) and the last index at the bottom (adjacent to the wire). Messages
+//! are *pushed* down and *popped* up; the PFI layer interposes on both.
+
+use std::any::Any;
+
+use crate::ids::{NodeId, TimerId};
+use crate::message::Message;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// A protocol layer in a node's stack.
+///
+/// Implementations receive a [`Context`] that collects their outputs: send a
+/// message further down or up, arm or cancel timers, emit trace events. All
+/// methods run on the single simulation thread.
+pub trait Layer {
+    /// Short name of the layer, used in traces (e.g. `"tcp"`, `"pfi"`).
+    fn name(&self) -> &'static str;
+
+    /// A message is travelling *down* the stack through this layer.
+    ///
+    /// A pass-through layer forwards it with [`Context::send_down`]; a
+    /// bottom-adjacent protocol typically pushes its header first.
+    fn push(&mut self, msg: Message, ctx: &mut Context<'_>);
+
+    /// A message is travelling *up* the stack through this layer.
+    fn pop(&mut self, msg: Message, ctx: &mut Context<'_>);
+
+    /// A timer previously armed by this layer fired. `token` is the value
+    /// passed to [`Context::set_timer`].
+    fn timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let _ = (token, ctx);
+    }
+
+    /// Synchronous control operation from the harness or another layer
+    /// (the x-Kernel's `xControl`). Ops and results are `Any`-typed; each
+    /// protocol crate defines its own op enum.
+    ///
+    /// The default implementation ignores the op and returns `()`.
+    fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
+        let _ = (op, ctx);
+        Box::new(())
+    }
+}
+
+/// An output produced by a layer while handling an event.
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// Forward a message toward the wire (to the next layer down, or onto
+    /// the network if emitted by the bottom layer).
+    SendDown(Message),
+    /// Forward a message toward the application (to the next layer up, or
+    /// into the node's inbox if emitted by the top layer).
+    SendUp(Message),
+    /// Arm a timer that calls back into the emitting layer.
+    SetTimer {
+        /// Cancellation handle.
+        id: TimerId,
+        /// Absolute virtual time at which to fire.
+        at: SimTime,
+        /// Opaque value handed back to [`Layer::timer`].
+        token: u64,
+    },
+    /// Cancel a previously armed timer.
+    CancelTimer(TimerId),
+}
+
+/// Execution context handed to every [`Layer`] callback.
+///
+/// Collects the layer's outputs; the world routes them after the callback
+/// returns.
+#[derive(Debug)]
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) layer_name: &'static str,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) trace: &'a TraceLog,
+    pub(crate) timer_seq: &'a mut u64,
+}
+
+impl<'a> Context<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this layer lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to the next layer down (or onto the network from the
+    /// bottom layer).
+    pub fn send_down(&mut self, msg: Message) {
+        self.actions.push(Action::SendDown(msg));
+    }
+
+    /// Sends `msg` to the next layer up (or into the node inbox from the
+    /// top layer).
+    pub fn send_up(&mut self, msg: Message) {
+        self.actions.push(Action::SendUp(msg));
+    }
+
+    /// Arms a timer `delay` from now; [`Layer::timer`] is called with
+    /// `token` when it fires. Returns a handle for cancellation.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.actions.push(Action::SetTimer { id, at: self.now + delay, token });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling a timer that already fired (or
+    /// was already cancelled) is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Emits a typed trace event attributed to this layer.
+    pub fn emit<E: TraceEvent>(&mut self, event: E) {
+        self.trace.record(self.now, self.node, self.layer_name, event);
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_actions() {
+        let mut rng = SimRng::seed_from(0);
+        let trace = TraceLog::new();
+        let mut seq = 0u64;
+        let mut ctx = Context {
+            now: SimTime::from_micros(100),
+            node: NodeId::new(1),
+            layer_name: "test",
+            actions: Vec::new(),
+            rng: &mut rng,
+            trace: &trace,
+            timer_seq: &mut seq,
+        };
+        let m = Message::new(NodeId::new(1), NodeId::new(2), b"x");
+        ctx.send_down(m.clone());
+        ctx.send_up(m);
+        let id = ctx.set_timer(SimDuration::from_millis(5), 42);
+        ctx.cancel_timer(id);
+        assert_eq!(ctx.actions.len(), 4);
+        match &ctx.actions[2] {
+            Action::SetTimer { at, token, .. } => {
+                assert_eq!(*at, SimTime::from_micros(5_100));
+                assert_eq!(*token, 42);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = SimRng::seed_from(0);
+        let trace = TraceLog::new();
+        let mut seq = 0u64;
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId::new(0),
+            layer_name: "test",
+            actions: Vec::new(),
+            rng: &mut rng,
+            trace: &trace,
+            timer_seq: &mut seq,
+        };
+        let a = ctx.set_timer(SimDuration::ZERO, 0);
+        let b = ctx.set_timer(SimDuration::ZERO, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn emit_records_layer_name() {
+        let mut rng = SimRng::seed_from(0);
+        let trace = TraceLog::new();
+        let mut seq = 0u64;
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId::new(3),
+            layer_name: "mylayer",
+            actions: Vec::new(),
+            rng: &mut rng,
+            trace: &trace,
+            timer_seq: &mut seq,
+        };
+        ctx.emit("hello");
+        let mut seen = None;
+        trace.for_each(|r| seen = Some((r.node, r.layer)));
+        assert_eq!(seen, Some((NodeId::new(3), "mylayer")));
+    }
+}

@@ -1,0 +1,55 @@
+//! # pfi-sim — deterministic protocol-stack simulator
+//!
+//! The substrate underneath the PFI reproduction: a single-threaded,
+//! deterministic discrete-event simulator hosting x-Kernel-style layered
+//! protocol stacks, standing in for the Mach/SunOS x-Kernel machines of
+//! Dawson & Jahanian's ICDCS '95 paper.
+//!
+//! * [`World`] — event queue, virtual clock, nodes, scheduler.
+//! * [`Layer`] — the protocol-layer trait (`push` down, `pop` up, timers,
+//!   `control` ops); [`Context`] collects a layer's outputs.
+//! * [`Message`] — header-stacking byte buffer with simulator addressing.
+//! * [`Network`] — per-link latency/jitter/loss, partitions, link up/down.
+//! * [`TraceLog`] — typed packet/event log every experiment analyses.
+//!
+//! # Examples
+//!
+//! ```
+//! use pfi_sim::{Context, Layer, Message, SimDuration, World};
+//!
+//! /// A layer that counts messages passing up through it.
+//! struct Counter(u32);
+//! impl Layer for Counter {
+//!     fn name(&self) -> &'static str { "counter" }
+//!     fn push(&mut self, msg: Message, ctx: &mut Context<'_>) { ctx.send_down(msg); }
+//!     fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
+//!         self.0 += 1;
+//!         ctx.send_up(msg);
+//!     }
+//! }
+//!
+//! let mut world = World::new(7);
+//! let _node = world.add_node(vec![Box::new(Counter(0))]);
+//! world.run_for(SimDuration::from_secs(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ids;
+mod layer;
+mod message;
+mod network;
+mod rng;
+mod time;
+mod trace;
+mod world;
+
+pub use ids::{NodeId, TimerId};
+pub use layer::{Context, Layer};
+pub use message::Message;
+pub use network::{LinkConfig, Network, Transit};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{DropReason, NetTrace, TraceEvent, TraceLog, TraceRecord};
+pub use world::World;

@@ -1,0 +1,228 @@
+//! Typed trace log.
+//!
+//! Every experiment in the paper works by "logging each packet with a
+//! timestamp" and analysing the resulting trace. The simulator generalises
+//! this: any layer can emit a typed trace event, and experiments query the
+//! log by event type, node, and time.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// A trace event payload: any `Debug`-printable value.
+///
+/// Implemented automatically for every `'static` type that implements
+/// [`Debug`](fmt::Debug); protocol crates define their own event enums
+/// (e.g. `TcpEvent`) and experiments downcast records back to them.
+pub trait TraceEvent: Any + fmt::Debug {
+    /// Upcast for downcasting by the query helpers.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + fmt::Debug> TraceEvent for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// One entry in the trace log.
+#[derive(Debug)]
+pub struct TraceRecord {
+    /// Virtual time at which the event was emitted.
+    pub time: SimTime,
+    /// Node that emitted it.
+    pub node: NodeId,
+    /// Name of the emitting layer (or `"world"` for simulator-level events).
+    pub layer: &'static str,
+    /// The typed payload.
+    pub event: Box<dyn TraceEvent>,
+}
+
+/// A shared, append-only log of trace records.
+///
+/// Cloning a `TraceLog` yields another handle to the same log (the
+/// simulation is single-threaded, so this uses `Rc<RefCell<…>>`).
+///
+/// # Examples
+///
+/// ```
+/// use pfi_sim::{TraceLog, SimTime, NodeId};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Ping(u32);
+///
+/// let log = TraceLog::new();
+/// log.record(SimTime::ZERO, NodeId::new(0), "test", Ping(7));
+/// let pings = log.events_of::<Ping>(Some(NodeId::new(0)));
+/// assert_eq!(pings, vec![(SimTime::ZERO, Ping(7))]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Rc<RefCell<Vec<TraceRecord>>>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record<E: TraceEvent>(&self, time: SimTime, node: NodeId, layer: &'static str, event: E) {
+        self.records.borrow_mut().push(TraceRecord { time, node, layer, event: Box::new(event) });
+    }
+
+    /// Number of records in the log.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all records.
+    pub fn clear(&self) {
+        self.records.borrow_mut().clear();
+    }
+
+    /// All events of type `T`, optionally restricted to one node, in
+    /// emission order, cloned out of the log.
+    pub fn events_of<T: Any + Clone>(&self, node: Option<NodeId>) -> Vec<(SimTime, T)> {
+        self.records
+            .borrow()
+            .iter()
+            .filter(|r| node.is_none_or(|n| r.node == n))
+            .filter_map(|r| {
+                // `as_ref()` first: calling `.as_any()` on the `Box` directly
+                // would resolve the blanket impl for `Box<dyn TraceEvent>`
+                // itself and downcast to the wrong type.
+                r.event.as_ref().as_any().downcast_ref::<T>().map(|e| (r.time, e.clone()))
+            })
+            .collect()
+    }
+
+    /// Visits every record matching a predicate (for queries that need the
+    /// layer name or cross-type analysis).
+    pub fn for_each(&self, mut f: impl FnMut(&TraceRecord)) {
+        for r in self.records.borrow().iter() {
+            f(r);
+        }
+    }
+
+    /// Renders the whole log as human-readable lines (debugging aid).
+    pub fn render(&self) -> Vec<String> {
+        self.records
+            .borrow()
+            .iter()
+            .map(|r| format!("[{:>12}] {} {}: {:?}", r.time.to_string(), r.node, r.layer, r.event))
+            .collect()
+    }
+}
+
+/// Simulator-level packet events recorded by the network model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetTrace {
+    /// A message left a node's bottom layer onto the wire.
+    Sent {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Bytes on the wire.
+        len: usize,
+    },
+    /// A message was handed to the destination's bottom layer.
+    Delivered {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Bytes on the wire.
+        len: usize,
+    },
+    /// The network dropped a message.
+    Dropped {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Bytes on the wire.
+        len: usize,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+}
+
+/// Why the network model dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link is administratively down (the "unplugged ethernet").
+    LinkDown,
+    /// Source and destination are in different partitions.
+    Partitioned,
+    /// Random loss on the link.
+    RandomLoss,
+    /// The destination node has crashed.
+    DestCrashed,
+    /// The destination node id does not exist.
+    NoSuchNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct EvA(u32);
+    #[derive(Debug, Clone, PartialEq)]
+    struct EvB(&'static str);
+
+    #[test]
+    fn query_by_type_and_node() {
+        let log = TraceLog::new();
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        log.record(SimTime::from_micros(1), n0, "l", EvA(1));
+        log.record(SimTime::from_micros(2), n1, "l", EvA(2));
+        log.record(SimTime::from_micros(3), n0, "l", EvB("x"));
+
+        assert_eq!(log.events_of::<EvA>(None).len(), 2);
+        assert_eq!(log.events_of::<EvA>(Some(n1)), vec![(SimTime::from_micros(2), EvA(2))]);
+        assert_eq!(log.events_of::<EvB>(Some(n0)), vec![(SimTime::from_micros(3), EvB("x"))]);
+        assert!(log.events_of::<EvB>(Some(n1)).is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let log = TraceLog::new();
+        let other = log.clone();
+        other.record(SimTime::ZERO, NodeId::new(0), "l", EvA(5));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn render_is_nonempty_and_ordered() {
+        let log = TraceLog::new();
+        log.record(SimTime::from_micros(10), NodeId::new(0), "layer", EvA(9));
+        let lines = log.render();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("EvA(9)"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn for_each_sees_layer_names() {
+        let log = TraceLog::new();
+        log.record(SimTime::ZERO, NodeId::new(0), "tcp", EvA(1));
+        let mut names = vec![];
+        log.for_each(|r| names.push(r.layer));
+        assert_eq!(names, vec!["tcp"]);
+    }
+}

@@ -1,0 +1,644 @@
+//! The discrete-event simulation world: nodes, event queue, and scheduler.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use crate::ids::{NodeId, TimerId};
+use crate::layer::{Action, Context, Layer};
+use crate::message::Message;
+use crate::network::{Network, Transit};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, NetTrace, TraceLog};
+
+/// An event destined for one node's stack.
+enum NodeEvent {
+    /// A message arrived from the wire; enters at the bottom layer.
+    Deliver(Message),
+    /// A timer armed by `layer` fired.
+    Timer { layer: usize, id: TimerId, token: u64 },
+}
+
+enum EventKind {
+    Node { node: NodeId, ev: NodeEvent },
+    /// Test-orchestration callback (the scheduled steps of an experiment).
+    Call(Box<dyn FnOnce(&mut World)>),
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    // Ties break by insertion order (seq), keeping runs deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Node {
+    layers: Vec<Box<dyn Layer>>,
+    inbox: Vec<(SimTime, Message)>,
+    crashed: bool,
+    /// While `Some`, the node is suspended (the paper's `SIGTSTP` test) and
+    /// incoming events are deferred here until resume.
+    suspended: Option<Vec<NodeEvent>>,
+}
+
+/// Unit of intra-node work while routing layer actions.
+enum Work {
+    Push { layer: usize, msg: Message },
+    Pop { layer: usize, msg: Message },
+    Timer { layer: usize, token: u64 },
+}
+
+/// The simulation world.
+///
+/// Owns all nodes (each a stack of [`Layer`]s), the [`Network`], the event
+/// queue, the virtual clock, the deterministic RNG, and the [`TraceLog`].
+///
+/// # Examples
+///
+/// ```
+/// use pfi_sim::{World, SimDuration};
+///
+/// let mut world = World::new(42);
+/// world.schedule_in(SimDuration::from_secs(1), |w| {
+///     assert_eq!(w.now().as_secs_f64(), 1.0);
+/// });
+/// world.run_for(SimDuration::from_secs(2));
+/// ```
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    nodes: Vec<Node>,
+    network: Network,
+    rng: SimRng,
+    trace: TraceLog,
+    timer_seq: u64,
+    cancelled_timers: HashSet<u64>,
+    /// Record `NetTrace` events for every wire transmission.
+    pub trace_packets: bool,
+}
+
+impl World {
+    /// Creates an empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            network: Network::new(),
+            rng: SimRng::seed_from(seed),
+            trace: TraceLog::new(),
+            timer_seq: 0,
+            cancelled_timers: HashSet::new(),
+            trace_packets: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Handle to the trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network model (reconfigure links mid-run).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Adds a node with the given stack (index 0 on top) and returns its id.
+    pub fn add_node(&mut self, layers: Vec<Box<dyn Layer>>) -> NodeId {
+        assert!(!layers.is_empty(), "a node needs at least one layer");
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node { layers, inbox: Vec::new(), crashed: false, suspended: None });
+        id
+    }
+
+    /// Ids of all nodes, in creation order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId::new).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drains messages that reached the top of `node`'s stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn drain_inbox(&mut self, node: NodeId) -> Vec<(SimTime, Message)> {
+        std::mem::take(&mut self.nodes[node.index()].inbox)
+    }
+
+    /// Schedules a callback at an absolute virtual time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        let at = at.max(self.now);
+        self.push_entry(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedules a callback `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut World) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Synchronously invokes a control operation on one layer of a node and
+    /// returns the raw boxed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or layer index does not exist.
+    pub fn control_raw(&mut self, node: NodeId, layer: usize, op: Box<dyn Any>) -> Box<dyn Any> {
+        let (result, actions, layer_name) = {
+            let World { nodes, rng, trace, timer_seq, now, .. } = self;
+            let n = &mut nodes[node.index()];
+            let l = &mut n.layers[layer];
+            let name = l.name();
+            let mut ctx = Context {
+                now: *now,
+                node,
+                layer_name: name,
+                actions: Vec::new(),
+                rng,
+                trace,
+                timer_seq,
+            };
+            let result = l.control(op, &mut ctx);
+            (result, ctx.actions, name)
+        };
+        let _ = layer_name;
+        let follow_on = self.apply_actions(node, layer, actions);
+        self.run_node_work(node, follow_on);
+        result
+    }
+
+    /// Typed convenience wrapper over [`control_raw`](World::control_raw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's response is not of type `R`.
+    pub fn control<R: Any>(&mut self, node: NodeId, layer: usize, op: impl Any) -> R {
+        let out = self.control_raw(node, layer, Box::new(op));
+        *out.downcast::<R>().unwrap_or_else(|_| {
+            panic!("control op on {node} layer {layer} returned an unexpected type")
+        })
+    }
+
+    /// Marks a node as crashed: it stops processing everything, permanently.
+    /// Models the paper's *process crash* failure.
+    pub fn crash(&mut self, node: NodeId) {
+        self.nodes[node.index()].crashed = true;
+    }
+
+    /// Whether the node has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+
+    /// Suspends a node (the paper's `<Ctrl>-Z` test): deliveries and timer
+    /// firings are deferred until [`resume`](World::resume).
+    pub fn suspend(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        if n.suspended.is_none() {
+            n.suspended = Some(Vec::new());
+        }
+    }
+
+    /// Resumes a suspended node; all deferred events (including timers that
+    /// expired during the suspension) are processed immediately, at the
+    /// current virtual time. Expired timers replay *before* deferred
+    /// deliveries, mirroring `SIGCONT` semantics: pending alarm signals hit
+    /// the process before it drains its socket buffers.
+    pub fn resume(&mut self, node: NodeId) {
+        let deferred = self.nodes[node.index()].suspended.take();
+        if let Some(events) = deferred {
+            let (timers, deliveries): (Vec<_>, Vec<_>) =
+                events.into_iter().partition(|ev| matches!(ev, NodeEvent::Timer { .. }));
+            for ev in timers.into_iter().chain(deliveries) {
+                self.process_node_event(node, ev);
+            }
+        }
+    }
+
+    /// Runs a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        match entry.kind {
+            EventKind::Node { node, ev } => self.process_node_event(node, ev),
+            EventKind::Call(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs all events up to and including virtual time `t`, then advances
+    /// the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(entry) = self.queue.peek() {
+            if entry.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no events remain. Beware: protocols with periodic timers
+    /// never go idle; prefer [`run_until`](World::run_until) for those.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    fn push_entry(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Entry { at, seq: self.seq, kind });
+    }
+
+    fn process_node_event(&mut self, node: NodeId, ev: NodeEvent) {
+        let n = &mut self.nodes[node.index()];
+        if n.crashed {
+            if let NodeEvent::Deliver(m) = ev {
+                if self.trace_packets {
+                    self.trace.record(
+                        self.now,
+                        node,
+                        "world",
+                        NetTrace::Dropped {
+                            src: m.src(),
+                            dst: m.dst(),
+                            len: m.len(),
+                            reason: DropReason::DestCrashed,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        if let Some(deferred) = n.suspended.as_mut() {
+            deferred.push(ev);
+            return;
+        }
+        match ev {
+            NodeEvent::Deliver(msg) => {
+                if self.trace_packets {
+                    self.trace.record(
+                        self.now,
+                        node,
+                        "world",
+                        NetTrace::Delivered { src: msg.src(), dst: msg.dst(), len: msg.len() },
+                    );
+                }
+                let bottom = n.layers.len() - 1;
+                self.run_node_work(node, vec![Work::Pop { layer: bottom, msg }]);
+            }
+            NodeEvent::Timer { layer, id, token } => {
+                if self.cancelled_timers.remove(&id.as_u64()) {
+                    return;
+                }
+                self.run_node_work(node, vec![Work::Timer { layer, token }]);
+            }
+        }
+    }
+
+    /// Routes a batch of intra-node work items, breadth-first, invoking
+    /// layer callbacks and translating their actions into further work,
+    /// timers, or wire transmissions.
+    fn run_node_work(&mut self, node: NodeId, initial: Vec<Work>) {
+        let mut work: VecDeque<Work> = initial.into();
+        while let Some(w) = work.pop_front() {
+            let layer_idx = match &w {
+                Work::Push { layer, .. } | Work::Pop { layer, .. } | Work::Timer { layer, .. } => *layer,
+            };
+            let actions = {
+                let World { nodes, rng, trace, timer_seq, now, .. } = self;
+                let n = &mut nodes[node.index()];
+                if n.crashed {
+                    return;
+                }
+                let l = &mut n.layers[layer_idx];
+                let mut ctx = Context {
+                    now: *now,
+                    node,
+                    layer_name: l.name(),
+                    actions: Vec::new(),
+                    rng,
+                    trace,
+                    timer_seq,
+                };
+                match w {
+                    Work::Push { msg, .. } => l.push(msg, &mut ctx),
+                    Work::Pop { msg, .. } => l.pop(msg, &mut ctx),
+                    Work::Timer { token, .. } => l.timer(token, &mut ctx),
+                }
+                ctx.actions
+            };
+            for item in self.apply_actions(node, layer_idx, actions) {
+                work.push_back(item);
+            }
+        }
+    }
+
+    /// Translates a layer's collected actions: timers go onto the event
+    /// queue, wire sends into the network, the rest becomes more intra-node
+    /// work.
+    fn apply_actions(&mut self, node: NodeId, layer_idx: usize, actions: Vec<Action>) -> Vec<Work> {
+        let mut work = Vec::new();
+        let n_layers = self.nodes[node.index()].layers.len();
+        for action in actions {
+            match action {
+                Action::SendDown(msg) => {
+                    if layer_idx + 1 < n_layers {
+                        work.push(Work::Push { layer: layer_idx + 1, msg });
+                    } else {
+                        self.transmit(node, msg);
+                    }
+                }
+                Action::SendUp(msg) => {
+                    if layer_idx == 0 {
+                        self.nodes[node.index()].inbox.push((self.now, msg));
+                    } else {
+                        work.push(Work::Pop { layer: layer_idx - 1, msg });
+                    }
+                }
+                Action::SetTimer { id, at, token } => {
+                    self.push_entry(
+                        at,
+                        EventKind::Node { node, ev: NodeEvent::Timer { layer: layer_idx, id, token } },
+                    );
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id.as_u64());
+                }
+            }
+        }
+        work
+    }
+
+    /// Hands a message leaving a node's bottom layer to the network.
+    fn transmit(&mut self, src_node: NodeId, msg: Message) {
+        let dst = msg.dst();
+        if self.trace_packets {
+            self.trace.record(
+                self.now,
+                src_node,
+                "world",
+                NetTrace::Sent { src: msg.src(), dst, len: msg.len() },
+            );
+        }
+        if dst.index() >= self.nodes.len() {
+            if self.trace_packets {
+                self.trace.record(
+                    self.now,
+                    src_node,
+                    "world",
+                    NetTrace::Dropped {
+                        src: msg.src(),
+                        dst,
+                        len: msg.len(),
+                        reason: DropReason::NoSuchNode,
+                    },
+                );
+            }
+            return;
+        }
+        match self.network.transit(src_node, dst, &mut self.rng) {
+            Transit::Deliver(delay) => {
+                let at = self.now + delay;
+                self.push_entry(at, EventKind::Node { node: dst, ev: NodeEvent::Deliver(msg) });
+            }
+            Transit::Drop(reason) => {
+                if self.trace_packets {
+                    self.trace.record(
+                        self.now,
+                        src_node,
+                        "world",
+                        NetTrace::Dropped { src: msg.src(), dst, len: msg.len(), reason },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    /// Echoes every received message straight back to its source.
+    struct Echo;
+    impl Layer for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn push(&mut self, msg: Message, ctx: &mut Context<'_>) {
+            ctx.send_down(msg);
+        }
+        fn pop(&mut self, mut msg: Message, ctx: &mut Context<'_>) {
+            ctx.emit(format!("echoing {} bytes", msg.len()));
+            let src = msg.src();
+            msg.set_src(msg.dst());
+            msg.set_dst(src);
+            ctx.send_down(msg);
+        }
+    }
+
+    /// Delivers everything upward into the inbox.
+    struct Sink;
+    impl Layer for Sink {
+        fn name(&self) -> &'static str {
+            "sink"
+        }
+        fn push(&mut self, msg: Message, ctx: &mut Context<'_>) {
+            ctx.send_down(msg);
+        }
+        fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
+            ctx.send_up(msg);
+        }
+    }
+
+    /// Control op for `Pinger`: send a payload to a destination.
+    struct SendTo(NodeId, Vec<u8>);
+
+    struct Pinger;
+    impl Layer for Pinger {
+        fn name(&self) -> &'static str {
+            "pinger"
+        }
+        fn push(&mut self, msg: Message, ctx: &mut Context<'_>) {
+            ctx.send_down(msg);
+        }
+        fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
+            ctx.send_up(msg);
+        }
+        fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
+            let SendTo(dst, payload) = *op.downcast::<SendTo>().expect("bad op");
+            ctx.send_down(Message::new(ctx.node(), dst, &payload));
+            Box::new(())
+        }
+    }
+
+    #[test]
+    fn message_round_trip_through_network() {
+        let mut w = World::new(1);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        w.run_for(SimDuration::from_millis(10));
+        let inbox = w.drain_inbox(a);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].1.bytes(), b"ping");
+        // One hop each way at 1 ms.
+        assert_eq!(inbox[0].0, SimTime::from_micros(2_000));
+    }
+
+    #[test]
+    fn crashed_node_stays_silent() {
+        let mut w = World::new(1);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.crash(b);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        w.run_for(SimDuration::from_millis(10));
+        assert!(w.drain_inbox(a).is_empty());
+        assert!(w.is_crashed(b));
+    }
+
+    #[test]
+    fn suspend_defers_and_resume_replays() {
+        let mut w = World::new(1);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.suspend(b);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        w.run_for(SimDuration::from_secs(5));
+        assert!(w.drain_inbox(a).is_empty(), "suspended node must not respond");
+        w.resume(b);
+        w.run_for(SimDuration::from_millis(10));
+        let inbox = w.drain_inbox(a);
+        assert_eq!(inbox.len(), 1);
+        // The echo happened only after resume at t = 5 s.
+        assert!(inbox[0].0 >= SimTime::from_micros(5_000_000));
+    }
+
+    #[test]
+    fn scheduled_calls_run_in_time_order() {
+        let mut w = World::new(1);
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, secs) in [(1, 3u64), (2, 1), (3, 2)] {
+            let log = log.clone();
+            w.schedule_in(SimDuration::from_secs(secs), move |_| log.borrow_mut().push(i));
+        }
+        w.run_for(SimDuration::from_secs(10));
+        assert_eq!(*log.borrow(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut w = World::new(1);
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            w.schedule_in(SimDuration::from_secs(1), move |_| log.borrow_mut().push(i));
+        }
+        w.run_for(SimDuration::from_secs(2));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn packet_tracing_records_wire_events() {
+        let mut w = World::new(1);
+        w.trace_packets = true;
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        w.run_for(SimDuration::from_millis(10));
+        let events = w.trace().events_of::<NetTrace>(None);
+        // a->b sent, delivered; b->a sent, delivered.
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w = World::new(1);
+        w.run_until(SimTime::from_micros(123));
+        assert_eq!(w.now(), SimTime::from_micros(123));
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        fn run() -> Vec<String> {
+            let mut w = World::new(99);
+            w.trace_packets = true;
+            w.network_mut().default_link_mut().loss = 0.3;
+            w.network_mut().default_link_mut().jitter = SimDuration::from_millis(4);
+            let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+            let b = w.add_node(vec![Box::new(Echo)]);
+            for i in 0..50u64 {
+                let payload = vec![i as u8; 8];
+                w.schedule_in(SimDuration::from_millis(i * 3), move |w| {
+                    w.control::<()>(a, 0, SendTo(b, payload));
+                });
+            }
+            w.run_for(SimDuration::from_secs(2));
+            w.trace().render()
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_rejected() {
+        let mut w = World::new(1);
+        let _ = w.add_node(vec![]);
+    }
+}

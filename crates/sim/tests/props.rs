@@ -1,0 +1,138 @@
+//! Property-based tests for the simulator substrate.
+
+use pfi_sim::{Context, Layer, Message, NodeId, SimDuration, SimTime, World};
+use proptest::prelude::*;
+use std::any::Any;
+
+proptest! {
+    /// Duration arithmetic is saturating and order-preserving.
+    #[test]
+    fn duration_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        let sum = da + db;
+        prop_assert!(sum >= da.max(db));
+        prop_assert_eq!(da.max(db).min(da.min(db)), da.min(db));
+        let t = SimTime::from_micros(a) + db;
+        prop_assert!(t >= SimTime::from_micros(a));
+    }
+
+    /// Backoff doubles until the cap and never exceeds it.
+    #[test]
+    fn backoff_never_exceeds_cap(start in 1u64..1_000_000, cap in 1u64..100_000_000, steps in 0usize..80) {
+        let cap = SimDuration::from_micros(cap);
+        let mut d = SimDuration::from_micros(start);
+        for _ in 0..steps {
+            let next = d.backoff(cap);
+            prop_assert!(next <= cap);
+            prop_assert!(next >= d.min(cap));
+            d = next;
+        }
+    }
+
+    /// Message header stacking: any sequence of pushes then matching strips
+    /// recovers the payload and headers in LIFO order.
+    #[test]
+    fn header_stack_lifo(
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+        headers in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..6),
+    ) {
+        let mut m = Message::new(NodeId::new(0), NodeId::new(1), &payload);
+        for h in &headers {
+            m.push_header(h);
+        }
+        for h in headers.iter().rev() {
+            let got = m.strip_header(h.len()).unwrap();
+            prop_assert_eq!(&got, h);
+        }
+        prop_assert_eq!(m.bytes(), &payload[..]);
+    }
+
+    /// Scheduled callbacks always run in (time, insertion) order, whatever
+    /// the insertion order of their deadlines.
+    #[test]
+    fn callbacks_run_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let mut world = World::new(1);
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = log.clone();
+            world.schedule_in(SimDuration::from_micros(d), move |w| {
+                log.borrow_mut().push((w.now().as_micros(), i));
+            });
+        }
+        world.run_for(SimDuration::from_millis(20));
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "insertion order violated on tie");
+            }
+        }
+    }
+
+    /// Echo traffic under arbitrary loss/jitter is deterministic per seed
+    /// and never duplicates a message the network delivered once.
+    #[test]
+    fn network_delivery_counts_are_sane(seed in any::<u64>(), loss in 0.0f64..1.0, n in 1u32..60) {
+        struct Sink(std::rc::Rc<std::cell::Cell<u32>>);
+        impl Layer for Sink {
+            fn name(&self) -> &'static str { "sink" }
+            fn push(&mut self, m: Message, c: &mut Context<'_>) { c.send_down(m); }
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) { self.0.set(self.0.get() + 1); }
+        }
+        struct Src;
+        struct Fire(NodeId, u32);
+        impl Layer for Src {
+            fn name(&self) -> &'static str { "src" }
+            fn push(&mut self, m: Message, c: &mut Context<'_>) { c.send_down(m); }
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn control(&mut self, op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+                let Fire(dst, n) = *op.downcast::<Fire>().unwrap();
+                for i in 0..n {
+                    c.send_down(Message::new(c.node(), dst, &i.to_be_bytes()));
+                }
+                Box::new(())
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut world = World::new(seed);
+        world.network_mut().default_link_mut().loss = loss;
+        let a = world.add_node(vec![Box::new(Src)]);
+        let b = world.add_node(vec![Box::new(Sink(count.clone()))]);
+        world.control::<()>(a, 0, Fire(b, n));
+        world.run_for(SimDuration::from_secs(1));
+        prop_assert!(count.get() <= n, "the network must not duplicate: {} > {n}", count.get());
+        if loss == 0.0 {
+            prop_assert_eq!(count.get(), n, "lossless link must deliver everything");
+        }
+    }
+}
+
+#[test]
+fn run_until_idle_drains_finite_event_chains() {
+    struct Countdown(u32);
+    impl Layer for Countdown {
+        fn name(&self) -> &'static str {
+            "countdown"
+        }
+        fn push(&mut self, _m: Message, _c: &mut Context<'_>) {}
+        fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {}
+        fn timer(&mut self, _t: u64, c: &mut Context<'_>) {
+            if self.0 > 0 {
+                self.0 -= 1;
+                c.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        fn control(&mut self, _op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+            c.set_timer(SimDuration::from_millis(10), 0);
+            Box::new(())
+        }
+    }
+    let mut world = World::new(1);
+    let n = world.add_node(vec![Box::new(Countdown(25))]);
+    world.control::<()>(n, 0, ());
+    world.run_until_idle();
+    // 26 timer hops of 10 ms each.
+    assert_eq!(world.now(), SimTime::from_micros(260_000));
+}

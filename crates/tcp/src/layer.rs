@@ -1,0 +1,350 @@
+//! The TCP protocol layer: connection table, demux, and control ops.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use pfi_sim::{Context, Layer, Message, NodeId};
+
+use crate::conn::{token_parts, Conn, ConnTotals, TcpState, TcpStats};
+use crate::events::TcpEvent;
+use crate::profile::TcpProfile;
+use crate::segment::{flags, Segment};
+
+/// Handle to one connection on a [`TcpLayer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub usize);
+
+/// Control operations accepted by [`TcpLayer::control`].
+///
+/// The experiment harness plays the role of the paper's *driver layer*
+/// through these ops: opening connections, generating workload, freezing
+/// the receive buffer (the zero-window test), toggling keep-alive.
+#[derive(Debug)]
+pub enum TcpControl {
+    /// Accept connections on a port.
+    Listen {
+        /// Local port to listen on.
+        port: u16,
+    },
+    /// Actively open a connection; replies [`TcpReply::Conn`].
+    Open {
+        /// Local port.
+        local_port: u16,
+        /// Peer node.
+        remote: NodeId,
+        /// Peer port.
+        remote_port: u16,
+    },
+    /// Queue application data for sending.
+    Send {
+        /// Which connection.
+        conn: ConnId,
+        /// The bytes to send.
+        data: Vec<u8>,
+    },
+    /// Close the connection (FIN).
+    Close {
+        /// Which connection.
+        conn: ConnId,
+    },
+    /// Turn keep-alive probing on or off.
+    SetKeepalive {
+        /// Which connection.
+        conn: ConnId,
+        /// On or off.
+        on: bool,
+    },
+    /// When `false`, the application stops reading: received data
+    /// accumulates in the receive buffer and the advertised window shrinks
+    /// to zero (the paper's zero-window-probe setup).
+    SetConsume {
+        /// Which connection.
+        conn: ConnId,
+        /// Whether the application keeps consuming.
+        on: bool,
+    },
+    /// Take all application data delivered so far; replies
+    /// [`TcpReply::Data`].
+    RecvTake {
+        /// Which connection.
+        conn: ConnId,
+    },
+    /// Read counters; replies [`TcpReply::Stats`].
+    Stats {
+        /// Which connection.
+        conn: ConnId,
+    },
+    /// Read the connection state; replies [`TcpReply::State`].
+    State {
+        /// Which connection.
+        conn: ConnId,
+    },
+    /// The first connection accepted by a listener on `port`, if any;
+    /// replies [`TcpReply::MaybeConn`].
+    AcceptedOn {
+        /// Listening port.
+        port: u16,
+    },
+}
+
+/// Replies from [`TcpLayer::control`].
+#[derive(Debug)]
+pub enum TcpReply {
+    /// Nothing to report.
+    Unit,
+    /// A connection handle.
+    Conn(ConnId),
+    /// An optional connection handle.
+    MaybeConn(Option<ConnId>),
+    /// Delivered application bytes.
+    Data(Vec<u8>),
+    /// Connection counters.
+    Stats(TcpStats),
+    /// Connection state name (e.g. `"Established"`, `"Closed"`).
+    State(&'static str),
+    /// The referenced connection does not exist.
+    NoSuchConn,
+}
+
+impl TcpReply {
+    /// Unwraps a `Conn` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is of a different kind.
+    pub fn expect_conn(self) -> ConnId {
+        match self {
+            TcpReply::Conn(c) => c,
+            other => panic!("expected Conn reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Data` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is of a different kind.
+    pub fn expect_data(self) -> Vec<u8> {
+        match self {
+            TcpReply::Data(d) => d,
+            other => panic!("expected Data reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `Stats` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is of a different kind.
+    pub fn expect_stats(self) -> TcpStats {
+        match self {
+            TcpReply::Stats(s) => s,
+            other => panic!("expected Stats reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `State` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is of a different kind.
+    pub fn expect_state(self) -> &'static str {
+        match self {
+            TcpReply::State(s) => s,
+            other => panic!("expected State reply, got {other:?}"),
+        }
+    }
+}
+
+/// A TCP endpoint (one per node).
+///
+/// Place it at the top of a stack; it talks to the wire through whatever is
+/// below it (directly, or through a PFI layer).
+#[derive(Debug)]
+pub struct TcpLayer {
+    profile: TcpProfile,
+    conns: Vec<Conn>,
+    totals: Vec<ConnTotals>,
+    by_key: HashMap<(u16, NodeId, u16), usize>,
+    listeners: HashSet<u16>,
+    accepted: HashMap<u16, usize>,
+    iss_counter: u32,
+    next_ephemeral: u16,
+}
+
+impl TcpLayer {
+    /// Creates a TCP layer with the given vendor profile.
+    pub fn new(profile: TcpProfile) -> Self {
+        TcpLayer {
+            profile,
+            conns: Vec::new(),
+            totals: Vec::new(),
+            by_key: HashMap::new(),
+            listeners: HashSet::new(),
+            accepted: HashMap::new(),
+            iss_counter: 1_000,
+            next_ephemeral: 32_000,
+        }
+    }
+
+    /// The profile this endpoint runs.
+    pub fn profile(&self) -> &TcpProfile {
+        &self.profile
+    }
+
+    fn alloc_conn(&mut self, local_port: u16, remote: NodeId, remote_port: u16) -> usize {
+        let id = self.conns.len();
+        self.iss_counter = self.iss_counter.wrapping_add(64_000);
+        let conn = Conn::new(id, local_port, remote, remote_port, self.iss_counter, &self.profile);
+        self.by_key.insert((local_port, remote, remote_port), id);
+        self.conns.push(conn);
+        self.totals.push(ConnTotals::default());
+        id
+    }
+
+    fn state_name(state: TcpState) -> &'static str {
+        match state {
+            TcpState::Closed => "Closed",
+            TcpState::SynSent => "SynSent",
+            TcpState::SynRcvd => "SynRcvd",
+            TcpState::Established => "Established",
+            TcpState::FinWait1 => "FinWait1",
+            TcpState::FinWait2 => "FinWait2",
+            TcpState::CloseWait => "CloseWait",
+            TcpState::LastAck => "LastAck",
+            TcpState::Closing => "Closing",
+            TcpState::TimeWait => "TimeWait",
+        }
+    }
+}
+
+impl Layer for TcpLayer {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn push(&mut self, _msg: Message, _ctx: &mut Context<'_>) {
+        // Nothing sits above TCP in these stacks; applications use control
+        // ops. A pushed message has nowhere meaningful to go.
+    }
+
+    fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
+        let seg = match Segment::decode(&msg) {
+            Ok(s) => s,
+            Err(_) => {
+                ctx.emit(TcpEvent::DecodeFailed);
+                return;
+            }
+        };
+        let key = (seg.dst_port, msg.src(), seg.src_port);
+        let conn_idx = match self.by_key.get(&key) {
+            Some(&i) => Some(i),
+            None => {
+                if seg.has(flags::SYN) && !seg.has(flags::ACK) && self.listeners.contains(&seg.dst_port)
+                {
+                    let idx = self.alloc_conn(seg.dst_port, msg.src(), seg.src_port);
+                    self.accepted.entry(seg.dst_port).or_insert(idx);
+                    self.conns[idx].open_passive(&self.profile, ctx, &seg);
+                    return;
+                }
+                None
+            }
+        };
+        match conn_idx {
+            Some(i) => {
+                let totals = &mut self.totals[i];
+                self.conns[i].on_segment(&self.profile, ctx, seg, totals);
+            }
+            None => {
+                // Stray segment for no connection: answer with RST unless it
+                // is itself a RST.
+                if !seg.has(flags::RST) {
+                    let rst = Segment {
+                        src_port: seg.dst_port,
+                        dst_port: seg.src_port,
+                        seq: seg.ack,
+                        ack: seg.seq.wrapping_add(seg.seq_len()),
+                        flags: flags::RST | flags::ACK,
+                        window: 0,
+                        payload: Vec::new(),
+                    };
+                    ctx.send_down(rst.encode(ctx.node(), msg.src()));
+                }
+            }
+        }
+    }
+
+    fn timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let (conn, kind) = token_parts(token);
+        if let Some(c) = self.conns.get_mut(conn) {
+            c.on_timer(&self.profile, ctx, kind, &mut self.totals[conn]);
+        }
+    }
+
+    fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
+        let Ok(op) = op.downcast::<TcpControl>() else {
+            return Box::new(TcpReply::Unit);
+        };
+        let reply = match *op {
+            TcpControl::Listen { port } => {
+                self.listeners.insert(port);
+                TcpReply::Unit
+            }
+            TcpControl::Open { local_port, remote, remote_port } => {
+                let port = if local_port == 0 {
+                    self.next_ephemeral = self.next_ephemeral.wrapping_add(1);
+                    self.next_ephemeral
+                } else {
+                    local_port
+                };
+                let idx = self.alloc_conn(port, remote, remote_port);
+                self.conns[idx].open_active(&self.profile, ctx);
+                TcpReply::Conn(ConnId(idx))
+            }
+            TcpControl::Send { conn, data } => match self.conns.get_mut(conn.0) {
+                Some(c) => {
+                    c.app_send(&self.profile, ctx, &data, &mut self.totals[conn.0]);
+                    TcpReply::Unit
+                }
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::Close { conn } => match self.conns.get_mut(conn.0) {
+                Some(c) => {
+                    c.app_close(&self.profile, ctx);
+                    TcpReply::Unit
+                }
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::SetKeepalive { conn, on } => match self.conns.get_mut(conn.0) {
+                Some(c) => {
+                    c.set_keepalive(&self.profile, ctx, on);
+                    TcpReply::Unit
+                }
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::SetConsume { conn, on } => match self.conns.get_mut(conn.0) {
+                Some(c) => {
+                    c.set_consume(&self.profile, ctx, on);
+                    TcpReply::Unit
+                }
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::RecvTake { conn } => match self.conns.get_mut(conn.0) {
+                Some(c) => TcpReply::Data(c.take_delivered()),
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::Stats { conn } => match self.conns.get(conn.0) {
+                Some(c) => TcpReply::Stats(c.stats(&self.totals[conn.0])),
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::State { conn } => match self.conns.get(conn.0) {
+                Some(c) => TcpReply::State(Self::state_name(c.state)),
+                None => TcpReply::NoSuchConn,
+            },
+            TcpControl::AcceptedOn { port } => {
+                TcpReply::MaybeConn(self.accepted.get(&port).map(|&i| ConnId(i)))
+            }
+        };
+        Box::new(reply)
+    }
+}

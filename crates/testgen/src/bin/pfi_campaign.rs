@@ -1,0 +1,75 @@
+//! Command-line campaign runner: generate a fault-injection campaign from
+//! a bundled protocol specification and run it against the matching target.
+//!
+//! ```text
+//! pfi-campaign gmp            # full campaign against the fixed GMP
+//! pfi-campaign gmp --buggy    # against the implementation with the paper's bugs
+//! pfi-campaign tcp            # against a TCP transfer
+//! pfi-campaign tpc            # against a two-phase commit transaction
+//! pfi-campaign gmp --list     # print the generated scripts, don't run
+//! ```
+
+use pfi_core::Direction;
+use pfi_gmp::GmpBugs;
+use pfi_testgen::{
+    generate, run_campaign, FaultKind, GmpTarget, ProtocolSpec, TcpTarget, TestTarget, TpcTarget,
+    Verdict,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let proto = args.first().map(String::as_str).unwrap_or("gmp");
+    let buggy = args.iter().any(|a| a == "--buggy");
+    let list_only = args.iter().any(|a| a == "--list");
+
+    let spec = match proto {
+        "gmp" => ProtocolSpec::gmp(),
+        "tcp" => ProtocolSpec::tcp(),
+        "tpc" => ProtocolSpec::two_phase_commit(),
+        other => {
+            eprintln!("unknown protocol {other:?} (expected gmp, tcp, or tpc)");
+            std::process::exit(2);
+        }
+    };
+    let campaign = generate(
+        &spec,
+        &FaultKind::default_matrix(),
+        &[Direction::Send, Direction::Receive],
+    );
+    println!("campaign: {} cases for protocol {}\n", campaign.len(), campaign.protocol);
+
+    if list_only {
+        for case in &campaign.cases {
+            println!("## {}\n{}", case.id, case.script);
+        }
+        return;
+    }
+
+    let target: Box<dyn TestTarget> = match proto {
+        "gmp" => Box::new(GmpTarget {
+            bugs: if buggy { GmpBugs::all() } else { GmpBugs::none() },
+            fault_secs: 60,
+        }),
+        "tpc" => Box::new(TpcTarget),
+        _ => Box::new(TcpTarget::default()),
+    };
+    let results = run_campaign(target.as_ref(), &campaign);
+
+    let mut pass = 0;
+    let mut degraded = 0;
+    let mut violated = 0;
+    for r in &results {
+        match &r.verdict {
+            Verdict::Pass => pass += 1,
+            Verdict::Degraded(_) => degraded += 1,
+            Verdict::Violated(why) => {
+                violated += 1;
+                println!("VIOLATION {:<44} {}", r.case_id, why);
+            }
+        }
+    }
+    println!("\n{pass} pass, {degraded} degraded, {violated} violations");
+    if violated > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pfi-testgen — test-script generation from protocol specifications
+//!
+//! The paper closes with three future directions; the second is "automatic
+//! generation of test scripts from a protocol specification". This crate
+//! implements it: a [`ProtocolSpec`] lists a protocol's message types and
+//! their roles, [`generate`] crosses them with a [`FaultKind`] matrix and
+//! both filter directions, and every product is an ordinary PFI Tcl filter
+//! script (parse-checked at generation time). [`run_campaign`] then applies
+//! each script to a fresh instance of a [`TestTarget`] — a GMP cluster or a
+//! TCP transfer — and checks the target's invariants.
+//!
+//! # Examples
+//!
+//! ```
+//! use pfi_core::Direction;
+//! use pfi_testgen::{generate, FaultKind, ProtocolSpec};
+//!
+//! let campaign = generate(
+//!     &ProtocolSpec::gmp(),
+//!     &[FaultKind::Drop],
+//!     &[Direction::Receive],
+//! );
+//! assert_eq!(campaign.len(), 8); // one drop case per GMP message type
+//! let commit_case = campaign.cases.iter()
+//!     .find(|c| c.id == "gmp/receive/drop/COMMIT")
+//!     .unwrap();
+//! assert!(commit_case.script.contains("xDrop"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod generate;
+mod runner;
+mod spec;
+
+pub use generate::{generate, Campaign, FaultKind, TestCase};
+pub use runner::{run_campaign, run_case, CaseResult, GmpTarget, TcpTarget, TestTarget, TpcTarget, Verdict};
+pub use spec::{MessageSpec, ProtocolSpec, Role};

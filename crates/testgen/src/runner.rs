@@ -1,0 +1,345 @@
+//! Campaign runner: applies generated scripts to a target system and
+//! checks the target's invariants.
+
+use pfi_core::{Direction, Filter, PfiControl, PfiReply};
+use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStub};
+use pfi_rudp::RudpLayer;
+use pfi_sim::{NodeId, SimDuration, World};
+use pfi_tcp::{ConnId, TcpControl, TcpLayer, TcpProfile, TcpReply, TcpStub};
+use pfi_tpc::{TpcControl, TpcEvent, TpcLayer, TpcReply, TpcStub};
+
+use crate::generate::{Campaign, TestCase};
+
+/// Outcome of one test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All invariants held and service was undisturbed.
+    Pass,
+    /// Invariants held but service degraded (expected under many faults).
+    Degraded(String),
+    /// An invariant was violated: the campaign found a bug.
+    Violated(String),
+}
+
+impl Verdict {
+    /// Whether this verdict represents an invariant violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+}
+
+/// One case's result.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case id from the campaign.
+    pub case_id: String,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// A system a campaign can be run against.
+pub trait TestTarget {
+    /// Builds a fresh instance; returns the world plus the node and stack
+    /// index of the PFI layer the case's filter is installed on.
+    fn build(&self) -> (World, NodeId, usize);
+    /// Drives the system through the test.
+    fn drive(&self, world: &mut World);
+    /// Checks invariants after the run.
+    fn verdict(&self, world: &mut World) -> Verdict;
+}
+
+/// Runs every case of a campaign against fresh instances of the target.
+pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseResult> {
+    campaign.cases.iter().map(|case| run_case(target, case)).collect()
+}
+
+/// Runs a single case.
+pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
+    let (mut world, node, pfi_layer) = target.build();
+    let filter = Filter::script(&case.script).expect("generated scripts always parse");
+    let op = match case.dir {
+        Direction::Send => PfiControl::SetSendFilter(filter),
+        Direction::Receive => PfiControl::SetRecvFilter(filter),
+    };
+    let _: PfiReply = world.control(node, pfi_layer, op);
+    target.drive(&mut world);
+    CaseResult { case_id: case.id.clone(), verdict: target.verdict(&mut world) }
+}
+
+// ---------------------------------------------------------------------
+// GMP target
+// ---------------------------------------------------------------------
+
+/// A three-daemon GMP cluster; the case filter is installed on node 1
+/// (a non-leader member).
+#[derive(Debug, Clone)]
+pub struct GmpTarget {
+    /// Which implementation bugs are present.
+    pub bugs: GmpBugs,
+    /// Virtual seconds to run after fault installation.
+    pub fault_secs: u64,
+}
+
+impl Default for GmpTarget {
+    fn default() -> Self {
+        GmpTarget { bugs: GmpBugs::none(), fault_secs: 60 }
+    }
+}
+
+impl GmpTarget {
+    fn peers() -> Vec<NodeId> {
+        (0..3).map(NodeId::new).collect()
+    }
+}
+
+impl TestTarget for GmpTarget {
+    fn build(&self) -> (World, NodeId, usize) {
+        let mut world = World::new(4242);
+        let peers = Self::peers();
+        for _ in 0..3 {
+            let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(self.bugs));
+            world.add_node(vec![
+                Box::new(gmd),
+                Box::new(pfi_core::PfiLayer::new(Box::new(GmpStub))),
+                Box::new(RudpLayer::default()),
+            ]);
+        }
+        for &p in &peers {
+            world.control::<GmpReply>(p, 0, GmpControl::Start);
+        }
+        // Converge before the fault is installed.
+        world.run_for(SimDuration::from_secs(40));
+        (world, peers[1], 1)
+    }
+
+    fn drive(&self, world: &mut World) {
+        world.run_for(SimDuration::from_secs(self.fault_secs));
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        let peers = Self::peers();
+        // Invariant 1: agreement — same group id, same member list, across
+        // every committed view anywhere.
+        let mut by_gid: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for &p in &peers {
+            for (_, e) in world.trace().events_of::<GmpEvent>(Some(p)) {
+                match e {
+                    GmpEvent::GroupView { gid, members, .. } => match by_gid.get(&gid) {
+                        None => {
+                            by_gid.insert(gid, members);
+                        }
+                        Some(existing) => {
+                            if *existing != members {
+                                return Verdict::Violated(format!(
+                                    "view disagreement for gid {gid}: {existing:?} vs {members:?}"
+                                ));
+                            }
+                        }
+                    },
+                    // Invariant 2: a daemon must never declare itself dead.
+                    GmpEvent::SelfDeclaredDead => {
+                        return Verdict::Violated(format!("{p} declared itself dead"));
+                    }
+                    // Invariant 3: no timers may fire inside a transition.
+                    GmpEvent::SpuriousTimerInTransition { suspect } => {
+                        return Verdict::Violated(format!(
+                            "{p} saw a stale timer for n{suspect} while in transition"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Invariant 4 (liveness): the two unfaulted daemons (0 and 2) must
+        // end up Up, agreeing, and together.
+        let v0 = world.control::<GmpReply>(peers[0], 0, GmpControl::Status).expect_status();
+        let v2 = world.control::<GmpReply>(peers[2], 0, GmpControl::Status).expect_status();
+        if v0.group.members != v2.group.members {
+            return Verdict::Degraded(format!(
+                "unfaulted daemons diverge: {:?} vs {:?} (may still be converging)",
+                v0.group.members, v2.group.members
+            ));
+        }
+        if !v0.group.contains(peers[2]) {
+            return Verdict::Degraded("unfaulted daemons separated".to_string());
+        }
+        if !v0.group.contains(peers[1]) {
+            return Verdict::Degraded("the faulty member fell out of the group".to_string());
+        }
+        // Service disturbance: any committed view change after the fault
+        // was installed (the convergence phase ends at 40 virtual seconds)
+        // means the fault was visible, even if the group healed.
+        let churn = world
+            .trace()
+            .events_of::<GmpEvent>(Some(peers[0]))
+            .iter()
+            .filter(|(t, e)| {
+                t.as_secs_f64() > 40.0 && matches!(e, GmpEvent::GroupView { .. })
+            })
+            .count();
+        if churn > 0 {
+            Verdict::Degraded(format!("membership changed {churn} times under the fault"))
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP target
+// ---------------------------------------------------------------------
+
+/// A client/server TCP transfer; the case filter is installed on the
+/// server's PFI layer.
+#[derive(Debug, Clone)]
+pub struct TcpTarget {
+    /// Client profile.
+    pub profile: TcpProfile,
+    /// Bytes to transfer.
+    pub payload_len: usize,
+    /// Virtual seconds to run after fault installation.
+    pub fault_secs: u64,
+}
+
+impl Default for TcpTarget {
+    fn default() -> Self {
+        TcpTarget { profile: TcpProfile::sunos_4_1_3(), payload_len: 8_192, fault_secs: 180 }
+    }
+}
+
+impl TcpTarget {
+    fn payload(&self) -> Vec<u8> {
+        (0..self.payload_len).map(|i| (i * 11 % 256) as u8).collect()
+    }
+
+    fn client() -> NodeId {
+        NodeId::new(0)
+    }
+    fn server() -> NodeId {
+        NodeId::new(1)
+    }
+    const CONN: ConnId = ConnId(0);
+}
+
+// ---------------------------------------------------------------------
+// 2PC target
+// ---------------------------------------------------------------------
+
+/// A coordinator plus three participants running one transaction; the case
+/// filter is installed on participant 1's PFI layer.
+///
+/// Invariant: **decision agreement** — no two nodes ever apply conflicting
+/// decisions for the same transaction. Faults may block participants or
+/// abort the transaction (degradation), never split the decision.
+#[derive(Debug, Clone, Default)]
+pub struct TpcTarget;
+
+impl TestTarget for TpcTarget {
+    fn build(&self) -> (World, NodeId, usize) {
+        let mut world = World::new(555);
+        for _ in 0..4 {
+            world.add_node(vec![
+                Box::new(TpcLayer::default()),
+                Box::new(pfi_core::PfiLayer::new(Box::new(TpcStub))),
+                Box::new(RudpLayer::default()),
+            ]);
+        }
+        (world, NodeId::new(1), 1)
+    }
+
+    fn drive(&self, world: &mut World) {
+        let participants: Vec<NodeId> = (1..4).map(NodeId::new).collect();
+        world.control::<TpcReply>(NodeId::new(0), 0, TpcControl::Begin {
+            txid: 1,
+            participants,
+        });
+        world.run_for(SimDuration::from_secs(60));
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        let mut decision: Option<bool> = None;
+        let mut blocked = 0usize;
+        for i in 0..4 {
+            for (_, e) in world.trace().events_of::<TpcEvent>(Some(NodeId::new(i))) {
+                match e {
+                    TpcEvent::DecisionApplied { commit, .. }
+                    | TpcEvent::DecisionMade { commit, .. } => match decision {
+                        None => decision = Some(commit),
+                        Some(d) if d != commit => {
+                            return Verdict::Violated(format!(
+                                "decision split: {d} vs {commit}"
+                            ))
+                        }
+                        _ => {}
+                    },
+                    TpcEvent::Blocked { .. } => blocked += 1,
+                    _ => {}
+                }
+            }
+        }
+        if blocked > 0 {
+            return Verdict::Degraded(format!("{blocked} participant(s) blocked in uncertainty"));
+        }
+        match decision {
+            Some(true) => Verdict::Pass,
+            Some(false) => Verdict::Degraded("transaction aborted".to_string()),
+            None => Verdict::Degraded("no decision reached".to_string()),
+        }
+    }
+}
+
+impl TestTarget for TcpTarget {
+    fn build(&self) -> (World, NodeId, usize) {
+        let mut world = World::new(777);
+        let client = world.add_node(vec![Box::new(TcpLayer::new(self.profile.clone()))]);
+        let server = world.add_node(vec![
+            Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+            Box::new(pfi_core::PfiLayer::new(Box::new(TcpStub))),
+        ]);
+        world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+        // Open the connection only after the fault is installed — SYN-path
+        // faults are part of the campaign.
+        let _ = client;
+        (world, server, 1)
+    }
+
+    fn drive(&self, world: &mut World) {
+        let conn = world
+            .control::<TcpReply>(Self::client(), 0, TcpControl::Open {
+                local_port: 0,
+                remote: Self::server(),
+                remote_port: 80,
+            })
+            .expect_conn();
+        debug_assert_eq!(conn, Self::CONN);
+        world.run_for(SimDuration::from_secs(5));
+        let payload = self.payload();
+        world.control::<TcpReply>(Self::client(), 0, TcpControl::Send { conn, data: payload });
+        world.run_for(SimDuration::from_secs(self.fault_secs));
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        let payload = self.payload();
+        let sconn = match world
+            .control::<TcpReply>(Self::server(), 0, TcpControl::AcceptedOn { port: 80 })
+        {
+            TcpReply::MaybeConn(Some(c)) => c,
+            _ => return Verdict::Degraded("connection never established".to_string()),
+        };
+        let got = world
+            .control::<TcpReply>(Self::server(), 0, TcpControl::RecvTake { conn: sconn })
+            .expect_data();
+        // The integrity invariant: whatever arrives must be an exact prefix.
+        if got.len() > payload.len() || got[..] != payload[..got.len()] {
+            return Verdict::Violated(format!(
+                "delivered {} bytes that are not a prefix of the sent stream",
+                got.len()
+            ));
+        }
+        if got.len() == payload.len() {
+            Verdict::Pass
+        } else {
+            Verdict::Degraded(format!("only {}/{} bytes arrived", got.len(), payload.len()))
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end campaigns: generated scripts actually find the paper's bugs.
+
+use pfi_core::Direction;
+use pfi_gmp::GmpBugs;
+use pfi_sim::SimDuration;
+use pfi_testgen::{
+    generate, run_campaign, run_case, FaultKind, GmpTarget, ProtocolSpec, TcpTarget, Verdict,
+};
+
+#[test]
+fn fixed_gmp_passes_the_full_drop_campaign() {
+    // Every single-message-type drop, both directions, against the fixed
+    // implementation: plenty of degradation, zero invariant violations.
+    let campaign = generate(
+        &ProtocolSpec::gmp(),
+        &[FaultKind::Drop],
+        &[Direction::Send, Direction::Receive],
+    );
+    let target = GmpTarget { bugs: GmpBugs::none(), fault_secs: 60 };
+    let results = run_campaign(&target, &campaign);
+    assert_eq!(results.len(), 16);
+    let violations: Vec<_> = results.iter().filter(|r| r.verdict.is_violation()).collect();
+    assert!(violations.is_empty(), "fixed GMP must not violate invariants: {violations:?}");
+}
+
+#[test]
+fn campaign_discovers_the_self_death_bug_automatically() {
+    // The same generated campaign against the buggy implementation finds
+    // the self-death bug: dropping outgoing heartbeats (which includes the
+    // daemon's own loopback heartbeat) trips it.
+    let campaign = generate(&ProtocolSpec::gmp(), &[FaultKind::Drop], &[Direction::Send]);
+    let target = GmpTarget {
+        bugs: GmpBugs { self_death: true, ..GmpBugs::none() },
+        fault_secs: 60,
+    };
+    let results = run_campaign(&target, &campaign);
+    let heartbeat_case = results
+        .iter()
+        .find(|r| r.case_id == "gmp/send/drop/HEARTBEAT")
+        .expect("the heartbeat case exists");
+    assert!(
+        heartbeat_case.verdict.is_violation(),
+        "the generated heartbeat-drop case must find the bug: {heartbeat_case:?}"
+    );
+    // And the discovery is *selective*: dropping e.g. NAKs does not trip it.
+    let nak_case = results.iter().find(|r| r.case_id == "gmp/send/drop/NAK").unwrap();
+    assert!(!nak_case.verdict.is_violation(), "{nak_case:?}");
+}
+
+#[test]
+fn delay_campaign_matches_the_papers_delayed_equals_dropped_observation() {
+    // "Delayed heartbeats are like dropped ones": a 5-second delay (beyond
+    // the 3.5-second timeout) gets the member expelled exactly like a drop
+    // would. (A *constant* delay then resumes regular arrival, so the
+    // member is eventually readmitted; probing mid-expulsion shows the
+    // degradation.)
+    let campaign = generate(
+        &ProtocolSpec::gmp(),
+        &[FaultKind::Delay(SimDuration::from_secs(5))],
+        &[Direction::Send],
+    );
+    let target = GmpTarget::default();
+    let hb = campaign.cases.iter().find(|c| c.message_type == "HEARTBEAT").unwrap();
+    let result = run_case(&target, hb);
+    match &result.verdict {
+        Verdict::Degraded(_) => {}
+        other => panic!("expected degradation from delayed heartbeats, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_campaign_corruption_never_violates_integrity() {
+    // Corrupting bytes in DATA/ACK segments must never corrupt the
+    // delivered stream — the checksum is the invariant's enforcer.
+    let campaign = generate(
+        &ProtocolSpec::tcp(),
+        &[FaultKind::CorruptByte(6), FaultKind::Duplicate, FaultKind::Drop],
+        &[Direction::Receive],
+    );
+    let target = TcpTarget { fault_secs: 120, payload_len: 4_096, ..TcpTarget::default() };
+    let results = run_campaign(&target, &campaign);
+    for r in &results {
+        assert!(!r.verdict.is_violation(), "integrity violated: {r:?}");
+    }
+    // Duplicating DATA must be fully transparent.
+    let dup = results.iter().find(|r| r.case_id == "tcp/receive/duplicate/DATA").unwrap();
+    assert_eq!(dup.verdict, Verdict::Pass, "{dup:?}");
+    // Dropping all DATA degrades but does not violate.
+    let drop = results.iter().find(|r| r.case_id == "tcp/receive/drop/DATA").unwrap();
+    assert!(matches!(drop.verdict, Verdict::Degraded(_)), "{drop:?}");
+}
+
+#[test]
+fn tcp_syn_drop_prevents_connection_degraded_only() {
+    let campaign = generate(&ProtocolSpec::tcp(), &[FaultKind::Drop], &[Direction::Receive]);
+    let syn = campaign.cases.iter().find(|c| c.message_type == "SYN").unwrap();
+    let target = TcpTarget { fault_secs: 60, ..TcpTarget::default() };
+    let result = run_case(&target, syn);
+    assert!(
+        matches!(result.verdict, Verdict::Degraded(ref m) if m.contains("never established")),
+        "{result:?}"
+    );
+}
+
+#[test]
+fn destination_selective_drops_are_generated_and_run() {
+    // The paper's partition experiments drop by destination; the generator
+    // covers that dimension too.
+    let campaign =
+        generate(&ProtocolSpec::gmp(), &[FaultKind::DropToDest(0)], &[Direction::Send]);
+    let hb = campaign.cases.iter().find(|c| c.message_type == "HEARTBEAT").unwrap();
+    assert!(hb.script.contains("msg_dst"));
+    let result = run_case(&GmpTarget::default(), hb);
+    // Node 1 mute toward the leader only: it gets expelled (leader can't
+    // hear it) but no invariant breaks.
+    assert!(!result.verdict.is_violation(), "{result:?}");
+}
+
+#[test]
+fn tpc_campaign_never_splits_the_decision() {
+    // Every generated fault against 2PC may abort or block, never split
+    // the commit/abort decision between nodes.
+    let campaign = generate(
+        &ProtocolSpec::two_phase_commit(),
+        &FaultKind::default_matrix(),
+        &[Direction::Send, Direction::Receive],
+    );
+    let results = run_campaign(&pfi_testgen::TpcTarget, &campaign);
+    assert_eq!(results.len(), 6 * 6 * 2);
+    for r in &results {
+        assert!(!r.verdict.is_violation(), "decision agreement violated: {r:?}");
+    }
+    // The blocking window is discovered by the campaign, not hand-staged:
+    // at least one generated case leaves a participant blocked.
+    let blocked = results
+        .iter()
+        .filter(|r| matches!(&r.verdict, Verdict::Degraded(m) if m.contains("blocked")))
+        .count();
+    assert!(blocked > 0, "some case must expose the blocking window");
+}

@@ -1,0 +1,213 @@
+//! The fault-injection study of two-phase commit — the paper's technique
+//! applied to one more prototype distributed protocol (future work (iii)).
+//!
+//! Stack per node: `[TpcLayer, PfiLayer(TpcStub), RudpLayer]`.
+
+use pfi_core::{Filter, PfiControl, PfiLayer, PfiReply};
+use pfi_rudp::RudpLayer;
+use pfi_sim::{NodeId, SimDuration, World};
+use pfi_tpc::{TpcControl, TpcEvent, TpcLayer, TpcReply, TpcState, TpcStub};
+
+const TPC: usize = 0;
+const PFI: usize = 1;
+
+fn cluster(n: u32) -> (World, Vec<NodeId>) {
+    let mut w = World::new(2);
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| {
+            w.add_node(vec![
+                Box::new(TpcLayer::default()),
+                Box::new(PfiLayer::new(Box::new(TpcStub))),
+                Box::new(RudpLayer::default()),
+            ])
+        })
+        .collect();
+    (w, nodes)
+}
+
+fn begin(w: &mut World, coord: NodeId, txid: u32, participants: &[NodeId]) {
+    w.control::<TpcReply>(
+        coord,
+        TPC,
+        TpcControl::Begin { txid, participants: participants.to_vec() },
+    );
+}
+
+fn state(w: &mut World, node: NodeId, txid: u32) -> Option<TpcState> {
+    w.control::<TpcReply>(node, TPC, TpcControl::State { txid }).expect_state()
+}
+
+fn decision(w: &mut World, coord: NodeId, txid: u32) -> Option<bool> {
+    w.control::<TpcReply>(coord, TPC, TpcControl::Decision { txid }).expect_decision()
+}
+
+#[test]
+fn happy_path_commits_everywhere() {
+    let (mut w, n) = cluster(4);
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(decision(&mut w, n[0], 1), Some(true));
+    for &p in &n[1..] {
+        assert_eq!(state(&mut w, p, 1), Some(TpcState::Committed), "{p}");
+    }
+}
+
+#[test]
+fn one_no_vote_aborts_globally() {
+    let (mut w, n) = cluster(4);
+    w.control::<TpcReply>(n[2], TPC, TpcControl::SetVote { yes: false });
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(decision(&mut w, n[0], 1), Some(false));
+    assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Aborted));
+    assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Aborted));
+    assert_eq!(state(&mut w, n[3], 1), Some(TpcState::Aborted));
+}
+
+#[test]
+fn dropped_vote_times_out_into_abort() {
+    let (mut w, n) = cluster(3);
+    // The PFI layer on participant 2 swallows its outgoing vote.
+    let drop_votes = Filter::script(r#"if {[msg_type] == "VOTE_YES"} { xDrop }"#).unwrap();
+    let _: PfiReply = w.control(n[2], PFI, PfiControl::SetSendFilter(drop_votes));
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(decision(&mut w, n[0], 1), Some(false), "missing vote must abort");
+    assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Aborted));
+    // Participant 2 is prepared and receives the abort decision too.
+    assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Aborted));
+}
+
+#[test]
+fn coordinator_crash_after_prepare_blocks_participants() {
+    // THE classic 2PC flaw, staged deterministically: the coordinator dies
+    // after its PREPAREs leave but before any decision can go out. The
+    // PFI layer pins the crash point exactly — phase-2 traffic never
+    // leaves — then the node halts for good; prepared participants are
+    // stuck in uncertainty, allowed to neither commit nor abort.
+    let (mut w, n) = cluster(3);
+    let die_before_phase2 = Filter::script(
+        r#"if {[msg_type] == "COMMIT" || [msg_type] == "ABORT"} { xDrop }"#,
+    )
+    .unwrap();
+    let _: PfiReply = w.control(n[0], PFI, PfiControl::SetSendFilter(die_before_phase2));
+    begin(&mut w, n[0], 1, &n[1..]);
+    let coord = n[0];
+    w.schedule_in(SimDuration::from_secs(1), move |w| w.crash(coord));
+    w.run_for(SimDuration::from_secs(30));
+    for &p in &n[1..] {
+        assert_eq!(state(&mut w, p, 1), Some(TpcState::Blocked), "{p} must be blocked");
+    }
+    let blocked_events = n[1..]
+        .iter()
+        .flat_map(|p| w.trace().events_of::<TpcEvent>(Some(*p)))
+        .filter(|(_, e)| matches!(e, TpcEvent::Blocked { .. }))
+        .count();
+    assert_eq!(blocked_events, 2);
+}
+
+#[test]
+fn dropped_commit_is_retried_until_delivered() {
+    // The receive filter on participant 2 drops the first two COMMITs; the
+    // coordinator's retry loop pushes the decision through anyway.
+    let (mut w, n) = cluster(3);
+    let drop_two = Filter::script(
+        r#"
+        if {[msg_type] == "COMMIT"} {
+            incr seen
+            if {$seen <= 2} { xDrop }
+        }
+    "#,
+    )
+    .unwrap();
+    let _: PfiReply = w.control(n[2], PFI, PfiControl::SetRecvFilter(drop_two));
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(20));
+    assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Committed));
+}
+
+#[test]
+fn commit_blackhole_blocks_one_participant_but_never_diverges() {
+    // All COMMITs to participant 2 vanish forever: it blocks; the others
+    // commit. Agreement still holds — nobody *decides* differently, one
+    // node just cannot learn the decision (the liveness/blocking price).
+    let (mut w, n) = cluster(3);
+    let drop_all_commits = Filter::script(r#"if {[msg_type] == "COMMIT"} { xDrop }"#).unwrap();
+    let _: PfiReply = w.control(n[2], PFI, PfiControl::SetRecvFilter(drop_all_commits));
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(60));
+    assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Committed));
+    assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Blocked));
+    // The coordinator noticed its retries were exhausted.
+    let gave_up = w
+        .trace()
+        .events_of::<TpcEvent>(Some(n[0]))
+        .iter()
+        .any(|(_, e)| matches!(e, TpcEvent::DecisionRetriesExhausted { .. }));
+    assert!(gave_up);
+    // Agreement invariant: no participant ever applied a conflicting
+    // decision.
+    let mut applied = std::collections::HashMap::new();
+    for &p in &n[1..] {
+        for (_, e) in w.trace().events_of::<TpcEvent>(Some(p)) {
+            if let TpcEvent::DecisionApplied { txid, commit } = e {
+                let prev = applied.insert(txid, commit);
+                assert!(prev.is_none_or(|c| c == commit), "conflicting decisions for {txid}");
+            }
+        }
+    }
+}
+
+#[test]
+fn forged_abort_probe_is_ignored_by_unprepared_participants() {
+    // Probing: inject a spurious ABORT for an unknown transaction at a
+    // participant — it must be ignored (no state is created).
+    let (mut w, n) = cluster(2);
+    let inject = Filter::script(
+        r#"
+        if {![info exists probed]} {
+            set probed 1
+            xInject down ABORT 1 99
+        }
+    "#,
+    )
+    .unwrap();
+    let _: PfiReply = w.control(n[0], PFI, PfiControl::SetSendFilter(inject));
+    // Trigger the send filter with an unrelated transaction.
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(state(&mut w, n[1], 99), None, "forged tx must not materialise");
+    assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Committed));
+}
+
+#[test]
+fn delayed_prepare_still_commits() {
+    // Timing failure on the PREPAREs: 1.5 s delay is inside the 2 s vote
+    // timeout, so the transaction still commits.
+    let (mut w, n) = cluster(3);
+    let delay = Filter::script(r#"if {[msg_type] == "PREPARE"} { xDelay 1500 }"#).unwrap();
+    let _: PfiReply = w.control(n[0], PFI, PfiControl::SetSendFilter(delay));
+    begin(&mut w, n[0], 1, &n[1..]);
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(decision(&mut w, n[0], 1), Some(true));
+    // But a delay beyond the vote timeout aborts:
+    let (mut w2, n2) = cluster(3);
+    let delay_long = Filter::script(r#"if {[msg_type] == "PREPARE"} { xDelay 3000 }"#).unwrap();
+    let _: PfiReply = w2.control(n2[0], PFI, PfiControl::SetSendFilter(delay_long));
+    begin(&mut w2, n2[0], 1, &n2[1..]);
+    w2.run_for(SimDuration::from_secs(10));
+    assert_eq!(decision(&mut w2, n2[0], 1), Some(false));
+}
+
+#[test]
+fn concurrent_transactions_are_independent() {
+    let (mut w, n) = cluster(4);
+    w.control::<TpcReply>(n[3], TPC, TpcControl::SetVote { yes: false });
+    begin(&mut w, n[0], 1, &[n[1], n[2]]); // all yes → commit
+    begin(&mut w, n[0], 2, &[n[2], n[3]]); // n3 votes no → abort
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(decision(&mut w, n[0], 1), Some(true));
+    assert_eq!(decision(&mut w, n[0], 2), Some(false));
+    assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Committed));
+    assert_eq!(state(&mut w, n[2], 2), Some(TpcState::Aborted));
+}

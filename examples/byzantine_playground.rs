@@ -1,0 +1,106 @@
+//! Apply the paper's §2.2 failure models to a live TCP transfer and watch
+//! the protocol absorb (or not absorb) each one.
+//!
+//! ```text
+//! cargo run --release --example byzantine_playground
+//! ```
+
+use pfi::core::{faults, Filter, PfiLayer};
+use pfi::sim::{SimDuration, World};
+use pfi::tcp::{TcpControl, TcpEvent, TcpLayer, TcpProfile, TcpReply, TcpStub};
+
+/// Runs a 50 KiB transfer through the given receive-side filter and reports
+/// what happened.
+fn run_with_filter(label: &str, filter: Filter) {
+    let mut world = World::new(2024);
+    let client = world.add_node(vec![Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3()))]);
+    let pfi = PfiLayer::new(Box::new(TcpStub)).with_recv_filter(filter);
+    let server = world.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+        Box::new(pfi),
+    ]);
+    world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
+    let conn = world
+        .control::<TcpReply>(client, 0, TcpControl::Open {
+            local_port: 0,
+            remote: server,
+            remote_port: 80,
+        })
+        .expect_conn();
+    world.run_for(SimDuration::from_millis(100));
+
+    let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    world.run_for(SimDuration::from_secs(1_200));
+
+    let sconn = match world.control::<TcpReply>(server, 0, TcpControl::AcceptedOn { port: 80 }) {
+        TcpReply::MaybeConn(Some(c)) => c,
+        _ => {
+            println!("{label:<28} handshake never completed");
+            return;
+        }
+    };
+    let got = world.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sconn }).expect_data();
+    let stats = world.control::<TcpReply>(client, 0, TcpControl::Stats { conn }).expect_stats();
+    let decode_failures = world
+        .trace()
+        .events_of::<TcpEvent>(Some(server))
+        .iter()
+        .filter(|(_, e)| matches!(e, TcpEvent::DecodeFailed))
+        .count();
+    let intact = got == payload;
+    println!(
+        "{label:<28} delivered {:>6}/{} bytes intact={} retransmissions={} checksum-drops={} elapsed={}",
+        got.len(),
+        payload.len(),
+        intact,
+        stats.retransmissions,
+        decode_failures,
+        world.now(),
+    );
+}
+
+fn main() {
+    println!("50 KiB transfer under each failure model (receive-side filter):\n");
+
+    run_with_filter("baseline (no faults)", faults::pass_all());
+    run_with_filter("receive omission p=0.2", faults::omission(0.2));
+    run_with_filter("receive omission p=0.5", faults::omission(0.5));
+    run_with_filter(
+        "timing: +N(80ms, 40ms)",
+        faults::timing(faults::DelayDist::Normal { mean_ms: 80.0, var_ms: 40.0 }),
+    );
+    run_with_filter(
+        "byzantine (corrupt 20%)",
+        faults::byzantine(faults::ByzantineConfig {
+            corrupt: 0.2,
+            duplicate: 0.1,
+            drop: 0.05,
+            reorder: 0.1,
+            reorder_window: SimDuration::from_millis(50),
+        }),
+    );
+    // A scripted fault: corrupt the advertised window of every 10th ACK —
+    // the checksum is re-computed by the stub, so TCP *believes* the bogus
+    // window. (Fields edited via msg_set_field stay wire-consistent.)
+    run_with_filter(
+        "scripted window shrink",
+        Filter::script(
+            r#"
+            incr n
+            if {[msg_type] == "DATA" && $n % 10 == 0} {
+                msg_set_field window 1
+            }
+        "#,
+        )
+        .unwrap(),
+    );
+
+    println!(
+        "\nTCP's checksum catches byte corruption (counted as checksum-drops) and\n\
+         retransmission repairs every loss. Moderate omission and timing faults are\n\
+         absorbed transparently; under heavy loss a single-timer 1995 TCP (no fast\n\
+         retransmit, head-of-line recovery only) slows to a crawl — every byte that\n\
+         does arrive is still intact and in order."
+    );
+}

@@ -1,0 +1,8 @@
+# The paper's §3 example script, verbatim in structure: drop all ACKs.
+# Message types come from the packet stub installed in the PFI layer.
+puts -nonewline "receive filter: "
+msg_log cur_msg
+set type [msg_type cur_msg]
+if {$type == "ACK"} {
+    xDrop cur_msg
+}

@@ -1,0 +1,5 @@
+# TCP experiment 1 (Table 1): log each packet with a timestamp, let thirty
+# through, then drop everything.
+msg_log cur_msg
+incr count
+if {$count > 30} { xDrop cur_msg }

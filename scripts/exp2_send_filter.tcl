@@ -1,0 +1,8 @@
+# TCP experiment 2 (Table 2 / Figure 4): delay each outgoing ACK for 30
+# ACKs in a row, then tell the receive filter to start dropping (the
+# cross-interpreter communication the paper describes).
+if {[msg_type] == "ACK"} {
+    incr acks
+    if {$acks <= 30} { xDelay 3000 }
+    if {$acks == 30} { peer_set dropping 1 }
+}

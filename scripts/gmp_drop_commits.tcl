@@ -1,0 +1,3 @@
+# GMP experiment 1 (Table 5): drop incoming COMMIT messages so this daemon
+# parks in IN_TRANSITION.
+if {[msg_type] == "COMMIT"} { xDrop cur_msg }

@@ -1,0 +1,8 @@
+# Probabilistic fault injection: drop 10% of everything, and delay another
+# 10% by a normally distributed amount (the paper's dst_normal library).
+if {[coin 0.1]} {
+    xDrop cur_msg
+} elseif {[coin 0.1]} {
+    set ms [expr {int([dst_normal 50 20])}]
+    if {$ms > 0} { xDelay $ms }
+}

@@ -1,0 +1,171 @@
+//! The §2.2 failure-model taxonomy, exercised end-to-end against the GMP
+//! cluster: each model is injected with the PFI toolkit and the observable
+//! system-level consequence is asserted.
+
+use pfi::core::{faults, PfiControl, PfiLayer, PfiReply};
+use pfi::gmp::{GmpBugs, GmpConfig, GmpControl, GmpLayer, GmpReply, GmpStub};
+use pfi::rudp::RudpLayer;
+use pfi::sim::{NodeId, SimDuration, World};
+
+const GMD: usize = 0;
+const PFI: usize = 1;
+
+fn cluster(n: u32) -> (World, Vec<NodeId>) {
+    let mut world = World::new(1234);
+    let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    for _ in 0..n {
+        let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(GmpBugs::none()));
+        world.add_node(vec![
+            Box::new(gmd),
+            Box::new(PfiLayer::new(Box::new(GmpStub))),
+            Box::new(RudpLayer::default()),
+        ]);
+    }
+    for &p in &peers {
+        world.control::<GmpReply>(p, GMD, GmpControl::Start);
+    }
+    world.run_for(SimDuration::from_secs(60));
+    (world, peers)
+}
+
+fn members(world: &mut World, node: NodeId) -> Vec<u32> {
+    world
+        .control::<GmpReply>(node, GMD, GmpControl::Status)
+        .expect_status()
+        .group
+        .members
+        .iter()
+        .map(|m| m.as_u32())
+        .collect()
+}
+
+#[test]
+fn process_crash_failure() {
+    // "A process fails by halting prematurely and doing nothing from that
+    // point on."
+    let (mut world, peers) = cluster(4);
+    world.crash(peers[3]);
+    world.run_for(SimDuration::from_secs(30));
+    assert_eq!(members(&mut world, peers[0]), vec![0, 1, 2]);
+}
+
+#[test]
+fn link_crash_failure() {
+    // "A link fails by losing messages … before ceasing to transport
+    // messages, however, it behaves correctly."
+    let (mut world, peers) = cluster(3);
+    world.network_mut().set_link_down(peers[0], peers[2]);
+    world.network_mut().set_link_down(peers[1], peers[2]);
+    world.run_for(SimDuration::from_secs(40));
+    assert_eq!(members(&mut world, peers[0]), vec![0, 1]);
+    assert_eq!(members(&mut world, peers[2]), vec![2]);
+}
+
+#[test]
+fn send_omission_failure() {
+    // "A process fails by intermittently omitting to send messages": at
+    // 90% send omission the member cannot sustain heartbeats and falls out
+    // of the group.
+    let (mut world, peers) = cluster(3);
+    let _: PfiReply =
+        world.control(peers[2], PFI, PfiControl::SetSendFilter(faults::omission(0.9)));
+    world.run_for(SimDuration::from_secs(60));
+    assert!(!members(&mut world, peers[0]).contains(&2), "leader must expel the mute member");
+}
+
+#[test]
+fn receive_omission_failure() {
+    // The mirror image: a daemon that fails to receive most traffic stops
+    // seeing heartbeats (including its own) and withdraws.
+    let (mut world, peers) = cluster(3);
+    let _: PfiReply =
+        world.control(peers[2], PFI, PfiControl::SetRecvFilter(faults::omission(0.95)));
+    world.run_for(SimDuration::from_secs(60));
+    assert!(!members(&mut world, peers[0]).contains(&2));
+}
+
+#[test]
+fn timing_failure_within_tolerance_is_absorbed() {
+    // "A link fails by transporting messages faster or slower than its
+    // specification": a 200 ms delay on everything is well inside the
+    // 3.5 s heartbeat tolerance — the group must hold.
+    let (mut world, peers) = cluster(3);
+    let _: PfiReply = world.control(
+        peers[1],
+        PFI,
+        PfiControl::SetSendFilter(faults::timing(faults::DelayDist::Constant(
+            SimDuration::from_millis(200),
+        ))),
+    );
+    world.run_for(SimDuration::from_secs(60));
+    assert_eq!(members(&mut world, peers[0]), vec![0, 1, 2], "small delays must be tolerated");
+}
+
+#[test]
+fn timing_failure_beyond_tolerance_expels() {
+    // A 10-second delay exceeds the heartbeat timeout: delayed heartbeats
+    // "are like dropped ones", exactly as the paper notes.
+    let (mut world, peers) = cluster(3);
+    let _: PfiReply = world.control(
+        peers[1],
+        PFI,
+        PfiControl::SetSendFilter(faults::timing(faults::DelayDist::Constant(
+            SimDuration::from_secs(10),
+        ))),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    assert!(!members(&mut world, peers[0]).contains(&1));
+}
+
+#[test]
+fn general_omission_both_directions() {
+    let (mut world, peers) = cluster(3);
+    let _: PfiReply =
+        world.control(peers[1], PFI, PfiControl::SetSendFilter(faults::omission(0.8)));
+    let _: PfiReply =
+        world.control(peers[1], PFI, PfiControl::SetRecvFilter(faults::omission(0.8)));
+    world.run_for(SimDuration::from_secs(60));
+    assert!(!members(&mut world, peers[0]).contains(&1));
+}
+
+#[test]
+fn byzantine_corruption_of_gmp_packets_is_tolerated_or_ignored() {
+    // Corrupt bytes in GMP packets; the parser rejects mangled packets and
+    // heartbeats keep the group alive (corruption rate low enough that
+    // most heartbeats survive).
+    let (mut world, peers) = cluster(3);
+    let byz = faults::byzantine(faults::ByzantineConfig {
+        corrupt: 0.2,
+        duplicate: 0.1,
+        drop: 0.0,
+        reorder: 0.0,
+        reorder_window: SimDuration::ZERO,
+    });
+    let _: PfiReply = world.control(peers[1], PFI, PfiControl::SetSendFilter(byz));
+    world.run_for(SimDuration::from_secs(60));
+    // The group must remain consistent: either node 1 stayed in (most
+    // heartbeats survive 20% byte corruption) or was cleanly expelled.
+    let v0 = members(&mut world, peers[0]);
+    let v2 = members(&mut world, peers[2]);
+    assert_eq!(v0, v2, "survivors must agree");
+    assert!(v0.contains(&0) && v0.contains(&2));
+}
+
+#[test]
+fn severity_ordering_crash_is_special_case_of_omission() {
+    // The models are ordered by severity: a 100% send+receive omission is
+    // behaviourally indistinguishable from a crash, from the group's
+    // perspective.
+    let (mut world_a, peers_a) = cluster(3);
+    world_a.crash(peers_a[2]);
+    world_a.run_for(SimDuration::from_secs(40));
+
+    let (mut world_b, peers_b) = cluster(3);
+    let _: PfiReply =
+        world_b.control(peers_b[2], PFI, PfiControl::SetSendFilter(faults::drop_all()));
+    let _: PfiReply =
+        world_b.control(peers_b[2], PFI, PfiControl::SetRecvFilter(faults::drop_all()));
+    world_b.run_for(SimDuration::from_secs(40));
+
+    assert_eq!(members(&mut world_a, peers_a[0]), members(&mut world_b, peers_b[0]));
+}
