@@ -68,7 +68,11 @@ fn bench_pfi_overhead(c: &mut Criterion) {
     g.throughput(Throughput::Elements(BURST as u64));
     g.bench_function("no_pfi_layer", |b| b.iter(|| black_box(run_burst(None))));
     g.bench_function("native_passthrough", |b| {
-        b.iter(|| black_box(run_burst(Some(PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::native(|_| {}))))))
+        b.iter(|| {
+            black_box(run_burst(Some(
+                PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::native(|_| {})),
+            )))
+        })
     });
     g.bench_function("script_empty", |b| {
         b.iter(|| {
@@ -94,6 +98,24 @@ fn bench_pfi_overhead(c: &mut Criterion) {
                         incr n
                         set t [msg_type]
                         if {$n % 100 == 0 && $t != "none"} { xDelay 1 }
+                    "#,
+                    )
+                    .unwrap(),
+                ),
+            )))
+        })
+    });
+    g.bench_function("script_loop_heavy", |b| {
+        b.iter(|| {
+            black_box(run_burst(Some(
+                PfiLayer::new(Box::new(RawStub)).with_send_filter(
+                    Filter::script(
+                        r#"
+                        set sum 0
+                        for {set i 0} {$i < 8} {incr i} {
+                            set sum [expr {$sum + [msg_len] * $i}]
+                        }
+                        if {$sum > 100000} { xDrop }
                     "#,
                     )
                     .unwrap(),
@@ -134,6 +156,68 @@ fn bench_script_interp(c: &mut Criterion) {
             )
             .unwrap();
         let script = Script::parse("fib 10").unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    // Loop/expr-heavy filters: every iteration re-enters the control-flow
+    // body and the expr argument, so these isolate the cost of body/expr
+    // compilation on the warm path.
+    g.bench_function("while_loop_100", |b| {
+        let mut interp = Interp::new();
+        let script = Script::parse(
+            "set s 0; set i 0; while {$i < 100} { set s [expr {$s + $i * $i}]; incr i }; set s",
+        )
+        .unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.bench_function("for_loop_expr_heavy_100", |b| {
+        let mut interp = Interp::new();
+        let script = Script::parse(
+            r#"
+            set acc 0
+            for {set i 0} {$i < 100} {incr i} {
+                if {($i * 7 + 3) % 5 == 0} {
+                    set acc [expr {$acc + abs($i - 50) * 2}]
+                } else {
+                    set acc [expr {$acc + min($i, 31)}]
+                }
+            }
+            set acc
+        "#,
+        )
+        .unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.bench_function("foreach_switch_60", |b| {
+        let mut interp = Interp::new();
+        interp.set_var("items", "a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f a b c d e f");
+        let script = Script::parse(
+            r#"
+            set n 0
+            foreach x $items {
+                switch $x {
+                    a { incr n 1 }
+                    b { incr n 2 }
+                    default { incr n 3 }
+                }
+            }
+            set n
+        "#,
+        )
+        .unwrap();
+        b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
+    });
+    g.bench_function("proc_calls_100", |b| {
+        let mut interp = Interp::new();
+        interp
+            .eval(
+                &mut NoHost,
+                "proc step {a b} { expr {($a * 3 + $b) % 1009} }",
+            )
+            .unwrap();
+        let script = Script::parse(
+            "set v 1; set i 0; while {$i < 100} { set v [step $v $i]; incr i }; set v",
+        )
+        .unwrap();
         b.iter(|| black_box(interp.eval_parsed(&mut NoHost, &script).unwrap()))
     });
     g.finish();
@@ -194,21 +278,33 @@ fn bench_congestion_ablation(c: &mut Criterion) {
     fn transfer(profile: TcpProfile) -> u64 {
         let mut world = World::new(3);
         let client = world.add_node(vec![Box::new(TcpLayer::new(profile))]);
-        let pfi = PfiLayer::new(Box::new(pfi_tcp::TcpStub)).with_recv_filter(faults::omission(0.05));
+        let pfi =
+            PfiLayer::new(Box::new(pfi_tcp::TcpStub)).with_recv_filter(faults::omission(0.05));
         let server = world.add_node(vec![
             Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
             Box::new(pfi),
         ]);
         world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
         let conn = world
-            .control::<TcpReply>(client, 0, TcpControl::Open {
-                local_port: 0,
-                remote: server,
-                remote_port: 80,
-            })
+            .control::<TcpReply>(
+                client,
+                0,
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: server,
+                    remote_port: 80,
+                },
+            )
             .expect_conn();
         world.run_for(SimDuration::from_secs(2));
-        world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![7u8; 32_768] });
+        world.control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Send {
+                conn,
+                data: vec![7u8; 32_768],
+            },
+        );
         world.run_for(SimDuration::from_secs(600));
         world.now().as_micros()
     }
@@ -218,7 +314,9 @@ fn bench_congestion_ablation(c: &mut Criterion) {
     g.bench_function("plain_1995_sender", |b| {
         b.iter(|| black_box(transfer(TcpProfile::sunos_4_1_3())))
     });
-    g.bench_function("tahoe_extension", |b| b.iter(|| black_box(transfer(TcpProfile::tahoe()))));
+    g.bench_function("tahoe_extension", |b| {
+        b.iter(|| black_box(transfer(TcpProfile::tahoe())))
+    });
     g.finish();
 }
 

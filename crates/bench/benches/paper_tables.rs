@@ -64,14 +64,27 @@ fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4_zero_window");
     g.sample_size(10);
     g.bench_function("sunos_acked", |b| {
-        b.iter(|| black_box(tcp_exp4::run_vendor(TcpProfile::sunos_4_1_3(), tcp_exp4::Exp4Variant::Acked)))
+        b.iter(|| {
+            black_box(tcp_exp4::run_vendor(
+                TcpProfile::sunos_4_1_3(),
+                tcp_exp4::Exp4Variant::Acked,
+            ))
+        })
     });
     g.bench_function("solaris_acked", |b| {
-        b.iter(|| black_box(tcp_exp4::run_vendor(TcpProfile::solaris_2_3(), tcp_exp4::Exp4Variant::Acked)))
+        b.iter(|| {
+            black_box(tcp_exp4::run_vendor(
+                TcpProfile::solaris_2_3(),
+                tcp_exp4::Exp4Variant::Acked,
+            ))
+        })
     });
     g.bench_function("two_day_unplug", |b| {
         b.iter(|| {
-            black_box(tcp_exp4::run_vendor(TcpProfile::aix_3_2_3(), tcp_exp4::Exp4Variant::Unplugged))
+            black_box(tcp_exp4::run_vendor(
+                TcpProfile::aix_3_2_3(),
+                tcp_exp4::Exp4Variant::Unplugged,
+            ))
         })
     });
     g.finish();
@@ -90,9 +103,15 @@ fn bench_table5(c: &mut Criterion) {
     g.bench_function("self_heartbeat_buggy", |b| {
         b.iter(|| black_box(gmp_exp1::run_self_heartbeat(true)))
     });
-    g.bench_function("kick_cycle", |b| b.iter(|| black_box(gmp_exp1::run_kick_cycle())));
-    g.bench_function("drop_ack", |b| b.iter(|| black_box(gmp_exp1::run_drop_ack())));
-    g.bench_function("drop_commit", |b| b.iter(|| black_box(gmp_exp1::run_drop_commit())));
+    g.bench_function("kick_cycle", |b| {
+        b.iter(|| black_box(gmp_exp1::run_kick_cycle()))
+    });
+    g.bench_function("drop_ack", |b| {
+        b.iter(|| black_box(gmp_exp1::run_drop_ack()))
+    });
+    g.bench_function("drop_commit", |b| {
+        b.iter(|| black_box(gmp_exp1::run_drop_commit()))
+    });
     g.finish();
 }
 

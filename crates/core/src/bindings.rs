@@ -20,7 +20,44 @@ pub(crate) struct Bindings<'a, 'b> {
     pub(crate) peer: &'b mut Interp,
 }
 
-fn want<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, ScriptError> {
+/// A borrowed view of a builtin's arguments with `cur_msg` tokens skipped,
+/// so the paper's `msg_type cur_msg` spelling works: there is exactly one
+/// current message, so the handle is implicit. Filtering happens lazily at
+/// access time — the per-call fast path allocates nothing (the old
+/// `strip_cur_msg` cloned the whole `Vec<String>` on every builtin call).
+#[derive(Clone, Copy)]
+struct Args<'a>(&'a [String]);
+
+impl<'a> Args<'a> {
+    fn get(&self, i: usize) -> Option<&'a str> {
+        self.0
+            .iter()
+            .filter(|a| a.as_str() != "cur_msg")
+            .nth(i)
+            .map(String::as_str)
+    }
+
+    fn first(&self) -> Option<&'a str> {
+        self.get(0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.iter().all(|a| a.as_str() == "cur_msg")
+    }
+
+    /// Owned tail starting at logical index `i` (slow path: `xInject` hands
+    /// these to the generation stub, which takes `&[String]`).
+    fn rest_owned(&self, i: usize) -> Vec<String> {
+        self.0
+            .iter()
+            .filter(|a| a.as_str() != "cur_msg")
+            .skip(i)
+            .cloned()
+            .collect()
+    }
+}
+
+fn want<T: std::str::FromStr>(args: Args<'_>, i: usize, what: &str) -> Result<T, ScriptError> {
     let a = args
         .get(i)
         .ok_or_else(|| ScriptError::new(format!("missing argument: expected {what}")))?;
@@ -29,30 +66,27 @@ fn want<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T
         .map_err(|_| ScriptError::new(format!("expected {what} but got \"{a}\"")))
 }
 
-/// Strips `cur_msg` tokens so the paper's `msg_type cur_msg` spelling works:
-/// there is exactly one current message, so the handle is implicit.
-fn strip_cur_msg(args: &[String]) -> Vec<String> {
-    args.iter().filter(|a| a.as_str() != "cur_msg").cloned().collect()
-}
-
 impl Host for Bindings<'_, '_> {
     fn call(
         &mut self,
-        _interp: &mut Interp,
+        interp: &mut Interp,
         cmd: &str,
         raw_args: &[String],
     ) -> Option<Result<String, ScriptError>> {
-        let args = strip_cur_msg(raw_args);
+        let args = Args(raw_args);
         let ok = |s: String| Some(Ok(s));
         let unit = || Some(Ok(String::new()));
         match cmd {
             // --- recognition ------------------------------------------
-            "msg_type" => ok(self.fctx.msg_type().unwrap_or_else(|| "unknown".to_string())),
+            "msg_type" => ok(self
+                .fctx
+                .msg_type()
+                .unwrap_or_else(|| "unknown".to_string())),
             "msg_len" => ok(self.fctx.msg().len().to_string()),
             "msg_src" => ok(self.fctx.msg().src().index().to_string()),
             "msg_dst" => ok(self.fctx.msg().dst().index().to_string()),
             "msg_byte" => Some((|| {
-                let off: usize = want(&args, 0, "byte offset")?;
+                let off: usize = want(args, 0, "byte offset")?;
                 self.fctx
                     .msg()
                     .byte_at(off)
@@ -74,8 +108,8 @@ impl Host for Bindings<'_, '_> {
             }
             // --- manipulation -----------------------------------------
             "msg_set_byte" => Some((|| {
-                let off: usize = want(&args, 0, "byte offset")?;
-                let val: u8 = want(&args, 1, "byte value")?;
+                let off: usize = want(args, 0, "byte offset")?;
+                let val: u8 = want(args, 1, "byte value")?;
                 if self.fctx.msg_mut().set_byte_at(off, val) {
                     Ok(String::new())
                 } else {
@@ -85,22 +119,21 @@ impl Host for Bindings<'_, '_> {
             "msg_set_field" => Some((|| {
                 let name = args
                     .first()
-                    .ok_or_else(|| ScriptError::new("missing field name"))?
-                    .clone();
-                let val: i64 = want(&args, 1, "field value")?;
-                if self.fctx.set_field(&name, val) {
+                    .ok_or_else(|| ScriptError::new("missing field name"))?;
+                let val: i64 = want(args, 1, "field value")?;
+                if self.fctx.set_field(name, val) {
                     Ok(String::new())
                 } else {
                     Err(ScriptError::new(format!("no such field \"{name}\"")))
                 }
             })()),
             "msg_set_src" => Some((|| {
-                let n: u32 = want(&args, 0, "node id")?;
+                let n: u32 = want(args, 0, "node id")?;
                 self.fctx.msg_mut().set_src(NodeId::new(n));
                 Ok(String::new())
             })()),
             "msg_set_dst" => Some((|| {
-                let n: u32 = want(&args, 0, "node id")?;
+                let n: u32 = want(args, 0, "node id")?;
                 self.fctx.msg_mut().set_dst(NodeId::new(n));
                 Ok(String::new())
             })()),
@@ -113,12 +146,12 @@ impl Host for Bindings<'_, '_> {
                 unit()
             }
             "xDelay" => Some((|| {
-                let ms: u64 = want(&args, 0, "delay in milliseconds")?;
+                let ms: u64 = want(args, 0, "delay in milliseconds")?;
                 self.fctx.delay(SimDuration::from_millis(ms));
                 Ok(String::new())
             })()),
             "xDelayUs" => Some((|| {
-                let us: u64 = want(&args, 0, "delay in microseconds")?;
+                let us: u64 = want(args, 0, "delay in microseconds")?;
                 self.fctx.delay(SimDuration::from_micros(us));
                 Ok(String::new())
             })()),
@@ -126,7 +159,7 @@ impl Host for Bindings<'_, '_> {
                 let n: u32 = if args.is_empty() {
                     1
                 } else {
-                    match want(&args, 0, "copy count") {
+                    match want(args, 0, "copy count") {
                         Ok(n) => n,
                         Err(e) => return Some(Err(e)),
                     }
@@ -144,16 +177,19 @@ impl Host for Bindings<'_, '_> {
             }
             // --- timers -------------------------------------------------
             "xAfter" => Some((|| {
-                let ms: u64 = want(&args, 0, "delay in milliseconds")?;
-                let script = args
+                let ms: u64 = want(args, 0, "delay in milliseconds")?;
+                let src = args
                     .get(1)
                     .ok_or_else(|| ScriptError::new("xAfter: missing script"))?;
-                self.fctx.after(SimDuration::from_millis(ms), script)?;
+                // Compile through the interpreter's script cache: a timer
+                // re-armed every message parses its body exactly once.
+                let script = interp.compile(src)?;
+                self.fctx.after(SimDuration::from_millis(ms), script);
                 Ok(String::new())
             })()),
             // --- injection ---------------------------------------------
             "xInject" => Some((|| {
-                let dir = match args.first().map(String::as_str) {
+                let dir = match args.first() {
                     Some("down") | Some("send") => Direction::Send,
                     Some("up") | Some("receive") => Direction::Receive,
                     other => {
@@ -166,7 +202,7 @@ impl Host for Bindings<'_, '_> {
                 let msg = self
                     .fctx
                     .stub()
-                    .generate(node, &args[1..])
+                    .generate(node, &args.rest_owned(1))
                     .map_err(ScriptError::new)?;
                 self.fctx.inject(dir, msg);
                 Ok(String::new())
@@ -176,8 +212,7 @@ impl Host for Bindings<'_, '_> {
                 let name = args
                     .first()
                     .ok_or_else(|| ScriptError::new("peer_set: missing variable name"))?;
-                let val = args.get(1).cloned().unwrap_or_default();
-                self.peer.set_var(name, val);
+                self.peer.set_var(name, args.get(1).unwrap_or(""));
                 Ok(String::new())
             })()),
             "peer_get" => Some((|| {
@@ -186,15 +221,14 @@ impl Host for Bindings<'_, '_> {
                     .ok_or_else(|| ScriptError::new("peer_get: missing variable name"))?;
                 match self.peer.get_var(name) {
                     Ok(v) => Ok(v),
-                    Err(e) => args.get(1).cloned().ok_or(e),
+                    Err(e) => args.get(1).map(str::to_string).ok_or(e),
                 }
             })()),
             "global_set" => Some((|| {
                 let name = args
                     .first()
                     .ok_or_else(|| ScriptError::new("global_set: missing key"))?;
-                let val = args.get(1).cloned().unwrap_or_default();
-                self.fctx.globals().set(name.clone(), val);
+                self.fctx.globals().set(name, args.get(1).unwrap_or(""));
                 Ok(String::new())
             })()),
             "global_get" => Some((|| {
@@ -205,7 +239,7 @@ impl Host for Bindings<'_, '_> {
                     Some(v) => Ok(v),
                     None => args
                         .get(1)
-                        .cloned()
+                        .map(str::to_string)
                         .ok_or_else(|| ScriptError::new(format!("no such global \"{name}\""))),
                 }
             })()),
@@ -216,35 +250,35 @@ impl Host for Bindings<'_, '_> {
             "pfi_dir" => ok(self.fctx.dir().as_str().to_string()),
             // --- probability distributions -----------------------------
             "dst_normal" => Some((|| {
-                let mean: f64 = want(&args, 0, "mean")?;
-                let var: f64 = want(&args, 1, "variance")?;
+                let mean: f64 = want(args, 0, "mean")?;
+                let var: f64 = want(args, 1, "variance")?;
                 if var < 0.0 {
                     return Err(ScriptError::new("variance must be non-negative"));
                 }
                 Ok(self.fctx.rng().normal(mean, var).to_string())
             })()),
             "dst_uniform" => Some((|| {
-                let lo: f64 = want(&args, 0, "lower bound")?;
-                let hi: f64 = want(&args, 1, "upper bound")?;
+                let lo: f64 = want(args, 0, "lower bound")?;
+                let hi: f64 = want(args, 1, "upper bound")?;
                 if lo >= hi {
                     return Err(ScriptError::new("empty uniform range"));
                 }
                 Ok(self.fctx.rng().uniform(lo, hi).to_string())
             })()),
             "dst_exponential" => Some((|| {
-                let mean: f64 = want(&args, 0, "mean")?;
+                let mean: f64 = want(args, 0, "mean")?;
                 if mean <= 0.0 {
                     return Err(ScriptError::new("mean must be positive"));
                 }
                 Ok(self.fctx.rng().exponential(mean).to_string())
             })()),
             "coin" => Some((|| {
-                let p: f64 = want(&args, 0, "probability")?;
+                let p: f64 = want(args, 0, "probability")?;
                 Ok((self.fctx.rng().coin(p) as i32).to_string())
             })()),
             "rand_int" => Some((|| {
-                let lo: u64 = want(&args, 0, "lower bound")?;
-                let hi: u64 = want(&args, 1, "upper bound")?;
+                let lo: u64 = want(args, 0, "lower bound")?;
+                let hi: u64 = want(args, 1, "upper bound")?;
                 if lo >= hi {
                     return Err(ScriptError::new("empty integer range"));
                 }
@@ -272,7 +306,8 @@ impl Host for ControlBindings<'_, '_> {
         match cmd {
             "peer_set" => {
                 let name = args.first()?.clone();
-                self.peer.set_var(&name, args.get(1).cloned().unwrap_or_default());
+                self.peer
+                    .set_var(&name, args.get(1).cloned().unwrap_or_default());
                 Some(Ok(String::new()))
             }
             "peer_get" => {
@@ -284,7 +319,8 @@ impl Host for ControlBindings<'_, '_> {
             }
             "global_set" => {
                 let name = args.first()?.clone();
-                self.globals.set(name, args.get(1).cloned().unwrap_or_default());
+                self.globals
+                    .set(name, args.get(1).cloned().unwrap_or_default());
                 Some(Ok(String::new()))
             }
             "global_get" => {

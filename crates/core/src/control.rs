@@ -6,9 +6,9 @@
 //! poke interpreter state, and harvest packet logs through these ops via
 //! [`World::control`](pfi_sim::World::control).
 
-use pfi_script::ScriptError;
+use pfi_script::{CacheStats, ScriptError};
 
-use crate::filter::Filter;
+use crate::filter::{Direction, Filter};
 use crate::log::LogEntry;
 
 /// Operations accepted by [`PfiLayer::control`](crate::PfiLayer).
@@ -37,6 +37,10 @@ pub enum PfiControl {
     ReleaseHeld,
     /// Reports how many messages are currently held.
     HeldCount,
+    /// Reports the compile-once cache counters of one direction's
+    /// interpreter (scripts and exprs), for asserting that warm per-message
+    /// paths never re-parse.
+    CacheStats(Direction),
 }
 
 /// Replies produced by [`PfiLayer::control`](crate::PfiLayer).
@@ -50,6 +54,13 @@ pub enum PfiReply {
     Log(Vec<LogEntry>),
     /// A count (held messages).
     Count(usize),
+    /// Script- and expr-cache counters of one interpreter.
+    CacheStats {
+        /// Control-flow/proc/timer body cache.
+        scripts: CacheStats,
+        /// `expr` argument cache.
+        exprs: CacheStats,
+    },
     /// The op was not a [`PfiControl`] value.
     UnknownOp,
 }
@@ -88,6 +99,18 @@ impl PfiReply {
         match self {
             PfiReply::Count(n) => n,
             other => panic!("expected Count reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `CacheStats` reply into `(scripts, exprs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply is not `CacheStats`.
+    pub fn expect_cache_stats(self) -> (CacheStats, CacheStats) {
+        match self {
+            PfiReply::CacheStats { scripts, exprs } => (scripts, exprs),
+            other => panic!("expected CacheStats reply, got {other:?}"),
         }
     }
 }

@@ -112,7 +112,9 @@ impl DelayDist {
                 if lo >= hi {
                     return lo;
                 }
-                let us = ctx.rng().uniform(lo.as_micros() as f64, hi.as_micros() as f64);
+                let us = ctx
+                    .rng()
+                    .uniform(lo.as_micros() as f64, hi.as_micros() as f64);
                 SimDuration::from_micros(us as u64)
             }
             DelayDist::Normal { mean_ms, var_ms } => {
@@ -189,7 +191,9 @@ pub fn byzantine(config: ByzantineConfig) -> Filter {
             return;
         }
         if ctx.rng().coin(config.reorder) && config.reorder_window > SimDuration::ZERO {
-            let us = ctx.rng().uniform_u64(1, config.reorder_window.as_micros().max(2));
+            let us = ctx
+                .rng()
+                .uniform_u64(1, config.reorder_window.as_micros().max(2));
             ctx.delay(SimDuration::from_micros(us));
         }
     })

@@ -7,6 +7,7 @@
 //! procedures written in C and linked into the tool".
 
 use std::fmt;
+use std::rc::Rc;
 
 use pfi_script::Script;
 use pfi_sim::{Message, NodeId, SimDuration, SimRng, SimTime};
@@ -75,8 +76,10 @@ pub(crate) struct Effects {
     /// Release all held messages after this one is handled.
     pub release: bool,
     /// Scripts to evaluate later in this direction's interpreter
-    /// (the paper's "setting and manipulating timers" library).
-    pub timer_scripts: Vec<(SimDuration, pfi_script::Script)>,
+    /// (the paper's "setting and manipulating timers" library). Held as
+    /// `Rc<Script>` so re-armed timers share one compiled body with the
+    /// interpreter's script cache instead of re-parsing per arm.
+    pub timer_scripts: Vec<(SimDuration, Rc<Script>)>,
 }
 
 /// The API a filter uses to inspect and manipulate the current message.
@@ -188,21 +191,16 @@ impl<'a> FilterCtx<'a> {
         self.effects.release = true;
     }
 
-    /// Schedules `script` to be evaluated in this direction's interpreter
-    /// after `delay` (the script command `xAfter <ms> <script>`). Timer
-    /// scripts see the interpreter's variables but no current message.
+    /// Schedules a pre-compiled `script` to be evaluated in this
+    /// direction's interpreter after `delay` (the script command
+    /// `xAfter <ms> <script>`). Timer scripts see the interpreter's
+    /// variables but no current message.
     ///
-    /// # Errors
-    ///
-    /// Returns the parse error for malformed scripts.
-    pub fn after(
-        &mut self,
-        delay: SimDuration,
-        script: &str,
-    ) -> Result<(), pfi_script::ScriptError> {
-        let parsed = pfi_script::Script::parse(script)?;
-        self.effects.timer_scripts.push((delay, parsed));
-        Ok(())
+    /// Script filters obtain the compiled body from the interpreter's
+    /// script cache ([`pfi_script::Interp::compile`]); native filters can
+    /// parse once up front with [`Script::parse`] and wrap in [`Rc`].
+    pub fn after(&mut self, delay: SimDuration, script: Rc<Script>) {
+        self.effects.timer_scripts.push((delay, script));
     }
 
     /// Append the current message to the PFI layer's packet log with a
@@ -211,7 +209,10 @@ impl<'a> FilterCtx<'a> {
         self.log.push(LogEntry {
             time: self.now,
             dir: self.dir,
-            msg_type: self.stub.type_of(self.msg).unwrap_or_else(|| "?".to_string()),
+            msg_type: self
+                .stub
+                .type_of(self.msg)
+                .unwrap_or_else(|| "?".to_string()),
             len: self.msg.len(),
             summary: self.stub.summary(self.msg),
         });

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use pfi_script::Interp;
 use pfi_sim::{Context, Layer, Message};
@@ -45,7 +46,7 @@ pub struct PfiLayer {
     interps: [Interp; 2],
     held: Vec<(Direction, Message)>,
     delayed: HashMap<u64, (Direction, Message)>,
-    timer_scripts: HashMap<u64, (Direction, pfi_script::Script)>,
+    timer_scripts: HashMap<u64, (Direction, Rc<pfi_script::Script>)>,
     next_token: u64,
     killed: bool,
     packet_log: Vec<LogEntry>,
@@ -119,6 +120,17 @@ impl PfiLayer {
         self
     }
 
+    /// Sets the compile-once cache bounds of both direction interpreters
+    /// (`scripts` for control-flow/proc/timer bodies, `exprs` for `expr`
+    /// arguments). `(0, 0)` disables caching — every evaluation re-parses,
+    /// which is the "cold path" used to cross-check determinism.
+    pub fn with_cache_capacity(mut self, scripts: usize, exprs: usize) -> Self {
+        for interp in &mut self.interps {
+            interp.set_cache_capacity(scripts, exprs);
+        }
+        self
+    }
+
     fn run_filter(&mut self, dir: Direction, msg: &mut Message, ctx: &mut Context<'_>) -> Effects {
         let mut effects = Effects::default();
         let i = idx(dir);
@@ -175,7 +187,11 @@ impl PfiLayer {
     fn apply(&mut self, dir: Direction, msg: Message, effects: Effects, ctx: &mut Context<'_>) {
         let msg_type = || self.stub.type_of(&msg).unwrap_or_else(|| "?".to_string());
         if effects.duplicates > 0 {
-            ctx.emit(PfiEvent::Duplicated { dir, msg_type: msg_type(), copies: effects.duplicates });
+            ctx.emit(PfiEvent::Duplicated {
+                dir,
+                msg_type: msg_type(),
+                copies: effects.duplicates,
+            });
             for _ in 0..effects.duplicates {
                 Self::forward(dir, msg.clone(), ctx);
             }
@@ -183,24 +199,37 @@ impl PfiLayer {
         match effects.verdict {
             Verdict::Pass => Self::forward(dir, msg, ctx),
             Verdict::Drop => {
-                ctx.emit(PfiEvent::Dropped { dir, msg_type: msg_type() });
+                ctx.emit(PfiEvent::Dropped {
+                    dir,
+                    msg_type: msg_type(),
+                });
             }
             Verdict::Delay(d) => {
-                ctx.emit(PfiEvent::Delayed { dir, msg_type: msg_type(), delay: d });
+                ctx.emit(PfiEvent::Delayed {
+                    dir,
+                    msg_type: msg_type(),
+                    delay: d,
+                });
                 self.next_token += 1;
                 let token = self.next_token;
                 self.delayed.insert(token, (dir, msg));
                 ctx.set_timer(d, token);
             }
             Verdict::Hold => {
-                ctx.emit(PfiEvent::Held { dir, msg_type: msg_type() });
+                ctx.emit(PfiEvent::Held {
+                    dir,
+                    msg_type: msg_type(),
+                });
                 self.held.push((dir, msg));
             }
         }
         for inj in effects.injections {
             ctx.emit(PfiEvent::Injected {
                 dir: inj.dir,
-                msg_type: self.stub.type_of(&inj.msg).unwrap_or_else(|| "?".to_string()),
+                msg_type: self
+                    .stub
+                    .type_of(&inj.msg)
+                    .unwrap_or_else(|| "?".to_string()),
             });
             Self::forward(inj.dir, inj.msg, ctx);
         }
@@ -243,7 +272,10 @@ impl PfiLayer {
             Direction::Send => (send_interp, recv_interp),
             Direction::Receive => (recv_interp, send_interp),
         };
-        let mut host = ControlBindings { globals: &self.globals, peer };
+        let mut host = ControlBindings {
+            globals: &self.globals,
+            peer,
+        };
         own.eval(&mut host, src)
     }
 }
@@ -284,9 +316,15 @@ impl Layer for PfiLayer {
                 Direction::Send => (send_interp, recv_interp),
                 Direction::Receive => (recv_interp, send_interp),
             };
-            let mut host = ControlBindings { globals: &self.globals, peer };
+            let mut host = ControlBindings {
+                globals: &self.globals,
+                peer,
+            };
             if let Err(e) = own.eval_parsed(&mut host, &script) {
-                ctx.emit(PfiEvent::ScriptFailed { dir, error: e.to_string() });
+                ctx.emit(PfiEvent::ScriptFailed {
+                    dir,
+                    error: e.to_string(),
+                });
             }
         }
     }
@@ -312,9 +350,7 @@ impl Layer for PfiLayer {
                 self.filters[1] = None;
                 PfiReply::Unit
             }
-            PfiControl::EvalInSend(src) => {
-                PfiReply::Eval(self.eval_control(Direction::Send, &src))
-            }
+            PfiControl::EvalInSend(src) => PfiReply::Eval(self.eval_control(Direction::Send, &src)),
             PfiControl::EvalInRecv(src) => {
                 PfiReply::Eval(self.eval_control(Direction::Receive, &src))
             }
@@ -339,6 +375,13 @@ impl Layer for PfiLayer {
                 PfiReply::Count(n)
             }
             PfiControl::HeldCount => PfiReply::Count(self.held.len()),
+            PfiControl::CacheStats(dir) => {
+                let interp = &self.interps[idx(dir)];
+                PfiReply::CacheStats {
+                    scripts: interp.script_cache_stats(),
+                    exprs: interp.expr_cache_stats(),
+                }
+            }
         };
         Box::new(reply)
     }

@@ -74,8 +74,8 @@
 
 mod bindings;
 mod control;
-mod filter;
 pub mod faults;
+mod filter;
 mod globals;
 mod layer;
 mod log;

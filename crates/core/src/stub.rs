@@ -97,11 +97,16 @@ mod tests {
 
     #[test]
     fn raw_stub_generates_messages() {
-        let args: Vec<String> = ["raw", "2", "hello"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["raw", "2", "hello"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let m = RawStub.generate(NodeId::new(0), &args).unwrap();
         assert_eq!(m.dst(), NodeId::new(2));
         assert_eq!(m.bytes(), b"hello");
-        assert!(RawStub.generate(NodeId::new(0), &["raw".to_string()]).is_err());
+        assert!(RawStub
+            .generate(NodeId::new(0), &["raw".to_string()])
+            .is_err());
         let bad: Vec<String> = ["raw", "x", "p"].iter().map(|s| s.to_string()).collect();
         assert!(RawStub.generate(NodeId::new(0), &bad).is_err());
     }

@@ -61,13 +61,20 @@ fn pass_through_by_default() {
 
 #[test]
 fn script_send_filter_drops_everything() {
-    let pfi = PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::script("xDrop cur_msg").unwrap());
+    let pfi =
+        PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::script("xDrop cur_msg").unwrap());
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, a, b, b"hello");
     w.run_for(SimDuration::from_millis(10));
     assert!(received(&mut w, b).is_empty());
     let drops = w.trace().events_of::<PfiEvent>(Some(a));
-    assert!(matches!(drops[0].1, PfiEvent::Dropped { dir: Direction::Send, .. }));
+    assert!(matches!(
+        drops[0].1,
+        PfiEvent::Dropped {
+            dir: Direction::Send,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -105,8 +112,8 @@ fn delay_reorders_relative_to_later_traffic() {
 
 #[test]
 fn duplicate_forwards_extra_copies() {
-    let pfi = PfiLayer::new(Box::new(RawStub))
-        .with_send_filter(Filter::script("xDuplicate 2").unwrap());
+    let pfi =
+        PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::script("xDuplicate 2").unwrap());
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, a, b, b"x");
     w.run_for(SimDuration::from_millis(10));
@@ -161,9 +168,8 @@ fn inject_spontaneous_message_down() {
 #[test]
 fn inject_up_delivers_to_target_layer() {
     // The receive path of node a: inject a forged message up to the driver.
-    let pfi = PfiLayer::new(Box::new(RawStub)).with_recv_filter(
-        Filter::script(r#"xInject up raw 0 FORGED"#).unwrap(),
-    );
+    let pfi = PfiLayer::new(Box::new(RawStub))
+        .with_recv_filter(Filter::script(r#"xInject up raw 0 FORGED"#).unwrap());
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, b, a, b"real");
     w.run_for(SimDuration::from_millis(10));
@@ -251,13 +257,17 @@ fn packet_log_records_timestamps_and_harvests() {
     w.run_for(SimDuration::from_millis(5));
     send(&mut w, a, b, b"twoo");
     w.run_for(SimDuration::from_millis(5));
-    let log = w.control::<PfiReply>(a, 1, PfiControl::TakeLog).expect_log();
+    let log = w
+        .control::<PfiReply>(a, 1, PfiControl::TakeLog)
+        .expect_log();
     assert_eq!(log.len(), 2);
     assert_eq!(log[0].len, 3);
     assert_eq!(log[1].len, 4);
     assert!(log[0].time < log[1].time);
     // Log is cleared by TakeLog.
-    let log2 = w.control::<PfiReply>(a, 1, PfiControl::TakeLog).expect_log();
+    let log2 = w
+        .control::<PfiReply>(a, 1, PfiControl::TakeLog)
+        .expect_log();
     assert!(log2.is_empty());
 }
 
@@ -270,7 +280,9 @@ fn failing_script_passes_message_and_reports() {
     w.run_for(SimDuration::from_millis(10));
     assert_eq!(received(&mut w, b).len(), 1, "message must still pass");
     let evs = w.trace().events_of::<PfiEvent>(Some(a));
-    assert!(evs.iter().any(|(_, e)| matches!(e, PfiEvent::ScriptFailed { .. })));
+    assert!(evs
+        .iter()
+        .any(|(_, e)| matches!(e, PfiEvent::ScriptFailed { .. })));
 }
 
 #[test]
@@ -290,9 +302,8 @@ fn swap_filters_at_runtime_via_control() {
 
 #[test]
 fn eval_in_interp_seeds_script_state() {
-    let pfi = PfiLayer::new(Box::new(RawStub)).with_send_filter(
-        Filter::script(r#"if {$threshold > 0} { xDrop }"#).unwrap(),
-    );
+    let pfi = PfiLayer::new(Box::new(RawStub))
+        .with_send_filter(Filter::script(r#"if {$threshold > 0} { xDrop }"#).unwrap());
     let (mut w, a, b) = two_nodes(pfi);
     let _: PfiReply = w.control(a, 1, PfiControl::EvalInSend("set threshold 1".to_string()));
     send(&mut w, a, b, b"x");
@@ -325,7 +336,9 @@ fn fault_pass_n_then_drop() {
     w.run_for(SimDuration::from_millis(10));
     assert_eq!(received(&mut w, a).len(), 3);
     // All six were logged (with timestamps) even though three were dropped.
-    let log = w.control::<PfiReply>(a, 1, PfiControl::TakeLog).expect_log();
+    let log = w
+        .control::<PfiReply>(a, 1, PfiControl::TakeLog)
+        .expect_log();
     assert_eq!(log.len(), 6);
 }
 
@@ -339,7 +352,10 @@ fn fault_omission_is_probabilistic() {
     }
     w.run_for(SimDuration::from_millis(100));
     let n = received(&mut w, b).len();
-    assert!((60..=140).contains(&n), "got {n} of 200 through a 50% omission filter");
+    assert!(
+        (60..=140).contains(&n),
+        "got {n} of 200 through a 50% omission filter"
+    );
 }
 
 #[test]
@@ -375,7 +391,12 @@ fn fault_byzantine_corrupts_sometimes() {
     let got = received(&mut w, b);
     assert_eq!(got.len(), 1);
     assert_ne!(got[0].1, b"AAAA", "exactly one bit must differ");
-    let diff: u32 = got[0].1.iter().zip(b"AAAA").map(|(x, y)| (x ^ y).count_ones()).sum();
+    let diff: u32 = got[0]
+        .1
+        .iter()
+        .zip(b"AAAA")
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum();
     assert_eq!(diff, 1);
 }
 
@@ -393,7 +414,10 @@ fn fault_timing_delays_within_distribution() {
     assert_eq!(got.len(), 20);
     for (t, _) in &got {
         // 1 ms link latency + [10, 20) ms injected delay.
-        assert!(*t >= SimTime::from_micros(11_000) && *t < SimTime::from_micros(21_100), "t = {t}");
+        assert!(
+            *t >= SimTime::from_micros(11_000) && *t < SimTime::from_micros(21_100),
+            "t = {t}"
+        );
     }
 }
 
@@ -406,8 +430,16 @@ fn held_count_and_release_via_control() {
     }
     w.run_for(SimDuration::from_millis(10));
     assert!(received(&mut w, b).is_empty());
-    assert_eq!(w.control::<PfiReply>(a, 1, PfiControl::HeldCount).expect_count(), 4);
-    assert_eq!(w.control::<PfiReply>(a, 1, PfiControl::ReleaseHeld).expect_count(), 4);
+    assert_eq!(
+        w.control::<PfiReply>(a, 1, PfiControl::HeldCount)
+            .expect_count(),
+        4
+    );
+    assert_eq!(
+        w.control::<PfiReply>(a, 1, PfiControl::ReleaseHeld)
+            .expect_count(),
+        4
+    );
     w.run_for(SimDuration::from_millis(10));
     assert_eq!(received(&mut w, b).len(), 4);
 }
@@ -460,7 +492,11 @@ fn xafter_arms_timer_scripts_for_phase_changes() {
     let _ = (a, b);
     w.run_for(SimDuration::from_secs(3));
     let got = received(&mut w, NodeId::new(1));
-    assert_eq!(got.len(), 3, "only the pre-phase-change messages pass: {got:?}");
+    assert_eq!(
+        got.len(),
+        3,
+        "only the pre-phase-change messages pass: {got:?}"
+    );
 }
 
 #[test]
@@ -491,14 +527,15 @@ fn xafter_scripts_can_touch_peer_and_global_state() {
 
 #[test]
 fn failing_timer_script_is_reported() {
-    let pfi = PfiLayer::new(Box::new(RawStub)).with_send_filter(
-        Filter::script(r#"xAfter 50 { this_is_not_a_command }"#).unwrap(),
-    );
+    let pfi = PfiLayer::new(Box::new(RawStub))
+        .with_send_filter(Filter::script(r#"xAfter 50 { this_is_not_a_command }"#).unwrap());
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, a, b, b"x");
     w.run_for(SimDuration::from_secs(1));
     let evs = w.trace().events_of::<PfiEvent>(Some(a));
-    assert!(evs.iter().any(|(_, e)| matches!(e, PfiEvent::ScriptFailed { .. })));
+    assert!(evs
+        .iter()
+        .any(|(_, e)| matches!(e, PfiEvent::ScriptFailed { .. })));
 }
 
 /// A stub that types messages by their first byte: 'A' → "ALPHA",
@@ -510,7 +547,11 @@ impl pfi_core::PacketStub for FirstByteStub {
         "fb"
     }
     fn type_of(&self, msg: &Message) -> Option<String> {
-        Some(if msg.byte_at(0) == Some(b'A') { "ALPHA".to_string() } else { "BETA".to_string() })
+        Some(if msg.byte_at(0) == Some(b'A') {
+            "ALPHA".to_string()
+        } else {
+            "BETA".to_string()
+        })
     }
     fn field(&self, _msg: &Message, _name: &str) -> Option<i64> {
         None
@@ -525,8 +566,8 @@ impl pfi_core::PacketStub for FirstByteStub {
 
 #[test]
 fn fault_drop_types_is_type_selective() {
-    let pfi = PfiLayer::new(Box::new(FirstByteStub))
-        .with_send_filter(faults::drop_types(["ALPHA"]));
+    let pfi =
+        PfiLayer::new(Box::new(FirstByteStub)).with_send_filter(faults::drop_types(["ALPHA"]));
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, a, b, b"Axx");
     send(&mut w, a, b, b"Bxx");
@@ -539,8 +580,10 @@ fn fault_drop_types_is_type_selective() {
 
 #[test]
 fn fault_delay_types_delays_only_matching() {
-    let pfi = PfiLayer::new(Box::new(FirstByteStub))
-        .with_send_filter(faults::delay_types(["ALPHA"], SimDuration::from_millis(100)));
+    let pfi = PfiLayer::new(Box::new(FirstByteStub)).with_send_filter(faults::delay_types(
+        ["ALPHA"],
+        SimDuration::from_millis(100),
+    ));
     let (mut w, a, b) = two_nodes(pfi);
     send(&mut w, a, b, b"A1");
     send(&mut w, a, b, b"B1");

@@ -1,0 +1,310 @@
+//! Offline drop-in replacement for the subset of the `criterion` crate API
+//! that the `pfi-bench` targets use.
+//!
+//! The build environment has no access to crates.io, so the real criterion
+//! cannot be fetched; this shim keeps the bench sources unchanged while
+//! providing a real measurement harness: per-bench calibration, warm-up,
+//! repeated samples, and a median ns/iteration estimate. Results are
+//! printed to stdout and written as JSON (one file per bench) so
+//! `scripts/bench.sh` can assemble a tracked `BENCH_N.json`.
+//!
+//! Environment knobs:
+//!
+//! * `PFI_BENCH_SAMPLE_MS` — target wall time per sample (default 60).
+//! * `PFI_BENCH_WARMUP_MS` — warm-up wall time per bench (default 150).
+//! * `PFI_BENCH_SAMPLES` — overrides the per-group sample count.
+//! * `PFI_BENCH_OUT` — directory for JSON results (default
+//!   `<cwd>/target/pfi-bench`).
+//!
+//! A positional CLI argument (as passed by `cargo bench -- <filter>`)
+//! selects benches whose `group/name` contains the substring; flag
+//! arguments from cargo (`--bench`, …) are ignored.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// How a group's element count relates to one iteration, for reporting
+/// throughput next to latency.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Measurement state handed to each bench closure; drives the timed loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f` (the criterion fast-path protocol).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished measurement, as recorded to JSON.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn elems_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if self.median_ns > 0.0 => {
+                Some(n as f64 * 1e9 / self.median_ns)
+            }
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let thrpt = match self.elems_per_sec() {
+            Some(t) => format!(", \"elements_per_sec\": {t:.1}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}",
+            self.group, self.bench, self.median_ns, self.mean_ns, self.samples, self.iters_per_sample, thrpt
+        )
+    }
+}
+
+/// The harness entry point (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let out_dir = std::env::var("PFI_BENCH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/pfi-bench"));
+        Criterion { filter, out_dir }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 12,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn record(&self, rec: &Record) {
+        let label = if rec.group.is_empty() {
+            rec.bench.clone()
+        } else {
+            format!("{}/{}", rec.group, rec.bench)
+        };
+        let thrpt = match rec.elems_per_sec() {
+            Some(t) => format!("  ({:.0} elem/s)", t),
+            None => String::new(),
+        };
+        println!("{label:<55} median {:>12.1} ns/iter{thrpt}", rec.median_ns);
+        let dir = self.out_dir.join(if rec.group.is_empty() {
+            "_"
+        } else {
+            &rec.group
+        });
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(dir.join(format!("{}.json", rec.bench)), rec.to_json());
+        }
+    }
+}
+
+/// A group of related benches (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how many elements one iteration processes.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one bench function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !label.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let sample_ms = env_u64("PFI_BENCH_SAMPLE_MS", 60);
+        let warmup_ms = env_u64("PFI_BENCH_WARMUP_MS", 150);
+        let samples = env_u64("PFI_BENCH_SAMPLES", 0).max(0) as usize;
+        let samples = if samples > 0 {
+            samples
+        } else {
+            self.sample_size
+        };
+
+        // Calibrate: how many iterations fit in one sample window?
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = ((sample_ms as f64 * 1e6) / per_iter.as_nanos() as f64).clamp(1.0, 1e9) as u64;
+
+        // Warm up (caches, allocator, branch predictors).
+        let warm_deadline = Instant::now() + Duration::from_millis(warmup_ms);
+        while Instant::now() < warm_deadline {
+            let mut wb = Bencher {
+                iters: iters.min(1_000).max(1),
+                elapsed: Duration::ZERO,
+            };
+            f(&mut wb);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut sb = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut sb);
+            per_iter_ns.push(sb.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if per_iter_ns.len() % 2 == 1 {
+            per_iter_ns[per_iter_ns.len() / 2]
+        } else {
+            (per_iter_ns[per_iter_ns.len() / 2 - 1] + per_iter_ns[per_iter_ns.len() / 2]) / 2.0
+        };
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let rec = Record {
+            group: self.name.clone(),
+            bench: id.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            samples,
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        };
+        self.harness.record(&rec);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Builds a function that runs each target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Builds `main` from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("PFI_BENCH_SAMPLE_MS", "1");
+        std::env::set_var("PFI_BENCH_WARMUP_MS", "1");
+        let tmp = std::env::temp_dir().join("pfi-criterion-shim-test");
+        std::env::set_var("PFI_BENCH_OUT", &tmp);
+        let mut c = Criterion {
+            filter: None,
+            out_dir: tmp.clone(),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(3);
+        g.bench_function("count", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        let json = fs::read_to_string(tmp.join("shim").join("count.json")).unwrap();
+        assert!(json.contains("\"group\": \"shim\""), "{json}");
+        assert!(json.contains("median_ns"), "{json}");
+        assert!(json.contains("elements_per_sec"), "{json}");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let tmp = std::env::temp_dir().join("pfi-criterion-shim-filtered");
+        let _ = fs::remove_dir_all(&tmp);
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            out_dir: tmp.clone(),
+        };
+        let mut g = c.benchmark_group("skipped");
+        g.bench_function("bench", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(!tmp.join("skipped").exists());
+    }
+}

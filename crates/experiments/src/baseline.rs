@@ -68,7 +68,10 @@ impl pfi_sim::Layer for WireTap {
 /// Returns `(passive_distinguishes, pfi_distinguishes)`.
 pub fn adaptability_distinguishability() -> (bool, bool) {
     let adaptive = TcpProfile::sunos_4_1_3();
-    let non_adaptive = TcpProfile { rtt_adaptive: false, ..TcpProfile::sunos_4_1_3() };
+    let non_adaptive = TcpProfile {
+        rtt_adaptive: false,
+        ..TcpProfile::sunos_4_1_3()
+    };
 
     // Passive crash probe on both: compare the retransmission interval
     // series (what a wire monitor can measure).
@@ -80,7 +83,8 @@ pub fn adaptability_distinguishability() -> (bool, bool) {
         row.vendor = "SunOS (non-adaptive variant)".to_string();
         row
     };
-    let quantise = |v: &[f64]| -> Vec<i64> { v.iter().map(|x| (x * 10.0).round() as i64).collect() };
+    let quantise =
+        |v: &[f64]| -> Vec<i64> { v.iter().map(|x| (x * 10.0).round() as i64).collect() };
     let passive_distinguishes = quantise(&a.intervals) != quantise(&b.intervals);
 
     // PFI's experiment 2 on both: the adapted first-retransmission gap.
@@ -96,22 +100,35 @@ fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
     let captured = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let vendor = world.add_node(vec![
         Box::new(TcpLayer::new(profile)),
-        Box::new(WireTap { captured: captured.clone() }),
+        Box::new(WireTap {
+            captured: captured.clone(),
+        }),
     ]);
     let peer = world.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference()))]);
     world.control::<TcpReply>(peer, 0, TcpControl::Listen { port: 80 });
     let conn = world
-        .control::<TcpReply>(vendor, 0, TcpControl::Open {
-            local_port: 0,
-            remote: peer,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            vendor,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: peer,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     world.run_for(SimDuration::from_millis(50));
     for i in 0..40u32 {
         let at = SimDuration::from_millis(100 * i as u64);
         world.schedule_in(at, move |w| {
-            w.control::<TcpReply>(vendor, 0, TcpControl::Send { conn, data: vec![7u8; 512] });
+            w.control::<TcpReply>(
+                vendor,
+                0,
+                TcpControl::Send {
+                    conn,
+                    data: vec![7u8; 512],
+                },
+            );
         });
     }
     world.schedule_in(SimDuration::from_secs(3), move |w| w.crash(peer));
@@ -127,7 +144,11 @@ fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
             tx_times.entry(seg.seq).or_default().push(*t);
         }
     }
-    let times = tx_times.values().max_by_key(|v| v.len()).cloned().unwrap_or_default();
+    let times = tx_times
+        .values()
+        .max_by_key(|v| v.len())
+        .cloned()
+        .unwrap_or_default();
     CrashProbeRow {
         vendor: name,
         retransmissions: times.len().saturating_sub(1),
@@ -138,7 +159,10 @@ fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
 
 /// Runs the crash probe for all four vendors.
 pub fn run_all() -> Vec<CrashProbeRow> {
-    TcpProfile::vendors().into_iter().map(run_crash_probe).collect()
+    TcpProfile::vendors()
+        .into_iter()
+        .map(run_crash_probe)
+        .collect()
 }
 
 /// Something a monitor cannot ever express: `NetTrace` events record what
@@ -171,7 +195,10 @@ mod tests {
     #[test]
     fn passive_probing_cannot_distinguish_rtt_adaptability_but_pfi_can() {
         let (passive, pfi) = adaptability_distinguishability();
-        assert!(!passive, "crash-only probing must not separate the two stacks");
+        assert!(
+            !passive,
+            "crash-only probing must not separate the two stacks"
+        );
         assert!(pfi, "the delayed-ACK experiment must separate them");
     }
 }

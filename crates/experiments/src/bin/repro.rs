@@ -54,7 +54,12 @@ fn main() {
 fn baseline_comparison() {
     let mut t = Table::new(
         "Baseline: crash-only active probing (Comer & Lin, paper §5)",
-        &["Vendor", "Retx (wire count)", "RST observed", "Intervals (s)"],
+        &[
+            "Vendor",
+            "Retx (wire count)",
+            "RST observed",
+            "Intervals (s)",
+        ],
     );
     for row in baseline::run_all() {
         t.row(&[
@@ -78,7 +83,15 @@ fn baseline_comparison() {
 fn identification() {
     let mut t = Table::new(
         "Vendor identification from behaviour alone (paper aspect iii)",
-        &["Actual", "Identified as", "Correct", "Retx", "RST", "KA threshold (s)", "KA garbage"],
+        &[
+            "Actual",
+            "Identified as",
+            "Correct",
+            "Retx",
+            "RST",
+            "KA threshold (s)",
+            "KA garbage",
+        ],
     );
     for row in identify::run_all() {
         t.row(&[
@@ -97,7 +110,14 @@ fn identification() {
 fn table1() {
     let mut t = Table::new(
         "Table 1: TCP Retransmission Timeout Results (drop all incoming after 30 packets)",
-        &["Vendor", "Retx", "Upper bound (s)", "Exponential", "RST sent", "Intervals (s)"],
+        &[
+            "Vendor",
+            "Retx",
+            "Upper bound (s)",
+            "Exponential",
+            "RST sent",
+            "Intervals (s)",
+        ],
     );
     for row in tcp_exp1::run_all() {
         t.row(&[
@@ -115,7 +135,13 @@ fn table1() {
 fn table2_fig4() {
     let mut t = Table::new(
         "Table 2 / Figure 4: Retransmission timeouts with delayed ACKs",
-        &["Vendor", "ACK delay (s)", "First retx (s)", "Adapted", "RTO series (s)"],
+        &[
+            "Vendor",
+            "ACK delay (s)",
+            "First retx (s)",
+            "Adapted",
+            "RTO series (s)",
+        ],
     );
     for row in tcp_exp2::run_all() {
         t.row(&[
@@ -135,7 +161,10 @@ fn table2_fig4() {
         let sol = tcp_exp2::run_delay(TcpProfile::solaris_2_3(), delay);
         let chart = ascii_chart(
             &format!("Figure 4 ({delay} s ACK delay): RTO (s) per retransmission"),
-            &[("BSD family (SunOS)", &sun.series), ("Solaris 2.3", &sol.series)],
+            &[
+                ("BSD family (SunOS)", &sun.series),
+                ("Solaris 2.3", &sol.series),
+            ],
             12,
         );
         println!("{chart}");
@@ -162,7 +191,14 @@ fn table2_fig4() {
 fn table3() {
     let mut t = Table::new(
         "Table 3: TCP Keep-alive Results (probes dropped)",
-        &["Vendor", "First probe (s)", "Probes", "Garbage bytes", "RST", "Spec violation"],
+        &[
+            "Vendor",
+            "First probe (s)",
+            "Probes",
+            "Garbage bytes",
+            "RST",
+            "Spec violation",
+        ],
     );
     for row in tcp_exp3::run_all() {
         t.row(&[
@@ -178,7 +214,13 @@ fn table3() {
 
     let mut v = Table::new(
         "Table 3 variation: probes ACKed (indefinite probing at the idle interval)",
-        &["Vendor", "Observed (h)", "Probes", "Mean interval (s)", "Still open"],
+        &[
+            "Vendor",
+            "Observed (h)",
+            "Probes",
+            "Mean interval (s)",
+            "Still open",
+        ],
     );
     for row in tcp_exp3::run_all_acked() {
         v.row(&[
@@ -232,7 +274,12 @@ fn table4() {
 fn exp5() {
     let mut t = Table::new(
         "Experiment 5: Reordering of messages",
-        &["Vendor", "Queued OOO segment", "Single cumulative ACK", "Data intact"],
+        &[
+            "Vendor",
+            "Queued OOO segment",
+            "Single cumulative ACK",
+            "Data intact",
+        ],
     );
     for row in tcp_exp5::run_all() {
         t.row(&[
@@ -246,10 +293,7 @@ fn exp5() {
 }
 
 fn table5() {
-    let mut t = Table::new(
-        "Table 5: GMP Packet Interruption",
-        &["Test", "Finding"],
-    );
+    let mut t = Table::new("Table 5: GMP Packet Interruption", &["Test", "Finding"]);
     let buggy = gmp_exp1::run_self_heartbeat(true);
     let fixed = gmp_exp1::run_self_heartbeat(false);
     t.row(&[
@@ -277,7 +321,10 @@ fn table5() {
     let cycle = gmp_exp1::run_kick_cycle();
     t.row(&[
         "Drop heartbeats to others".to_string(),
-        format!("kicked out {} times, readmitted {} times", cycle.kicked_out, cycle.readmitted),
+        format!(
+            "kicked out {} times, readmitted {} times",
+            cycle.kicked_out, cycle.readmitted
+        ),
     ]);
     let ack = gmp_exp1::run_drop_ack();
     t.row(&[
@@ -303,7 +350,10 @@ fn table5() {
 }
 
 fn table6() {
-    let mut t = Table::new("Table 6: Network Partition Experiment", &["Test", "Finding"]);
+    let mut t = Table::new(
+        "Table 6: Network Partition Experiment",
+        &["Test", "Finding"],
+    );
     let part = gmp_exp2::run_partition_cycle();
     t.row(&[
         "Partition into two groups".to_string(),
@@ -328,8 +378,14 @@ fn table6() {
     // Both of the paper's "two possible courses of action", forced
     // deterministically by delaying the losing contender's change.
     for (label, course) in [
-        ("Forced course A (leader first)", gmp_exp2::Course::LeaderFirst),
-        ("Forced course B (crown prince first)", gmp_exp2::Course::CrownPrinceFirst),
+        (
+            "Forced course A (leader first)",
+            gmp_exp2::Course::LeaderFirst,
+        ),
+        (
+            "Forced course B (crown prince first)",
+            gmp_exp2::Course::CrownPrinceFirst,
+        ),
     ] {
         let row = gmp_exp2::run_leader_cp_separation_forced(course);
         t.row(&[
@@ -346,7 +402,10 @@ fn table6() {
 }
 
 fn table7() {
-    let mut t = Table::new("Table 7: Proclaim Forwarding Experiment", &["Variant", "Finding"]);
+    let mut t = Table::new(
+        "Table 7: Proclaim Forwarding Experiment",
+        &["Variant", "Finding"],
+    );
     for buggy in [true, false] {
         let row = gmp_exp3::run(buggy);
         t.row(&[

@@ -51,16 +51,27 @@ impl TcpTestbed {
             .control::<TcpReply>(
                 vendor,
                 TCP,
-                TcpControl::Open { local_port: 0, remote: xk, remote_port: XK_PORT },
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: xk,
+                    remote_port: XK_PORT,
+                },
             )
             .expect_conn();
         world.run_for(SimDuration::from_millis(50));
-        TcpTestbed { world, vendor, xk, conn }
+        TcpTestbed {
+            world,
+            vendor,
+            xk,
+            conn,
+        }
     }
 
     /// The x-Kernel side's accepted connection.
     pub fn xk_conn(&mut self) -> ConnId {
-        match self.world.control::<TcpReply>(self.xk, TCP, TcpControl::AcceptedOn { port: XK_PORT })
+        match self
+            .world
+            .control::<TcpReply>(self.xk, TCP, TcpControl::AcceptedOn { port: XK_PORT })
         {
             TcpReply::MaybeConn(Some(c)) => c,
             other => panic!("handshake did not complete: {other:?}"),
@@ -69,12 +80,16 @@ impl TcpTestbed {
 
     /// Installs a receive filter on the x-Kernel PFI layer.
     pub fn set_recv_filter(&mut self, f: Filter) {
-        let _: PfiReply = self.world.control(self.xk, XK_PFI, PfiControl::SetRecvFilter(f));
+        let _: PfiReply = self
+            .world
+            .control(self.xk, XK_PFI, PfiControl::SetRecvFilter(f));
     }
 
     /// Installs a send filter on the x-Kernel PFI layer.
     pub fn set_send_filter(&mut self, f: Filter) {
-        let _: PfiReply = self.world.control(self.xk, XK_PFI, PfiControl::SetSendFilter(f));
+        let _: PfiReply = self
+            .world
+            .control(self.xk, XK_PFI, PfiControl::SetSendFilter(f));
     }
 
     /// Installs a parsed script as the receive filter.
@@ -127,13 +142,18 @@ impl TcpTestbed {
     /// The vendor connection's state name.
     pub fn vendor_state(&mut self) -> &'static str {
         let conn = self.conn;
-        self.world.control::<TcpReply>(self.vendor, TCP, TcpControl::State { conn }).expect_state()
+        self.world
+            .control::<TcpReply>(self.vendor, TCP, TcpControl::State { conn })
+            .expect_state()
     }
 }
 
 /// Gaps between consecutive instants, in seconds.
 pub fn intervals_secs(times: &[SimTime]) -> Vec<f64> {
-    times.windows(2).map(|p| (p[1] - p[0]).as_secs_f64()).collect()
+    times
+        .windows(2)
+        .map(|p| (p[1] - p[0]).as_secs_f64())
+        .collect()
 }
 
 /// Whether a series of gaps is (approximately) exponentially increasing
@@ -171,9 +191,17 @@ impl GmpTestbed {
         for _ in 0..n {
             let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(bugs));
             let pfi = PfiLayer::new(Box::new(GmpStub)).with_globals(board.clone());
-            world.add_node(vec![Box::new(gmd), Box::new(pfi), Box::new(RudpLayer::default())]);
+            world.add_node(vec![
+                Box::new(gmd),
+                Box::new(pfi),
+                Box::new(RudpLayer::default()),
+            ]);
         }
-        GmpTestbed { world, peers, board }
+        GmpTestbed {
+            world,
+            peers,
+            board,
+        }
     }
 
     /// Starts one daemon.
@@ -190,24 +218,35 @@ impl GmpTestbed {
 
     /// A daemon's current view.
     pub fn view(&mut self, node: NodeId) -> GmpStatusReport {
-        self.world.control::<GmpReply>(node, GMD, GmpControl::Status).expect_status()
+        self.world
+            .control::<GmpReply>(node, GMD, GmpControl::Status)
+            .expect_status()
     }
 
     /// A daemon's member list as raw ids.
     pub fn members(&mut self, node: NodeId) -> Vec<u32> {
-        self.view(node).group.members.iter().map(|m| m.as_u32()).collect()
+        self.view(node)
+            .group
+            .members
+            .iter()
+            .map(|m| m.as_u32())
+            .collect()
     }
 
     /// Installs a send filter on one daemon's PFI layer.
     pub fn send_script(&mut self, node: NodeId, src: &str) {
         let f = Filter::script(src).expect("send filter script");
-        let _: PfiReply = self.world.control(node, GMP_PFI, PfiControl::SetSendFilter(f));
+        let _: PfiReply = self
+            .world
+            .control(node, GMP_PFI, PfiControl::SetSendFilter(f));
     }
 
     /// Installs a receive filter on one daemon's PFI layer.
     pub fn recv_script(&mut self, node: NodeId, src: &str) {
         let f = Filter::script(src).expect("receive filter script");
-        let _: PfiReply = self.world.control(node, GMP_PFI, PfiControl::SetRecvFilter(f));
+        let _: PfiReply = self
+            .world
+            .control(node, GMP_PFI, PfiControl::SetRecvFilter(f));
     }
 
     /// Runs the world forward.

@@ -40,7 +40,14 @@ const DROP_SELF_HB: &str = r#"
 
 /// Runs the self-heartbeat-drop test with or without the bugs.
 pub fn run_self_heartbeat(buggy: bool) -> SelfHeartbeatRow {
-    let bugs = if buggy { GmpBugs { self_death: true, ..GmpBugs::none() } } else { GmpBugs::none() };
+    let bugs = if buggy {
+        GmpBugs {
+            self_death: true,
+            ..GmpBugs::none()
+        }
+    } else {
+        GmpBugs::none()
+    };
     let mut tb = GmpTestbed::new(3, bugs);
     tb.start_all();
     tb.run(SimDuration::from_secs(60));
@@ -51,12 +58,15 @@ pub fn run_self_heartbeat(buggy: bool) -> SelfHeartbeatRow {
     // node 2, if it ends up outside the victim's group, will proclaim at it.
     // Simpler and deterministic: inject a forged proclaim at the victim.
     let evs = tb.world.trace().events_of::<GmpEvent>(Some(victim));
-    let declared_self_dead = evs.iter().any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead));
+    let declared_self_dead = evs
+        .iter()
+        .any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead));
     let formed_singleton = evs
         .iter()
         .any(|(t, e)| matches!(e, GmpEvent::FormedSingleton) && t.as_secs_f64() > 60.0);
-    let proclaim_lost_in_forwarding =
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::ProclaimForwardDroppedByBug));
+    let proclaim_lost_in_forwarding = evs
+        .iter()
+        .any(|(_, e)| matches!(e, GmpEvent::ProclaimForwardDroppedByBug));
     let leader_view = tb.members(tb.peers[0]);
     SelfHeartbeatRow {
         buggy,
@@ -70,7 +80,14 @@ pub fn run_self_heartbeat(buggy: bool) -> SelfHeartbeatRow {
 /// Runs the `SIGTSTP` variant: suspend the daemon 30 s, then resume; all
 /// its timers fire at once on resume, triggering the same path.
 pub fn run_suspend(buggy: bool) -> SelfHeartbeatRow {
-    let bugs = if buggy { GmpBugs { self_death: true, ..GmpBugs::none() } } else { GmpBugs::none() };
+    let bugs = if buggy {
+        GmpBugs {
+            self_death: true,
+            ..GmpBugs::none()
+        }
+    } else {
+        GmpBugs::none()
+    };
     let mut tb = GmpTestbed::new(3, bugs);
     tb.start_all();
     tb.run(SimDuration::from_secs(60));
@@ -80,12 +97,15 @@ pub fn run_suspend(buggy: bool) -> SelfHeartbeatRow {
     tb.world.resume(victim);
     tb.run(SimDuration::from_secs(40));
     let evs = tb.world.trace().events_of::<GmpEvent>(Some(victim));
-    let declared_self_dead = evs.iter().any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead));
+    let declared_self_dead = evs
+        .iter()
+        .any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead));
     let formed_singleton = evs
         .iter()
         .any(|(t, e)| matches!(e, GmpEvent::FormedSingleton) && t.as_secs_f64() > 60.0);
-    let proclaim_lost_in_forwarding =
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::ProclaimForwardDroppedByBug));
+    let proclaim_lost_in_forwarding = evs
+        .iter()
+        .any(|(_, e)| matches!(e, GmpEvent::ProclaimForwardDroppedByBug));
     let leader_view = tb.members(tb.peers[0]);
     SelfHeartbeatRow {
         buggy,
@@ -142,7 +162,10 @@ pub fn run_kick_cycle() -> KickCycleRow {
             inside = has;
         }
     }
-    KickCycleRow { kicked_out: kicked, readmitted }
+    KickCycleRow {
+        kicked_out: kicked,
+        readmitted,
+    }
 }
 
 /// Result of the drop-ACK sub-experiment.
@@ -193,7 +216,11 @@ pub fn run_drop_ack() -> DropAckRow {
         .filter(|(_, e)| matches!(e, GmpEvent::CommitTimedOut))
         .count();
     let core_group = tb.members(tb.peers[0]);
-    DropAckRow { ever_admitted, commit_timeouts, core_group }
+    DropAckRow {
+        ever_admitted,
+        commit_timeouts,
+        core_group,
+    }
 }
 
 /// Result of the drop-COMMIT sub-experiment.
@@ -266,7 +293,10 @@ mod tests {
     fn table5_self_heartbeat_bug_and_fix() {
         let buggy = run_self_heartbeat(true);
         assert!(buggy.declared_self_dead, "{buggy:?}");
-        assert!(!buggy.formed_singleton, "the bug keeps the old group: {buggy:?}");
+        assert!(
+            !buggy.formed_singleton,
+            "the bug keeps the old group: {buggy:?}"
+        );
         let fixed = run_self_heartbeat(false);
         assert!(!fixed.declared_self_dead, "{fixed:?}");
         assert!(fixed.formed_singleton, "{fixed:?}");
@@ -292,7 +322,10 @@ mod tests {
     fn table5_dropped_acks_block_admission() {
         let row = run_drop_ack();
         assert!(!row.ever_admitted, "{row:?}");
-        assert!(row.commit_timeouts >= 2, "the newcomer keeps retrying: {row:?}");
+        assert!(
+            row.commit_timeouts >= 2,
+            "the newcomer keeps retrying: {row:?}"
+        );
         assert_eq!(row.core_group, vec![0, 1], "{row:?}");
     }
 

@@ -66,7 +66,12 @@ pub fn run_partition_cycle() -> PartitionRow {
     tb.board.set("partition", "1");
     tb.run(SimDuration::from_secs(60));
     let second_partition_left = tb.members(tb.peers[2]);
-    PartitionRow { left_partition_view, right_partition_view, healed_view, second_partition_left }
+    PartitionRow {
+        left_partition_view,
+        right_partition_view,
+        healed_view,
+        second_partition_left,
+    }
 }
 
 /// Result of the leader/crown-prince separation test.
@@ -100,13 +105,20 @@ pub fn run_leader_cp_separation() -> LeaderCpRow {
         if t.as_secs_f64() <= 60.0 {
             continue;
         }
-        if let GmpEvent::GroupView { leader, members, .. } = e {
+        if let GmpEvent::GroupView {
+            leader, members, ..
+        } = e
+        {
             if leader == 1 && members.len() > 1 {
                 cp_ever_led_others = true;
             }
         }
     }
-    LeaderCpRow { leader_view, crown_prince_view, cp_ever_led_others }
+    LeaderCpRow {
+        leader_view,
+        crown_prince_view,
+        cp_ever_led_others,
+    }
 }
 
 /// Which of the paper's "two possible courses of action" to force.
@@ -165,13 +177,20 @@ pub fn run_leader_cp_separation_forced(course: Course) -> LeaderCpRow {
         if t.as_secs_f64() <= 60.0 {
             continue;
         }
-        if let GmpEvent::GroupView { leader, members, .. } = e {
+        if let GmpEvent::GroupView {
+            leader, members, ..
+        } = e
+        {
             if leader == 1 && members.len() > 1 {
                 cp_ever_led_others = true;
             }
         }
     }
-    LeaderCpRow { leader_view, crown_prince_view, cp_ever_led_others }
+    LeaderCpRow {
+        leader_view,
+        crown_prince_view,
+        cp_ever_led_others,
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +203,11 @@ mod tests {
         assert_eq!(row.left_partition_view, vec![0, 1, 2], "{row:?}");
         assert_eq!(row.right_partition_view, vec![3, 4], "{row:?}");
         assert_eq!(row.healed_view, vec![0, 1, 2, 3, 4], "{row:?}");
-        assert_eq!(row.second_partition_left, vec![0, 1, 2], "cycle must repeat: {row:?}");
+        assert_eq!(
+            row.second_partition_left,
+            vec![0, 1, 2],
+            "cycle must repeat: {row:?}"
+        );
     }
 
     #[test]
@@ -207,7 +230,11 @@ mod tests {
             !leader_first.cp_ever_led_others,
             "when the leader's change goes first the CP never leads: {leader_first:?}"
         );
-        assert_eq!(leader_first.leader_view, vec![0, 2, 3, 4], "{leader_first:?}");
+        assert_eq!(
+            leader_first.leader_view,
+            vec![0, 2, 3, 4],
+            "{leader_first:?}"
+        );
         assert_eq!(leader_first.crown_prince_view, vec![1], "{leader_first:?}");
 
         let cp_first = run_leader_cp_separation_forced(Course::CrownPrinceFirst);

@@ -30,8 +30,14 @@ pub struct Exp3Row {
 
 /// Runs the test with or without the forwarding bug.
 pub fn run(buggy: bool) -> Exp3Row {
-    let bugs =
-        if buggy { GmpBugs { proclaim_forward: true, ..GmpBugs::none() } } else { GmpBugs::none() };
+    let bugs = if buggy {
+        GmpBugs {
+            proclaim_forward: true,
+            ..GmpBugs::none()
+        }
+    } else {
+        GmpBugs::none()
+    };
     let mut tb = GmpTestbed::new(3, bugs);
     // Nodes 0 (leader) and 1 (crown prince) form a group.
     tb.start(tb.peers[0]);
@@ -71,7 +77,13 @@ pub fn run(buggy: bool) -> Exp3Row {
         }
     });
     let newcomer_admitted = tb.members(tb.peers[0]).contains(&newcomer);
-    Exp3Row { buggy, forwards, answers_to_forwarder, answers_to_originator, newcomer_admitted }
+    Exp3Row {
+        buggy,
+        forwards,
+        answers_to_forwarder,
+        answers_to_originator,
+        newcomer_admitted,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +93,10 @@ mod tests {
     #[test]
     fn table7_bug_causes_proclaim_loop_and_starves_the_originator() {
         let row = run(true);
-        assert!(row.answers_to_forwarder > 5, "vicious cycle expected: {row:?}");
+        assert!(
+            row.answers_to_forwarder > 5,
+            "vicious cycle expected: {row:?}"
+        );
         assert!(row.forwards > 5, "{row:?}");
         // "The original sender of the proclaim never received a proclaim in
         // response" — the serious problem the paper reports. (The newcomer

@@ -26,7 +26,14 @@ pub struct Exp4Row {
 
 /// Runs the timer test with or without the bug.
 pub fn run(buggy: bool) -> Exp4Row {
-    let bugs = if buggy { GmpBugs { timer_unset: true, ..GmpBugs::none() } } else { GmpBugs::none() };
+    let bugs = if buggy {
+        GmpBugs {
+            timer_unset: true,
+            ..GmpBugs::none()
+        }
+    } else {
+        GmpBugs::none()
+    };
     let mut tb = GmpTestbed::new(3, bugs);
     tb.start_all();
     tb.run(SimDuration::from_secs(60));
@@ -47,7 +54,11 @@ pub fn run(buggy: bool) -> Exp4Row {
         .iter()
         .filter(|(_, e)| matches!(e, GmpEvent::SpuriousTimerInTransition { .. }))
         .count();
-    Exp4Row { buggy, entered_transition, spurious_timer_fires }
+    Exp4Row {
+        buggy,
+        entered_transition,
+        spurious_timer_fires,
+    }
 }
 
 #[cfg(test)]

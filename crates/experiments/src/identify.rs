@@ -34,10 +34,7 @@ pub fn fingerprint(profile: TcpProfile) -> Fingerprint {
     let exp3 = tcp_exp3::run_vendor(profile);
     // Fixed-interval probes have (nearly) equal gaps; exponential ones
     // at least double.
-    let keepalive_backoff = exp3
-        .probe_intervals
-        .windows(2)
-        .any(|p| p[1] > p[0] * 1.5);
+    let keepalive_backoff = exp3.probe_intervals.windows(2).any(|p| p[1] > p[0] * 1.5);
     Fingerprint {
         data_retransmissions: exp1.retransmissions,
         reset_on_timeout: exp1.reset_sent,
@@ -93,7 +90,12 @@ pub fn run_all() -> Vec<IdentifyRow> {
             let fp = fingerprint(p);
             let identified = classify(&fp);
             let correct = identified.contains(actual.split(' ').next().unwrap_or(""));
-            IdentifyRow { actual, identified, correct, fingerprint: fp }
+            IdentifyRow {
+                actual,
+                identified,
+                correct,
+                fingerprint: fp,
+            }
         })
         .collect()
 }

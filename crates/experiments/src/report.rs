@@ -30,7 +30,10 @@ impl Table {
 
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
-        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -42,8 +45,11 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(&format!("{}\n", self.title));
-        let sep: String =
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for (i, w) in widths.iter().enumerate() {
@@ -106,7 +112,11 @@ pub fn ascii_chart(title: &str, series: &[(&str, &[f64])], height: usize) -> Str
     out.push_str(&format!("        +{}\n", "-".repeat(width * 3)));
     out.push_str("         retransmission number →\n");
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("         {} = {}\n", marks[si % marks.len()], name));
+        out.push_str(&format!(
+            "         {} = {}\n",
+            marks[si % marks.len()],
+            name
+        ));
     }
     out
 }

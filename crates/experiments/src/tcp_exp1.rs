@@ -53,10 +53,18 @@ pub fn run_vendor(profile: TcpProfile) -> Exp1Row {
     let retx_times = tb.vendor_retransmit_times();
     let intervals = intervals_secs(&retx_times);
     let events = tb.vendor_events();
-    let reset_sent = events.iter().any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. }));
-    let timed_out = events
+    let reset_sent = events
         .iter()
-        .any(|(_, e)| matches!(e, TcpEvent::Closed { reason: CloseReason::Timeout, .. }));
+        .any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. }));
+    let timed_out = events.iter().any(|(_, e)| {
+        matches!(
+            e,
+            TcpEvent::Closed {
+                reason: CloseReason::Timeout,
+                ..
+            }
+        )
+    });
     let rto_upper_bound_secs = intervals.iter().copied().fold(0.0, f64::max);
     Exp1Row {
         vendor: name,
@@ -80,11 +88,22 @@ mod tests {
 
     #[test]
     fn table1_bsd_family() {
-        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
-        {
+        for profile in [
+            TcpProfile::sunos_4_1_3(),
+            TcpProfile::aix_3_2_3(),
+            TcpProfile::next_mach(),
+        ] {
             let row = run_vendor(profile);
-            assert_eq!(row.retransmissions, 12, "{}: {:?}", row.vendor, row.intervals);
-            assert!(row.exponential_backoff, "{}: {:?}", row.vendor, row.intervals);
+            assert_eq!(
+                row.retransmissions, 12,
+                "{}: {:?}",
+                row.vendor, row.intervals
+            );
+            assert!(
+                row.exponential_backoff,
+                "{}: {:?}",
+                row.vendor, row.intervals
+            );
             assert!(
                 (row.rto_upper_bound_secs - 64.0).abs() < 1.0,
                 "{}: upper bound {}",
@@ -112,6 +131,10 @@ mod tests {
             .intervals
             .windows(2)
             .any(|p| (p[0] - 64.0).abs() < 0.5 && (p[1] - 64.0).abs() < 0.5);
-        assert!(!stable_at_cap, "Solaris must not stabilise at a cap: {:?}", row.intervals);
+        assert!(
+            !stable_at_cap,
+            "Solaris must not stabilise at a cap: {:?}",
+            row.intervals
+        );
     }
 }

@@ -76,7 +76,10 @@ pub fn run_delay(profile: TcpProfile, ack_delay_secs: u64) -> Exp2Row {
         }
     }
     // The most-retransmitted segment is the black-holed one.
-    let (&seq, times) = retx.iter().max_by_key(|(_, v)| v.len()).expect("a retransmitted segment");
+    let (&seq, times) = retx
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .expect("a retransmitted segment");
     let first_gap = times[0].saturating_since(sent_at[&seq]).as_secs_f64();
     let mut series = vec![first_gap];
     series.extend(intervals_secs(times));
@@ -155,7 +158,9 @@ pub fn run_counter_probe(profile: TcpProfile) -> CounterProbe {
             *retx.entry(*seq).or_default() += 1;
         }
     }
-    let closed = events.iter().any(|(_, e)| matches!(e, TcpEvent::Closed { .. }));
+    let closed = events
+        .iter()
+        .any(|(_, e)| matches!(e, TcpEvent::Closed { .. }));
     // m1 and m2 are the two most-retransmitted sequence numbers, in order.
     let mut hot: Vec<(u32, usize)> = retx.into_iter().filter(|(_, n)| *n > 0).collect();
     hot.sort_by_key(|(seq, _)| *seq);
@@ -166,7 +171,12 @@ pub fn run_counter_probe(profile: TcpProfile) -> CounterProbe {
         [(_, a)] => (*a, 0),
         _ => (0, 0),
     };
-    CounterProbe { vendor: name, m1_retx, m2_retx, closed }
+    CounterProbe {
+        vendor: name,
+        m1_retx,
+        m2_retx,
+        closed,
+    }
 }
 
 #[cfg(test)]
@@ -175,8 +185,11 @@ mod tests {
 
     #[test]
     fn bsd_adapts_to_three_second_delay() {
-        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
-        {
+        for profile in [
+            TcpProfile::sunos_4_1_3(),
+            TcpProfile::aix_3_2_3(),
+            TcpProfile::next_mach(),
+        ] {
             let row = run_delay(profile, 3);
             assert!(
                 row.adapted,
@@ -196,7 +209,11 @@ mod tests {
     #[test]
     fn bsd_adapts_to_eight_second_delay() {
         let row = run_delay(TcpProfile::sunos_4_1_3(), 8);
-        assert!(row.adapted, "first retx after {:.2}s", row.first_retx_gap_secs);
+        assert!(
+            row.adapted,
+            "first retx after {:.2}s",
+            row.first_retx_gap_secs
+        );
     }
 
     #[test]
@@ -219,9 +236,17 @@ mod tests {
         let row = run_delay(TcpProfile::sunos_4_1_3(), 3);
         assert!(row.series.len() >= 8, "{:?}", row.series);
         for pair in row.series.windows(2) {
-            assert!(pair[1] >= pair[0] * 0.85, "series must grow: {:?}", row.series);
+            assert!(
+                pair[1] >= pair[0] * 0.85,
+                "series must grow: {:?}",
+                row.series
+            );
         }
-        assert!(row.series.iter().any(|g| (63.0..65.0).contains(g)), "{:?}", row.series);
+        assert!(
+            row.series.iter().any(|g| (63.0..65.0).contains(g)),
+            "{:?}",
+            row.series
+        );
     }
 
     #[test]

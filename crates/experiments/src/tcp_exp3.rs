@@ -50,7 +50,8 @@ pub fn run_vendor(profile: TcpProfile) -> Exp3Row {
     let name = profile.name.to_string();
     let mut tb = TcpTestbed::new(profile);
     let conn = tb.conn;
-    tb.world.control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
+    tb.world
+        .control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
     let idle_start = tb.world.now();
     tb.recv_script(
         r#"
@@ -71,7 +72,9 @@ pub fn run_vendor(profile: TcpProfile) -> Exp3Row {
         probes: times.len(),
         probe_intervals: intervals_secs(&times),
         garbage_bytes,
-        reset_sent: events.iter().any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. })),
+        reset_sent: events
+            .iter()
+            .any(|(_, e)| matches!(e, TcpEvent::Reset { sent: true, .. })),
         spec_violation: first_probe_secs < 7_200.0 - 1.0,
     }
 }
@@ -98,12 +101,18 @@ pub fn run_vendor_acked(profile: TcpProfile, observed_hours: u64) -> Exp3AckedRo
     let name = profile.name.to_string();
     let mut tb = TcpTestbed::new(profile);
     let conn = tb.conn;
-    tb.world.control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
-    tb.world.run_for(SimDuration::from_secs(observed_hours * 3_600));
+    tb.world
+        .control::<TcpReply>(tb.vendor, TCP, TcpControl::SetKeepalive { conn, on: true });
+    tb.world
+        .run_for(SimDuration::from_secs(observed_hours * 3_600));
     let events = tb.vendor_events();
     let (times, _) = probe_times(&events);
     let gaps = intervals_secs(&times);
-    let mean = if gaps.is_empty() { f64::NAN } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+    let mean = if gaps.is_empty() {
+        f64::NAN
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
     Exp3AckedRow {
         vendor: name,
         observed_hours,
@@ -134,8 +143,11 @@ mod tests {
 
     #[test]
     fn table3_bsd_family() {
-        for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::aix_3_2_3(), TcpProfile::next_mach()]
-        {
+        for profile in [
+            TcpProfile::sunos_4_1_3(),
+            TcpProfile::aix_3_2_3(),
+            TcpProfile::next_mach(),
+        ] {
             let row = run_vendor(profile);
             assert!(
                 (7_195.0..7_210.0).contains(&row.first_probe_secs),
@@ -147,7 +159,12 @@ mod tests {
             // First probe + 8 retransmissions at 75 s intervals.
             assert_eq!(row.probes, 9, "{}: {:?}", row.vendor, row.probe_intervals);
             for gap in &row.probe_intervals {
-                assert!((74.0..76.0).contains(gap), "{}: {:?}", row.vendor, row.probe_intervals);
+                assert!(
+                    (74.0..76.0).contains(gap),
+                    "{}: {:?}",
+                    row.vendor,
+                    row.probe_intervals
+                );
             }
             assert!(row.reset_sent, "{}", row.vendor);
         }
@@ -168,7 +185,10 @@ mod tests {
             "first probe at {}",
             row.first_probe_secs
         );
-        assert!(row.spec_violation, "6752 s violates the 7200 s spec threshold");
+        assert!(
+            row.spec_violation,
+            "6752 s violates the 7200 s spec threshold"
+        );
         assert_eq!(row.probes, 8, "{:?}", row.probe_intervals);
         // Exponential backoff between retransmissions.
         for pair in row.probe_intervals.windows(2) {
@@ -182,12 +202,18 @@ mod tests {
         let sun = run_vendor_acked(TcpProfile::sunos_4_1_3(), 8);
         assert!(sun.still_open);
         assert!((3..=4).contains(&sun.probes), "{sun:?}");
-        assert!((7_190.0..7_215.0).contains(&sun.mean_interval_secs), "{sun:?}");
+        assert!(
+            (7_190.0..7_215.0).contains(&sun.mean_interval_secs),
+            "{sun:?}"
+        );
 
         let sol = run_vendor_acked(TcpProfile::solaris_2_3(), 112);
         assert!(sol.still_open);
         // 112 h / 6752 s ≈ 59 probes (the paper counted 60).
         assert!((55..=62).contains(&sol.probes), "{sol:?}");
-        assert!((6_745.0..6_765.0).contains(&sol.mean_interval_secs), "{sol:?}");
+        assert!(
+            (6_745.0..6_765.0).contains(&sol.mean_interval_secs),
+            "{sol:?}"
+        );
     }
 }

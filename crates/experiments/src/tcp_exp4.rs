@@ -48,7 +48,14 @@ fn stage(profile: TcpProfile) -> TcpTestbed {
     let mut tb = TcpTestbed::new(profile);
     let xc = tb.xk_conn();
     // The driver does not reset the receive buffer space: the window fills.
-    tb.world.control::<TcpReply>(tb.xk, TCP, TcpControl::SetConsume { conn: xc, on: false });
+    tb.world.control::<TcpReply>(
+        tb.xk,
+        TCP,
+        TcpControl::SetConsume {
+            conn: xc,
+            on: false,
+        },
+    );
     tb.vendor_stream(512, 30, SimDuration::from_millis(50));
     tb
 }
@@ -110,7 +117,10 @@ pub fn run_vendor(profile: TcpProfile, variant: Exp4Variant) -> Exp4Row {
 
 /// Runs the ACKed variant for all vendors (Table 4's headline numbers).
 pub fn run_all() -> Vec<Exp4Row> {
-    TcpProfile::vendors().into_iter().map(|p| run_vendor(p, Exp4Variant::Acked)).collect()
+    TcpProfile::vendors()
+        .into_iter()
+        .map(|p| run_vendor(p, Exp4Variant::Acked))
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,7 +133,11 @@ mod tests {
         assert!((59.0..61.0).contains(&sun.cap_secs), "{:?}", sun.intervals);
         assert!(sun.still_probing && sun.still_open, "{sun:?}");
         // Backoff grows up to the cap.
-        assert!(sun.intervals.first().unwrap() < &20.0, "{:?}", sun.intervals);
+        assert!(
+            sun.intervals.first().unwrap() < &20.0,
+            "{:?}",
+            sun.intervals
+        );
 
         let sol = run_vendor(TcpProfile::solaris_2_3(), Exp4Variant::Acked);
         assert!((55.0..57.0).contains(&sol.cap_secs), "{:?}", sol.intervals);
@@ -134,9 +148,22 @@ mod tests {
     fn table4_unacked_probes_continue_90_minutes() {
         for profile in [TcpProfile::sunos_4_1_3(), TcpProfile::solaris_2_3()] {
             let row = run_vendor(profile, Exp4Variant::Unacked);
-            assert!(row.still_probing, "{}: probing must never give up", row.vendor);
-            assert!(row.still_open, "{}: the connection must stay up", row.vendor);
-            assert!(row.probes > 80, "{}: only {} probes", row.vendor, row.probes);
+            assert!(
+                row.still_probing,
+                "{}: probing must never give up",
+                row.vendor
+            );
+            assert!(
+                row.still_open,
+                "{}: the connection must stay up",
+                row.vendor
+            );
+            assert!(
+                row.probes > 80,
+                "{}: only {} probes",
+                row.vendor,
+                row.probes
+            );
         }
     }
 

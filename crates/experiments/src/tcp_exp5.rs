@@ -55,12 +55,20 @@ pub fn run_vendor(profile: TcpProfile) -> Exp5Row {
     // Two MSS-sized segments from the x-Kernel machine toward the vendor.
     let xc = tb.xk_conn();
     let payload: Vec<u8> = (0..1_024u32).map(|i| (i % 256) as u8).collect();
-    tb.world.control::<TcpReply>(tb.xk, TCP, TcpControl::Send { conn: xc, data: payload.clone() });
+    tb.world.control::<TcpReply>(
+        tb.xk,
+        TCP,
+        TcpControl::Send {
+            conn: xc,
+            data: payload.clone(),
+        },
+    );
     tb.world.run_for(SimDuration::from_secs(30));
 
     let vendor_events = tb.vendor_events();
-    let queued =
-        vendor_events.iter().any(|(_, e)| matches!(e, TcpEvent::OutOfOrderQueued { .. }));
+    let queued = vendor_events
+        .iter()
+        .any(|(_, e)| matches!(e, TcpEvent::OutOfOrderQueued { .. }));
     // The second segment's data must have been delivered from the queue,
     // not from a retransmission (those were all dropped).
     let conn = tb.conn;
@@ -78,7 +86,12 @@ pub fn run_vendor(profile: TcpProfile) -> Exp5Row {
         .filter(|(_, e)| matches!(e, TcpEvent::DataDelivered { .. }))
         .count();
     let single_cumulative_ack = data_intact && delivered_events == 2 && queued;
-    Exp5Row { vendor: name, queued, single_cumulative_ack, data_intact }
+    Exp5Row {
+        vendor: name,
+        queued,
+        single_cumulative_ack,
+        data_intact,
+    }
 }
 
 /// Runs experiment 5 for all four vendors.
@@ -95,7 +108,11 @@ mod tests {
         for row in run_all() {
             assert!(row.queued, "{} must queue the early segment", row.vendor);
             assert!(row.data_intact, "{} must deliver intact data", row.vendor);
-            assert!(row.single_cumulative_ack, "{} must ack both at once", row.vendor);
+            assert!(
+                row.single_cumulative_ack,
+                "{} must ack both at once",
+                row.vendor
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ pub struct GmpBugs {
 impl GmpBugs {
     /// All bugs present — the implementation as originally submitted.
     pub fn all() -> Self {
-        GmpBugs { self_death: true, proclaim_forward: true, timer_unset: true }
+        GmpBugs {
+            self_death: true,
+            proclaim_forward: true,
+            timer_unset: true,
+        }
     }
 
     /// No bugs — the fixed implementation.
@@ -95,9 +99,16 @@ mod tests {
 
     #[test]
     fn bug_presets() {
-        assert!(GmpBugs::all().self_death && GmpBugs::all().proclaim_forward && GmpBugs::all().timer_unset);
+        assert!(
+            GmpBugs::all().self_death
+                && GmpBugs::all().proclaim_forward
+                && GmpBugs::all().timer_unset
+        );
         assert_eq!(GmpBugs::none(), GmpBugs::default());
-        let c = GmpConfig::new(vec![]).with_bugs(GmpBugs { self_death: true, ..GmpBugs::none() });
+        let c = GmpConfig::new(vec![]).with_bugs(GmpBugs {
+            self_death: true,
+            ..GmpBugs::none()
+        });
         assert!(c.bugs.self_death && !c.bugs.timer_unset);
     }
 }

@@ -142,7 +142,10 @@ impl GmpLayer {
             config,
             me: None,
             started: false,
-            group: Group { id: 0, members: vec![] },
+            group: Group {
+                id: 0,
+                members: vec![],
+            },
             status: GmpStatus::Up,
             prospective: None,
             self_marked_dead: false,
@@ -174,7 +177,13 @@ impl GmpLayer {
     }
 
     fn packet(&self, ty: GmpType) -> GmpPacket {
-        GmpPacket { ty, sender: self.me(), origin: self.me(), group_id: self.group.id, members: vec![] }
+        GmpPacket {
+            ty,
+            sender: self.me(),
+            origin: self.me(),
+            group_id: self.group.id,
+            members: vec![],
+        }
     }
 
     fn next_gid(&mut self) -> u64 {
@@ -248,7 +257,13 @@ impl GmpLayer {
         let gid = self.next_gid();
         ctx.emit(GmpEvent::FormedSingleton);
         self.pending_mc = None;
-        self.adopt_view(ctx, Group { id: gid, members: vec![self.me()] });
+        self.adopt_view(
+            ctx,
+            Group {
+                id: gid,
+                members: vec![self.me()],
+            },
+        );
     }
 
     /// Acting as (prospective) leader, start a two-phase change to
@@ -269,7 +284,13 @@ impl GmpLayer {
         });
         if proposed.len() == 1 {
             // A group of one needs no agreement.
-            self.adopt_view(ctx, Group { id: gid, members: proposed });
+            self.adopt_view(
+                ctx,
+                Group {
+                    id: gid,
+                    members: proposed,
+                },
+            );
             return;
         }
         let pkt = GmpPacket {
@@ -283,8 +304,12 @@ impl GmpLayer {
             self.send(ctx, m, &pkt);
         }
         let collect_timer = ctx.set_timer(self.config.mc_collect_timeout, TOKEN_COLLECT);
-        self.pending_mc =
-            Some(PendingMc { gid, proposed, acked: HashSet::new(), collect_timer });
+        self.pending_mc = Some(PendingMc {
+            gid,
+            proposed,
+            acked: HashSet::new(),
+            collect_timer,
+        });
     }
 
     /// Computes and proposes the next view from current members, pending
@@ -315,10 +340,17 @@ impl GmpLayer {
         };
         ctx.cancel_timer(mc.collect_timer);
         let me = self.me();
-        let mut final_members: Vec<NodeId> =
-            mc.proposed.iter().copied().filter(|m| *m == me || mc.acked.contains(m)).collect();
+        let mut final_members: Vec<NodeId> = mc
+            .proposed
+            .iter()
+            .copied()
+            .filter(|m| *m == me || mc.acked.contains(m))
+            .collect();
         final_members.sort();
-        let group = Group { id: mc.gid, members: final_members.clone() };
+        let group = Group {
+            id: mc.gid,
+            members: final_members.clone(),
+        };
         let pkt = GmpPacket {
             ty: GmpType::Commit,
             sender: me,
@@ -349,13 +381,17 @@ impl GmpLayer {
         if self.status == GmpStatus::InTransition {
             // With correct timer hygiene this cannot happen: all expect
             // timers are unset on entering the transition.
-            ctx.emit(GmpEvent::SpuriousTimerInTransition { suspect: suspect.as_u32() });
+            ctx.emit(GmpEvent::SpuriousTimerInTransition {
+                suspect: suspect.as_u32(),
+            });
             return;
         }
         if !self.group.contains(suspect) {
             return;
         }
-        ctx.emit(GmpEvent::MemberSuspected { suspect: suspect.as_u32() });
+        ctx.emit(GmpEvent::MemberSuspected {
+            suspect: suspect.as_u32(),
+        });
         if suspect == me {
             // We missed our own heartbeats (clock stalled, stack wedged, or
             // a fault injector at work).
@@ -455,7 +491,11 @@ impl GmpLayer {
                 // We outrank the proclaimer: answer with a proclaim of our
                 // own so it joins us. The buggy leader answers the
                 // *forwarder* instead of the originator.
-                let target = if self.config.bugs.proclaim_forward { pkt.sender } else { origin };
+                let target = if self.config.bugs.proclaim_forward {
+                    pkt.sender
+                } else {
+                    origin
+                };
                 ctx.emit(GmpEvent::ProclaimAnswered {
                     to: target.as_u32(),
                     origin: origin.as_u32(),
@@ -466,20 +506,27 @@ impl GmpLayer {
                 // The proclaimer outranks us: our whole group defects.
                 let mut join = self.packet(GmpType::Join);
                 join.members = self.group.members.clone();
-                ctx.emit(GmpEvent::JoinSent { to: origin.as_u32() });
+                ctx.emit(GmpEvent::JoinSent {
+                    to: origin.as_u32(),
+                });
                 self.send(ctx, origin, &join);
             }
         } else if origin < leader {
             // Defect: the proclaimer outranks our current leader.
             let mut join = self.packet(GmpType::Join);
             join.members = vec![me];
-            ctx.emit(GmpEvent::JoinSent { to: origin.as_u32() });
+            ctx.emit(GmpEvent::JoinSent {
+                to: origin.as_u32(),
+            });
             self.send(ctx, origin, &join);
         } else {
             // Not the leader: forward the proclaim to the leader.
             let mut fwd = pkt.clone();
             fwd.sender = me;
-            ctx.emit(GmpEvent::ProclaimForwarded { origin: origin.as_u32(), to: leader.as_u32() });
+            ctx.emit(GmpEvent::ProclaimForwarded {
+                origin: origin.as_u32(),
+                to: leader.as_u32(),
+            });
             self.send(ctx, leader, &fwd);
         }
     }
@@ -490,7 +537,8 @@ impl GmpLayer {
             return;
         }
         self.pending_joins.insert(pkt.origin);
-        self.pending_joins.extend(pkt.members.iter().copied().filter(|m| *m != me));
+        self.pending_joins
+            .extend(pkt.members.iter().copied().filter(|m| *m != me));
         self.propose_next_view(ctx);
     }
 
@@ -520,7 +568,9 @@ impl GmpLayer {
         }
         if !self.mc_is_valid(pkt) {
             if pkt.members.contains(&me) {
-                ctx.emit(GmpEvent::NakSent { to: pkt.sender.as_u32() });
+                ctx.emit(GmpEvent::NakSent {
+                    to: pkt.sender.as_u32(),
+                });
                 let mut nak = self.packet(GmpType::NakMc);
                 nak.group_id = pkt.group_id;
                 self.send(ctx, pkt.sender, &nak);
@@ -531,7 +581,10 @@ impl GmpLayer {
         self.status = GmpStatus::InTransition;
         let mut members = pkt.members.clone();
         members.sort();
-        self.prospective = Some(Group { id: pkt.group_id, members });
+        self.prospective = Some(Group {
+            id: pkt.group_id,
+            members,
+        });
         self.unset_hb_timers(ctx);
         ctx.emit(GmpEvent::InTransition { gid: pkt.group_id });
         let mut ack = self.packet(GmpType::AckMc);
@@ -574,7 +627,13 @@ impl GmpLayer {
         }
         let mut members = pkt.members.clone();
         members.sort();
-        self.adopt_view(ctx, Group { id: pkt.group_id, members });
+        self.adopt_view(
+            ctx,
+            Group {
+                id: pkt.group_id,
+                members,
+            },
+        );
     }
 
     fn on_failure_report(&mut self, ctx: &mut Context<'_>, pkt: &GmpPacket) {
@@ -586,7 +645,9 @@ impl GmpLayer {
         if suspect == me || !self.group.contains(suspect) {
             return;
         }
-        ctx.emit(GmpEvent::MemberSuspected { suspect: suspect.as_u32() });
+        ctx.emit(GmpEvent::MemberSuspected {
+            suspect: suspect.as_u32(),
+        });
         self.pending_failures.insert(suspect);
         self.propose_next_view(ctx);
     }

@@ -150,7 +150,13 @@ impl GmpPacket {
                 NodeId::new(u32::from_be_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]))
             })
             .collect();
-        Some(GmpPacket { ty, sender, origin, group_id, members })
+        Some(GmpPacket {
+            ty,
+            sender,
+            origin,
+            group_id,
+            members,
+        })
     }
 }
 
@@ -201,7 +207,13 @@ impl PacketStub for GmpStub {
         };
         let dst = parse_node(1, "dst node")?;
         let who = parse_node(2, "subject node")?;
-        let pkt = GmpPacket { ty, sender: who, origin: who, group_id: 0, members: vec![] };
+        let pkt = GmpPacket {
+            ty,
+            sender: who,
+            origin: who,
+            group_id: 0,
+            members: vec![],
+        };
         // Down-framed: prepend the rudp service selector (heartbeats are
         // fire-and-forget, the rest reliable).
         let svc = if ty == GmpType::Heartbeat { 1u8 } else { 0u8 };
@@ -281,12 +293,17 @@ mod tests {
 
     #[test]
     fn stub_generates_forged_proclaim() {
-        let args: Vec<String> = ["PROCLAIM", "2", "3"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["PROCLAIM", "2", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let m = GmpStub.generate(NodeId::new(0), &args).unwrap();
         assert_eq!(m.dst(), NodeId::new(2));
         let p = GmpPacket::parse(m.bytes()).unwrap();
         assert_eq!(p.ty, GmpType::Proclaim);
         assert_eq!(p.origin, NodeId::new(3));
-        assert!(GmpStub.generate(NodeId::new(0), &["COMMIT".to_string()]).is_err());
+        assert!(GmpStub
+            .generate(NodeId::new(0), &["COMMIT".to_string()])
+            .is_err());
     }
 }

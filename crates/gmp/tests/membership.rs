@@ -1,9 +1,7 @@
 //! Behavioural tests for the group membership protocol under failures.
 
 use pfi_core::{Filter, PfiLayer};
-use pfi_gmp::{
-    GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStatus, GmpStub,
-};
+use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStatus, GmpStub};
 use pfi_rudp::RudpLayer;
 use pfi_sim::{NodeId, SimDuration, World};
 
@@ -15,7 +13,11 @@ fn cluster(n: u32, bugs: GmpBugs) -> (World, Vec<NodeId>) {
     for _ in 0..n {
         let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(bugs));
         let pfi = PfiLayer::new(Box::new(GmpStub));
-        w.add_node(vec![Box::new(gmd), Box::new(pfi), Box::new(RudpLayer::default())]);
+        w.add_node(vec![
+            Box::new(gmd),
+            Box::new(pfi),
+            Box::new(RudpLayer::default()),
+        ]);
     }
     for &p in &peers {
         w.control::<GmpReply>(p, 0, GmpControl::Start);
@@ -24,11 +26,17 @@ fn cluster(n: u32, bugs: GmpBugs) -> (World, Vec<NodeId>) {
 }
 
 fn view(w: &mut World, node: NodeId) -> pfi_gmp::GmpStatusReport {
-    w.control::<GmpReply>(node, 0, GmpControl::Status).expect_status()
+    w.control::<GmpReply>(node, 0, GmpControl::Status)
+        .expect_status()
 }
 
 fn members(w: &mut World, node: NodeId) -> Vec<u32> {
-    view(w, node).group.members.iter().map(|m| m.as_u32()).collect()
+    view(w, node)
+        .group
+        .members
+        .iter()
+        .map(|m| m.as_u32())
+        .collect()
 }
 
 #[test]
@@ -38,7 +46,11 @@ fn daemons_converge_to_one_group_with_lowest_leader() {
     for &p in &peers {
         let v = view(&mut w, p);
         assert_eq!(v.status, GmpStatus::Up, "{p} stuck in transition");
-        assert_eq!(members(&mut w, p), vec![0, 1, 2, 3, 4], "{p} has wrong view");
+        assert_eq!(
+            members(&mut w, p),
+            vec![0, 1, 2, 3, 4],
+            "{p} has wrong view"
+        );
         assert_eq!(v.group.leader(), peers[0]);
         assert_eq!(v.group.crown_prince(), Some(peers[1]));
     }
@@ -56,7 +68,11 @@ fn crashed_member_is_excluded() {
     w.crash(peers[2]);
     w.run_for(SimDuration::from_secs(30));
     for p in [peers[0], peers[1], peers[3]] {
-        assert_eq!(members(&mut w, p), vec![0, 1, 3], "{p} still sees the crashed node");
+        assert_eq!(
+            members(&mut w, p),
+            vec![0, 1, 3],
+            "{p} still sees the crashed node"
+        );
     }
 }
 
@@ -68,8 +84,16 @@ fn crashed_leader_is_replaced_by_crown_prince() {
     w.run_for(SimDuration::from_secs(30));
     for &p in &peers[1..] {
         let v = view(&mut w, p);
-        assert_eq!(v.group.members, peers[1..].to_vec(), "{p} has wrong post-crash view");
-        assert_eq!(v.group.leader(), peers[1], "the crown prince must take over");
+        assert_eq!(
+            v.group.members,
+            peers[1..].to_vec(),
+            "{p} has wrong post-crash view"
+        );
+        assert_eq!(
+            v.group.leader(),
+            peers[1],
+            "the crown prince must take over"
+        );
     }
 }
 
@@ -81,17 +105,29 @@ fn partition_forms_disjoint_groups_and_heals() {
     w.network_mut().set_partition(&[&peers[0..3], &peers[3..5]]);
     w.run_for(SimDuration::from_secs(40));
     for &p in &peers[0..3] {
-        assert_eq!(members(&mut w, p), vec![0, 1, 2], "{p} wrong in left partition");
+        assert_eq!(
+            members(&mut w, p),
+            vec![0, 1, 2],
+            "{p} wrong in left partition"
+        );
     }
     for &p in &peers[3..5] {
-        assert_eq!(members(&mut w, p), vec![3, 4], "{p} wrong in right partition");
+        assert_eq!(
+            members(&mut w, p),
+            vec![3, 4],
+            "{p} wrong in right partition"
+        );
         assert_eq!(view(&mut w, p).group.leader(), peers[3]);
     }
     // Heal: one group again.
     w.network_mut().clear_partition();
     w.run_for(SimDuration::from_secs(60));
     for &p in &peers {
-        assert_eq!(members(&mut w, p), vec![0, 1, 2, 3, 4], "{p} did not re-merge");
+        assert_eq!(
+            members(&mut w, p),
+            vec![0, 1, 2, 3, 4],
+            "{p} did not re-merge"
+        );
     }
 }
 
@@ -102,7 +138,11 @@ fn isolated_node_cycles_out_and_back() {
     w.network_mut().isolate(peers[2], &peers);
     w.run_for(SimDuration::from_secs(40));
     assert_eq!(members(&mut w, peers[0]), vec![0, 1]);
-    assert_eq!(members(&mut w, peers[2]), vec![2], "isolated node forms a singleton");
+    assert_eq!(
+        members(&mut w, peers[2]),
+        vec![2],
+        "isolated node forms a singleton"
+    );
     w.network_mut().rejoin(peers[2], &peers);
     w.run_for(SimDuration::from_secs(60));
     assert_eq!(members(&mut w, peers[0]), vec![0, 1, 2]);
@@ -120,18 +160,23 @@ fn fixed_daemon_recovers_from_self_heartbeat_loss() {
     "#,
     )
     .unwrap();
-    let _: pfi_core::PfiReply =
-        w.control(peers[1], 1, pfi_core::PfiControl::SetSendFilter(drop_self_hb));
+    let _: pfi_core::PfiReply = w.control(
+        peers[1],
+        1,
+        pfi_core::PfiControl::SetSendFilter(drop_self_hb),
+    );
     w.run_for(SimDuration::from_secs(30));
     // The fixed daemon falls back to a singleton and rejoins (possibly
     // repeatedly); it must never declare itself dead.
     let evs = w.trace().events_of::<GmpEvent>(Some(peers[1]));
     assert!(
-        !evs.iter().any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead)),
+        !evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead)),
         "fixed daemon must not declare itself dead"
     );
     assert!(
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::FormedSingleton)),
+        evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::FormedSingleton)),
         "fixed daemon must restart as a singleton"
     );
     assert!(!view(&mut w, peers[1]).self_marked_dead);
@@ -139,7 +184,10 @@ fn fixed_daemon_recovers_from_self_heartbeat_loss() {
 
 #[test]
 fn buggy_daemon_declares_itself_dead() {
-    let bugs = GmpBugs { self_death: true, ..GmpBugs::none() };
+    let bugs = GmpBugs {
+        self_death: true,
+        ..GmpBugs::none()
+    };
     let (mut w, peers) = cluster(3, bugs);
     w.run_for(SimDuration::from_secs(60));
     let drop_self_hb = Filter::script(
@@ -148,12 +196,16 @@ fn buggy_daemon_declares_itself_dead() {
     "#,
     )
     .unwrap();
-    let _: pfi_core::PfiReply =
-        w.control(peers[1], 1, pfi_core::PfiControl::SetSendFilter(drop_self_hb));
+    let _: pfi_core::PfiReply = w.control(
+        peers[1],
+        1,
+        pfi_core::PfiControl::SetSendFilter(drop_self_hb),
+    );
     w.run_for(SimDuration::from_secs(30));
     let evs = w.trace().events_of::<GmpEvent>(Some(peers[1]));
     assert!(
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead)),
+        evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::SelfDeclaredDead)),
         "buggy daemon must declare itself dead"
     );
     let v = view(&mut w, peers[1]);
@@ -189,14 +241,19 @@ fn stage_second_membership_change(bugs: GmpBugs) -> Vec<(pfi_sim::SimTime, GmpEv
 
 #[test]
 fn timer_unset_bug_fires_stale_timers_in_transition() {
-    let bugs = GmpBugs { timer_unset: true, ..GmpBugs::none() };
+    let bugs = GmpBugs {
+        timer_unset: true,
+        ..GmpBugs::none()
+    };
     let evs = stage_second_membership_change(bugs);
     assert!(
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::InTransition { .. })),
+        evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::InTransition { .. })),
         "node 2 must enter a transition"
     );
     assert!(
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::SpuriousTimerInTransition { .. })),
+        evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::SpuriousTimerInTransition { .. })),
         "stale heartbeat timers must fire during the transition"
     );
 }
@@ -205,11 +262,13 @@ fn timer_unset_bug_fires_stale_timers_in_transition() {
 fn correct_timer_hygiene_stays_quiet_in_transition() {
     let evs = stage_second_membership_change(GmpBugs::none());
     assert!(
-        evs.iter().any(|(_, e)| matches!(e, GmpEvent::InTransition { .. })),
+        evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::InTransition { .. })),
         "node 2 must enter a transition"
     );
     assert!(
-        !evs.iter().any(|(_, e)| matches!(e, GmpEvent::SpuriousTimerInTransition { .. })),
+        !evs.iter()
+            .any(|(_, e)| matches!(e, GmpEvent::SpuriousTimerInTransition { .. })),
         "with all timers unset nothing may fire during the transition"
     );
 }
@@ -230,9 +289,9 @@ fn all_up_views_agree_after_churn() {
     for &p in &peers[0..4] {
         let v = view(&mut w, p);
         assert_eq!(v.status, GmpStatus::Up);
-        let entry = by_gid.entry(v.group.id).or_insert_with(|| {
-            v.group.members.iter().map(|m| m.as_u32()).collect()
-        });
+        let entry = by_gid
+            .entry(v.group.id)
+            .or_insert_with(|| v.group.members.iter().map(|m| m.as_u32()).collect());
         let mine: Vec<u32> = v.group.members.iter().map(|m| m.as_u32()).collect();
         assert_eq!(*entry, mine, "{p} disagrees about group {}", v.group.id);
     }
@@ -262,7 +321,10 @@ fn higher_id_proposer_is_rejected_with_nak() {
                 .count()
         })
         .sum();
-    assert!(naks > 0, "members with a live lower-id leader must NAK the usurper");
+    assert!(
+        naks > 0,
+        "members with a live lower-id leader must NAK the usurper"
+    );
     // And the system converges: 0 leads {0,2,3} (1 unreachable from 0).
     assert_eq!(members(&mut w, peers[0]), vec![0, 2, 3]);
 }
@@ -274,7 +336,11 @@ fn seven_daemons_with_staggered_starts_converge() {
     for _ in 0..7 {
         let gmd = GmpLayer::new(GmpConfig::new(peers.clone()));
         let pfi = PfiLayer::new(Box::new(GmpStub));
-        w.add_node(vec![Box::new(gmd), Box::new(pfi), Box::new(pfi_rudp::RudpLayer::default())]);
+        w.add_node(vec![
+            Box::new(gmd),
+            Box::new(pfi),
+            Box::new(pfi_rudp::RudpLayer::default()),
+        ]);
     }
     // Stagger the starts over 20 seconds, highest id first.
     for (i, &p) in peers.iter().rev().enumerate() {
@@ -284,7 +350,9 @@ fn seven_daemons_with_staggered_starts_converge() {
     }
     w.run_for(SimDuration::from_secs(120));
     for &p in &peers {
-        let v = w.control::<GmpReply>(p, 0, GmpControl::Status).expect_status();
+        let v = w
+            .control::<GmpReply>(p, 0, GmpControl::Status)
+            .expect_status();
         assert_eq!(
             v.group.members.len(),
             7,

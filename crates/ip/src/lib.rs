@@ -154,7 +154,10 @@ impl IpLayer {
     ///
     /// Panics if `mtu` does not leave room for at least one payload byte.
     pub fn new(mtu: usize) -> Self {
-        assert!(mtu > HEADER_LEN, "mtu must exceed the {HEADER_LEN}-byte header");
+        assert!(
+            mtu > HEADER_LEN,
+            "mtu must exceed the {HEADER_LEN}-byte header"
+        );
         IpLayer {
             mtu,
             next_ident: 0,
@@ -192,8 +195,13 @@ impl Layer for IpLayer {
         let ident = self.next_ident;
         let chunk_size = self.mtu - HEADER_LEN;
         if total <= chunk_size {
-            let hdr =
-                FragHeader { ident, offset: 0, total_len: total as u16, more: false }.encode();
+            let hdr = FragHeader {
+                ident,
+                offset: 0,
+                total_len: total as u16,
+                more: false,
+            }
+            .encode();
             let mut out = msg;
             out.push_header(&hdr);
             ctx.send_down(out);
@@ -216,7 +224,10 @@ impl Layer for IpLayer {
             frags.push(frag);
             offset += chunk.len() as u16;
         }
-        ctx.emit(IpEvent::Fragmented { ident, fragments: n });
+        ctx.emit(IpEvent::Fragmented {
+            ident,
+            fragments: n,
+        });
         for frag in frags {
             ctx.send_down(frag);
         }
@@ -243,14 +254,20 @@ impl Layer for IpLayer {
         let key = (msg.src(), hdr.ident);
         let entry = self.partial.entry(key).or_insert_with(|| {
             // First fragment of this datagram: arm the reassembly timeout.
-            PartialDatagram { total_len: hdr.total_len as usize, chunks: BTreeMap::new() }
+            PartialDatagram {
+                total_len: hdr.total_len as usize,
+                chunks: BTreeMap::new(),
+            }
         });
         if entry.chunks.is_empty() {
             self.next_token += 1;
             self.timeout_of.insert(self.next_token, key);
             ctx.set_timer(REASSEMBLY_TIMEOUT, self.next_token);
         }
-        entry.chunks.entry(hdr.offset).or_insert_with(|| msg.bytes().to_vec());
+        entry
+            .chunks
+            .entry(hdr.offset)
+            .or_insert_with(|| msg.bytes().to_vec());
         if entry.complete() {
             let data = entry.assemble();
             self.partial.remove(&key);
@@ -363,7 +380,9 @@ mod tests {
         assert!(evs
             .iter()
             .any(|(_, e)| matches!(e, IpEvent::Fragmented { fragments: 9, .. })));
-        assert!(evs.iter().any(|(_, e)| matches!(e, IpEvent::Reassembled { .. })));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, IpEvent::Reassembled { .. })));
     }
 
     #[test]
@@ -403,9 +422,14 @@ mod tests {
         let b2 = w2.add_node(vec![Box::new(Src), Box::new(IpLayer::new(128))]);
         w2.control::<()>(a2, 0, Fire(b2, vec![1u8; 500]));
         w2.run_for(SimDuration::from_secs(60));
-        assert!(w2.drain_inbox(b2).is_empty(), "a lost fragment must lose the datagram");
+        assert!(
+            w2.drain_inbox(b2).is_empty(),
+            "a lost fragment must lose the datagram"
+        );
         let evs = w2.trace().events_of::<IpEvent>(Some(b2));
-        assert!(evs.iter().any(|(_, e)| matches!(e, IpEvent::ReassemblyTimeout { .. })));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, IpEvent::ReassemblyTimeout { .. })));
         let _ = (a, b, &mut w);
     }
 
@@ -424,7 +448,11 @@ mod tests {
         w.control::<()>(a, 0, Fire(b, payload.clone()));
         w.run_for(SimDuration::from_secs(1));
         let got = w.drain_inbox(b);
-        assert_eq!(got.len(), 1, "duplicated fragments must not duplicate the datagram");
+        assert_eq!(
+            got.len(),
+            1,
+            "duplicated fragments must not duplicate the datagram"
+        );
         assert_eq!(got[0].1.bytes(), &payload[..]);
     }
 
@@ -440,14 +468,24 @@ mod tests {
         w.control::<()>(a, 0, Fire(c, pa.clone()));
         w.control::<()>(b, 0, Fire(c, pb.clone()));
         w.run_for(SimDuration::from_secs(1));
-        let got: Vec<Vec<u8>> = w.drain_inbox(c).into_iter().map(|(_, m)| m.bytes().to_vec()).collect();
+        let got: Vec<Vec<u8>> = w
+            .drain_inbox(c)
+            .into_iter()
+            .map(|(_, m)| m.bytes().to_vec())
+            .collect();
         assert_eq!(got.len(), 2);
         assert!(got.contains(&pa) && got.contains(&pb));
     }
 
     #[test]
     fn stub_recognises_fragments() {
-        let hdr = FragHeader { ident: 5, offset: 116, total_len: 500, more: true }.encode();
+        let hdr = FragHeader {
+            ident: 5,
+            offset: 116,
+            total_len: 500,
+            more: true,
+        }
+        .encode();
         let mut m = Message::new(NodeId::new(0), NodeId::new(1), &[0u8; 116]);
         m.push_header(&hdr);
         assert_eq!(IpStub.type_of(&m).as_deref(), Some("FRAGMENT"));

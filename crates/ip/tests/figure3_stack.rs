@@ -6,7 +6,6 @@ use pfi_core::{Filter, PfiLayer};
 use pfi_ip::{IpEvent, IpLayer, IpStub};
 use pfi_sim::{NodeId, SimDuration, World};
 use pfi_tcp::{TcpControl, TcpLayer, TcpProfile, TcpReply, TcpStub};
-use proptest::prelude::*;
 
 /// Builds the Figure 3 stack: client = [TCP, PFI(tcp), IP], server =
 /// [TCP, IP]. The PFI layer sits between TCP and IP, exactly as drawn.
@@ -27,11 +26,15 @@ fn figure3(mtu: usize, pfi_filter: Option<Filter>) -> (World, NodeId, NodeId, pf
     ]);
     w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
     let conn = w
-        .control::<TcpReply>(client, 0, TcpControl::Open {
-            local_port: 0,
-            remote: server,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     w.run_for(SimDuration::from_secs(2));
     (w, client, server, conn)
@@ -39,9 +42,9 @@ fn figure3(mtu: usize, pfi_filter: Option<Filter>) -> (World, NodeId, NodeId, pf
 
 fn server_data(w: &mut World, server: NodeId) -> Vec<u8> {
     match w.control::<TcpReply>(server, 0, TcpControl::AcceptedOn { port: 80 }) {
-        TcpReply::MaybeConn(Some(sc)) => {
-            w.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sc }).expect_data()
-        }
+        TcpReply::MaybeConn(Some(sc)) => w
+            .control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sc })
+            .expect_data(),
         _ => Vec::new(),
     }
 }
@@ -51,7 +54,14 @@ fn tcp_transfers_intact_over_a_fragmenting_ip() {
     // MTU 128 splits every 532-byte TCP segment into 5 fragments.
     let (mut w, client, server, conn) = figure3(128, None);
     let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
-    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     w.run_for(SimDuration::from_secs(60));
     assert_eq!(server_data(&mut w, server), payload);
     // Fragmentation actually happened.
@@ -61,7 +71,10 @@ fn tcp_transfers_intact_over_a_fragmenting_ip() {
         .iter()
         .filter(|(_, e)| matches!(e, IpEvent::Fragmented { .. }))
         .count();
-    assert!(fragged >= 20, "every data segment must fragment, saw {fragged}");
+    assert!(
+        fragged >= 20,
+        "every data segment must fragment, saw {fragged}"
+    );
 }
 
 #[test]
@@ -79,7 +92,14 @@ fn tcp_recovers_from_pfi_dropping_whole_segments_above_ip() {
     .unwrap();
     let (mut w, client, server, conn) = figure3(256, Some(drop_fifth));
     let payload: Vec<u8> = (0..8_000u32).map(|i| (i * 3 % 256) as u8).collect();
-    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     w.run_for(SimDuration::from_secs(300));
     assert_eq!(server_data(&mut w, server), payload);
 }
@@ -93,7 +113,9 @@ fn fragment_level_loss_below_tcp_is_also_recovered() {
     let client = w.add_node(vec![
         Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3())),
         Box::new(IpLayer::new(128)),
-        Box::new(PfiLayer::new(Box::new(IpStub)).with_send_filter(pfi_core::faults::omission(0.05))),
+        Box::new(
+            PfiLayer::new(Box::new(IpStub)).with_send_filter(pfi_core::faults::omission(0.05)),
+        ),
     ]);
     let server = w.add_node(vec![
         Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
@@ -101,15 +123,26 @@ fn fragment_level_loss_below_tcp_is_also_recovered() {
     ]);
     w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
     let conn = w
-        .control::<TcpReply>(client, 0, TcpControl::Open {
-            local_port: 0,
-            remote: server,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     w.run_for(SimDuration::from_secs(2));
     let payload: Vec<u8> = (0..6_000u32).map(|i| (i * 13 % 256) as u8).collect();
-    w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    w.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     w.run_for(SimDuration::from_secs(600));
     assert_eq!(server_data(&mut w, server), payload);
     // Fragment loss manifested as reassembly timeouts at the server.
@@ -122,17 +155,22 @@ fn fragment_level_loss_below_tcp_is_also_recovered() {
     assert!(timeouts > 0, "5% fragment loss must lose some datagrams");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Whatever the MTU and payload size, the Figure 3 stack delivers the
-    /// exact byte stream.
-    #[test]
-    fn any_mtu_delivers_exactly(
-        mtu in 64usize..600,
-        payload_len in 1usize..6_000,
-        seed in 0u64..1_000,
-    ) {
+/// Whatever the MTU and payload size, the Figure 3 stack delivers the exact
+/// byte stream. (Formerly a proptest; rewritten as a fixed sweep because the
+/// offline build environment cannot fetch the proptest crate.)
+#[test]
+fn any_mtu_delivers_exactly() {
+    const CASES: &[(usize, usize, u64)] = &[
+        (64, 1, 0),
+        (64, 5_999, 1),
+        (97, 777, 2),
+        (128, 3_000, 3),
+        (233, 4_096, 5),
+        (360, 1_500, 7),
+        (512, 2_321, 11),
+        (599, 5_000, 13),
+    ];
+    for &(mtu, payload_len, seed) in CASES {
         let mut w = World::new(seed);
         let client = w.add_node(vec![
             Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3())),
@@ -144,16 +182,31 @@ proptest! {
         ]);
         w.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
         let conn = w
-            .control::<TcpReply>(client, 0, TcpControl::Open {
-                local_port: 0,
-                remote: server,
-                remote_port: 80,
-            })
+            .control::<TcpReply>(
+                client,
+                0,
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: server,
+                    remote_port: 80,
+                },
+            )
             .expect_conn();
         w.run_for(SimDuration::from_secs(2));
         let payload: Vec<u8> = (0..payload_len).map(|i| (i * 31 % 256) as u8).collect();
-        w.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+        w.control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Send {
+                conn,
+                data: payload.clone(),
+            },
+        );
         w.run_for(SimDuration::from_secs(120));
-        prop_assert_eq!(server_data(&mut w, server), payload);
+        assert_eq!(
+            server_data(&mut w, server),
+            payload,
+            "mtu={mtu} len={payload_len} seed={seed}"
+        );
     }
 }

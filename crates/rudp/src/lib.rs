@@ -52,7 +52,10 @@ pub struct RudpConfig {
 
 impl Default for RudpConfig {
     fn default() -> Self {
-        RudpConfig { retry_interval: SimDuration::from_millis(500), max_retries: 5 }
+        RudpConfig {
+            retry_interval: SimDuration::from_millis(500),
+            max_retries: 5,
+        }
     }
 }
 
@@ -178,7 +181,16 @@ impl Layer for RudpLayer {
                 self.next_token += 1;
                 let token = self.next_token;
                 let timer = ctx.set_timer(self.config.retry_interval, token);
-                self.pending.insert(token, Pending { dst, seq, payload, attempts: 0, timer });
+                self.pending.insert(
+                    token,
+                    Pending {
+                        dst,
+                        seq,
+                        payload,
+                        attempts: 0,
+                        timer,
+                    },
+                );
                 self.by_dst_seq.insert((dst, seq), token);
             }
         }
@@ -224,10 +236,17 @@ impl Layer for RudpLayer {
         if p.attempts > self.config.max_retries {
             let p = self.pending.remove(&token).expect("just looked up");
             self.by_dst_seq.remove(&(p.dst, p.seq));
-            ctx.emit(RudpEvent::GaveUp { dst: p.dst, seq: p.seq });
+            ctx.emit(RudpEvent::GaveUp {
+                dst: p.dst,
+                seq: p.seq,
+            });
             return;
         }
-        ctx.emit(RudpEvent::Retransmit { dst: p.dst, seq: p.seq, attempt: p.attempts });
+        ctx.emit(RudpEvent::Retransmit {
+            dst: p.dst,
+            seq: p.seq,
+            attempt: p.attempts,
+        });
         ctx.send_down(Self::wire(KIND_DATA, p.seq, &p.payload, ctx.node(), p.dst));
         p.timer = ctx.set_timer(self.config.retry_interval, token);
     }
@@ -299,7 +318,11 @@ mod tests {
         }
         fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
             let op = op.downcast::<AppSend>().expect("bad op");
-            let mut body = vec![if op.reliable { service::RELIABLE } else { service::UNRELIABLE }];
+            let mut body = vec![if op.reliable {
+                service::RELIABLE
+            } else {
+                service::UNRELIABLE
+            }];
             body.extend_from_slice(&op.payload);
             ctx.send_down(Message::new(ctx.node(), op.dst, &body));
             Box::new(())
@@ -314,11 +337,22 @@ mod tests {
     }
 
     fn send(w: &mut World, from: NodeId, to: NodeId, reliable: bool, payload: &[u8]) {
-        w.control::<()>(from, 0, AppSend { dst: to, reliable, payload: payload.to_vec() });
+        w.control::<()>(
+            from,
+            0,
+            AppSend {
+                dst: to,
+                reliable,
+                payload: payload.to_vec(),
+            },
+        );
     }
 
     fn inbox(w: &mut World, node: NodeId) -> Vec<(SimTime, Vec<u8>)> {
-        w.drain_inbox(node).into_iter().map(|(t, m)| (t, m.bytes().to_vec())).collect()
+        w.drain_inbox(node)
+            .into_iter()
+            .map(|(t, m)| (t, m.bytes().to_vec()))
+            .collect()
     }
 
     #[test]
@@ -357,7 +391,8 @@ mod tests {
         assert!(inbox(&mut w, b).is_empty());
         let evs = w.trace().events_of::<RudpEvent>(Some(a));
         assert!(
-            !evs.iter().any(|(_, e)| matches!(e, RudpEvent::Retransmit { .. })),
+            !evs.iter()
+                .any(|(_, e)| matches!(e, RudpEvent::Retransmit { .. })),
             "unreliable datagrams must not be retransmitted"
         );
     }
@@ -369,9 +404,14 @@ mod tests {
         send(&mut w, a, b, true, b"doomed");
         w.run_for(SimDuration::from_secs(30));
         let evs = w.trace().events_of::<RudpEvent>(Some(a));
-        let retx = evs.iter().filter(|(_, e)| matches!(e, RudpEvent::Retransmit { .. })).count();
+        let retx = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, RudpEvent::Retransmit { .. }))
+            .count();
         assert_eq!(retx, 5);
-        assert!(evs.iter().any(|(_, e)| matches!(e, RudpEvent::GaveUp { .. })));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, RudpEvent::GaveUp { .. })));
     }
 
     #[test]
@@ -384,7 +424,9 @@ mod tests {
         let got = inbox(&mut w, b);
         assert_eq!(got.len(), 1, "duplicates must be suppressed");
         let evs = w.trace().events_of::<RudpEvent>(Some(b));
-        assert!(evs.iter().any(|(_, e)| matches!(e, RudpEvent::DuplicateSuppressed { .. })));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, RudpEvent::DuplicateSuppressed { .. })));
     }
 
     #[test]
@@ -431,6 +473,8 @@ mod tests {
         w.control::<()>(r, 0, ());
         w.run_for(SimDuration::from_secs(1));
         let evs = w.trace().events_of::<RudpEvent>(Some(b));
-        assert!(evs.iter().any(|(_, e)| matches!(e, RudpEvent::DecodeFailed)));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| matches!(e, RudpEvent::DecodeFailed)));
     }
 }

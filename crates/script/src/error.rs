@@ -18,12 +18,18 @@ pub struct ScriptError {
 impl ScriptError {
     /// Creates an error with no line attribution.
     pub fn new(message: impl Into<String>) -> Self {
-        ScriptError { message: message.into(), line: 0 }
+        ScriptError {
+            message: message.into(),
+            line: 0,
+        }
     }
 
     /// Creates an error attributed to a source line.
     pub fn at(line: u32, message: impl Into<String>) -> Self {
-        ScriptError { message: message.into(), line }
+        ScriptError {
+            message: message.into(),
+            line,
+        }
     }
 }
 
@@ -81,7 +87,10 @@ mod tests {
 
     #[test]
     fn exc_into_error() {
-        assert_eq!(Exc::Break.into_error().message, "invoked \"break\" outside of a loop");
+        assert_eq!(
+            Exc::Break.into_error().message,
+            "invoked \"break\" outside of a loop"
+        );
         let e = ScriptError::new("x");
         assert_eq!(Exc::Error(e.clone()).into_error(), e);
     }

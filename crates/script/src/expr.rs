@@ -4,9 +4,14 @@
 //! are deferred) and evaluates it with its own `$var`/`[cmd]` substitution,
 //! numeric coercion, short-circuiting boolean operators, and math functions.
 //!
-//! Substitutions are resolved while tokenizing (via [`Resolver`]); operator
-//! evaluation is lazy, so `&&`/`||`/`?:` short-circuit arithmetic errors in
-//! the untaken branch (e.g. `$n != 0 && $x / $n > 2`).
+//! Evaluation is split into two phases so expression sources compile once:
+//! [`parse_expr`] turns a source string into a resolver-free [`ExprAst`]
+//! (cacheable, shareable), and [`eval_ast`] walks that tree resolving
+//! `$var`/`[cmd]` substitutions lazily through a [`Resolver`]. Laziness means
+//! `&&`/`||`/`?:` short-circuit both arithmetic errors *and* substitutions in
+//! the untaken branch (e.g. `$n != 0 && $x / $n > 2` never reads the second
+//! `$n` when the guard fails), matching Tcl's deferred-substitution
+//! semantics for braced expressions.
 
 use crate::error::ScriptError;
 
@@ -14,6 +19,13 @@ use crate::error::ScriptError;
 pub(crate) trait Resolver {
     fn var(&mut self, name: &str) -> Result<String, ScriptError>;
     fn cmd(&mut self, script: &str) -> Result<String, ScriptError>;
+
+    /// A variable as an `expr` operand. The default goes through
+    /// [`var`](Resolver::var); the interpreter overrides it to parse from
+    /// a borrowed value, skipping the clone on the hot operand path.
+    fn var_value(&mut self, name: &str) -> Result<Value, ScriptError> {
+        Ok(Value::from_tcl(&self.var(name)?))
+    }
 }
 
 /// A Tcl value as seen by `expr`: integer, double, or string.
@@ -104,6 +116,13 @@ pub(crate) fn fmt_double(d: f64) -> String {
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Val(Value),
+    /// `$name` — resolved through the [`Resolver`] at eval time.
+    Var(String),
+    /// `$name(index)` — the raw index text may itself contain `$vars`,
+    /// resolved at eval time.
+    ArrVar(String, String),
+    /// `[script]` — run through the [`Resolver`] at eval time.
+    Cmd(String),
     Ident(String),
     Op(&'static str),
     LParen,
@@ -111,7 +130,7 @@ enum Tok {
     Comma,
 }
 
-fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
+fn tokenize(src: &str) -> Result<Vec<Tok>, ScriptError> {
     let chars: Vec<char> = src.chars().collect();
     let mut pos = 0usize;
     let mut toks = Vec::new();
@@ -121,7 +140,9 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
             pos += 1;
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && chars.get(pos + 1).is_some_and(|n| n.is_ascii_digit())) {
+        if c.is_ascii_digit()
+            || (c == '.' && chars.get(pos + 1).is_some_and(|n| n.is_ascii_digit()))
+        {
             let start = pos;
             let mut is_dbl = false;
             while pos < chars.len() {
@@ -156,13 +177,15 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
             }
             let text: String = chars[start..pos].iter().collect();
             let v = if is_dbl {
-                Value::Dbl(text.parse::<f64>().map_err(|_| {
-                    ScriptError::new(format!("invalid number \"{text}\""))
-                })?)
+                Value::Dbl(
+                    text.parse::<f64>()
+                        .map_err(|_| ScriptError::new(format!("invalid number \"{text}\"")))?,
+                )
             } else {
-                Value::Int(parse_int(&text).ok_or_else(|| {
-                    ScriptError::new(format!("invalid number \"{text}\""))
-                })?)
+                Value::Int(
+                    parse_int(&text)
+                        .ok_or_else(|| ScriptError::new(format!("invalid number \"{text}\"")))?,
+                )
             };
             toks.push(Tok::Val(v));
             continue;
@@ -203,8 +226,9 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
                     chars[start..pos].iter().collect()
                 };
                 // `$name(index)`: an array element; `$vars` inside the
-                // index are resolved too (e.g. `$counts($type)`).
-                let name = if chars.get(pos) == Some(&'(') {
+                // index are resolved too (e.g. `$counts($type)`), but only
+                // at eval time so the token stream stays cacheable.
+                if chars.get(pos) == Some(&'(') {
                     pos += 1;
                     let mut index = String::new();
                     let mut depth = 1usize;
@@ -227,13 +251,10 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
                         return Err(ScriptError::new("missing close-paren for array index"));
                     }
                     pos += 1;
-                    let resolved = resolve_index_vars(&index, r)?;
-                    format!("{name}({resolved})")
+                    toks.push(Tok::ArrVar(name, index));
                 } else {
-                    name
-                };
-                let val = r.var(&name)?;
-                toks.push(Tok::Val(Value::from_tcl(&val)));
+                    toks.push(Tok::Var(name));
+                }
             }
             '[' => {
                 pos += 1;
@@ -258,8 +279,7 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
                 }
                 let script: String = chars[start..pos].iter().collect();
                 pos += 1;
-                let val = r.cmd(&script)?;
-                toks.push(Tok::Val(Value::from_tcl(&val)));
+                toks.push(Tok::Cmd(script));
             }
             '"' => {
                 pos += 1;
@@ -333,9 +353,11 @@ fn tokenize(src: &str, r: &mut dyn Resolver) -> Result<Vec<Tok>, ScriptError> {
                     toks.push(Tok::Op(op));
                     pos += 2;
                 } else {
-                    let op1 = ["+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":"]
-                        .iter()
-                        .find(|&&o| o.starts_with(c));
+                    let op1 = [
+                        "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+                    ]
+                    .iter()
+                    .find(|&&o| o.starts_with(c));
                     match op1 {
                         Some(&op) => {
                             toks.push(Tok::Op(op));
@@ -383,10 +405,24 @@ fn resolve_index_vars(index: &str, r: &mut dyn Resolver) -> Result<String, Scrip
 #[derive(Debug)]
 enum Node {
     Val(Value),
+    /// Lazy `$name` substitution.
+    Var(String),
+    /// Lazy `$name(index)` substitution; the index may contain `$vars`.
+    ArrVar(String, String),
+    /// Lazy `[script]` substitution.
+    Cmd(String),
     Unary(&'static str, Box<Node>),
     Bin(&'static str, Box<Node>, Box<Node>),
     Ternary(Box<Node>, Box<Node>, Box<Node>),
     Func(String, Vec<Node>),
+}
+
+/// A compiled expression: the parsed tree for one `expr` source string,
+/// independent of any interpreter state. Compile once, evaluate many times
+/// against different [`Resolver`]s.
+#[derive(Debug)]
+pub(crate) struct ExprAst {
+    root: Node,
 }
 
 struct ExprParser {
@@ -410,13 +446,18 @@ impl ExprParser {
     fn expect_op(&mut self, op: &str) -> Result<(), ScriptError> {
         match self.bump() {
             Some(Tok::Op(o)) if o == op => Ok(()),
-            other => Err(ScriptError::new(format!("expected \"{op}\", got {other:?}"))),
+            other => Err(ScriptError::new(format!(
+                "expected \"{op}\", got {other:?}"
+            ))),
         }
     }
 
     fn parse_primary(&mut self) -> Result<Node, ScriptError> {
         match self.bump() {
             Some(Tok::Val(v)) => Ok(Node::Val(v)),
+            Some(Tok::Var(name)) => Ok(Node::Var(name)),
+            Some(Tok::ArrVar(name, index)) => Ok(Node::ArrVar(name, index)),
+            Some(Tok::Cmd(script)) => Ok(Node::Cmd(script)),
             Some(Tok::Ident(name)) => {
                 if self.peek() == Some(&Tok::LParen) {
                     self.bump();
@@ -427,11 +468,9 @@ impl ExprParser {
                             match self.bump() {
                                 Some(Tok::Comma) => continue,
                                 Some(Tok::RParen) => break,
-                                other => {
-                                    return Err(ScriptError::new(format!(
-                                        "expected \",\" or \")\" in function arguments, got {other:?}"
-                                    )))
-                                }
+                                other => return Err(ScriptError::new(format!(
+                                    "expected \",\" or \")\" in function arguments, got {other:?}"
+                                ))),
                             }
                         }
                     } else {
@@ -442,9 +481,9 @@ impl ExprParser {
                     match name.to_ascii_lowercase().as_str() {
                         "true" | "yes" | "on" => Ok(Node::Val(Value::Int(1))),
                         "false" | "no" | "off" => Ok(Node::Val(Value::Int(0))),
-                        "eq" | "ne" => Err(ScriptError::new(format!(
-                            "misplaced operator \"{name}\""
-                        ))),
+                        "eq" | "ne" => {
+                            Err(ScriptError::new(format!("misplaced operator \"{name}\"")))
+                        }
                         _ => Err(ScriptError::new(format!(
                             "unknown identifier \"{name}\" in expression"
                         ))),
@@ -462,7 +501,9 @@ impl ExprParser {
                 let operand = self.parse_bp(13)?;
                 Ok(Node::Unary(op, Box::new(operand)))
             }
-            other => Err(ScriptError::new(format!("unexpected token {other:?} in expression"))),
+            other => Err(ScriptError::new(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 
@@ -519,25 +560,44 @@ impl ExprParser {
     }
 }
 
-/// Evaluates a Tcl expression string, resolving substitutions through `r`.
-pub(crate) fn eval_expr(src: &str, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
-    let toks = tokenize(src, r)?;
+/// Compiles an expression source string into a reusable [`ExprAst`].
+pub(crate) fn parse_expr(src: &str) -> Result<ExprAst, ScriptError> {
+    let toks = tokenize(src)?;
     if toks.is_empty() {
         return Err(ScriptError::new("empty expression"));
     }
     let mut p = ExprParser { toks, pos: 0 };
-    let node = p.parse_bp(1)?;
+    let root = p.parse_bp(1)?;
     if p.pos != p.toks.len() {
         return Err(ScriptError::new("trailing tokens in expression"));
     }
-    eval_node(&node)
+    Ok(ExprAst { root })
 }
 
-fn eval_node(n: &Node) -> Result<Value, ScriptError> {
+/// Evaluates a compiled expression, resolving substitutions through `r`.
+pub(crate) fn eval_ast(ast: &ExprAst, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
+    eval_node(&ast.root, r)
+}
+
+/// Evaluates a Tcl expression string, resolving substitutions through `r`.
+/// One-shot convenience for tests; production paths compile with
+/// [`parse_expr`] and reuse the [`ExprAst`] through the interpreter's cache.
+#[cfg(test)]
+pub(crate) fn eval_expr(src: &str, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
+    eval_ast(&parse_expr(src)?, r)
+}
+
+fn eval_node(n: &Node, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
     match n {
         Node::Val(v) => Ok(v.clone()),
+        Node::Var(name) => r.var_value(name),
+        Node::ArrVar(name, index) => {
+            let resolved = resolve_index_vars(index, r)?;
+            Ok(Value::from_tcl(&r.var(&format!("{name}({resolved})"))?))
+        }
+        Node::Cmd(script) => Ok(Value::from_tcl(&r.cmd(script)?)),
         Node::Unary(op, a) => {
-            let v = eval_node(a)?;
+            let v = eval_node(a, r)?;
             match *op {
                 "!" => Ok(Value::Int(if v.truthy()? { 0 } else { 1 })),
                 "~" => match v.numeric() {
@@ -553,15 +613,15 @@ fn eval_node(n: &Node) -> Result<Value, ScriptError> {
                 _ => unreachable!(),
             }
         }
-        Node::Bin(op, a, b) => eval_bin(op, a, b),
+        Node::Bin(op, a, b) => eval_bin(op, a, b, r),
         Node::Ternary(c, t, f) => {
-            if eval_node(c)?.truthy()? {
-                eval_node(t)
+            if eval_node(c, r)?.truthy()? {
+                eval_node(t, r)
             } else {
-                eval_node(f)
+                eval_node(f, r)
             }
         }
-        Node::Func(name, args) => eval_func(name, args),
+        Node::Func(name, args) => eval_func(name, args, r),
     }
 }
 
@@ -602,25 +662,25 @@ fn floor_mod(a: i64, b: i64) -> Result<i64, ScriptError> {
     }
 }
 
-fn eval_bin(op: &str, an: &Node, bn: &Node) -> Result<Value, ScriptError> {
-    // Short-circuit operators evaluate lazily.
+fn eval_bin(op: &str, an: &Node, bn: &Node, r: &mut dyn Resolver) -> Result<Value, ScriptError> {
+    // Short-circuit operators evaluate lazily — including substitutions.
     match op {
         "&&" => {
-            if !eval_node(an)?.truthy()? {
+            if !eval_node(an, r)?.truthy()? {
                 return Ok(Value::Int(0));
             }
-            return Ok(Value::Int(if eval_node(bn)?.truthy()? { 1 } else { 0 }));
+            return Ok(Value::Int(if eval_node(bn, r)?.truthy()? { 1 } else { 0 }));
         }
         "||" => {
-            if eval_node(an)?.truthy()? {
+            if eval_node(an, r)?.truthy()? {
                 return Ok(Value::Int(1));
             }
-            return Ok(Value::Int(if eval_node(bn)?.truthy()? { 1 } else { 0 }));
+            return Ok(Value::Int(if eval_node(bn, r)?.truthy()? { 1 } else { 0 }));
         }
         _ => {}
     }
-    let a = eval_node(an)?;
-    let b = eval_node(bn)?;
+    let a = eval_node(an, r)?;
+    let b = eval_node(bn, r)?;
     match op {
         "eq" => return Ok(Value::Int((a.to_output() == b.to_output()) as i64)),
         "ne" => return Ok(Value::Int((a.to_output() != b.to_output()) as i64)),
@@ -728,8 +788,11 @@ fn as_f64(v: &Value) -> f64 {
     }
 }
 
-fn eval_func(name: &str, args: &[Node]) -> Result<Value, ScriptError> {
-    let vals: Vec<Value> = args.iter().map(eval_node).collect::<Result<_, _>>()?;
+fn eval_func(name: &str, args: &[Node], r: &mut dyn Resolver) -> Result<Value, ScriptError> {
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| eval_node(a, r))
+        .collect::<Result<_, _>>()?;
     let need = |n: usize| -> Result<(), ScriptError> {
         if vals.len() == n {
             Ok(())
@@ -844,7 +907,9 @@ fn eval_func(name: &str, args: &[Node]) -> Result<Value, ScriptError> {
             }
             Ok(best)
         }
-        _ => Err(ScriptError::new(format!("unknown math function \"{name}\""))),
+        _ => Err(ScriptError::new(format!(
+            "unknown math function \"{name}\""
+        ))),
     }
 }
 

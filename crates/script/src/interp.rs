@@ -6,9 +6,11 @@
 //! counters between messages.
 
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
+use crate::cache::{CacheStats, SourceCache};
 use crate::error::{EvalResult, Exc, ScriptError};
-use crate::expr::{eval_expr, Resolver, Value};
+use crate::expr::{eval_ast, parse_expr, ExprAst, Resolver, Value};
 use crate::list::{glob_match, list_format, list_parse};
 use crate::parse::{Command, Part, Script, Word};
 
@@ -43,10 +45,11 @@ impl Host for NoHost {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct ProcDef {
     params: Vec<(String, Option<String>)>,
-    body: Script,
+    /// Pre-resolved at definition time; shared so calls never re-parse.
+    body: Rc<Script>,
 }
 
 #[derive(Debug, Default)]
@@ -77,10 +80,15 @@ struct Frame {
 pub struct Interp {
     globals: HashMap<String, String>,
     frames: Vec<Frame>,
-    procs: HashMap<String, ProcDef>,
+    procs: HashMap<String, Rc<ProcDef>>,
     output: String,
     fuel: u64,
     fuel_limit: u64,
+    /// Compile-once cache for control-flow bodies, `[cmd]` substitutions,
+    /// `catch`/`eval` arguments, and embedder-compiled scripts.
+    script_cache: SourceCache<Script>,
+    /// Compile-once cache for `expr` sources (including loop conditions).
+    expr_cache: SourceCache<ExprAst>,
 }
 
 impl Default for Interp {
@@ -94,6 +102,11 @@ impl Default for Interp {
 /// loops in a simulation quickly.
 const DEFAULT_FUEL: u64 = 5_000_000;
 
+/// Default bound for each compile-once cache. Filter scripts reference a
+/// handful of distinct bodies/exprs; 256 leaves ample slack while bounding
+/// memory for adversarial script churn.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
 impl Interp {
     /// Creates an interpreter with no variables or procs defined.
     pub fn new() -> Self {
@@ -104,12 +117,39 @@ impl Interp {
             output: String::new(),
             fuel: DEFAULT_FUEL,
             fuel_limit: DEFAULT_FUEL,
+            script_cache: SourceCache::new(DEFAULT_CACHE_CAPACITY),
+            expr_cache: SourceCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
     /// Caps the number of commands a single top-level `eval` may execute.
     pub fn set_fuel_limit(&mut self, limit: u64) {
         self.fuel_limit = limit;
+    }
+
+    /// Rebounds the script/expr caches. A capacity of 0 disables caching
+    /// (every evaluation re-parses — the cold path used by determinism
+    /// cross-checks).
+    pub fn set_cache_capacity(&mut self, scripts: usize, exprs: usize) {
+        self.script_cache.set_capacity(scripts);
+        self.expr_cache.set_capacity(exprs);
+    }
+
+    /// Counters for the script (body) cache.
+    pub fn script_cache_stats(&self) -> CacheStats {
+        self.script_cache.stats()
+    }
+
+    /// Counters for the expression cache.
+    pub fn expr_cache_stats(&self) -> CacheStats {
+        self.expr_cache.stats()
+    }
+
+    /// Compiles `src` through the script cache: the first call parses, later
+    /// calls with the same source return the shared parse. Embedders compile
+    /// timer/control scripts through this so re-armed timers never re-parse.
+    pub fn compile(&mut self, src: &str) -> Result<Rc<Script>, ScriptError> {
+        self.script_cache.get_or_insert(src, Script::parse)
     }
 
     /// Parses and evaluates `src`, returning the result of the last command.
@@ -119,7 +159,7 @@ impl Interp {
     /// Returns the first parse or runtime error; `break`/`continue` outside
     /// a loop are errors at top level.
     pub fn eval(&mut self, host: &mut dyn Host, src: &str) -> Result<String, ScriptError> {
-        let script = Script::parse(src)?;
+        let script = self.compile(src)?;
         self.eval_parsed(host, &script)
     }
 
@@ -128,7 +168,11 @@ impl Interp {
     /// # Errors
     ///
     /// Returns the first runtime error.
-    pub fn eval_parsed(&mut self, host: &mut dyn Host, script: &Script) -> Result<String, ScriptError> {
+    pub fn eval_parsed(
+        &mut self,
+        host: &mut dyn Host,
+        script: &Script,
+    ) -> Result<String, ScriptError> {
         self.fuel = self.fuel_limit;
         match self.eval_script(host, script) {
             Ok(v) => Ok(v),
@@ -143,11 +187,18 @@ impl Interp {
     ///
     /// Returns an error if the variable is not set.
     pub fn get_var(&self, name: &str) -> Result<String, ScriptError> {
+        self.var_ref(name).map(str::to_string)
+    }
+
+    /// Borrowed variable lookup: the hot paths (word substitution, `expr`
+    /// operands, `incr`) parse or append in place without cloning the
+    /// value first.
+    fn var_ref(&self, name: &str) -> Result<&str, ScriptError> {
         let slot = match self.frames.last() {
             Some(f) if !f.globals.contains(name) => f.vars.get(name),
             _ => self.globals.get(name),
         };
-        slot.cloned()
+        slot.map(String::as_str)
             .ok_or_else(|| ScriptError::new(format!("can't read \"{name}\": no such variable")))
     }
 
@@ -198,7 +249,11 @@ impl Interp {
                 }
                 out
             }
-            None => self.globals.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            None => self
+                .globals
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         }
     }
 
@@ -213,14 +268,41 @@ impl Interp {
         std::mem::take(&mut self.output)
     }
 
+    /// A sorted snapshot of all global variables (name, value). Used by
+    /// embedders to compare interpreter state across runs.
+    pub fn globals_snapshot(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .globals
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
     // ---- internals ----------------------------------------------------
 
     fn burn(&mut self, line: u32) -> Result<(), Exc> {
         if self.fuel == 0 {
-            return Err(Exc::Error(ScriptError::at(line, "script execution budget exhausted")));
+            return Err(Exc::Error(ScriptError::at(
+                line,
+                "script execution budget exhausted",
+            )));
         }
         self.fuel -= 1;
         Ok(())
+    }
+
+    fn cached_script(&mut self, src: &str) -> Result<Rc<Script>, Exc> {
+        self.script_cache
+            .get_or_insert(src, Script::parse)
+            .map_err(Exc::Error)
+    }
+
+    fn cached_expr(&mut self, src: &str) -> Result<Rc<ExprAst>, Exc> {
+        self.expr_cache
+            .get_or_insert(src, parse_expr)
+            .map_err(Exc::Error)
     }
 
     fn eval_script(&mut self, host: &mut dyn Host, script: &Script) -> EvalResult {
@@ -255,10 +337,10 @@ impl Interp {
         for p in parts {
             match p {
                 Part::Lit(s) => out.push_str(s),
-                Part::Var(name) => out.push_str(&self.get_var(name)?),
+                Part::Var(name) => out.push_str(self.var_ref(name)?),
                 Part::ArrVar(name, index_parts) => {
                     let index = self.expand_parts(host, index_parts)?;
-                    out.push_str(&self.get_var(&format!("{name}({index})"))?);
+                    out.push_str(self.var_ref(&format!("{name}({index})"))?);
                 }
                 Part::Cmd(script) => {
                     let v = self.eval_script(host, script)?;
@@ -270,6 +352,11 @@ impl Interp {
     }
 
     fn expr_eval(&mut self, host: &mut dyn Host, src: &str) -> Result<Value, Exc> {
+        let ast = self.cached_expr(src)?;
+        self.eval_expr_ast(host, &ast)
+    }
+
+    fn eval_expr_ast(&mut self, host: &mut dyn Host, ast: &ExprAst) -> Result<Value, Exc> {
         struct R<'a, 'b> {
             interp: &'a mut Interp,
             host: &'b mut dyn Host,
@@ -278,19 +365,32 @@ impl Interp {
             fn var(&mut self, name: &str) -> Result<String, ScriptError> {
                 self.interp.get_var(name)
             }
+            fn var_value(&mut self, name: &str) -> Result<Value, ScriptError> {
+                Ok(Value::from_tcl(self.interp.var_ref(name)?))
+            }
             fn cmd(&mut self, script: &str) -> Result<String, ScriptError> {
-                let parsed = Script::parse(script)?;
+                let parsed = self
+                    .interp
+                    .script_cache
+                    .get_or_insert(script, Script::parse)?;
                 self.interp
                     .eval_script(&mut *self.host, &parsed)
                     .map_err(|e| e.into_error())
             }
         }
         let mut r = R { interp: self, host };
-        eval_expr(src, &mut r).map_err(Exc::Error)
+        eval_ast(ast, &mut r).map_err(Exc::Error)
     }
 
     fn expr_truthy(&mut self, host: &mut dyn Host, src: &str) -> Result<bool, Exc> {
-        let v = self.expr_eval(host, src)?;
+        let ast = self.cached_expr(src)?;
+        self.expr_truthy_ast(host, &ast)
+    }
+
+    /// Truthiness of a pre-compiled condition: loop builtins hoist the
+    /// expr compile (and even the cache lookup) out of their iterations.
+    fn expr_truthy_ast(&mut self, host: &mut dyn Host, ast: &ExprAst) -> Result<bool, Exc> {
+        let v = self.eval_expr_ast(host, ast)?;
         match v {
             Value::Int(i) => Ok(i != 0),
             Value::Dbl(d) => Ok(d != 0.0),
@@ -308,7 +408,10 @@ impl Interp {
         let name = words[0].as_str();
         let args = &words[1..];
         let wrong_args = |usage: &str| {
-            Exc::Error(ScriptError::at(line, format!("wrong # args: should be \"{usage}\"")))
+            Exc::Error(ScriptError::at(
+                line,
+                format!("wrong # args: should be \"{usage}\""),
+            ))
         };
         match name {
             "set" => match args {
@@ -331,14 +434,20 @@ impl Interp {
                     [n, d] => (
                         n,
                         d.trim().parse::<i64>().map_err(|_| {
-                            Exc::Error(ScriptError::at(line, format!("expected integer but got \"{d}\"")))
+                            Exc::Error(ScriptError::at(
+                                line,
+                                format!("expected integer but got \"{d}\""),
+                            ))
                         })?,
                     ),
                     _ => return Err(wrong_args("incr varName ?increment?")),
                 };
-                let cur = match self.get_var(n) {
+                let cur = match self.var_ref(n) {
                     Ok(v) => v.trim().parse::<i64>().map_err(|_| {
-                        Exc::Error(ScriptError::at(line, format!("expected integer but got \"{v}\"")))
+                        Exc::Error(ScriptError::at(
+                            line,
+                            format!("expected integer but got \"{v}\""),
+                        ))
                     })?,
                     Err(_) => 0,
                 };
@@ -357,23 +466,26 @@ impl Interp {
                     Ok(cur)
                 }
             },
-            "expr" => {
-                if args.is_empty() {
-                    return Err(wrong_args("expr arg ?arg ...?"));
+            "expr" => match args {
+                [] => Err(wrong_args("expr arg ?arg ...?")),
+                // Single argument (the common braced form): no join alloc.
+                [src] => self.expr_eval(host, src).map(|v| v.to_output()),
+                _ => {
+                    let src = args.join(" ");
+                    self.expr_eval(host, &src).map(|v| v.to_output())
                 }
-                let src = args.join(" ");
-                self.expr_eval(host, &src).map(|v| v.to_output())
-            }
+            },
             "if" => self.builtin_if(host, args, line),
             "while" => {
                 let [cond, body] = args else {
                     return Err(wrong_args("while test command"));
                 };
-                let body = Script::parse(body).map_err(Exc::Error)?;
+                let body = self.cached_script(body)?;
+                let cond = self.cached_expr(cond)?;
                 let mut last = String::new();
                 loop {
                     self.burn(line)?;
-                    if !self.expr_truthy(host, cond)? {
+                    if !self.expr_truthy_ast(host, &cond)? {
                         break;
                     }
                     match self.eval_script(host, &body) {
@@ -389,13 +501,14 @@ impl Interp {
                 let [init, cond, next, body] = args else {
                     return Err(wrong_args("for start test next command"));
                 };
-                let init = Script::parse(init).map_err(Exc::Error)?;
-                let next = Script::parse(next).map_err(Exc::Error)?;
-                let body = Script::parse(body).map_err(Exc::Error)?;
+                let init = self.cached_script(init)?;
+                let cond = self.cached_expr(cond)?;
+                let next = self.cached_script(next)?;
+                let body = self.cached_script(body)?;
                 self.eval_script(host, &init)?;
                 loop {
                     self.burn(line)?;
-                    if !self.expr_truthy(host, cond)? {
+                    if !self.expr_truthy_ast(host, &cond)? {
                         break;
                     }
                     match self.eval_script(host, &body) {
@@ -413,10 +526,13 @@ impl Interp {
                 };
                 let var_names = list_parse(vars).map_err(Exc::Error)?;
                 if var_names.is_empty() {
-                    return Err(Exc::Error(ScriptError::at(line, "foreach varlist is empty")));
+                    return Err(Exc::Error(ScriptError::at(
+                        line,
+                        "foreach varlist is empty",
+                    )));
                 }
                 let items = list_parse(list).map_err(Exc::Error)?;
-                let body = Script::parse(body).map_err(Exc::Error)?;
+                let body = self.cached_script(body)?;
                 let stride = var_names.len();
                 let mut i = 0;
                 while i < items.len() {
@@ -459,8 +575,14 @@ impl Interp {
                         }
                     }
                 }
-                let body = Script::parse(body).map_err(Exc::Error)?;
-                self.procs.insert(pname.clone(), ProcDef { params: specs, body });
+                let body = self.cached_script(body)?;
+                self.procs.insert(
+                    pname.clone(),
+                    Rc::new(ProcDef {
+                        params: specs,
+                        body,
+                    }),
+                );
                 Ok(String::new())
             }
             "global" => {
@@ -489,7 +611,7 @@ impl Interp {
                     [s, v] => (s, Some(v)),
                     _ => return Err(wrong_args("catch script ?varName?")),
                 };
-                let parsed = Script::parse(script).map_err(Exc::Error)?;
+                let parsed = self.cached_script(script)?;
                 let (code, result) = match self.eval_script(host, &parsed) {
                     Ok(v) => (0, v),
                     Err(Exc::Error(e)) => (1, e.message),
@@ -508,7 +630,7 @@ impl Interp {
             },
             "eval" => {
                 let src = args.join(" ");
-                let parsed = Script::parse(&src).map_err(Exc::Error)?;
+                let parsed = self.cached_script(&src)?;
                 self.eval_script(host, &parsed)
             }
             "list" => Ok(list_format(args)),
@@ -606,7 +728,11 @@ impl Interp {
                 let mut items = list_parse(list).map_err(Exc::Error)?;
                 let i = parse_index(a, items.len(), line)?.min(items.len());
                 let j = parse_index(b, items.len(), line)?;
-                let end = if j == usize::MAX || j < i { i } else { (j + 1).min(items.len()) };
+                let end = if j == usize::MAX || j < i {
+                    i
+                } else {
+                    (j + 1).min(items.len())
+                };
                 items.splice(i..end.max(i), rest.iter().cloned());
                 Ok(list_format(&items))
             }
@@ -645,7 +771,9 @@ impl Interp {
                 let parts: Vec<String> = if seps.is_empty() {
                     s.chars().map(|c| c.to_string()).collect()
                 } else {
-                    s.split(|c: char| seps.contains(c)).map(|p| p.to_string()).collect()
+                    s.split(|c: char| seps.contains(c))
+                        .map(|p| p.to_string())
+                        .collect()
                 };
                 Ok(list_format(&parts))
             }
@@ -676,7 +804,10 @@ impl Interp {
             }
             "info" => match args {
                 [sub, n] if sub == "exists" => Ok((self.var_exists(n) as i32).to_string()),
-                _ => Err(Exc::Error(ScriptError::at(line, "info supports only: info exists varName"))),
+                _ => Err(Exc::Error(ScriptError::at(
+                    line,
+                    "info supports only: info exists varName",
+                ))),
             },
             "array" => {
                 // Array elements are flat variables named `name(index)`.
@@ -746,7 +877,10 @@ impl Interp {
         let mut i = 0;
         loop {
             if i + 1 > args.len() {
-                return Err(Exc::Error(ScriptError::at(line, "wrong # args: no expression after \"if\"")));
+                return Err(Exc::Error(ScriptError::at(
+                    line,
+                    "wrong # args: no expression after \"if\"",
+                )));
             }
             let cond = &args[i];
             i += 1;
@@ -754,11 +888,14 @@ impl Interp {
                 i += 1;
             }
             let Some(body) = args.get(i) else {
-                return Err(Exc::Error(ScriptError::at(line, "wrong # args: no script following condition")));
+                return Err(Exc::Error(ScriptError::at(
+                    line,
+                    "wrong # args: no script following condition",
+                )));
             };
             i += 1;
             if self.expr_truthy(host, cond)? {
-                let parsed = Script::parse(body).map_err(Exc::Error)?;
+                let parsed = self.cached_script(body)?;
                 return self.eval_script(host, &parsed);
             }
             match args.get(i).map(String::as_str) {
@@ -768,9 +905,12 @@ impl Interp {
                 }
                 Some("else") => {
                     let Some(body) = args.get(i + 1) else {
-                        return Err(Exc::Error(ScriptError::at(line, "wrong # args: no script following \"else\"")));
+                        return Err(Exc::Error(ScriptError::at(
+                            line,
+                            "wrong # args: no script following \"else\"",
+                        )));
                     };
-                    let parsed = Script::parse(body).map_err(Exc::Error)?;
+                    let parsed = self.cached_script(body)?;
                     return self.eval_script(host, &parsed);
                 }
                 Some(other) => {
@@ -785,19 +925,21 @@ impl Interp {
     }
 
     fn builtin_switch(&mut self, host: &mut dyn Host, args: &[String], line: u32) -> EvalResult {
-        let (mode, value, pairs_src) = match args {
-            [v, p] => ("-exact", v, p),
-            [m, v, p] if m == "-exact" || m == "-glob" => (m.as_str(), v, p),
-            _ => {
-                return Err(Exc::Error(ScriptError::at(
+        let (mode, value, pairs_src) =
+            match args {
+                [v, p] => ("-exact", v, p),
+                [m, v, p] if m == "-exact" || m == "-glob" => (m.as_str(), v, p),
+                _ => return Err(Exc::Error(ScriptError::at(
                     line,
                     "wrong # args: should be \"switch ?-exact|-glob? string {pattern body ...}\"",
-                )))
-            }
-        };
+                ))),
+            };
         let pairs = list_parse(pairs_src).map_err(Exc::Error)?;
         if pairs.len() % 2 != 0 {
-            return Err(Exc::Error(ScriptError::at(line, "extra switch pattern with no body")));
+            return Err(Exc::Error(ScriptError::at(
+                line,
+                "extra switch pattern with no body",
+            )));
         }
         let mut matched: Option<usize> = None;
         for (i, pat) in pairs.iter().step_by(2).enumerate() {
@@ -819,10 +961,13 @@ impl Interp {
         while pairs[body_idx] == "-" {
             body_idx += 2;
             if body_idx >= pairs.len() {
-                return Err(Exc::Error(ScriptError::at(line, "no body specified for final fallthrough pattern")));
+                return Err(Exc::Error(ScriptError::at(
+                    line,
+                    "no body specified for final fallthrough pattern",
+                )));
             }
         }
-        let parsed = Script::parse(&pairs[body_idx]).map_err(Exc::Error)?;
+        let parsed = self.cached_script(&pairs[body_idx])?;
         self.eval_script(host, &parsed)
     }
 
@@ -852,9 +997,7 @@ impl Interp {
             ("tolower", [s]) => Ok(s.to_lowercase()),
             ("toupper", [s]) => Ok(s.to_uppercase()),
             ("trim", [s]) => Ok(s.trim().to_string()),
-            ("trim", [s, chars]) => {
-                Ok(s.trim_matches(|c| chars.contains(c)).to_string())
-            }
+            ("trim", [s, chars]) => Ok(s.trim_matches(|c| chars.contains(c)).to_string()),
             ("trimleft", [s]) => Ok(s.trim_start().to_string()),
             ("trimright", [s]) => Ok(s.trim_end().to_string()),
             ("compare", [a, b]) => Ok(match a.cmp(b) {
@@ -876,8 +1019,7 @@ impl Interp {
                 .to_string()),
             ("match", [pat, s]) => Ok((glob_match(pat, s) as i32).to_string()),
             ("map", [pairs, s]) => {
-                let mapping = crate::list::list_parse(pairs)
-                    .map_err(Exc::Error)?;
+                let mapping = crate::list::list_parse(pairs).map_err(Exc::Error)?;
                 if mapping.len() % 2 != 0 {
                     return err("char map list unbalanced".into());
                 }
@@ -900,7 +1042,10 @@ impl Interp {
             ("reverse", [s]) => Ok(s.chars().rev().collect()),
             ("repeat", [s, n]) => {
                 let n: usize = n.parse().map_err(|_| {
-                    Exc::Error(ScriptError::at(line, format!("expected integer but got \"{n}\"")))
+                    Exc::Error(ScriptError::at(
+                        line,
+                        format!("expected integer but got \"{n}\""),
+                    ))
                 })?;
                 Ok(s.repeat(n))
             }
@@ -917,7 +1062,10 @@ impl Interp {
         line: u32,
     ) -> EvalResult {
         if self.frames.len() >= 64 {
-            return Err(Exc::Error(ScriptError::at(line, "too many nested proc calls")));
+            return Err(Exc::Error(ScriptError::at(
+                line,
+                "too many nested proc calls",
+            )));
         }
         let mut frame = Frame::default();
         let mut ai = 0usize;
@@ -1187,7 +1335,10 @@ mod tests {
         assert_eq!(ev_ok("if {1} {set r yes}"), "yes");
         assert_eq!(ev_ok("if {0} {set r yes}"), "");
         assert_eq!(ev_ok("if {0} {set r a} else {set r b}"), "b");
-        assert_eq!(ev_ok("set x 2; if {$x == 1} {set r a} elseif {$x == 2} {set r b} else {set r c}"), "b");
+        assert_eq!(
+            ev_ok("set x 2; if {$x == 1} {set r a} elseif {$x == 2} {set r b} else {set r c}"),
+            "b"
+        );
         assert_eq!(ev_ok("if {1} then {set r yes}"), "yes");
     }
 
@@ -1210,12 +1361,18 @@ mod tests {
 
     #[test]
     fn for_loop() {
-        assert_eq!(ev_ok("set s 0; for {set i 1} {$i <= 4} {incr i} {incr s $i}; set s"), "10");
+        assert_eq!(
+            ev_ok("set s 0; for {set i 1} {$i <= 4} {incr i} {incr s $i}; set s"),
+            "10"
+        );
     }
 
     #[test]
     fn foreach_single_and_multi_var() {
-        assert_eq!(ev_ok("set s {}; foreach x {a b c} {append s $x}; set s"), "abc");
+        assert_eq!(
+            ev_ok("set s {}; foreach x {a b c} {append s $x}; set s"),
+            "abc"
+        );
         assert_eq!(
             ev_ok("set s {}; foreach {k v} {a 1 b 2} {append s $k=$v,}; set s"),
             "a=1,b=2,"
@@ -1304,7 +1461,11 @@ mod tests {
     #[test]
     fn puts_captured() {
         let mut i = Interp::new();
-        i.eval(&mut NoHost, "puts hello; puts -nonewline wor; puts -nonewline ld").unwrap();
+        i.eval(
+            &mut NoHost,
+            "puts hello; puts -nonewline wor; puts -nonewline ld",
+        )
+        .unwrap();
         assert_eq!(i.take_output(), "hello\nworld");
         assert_eq!(i.output(), "");
     }
@@ -1331,7 +1492,10 @@ mod tests {
         assert_eq!(ev_ok("lreverse {a b c}"), "c b a");
         assert_eq!(ev_ok("lsort {pear apple banana}"), "apple banana pear");
         assert_eq!(ev_ok("lsort -integer {10 9 100 2}"), "2 9 10 100");
-        assert_eq!(ev_ok("lsort -integer -decreasing {10 9 100 2}"), "100 10 9 2");
+        assert_eq!(
+            ev_ok("lsort -integer -decreasing {10 9 100 2}"),
+            "100 10 9 2"
+        );
         assert!(ev("lsort -integer {a b}").is_err());
         assert!(ev("lsort -bogus {a b}").is_err());
         assert_eq!(ev_ok("linsert {a c} 1 b"), "a b c");
@@ -1392,10 +1556,16 @@ mod tests {
 
     #[test]
     fn switch_exact_glob_default_fallthrough() {
-        assert_eq!(ev_ok("switch b {a {set r 1} b {set r 2} default {set r 3}}"), "2");
+        assert_eq!(
+            ev_ok("switch b {a {set r 1} b {set r 2} default {set r 3}}"),
+            "2"
+        );
         assert_eq!(ev_ok("switch zzz {a {set r 1} default {set r 3}}"), "3");
         assert_eq!(ev_ok("switch zzz {a {set r 1}}"), "");
-        assert_eq!(ev_ok("switch -glob ACK2 {AC* {set r ack} default {set r other}}"), "ack");
+        assert_eq!(
+            ev_ok("switch -glob ACK2 {AC* {set r ack} default {set r other}}"),
+            "ack"
+        );
         assert_eq!(ev_ok("switch b {a - b {set r shared}}"), "shared");
     }
 

@@ -47,12 +47,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod error;
 mod expr;
 mod interp;
 mod list;
 mod parse;
 
+pub use cache::CacheStats;
 pub use error::ScriptError;
 pub use interp::{Host, Interp, NoHost};
 pub use list::{glob_match, list_format, list_parse};

@@ -66,7 +66,9 @@ pub fn list_parse(src: &str) -> Result<Vec<String>, ScriptError> {
                     }
                 }
                 if pos < chars.len() && !chars[pos].is_whitespace() {
-                    return Err(ScriptError::new("list element in braces followed by garbage"));
+                    return Err(ScriptError::new(
+                        "list element in braces followed by garbage",
+                    ));
                 }
                 out.push(elem);
             }
@@ -146,8 +148,7 @@ pub fn list_format<S: AsRef<str>>(elems: &[S]) -> String {
 fn needs_quoting(s: &str) -> bool {
     s.is_empty()
         || s.chars().any(|c| {
-            c.is_whitespace()
-                || matches!(c, '{' | '}' | '"' | '\\' | '[' | ']' | '$' | ';' | '#')
+            c.is_whitespace() || matches!(c, '{' | '}' | '"' | '\\' | '[' | ']' | '$' | ';' | '#')
         })
 }
 
@@ -282,7 +283,10 @@ mod tests {
     #[test]
     fn parse_braced_elements() {
         assert_eq!(list_parse("{a b} c").unwrap(), vec!["a b", "c"]);
-        assert_eq!(list_parse("{nested {braces here}}").unwrap(), vec!["nested {braces here}"]);
+        assert_eq!(
+            list_parse("{nested {braces here}}").unwrap(),
+            vec!["nested {braces here}"]
+        );
         assert_eq!(list_parse("{}").unwrap(), vec![""]);
     }
 

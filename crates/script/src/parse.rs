@@ -88,7 +88,11 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Self {
-        Parser { chars: src.chars().collect(), pos: 0, line: 1 }
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -190,12 +194,7 @@ impl Parser {
         match self.peek() {
             None => true,
             Some(c) => {
-                c == ' '
-                    || c == '\t'
-                    || c == '\r'
-                    || c == '\n'
-                    || c == ';'
-                    || Some(c) == terminator
+                c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' || Some(c) == terminator
             }
         }
     }
@@ -546,7 +545,9 @@ mod tests {
     #[test]
     fn empty_and_whitespace_scripts() {
         assert!(Script::parse("").unwrap().is_empty());
-        assert!(Script::parse("  \n\t ;; \n# just a comment").unwrap().is_empty());
+        assert!(Script::parse("  \n\t ;; \n# just a comment")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -566,7 +567,10 @@ mod tests {
     fn semicolon_inside_quotes_is_literal() {
         let s = Script::parse(r#"puts "a;b""#).unwrap();
         assert_eq!(s.len(), 1);
-        assert_eq!(s.commands[0].words[1], Word::Parts(vec![Part::Lit("a;b".into())]));
+        assert_eq!(
+            s.commands[0].words[1],
+            Word::Parts(vec![Part::Lit("a;b".into())])
+        );
     }
 
     #[test]

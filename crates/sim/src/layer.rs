@@ -115,7 +115,11 @@ impl<'a> Context<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
         *self.timer_seq += 1;
         let id = TimerId(*self.timer_seq);
-        self.actions.push(Action::SetTimer { id, at: self.now + delay, token });
+        self.actions.push(Action::SetTimer {
+            id,
+            at: self.now + delay,
+            token,
+        });
         id
     }
 
@@ -127,7 +131,8 @@ impl<'a> Context<'a> {
 
     /// Emits a typed trace event attributed to this layer.
     pub fn emit<E: TraceEvent>(&mut self, event: E) {
-        self.trace.record(self.now, self.node, self.layer_name, event);
+        self.trace
+            .record(self.now, self.node, self.layer_name, event);
     }
 
     /// The simulation's deterministic random number generator.

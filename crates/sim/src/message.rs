@@ -6,8 +6,6 @@
 //! additionally needs raw byte access so that scripts can examine and corrupt
 //! arbitrary header fields.
 
-use bytes::{BufMut, BytesMut};
-
 use crate::ids::NodeId;
 
 /// Default headroom reserved in front of a fresh payload so that lower
@@ -51,7 +49,12 @@ impl Message {
         let mut buf = Vec::with_capacity(DEFAULT_HEADROOM + payload.len());
         buf.resize(DEFAULT_HEADROOM, 0);
         buf.extend_from_slice(payload);
-        Message { src, dst, buf, head: DEFAULT_HEADROOM }
+        Message {
+            src,
+            dst,
+            buf,
+            head: DEFAULT_HEADROOM,
+        }
     }
 
     /// Creates an empty message (headers only will follow).
@@ -160,12 +163,12 @@ impl Message {
 
     /// Appends bytes to the end of the message.
     pub fn extend_payload(&mut self, data: &[u8]) {
-        self.buf.put_slice(data);
+        self.buf.extend_from_slice(data);
     }
 
     /// Copies the valid bytes into a detached, owned buffer.
-    pub fn to_bytes_mut(&self) -> BytesMut {
-        BytesMut::from(self.bytes())
+    pub fn to_owned_bytes(&self) -> Vec<u8> {
+        self.bytes().to_vec()
     }
 }
 

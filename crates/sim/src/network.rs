@@ -86,7 +86,10 @@ impl Network {
 
     /// The effective configuration of the directional link `src → dst`.
     pub fn link(&self, src: NodeId, dst: NodeId) -> LinkConfig {
-        self.overrides.get(&(src, dst)).copied().unwrap_or(self.default_link)
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Takes both directions of the `a ↔ b` link down (unplugs the cable).
@@ -194,10 +197,19 @@ mod tests {
         let n = ids(2);
         net.set_link_down(n[0], n[1]);
         let mut rng = SimRng::seed_from(0);
-        assert_eq!(net.transit(n[0], n[1], &mut rng), Transit::Drop(DropReason::LinkDown));
-        assert_eq!(net.transit(n[1], n[0], &mut rng), Transit::Drop(DropReason::LinkDown));
+        assert_eq!(
+            net.transit(n[0], n[1], &mut rng),
+            Transit::Drop(DropReason::LinkDown)
+        );
+        assert_eq!(
+            net.transit(n[1], n[0], &mut rng),
+            Transit::Drop(DropReason::LinkDown)
+        );
         net.set_link_up(n[0], n[1]);
-        assert!(matches!(net.transit(n[0], n[1], &mut rng), Transit::Deliver(_)));
+        assert!(matches!(
+            net.transit(n[0], n[1], &mut rng),
+            Transit::Deliver(_)
+        ));
     }
 
     #[test]
@@ -207,13 +219,28 @@ mod tests {
         net.set_partition(&[&n[0..3], &n[3..5]]);
         let mut rng = SimRng::seed_from(0);
         // Within groups: fine.
-        assert!(matches!(net.transit(n[0], n[2], &mut rng), Transit::Deliver(_)));
-        assert!(matches!(net.transit(n[3], n[4], &mut rng), Transit::Deliver(_)));
+        assert!(matches!(
+            net.transit(n[0], n[2], &mut rng),
+            Transit::Deliver(_)
+        ));
+        assert!(matches!(
+            net.transit(n[3], n[4], &mut rng),
+            Transit::Deliver(_)
+        ));
         // Across groups: blocked both ways.
-        assert_eq!(net.transit(n[0], n[4], &mut rng), Transit::Drop(DropReason::Partitioned));
-        assert_eq!(net.transit(n[4], n[0], &mut rng), Transit::Drop(DropReason::Partitioned));
+        assert_eq!(
+            net.transit(n[0], n[4], &mut rng),
+            Transit::Drop(DropReason::Partitioned)
+        );
+        assert_eq!(
+            net.transit(n[4], n[0], &mut rng),
+            Transit::Drop(DropReason::Partitioned)
+        );
         net.clear_partition();
-        assert!(matches!(net.transit(n[0], n[4], &mut rng), Transit::Deliver(_)));
+        assert!(matches!(
+            net.transit(n[0], n[4], &mut rng),
+            Transit::Deliver(_)
+        ));
     }
 
     #[test]
@@ -263,10 +290,19 @@ mod tests {
         let n = ids(3);
         net.isolate(n[1], &n);
         let mut rng = SimRng::seed_from(0);
-        assert!(matches!(net.transit(n[0], n[2], &mut rng), Transit::Deliver(_)));
-        assert_eq!(net.transit(n[0], n[1], &mut rng), Transit::Drop(DropReason::LinkDown));
+        assert!(matches!(
+            net.transit(n[0], n[2], &mut rng),
+            Transit::Deliver(_)
+        ));
+        assert_eq!(
+            net.transit(n[0], n[1], &mut rng),
+            Transit::Drop(DropReason::LinkDown)
+        );
         net.rejoin(n[1], &n);
-        assert!(matches!(net.transit(n[0], n[1], &mut rng), Transit::Deliver(_)));
+        assert!(matches!(
+            net.transit(n[0], n[1], &mut rng),
+            Transit::Deliver(_)
+        ));
     }
 
     #[test]
@@ -275,7 +311,13 @@ mod tests {
         let n = ids(2);
         net.link_mut(n[0], n[1]).up = false;
         let mut rng = SimRng::seed_from(0);
-        assert_eq!(net.transit(n[0], n[1], &mut rng), Transit::Drop(DropReason::LinkDown));
-        assert!(matches!(net.transit(n[1], n[0], &mut rng), Transit::Deliver(_)));
+        assert_eq!(
+            net.transit(n[0], n[1], &mut rng),
+            Transit::Drop(DropReason::LinkDown)
+        );
+        assert!(matches!(
+            net.transit(n[1], n[0], &mut rng),
+            Transit::Deliver(_)
+        ));
     }
 }

@@ -5,9 +5,9 @@
 //! faults can be injected probabilistically. All randomness in a simulation
 //! flows through a single seeded stream, keeping runs reproducible: the same
 //! seed always yields the same trace.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a from-scratch xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64, so the simulator carries no external RNG dependency.
 
 /// The simulator's deterministic random number generator.
 ///
@@ -22,13 +22,45 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expands the seed into the four xoshiro words; it cannot
+        // produce the all-zero state xoshiro must avoid.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// The next f64 uniform in `[0, 1)`, using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -38,7 +70,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.gen_range(lo..hi)
+        lo + self.next_f64() * (hi - lo)
     }
 
     /// A uniform integer sample in `[lo, hi)`.
@@ -48,7 +80,16 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased modulo: reject samples from the incomplete final span so
+        // every value in [0, span) is equally likely.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let raw = self.next_u64();
+            if raw <= zone {
+                return lo + raw % span;
+            }
+        }
     }
 
     /// A Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
@@ -59,7 +100,7 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.next_f64() < p
     }
 
     /// A normal sample with the given mean and variance, via Box–Muller.
@@ -70,8 +111,8 @@ impl SimRng {
     pub fn normal(&mut self, mean: f64, var: f64) -> f64 {
         assert!(var >= 0.0, "variance must be non-negative");
         // Box–Muller transform; u1 in (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.next_f64();
+        let u2: f64 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + z * var.sqrt()
     }
@@ -83,7 +124,7 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "mean must be positive");
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.next_f64();
         -mean * u.ln()
     }
 }
@@ -143,5 +184,29 @@ mod tests {
         let mut r = SimRng::seed_from(17);
         let hits = (0..10_000).filter(|_| r.coin(0.3)).count();
         assert!((2_700..=3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_u64_stays_in_range_and_covers_it() {
+        let mut r = SimRng::seed_from(23);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.uniform_u64(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values in [5,15) should appear"
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::seed_from(29);
+        for _ in 0..1_000 {
+            let v = r.uniform(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&v));
+        }
     }
 }

@@ -72,8 +72,19 @@ impl TraceLog {
     }
 
     /// Appends a record.
-    pub fn record<E: TraceEvent>(&self, time: SimTime, node: NodeId, layer: &'static str, event: E) {
-        self.records.borrow_mut().push(TraceRecord { time, node, layer, event: Box::new(event) });
+    pub fn record<E: TraceEvent>(
+        &self,
+        time: SimTime,
+        node: NodeId,
+        layer: &'static str,
+        event: E,
+    ) {
+        self.records.borrow_mut().push(TraceRecord {
+            time,
+            node,
+            layer,
+            event: Box::new(event),
+        });
     }
 
     /// Number of records in the log.
@@ -102,7 +113,11 @@ impl TraceLog {
                 // `as_ref()` first: calling `.as_any()` on the `Box` directly
                 // would resolve the blanket impl for `Box<dyn TraceEvent>`
                 // itself and downcast to the wrong type.
-                r.event.as_ref().as_any().downcast_ref::<T>().map(|e| (r.time, e.clone()))
+                r.event
+                    .as_ref()
+                    .as_any()
+                    .downcast_ref::<T>()
+                    .map(|e| (r.time, e.clone()))
             })
             .collect()
     }
@@ -120,7 +135,15 @@ impl TraceLog {
         self.records
             .borrow()
             .iter()
-            .map(|r| format!("[{:>12}] {} {}: {:?}", r.time.to_string(), r.node, r.layer, r.event))
+            .map(|r| {
+                format!(
+                    "[{:>12}] {} {}: {:?}",
+                    r.time.to_string(),
+                    r.node,
+                    r.layer,
+                    r.event
+                )
+            })
             .collect()
     }
 }
@@ -193,8 +216,14 @@ mod tests {
         log.record(SimTime::from_micros(3), n0, "l", EvB("x"));
 
         assert_eq!(log.events_of::<EvA>(None).len(), 2);
-        assert_eq!(log.events_of::<EvA>(Some(n1)), vec![(SimTime::from_micros(2), EvA(2))]);
-        assert_eq!(log.events_of::<EvB>(Some(n0)), vec![(SimTime::from_micros(3), EvB("x"))]);
+        assert_eq!(
+            log.events_of::<EvA>(Some(n1)),
+            vec![(SimTime::from_micros(2), EvA(2))]
+        );
+        assert_eq!(
+            log.events_of::<EvB>(Some(n0)),
+            vec![(SimTime::from_micros(3), EvB("x"))]
+        );
         assert!(log.events_of::<EvB>(Some(n1)).is_empty());
     }
 

@@ -17,11 +17,18 @@ enum NodeEvent {
     /// A message arrived from the wire; enters at the bottom layer.
     Deliver(Message),
     /// A timer armed by `layer` fired.
-    Timer { layer: usize, id: TimerId, token: u64 },
+    Timer {
+        layer: usize,
+        id: TimerId,
+        token: u64,
+    },
 }
 
 enum EventKind {
-    Node { node: NodeId, ev: NodeEvent },
+    Node {
+        node: NodeId,
+        ev: NodeEvent,
+    },
     /// Test-orchestration callback (the scheduled steps of an experiment).
     Call(Box<dyn FnOnce(&mut World)>),
 }
@@ -138,7 +145,12 @@ impl World {
     pub fn add_node(&mut self, layers: Vec<Box<dyn Layer>>) -> NodeId {
         assert!(!layers.is_empty(), "a node needs at least one layer");
         let id = NodeId::new(self.nodes.len() as u32);
-        self.nodes.push(Node { layers, inbox: Vec::new(), crashed: false, suspended: None });
+        self.nodes.push(Node {
+            layers,
+            inbox: Vec::new(),
+            crashed: false,
+            suspended: None,
+        });
         id
     }
 
@@ -180,7 +192,14 @@ impl World {
     /// Panics if the node or layer index does not exist.
     pub fn control_raw(&mut self, node: NodeId, layer: usize, op: Box<dyn Any>) -> Box<dyn Any> {
         let (result, actions, layer_name) = {
-            let World { nodes, rng, trace, timer_seq, now, .. } = self;
+            let World {
+                nodes,
+                rng,
+                trace,
+                timer_seq,
+                now,
+                ..
+            } = self;
             let n = &mut nodes[node.index()];
             let l = &mut n.layers[layer];
             let name = l.name();
@@ -242,8 +261,9 @@ impl World {
     pub fn resume(&mut self, node: NodeId) {
         let deferred = self.nodes[node.index()].suspended.take();
         if let Some(events) = deferred {
-            let (timers, deliveries): (Vec<_>, Vec<_>) =
-                events.into_iter().partition(|ev| matches!(ev, NodeEvent::Timer { .. }));
+            let (timers, deliveries): (Vec<_>, Vec<_>) = events
+                .into_iter()
+                .partition(|ev| matches!(ev, NodeEvent::Timer { .. }));
             for ev in timers.into_iter().chain(deliveries) {
                 self.process_node_event(node, ev);
             }
@@ -290,7 +310,11 @@ impl World {
 
     fn push_entry(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Entry { at, seq: self.seq, kind });
+        self.queue.push(Entry {
+            at,
+            seq: self.seq,
+            kind,
+        });
     }
 
     fn process_node_event(&mut self, node: NodeId, ev: NodeEvent) {
@@ -324,7 +348,11 @@ impl World {
                         self.now,
                         node,
                         "world",
-                        NetTrace::Delivered { src: msg.src(), dst: msg.dst(), len: msg.len() },
+                        NetTrace::Delivered {
+                            src: msg.src(),
+                            dst: msg.dst(),
+                            len: msg.len(),
+                        },
                     );
                 }
                 let bottom = n.layers.len() - 1;
@@ -346,10 +374,19 @@ impl World {
         let mut work: VecDeque<Work> = initial.into();
         while let Some(w) = work.pop_front() {
             let layer_idx = match &w {
-                Work::Push { layer, .. } | Work::Pop { layer, .. } | Work::Timer { layer, .. } => *layer,
+                Work::Push { layer, .. } | Work::Pop { layer, .. } | Work::Timer { layer, .. } => {
+                    *layer
+                }
             };
             let actions = {
-                let World { nodes, rng, trace, timer_seq, now, .. } = self;
+                let World {
+                    nodes,
+                    rng,
+                    trace,
+                    timer_seq,
+                    now,
+                    ..
+                } = self;
                 let n = &mut nodes[node.index()];
                 if n.crashed {
                     return;
@@ -387,7 +424,10 @@ impl World {
             match action {
                 Action::SendDown(msg) => {
                     if layer_idx + 1 < n_layers {
-                        work.push(Work::Push { layer: layer_idx + 1, msg });
+                        work.push(Work::Push {
+                            layer: layer_idx + 1,
+                            msg,
+                        });
                     } else {
                         self.transmit(node, msg);
                     }
@@ -396,13 +436,23 @@ impl World {
                     if layer_idx == 0 {
                         self.nodes[node.index()].inbox.push((self.now, msg));
                     } else {
-                        work.push(Work::Pop { layer: layer_idx - 1, msg });
+                        work.push(Work::Pop {
+                            layer: layer_idx - 1,
+                            msg,
+                        });
                     }
                 }
                 Action::SetTimer { id, at, token } => {
                     self.push_entry(
                         at,
-                        EventKind::Node { node, ev: NodeEvent::Timer { layer: layer_idx, id, token } },
+                        EventKind::Node {
+                            node,
+                            ev: NodeEvent::Timer {
+                                layer: layer_idx,
+                                id,
+                                token,
+                            },
+                        },
                     );
                 }
                 Action::CancelTimer(id) => {
@@ -421,7 +471,11 @@ impl World {
                 self.now,
                 src_node,
                 "world",
-                NetTrace::Sent { src: msg.src(), dst, len: msg.len() },
+                NetTrace::Sent {
+                    src: msg.src(),
+                    dst,
+                    len: msg.len(),
+                },
             );
         }
         if dst.index() >= self.nodes.len() {
@@ -443,7 +497,13 @@ impl World {
         match self.network.transit(src_node, dst, &mut self.rng) {
             Transit::Deliver(delay) => {
                 let at = self.now + delay;
-                self.push_entry(at, EventKind::Node { node: dst, ev: NodeEvent::Deliver(msg) });
+                self.push_entry(
+                    at,
+                    EventKind::Node {
+                        node: dst,
+                        ev: NodeEvent::Deliver(msg),
+                    },
+                );
             }
             Transit::Drop(reason) => {
                 if self.trace_packets {
@@ -451,7 +511,12 @@ impl World {
                         self.now,
                         src_node,
                         "world",
-                        NetTrace::Dropped { src: msg.src(), dst, len: msg.len(), reason },
+                        NetTrace::Dropped {
+                            src: msg.src(),
+                            dst,
+                            len: msg.len(),
+                            reason,
+                        },
                     );
                 }
             }
@@ -561,7 +626,10 @@ mod tests {
         w.suspend(b);
         w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
         w.run_for(SimDuration::from_secs(5));
-        assert!(w.drain_inbox(a).is_empty(), "suspended node must not respond");
+        assert!(
+            w.drain_inbox(a).is_empty(),
+            "suspended node must not respond"
+        );
         w.resume(b);
         w.run_for(SimDuration::from_millis(10));
         let inbox = w.drain_inbox(a);
@@ -576,7 +644,9 @@ mod tests {
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         for (i, secs) in [(1, 3u64), (2, 1), (3, 2)] {
             let log = log.clone();
-            w.schedule_in(SimDuration::from_secs(secs), move |_| log.borrow_mut().push(i));
+            w.schedule_in(SimDuration::from_secs(secs), move |_| {
+                log.borrow_mut().push(i)
+            });
         }
         w.run_for(SimDuration::from_secs(10));
         assert_eq!(*log.borrow(), vec![2, 3, 1]);

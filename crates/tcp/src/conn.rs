@@ -237,7 +237,10 @@ impl Conn {
         if self.consume {
             profile.recv_buffer.min(u16::MAX as usize) as u16
         } else {
-            profile.recv_buffer.saturating_sub(self.rcv_buf.len()).min(u16::MAX as usize) as u16
+            profile
+                .recv_buffer
+                .saturating_sub(self.rcv_buf.len())
+                .min(u16::MAX as usize) as u16
         }
     }
 
@@ -253,7 +256,11 @@ impl Conn {
             src_port: self.local_port,
             dst_port: self.remote_port,
             seq,
-            ack: if flag_bits & flags::ACK != 0 { self.rcv_nxt } else { 0 },
+            ack: if flag_bits & flags::ACK != 0 {
+                self.rcv_nxt
+            } else {
+                0
+            },
             flags: flag_bits,
             window: self.rcv_window(profile),
             payload: payload.to_vec(),
@@ -281,7 +288,10 @@ impl Conn {
     fn close(&mut self, ctx: &mut Context<'_>, reason: CloseReason) {
         self.state = TcpState::Closed;
         self.cancel_all_timers(ctx);
-        ctx.emit(TcpEvent::Closed { conn: self.id, reason });
+        ctx.emit(TcpEvent::Closed {
+            conn: self.id,
+            reason,
+        });
     }
 
     // ---- opening ------------------------------------------------------
@@ -289,23 +299,52 @@ impl Conn {
     /// Active open: send SYN.
     pub(crate) fn open_active(&mut self, profile: &TcpProfile, ctx: &mut Context<'_>) {
         self.state = TcpState::SynSent;
-        self.inflight
-            .insert(self.iss, SentSeg { data: Vec::new(), syn: true, fin: false, retx: 0 });
+        self.inflight.insert(
+            self.iss,
+            SentSeg {
+                data: Vec::new(),
+                syn: true,
+                fin: false,
+                retx: 0,
+            },
+        );
         self.emit_segment(profile, ctx, self.iss, flags::SYN, &[]);
-        ctx.emit(TcpEvent::SegmentSent { conn: self.id, seq: self.iss, len: 0, kind: "SYN" });
+        ctx.emit(TcpEvent::SegmentSent {
+            conn: self.id,
+            seq: self.iss,
+            len: 0,
+            kind: "SYN",
+        });
         self.snd_nxt = self.iss.wrapping_add(1);
         self.arm_retx(ctx);
     }
 
     /// Passive open: a SYN arrived for one of our listeners.
-    pub(crate) fn open_passive(&mut self, profile: &TcpProfile, ctx: &mut Context<'_>, syn: &Segment) {
+    pub(crate) fn open_passive(
+        &mut self,
+        profile: &TcpProfile,
+        ctx: &mut Context<'_>,
+        syn: &Segment,
+    ) {
         self.rcv_nxt = syn.seq.wrapping_add(1);
         self.snd_wnd = syn.window as u32;
         self.state = TcpState::SynRcvd;
-        self.inflight
-            .insert(self.iss, SentSeg { data: Vec::new(), syn: true, fin: false, retx: 0 });
+        self.inflight.insert(
+            self.iss,
+            SentSeg {
+                data: Vec::new(),
+                syn: true,
+                fin: false,
+                retx: 0,
+            },
+        );
         self.emit_segment(profile, ctx, self.iss, flags::SYN | flags::ACK, &[]);
-        ctx.emit(TcpEvent::SegmentSent { conn: self.id, seq: self.iss, len: 0, kind: "SYN-ACK" });
+        ctx.emit(TcpEvent::SegmentSent {
+            conn: self.id,
+            seq: self.iss,
+            len: 0,
+            kind: "SYN-ACK",
+        });
         self.snd_nxt = self.iss.wrapping_add(1);
         self.arm_retx(ctx);
     }
@@ -342,9 +381,22 @@ impl Conn {
             return;
         }
         let seq = self.snd_nxt;
-        self.inflight.insert(seq, SentSeg { data: Vec::new(), syn: false, fin: true, retx: 0 });
+        self.inflight.insert(
+            seq,
+            SentSeg {
+                data: Vec::new(),
+                syn: false,
+                fin: true,
+                retx: 0,
+            },
+        );
         self.emit_segment(profile, ctx, seq, flags::FIN | flags::ACK, &[]);
-        ctx.emit(TcpEvent::SegmentSent { conn: self.id, seq, len: 0, kind: "FIN" });
+        ctx.emit(TcpEvent::SegmentSent {
+            conn: self.id,
+            seq,
+            len: 0,
+            kind: "FIN",
+        });
         self.snd_nxt = seq.wrapping_add(1);
         self.fin_sent = true;
         self.state = match self.state {
@@ -360,8 +412,10 @@ impl Conn {
         self.ka_probing = false;
         self.ka_probes_sent = 0;
         if on {
-            self.ka_timer =
-                Some(ctx.set_timer(profile.keepalive_idle, timer_token(self.id, TIMER_KEEPALIVE)));
+            self.ka_timer = Some(ctx.set_timer(
+                profile.keepalive_idle,
+                timer_token(self.id, TIMER_KEEPALIVE),
+            ));
         }
     }
 
@@ -416,10 +470,22 @@ impl Conn {
             if self.timed.is_none() {
                 self.timed = Some((seq.wrapping_add(take as u32), ctx.now()));
             }
-            self.inflight
-                .insert(seq, SentSeg { data: payload.clone(), syn: false, fin: false, retx: 0 });
+            self.inflight.insert(
+                seq,
+                SentSeg {
+                    data: payload.clone(),
+                    syn: false,
+                    fin: false,
+                    retx: 0,
+                },
+            );
             self.emit_segment(profile, ctx, seq, flags::ACK | flags::PSH, &payload);
-            ctx.emit(TcpEvent::SegmentSent { conn: self.id, seq, len: take, kind: "DATA" });
+            ctx.emit(TcpEvent::SegmentSent {
+                conn: self.id,
+                seq,
+                len: take,
+                kind: "DATA",
+            });
             self.snd_nxt = seq.wrapping_add(take as u32);
             self.arm_retx(ctx);
             let _ = totals;
@@ -506,10 +572,20 @@ impl Conn {
         ctx: &mut Context<'_>,
         totals: &mut ConnTotals,
     ) {
-        let garbage: &[u8] = if profile.keepalive_garbage_byte { &[0u8] } else { &[] };
+        let garbage: &[u8] = if profile.keepalive_garbage_byte {
+            &[0u8]
+        } else {
+            &[]
+        };
         // SEG.SEQ = SND.NXT - 1: already-acked sequence space, so any live
         // peer must answer with an ACK.
-        self.emit_segment(profile, ctx, self.snd_nxt.wrapping_sub(1), flags::ACK, garbage);
+        self.emit_segment(
+            profile,
+            ctx,
+            self.snd_nxt.wrapping_sub(1),
+            flags::ACK,
+            garbage,
+        );
         self.ka_probes_sent += 1;
         totals.keepalive_probes += 1;
         ctx.emit(TcpEvent::KeepaliveProbe {
@@ -534,7 +610,10 @@ impl Conn {
             // went unanswered.
             if profile.keepalive_reset {
                 self.emit_segment(profile, ctx, self.snd_nxt, flags::RST, &[]);
-                ctx.emit(TcpEvent::Reset { conn: self.id, sent: true });
+                ctx.emit(TcpEvent::Reset {
+                    conn: self.id,
+                    sent: true,
+                });
             }
             self.close(ctx, CloseReason::KeepaliveTimeout);
             return;
@@ -550,7 +629,8 @@ impl Conn {
             self.ka_interval = self.ka_interval.backoff(profile.max_rto);
         }
         self.send_ka_probe(profile, ctx, totals);
-        self.ka_timer = Some(ctx.set_timer(self.ka_interval, timer_token(self.id, TIMER_KEEPALIVE)));
+        self.ka_timer =
+            Some(ctx.set_timer(self.ka_interval, timer_token(self.id, TIMER_KEEPALIVE)));
     }
 
     /// Any traffic from the peer proves liveness: reset keep-alive state.
@@ -561,8 +641,10 @@ impl Conn {
         self.ka_probing = false;
         self.ka_probes_sent = 0;
         Self::cancel_timer(&mut self.ka_timer, ctx);
-        self.ka_timer =
-            Some(ctx.set_timer(profile.keepalive_idle, timer_token(self.id, TIMER_KEEPALIVE)));
+        self.ka_timer = Some(ctx.set_timer(
+            profile.keepalive_idle,
+            timer_token(self.id, TIMER_KEEPALIVE),
+        ));
     }
 
     // ---- retransmission -------------------------------------------------
@@ -587,15 +669,25 @@ impl Conn {
         // Karn: the retransmitted segment's ACK time is now ambiguous, so
         // discard its in-progress RTT measurement (other segments' timed
         // samples stay valid).
-        if self.timed.is_some_and(|(end, _)| end == seq.wrapping_add(seg_len)) {
+        if self
+            .timed
+            .is_some_and(|(end, _)| end == seq.wrapping_add(seg_len))
+        {
             self.timed = None;
         }
-        let counter = if profile.global_error_counter { self.global_errors } else { retx };
+        let counter = if profile.global_error_counter {
+            self.global_errors
+        } else {
+            retx
+        };
         if counter > profile.max_data_retx {
             // One retransmission too many: give up on the connection.
             if profile.reset_on_timeout {
                 self.emit_segment(profile, ctx, self.snd_nxt, flags::RST, &[]);
-                ctx.emit(TcpEvent::Reset { conn: self.id, sent: true });
+                ctx.emit(TcpEvent::Reset {
+                    conn: self.id,
+                    sent: true,
+                });
             }
             self.close(ctx, CloseReason::Timeout);
             return;
@@ -611,7 +703,12 @@ impl Conn {
         totals.retransmissions += 1;
         self.emit_segment(profile, ctx, seq, flag_bits, &data);
         let next_rto = self.rtt.backed_off_rto(self.backoff);
-        ctx.emit(TcpEvent::Retransmit { conn: self.id, seq, nth: retx, next_rto });
+        ctx.emit(TcpEvent::Retransmit {
+            conn: self.id,
+            seq,
+            nth: retx,
+            next_rto,
+        });
         self.retx_timer = Some(ctx.set_timer(next_rto, timer_token(self.id, TIMER_RETX)));
     }
 
@@ -631,10 +728,9 @@ impl Conn {
             TIMER_RETX => self.on_retx_timer(profile, ctx, totals),
             TIMER_PERSIST => self.on_persist_timer(profile, ctx, totals),
             TIMER_KEEPALIVE => self.on_keepalive_timer(profile, ctx, totals),
-            TIMER_TIMEWAIT
-                if self.state == TcpState::TimeWait => {
-                    self.close(ctx, CloseReason::Fin);
-                }
+            TIMER_TIMEWAIT if self.state == TcpState::TimeWait => {
+                self.close(ctx, CloseReason::Fin);
+            }
             _ => {}
         }
     }
@@ -653,7 +749,10 @@ impl Conn {
         }
         self.touch_keepalive(profile, ctx);
         if seg.has(flags::RST) {
-            ctx.emit(TcpEvent::Reset { conn: self.id, sent: false });
+            ctx.emit(TcpEvent::Reset {
+                conn: self.id,
+                sent: false,
+            });
             self.close(ctx, CloseReason::Reset);
             return;
         }
@@ -725,9 +824,14 @@ impl Conn {
         // zero window even when it acknowledges nothing new.
         self.snd_wnd = seg.window as u32;
         if self.last_peer_window != Some(seg.window)
-            && (seg.window == 0 || self.last_peer_window == Some(0) || self.last_peer_window.is_none())
+            && (seg.window == 0
+                || self.last_peer_window == Some(0)
+                || self.last_peer_window.is_none())
         {
-            ctx.emit(TcpEvent::PeerWindow { conn: self.id, window: seg.window });
+            ctx.emit(TcpEvent::PeerWindow {
+                conn: self.id,
+                window: seg.window,
+            });
         }
         self.last_peer_window = Some(seg.window);
 
@@ -787,13 +891,11 @@ impl Conn {
                 }
             }
             self.rearm_retx(ctx);
-        }
-        else if let Some(cfg) = profile.congestion {
+        } else if let Some(cfg) = profile.congestion {
             // A duplicate ACK: same ack number with data still in flight.
             if ack == self.snd_una && !self.inflight.is_empty() && seg.payload.is_empty() {
                 self.dup_acks += 1;
-                if cfg.fast_retransmit_dupacks > 0 && self.dup_acks == cfg.fast_retransmit_dupacks
-                {
+                if cfg.fast_retransmit_dupacks > 0 && self.dup_acks == cfg.fast_retransmit_dupacks {
                     self.fast_retransmit(profile, ctx, totals);
                 }
             }
@@ -828,7 +930,10 @@ impl Conn {
             seg.retx += 1;
             (seg.flags(), seg.data.clone(), seg.seq_len(), seg.retx)
         };
-        if self.timed.is_some_and(|(end, _)| end == seq.wrapping_add(seg_len)) {
+        if self
+            .timed
+            .is_some_and(|(end, _)| end == seq.wrapping_add(seg_len))
+        {
             self.timed = None; // Karn
         }
         let mss = profile.mss as u32;
@@ -837,7 +942,11 @@ impl Conn {
         self.dup_acks = 0;
         totals.retransmissions += 1;
         self.emit_segment(profile, ctx, seq, flag_bits, &data);
-        ctx.emit(TcpEvent::FastRetransmit { conn: self.id, seq, nth: retx });
+        ctx.emit(TcpEvent::FastRetransmit {
+            conn: self.id,
+            seq,
+            nth: retx,
+        });
         self.rearm_retx(ctx);
     }
 
@@ -846,7 +955,10 @@ impl Conn {
             TcpState::FinWait1 => self.state = TcpState::FinWait2,
             TcpState::Closing => {
                 self.state = TcpState::TimeWait;
-                ctx.set_timer(SimDuration::from_secs(30), timer_token(self.id, TIMER_TIMEWAIT));
+                ctx.set_timer(
+                    SimDuration::from_secs(30),
+                    timer_token(self.id, TIMER_TIMEWAIT),
+                );
             }
             TcpState::LastAck => self.close(ctx, CloseReason::Fin),
             _ => {}
@@ -867,12 +979,11 @@ impl Conn {
             while let Some(data) = self.ooo.remove(&self.rcv_nxt) {
                 self.accept_in_order(profile, ctx, data, totals);
             }
-        } else if seq_lt(self.rcv_nxt, seq)
-            && profile.queue_out_of_order {
-                ctx.emit(TcpEvent::OutOfOrderQueued { conn: self.id, seq });
-                self.ooo.entry(seq).or_insert_with(|| seg.payload.clone());
-            }
-            // Else: dropped; the cumulative ACK below asks for a resend.
+        } else if seq_lt(self.rcv_nxt, seq) && profile.queue_out_of_order {
+            ctx.emit(TcpEvent::OutOfOrderQueued { conn: self.id, seq });
+            self.ooo.entry(seq).or_insert_with(|| seg.payload.clone());
+        }
+        // Else: dropped; the cumulative ACK below asks for a resend.
         // seq < rcv_nxt: old duplicate or keep-alive probe; payload ignored,
         // the caller's ACK answers it.
     }
@@ -887,7 +998,8 @@ impl Conn {
         let take = if self.consume {
             data.len()
         } else {
-            data.len().min(profile.recv_buffer.saturating_sub(self.rcv_buf.len()))
+            data.len()
+                .min(profile.recv_buffer.saturating_sub(self.rcv_buf.len()))
         };
         if take == 0 {
             return; // zero window: payload dropped, ACK advertises 0
@@ -900,7 +1012,10 @@ impl Conn {
         }
         self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
         totals.bytes_delivered += take as u64;
-        ctx.emit(TcpEvent::DataDelivered { conn: self.id, bytes: take });
+        ctx.emit(TcpEvent::DataDelivered {
+            conn: self.id,
+            bytes: take,
+        });
     }
 
     fn handle_fin(&mut self, profile: &TcpProfile, ctx: &mut Context<'_>, seg: &Segment) {
@@ -919,7 +1034,10 @@ impl Conn {
             }
             TcpState::FinWait2 => {
                 self.state = TcpState::TimeWait;
-                ctx.set_timer(SimDuration::from_secs(30), timer_token(self.id, TIMER_TIMEWAIT));
+                ctx.set_timer(
+                    SimDuration::from_secs(30),
+                    timer_token(self.id, TIMER_TIMEWAIT),
+                );
             }
             _ => {}
         }

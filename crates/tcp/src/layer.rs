@@ -195,7 +195,14 @@ impl TcpLayer {
     fn alloc_conn(&mut self, local_port: u16, remote: NodeId, remote_port: u16) -> usize {
         let id = self.conns.len();
         self.iss_counter = self.iss_counter.wrapping_add(64_000);
-        let conn = Conn::new(id, local_port, remote, remote_port, self.iss_counter, &self.profile);
+        let conn = Conn::new(
+            id,
+            local_port,
+            remote,
+            remote_port,
+            self.iss_counter,
+            &self.profile,
+        );
         self.by_key.insert((local_port, remote, remote_port), id);
         self.conns.push(conn);
         self.totals.push(ConnTotals::default());
@@ -240,7 +247,9 @@ impl Layer for TcpLayer {
         let conn_idx = match self.by_key.get(&key) {
             Some(&i) => Some(i),
             None => {
-                if seg.has(flags::SYN) && !seg.has(flags::ACK) && self.listeners.contains(&seg.dst_port)
+                if seg.has(flags::SYN)
+                    && !seg.has(flags::ACK)
+                    && self.listeners.contains(&seg.dst_port)
                 {
                     let idx = self.alloc_conn(seg.dst_port, msg.src(), seg.src_port);
                     self.accepted.entry(seg.dst_port).or_insert(idx);
@@ -290,7 +299,11 @@ impl Layer for TcpLayer {
                 self.listeners.insert(port);
                 TcpReply::Unit
             }
-            TcpControl::Open { local_port, remote, remote_port } => {
+            TcpControl::Open {
+                local_port,
+                remote,
+                remote_port,
+            } => {
                 let port = if local_port == 0 {
                     self.next_ephemeral = self.next_ephemeral.wrapping_add(1);
                     self.next_ephemeral

@@ -25,7 +25,10 @@ pub struct CongestionConfig {
 
 impl Default for CongestionConfig {
     fn default() -> Self {
-        CongestionConfig { initial_cwnd_segments: 1, fast_retransmit_dupacks: 3 }
+        CongestionConfig {
+            initial_cwnd_segments: 1,
+            fast_retransmit_dupacks: 3,
+        }
     }
 }
 
@@ -146,7 +149,11 @@ impl TcpProfile {
 
     /// NeXT Mach (BSD-derived, like AIX no garbage byte).
     pub fn next_mach() -> Self {
-        TcpProfile { name: "NeXT Mach", keepalive_garbage_byte: false, ..Self::sunos_4_1_3() }
+        TcpProfile {
+            name: "NeXT Mach",
+            keepalive_garbage_byte: false,
+            ..Self::sunos_4_1_3()
+        }
     }
 
     /// Solaris 2.3: 330 ms RTO floor, non-adaptive RTT, 9 retransmissions,
@@ -182,7 +189,10 @@ impl TcpProfile {
     /// A clean RFC-793/1122 reference configuration (used by the x-Kernel
     /// side of the experiments and as the baseline in ablations).
     pub fn rfc_reference() -> Self {
-        TcpProfile { name: "x-Kernel reference", ..Self::sunos_4_1_3() }
+        TcpProfile {
+            name: "x-Kernel reference",
+            ..Self::sunos_4_1_3()
+        }
     }
 
     /// A Tahoe-style sender: the reference profile plus slow start,
@@ -198,7 +208,12 @@ impl TcpProfile {
 
     /// All four vendor profiles in the paper's table order.
     pub fn vendors() -> Vec<TcpProfile> {
-        vec![Self::sunos_4_1_3(), Self::aix_3_2_3(), Self::next_mach(), Self::solaris_2_3()]
+        vec![
+            Self::sunos_4_1_3(),
+            Self::aix_3_2_3(),
+            Self::next_mach(),
+            Self::solaris_2_3(),
+        ]
     }
 }
 
@@ -237,6 +252,9 @@ mod tests {
     #[test]
     fn vendors_returns_all_four() {
         let names: Vec<&str> = TcpProfile::vendors().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["SunOS 4.1.3", "AIX 3.2.3", "NeXT Mach", "Solaris 2.3"]);
+        assert_eq!(
+            names,
+            vec!["SunOS 4.1.3", "AIX 3.2.3", "NeXT Mach", "Solaris 2.3"]
+        );
     }
 }

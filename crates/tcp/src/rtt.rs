@@ -28,7 +28,14 @@ impl RttEstimator {
     /// With `adaptive == false`, samples are ignored and the base RTO stays
     /// pinned at `min` (the Solaris behaviour).
     pub fn new(adaptive: bool, initial: SimDuration, min: SimDuration, max: SimDuration) -> Self {
-        RttEstimator { srtt_us: None, rttvar_us: 0.0, adaptive, initial, min, max }
+        RttEstimator {
+            srtt_us: None,
+            rttvar_us: 0.0,
+            adaptive,
+            initial,
+            min,
+            max,
+        }
     }
 
     /// Feeds one RTT measurement (Jacobson's EWMA update).
@@ -63,7 +70,9 @@ impl RttEstimator {
             None => self.initial.max(self.min).min(self.max),
             Some(srtt) => {
                 let rto = srtt + 4.0 * self.rttvar_us;
-                SimDuration::from_micros(rto as u64).max(self.min).min(self.max)
+                SimDuration::from_micros(rto as u64)
+                    .max(self.min)
+                    .min(self.max)
             }
         }
     }
@@ -74,7 +83,9 @@ impl RttEstimator {
         let base = self.base_rto();
         let shift = backoff.min(30);
         SimDuration::from_micros(
-            base.as_micros().saturating_mul(1u64 << shift).min(self.max.as_micros()),
+            base.as_micros()
+                .saturating_mul(1u64 << shift)
+                .min(self.max.as_micros()),
         )
     }
 
@@ -127,7 +138,10 @@ mod tests {
             e.sample(SimDuration::from_secs(3));
         }
         let slow = e.base_rto();
-        assert!(slow > SimDuration::from_secs(3), "RTO must exceed the delay, got {slow}");
+        assert!(
+            slow > SimDuration::from_secs(3),
+            "RTO must exceed the delay, got {slow}"
+        );
     }
 
     #[test]
@@ -138,7 +152,10 @@ mod tests {
         }
         let rto = e.base_rto();
         // With zero variance, RTO converges toward SRTT.
-        assert!(rto >= SimDuration::from_secs(2) && rto < SimDuration::from_millis(2_600), "{rto}");
+        assert!(
+            rto >= SimDuration::from_secs(2) && rto < SimDuration::from_millis(2_600),
+            "{rto}"
+        );
     }
 
     #[test]
@@ -159,7 +176,10 @@ mod tests {
         let e = est(true);
         // base 1.5 s → 1.5, 3, 6, 12, 24, 48, 64, 64…
         let series: Vec<u64> = (0..8).map(|b| e.backed_off_rto(b).as_millis()).collect();
-        assert_eq!(series, vec![1_500, 3_000, 6_000, 12_000, 24_000, 48_000, 64_000, 64_000]);
+        assert_eq!(
+            series,
+            vec![1_500, 3_000, 6_000, 12_000, 24_000, 48_000, 64_000, 64_000]
+        );
     }
 
     #[test]

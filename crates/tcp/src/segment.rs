@@ -85,7 +85,11 @@ fn checksum(bytes: &[u8]) -> u16 {
     let mut i = 0;
     while i < bytes.len() {
         let hi = bytes[i] as u32;
-        let lo = if i + 1 < bytes.len() { bytes[i + 1] as u32 } else { 0 };
+        let lo = if i + 1 < bytes.len() {
+            bytes[i + 1] as u32
+        } else {
+            0
+        };
         sum = sum.wrapping_add((hi << 8) | lo);
         i += 2;
     }
@@ -241,7 +245,10 @@ impl PacketStub for TcpStub {
                 .parse::<u32>()
                 .map_err(|_| format!("bad {what} \"{}\"", args[i]))
         };
-        let ty = args.first().map(|s| s.to_ascii_uppercase()).unwrap_or_default();
+        let ty = args
+            .first()
+            .map(|s| s.to_ascii_uppercase())
+            .unwrap_or_default();
         match ty.as_str() {
             "ACK" => {
                 let dst = parse_u(1, "dst node")?;
@@ -269,7 +276,9 @@ impl PacketStub for TcpStub {
                 };
                 Ok(seg.encode(src, NodeId::new(dst)))
             }
-            other => Err(format!("tcp stub cannot generate \"{other}\" (only ACK, RST)")),
+            other => Err(format!(
+                "tcp stub cannot generate \"{other}\" (only ACK, RST)"
+            )),
         }
     }
 }
@@ -371,13 +380,17 @@ mod tests {
     #[test]
     fn stub_generates_spurious_ack() {
         let stub = TcpStub;
-        let args: Vec<String> =
-            ["ACK", "1", "5000", "80", "100", "200", "4096"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["ACK", "1", "5000", "80", "100", "200", "4096"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let m = stub.generate(NodeId::new(0), &args).unwrap();
         let s = Segment::decode(&m).unwrap();
         assert_eq!(s.type_name(), "ACK");
         assert_eq!(s.ack, 200);
-        assert!(stub.generate(NodeId::new(0), &["DATA".to_string()]).is_err());
+        assert!(stub
+            .generate(NodeId::new(0), &["DATA".to_string()])
+            .is_err());
     }
 
     #[test]

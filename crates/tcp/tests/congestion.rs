@@ -18,10 +18,21 @@ fn pair_with_filter(
     if let Some(f) = recv_filter {
         pfi = pfi.with_recv_filter(f);
     }
-    let s = w.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference())), Box::new(pfi)]);
+    let s = w.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+        Box::new(pfi),
+    ]);
     w.control::<TcpReply>(s, 0, TcpControl::Listen { port: 80 });
     let conn = w
-        .control::<TcpReply>(c, 0, TcpControl::Open { local_port: 0, remote: s, remote_port: 80 })
+        .control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: s,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     w.run_for(SimDuration::from_secs(2));
     (w, c, s, conn)
@@ -29,9 +40,10 @@ fn pair_with_filter(
 
 fn server_len(w: &mut World, s: NodeId) -> usize {
     match w.control::<TcpReply>(s, 0, TcpControl::AcceptedOn { port: 80 }) {
-        TcpReply::MaybeConn(Some(sc)) => {
-            w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc }).expect_data().len()
-        }
+        TcpReply::MaybeConn(Some(sc)) => w
+            .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc })
+            .expect_data()
+            .len(),
         _ => 0,
     }
 }
@@ -40,7 +52,14 @@ fn server_len(w: &mut World, s: NodeId) -> usize {
 fn slow_start_sends_exponentially_growing_bursts() {
     // With 50 ms RTT, the first round trips send 1, 2, 4, 8 segments.
     let (mut w, c, _s, conn) = pair_with_filter(TcpProfile::tahoe(), None, 25);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![1u8; 16 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![1u8; 16 * 512],
+        },
+    );
     w.run_for(SimDuration::from_secs(10));
     let sends: Vec<SimTime> = w
         .trace()
@@ -57,7 +76,11 @@ fn slow_start_sends_exponentially_growing_bursts() {
         let r = (t.saturating_since(t0).as_millis() / 50) as usize;
         rounds[r.min(7)] += 1;
     }
-    assert_eq!(&rounds[..4], &[1, 2, 4, 8], "slow start must double: {rounds:?}");
+    assert_eq!(
+        &rounds[..4],
+        &[1, 2, 4, 8],
+        "slow start must double: {rounds:?}"
+    );
 }
 
 #[test]
@@ -65,7 +88,14 @@ fn plain_profile_bursts_whole_window_at_once() {
     // Without congestion control the sender fills the whole 4096-byte
     // window immediately — the contrast that motivates slow start.
     let (mut w, c, _s, conn) = pair_with_filter(TcpProfile::sunos_4_1_3(), None, 25);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![1u8; 8 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![1u8; 8 * 512],
+        },
+    );
     w.run_for(SimDuration::from_millis(40)); // less than one RTT
     let sends = w
         .trace()
@@ -90,10 +120,20 @@ fn fast_retransmit_fires_on_triple_duplicate_ack() {
     )
     .unwrap();
     let (mut w, c, s, conn) = pair_with_filter(TcpProfile::tahoe(), Some(drop_fourth), 5);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![2u8; 16 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![2u8; 16 * 512],
+        },
+    );
     w.run_for(SimDuration::from_secs(30));
     let evs = w.trace().events_of::<TcpEvent>(Some(c));
-    let fast = evs.iter().filter(|(_, e)| matches!(e, TcpEvent::FastRetransmit { .. })).count();
+    let fast = evs
+        .iter()
+        .filter(|(_, e)| matches!(e, TcpEvent::FastRetransmit { .. }))
+        .count();
     assert!(fast >= 1, "fast retransmit must fire");
     assert_eq!(server_len(&mut w, s), 16 * 512, "stream completes");
 }
@@ -110,11 +150,19 @@ fn plain_profile_never_fast_retransmits() {
     )
     .unwrap();
     let (mut w, c, s, conn) = pair_with_filter(TcpProfile::sunos_4_1_3(), Some(drop_fourth), 5);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![2u8; 16 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![2u8; 16 * 512],
+        },
+    );
     w.run_for(SimDuration::from_secs(30));
     let evs = w.trace().events_of::<TcpEvent>(Some(c));
     assert!(
-        !evs.iter().any(|(_, e)| matches!(e, TcpEvent::FastRetransmit { .. })),
+        !evs.iter()
+            .any(|(_, e)| matches!(e, TcpEvent::FastRetransmit { .. })),
         "fast retransmit is off without congestion control"
     );
     assert_eq!(server_len(&mut w, s), 16 * 512);
@@ -135,7 +183,14 @@ fn fast_retransmit_recovers_a_loss_faster_than_the_rto() {
         .unwrap();
         let (mut w, c, s, conn) = pair_with_filter(profile, Some(drop_one), 5);
         let t0 = w.now();
-        w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![3u8; 16 * 512] });
+        w.control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Send {
+                conn,
+                data: vec![3u8; 16 * 512],
+            },
+        );
         // Run until everything is delivered.
         let mut done_at = None;
         for _ in 0..600 {
@@ -144,13 +199,18 @@ fn fast_retransmit_recovers_a_loss_faster_than_the_rto() {
                 TcpReply::MaybeConn(Some(sc)) => sc,
                 _ => continue,
             };
-            let stats = w.control::<TcpReply>(s, 0, TcpControl::Stats { conn: sc }).expect_stats();
+            let stats = w
+                .control::<TcpReply>(s, 0, TcpControl::Stats { conn: sc })
+                .expect_stats();
             if stats.bytes_delivered >= 16 * 512 {
                 done_at = Some(w.now());
                 break;
             }
         }
-        done_at.expect("transfer must complete").saturating_since(t0).as_secs_f64()
+        done_at
+            .expect("transfer must complete")
+            .saturating_since(t0)
+            .as_secs_f64()
     };
     let tahoe = run(TcpProfile::tahoe());
     let plain = run(TcpProfile::sunos_4_1_3());
@@ -158,7 +218,10 @@ fn fast_retransmit_recovers_a_loss_faster_than_the_rto() {
         tahoe < plain,
         "fast retransmit must beat the 1 s+ RTO: tahoe {tahoe:.2}s vs plain {plain:.2}s"
     );
-    assert!(plain > 0.9, "the plain sender waits out its RTO: {plain:.2}s");
+    assert!(
+        plain > 0.9,
+        "the plain sender waits out its RTO: {plain:.2}s"
+    );
 }
 
 #[test]
@@ -166,14 +229,32 @@ fn timeout_halves_ssthresh_and_restarts_slow_start() {
     // Black-hole mid-transfer, then restore: after the timeout the sender
     // must ramp up again from one segment (visible as paced single sends).
     let (mut w, c, s, conn) = pair_with_filter(TcpProfile::tahoe(), None, 25);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![4u8; 8 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![4u8; 8 * 512],
+        },
+    );
     w.run_for(SimDuration::from_secs(5));
     w.network_mut().set_link_down(c, s);
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn, data: vec![5u8; 8 * 512] });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![5u8; 8 * 512],
+        },
+    );
     w.run_for(SimDuration::from_secs(10));
     w.network_mut().set_link_up(c, s);
     w.run_for(SimDuration::from_secs(60));
-    assert_eq!(server_len(&mut w, s), 16 * 512, "both batches arrive after the outage");
+    assert_eq!(
+        server_len(&mut w, s),
+        16 * 512,
+        "both batches arrive after the outage"
+    );
     let retx = w
         .trace()
         .events_of::<TcpEvent>(Some(c))

@@ -19,23 +19,57 @@ fn two_clients_one_server_port() {
     let s = w.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference()))]);
     w.control::<TcpReply>(s, 0, TcpControl::Listen { port: 80 });
     let k1 = w
-        .control::<TcpReply>(c1, 0, TcpControl::Open { local_port: 0, remote: s, remote_port: 80 })
+        .control::<TcpReply>(
+            c1,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: s,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     let k2 = w
-        .control::<TcpReply>(c2, 0, TcpControl::Open { local_port: 0, remote: s, remote_port: 80 })
+        .control::<TcpReply>(
+            c2,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: s,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     w.run_for(SimDuration::from_millis(100));
-    w.control::<TcpReply>(c1, 0, TcpControl::Send { conn: k1, data: b"from-c1".to_vec() });
-    w.control::<TcpReply>(c2, 0, TcpControl::Send { conn: k2, data: b"from-c2".to_vec() });
+    w.control::<TcpReply>(
+        c1,
+        0,
+        TcpControl::Send {
+            conn: k1,
+            data: b"from-c1".to_vec(),
+        },
+    );
+    w.control::<TcpReply>(
+        c2,
+        0,
+        TcpControl::Send {
+            conn: k2,
+            data: b"from-c2".to_vec(),
+        },
+    );
     w.run_for(SimDuration::from_secs(5));
     // The server accepted two distinct connections; the first accept handle
     // tracks the first SYN (c1).
     let sc1 = server_conn(&mut w, s, 80);
-    let d1 = w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc1 }).expect_data();
+    let d1 = w
+        .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc1 })
+        .expect_data();
     assert_eq!(d1, b"from-c1");
     // The other connection exists and carried the other stream.
     let sc2 = ConnId(sc1.0 + 1);
-    let d2 = w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc2 }).expect_data();
+    let d2 = w
+        .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc2 })
+        .expect_data();
     assert_eq!(d2, b"from-c2");
 }
 
@@ -47,28 +81,44 @@ fn one_client_many_connections_to_same_server() {
     w.control::<TcpReply>(s, 0, TcpControl::Listen { port: 80 });
     let conns: Vec<ConnId> = (0..4)
         .map(|_| {
-            w.control::<TcpReply>(c, 0, TcpControl::Open {
-                local_port: 0,
-                remote: s,
-                remote_port: 80,
-            })
+            w.control::<TcpReply>(
+                c,
+                0,
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: s,
+                    remote_port: 80,
+                },
+            )
             .expect_conn()
         })
         .collect();
     w.run_for(SimDuration::from_millis(200));
     for (i, &k) in conns.iter().enumerate() {
         let payload = vec![i as u8 + 1; 100 * (i + 1)];
-        w.control::<TcpReply>(c, 0, TcpControl::Send { conn: k, data: payload });
+        w.control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Send {
+                conn: k,
+                data: payload,
+            },
+        );
     }
     w.run_for(SimDuration::from_secs(10));
     // Each server-side connection got exactly its own stream (ephemeral
     // ports demultiplex them).
     let mut total = 0;
     for i in 0..4 {
-        let got = w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: ConnId(i) }).expect_data();
+        let got = w
+            .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: ConnId(i) })
+            .expect_data();
         assert!(!got.is_empty(), "conn {i} received nothing");
         let byte = got[0];
-        assert!(got.iter().all(|b| *b == byte), "streams must not interleave");
+        assert!(
+            got.iter().all(|b| *b == byte),
+            "streams must not interleave"
+        );
         total += got.len();
     }
     assert_eq!(total, 100 + 200 + 300 + 400);
@@ -85,23 +135,36 @@ fn multiple_listeners_on_different_ports() {
     let mut handles = Vec::new();
     for port in [80u16, 443, 8080] {
         let k = w
-            .control::<TcpReply>(c, 0, TcpControl::Open {
-                local_port: 0,
-                remote: s,
-                remote_port: port,
-            })
+            .control::<TcpReply>(
+                c,
+                0,
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: s,
+                    remote_port: port,
+                },
+            )
             .expect_conn();
         handles.push((port, k));
     }
     w.run_for(SimDuration::from_millis(100));
     for (port, k) in &handles {
         let data = format!("to-{port}");
-        w.control::<TcpReply>(c, 0, TcpControl::Send { conn: *k, data: data.into_bytes() });
+        w.control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Send {
+                conn: *k,
+                data: data.into_bytes(),
+            },
+        );
     }
     w.run_for(SimDuration::from_secs(5));
     for (port, _) in &handles {
         let sc = server_conn(&mut w, s, *port);
-        let got = w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc }).expect_data();
+        let got = w
+            .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: sc })
+            .expect_data();
         assert_eq!(got, format!("to-{port}").into_bytes());
     }
 }
@@ -113,20 +176,50 @@ fn closing_one_connection_leaves_others_running() {
     let s = w.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference()))]);
     w.control::<TcpReply>(s, 0, TcpControl::Listen { port: 80 });
     let k1 = w
-        .control::<TcpReply>(c, 0, TcpControl::Open { local_port: 0, remote: s, remote_port: 80 })
+        .control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: s,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     let k2 = w
-        .control::<TcpReply>(c, 0, TcpControl::Open { local_port: 0, remote: s, remote_port: 80 })
+        .control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: s,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     w.run_for(SimDuration::from_millis(100));
     w.control::<TcpReply>(c, 0, TcpControl::Close { conn: k1 });
     w.run_for(SimDuration::from_secs(2));
     // k1 is winding down; k2 still transfers.
-    w.control::<TcpReply>(c, 0, TcpControl::Send { conn: k2, data: b"still alive".to_vec() });
+    w.control::<TcpReply>(
+        c,
+        0,
+        TcpControl::Send {
+            conn: k2,
+            data: b"still alive".to_vec(),
+        },
+    );
     w.run_for(SimDuration::from_secs(5));
-    let state1 = w.control::<TcpReply>(c, 0, TcpControl::State { conn: k1 }).expect_state();
-    assert!(matches!(state1, "FinWait2" | "TimeWait" | "Closed"), "{state1}");
-    let got = w.control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: ConnId(1) }).expect_data();
+    let state1 = w
+        .control::<TcpReply>(c, 0, TcpControl::State { conn: k1 })
+        .expect_state();
+    assert!(
+        matches!(state1, "FinWait2" | "TimeWait" | "Closed"),
+        "{state1}"
+    );
+    let got = w
+        .control::<TcpReply>(s, 0, TcpControl::RecvTake { conn: ConnId(1) })
+        .expect_data();
     assert_eq!(got, b"still alive");
 }
 
@@ -136,7 +229,14 @@ fn unknown_conn_ids_are_rejected_gracefully() {
     let c = w.add_node(vec![Box::new(TcpLayer::new(TcpProfile::sunos_4_1_3()))]);
     let bogus = ConnId(99);
     assert!(matches!(
-        w.control::<TcpReply>(c, 0, TcpControl::Send { conn: bogus, data: vec![1] }),
+        w.control::<TcpReply>(
+            c,
+            0,
+            TcpControl::Send {
+                conn: bogus,
+                data: vec![1]
+            }
+        ),
         TcpReply::NoSuchConn
     ));
     assert!(matches!(

@@ -36,7 +36,11 @@ fn main() {
         &FaultKind::default_matrix(),
         &[Direction::Send, Direction::Receive],
     );
-    println!("campaign: {} cases for protocol {}\n", campaign.len(), campaign.protocol);
+    println!(
+        "campaign: {} cases for protocol {}\n",
+        campaign.len(),
+        campaign.protocol
+    );
 
     if list_only {
         for case in &campaign.cases {
@@ -47,7 +51,11 @@ fn main() {
 
     let target: Box<dyn TestTarget> = match proto {
         "gmp" => Box::new(GmpTarget {
-            bugs: if buggy { GmpBugs::all() } else { GmpBugs::none() },
+            bugs: if buggy {
+                GmpBugs::all()
+            } else {
+                GmpBugs::none()
+            },
             fault_secs: 60,
         }),
         "tpc" => Box::new(TpcTarget),

@@ -113,7 +113,9 @@ fn emit_script(msg_type: &str, fault: FaultKind) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Generates the full cross product of message types × faults × directions.
@@ -129,10 +131,19 @@ pub fn generate(spec: &ProtocolSpec, matrix: &[FaultKind], dirs: &[Direction]) -
             for &dir in dirs {
                 let script = emit_script(&msg.name, fault);
                 Script::parse(&script).unwrap_or_else(|e| {
-                    panic!("generator produced an unparseable script for {}: {e}\n{script}", msg.name)
+                    panic!(
+                        "generator produced an unparseable script for {}: {e}\n{script}",
+                        msg.name
+                    )
                 });
                 cases.push(TestCase {
-                    id: format!("{}/{}/{}/{}", spec.name, dir.as_str(), fault.id_fragment(), msg.name),
+                    id: format!(
+                        "{}/{}/{}/{}",
+                        spec.name,
+                        dir.as_str(),
+                        fault.id_fragment(),
+                        msg.name
+                    ),
                     description: format!(
                         "{:?} {} messages on the {} path of {}",
                         fault, msg.name, dir, spec.name
@@ -145,7 +156,10 @@ pub fn generate(spec: &ProtocolSpec, matrix: &[FaultKind], dirs: &[Direction]) -
             }
         }
     }
-    Campaign { protocol: spec.name.clone(), cases }
+    Campaign {
+        protocol: spec.name.clone(),
+        cases,
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +212,9 @@ mod tests {
             &[FaultKind::Drop],
             &[Direction::Receive],
         );
-        assert!(campaign.cases.iter().any(|c| c.id == "gmp/receive/drop/COMMIT"));
+        assert!(campaign
+            .cases
+            .iter()
+            .any(|c| c.id == "gmp/receive/drop/COMMIT"));
     }
 }

@@ -34,5 +34,7 @@ mod runner;
 mod spec;
 
 pub use generate::{generate, Campaign, FaultKind, TestCase};
-pub use runner::{run_campaign, run_case, CaseResult, GmpTarget, TcpTarget, TestTarget, TpcTarget, Verdict};
+pub use runner::{
+    run_campaign, run_case, CaseResult, GmpTarget, TcpTarget, TestTarget, TpcTarget, Verdict,
+};
 pub use spec::{MessageSpec, ProtocolSpec, Role};

@@ -50,7 +50,11 @@ pub trait TestTarget {
 
 /// Runs every case of a campaign against fresh instances of the target.
 pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseResult> {
-    campaign.cases.iter().map(|case| run_case(target, case)).collect()
+    campaign
+        .cases
+        .iter()
+        .map(|case| run_case(target, case))
+        .collect()
 }
 
 /// Runs a single case.
@@ -63,7 +67,10 @@ pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
     };
     let _: PfiReply = world.control(node, pfi_layer, op);
     target.drive(&mut world);
-    CaseResult { case_id: case.id.clone(), verdict: target.verdict(&mut world) }
+    CaseResult {
+        case_id: case.id.clone(),
+        verdict: target.verdict(&mut world),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -82,7 +89,10 @@ pub struct GmpTarget {
 
 impl Default for GmpTarget {
     fn default() -> Self {
-        GmpTarget { bugs: GmpBugs::none(), fault_secs: 60 }
+        GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 60,
+        }
     }
 }
 
@@ -152,8 +162,12 @@ impl TestTarget for GmpTarget {
         }
         // Invariant 4 (liveness): the two unfaulted daemons (0 and 2) must
         // end up Up, agreeing, and together.
-        let v0 = world.control::<GmpReply>(peers[0], 0, GmpControl::Status).expect_status();
-        let v2 = world.control::<GmpReply>(peers[2], 0, GmpControl::Status).expect_status();
+        let v0 = world
+            .control::<GmpReply>(peers[0], 0, GmpControl::Status)
+            .expect_status();
+        let v2 = world
+            .control::<GmpReply>(peers[2], 0, GmpControl::Status)
+            .expect_status();
         if v0.group.members != v2.group.members {
             return Verdict::Degraded(format!(
                 "unfaulted daemons diverge: {:?} vs {:?} (may still be converging)",
@@ -173,9 +187,7 @@ impl TestTarget for GmpTarget {
             .trace()
             .events_of::<GmpEvent>(Some(peers[0]))
             .iter()
-            .filter(|(t, e)| {
-                t.as_secs_f64() > 40.0 && matches!(e, GmpEvent::GroupView { .. })
-            })
+            .filter(|(t, e)| t.as_secs_f64() > 40.0 && matches!(e, GmpEvent::GroupView { .. }))
             .count();
         if churn > 0 {
             Verdict::Degraded(format!("membership changed {churn} times under the fault"))
@@ -203,13 +215,19 @@ pub struct TcpTarget {
 
 impl Default for TcpTarget {
     fn default() -> Self {
-        TcpTarget { profile: TcpProfile::sunos_4_1_3(), payload_len: 8_192, fault_secs: 180 }
+        TcpTarget {
+            profile: TcpProfile::sunos_4_1_3(),
+            payload_len: 8_192,
+            fault_secs: 180,
+        }
     }
 }
 
 impl TcpTarget {
     fn payload(&self) -> Vec<u8> {
-        (0..self.payload_len).map(|i| (i * 11 % 256) as u8).collect()
+        (0..self.payload_len)
+            .map(|i| (i * 11 % 256) as u8)
+            .collect()
     }
 
     fn client() -> NodeId {
@@ -249,10 +267,14 @@ impl TestTarget for TpcTarget {
 
     fn drive(&self, world: &mut World) {
         let participants: Vec<NodeId> = (1..4).map(NodeId::new).collect();
-        world.control::<TpcReply>(NodeId::new(0), 0, TpcControl::Begin {
-            txid: 1,
-            participants,
-        });
+        world.control::<TpcReply>(
+            NodeId::new(0),
+            0,
+            TpcControl::Begin {
+                txid: 1,
+                participants,
+            },
+        );
         world.run_for(SimDuration::from_secs(60));
     }
 
@@ -266,9 +288,7 @@ impl TestTarget for TpcTarget {
                     | TpcEvent::DecisionMade { commit, .. } => match decision {
                         None => decision = Some(commit),
                         Some(d) if d != commit => {
-                            return Verdict::Violated(format!(
-                                "decision split: {d} vs {commit}"
-                            ))
+                            return Verdict::Violated(format!("decision split: {d} vs {commit}"))
                         }
                         _ => {}
                     },
@@ -305,27 +325,38 @@ impl TestTarget for TcpTarget {
 
     fn drive(&self, world: &mut World) {
         let conn = world
-            .control::<TcpReply>(Self::client(), 0, TcpControl::Open {
-                local_port: 0,
-                remote: Self::server(),
-                remote_port: 80,
-            })
+            .control::<TcpReply>(
+                Self::client(),
+                0,
+                TcpControl::Open {
+                    local_port: 0,
+                    remote: Self::server(),
+                    remote_port: 80,
+                },
+            )
             .expect_conn();
         debug_assert_eq!(conn, Self::CONN);
         world.run_for(SimDuration::from_secs(5));
         let payload = self.payload();
-        world.control::<TcpReply>(Self::client(), 0, TcpControl::Send { conn, data: payload });
+        world.control::<TcpReply>(
+            Self::client(),
+            0,
+            TcpControl::Send {
+                conn,
+                data: payload,
+            },
+        );
         world.run_for(SimDuration::from_secs(self.fault_secs));
     }
 
     fn verdict(&self, world: &mut World) -> Verdict {
         let payload = self.payload();
-        let sconn = match world
-            .control::<TcpReply>(Self::server(), 0, TcpControl::AcceptedOn { port: 80 })
-        {
-            TcpReply::MaybeConn(Some(c)) => c,
-            _ => return Verdict::Degraded("connection never established".to_string()),
-        };
+        let sconn =
+            match world.control::<TcpReply>(Self::server(), 0, TcpControl::AcceptedOn { port: 80 })
+            {
+                TcpReply::MaybeConn(Some(c)) => c,
+                _ => return Verdict::Degraded("connection never established".to_string()),
+            };
         let got = world
             .control::<TcpReply>(Self::server(), 0, TcpControl::RecvTake { conn: sconn })
             .expect_data();
@@ -339,7 +370,11 @@ impl TestTarget for TcpTarget {
         if got.len() == payload.len() {
             Verdict::Pass
         } else {
-            Verdict::Degraded(format!("only {}/{} bytes arrived", got.len(), payload.len()))
+            Verdict::Degraded(format!(
+                "only {}/{} bytes arrived",
+                got.len(),
+                payload.len()
+            ))
         }
     }
 }

@@ -47,7 +47,10 @@ impl ProtocolSpec {
             name: name.into(),
             messages: messages
                 .iter()
-                .map(|(n, r)| MessageSpec { name: n.to_string(), role: *r })
+                .map(|(n, r)| MessageSpec {
+                    name: n.to_string(),
+                    role: *r,
+                })
                 .collect(),
         }
     }

@@ -16,11 +16,20 @@ fn fixed_gmp_passes_the_full_drop_campaign() {
         &[FaultKind::Drop],
         &[Direction::Send, Direction::Receive],
     );
-    let target = GmpTarget { bugs: GmpBugs::none(), fault_secs: 60 };
+    let target = GmpTarget {
+        bugs: GmpBugs::none(),
+        fault_secs: 60,
+    };
     let results = run_campaign(&target, &campaign);
     assert_eq!(results.len(), 16);
-    let violations: Vec<_> = results.iter().filter(|r| r.verdict.is_violation()).collect();
-    assert!(violations.is_empty(), "fixed GMP must not violate invariants: {violations:?}");
+    let violations: Vec<_> = results
+        .iter()
+        .filter(|r| r.verdict.is_violation())
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "fixed GMP must not violate invariants: {violations:?}"
+    );
 }
 
 #[test]
@@ -30,7 +39,10 @@ fn campaign_discovers_the_self_death_bug_automatically() {
     // daemon's own loopback heartbeat) trips it.
     let campaign = generate(&ProtocolSpec::gmp(), &[FaultKind::Drop], &[Direction::Send]);
     let target = GmpTarget {
-        bugs: GmpBugs { self_death: true, ..GmpBugs::none() },
+        bugs: GmpBugs {
+            self_death: true,
+            ..GmpBugs::none()
+        },
         fault_secs: 60,
     };
     let results = run_campaign(&target, &campaign);
@@ -43,7 +55,10 @@ fn campaign_discovers_the_self_death_bug_automatically() {
         "the generated heartbeat-drop case must find the bug: {heartbeat_case:?}"
     );
     // And the discovery is *selective*: dropping e.g. NAKs does not trip it.
-    let nak_case = results.iter().find(|r| r.case_id == "gmp/send/drop/NAK").unwrap();
+    let nak_case = results
+        .iter()
+        .find(|r| r.case_id == "gmp/send/drop/NAK")
+        .unwrap();
     assert!(!nak_case.verdict.is_violation(), "{nak_case:?}");
 }
 
@@ -60,7 +75,11 @@ fn delay_campaign_matches_the_papers_delayed_equals_dropped_observation() {
         &[Direction::Send],
     );
     let target = GmpTarget::default();
-    let hb = campaign.cases.iter().find(|c| c.message_type == "HEARTBEAT").unwrap();
+    let hb = campaign
+        .cases
+        .iter()
+        .find(|c| c.message_type == "HEARTBEAT")
+        .unwrap();
     let result = run_case(&target, hb);
     match &result.verdict {
         Verdict::Degraded(_) => {}
@@ -74,27 +93,52 @@ fn tcp_campaign_corruption_never_violates_integrity() {
     // delivered stream — the checksum is the invariant's enforcer.
     let campaign = generate(
         &ProtocolSpec::tcp(),
-        &[FaultKind::CorruptByte(6), FaultKind::Duplicate, FaultKind::Drop],
+        &[
+            FaultKind::CorruptByte(6),
+            FaultKind::Duplicate,
+            FaultKind::Drop,
+        ],
         &[Direction::Receive],
     );
-    let target = TcpTarget { fault_secs: 120, payload_len: 4_096, ..TcpTarget::default() };
+    let target = TcpTarget {
+        fault_secs: 120,
+        payload_len: 4_096,
+        ..TcpTarget::default()
+    };
     let results = run_campaign(&target, &campaign);
     for r in &results {
         assert!(!r.verdict.is_violation(), "integrity violated: {r:?}");
     }
     // Duplicating DATA must be fully transparent.
-    let dup = results.iter().find(|r| r.case_id == "tcp/receive/duplicate/DATA").unwrap();
+    let dup = results
+        .iter()
+        .find(|r| r.case_id == "tcp/receive/duplicate/DATA")
+        .unwrap();
     assert_eq!(dup.verdict, Verdict::Pass, "{dup:?}");
     // Dropping all DATA degrades but does not violate.
-    let drop = results.iter().find(|r| r.case_id == "tcp/receive/drop/DATA").unwrap();
+    let drop = results
+        .iter()
+        .find(|r| r.case_id == "tcp/receive/drop/DATA")
+        .unwrap();
     assert!(matches!(drop.verdict, Verdict::Degraded(_)), "{drop:?}");
 }
 
 #[test]
 fn tcp_syn_drop_prevents_connection_degraded_only() {
-    let campaign = generate(&ProtocolSpec::tcp(), &[FaultKind::Drop], &[Direction::Receive]);
-    let syn = campaign.cases.iter().find(|c| c.message_type == "SYN").unwrap();
-    let target = TcpTarget { fault_secs: 60, ..TcpTarget::default() };
+    let campaign = generate(
+        &ProtocolSpec::tcp(),
+        &[FaultKind::Drop],
+        &[Direction::Receive],
+    );
+    let syn = campaign
+        .cases
+        .iter()
+        .find(|c| c.message_type == "SYN")
+        .unwrap();
+    let target = TcpTarget {
+        fault_secs: 60,
+        ..TcpTarget::default()
+    };
     let result = run_case(&target, syn);
     assert!(
         matches!(result.verdict, Verdict::Degraded(ref m) if m.contains("never established")),
@@ -106,9 +150,16 @@ fn tcp_syn_drop_prevents_connection_degraded_only() {
 fn destination_selective_drops_are_generated_and_run() {
     // The paper's partition experiments drop by destination; the generator
     // covers that dimension too.
-    let campaign =
-        generate(&ProtocolSpec::gmp(), &[FaultKind::DropToDest(0)], &[Direction::Send]);
-    let hb = campaign.cases.iter().find(|c| c.message_type == "HEARTBEAT").unwrap();
+    let campaign = generate(
+        &ProtocolSpec::gmp(),
+        &[FaultKind::DropToDest(0)],
+        &[Direction::Send],
+    );
+    let hb = campaign
+        .cases
+        .iter()
+        .find(|c| c.message_type == "HEARTBEAT")
+        .unwrap();
     assert!(hb.script.contains("msg_dst"));
     let result = run_case(&GmpTarget::default(), hb);
     // Node 1 mute toward the leader only: it gets expelled (leader can't
@@ -128,7 +179,10 @@ fn tpc_campaign_never_splits_the_decision() {
     let results = run_campaign(&pfi_testgen::TpcTarget, &campaign);
     assert_eq!(results.len(), 6 * 6 * 2);
     for r in &results {
-        assert!(!r.verdict.is_violation(), "decision agreement violated: {r:?}");
+        assert!(
+            !r.verdict.is_violation(),
+            "decision agreement violated: {r:?}"
+        );
     }
     // The blocking window is discovered by the campaign, not hand-staged:
     // at least one generated case leaves a participant blocked.

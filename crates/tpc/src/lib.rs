@@ -309,11 +309,20 @@ pub struct TpcLayer {
 impl TpcLayer {
     /// Creates a layer with the given timing configuration.
     pub fn new(config: TpcConfig) -> Self {
-        TpcLayer { config, vote_yes: true, coord: HashMap::new(), part: HashMap::new() }
+        TpcLayer {
+            config,
+            vote_yes: true,
+            coord: HashMap::new(),
+            part: HashMap::new(),
+        }
     }
 
     fn send(&self, ctx: &mut Context<'_>, dst: NodeId, ty: TpcType, txid: u32) {
-        let pkt = TpcPacket { ty, txid, sender: ctx.node() };
+        let pkt = TpcPacket {
+            ty,
+            txid,
+            sender: ctx.node(),
+        };
         let mut body = vec![pfi_rudp::service::RELIABLE];
         body.extend_from_slice(&pkt.to_bytes());
         ctx.send_down(Message::new(ctx.node(), dst, &body));
@@ -331,7 +340,11 @@ impl TpcLayer {
             ctx.cancel_timer(t);
         }
         ctx.emit(TpcEvent::DecisionMade { txid, commit });
-        let ty = if commit { TpcType::Commit } else { TpcType::Abort };
+        let ty = if commit {
+            TpcType::Commit
+        } else {
+            TpcType::Abort
+        };
         let targets: Vec<NodeId> = tx.participants.clone();
         for p in targets {
             self.send(ctx, p, ty, txid);
@@ -366,12 +379,34 @@ impl Layer for TpcLayer {
                     return; // duplicate prepare
                 }
                 let yes = self.vote_yes;
-                let state = if yes { TpcState::Prepared } else { TpcState::Aborted };
-                self.part.insert(txid, PartTx { coordinator: pkt.sender, state });
+                let state = if yes {
+                    TpcState::Prepared
+                } else {
+                    TpcState::Aborted
+                };
+                self.part.insert(
+                    txid,
+                    PartTx {
+                        coordinator: pkt.sender,
+                        state,
+                    },
+                );
                 ctx.emit(TpcEvent::Voted { txid, yes });
-                self.send(ctx, pkt.sender, if yes { TpcType::VoteYes } else { TpcType::VoteNo }, txid);
+                self.send(
+                    ctx,
+                    pkt.sender,
+                    if yes {
+                        TpcType::VoteYes
+                    } else {
+                        TpcType::VoteNo
+                    },
+                    txid,
+                );
                 if yes {
-                    ctx.set_timer(self.config.uncertainty_timeout, token(txid, TIMER_UNCERTAIN));
+                    ctx.set_timer(
+                        self.config.uncertainty_timeout,
+                        token(txid, TIMER_UNCERTAIN),
+                    );
                 }
             }
             TpcType::VoteYes | TpcType::VoteNo => {
@@ -404,7 +439,11 @@ impl Layer for TpcLayer {
                 };
                 match tx.state {
                     TpcState::Prepared | TpcState::Blocked => {
-                        tx.state = if commit { TpcState::Committed } else { TpcState::Aborted };
+                        tx.state = if commit {
+                            TpcState::Committed
+                        } else {
+                            TpcState::Aborted
+                        };
                         ctx.emit(TpcEvent::DecisionApplied { txid, commit });
                     }
                     _ => {}
@@ -424,8 +463,10 @@ impl Layer for TpcLayer {
         match kind {
             TIMER_VOTE => {
                 // Votes incomplete: abort.
-                let undecided =
-                    self.coord.get(&txid).is_some_and(|tx| tx.decision.is_none());
+                let undecided = self
+                    .coord
+                    .get(&txid)
+                    .is_some_and(|tx| tx.decision.is_none());
                 if undecided {
                     self.decide(ctx, txid, false);
                 }
@@ -451,7 +492,11 @@ impl Layer for TpcLayer {
                     ctx.emit(TpcEvent::DecisionRetriesExhausted { txid });
                     return;
                 }
-                let ty = if commit { TpcType::Commit } else { TpcType::Abort };
+                let ty = if commit {
+                    TpcType::Commit
+                } else {
+                    TpcType::Abort
+                };
                 for p in pending {
                     self.send(ctx, p, ty, txid);
                 }
@@ -552,7 +597,11 @@ impl PacketStub for TpcStub {
             .ok_or("missing txid")?
             .parse()
             .map_err(|_| "bad txid".to_string())?;
-        let pkt = TpcPacket { ty, txid, sender: src };
+        let pkt = TpcPacket {
+            ty,
+            txid,
+            sender: src,
+        };
         let mut body = vec![pfi_rudp::service::RELIABLE];
         body.extend_from_slice(&pkt.to_bytes());
         Ok(Message::new(src, NodeId::new(dst), &body))
@@ -565,7 +614,11 @@ mod tests {
 
     #[test]
     fn packet_roundtrip_and_framing() {
-        let p = TpcPacket { ty: TpcType::Commit, txid: 42, sender: NodeId::new(3) };
+        let p = TpcPacket {
+            ty: TpcType::Commit,
+            txid: 42,
+            sender: NodeId::new(3),
+        };
         assert_eq!(TpcPacket::parse(&p.to_bytes()), Some(p));
         let mut framed = vec![0u8];
         framed.extend_from_slice(&p.to_bytes());
@@ -592,7 +645,11 @@ mod tests {
 
     #[test]
     fn stub_recognises_and_generates() {
-        let p = TpcPacket { ty: TpcType::Prepare, txid: 7, sender: NodeId::new(0) };
+        let p = TpcPacket {
+            ty: TpcType::Prepare,
+            txid: 7,
+            sender: NodeId::new(0),
+        };
         let m = Message::new(NodeId::new(0), NodeId::new(1), &p.to_bytes());
         assert_eq!(TpcStub.type_of(&m).as_deref(), Some("PREPARE"));
         assert_eq!(TpcStub.field(&m, "txid"), Some(7));

@@ -29,16 +29,21 @@ fn begin(w: &mut World, coord: NodeId, txid: u32, participants: &[NodeId]) {
     w.control::<TpcReply>(
         coord,
         TPC,
-        TpcControl::Begin { txid, participants: participants.to_vec() },
+        TpcControl::Begin {
+            txid,
+            participants: participants.to_vec(),
+        },
     );
 }
 
 fn state(w: &mut World, node: NodeId, txid: u32) -> Option<TpcState> {
-    w.control::<TpcReply>(node, TPC, TpcControl::State { txid }).expect_state()
+    w.control::<TpcReply>(node, TPC, TpcControl::State { txid })
+        .expect_state()
 }
 
 fn decision(w: &mut World, coord: NodeId, txid: u32) -> Option<bool> {
-    w.control::<TpcReply>(coord, TPC, TpcControl::Decision { txid }).expect_decision()
+    w.control::<TpcReply>(coord, TPC, TpcControl::Decision { txid })
+        .expect_decision()
 }
 
 #[test]
@@ -72,7 +77,11 @@ fn dropped_vote_times_out_into_abort() {
     let _: PfiReply = w.control(n[2], PFI, PfiControl::SetSendFilter(drop_votes));
     begin(&mut w, n[0], 1, &n[1..]);
     w.run_for(SimDuration::from_secs(10));
-    assert_eq!(decision(&mut w, n[0], 1), Some(false), "missing vote must abort");
+    assert_eq!(
+        decision(&mut w, n[0], 1),
+        Some(false),
+        "missing vote must abort"
+    );
     assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Aborted));
     // Participant 2 is prepared and receives the abort decision too.
     assert_eq!(state(&mut w, n[2], 1), Some(TpcState::Aborted));
@@ -86,17 +95,20 @@ fn coordinator_crash_after_prepare_blocks_participants() {
     // leaves — then the node halts for good; prepared participants are
     // stuck in uncertainty, allowed to neither commit nor abort.
     let (mut w, n) = cluster(3);
-    let die_before_phase2 = Filter::script(
-        r#"if {[msg_type] == "COMMIT" || [msg_type] == "ABORT"} { xDrop }"#,
-    )
-    .unwrap();
+    let die_before_phase2 =
+        Filter::script(r#"if {[msg_type] == "COMMIT" || [msg_type] == "ABORT"} { xDrop }"#)
+            .unwrap();
     let _: PfiReply = w.control(n[0], PFI, PfiControl::SetSendFilter(die_before_phase2));
     begin(&mut w, n[0], 1, &n[1..]);
     let coord = n[0];
     w.schedule_in(SimDuration::from_secs(1), move |w| w.crash(coord));
     w.run_for(SimDuration::from_secs(30));
     for &p in &n[1..] {
-        assert_eq!(state(&mut w, p, 1), Some(TpcState::Blocked), "{p} must be blocked");
+        assert_eq!(
+            state(&mut w, p, 1),
+            Some(TpcState::Blocked),
+            "{p} must be blocked"
+        );
     }
     let blocked_events = n[1..]
         .iter()
@@ -152,7 +164,10 @@ fn commit_blackhole_blocks_one_participant_but_never_diverges() {
         for (_, e) in w.trace().events_of::<TpcEvent>(Some(p)) {
             if let TpcEvent::DecisionApplied { txid, commit } = e {
                 let prev = applied.insert(txid, commit);
-                assert!(prev.is_none_or(|c| c == commit), "conflicting decisions for {txid}");
+                assert!(
+                    prev.is_none_or(|c| c == commit),
+                    "conflicting decisions for {txid}"
+                );
             }
         }
     }
@@ -176,7 +191,11 @@ fn forged_abort_probe_is_ignored_by_unprepared_participants() {
     // Trigger the send filter with an unrelated transaction.
     begin(&mut w, n[0], 1, &n[1..]);
     w.run_for(SimDuration::from_secs(5));
-    assert_eq!(state(&mut w, n[1], 99), None, "forged tx must not materialise");
+    assert_eq!(
+        state(&mut w, n[1], 99),
+        None,
+        "forged tx must not materialise"
+    );
     assert_eq!(state(&mut w, n[1], 1), Some(TpcState::Committed));
 }
 

@@ -21,16 +21,27 @@ fn run_with_filter(label: &str, filter: Filter) {
     ]);
     world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
     let conn = world
-        .control::<TcpReply>(client, 0, TcpControl::Open {
-            local_port: 0,
-            remote: server,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     world.run_for(SimDuration::from_millis(100));
 
     let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     world.run_for(SimDuration::from_secs(1_200));
 
     let sconn = match world.control::<TcpReply>(server, 0, TcpControl::AcceptedOn { port: 80 }) {
@@ -40,8 +51,12 @@ fn run_with_filter(label: &str, filter: Filter) {
             return;
         }
     };
-    let got = world.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sconn }).expect_data();
-    let stats = world.control::<TcpReply>(client, 0, TcpControl::Stats { conn }).expect_stats();
+    let got = world
+        .control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sconn })
+        .expect_data();
+    let stats = world
+        .control::<TcpReply>(client, 0, TcpControl::Stats { conn })
+        .expect_stats();
     let decode_failures = world
         .trace()
         .events_of::<TcpEvent>(Some(server))
@@ -68,7 +83,10 @@ fn main() {
     run_with_filter("receive omission p=0.5", faults::omission(0.5));
     run_with_filter(
         "timing: +N(80ms, 40ms)",
-        faults::timing(faults::DelayDist::Normal { mean_ms: 80.0, var_ms: 40.0 }),
+        faults::timing(faults::DelayDist::Normal {
+            mean_ms: 80.0,
+            var_ms: 40.0,
+        }),
     );
     run_with_filter(
         "byzantine (corrupt 20%)",

@@ -12,9 +12,11 @@
 use pfi::core::{Filter, PfiControl, PfiLayer, PfiReply};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "scripts/exp1_recv_filter.tcl".into());
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "scripts/exp1_recv_filter.tcl".into());
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     run(&path, &source);
 }
 
@@ -33,18 +35,33 @@ fn run(path: &str, source: &str) {
     ]);
     world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
     let conn = world
-        .control::<TcpReply>(client, 0, TcpControl::Open {
-            local_port: 0,
-            remote: server,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     world.run_for(SimDuration::from_secs(2));
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![42u8; 20_480] });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![42u8; 20_480],
+        },
+    );
     world.run_for(SimDuration::from_secs(600));
 
-    let stats = world.control::<TcpReply>(client, 0, TcpControl::Stats { conn }).expect_stats();
-    let state = world.control::<TcpReply>(client, 0, TcpControl::State { conn }).expect_state();
+    let stats = world
+        .control::<TcpReply>(client, 0, TcpControl::Stats { conn })
+        .expect_stats();
+    let state = world
+        .control::<TcpReply>(client, 0, TcpControl::State { conn })
+        .expect_state();
     println!("client connection after 600 virtual seconds:");
     println!("  state            {state}");
     println!("  queued bytes     {}", stats.bytes_queued);
@@ -52,10 +69,14 @@ fn run(path: &str, source: &str) {
     if let TcpReply::MaybeConn(Some(sc)) =
         world.control::<TcpReply>(server, 0, TcpControl::AcceptedOn { port: 80 })
     {
-        let got = world.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sc }).expect_data();
+        let got = world
+            .control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sc })
+            .expect_data();
         println!("  bytes delivered  {}", got.len());
     }
-    let log = world.control::<PfiReply>(server, 1, PfiControl::TakeLog).expect_log();
+    let log = world
+        .control::<PfiReply>(server, 1, PfiControl::TakeLog)
+        .expect_log();
     if !log.is_empty() {
         println!("\nfirst packets logged by the filter:");
         for e in log.iter().take(5) {

@@ -17,7 +17,11 @@ fn show_views(tb: &mut GmpTestbed, label: &str) {
         let v = tb.view(p);
         println!(
             "  {p}: {:?} (leader {}, {:?})",
-            v.group.members.iter().map(|m| m.as_u32()).collect::<Vec<_>>(),
+            v.group
+                .members
+                .iter()
+                .map(|m| m.as_u32())
+                .collect::<Vec<_>>(),
             v.group.leader(),
             v.status,
         );

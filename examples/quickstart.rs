@@ -25,12 +25,17 @@ impl Layer for PingClient {
         ctx.send_down(msg);
     }
     fn pop(&mut self, msg: Message, _ctx: &mut Context<'_>) {
-        self.responses.push(String::from_utf8_lossy(msg.bytes()).to_string());
+        self.responses
+            .push(String::from_utf8_lossy(msg.bytes()).to_string());
     }
     fn control(&mut self, op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
         if let Ok(op) = op.downcast::<SendPing>() {
             let SendPing(dst, n) = *op;
-            ctx.send_down(Message::new(ctx.node(), dst, format!("PING {n}").as_bytes()));
+            ctx.send_down(Message::new(
+                ctx.node(),
+                dst,
+                format!("PING {n}").as_bytes(),
+            ));
             Box::new(())
         } else {
             Box::new(self.responses.clone())
@@ -50,7 +55,11 @@ impl Layer for PongServer {
     fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
         let text = String::from_utf8_lossy(msg.bytes()).to_string();
         if let Some(n) = text.strip_prefix("PING ") {
-            ctx.send_down(Message::new(ctx.node(), msg.src(), format!("PONG {n}").as_bytes()));
+            ctx.send_down(Message::new(
+                ctx.node(),
+                msg.src(),
+                format!("PONG {n}").as_bytes(),
+            ));
         }
     }
 }
@@ -78,7 +87,9 @@ fn main() {
     );
 
     let client = world.add_node(vec![
-        Box::new(PingClient { responses: Vec::new() }),
+        Box::new(PingClient {
+            responses: Vec::new(),
+        }),
         Box::new(pfi),
     ]);
     let server = world.add_node(vec![Box::new(PongServer)]);
@@ -97,7 +108,9 @@ fn main() {
         println!("  {r}");
     }
 
-    let log = world.control::<PfiReply>(client, 1, PfiControl::TakeLog).expect_log();
+    let log = world
+        .control::<PfiReply>(client, 1, PfiControl::TakeLog)
+        .expect_log();
     println!("\npackets seen by the send filter ({}):", log.len());
     for entry in log.iter().take(5) {
         println!("  [{}] {} {}", entry.time, entry.dir, entry.summary);

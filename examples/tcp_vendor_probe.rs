@@ -13,7 +13,13 @@ fn main() {
     println!("Probing vendor TCP retransmission behaviour (paper experiment 1)…\n");
     let mut t = Table::new(
         "Retransmission fingerprints",
-        &["Vendor", "Retx", "Cap (s)", "RST on timeout", "Backoff series (s)"],
+        &[
+            "Vendor",
+            "Retx",
+            "Cap (s)",
+            "RST on timeout",
+            "Backoff series (s)",
+        ],
     );
     for row in tcp_exp1::run_all() {
         t.row(&[
@@ -29,7 +35,13 @@ fn main() {
     println!("Probing keep-alive behaviour (paper experiment 3)…\n");
     let mut k = Table::new(
         "Keep-alive fingerprints",
-        &["Vendor", "First probe (s)", "Probes", "Garbage byte", "Spec violation"],
+        &[
+            "Vendor",
+            "First probe (s)",
+            "Probes",
+            "Garbage byte",
+            "Spec violation",
+        ],
     );
     for row in tcp_exp3::run_all() {
         k.row(&[

@@ -26,15 +26,31 @@ fn main() {
         FaultKind::default_matrix().len(),
     );
     println!("a generated script (gmp/send/drop/HEARTBEAT):");
-    let sample = campaign.cases.iter().find(|c| c.id == "gmp/send/drop/HEARTBEAT").unwrap();
+    let sample = campaign
+        .cases
+        .iter()
+        .find(|c| c.id == "gmp/send/drop/HEARTBEAT")
+        .unwrap();
     for line in sample.script.lines() {
         println!("    {line}");
     }
 
     println!("\nrunning the campaign against the FIXED implementation…");
-    let fixed = run_campaign(&GmpTarget { bugs: GmpBugs::none(), fault_secs: 60 }, &campaign);
+    let fixed = run_campaign(
+        &GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 60,
+        },
+        &campaign,
+    );
     println!("…and against the implementation WITH the paper's bugs…\n");
-    let buggy = run_campaign(&GmpTarget { bugs: GmpBugs::all(), fault_secs: 60 }, &campaign);
+    let buggy = run_campaign(
+        &GmpTarget {
+            bugs: GmpBugs::all(),
+            fault_secs: 60,
+        },
+        &campaign,
+    );
 
     let mut pass = 0;
     let mut degraded = 0;
@@ -50,12 +66,18 @@ fn main() {
         }
     }
     println!("fixed implementation:  {pass} pass, {degraded} degraded, 0 violations");
-    println!("buggy implementation:  {} cases exposed a bug the fixed version survives:\n", found.len());
+    println!(
+        "buggy implementation:  {} cases exposed a bug the fixed version survives:\n",
+        found.len()
+    );
     for (id, verdict) in found.iter().take(10) {
         println!("  {id:<44} {verdict:?}");
     }
     if found.len() > 10 {
         println!("  … and {} more", found.len() - 10);
     }
-    assert!(!found.is_empty(), "the campaign must discover the injected bugs");
+    assert!(
+        !found.is_empty(),
+        "the campaign must discover the injected bugs"
+    );
 }

@@ -38,7 +38,9 @@ fn show(w: &mut World, nodes: &[NodeId], txid: u32) {
         }
     );
     for &p in &nodes[1..] {
-        let s = w.control::<TpcReply>(p, 0, TpcControl::State { txid }).expect_state();
+        let s = w
+            .control::<TpcReply>(p, 0, TpcControl::State { txid })
+            .expect_state();
         println!("  participant {p}: {s:?}");
     }
 }
@@ -46,10 +48,14 @@ fn show(w: &mut World, nodes: &[NodeId], txid: u32) {
 fn main() {
     println!("two-phase commit, healthy run:");
     let (mut w, nodes) = cluster();
-    w.control::<TpcReply>(nodes[0], 0, TpcControl::Begin {
-        txid: 1,
-        participants: nodes[1..].to_vec(),
-    });
+    w.control::<TpcReply>(
+        nodes[0],
+        0,
+        TpcControl::Begin {
+            txid: 1,
+            participants: nodes[1..].to_vec(),
+        },
+    );
     w.run_for(SimDuration::from_secs(5));
     show(&mut w, &nodes, 1);
 
@@ -59,10 +65,14 @@ fn main() {
         Filter::script(r#"if {[msg_type] == "COMMIT" || [msg_type] == "ABORT"} { xDrop }"#)
             .unwrap();
     let _: PfiReply = w.control(nodes[0], 1, PfiControl::SetSendFilter(die_before_phase2));
-    w.control::<TpcReply>(nodes[0], 0, TpcControl::Begin {
-        txid: 1,
-        participants: nodes[1..].to_vec(),
-    });
+    w.control::<TpcReply>(
+        nodes[0],
+        0,
+        TpcControl::Begin {
+            txid: 1,
+            participants: nodes[1..].to_vec(),
+        },
+    );
     let coord = nodes[0];
     w.schedule_in(SimDuration::from_secs(1), move |w| w.crash(coord));
     w.run_for(SimDuration::from_secs(30));

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Tracked bench pipeline: runs the ablation benchmark groups
+# (script_interpreter, pfi_interposition_overhead, congestion_ablation,
+# sim_engine) and aggregates the per-bench JSON records into BENCH_1.json
+# at the repository root — group -> bench -> median ns/op (+ throughput
+# where the bench declares one). If scripts/bench_baseline.json exists
+# (the recorded pre-compile-once baseline, measured back-to-back with the
+# optimized build on the same machine), each entry also carries the
+# baseline median and the speedup factor.
+#
+# Usage: scripts/bench.sh [extra cargo-bench filter args]
+# Knobs: PFI_BENCH_SAMPLE_MS, PFI_BENCH_WARMUP_MS, PFI_BENCH_SAMPLES
+#        (see crates/criterion), BENCH_OUT (default: BENCH_1.json).
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+raw="$repo/target/pfi-bench"
+out="${BENCH_OUT:-$repo/BENCH_1.json}"
+
+rm -rf "$raw"
+PFI_BENCH_OUT="$raw" cargo bench --manifest-path "$repo/Cargo.toml" \
+    -p pfi-bench --bench ablations -- "$@"
+
+python3 - "$raw" "$repo/scripts/bench_baseline.json" "$out" <<'PY'
+import json, pathlib, sys
+
+raw, baseline_path, out = map(pathlib.Path, sys.argv[1:4])
+
+baseline = {}
+if baseline_path.exists():
+    for group, benches in json.loads(baseline_path.read_text()).items():
+        for bench, rec in benches.items():
+            baseline[(group, bench)] = rec.get("median_ns")
+
+result = {}
+for f in sorted(raw.glob("*/*.json")):
+    d = json.loads(f.read_text())
+    entry = {"median_ns": d["median_ns"], "mean_ns": d["mean_ns"]}
+    if d.get("elements_per_sec") is not None:
+        entry["elements_per_sec"] = d["elements_per_sec"]
+    base = baseline.get((d["group"], d["bench"]))
+    if base:
+        entry["baseline_median_ns"] = base
+        entry["speedup"] = round(base / d["median_ns"], 2)
+    result.setdefault(d["group"], {})[d["bench"]] = entry
+
+out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+print(f"wrote {out}")
+for group, benches in sorted(result.items()):
+    for bench, rec in sorted(benches.items()):
+        speed = f'  {rec["speedup"]:.2f}x vs baseline' if "speedup" in rec else ""
+        print(f'{group}/{bench}: {rec["median_ns"]:.1f} ns/op{speed}')
+PY

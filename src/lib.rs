@@ -70,6 +70,6 @@ pub use pfi_ip as ip;
 pub use pfi_rudp as rudp;
 pub use pfi_script as script;
 pub use pfi_sim as sim;
+pub use pfi_tcp as tcp;
 pub use pfi_testgen as testgen;
 pub use pfi_tpc as tpc;
-pub use pfi_tcp as tcp;

@@ -67,10 +67,16 @@ fn send_omission_failure() {
     // 90% send omission the member cannot sustain heartbeats and falls out
     // of the group.
     let (mut world, peers) = cluster(3);
-    let _: PfiReply =
-        world.control(peers[2], PFI, PfiControl::SetSendFilter(faults::omission(0.9)));
+    let _: PfiReply = world.control(
+        peers[2],
+        PFI,
+        PfiControl::SetSendFilter(faults::omission(0.9)),
+    );
     world.run_for(SimDuration::from_secs(60));
-    assert!(!members(&mut world, peers[0]).contains(&2), "leader must expel the mute member");
+    assert!(
+        !members(&mut world, peers[0]).contains(&2),
+        "leader must expel the mute member"
+    );
 }
 
 #[test]
@@ -78,8 +84,11 @@ fn receive_omission_failure() {
     // The mirror image: a daemon that fails to receive most traffic stops
     // seeing heartbeats (including its own) and withdraws.
     let (mut world, peers) = cluster(3);
-    let _: PfiReply =
-        world.control(peers[2], PFI, PfiControl::SetRecvFilter(faults::omission(0.95)));
+    let _: PfiReply = world.control(
+        peers[2],
+        PFI,
+        PfiControl::SetRecvFilter(faults::omission(0.95)),
+    );
     world.run_for(SimDuration::from_secs(60));
     assert!(!members(&mut world, peers[0]).contains(&2));
 }
@@ -98,7 +107,11 @@ fn timing_failure_within_tolerance_is_absorbed() {
         ))),
     );
     world.run_for(SimDuration::from_secs(60));
-    assert_eq!(members(&mut world, peers[0]), vec![0, 1, 2], "small delays must be tolerated");
+    assert_eq!(
+        members(&mut world, peers[0]),
+        vec![0, 1, 2],
+        "small delays must be tolerated"
+    );
 }
 
 #[test]
@@ -120,10 +133,16 @@ fn timing_failure_beyond_tolerance_expels() {
 #[test]
 fn general_omission_both_directions() {
     let (mut world, peers) = cluster(3);
-    let _: PfiReply =
-        world.control(peers[1], PFI, PfiControl::SetSendFilter(faults::omission(0.8)));
-    let _: PfiReply =
-        world.control(peers[1], PFI, PfiControl::SetRecvFilter(faults::omission(0.8)));
+    let _: PfiReply = world.control(
+        peers[1],
+        PFI,
+        PfiControl::SetSendFilter(faults::omission(0.8)),
+    );
+    let _: PfiReply = world.control(
+        peers[1],
+        PFI,
+        PfiControl::SetRecvFilter(faults::omission(0.8)),
+    );
     world.run_for(SimDuration::from_secs(60));
     assert!(!members(&mut world, peers[0]).contains(&1));
 }
@@ -161,11 +180,20 @@ fn severity_ordering_crash_is_special_case_of_omission() {
     world_a.run_for(SimDuration::from_secs(40));
 
     let (mut world_b, peers_b) = cluster(3);
-    let _: PfiReply =
-        world_b.control(peers_b[2], PFI, PfiControl::SetSendFilter(faults::drop_all()));
-    let _: PfiReply =
-        world_b.control(peers_b[2], PFI, PfiControl::SetRecvFilter(faults::drop_all()));
+    let _: PfiReply = world_b.control(
+        peers_b[2],
+        PFI,
+        PfiControl::SetSendFilter(faults::drop_all()),
+    );
+    let _: PfiReply = world_b.control(
+        peers_b[2],
+        PFI,
+        PfiControl::SetRecvFilter(faults::drop_all()),
+    );
     world_b.run_for(SimDuration::from_secs(40));
 
-    assert_eq!(members(&mut world_a, peers_a[0]), members(&mut world_b, peers_b[0]));
+    assert_eq!(
+        members(&mut world_a, peers_a[0]),
+        members(&mut world_b, peers_b[0])
+    );
 }

@@ -1,0 +1,247 @@
+//! Cold/warm determinism regression: the compile-once caches must be
+//! observationally invisible. Every shipped filter script and a loop-heavy
+//! stress script run through a cold path (caching disabled — every
+//! evaluation re-parses from source) and a warm path (default bounded
+//! caches); results, variables, output, packet logs, and delivered traffic
+//! must be byte-identical. A final test asserts the warm per-message path
+//! never re-parses: cache misses stop growing after the first message while
+//! hits keep climbing.
+
+use std::any::Any;
+
+use pfi::core::{Direction, Filter, PfiControl, PfiLayer, PfiReply, RawStub};
+use pfi::script::{Interp, NoHost};
+use pfi::sim::{Context, Layer, Message, NodeId, SimDuration, SimTime, World};
+
+/// A loop-heavy script exercising every cached construct: `while`, `for`,
+/// `foreach`, `switch`, `if`/`elseif`, `proc`, `catch`, `eval`, and both
+/// braced and computed `expr` forms.
+const STRESS: &str = r#"
+    proc weigh {x} {
+        if {$x % 3 == 0} { return [expr {$x * 2}] } else { return [expr {$x + 1}] }
+    }
+    set sum 0
+    set i 0
+    while {$i < 40} {
+        set sum [expr {$sum + [weigh $i]}]
+        incr i
+    }
+    for {set j 0} {$j < 25} {incr j} {
+        if {$j % 2 == 0} {
+            set sum [expr {$sum + $j * $j}]
+        } elseif {$j % 5 == 0} {
+            set sum [expr {$sum - $j}]
+        } else {
+            incr sum
+        }
+    }
+    set tally 0
+    foreach item {a b c a b a d c} {
+        switch -exact $item {
+            a { incr tally 100 }
+            b { incr tally 10 }
+            default { incr tally 1 }
+        }
+    }
+    catch { undefined_command_here } err
+    eval { set via_eval [expr {$sum + $tally}] }
+    puts "run [incr runs]: sum=$sum tally=$tally via_eval=$via_eval err=$err"
+    set via_eval
+"#;
+
+/// Evaluates `STRESS` `rounds` times in one interpreter, returning every
+/// per-round result plus the final variable snapshot and accumulated
+/// `puts` output.
+fn run_stress(cold: bool, rounds: usize) -> (Vec<String>, Vec<(String, String)>, String) {
+    let mut interp = Interp::new();
+    if cold {
+        interp.set_cache_capacity(0, 0);
+    }
+    let mut results = Vec::new();
+    for _ in 0..rounds {
+        results.push(
+            interp
+                .eval(&mut NoHost, STRESS)
+                .expect("stress script evaluates"),
+        );
+    }
+    let vars = interp.globals_snapshot();
+    let output = interp.take_output();
+    (results, vars, output)
+}
+
+#[test]
+fn stress_script_cold_and_warm_paths_are_byte_identical() {
+    let cold = run_stress(true, 5);
+    let warm = run_stress(false, 5);
+    assert_eq!(cold.0, warm.0, "per-round results differ");
+    assert_eq!(cold.1, warm.1, "final variables differ");
+    assert_eq!(cold.2, warm.2, "puts output differs");
+}
+
+#[test]
+fn stress_script_warm_path_reparses_nothing_after_first_round() {
+    let mut interp = Interp::new();
+    interp.eval(&mut NoHost, STRESS).unwrap();
+    let s1 = interp.script_cache_stats();
+    let e1 = interp.expr_cache_stats();
+    for _ in 0..10 {
+        interp.eval(&mut NoHost, STRESS).unwrap();
+    }
+    let s2 = interp.script_cache_stats();
+    let e2 = interp.expr_cache_stats();
+    assert_eq!(s2.misses, s1.misses, "a warm round re-parsed a script body");
+    assert_eq!(e2.misses, e1.misses, "a warm round re-parsed an expr");
+    assert!(
+        s2.hits > s1.hits && e2.hits > e1.hits,
+        "warm rounds must hit the caches"
+    );
+    assert_eq!(
+        s2.evictions, 0,
+        "the stress script must fit in the default bound"
+    );
+}
+
+// ---- full PFI-layer pipeline: every shipped script, cold vs warm --------
+
+struct Src;
+struct Fire(NodeId, Vec<u8>);
+impl Layer for Src {
+    fn name(&self) -> &'static str {
+        "src"
+    }
+    fn push(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_down(m);
+    }
+    fn pop(&mut self, m: Message, c: &mut Context<'_>) {
+        c.send_up(m);
+    }
+    fn control(&mut self, op: Box<dyn Any>, c: &mut Context<'_>) -> Box<dyn Any> {
+        let Fire(dst, payload) = *op.downcast::<Fire>().unwrap();
+        c.send_down(Message::new(c.node(), dst, &payload));
+        Box::new(())
+    }
+}
+
+/// What one pipeline run produced, in comparable form.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    delivered: Vec<(SimTime, Vec<u8>)>,
+    log: Vec<(SimTime, String, usize)>,
+    count_var: Result<String, String>,
+}
+
+/// Drives 40 deterministic messages through a PFI layer running `src` as
+/// its receive filter, with the given cache capacities.
+fn run_pipeline(src: &str, scripts_cap: usize, exprs_cap: usize) -> RunTrace {
+    let mut world = World::new(7);
+    let a = world.add_node(vec![Box::new(Src)]);
+    let layer = PfiLayer::new(Box::new(RawStub))
+        .with_cache_capacity(scripts_cap, exprs_cap)
+        .with_recv_filter(Filter::script(src).expect("script parses"));
+    let b = world.add_node(vec![Box::new(Src), Box::new(layer)]);
+    for i in 0..40u8 {
+        world.control::<()>(a, 0, Fire(b, vec![i, i.wrapping_mul(7)]));
+        world.run_for(SimDuration::from_millis(50));
+    }
+    world.run_for(SimDuration::from_secs(10));
+    let delivered = world
+        .drain_inbox(b)
+        .into_iter()
+        .map(|(t, m)| (t, m.bytes().to_vec()))
+        .collect();
+    let log = world
+        .control::<PfiReply>(b, 1, PfiControl::TakeLog)
+        .expect_log()
+        .into_iter()
+        .map(|e| (e.time, e.summary, e.len))
+        .collect();
+    let count_var =
+        match world.control::<PfiReply>(b, 1, PfiControl::EvalInRecv("set count".into())) {
+            PfiReply::Eval(r) => r.map_err(|e| e.to_string()),
+            other => panic!("expected Eval reply, got {other:?}"),
+        };
+    RunTrace {
+        delivered,
+        log,
+        count_var,
+    }
+}
+
+#[test]
+fn every_shipped_script_is_cache_deterministic() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("scripts/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tcl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let cold = run_pipeline(&src, 0, 0);
+        let warm = run_pipeline(&src, 256, 256);
+        assert_eq!(
+            cold,
+            warm,
+            "{} diverges between cold and warm paths",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= 5,
+        "expected the script library, found {seen} scripts"
+    );
+}
+
+#[test]
+fn warm_per_message_path_never_reparses() {
+    // Loop/expr-heavy filter: the acceptance gate for the compile-once
+    // engine. After the first message, every construct must be cached.
+    let filter = r#"
+        set total 0
+        for {set i 0} {$i < 8} {incr i} {
+            if {[msg_len] > $i} { set total [expr {$total + $i}] }
+        }
+        if {$total > 1000} { xDrop cur_msg }
+    "#;
+    let mut world = World::new(11);
+    let a = world.add_node(vec![Box::new(Src)]);
+    let layer = PfiLayer::new(Box::new(RawStub))
+        .with_recv_filter(Filter::script(filter).expect("script parses"));
+    let b = world.add_node(vec![Box::new(Src), Box::new(layer)]);
+
+    world.control::<()>(a, 0, Fire(b, vec![1, 2, 3]));
+    world.run_for(SimDuration::from_secs(1));
+    let (s1, e1) = world
+        .control::<PfiReply>(b, 1, PfiControl::CacheStats(Direction::Receive))
+        .expect_cache_stats();
+
+    for i in 0..50u8 {
+        world.control::<()>(a, 0, Fire(b, vec![i]));
+    }
+    world.run_for(SimDuration::from_secs(5));
+    let (s2, e2) = world
+        .control::<PfiReply>(b, 1, PfiControl::CacheStats(Direction::Receive))
+        .expect_cache_stats();
+
+    assert_eq!(
+        s2.misses, s1.misses,
+        "warm per-message path re-parsed a script body"
+    );
+    assert_eq!(
+        e2.misses, e1.misses,
+        "warm per-message path re-parsed an expr"
+    );
+    assert!(
+        s2.hits > s1.hits,
+        "later messages must hit the script cache"
+    );
+    assert!(e2.hits > e1.hits, "later messages must hit the expr cache");
+    assert!(
+        s2.hit_rate() > 0.9,
+        "script cache hit rate {:.3} too low",
+        s2.hit_rate()
+    );
+    assert_eq!(world.drain_inbox(b).len(), 51, "all messages delivered");
+}

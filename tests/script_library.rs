@@ -20,7 +20,10 @@ fn every_shipped_script_parses() {
         Script::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         seen += 1;
     }
-    assert!(seen >= 5, "expected the script library, found {seen} scripts");
+    assert!(
+        seen >= 5,
+        "expected the script library, found {seen} scripts"
+    );
 }
 
 struct Src;
@@ -56,7 +59,13 @@ fn exp1_filter_from_disk_drops_after_thirty() {
         world.control::<()>(a, 0, Fire(b, vec![i]));
     }
     world.run_for(SimDuration::from_secs(1));
-    assert_eq!(world.drain_inbox(b).len(), 30, "exactly thirty packets pass");
-    let log = world.control::<PfiReply>(b, 1, PfiControl::TakeLog).expect_log();
+    assert_eq!(
+        world.drain_inbox(b).len(),
+        30,
+        "exactly thirty packets pass"
+    );
+    let log = world
+        .control::<PfiReply>(b, 1, PfiControl::TakeLog)
+        .expect_log();
     assert_eq!(log.len(), 40, "every packet is logged, dropped or not");
 }

@@ -51,7 +51,11 @@ fn deterministic_global_ordering_via_hold_release() {
         world.control::<()>(a, 0, Fire(b, vec![i]));
     }
     world.run_for(SimDuration::from_secs(1));
-    let order: Vec<u8> = world.drain_inbox(b).into_iter().map(|(_, m)| m.bytes()[0]).collect();
+    let order: Vec<u8> = world
+        .drain_inbox(b)
+        .into_iter()
+        .map(|(_, m)| m.bytes()[0])
+        .collect();
     assert_eq!(order, vec![4, 5, 1, 2, 3, 6]);
 }
 
@@ -141,7 +145,10 @@ fn scripts_synchronise_across_nodes_through_the_global_board() {
     let from_a = got.iter().filter(|s| *s == "from-a").count();
     let from_b = got.iter().filter(|s| *s == "from-b").count();
     assert_eq!(from_a, 3);
-    assert_eq!(from_b, 2, "b's send after the blockade flag must be dropped");
+    assert_eq!(
+        from_b, 2,
+        "b's send after the blockade flag must be dropped"
+    );
 }
 
 /// "Changing the scripts does not require recompilation": swap a filter
@@ -157,14 +164,17 @@ fn swapping_scripts_at_runtime_changes_behaviour() {
     let b = world.add_node(vec![Box::new(Src)]);
 
     let phases: [(&str, usize); 3] = [
-        ("", 5),                       // pass-through
-        ("xDrop", 0),                  // drop everything
-        ("xDuplicate 2", 15),          // triple everything
+        ("", 5),              // pass-through
+        ("xDrop", 0),         // drop everything
+        ("xDuplicate 2", 15), // triple everything
     ];
     for (script, expected) in phases {
         if !script.is_empty() {
-            let _: PfiReply =
-                world.control(a, 1, PfiControl::SetSendFilter(Filter::script(script).unwrap()));
+            let _: PfiReply = world.control(
+                a,
+                1,
+                PfiControl::SetSendFilter(Filter::script(script).unwrap()),
+            );
         }
         for i in 0..5u8 {
             world.control::<()>(a, 0, Fire(b, vec![i]));

@@ -13,15 +13,21 @@ fn tcp_pair(world: &mut World, recv_filter: Option<Filter>) -> (NodeId, NodeId, 
     if let Some(f) = recv_filter {
         pfi = pfi.with_recv_filter(f);
     }
-    let server =
-        world.add_node(vec![Box::new(TcpLayer::new(TcpProfile::rfc_reference())), Box::new(pfi)]);
+    let server = world.add_node(vec![
+        Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
+        Box::new(pfi),
+    ]);
     world.control::<TcpReply>(server, 0, TcpControl::Listen { port: 80 });
     let conn = world
-        .control::<TcpReply>(client, 0, TcpControl::Open {
-            local_port: 0,
-            remote: server,
-            remote_port: 80,
-        })
+        .control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Open {
+                local_port: 0,
+                remote: server,
+                remote_port: 80,
+            },
+        )
         .expect_conn();
     world.run_for(SimDuration::from_secs(5));
     (client, server, conn)
@@ -32,7 +38,9 @@ fn server_data(world: &mut World, server: NodeId) -> Vec<u8> {
         TcpReply::MaybeConn(Some(c)) => c,
         other => panic!("no accepted conn: {other:?}"),
     };
-    world.control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sconn }).expect_data()
+    world
+        .control::<TcpReply>(server, 0, TcpControl::RecvTake { conn: sconn })
+        .expect_data()
 }
 
 #[test]
@@ -51,7 +59,14 @@ fn tcp_transfer_through_omission_and_timing_faults_combined() {
     });
     let (client, server, conn) = tcp_pair(&mut world, Some(compound));
     let payload: Vec<u8> = (0..30_000u32).map(|i| (i * 13 % 256) as u8).collect();
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     world.run_for(SimDuration::from_secs(600));
     assert_eq!(server_data(&mut world, server), payload);
 }
@@ -68,12 +83,27 @@ fn tcp_transfer_with_byzantine_corruption_stays_intact() {
     });
     let (client, server, conn) = tcp_pair(&mut world, Some(byz));
     let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: payload.clone() });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: payload.clone(),
+        },
+    );
     world.run_for(SimDuration::from_secs(900));
     let got = server_data(&mut world, server);
     // Whatever arrived must be an intact prefix-correct stream.
-    assert_eq!(got, payload[..got.len()], "corruption must never reach the application");
-    assert!(got.len() > payload.len() / 2, "most data should get through: {}", got.len());
+    assert_eq!(
+        got,
+        payload[..got.len()],
+        "corruption must never reach the application"
+    );
+    assert!(
+        got.len() > payload.len() / 2,
+        "most data should get through: {}",
+        got.len()
+    );
 }
 
 #[test]
@@ -83,7 +113,14 @@ fn same_seed_same_full_stack_trace() {
         world.network_mut().default_link_mut().loss = 0.15;
         world.network_mut().default_link_mut().jitter = SimDuration::from_millis(2);
         let (client, _server, conn) = tcp_pair(&mut world, Some(faults::omission(0.1)));
-        world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![7u8; 20_000] });
+        world.control::<TcpReply>(
+            client,
+            0,
+            TcpControl::Send {
+                conn,
+                data: vec![7u8; 20_000],
+            },
+        );
         world.run_for(SimDuration::from_secs(120));
         world.trace().render()
     }
@@ -106,7 +143,11 @@ fn gmp_full_stack_survives_rudp_loss() {
     for _ in 0..4 {
         let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(GmpBugs::none()));
         let pfi = PfiLayer::new(Box::new(pfi::gmp::GmpStub));
-        world.add_node(vec![Box::new(gmd), Box::new(pfi), Box::new(RudpLayer::default())]);
+        world.add_node(vec![
+            Box::new(gmd),
+            Box::new(pfi),
+            Box::new(RudpLayer::default()),
+        ]);
     }
     for &p in &peers {
         world.control::<GmpReply>(p, 0, GmpControl::Start);
@@ -130,7 +171,10 @@ fn gmp_full_stack_survives_rudp_loss() {
                 }
             }
         }
-        assert!(committed_full, "{p} never committed the full view despite rudp retransmission");
+        assert!(
+            committed_full,
+            "{p} never committed the full view despite rudp retransmission"
+        );
     }
 }
 
@@ -139,9 +183,8 @@ fn pfi_layers_compose_in_one_stack() {
     // Two PFI layers stacked: the upper one drops every 4th message, the
     // lower one duplicates everything. Effects compose.
     let mut world = World::new(8);
-    let upper = PfiLayer::new(Box::new(RawStub)).with_send_filter(
-        Filter::script("incr n; if {$n % 4 == 0} { xDrop }").unwrap(),
-    );
+    let upper = PfiLayer::new(Box::new(RawStub))
+        .with_send_filter(Filter::script("incr n; if {$n % 4 == 0} { xDrop }").unwrap());
     let lower =
         PfiLayer::new(Box::new(RawStub)).with_send_filter(Filter::script("xDuplicate 1").unwrap());
 
@@ -194,10 +237,24 @@ fn pfi_kill_affects_only_its_own_stack_position() {
     // leaves the TCP state machine alive (it keeps retransmitting).
     let mut world = World::new(4);
     let (client, server, conn) = tcp_pair(&mut world, None);
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![1u8; 512] });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![1u8; 512],
+        },
+    );
     world.run_for(SimDuration::from_secs(2));
     let _: PfiReply = world.control(server, 1, PfiControl::Kill);
-    world.control::<TcpReply>(client, 0, TcpControl::Send { conn, data: vec![2u8; 512] });
+    world.control::<TcpReply>(
+        client,
+        0,
+        TcpControl::Send {
+            conn,
+            data: vec![2u8; 512],
+        },
+    );
     world.run_for(SimDuration::from_secs(30));
     let retx: Vec<_> = world
         .trace()
@@ -234,8 +291,13 @@ fn gmp_converges_over_a_fragmenting_ip_layer() {
     }
     world.run_for(SimDuration::from_secs(90));
     for &p in &peers {
-        let v = world.control::<GmpReply>(p, 0, GmpControl::Status).expect_status();
-        assert_eq!(v.group.members, peers, "{p} failed over the fragmenting stack");
+        let v = world
+            .control::<GmpReply>(p, 0, GmpControl::Status)
+            .expect_status();
+        assert_eq!(
+            v.group.members, peers,
+            "{p} failed over the fragmenting stack"
+        );
     }
     // Fragmentation really happened somewhere in the tower.
     let fragged = world
