@@ -79,6 +79,7 @@ mod filter;
 mod globals;
 mod layer;
 mod log;
+pub mod lower;
 mod stub;
 
 pub use control::{PfiControl, PfiReply};

@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Generates `None` about a quarter of the time and `Some` of the inner
+/// strategy otherwise (matching the real crate's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.coin(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

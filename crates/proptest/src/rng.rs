@@ -1,0 +1,68 @@
+//! The runner's deterministic RNG: xoshiro256++ seeded through SplitMix64,
+//! the same construction as `pfi-sim`'s `SimRng` (duplicated here so the
+//! shim stays dependency-free and usable from any crate's dev-deps).
+
+/// Deterministic random number generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// The next f64 uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[lo, hi)` (debiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        let span = hi - lo;
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let raw = self.next_u64();
+            if raw <= zone {
+                return lo + raw % span;
+            }
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}

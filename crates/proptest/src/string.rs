@@ -1,0 +1,248 @@
+//! String strategies from regex-subset patterns.
+//!
+//! A `&str` is itself a strategy (as in the real crate): the pattern is
+//! parsed into a sequence of atoms — `.`, a character class `[...]`, or a
+//! literal character (with `\` escapes) — each with an optional `*`, `?`,
+//! `{n}`, or `{n,m}` quantifier, and generation walks the sequence.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Interesting characters `.` should keep hitting even though the full
+/// char space is huge: Tcl metacharacters, whitespace, and some multibyte
+/// UTF-8 so byte-vs-char confusions surface.
+const SPICE: &[char] = &[
+    '{', '}', '[', ']', '\\', '"', '$', ';', '#', ' ', '\t', 'é', 'λ', '☃',
+];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable character (newline excluded, as in the real
+    /// crate's `.`).
+    Dot,
+    /// A character class, as the flat list of allowed characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Quant {
+    One,
+    Opt,
+    Star,
+    Between(u32, u32),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Pattern {
+    atoms: Vec<(Atom, Quant)>,
+}
+
+impl Pattern {
+    /// Parses the regex subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset — a property suite
+    /// using an unsupported pattern should fail loudly, not silently
+    /// generate the wrong distribution.
+    pub(crate) fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let lit = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                                class.push(lit);
+                                prev = Some(lit);
+                            }
+                            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                                // `lo` is already in `class`; add the rest.
+                                for u in (lo as u32 + 1)..=(hi as u32) {
+                                    class.extend(char::from_u32(u));
+                                }
+                            }
+                            other => {
+                                class.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    assert!(!class.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(class)
+                }
+                '\\' => Atom::Lit(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                ),
+                other => Atom::Lit(other),
+            };
+            let quant = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    Quant::Star
+                }
+                Some('?') => {
+                    chars.next();
+                    Quant::Opt
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('}') => break,
+                            Some(c) => spec.push(c),
+                            None => panic!("unterminated quantifier in {pattern:?}"),
+                        }
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier bound"),
+                            hi.trim().parse().expect("bad quantifier bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad quantifier bound");
+                            (n, n)
+                        }
+                    };
+                    assert!(lo <= hi, "bad quantifier {{{spec}}} in {pattern:?}");
+                    Quant::Between(lo, hi)
+                }
+                _ => Quant::One,
+            };
+            atoms.push((atom, quant));
+        }
+        Pattern { atoms }
+    }
+
+    fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Dot => {
+                if rng.coin(0.12) {
+                    SPICE[rng.below(0, SPICE.len() as u64) as usize]
+                } else {
+                    char::from_u32(rng.below(0x20, 0x7F) as u32).unwrap()
+                }
+            }
+            Atom::Class(chars) => chars[rng.below(0, chars.len() as u64) as usize],
+            Atom::Lit(c) => *c,
+        }
+    }
+}
+
+impl Strategy for Pattern {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, quant) in &self.atoms {
+            let count = match quant {
+                Quant::One => 1,
+                Quant::Opt => rng.below(0, 2),
+                // Geometric-ish: usually short, occasionally long.
+                Quant::Star => {
+                    let mut n = 0;
+                    while n < 48 && rng.coin(0.72) {
+                        n += 1;
+                    }
+                    n
+                }
+                Quant::Between(lo, hi) => rng.below(*lo as u64, *hi as u64 + 1),
+            };
+            for _ in 0..count {
+                out.push(Pattern::gen_char(atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing on every call keeps `&str` a zero-state strategy; the
+        // patterns in play are a few atoms long, so this is cheap.
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_escapes() {
+        let p = Pattern::parse("[a-cx\\]]{8}");
+        let mut rng = TestRng::seed_from(1);
+        for _ in 0..50 {
+            let s = p.generate(&mut rng);
+            assert_eq!(s.chars().count(), 8);
+            assert!(s.chars().all(|c| "abcx]".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_covers_printable_ascii() {
+        let p = Pattern::parse("[ -~]{0,30}");
+        let mut rng = TestRng::seed_from(2);
+        for _ in 0..50 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_never_emits_newline() {
+        let p = Pattern::parse(".{0,120}");
+        let mut rng = TestRng::seed_from(3);
+        for _ in 0..200 {
+            assert!(!p.generate(&mut rng).contains('\n'));
+        }
+    }
+
+    #[test]
+    fn star_lengths_vary() {
+        let p = Pattern::parse(".*");
+        let mut rng = TestRng::seed_from(4);
+        let lens: Vec<usize> = (0..100)
+            .map(|_| p.generate(&mut rng).chars().count())
+            .collect();
+        assert!(lens.iter().any(|&l| l == 0));
+        assert!(lens.iter().any(|&l| l > 4));
+    }
+
+    #[test]
+    fn literal_hyphen_at_class_edge() {
+        let p = Pattern::parse("[a-]{4}");
+        let mut rng = TestRng::seed_from(5);
+        for _ in 0..20 {
+            let s = p.generate(&mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == '-'), "{s:?}");
+        }
+    }
+}

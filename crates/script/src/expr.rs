@@ -468,9 +468,11 @@ impl ExprParser {
                             match self.bump() {
                                 Some(Tok::Comma) => continue,
                                 Some(Tok::RParen) => break,
-                                other => return Err(ScriptError::new(format!(
+                                other => {
+                                    return Err(ScriptError::new(format!(
                                     "expected \",\" or \")\" in function arguments, got {other:?}"
-                                ))),
+                                )))
+                                }
                             }
                         }
                     } else {

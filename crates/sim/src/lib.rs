@@ -51,5 +51,5 @@ pub use message::Message;
 pub use network::{LinkConfig, Network, Transit};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{DropReason, NetTrace, TraceEvent, TraceLog, TraceRecord};
+pub use trace::{DropReason, NetTrace, TimerTrace, TraceEvent, TraceLog, TraceRecord};
 pub use world::World;

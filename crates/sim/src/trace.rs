@@ -122,6 +122,48 @@ impl TraceLog {
             .collect()
     }
 
+    /// All events of type `T` from every node, in emission order, with the
+    /// emitting node attached.
+    ///
+    /// The per-node companion of [`events_of`](TraceLog::events_of), used
+    /// by trace-derived *coverage* extraction: campaign engines diff runs
+    /// by which `(node, event)` shapes appeared.
+    pub fn events_with_nodes<T: Any + Clone>(&self) -> Vec<(SimTime, NodeId, T)> {
+        self.records
+            .borrow()
+            .iter()
+            .filter_map(|r| {
+                r.event
+                    .as_ref()
+                    .as_any()
+                    .downcast_ref::<T>()
+                    .map(|e| (r.time, r.node, e.clone()))
+            })
+            .collect()
+    }
+
+    /// Per-node ordered sequences of a key derived from events of type `T`
+    /// (records where `key` returns `None` are skipped).
+    ///
+    /// Adjacent pairs of the returned sequences are the *transition edges*
+    /// of each node's observable behaviour — e.g. mapping `TcpEvent`s to
+    /// their variant name yields the per-node event-kind transition graph
+    /// a coverage-guided campaign steers by.
+    pub fn sequences_of<T: Any + Clone, K>(
+        &self,
+        key: impl Fn(&T) -> Option<K>,
+    ) -> std::collections::BTreeMap<NodeId, Vec<K>> {
+        let mut out: std::collections::BTreeMap<NodeId, Vec<K>> = std::collections::BTreeMap::new();
+        for r in self.records.borrow().iter() {
+            if let Some(e) = r.event.as_ref().as_any().downcast_ref::<T>() {
+                if let Some(k) = key(e) {
+                    out.entry(r.node).or_default().push(k);
+                }
+            }
+        }
+        out
+    }
+
     /// Visits every record matching a predicate (for queries that need the
     /// layer name or cross-type analysis).
     pub fn for_each(&self, mut f: impl FnMut(&TraceRecord)) {
@@ -179,6 +221,42 @@ pub enum NetTrace {
         len: usize,
         /// Why it was dropped.
         reason: DropReason,
+    },
+}
+
+/// Simulator-level timer life-cycle events, recorded when a world's
+/// `trace_timers` flag is set.
+///
+/// Fire/cancel pairs are a coverage signal for fault-injection campaigns:
+/// a fault that makes a protocol arm, cancel, or outlive timers it
+/// otherwise would not reaches new behaviour even when no packet-visible
+/// difference survives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimerTrace {
+    /// A layer armed a timer.
+    Set {
+        /// Name of the arming layer.
+        layer: &'static str,
+        /// The layer-private timer token.
+        token: u64,
+    },
+    /// A timer fired and was delivered to its layer.
+    Fired {
+        /// Name of the owning layer.
+        layer: &'static str,
+        /// The layer-private timer token.
+        token: u64,
+    },
+    /// A layer cancelled a pending timer.
+    Cancelled {
+        /// Name of the cancelling layer.
+        layer: &'static str,
+    },
+    /// A cancelled timer's queue entry expired without firing — the
+    /// completed half of a fire/cancel pair.
+    Suppressed {
+        /// Name of the owning layer.
+        layer: &'static str,
     },
 }
 
@@ -244,6 +322,34 @@ mod tests {
         let lines = log.render();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("EvA(9)"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn events_with_nodes_attaches_emitters() {
+        let log = TraceLog::new();
+        log.record(SimTime::from_micros(1), NodeId::new(0), "l", EvA(1));
+        log.record(SimTime::from_micros(2), NodeId::new(1), "l", EvA(2));
+        log.record(SimTime::from_micros(3), NodeId::new(0), "l", EvB("x"));
+        assert_eq!(
+            log.events_with_nodes::<EvA>(),
+            vec![
+                (SimTime::from_micros(1), NodeId::new(0), EvA(1)),
+                (SimTime::from_micros(2), NodeId::new(1), EvA(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequences_group_keys_per_node_in_order() {
+        let log = TraceLog::new();
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        log.record(SimTime::from_micros(1), n0, "l", EvA(1));
+        log.record(SimTime::from_micros(2), n1, "l", EvA(9));
+        log.record(SimTime::from_micros(3), n0, "l", EvA(2));
+        log.record(SimTime::from_micros(4), n0, "l", EvA(100));
+        let seqs = log.sequences_of::<EvA, u32>(|e| (e.0 < 50).then_some(e.0));
+        assert_eq!(seqs[&n0], vec![1, 2]);
+        assert_eq!(seqs[&n1], vec![9]);
     }
 
     #[test]

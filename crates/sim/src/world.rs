@@ -10,7 +10,7 @@ use crate::message::Message;
 use crate::network::{Network, Transit};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{DropReason, NetTrace, TraceLog};
+use crate::trace::{DropReason, NetTrace, TimerTrace, TraceLog};
 
 /// An event destined for one node's stack.
 enum NodeEvent {
@@ -102,6 +102,8 @@ pub struct World {
     cancelled_timers: HashSet<u64>,
     /// Record `NetTrace` events for every wire transmission.
     pub trace_packets: bool,
+    /// Record `TimerTrace` events for every timer set/fire/cancel.
+    pub trace_timers: bool,
 }
 
 impl World {
@@ -118,6 +120,7 @@ impl World {
             timer_seq: 0,
             cancelled_timers: HashSet::new(),
             trace_packets: false,
+            trace_timers: false,
         }
     }
 
@@ -302,6 +305,34 @@ impl World {
         self.run_until(t);
     }
 
+    /// Runs events up to virtual time `t`, but at most `max_events` of
+    /// them. Returns how many events ran; a return value equal to
+    /// `max_events` means the cap cut the run short (a message storm — the
+    /// clock is NOT advanced to `t` in that case). The cutoff depends only
+    /// on the deterministic event order, so capped runs replay exactly.
+    pub fn run_until_capped(&mut self, t: SimTime, max_events: u64) -> u64 {
+        let mut ran = 0;
+        while ran < max_events {
+            match self.queue.peek() {
+                Some(entry) if entry.at <= t => {
+                    self.step();
+                    ran += 1;
+                }
+                _ => {
+                    self.now = self.now.max(t);
+                    return ran;
+                }
+            }
+        }
+        ran
+    }
+
+    /// [`run_until_capped`](World::run_until_capped) with a duration.
+    pub fn run_for_capped(&mut self, d: SimDuration, max_events: u64) -> u64 {
+        let t = self.now + d;
+        self.run_until_capped(t, max_events)
+    }
+
     /// Runs until no events remain. Beware: protocols with periodic timers
     /// never go idle; prefer [`run_until`](World::run_until) for those.
     pub fn run_until_idle(&mut self) {
@@ -359,8 +390,27 @@ impl World {
                 self.run_node_work(node, vec![Work::Pop { layer: bottom, msg }]);
             }
             NodeEvent::Timer { layer, id, token } => {
+                let layer_name = self
+                    .trace_timers
+                    .then(|| self.nodes[node.index()].layers[layer].name());
                 if self.cancelled_timers.remove(&id.as_u64()) {
+                    if let Some(name) = layer_name {
+                        self.trace.record(
+                            self.now,
+                            node,
+                            "world",
+                            TimerTrace::Suppressed { layer: name },
+                        );
+                    }
                     return;
+                }
+                if let Some(name) = layer_name {
+                    self.trace.record(
+                        self.now,
+                        node,
+                        "world",
+                        TimerTrace::Fired { layer: name, token },
+                    );
                 }
                 self.run_node_work(node, vec![Work::Timer { layer, token }]);
             }
@@ -443,6 +493,15 @@ impl World {
                     }
                 }
                 Action::SetTimer { id, at, token } => {
+                    if self.trace_timers {
+                        let name = self.nodes[node.index()].layers[layer_idx].name();
+                        self.trace.record(
+                            self.now,
+                            node,
+                            "world",
+                            TimerTrace::Set { layer: name, token },
+                        );
+                    }
                     self.push_entry(
                         at,
                         EventKind::Node {
@@ -456,6 +515,15 @@ impl World {
                     );
                 }
                 Action::CancelTimer(id) => {
+                    if self.trace_timers {
+                        let name = self.nodes[node.index()].layers[layer_idx].name();
+                        self.trace.record(
+                            self.now,
+                            node,
+                            "world",
+                            TimerTrace::Cancelled { layer: name },
+                        );
+                    }
                     self.cancelled_timers.insert(id.as_u64());
                 }
             }
@@ -675,6 +743,71 @@ mod tests {
         let events = w.trace().events_of::<NetTrace>(None);
         // a->b sent, delivered; b->a sent, delivered.
         assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn timer_tracing_records_lifecycle() {
+        use crate::trace::TimerTrace;
+
+        /// Arms two timers on control; cancels the second when the first
+        /// fires.
+        struct TwoTimers {
+            second: Option<crate::ids::TimerId>,
+        }
+        impl Layer for TwoTimers {
+            fn name(&self) -> &'static str {
+                "two-timers"
+            }
+            fn push(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+                if token == 1 {
+                    if let Some(id) = self.second.take() {
+                        ctx.cancel_timer(id);
+                    }
+                }
+            }
+            fn control(&mut self, _op: Box<dyn Any>, ctx: &mut Context<'_>) -> Box<dyn Any> {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                self.second = Some(ctx.set_timer(SimDuration::from_millis(20), 2));
+                Box::new(())
+            }
+        }
+
+        let mut w = World::new(1);
+        w.trace_timers = true;
+        let n = w.add_node(vec![Box::new(TwoTimers { second: None })]);
+        w.control::<()>(n, 0, ());
+        w.run_for(SimDuration::from_millis(50));
+        let evs: Vec<TimerTrace> = w
+            .trace()
+            .events_of::<TimerTrace>(Some(n))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(
+            evs,
+            vec![
+                TimerTrace::Set {
+                    layer: "two-timers",
+                    token: 1
+                },
+                TimerTrace::Set {
+                    layer: "two-timers",
+                    token: 2
+                },
+                TimerTrace::Fired {
+                    layer: "two-timers",
+                    token: 1
+                },
+                TimerTrace::Cancelled {
+                    layer: "two-timers"
+                },
+                TimerTrace::Suppressed {
+                    layer: "two-timers"
+                },
+            ]
+        );
     }
 
     #[test]

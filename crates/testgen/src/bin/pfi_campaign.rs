@@ -1,19 +1,25 @@
 //! Command-line campaign runner: generate a fault-injection campaign from
-//! a bundled protocol specification and run it against the matching target.
+//! a bundled protocol specification and run it against the matching target,
+//! or run a coverage-guided exploration instead of the fixed grid.
 //!
 //! ```text
-//! pfi-campaign gmp            # full campaign against the fixed GMP
-//! pfi-campaign gmp --buggy    # against the implementation with the paper's bugs
-//! pfi-campaign tcp            # against a TCP transfer
-//! pfi-campaign tpc            # against a two-phase commit transaction
-//! pfi-campaign gmp --list     # print the generated scripts, don't run
+//! pfi-campaign gmp                      # full grid campaign, fixed GMP
+//! pfi-campaign gmp --buggy              # against the implementation with the paper's bugs
+//! pfi-campaign tcp                      # against a TCP transfer
+//! pfi-campaign tpc                      # against a two-phase commit transaction
+//! pfi-campaign gmp --list               # print the generated scripts, don't run
+//! pfi-campaign gmp --explore            # coverage-guided search instead of the grid
+//! pfi-campaign gmp --explore --budget 64 --seed 7
 //! ```
+//!
+//! Exploration prints each discovered failure as a replayable `pfi-repro`
+//! artifact (shrunk to a 1-minimal fault set).
 
 use pfi_core::Direction;
 use pfi_gmp::GmpBugs;
 use pfi_testgen::{
-    generate, run_campaign, FaultKind, GmpTarget, ProtocolSpec, TcpTarget, TestTarget, TpcTarget,
-    Verdict,
+    explore, generate, run_campaign, ExploreConfig, FaultKind, GmpTarget, ProtocolSpec, TcpTarget,
+    TestTarget, TpcTarget, Verdict,
 };
 
 fn main() {
@@ -21,6 +27,13 @@ fn main() {
     let proto = args.first().map(String::as_str).unwrap_or("gmp");
     let buggy = args.iter().any(|a| a == "--buggy");
     let list_only = args.iter().any(|a| a == "--list");
+    let explore_mode = args.iter().any(|a| a == "--explore");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
 
     let spec = match proto {
         "gmp" => ProtocolSpec::gmp(),
@@ -31,6 +44,53 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    let target: Box<dyn TestTarget> = match proto {
+        "gmp" => Box::new(GmpTarget {
+            bugs: if buggy {
+                GmpBugs::all()
+            } else {
+                GmpBugs::none()
+            },
+            fault_secs: 60,
+        }),
+        "tpc" => Box::new(TpcTarget),
+        _ => Box::new(TcpTarget::default()),
+    };
+
+    if explore_mode {
+        let mut config = ExploreConfig::default();
+        if let Some(seed) = flag_value("--seed") {
+            config.seed = seed;
+        }
+        if let Some(budget) = flag_value("--budget") {
+            config.budget = budget as usize;
+        }
+        println!(
+            "exploring {} (seed {}, budget {}, ≤{} faults per schedule)…\n",
+            proto, config.seed, config.budget, config.max_faults
+        );
+        let outcome = explore(target.as_ref(), &spec, &config);
+        println!(
+            "ran {} schedules; corpus kept {} ({} coverage edges)",
+            outcome.executed,
+            outcome.corpus.len(),
+            outcome.coverage.len()
+        );
+        for failure in &outcome.failures {
+            println!(
+                "\nVIOLATION (shrunk from {} to {} fault(s)):\n{}",
+                failure.schedule.len(),
+                failure.shrunk.len(),
+                failure.repro.to_text()
+            );
+        }
+        if !outcome.failures.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let campaign = generate(
         &spec,
         &FaultKind::default_matrix(),
@@ -49,18 +109,6 @@ fn main() {
         return;
     }
 
-    let target: Box<dyn TestTarget> = match proto {
-        "gmp" => Box::new(GmpTarget {
-            bugs: if buggy {
-                GmpBugs::all()
-            } else {
-                GmpBugs::none()
-            },
-            fault_secs: 60,
-        }),
-        "tpc" => Box::new(TpcTarget),
-        _ => Box::new(TcpTarget::default()),
-    };
     let results = run_campaign(target.as_ref(), &campaign);
 
     let mut pass = 0;

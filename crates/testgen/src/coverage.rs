@@ -1,0 +1,322 @@
+//! Trace-derived behavioural coverage.
+//!
+//! A fault-injection campaign needs a feedback signal richer than the
+//! final verdict: two schedules that both end in `Degraded` may have
+//! pushed the target through very different behaviour. [`Coverage`]
+//! extracts a set of string *edges* from a run's [`TraceLog`] — per-node
+//! protocol-event transitions, retransmission-count buckets, and timer
+//! life-cycle pairs — and the campaign engine keeps any schedule that
+//! reaches an edge no earlier schedule reached.
+//!
+//! Edges are plain strings in a `BTreeSet`, so coverage is ordered,
+//! mergeable, and byte-for-byte deterministic across runs.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pfi_gmp::GmpEvent;
+use pfi_sim::{NodeId, TimerTrace, TraceLog};
+use pfi_tcp::TcpEvent;
+use pfi_tpc::TpcEvent;
+
+/// A set of behavioural edges observed in one or more runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    edges: BTreeSet<String>,
+}
+
+impl Coverage {
+    /// An empty coverage map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts every supported coverage signal from a trace.
+    pub fn from_trace(trace: &TraceLog) -> Self {
+        let mut edges = BTreeSet::new();
+        kind_edges(trace, "gmp", gmp_kind, &mut edges);
+        kind_edges(trace, "tcp", tcp_kind, &mut edges);
+        kind_edges(trace, "tpc", tpc_kind, &mut edges);
+        retransmit_buckets(trace, &mut edges);
+        timer_edges(trace, &mut edges);
+        Coverage { edges }
+    }
+
+    /// Merges `other` in; returns how many of its edges were new.
+    pub fn merge(&mut self, other: &Coverage) -> usize {
+        let before = self.edges.len();
+        self.edges.extend(other.edges.iter().cloned());
+        self.edges.len() - before
+    }
+
+    /// Number of distinct edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether a specific edge has been observed.
+    pub fn contains(&self, edge: &str) -> bool {
+        self.edges.contains(edge)
+    }
+
+    /// The edges, in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = &str> {
+        self.edges.iter().map(String::as_str)
+    }
+
+    /// Edges in `self` that `other` lacks, in sorted order.
+    pub fn difference<'a>(&'a self, other: &'a Coverage) -> impl Iterator<Item = &'a str> {
+        self.edges.difference(&other.edges).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} edges", self.edges.len())
+    }
+}
+
+/// Per-node event-kind occurrence and transition edges for one protocol's
+/// trace event type.
+fn kind_edges<T: std::any::Any + Clone>(
+    trace: &TraceLog,
+    proto: &str,
+    kind: fn(&T) -> String,
+    out: &mut BTreeSet<String>,
+) {
+    let seqs = trace.sequences_of::<T, String>(|e| Some(kind(e)));
+    for (node, seq) in seqs {
+        for k in &seq {
+            out.insert(format!("{proto}:{node}:{k}"));
+        }
+        for w in seq.windows(2) {
+            out.insert(format!("{proto}:{node}:{}>{}", w[0], w[1]));
+        }
+    }
+}
+
+fn gmp_kind(e: &GmpEvent) -> String {
+    match e {
+        // Refine the variants whose payload distinguishes behaviour the
+        // campaign should steer toward.
+        GmpEvent::GroupView { members, .. } => format!("GroupView:{}", members.len()),
+        GmpEvent::ProclaimAnswered { to, origin } => {
+            if to == origin {
+                "ProclaimAnswered:direct".to_string()
+            } else {
+                "ProclaimAnswered:misrouted".to_string()
+            }
+        }
+        other => variant_name(other),
+    }
+}
+
+fn tcp_kind(e: &TcpEvent) -> String {
+    match e {
+        TcpEvent::SegmentSent { kind, .. } => format!("SegmentSent:{kind}"),
+        TcpEvent::Closed { reason, .. } => format!("Closed:{reason:?}"),
+        TcpEvent::Reset { sent, .. } => {
+            format!("Reset:{}", if *sent { "sent" } else { "recv" })
+        }
+        TcpEvent::PeerWindow { window, .. } => {
+            format!("PeerWindow:{}", if *window == 0 { "zero" } else { "open" })
+        }
+        other => variant_name(other),
+    }
+}
+
+fn tpc_kind(e: &TpcEvent) -> String {
+    match e {
+        TpcEvent::Voted { yes, .. } => format!("Voted:{yes}"),
+        TpcEvent::DecisionMade { commit, .. } => format!("DecisionMade:{commit}"),
+        TpcEvent::DecisionApplied { commit, .. } => format!("DecisionApplied:{commit}"),
+        other => variant_name(other),
+    }
+}
+
+/// The variant name of a `Debug`-printable enum value (the text before the
+/// first payload delimiter).
+fn variant_name(e: &impl fmt::Debug) -> String {
+    let s = format!("{e:?}");
+    s.split(['(', '{', ' '])
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Buckets a count into a small stable label so coverage saturates instead
+/// of growing one edge per count value.
+fn bucket(n: usize) -> &'static str {
+    match n {
+        0 => "0",
+        1 => "1",
+        2 => "2",
+        3..=4 => "le4",
+        5..=8 => "le8",
+        _ => "gt8",
+    }
+}
+
+fn retransmit_buckets(trace: &TraceLog, out: &mut BTreeSet<String>) {
+    let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (_, node, e) in trace.events_with_nodes::<TcpEvent>() {
+        if matches!(
+            e,
+            TcpEvent::Retransmit { .. } | TcpEvent::FastRetransmit { .. }
+        ) {
+            *per_node.entry(node).or_default() += 1;
+        }
+    }
+    for (node, count) in per_node {
+        out.insert(format!("tcp:{node}:retx:{}", bucket(count)));
+    }
+}
+
+fn timer_edges(trace: &TraceLog, out: &mut BTreeSet<String>) {
+    // Group the timer life-cycle stream per (node, owning layer); adjacent
+    // pairs are the fire/cancel edges.
+    let mut per_owner: BTreeMap<(NodeId, &'static str), Vec<&'static str>> = BTreeMap::new();
+    let mut fired: BTreeMap<(NodeId, &'static str), usize> = BTreeMap::new();
+    for (_, node, e) in trace.events_with_nodes::<TimerTrace>() {
+        let (layer, kind) = match e {
+            TimerTrace::Set { layer, .. } => (layer, "Set"),
+            TimerTrace::Fired { layer, .. } => {
+                *fired.entry((node, layer)).or_default() += 1;
+                (layer, "Fired")
+            }
+            TimerTrace::Cancelled { layer } => (layer, "Cancelled"),
+            TimerTrace::Suppressed { layer } => (layer, "Suppressed"),
+        };
+        per_owner.entry((node, layer)).or_default().push(kind);
+    }
+    for ((node, layer), seq) in per_owner {
+        for k in &seq {
+            out.insert(format!("timer:{node}:{layer}:{k}"));
+        }
+        for w in seq.windows(2) {
+            out.insert(format!("timer:{node}:{layer}:{}>{}", w[0], w[1]));
+        }
+    }
+    for ((node, layer), count) in fired {
+        out.insert(format!("timer:{node}:{layer}:fired:{}", bucket(count)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfi_sim::SimTime;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn gmp_edges_include_occurrences_and_transitions() {
+        let log = TraceLog::new();
+        log.record(SimTime::from_micros(1), n(0), "gmd", GmpEvent::Started);
+        log.record(
+            SimTime::from_micros(2),
+            n(0),
+            "gmd",
+            GmpEvent::GroupView {
+                gid: 1,
+                members: vec![0, 1, 2],
+                leader: 0,
+            },
+        );
+        let cov = Coverage::from_trace(&log);
+        assert!(cov.contains("gmp:n0:Started"), "{:?}", cov);
+        assert!(cov.contains("gmp:n0:GroupView:3"));
+        assert!(cov.contains("gmp:n0:Started>GroupView:3"));
+    }
+
+    #[test]
+    fn misrouted_proclaims_are_a_distinct_edge() {
+        let log = TraceLog::new();
+        log.record(
+            SimTime::ZERO,
+            n(0),
+            "gmd",
+            GmpEvent::ProclaimAnswered { to: 2, origin: 1 },
+        );
+        let cov = Coverage::from_trace(&log);
+        assert!(cov.contains("gmp:n0:ProclaimAnswered:misrouted"));
+        assert!(!cov.contains("gmp:n0:ProclaimAnswered:direct"));
+    }
+
+    #[test]
+    fn retransmissions_bucket_per_node() {
+        let log = TraceLog::new();
+        for i in 0..6 {
+            log.record(
+                SimTime::from_micros(i),
+                n(0),
+                "tcp",
+                TcpEvent::Retransmit {
+                    conn: 0,
+                    seq: i as u32,
+                    nth: 1,
+                    next_rto: pfi_sim::SimDuration::from_secs(1),
+                },
+            );
+        }
+        let cov = Coverage::from_trace(&log);
+        assert!(cov.contains("tcp:n0:retx:le8"), "{:?}", cov);
+    }
+
+    #[test]
+    fn timer_pairs_become_edges() {
+        let log = TraceLog::new();
+        log.record(
+            SimTime::from_micros(1),
+            n(1),
+            "world",
+            TimerTrace::Set {
+                layer: "gmd",
+                token: 1,
+            },
+        );
+        log.record(
+            SimTime::from_micros(2),
+            n(1),
+            "world",
+            TimerTrace::Cancelled { layer: "gmd" },
+        );
+        log.record(
+            SimTime::from_micros(3),
+            n(1),
+            "world",
+            TimerTrace::Suppressed { layer: "gmd" },
+        );
+        let cov = Coverage::from_trace(&log);
+        assert!(cov.contains("timer:n1:gmd:Set>Cancelled"), "{:?}", cov);
+        assert!(cov.contains("timer:n1:gmd:Cancelled>Suppressed"));
+    }
+
+    #[test]
+    fn merge_reports_only_new_edges() {
+        let log = TraceLog::new();
+        log.record(SimTime::ZERO, n(0), "gmd", GmpEvent::Started);
+        let one = Coverage::from_trace(&log);
+        let mut acc = Coverage::new();
+        assert_eq!(acc.merge(&one), one.len());
+        assert_eq!(acc.merge(&one), 0);
+        log.record(
+            SimTime::from_micros(1),
+            n(0),
+            "gmd",
+            GmpEvent::FormedSingleton,
+        );
+        let two = Coverage::from_trace(&log);
+        // Started>FormedSingleton and FormedSingleton are the new edges.
+        assert_eq!(acc.merge(&two), 2);
+        assert!(acc.difference(&one).count() == 2);
+    }
+}

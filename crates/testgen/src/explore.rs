@@ -1,0 +1,177 @@
+//! The coverage-guided campaign engine.
+//!
+//! Where [`crate::generate`] enumerates a fixed grid, [`explore`] *searches*:
+//! starting from the fault-free baseline, it repeatedly picks a corpus
+//! schedule, mutates it under a seeded RNG, runs the mutant against a fresh
+//! target, and keeps it iff it reaches coverage no earlier schedule
+//! reached. Violations are delta-debugged to 1-minimal fault sets and
+//! rendered as replayable [`Repro`] artifacts. Everything — corpus order,
+//! coverage, artifact bytes — is a pure function of the seed and budget.
+
+use pfi_sim::SimRng;
+
+use crate::coverage::Coverage;
+use crate::repro::Repro;
+use crate::runner::{run_schedule, TestTarget, Verdict};
+use crate::schedule::{FaultSchedule, ScheduleMutator};
+use crate::shrink::shrink_schedule;
+use crate::spec::ProtocolSpec;
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Seed for every mutation / corpus-selection decision.
+    pub seed: u64,
+    /// How many mutants to attempt (the run budget).
+    pub budget: usize,
+    /// Maximum faults per schedule.
+    pub max_faults: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seed: 0x7061_7065_7266_6975, // "paperfiu"
+            budget: 48,
+            max_faults: 3,
+        }
+    }
+}
+
+/// One campaign-found, shrunk failure.
+#[derive(Debug, Clone)]
+pub struct FoundFailure {
+    /// The schedule as the search first found it.
+    pub schedule: FaultSchedule,
+    /// Its 1-minimal shrunk form.
+    pub shrunk: FaultSchedule,
+    /// Name of the violated oracle.
+    pub oracle: String,
+    /// The violation message.
+    pub message: String,
+    /// The replayable artifact.
+    pub repro: Repro,
+}
+
+/// Everything an exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Schedules that each reached new coverage, in discovery order
+    /// (index 0 is the fault-free baseline).
+    pub corpus: Vec<FaultSchedule>,
+    /// The union of all reached coverage.
+    pub coverage: Coverage,
+    /// Shrunk failures, deduplicated by their minimal schedule.
+    pub failures: Vec<FoundFailure>,
+    /// How many schedules actually ran: the baseline plus every novel
+    /// mutation (≤ budget + 1), plus the re-executions shrinking performs
+    /// for each found failure.
+    pub executed: usize,
+}
+
+impl ExploreOutcome {
+    /// A stable digest of the whole outcome; two explorations are
+    /// byte-identical iff their digests are equal.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        out.push_str("corpus:\n");
+        for s in &self.corpus {
+            out.push_str(&format!("  {}\n", s.id()));
+        }
+        out.push_str("coverage:\n");
+        for e in self.coverage.edges() {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out.push_str("failures:\n");
+        for f in &self.failures {
+            out.push_str(&f.repro.to_text());
+        }
+        out
+    }
+}
+
+/// Runs a coverage-guided exploration of `target` within `config.budget`.
+pub fn explore(
+    target: &dyn TestTarget,
+    spec: &ProtocolSpec,
+    config: &ExploreConfig,
+) -> ExploreOutcome {
+    let mut rng = SimRng::seed_from(config.seed);
+    let mutator = ScheduleMutator::new(spec, target.node_count(), target.fault_sites());
+
+    let baseline = FaultSchedule::empty();
+    let base_run = run_schedule(target, &baseline);
+    let mut coverage = base_run.coverage;
+    let mut corpus = vec![baseline.clone()];
+    let mut executed = 1usize;
+
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(baseline.id());
+    let mut failures: Vec<FoundFailure> = Vec::new();
+    let mut failure_keys = std::collections::BTreeSet::new();
+
+    for _ in 0..config.budget {
+        let parent = &corpus[rng.uniform_u64(0, corpus.len() as u64) as usize];
+        let candidate = mutator.mutate(parent, config.max_faults, &mut rng);
+        if !seen.insert(candidate.id()) {
+            continue; // Already ran this exact schedule; the attempt still
+                      // counts against the budget.
+        }
+        let run = run_schedule(target, &candidate);
+        executed += 1;
+        if coverage.merge(&run.coverage) > 0 {
+            corpus.push(candidate.clone());
+        }
+        let Verdict::Violated(_) = &run.verdict else {
+            continue;
+        };
+        let oracle = run.oracle.clone().unwrap_or_else(|| "target".to_string());
+        // Shrink against the *same* oracle: the minimal schedule must
+        // reproduce this failure, not just any failure.
+        let shrunk = shrink_schedule(&candidate, |s| {
+            let rerun = run_schedule(target, s);
+            executed += 1;
+            rerun.verdict.is_violation() && rerun.oracle.as_deref() == Some(oracle.as_str())
+        });
+        if !failure_keys.insert((oracle.clone(), shrunk.id())) {
+            continue; // Same minimal failure already reported.
+        }
+        let final_run = run_schedule(target, &shrunk);
+        executed += 1;
+        let message = match &final_run.verdict {
+            // The verdict text is "oracle-name: message"; the artifact keeps
+            // the oracle on its own line, so store the bare message.
+            Verdict::Violated(m) => m
+                .strip_prefix(&format!("{oracle}: "))
+                .unwrap_or(m)
+                .to_string(),
+            other => unreachable!("shrunk schedule stopped failing: {other:?}"),
+        };
+        failures.push(FoundFailure {
+            schedule: candidate,
+            shrunk: shrunk.clone(),
+            oracle: oracle.clone(),
+            message: message.clone(),
+            repro: Repro {
+                target: target.name().to_string(),
+                seed: target.seed(),
+                oracle,
+                message,
+                schedule: shrunk,
+            },
+        });
+    }
+
+    ExploreOutcome {
+        corpus,
+        coverage,
+        failures,
+        executed,
+    }
+}
+
+/// Replays a repro artifact against a target; the returned run should
+/// reproduce the recorded violation (asserted by callers, not here).
+pub fn replay(target: &dyn TestTarget, repro: &Repro) -> crate::runner::ScheduleRun {
+    run_schedule(target, &repro.schedule)
+}

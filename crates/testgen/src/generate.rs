@@ -6,6 +6,7 @@
 //! generated case is an ordinary PFI filter script that could equally have
 //! been written by hand, and each is verified to parse at generation time.
 
+use pfi_core::lower::{Clause, FaultAction, FilterProgram, Window};
 use pfi_core::Direction;
 use pfi_script::Script;
 use pfi_sim::SimDuration;
@@ -93,29 +94,37 @@ impl Campaign {
     }
 }
 
-fn emit_script(msg_type: &str, fault: FaultKind) -> String {
-    let guard = format!(r#"if {{[msg_type] == "{msg_type}"}}"#);
-    match fault {
-        FaultKind::Drop => format!("{guard} {{ xDrop cur_msg }}\n"),
-        FaultKind::DropAfter(n) => format!(
-            "{guard} {{\n    incr seen_{var}\n    if {{$seen_{var} > {n}}} {{ xDrop cur_msg }}\n}}\n",
-            var = sanitize(msg_type),
-        ),
-        FaultKind::Delay(d) => format!("{guard} {{ xDelay {} }}\n", d.as_millis()),
-        FaultKind::Duplicate => format!("{guard} {{ xDuplicate 1 }}\n"),
-        FaultKind::CorruptByte(off) => format!(
-            "{guard} {{\n    set b [msg_byte {off}]\n    msg_set_byte {off} [expr {{($b ^ 0x40) & 0xFF}}]\n}}\n"
-        ),
-        FaultKind::DropToDest(dst) => {
-            format!("{guard} {{\n    if {{[msg_dst] == {dst}}} {{ xDrop cur_msg }}\n}}\n")
+impl FaultKind {
+    /// The typed clause this fault lowers to, targeting one message type.
+    pub fn to_clause(self, msg_type: &str) -> Clause {
+        let (dst, window, action) = match self {
+            FaultKind::Drop => (None, Window::All, FaultAction::Drop),
+            FaultKind::DropAfter(n) => (None, Window::After(n), FaultAction::Drop),
+            FaultKind::Delay(d) => (None, Window::All, FaultAction::DelayMs(d.as_millis())),
+            FaultKind::Duplicate => (None, Window::All, FaultAction::Duplicate(1)),
+            FaultKind::CorruptByte(off) => (
+                None,
+                Window::All,
+                FaultAction::CorruptByte {
+                    offset: off,
+                    mask: 0x40,
+                },
+            ),
+            FaultKind::DropToDest(dst) => (Some(dst), Window::All, FaultAction::Drop),
+        };
+        Clause {
+            msg_type: Some(msg_type.to_string()),
+            dst,
+            window,
+            action,
         }
     }
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+fn emit_script(msg_type: &str, fault: FaultKind) -> String {
+    FilterProgram::new()
+        .clause(fault.to_clause(msg_type))
+        .emit()
 }
 
 /// Generates the full cross product of message types × faults × directions.
@@ -196,12 +205,16 @@ mod tests {
     }
 
     #[test]
-    fn drop_after_uses_per_type_counters() {
+    fn drop_after_counts_before_dropping() {
         let spec = ProtocolSpec::new("toy", &[("A-B", crate::spec::Role::Data)]);
         let campaign = generate(&spec, &[FaultKind::DropAfter(3)], &[Direction::Send]);
-        // Hyphens in type names must not break variable names.
-        assert!(campaign.cases[0].script.contains("seen_A_B"));
-        assert!(Script::parse(&campaign.cases[0].script).is_ok());
+        // Hyphens in type names must not break the lowering.
+        let script = &campaign.cases[0].script;
+        assert!(
+            script.contains("incr") && script.contains("> 3"),
+            "{script}"
+        );
+        assert!(Script::parse(script).is_ok());
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! # pfi-testgen — test-script generation from protocol specifications
+//! # pfi-testgen — test generation and coverage-guided fault campaigns
 //!
 //! The paper closes with three future directions; the second is "automatic
 //! generation of test scripts from a protocol specification". This crate
-//! implements it: a [`ProtocolSpec`] lists a protocol's message types and
-//! their roles, [`generate`] crosses them with a [`FaultKind`] matrix and
-//! both filter directions, and every product is an ordinary PFI Tcl filter
-//! script (parse-checked at generation time). [`run_campaign`] then applies
-//! each script to a fresh instance of a [`TestTarget`] — a GMP cluster or a
-//! TCP transfer — and checks the target's invariants.
+//! implements it twice over:
+//!
+//! * **Grid generation** — a [`ProtocolSpec`] lists a protocol's message
+//!   types and roles, [`generate`] crosses them with a [`FaultKind`] matrix
+//!   and both filter directions, and every product is an ordinary PFI Tcl
+//!   filter script (parse-checked at generation time). [`run_campaign`]
+//!   applies each to a fresh [`TestTarget`] and checks its invariants.
+//! * **Coverage-guided exploration** — [`explore`] searches over composed
+//!   [`FaultSchedule`]s instead: seeded mutation ([`ScheduleMutator`]),
+//!   trace-derived [`Coverage`] as the keep/discard signal, [`Oracle`]s as
+//!   the judges, delta-debugging ([`shrink_schedule`]) to 1-minimal
+//!   failures, and replayable text [`Repro`] artifacts.
 //!
 //! # Examples
 //!
@@ -26,15 +32,45 @@
 //!     .unwrap();
 //! assert!(commit_case.script.contains("xDrop"));
 //! ```
+//!
+//! A tiny exploration of the (fixed) GMP target:
+//!
+//! ```no_run
+//! use pfi_testgen::{explore, ExploreConfig, GmpTarget, ProtocolSpec};
+//!
+//! let outcome = explore(
+//!     &GmpTarget::default(),
+//!     &ProtocolSpec::gmp(),
+//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2 },
+//! );
+//! assert!(outcome.coverage.len() > 0);
+//! ```
 
 #![warn(missing_docs)]
 
+mod coverage;
+mod explore;
 mod generate;
+mod oracle;
+mod repro;
 mod runner;
+mod schedule;
+mod shrink;
 mod spec;
 
+pub use coverage::Coverage;
+pub use explore::{explore, replay, ExploreConfig, ExploreOutcome, FoundFailure};
 pub use generate::{generate, Campaign, FaultKind, TestCase};
-pub use runner::{
-    run_campaign, run_case, CaseResult, GmpTarget, TcpTarget, TestTarget, TpcTarget, Verdict,
+pub use oracle::{
+    first_violation, DeliveredStream, GmpAgreementOracle, GmpLeaderUniquenessOracle,
+    GmpNoSelfDeathOracle, GmpProclaimRoutingOracle, GmpTimerDisciplineOracle, Oracle,
+    TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
 };
+pub use repro::Repro;
+pub use runner::{
+    run_campaign, run_case, run_schedule, CaseResult, GmpTarget, ScheduleRun, TcpTarget,
+    TestTarget, TpcTarget, Verdict, DRIVE_EVENT_CAP,
+};
+pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
+pub use shrink::shrink_schedule;
 pub use spec::{MessageSpec, ProtocolSpec, Role};

@@ -1,5 +1,6 @@
-//! Campaign runner: applies generated scripts to a target system and
-//! checks the target's invariants.
+//! Campaign runner: applies generated scripts or fault schedules to a
+//! target system, extracts coverage, and judges the run with the target's
+//! oracles.
 
 use pfi_core::{Direction, Filter, PfiControl, PfiReply};
 use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStub};
@@ -8,7 +9,14 @@ use pfi_sim::{NodeId, SimDuration, World};
 use pfi_tcp::{ConnId, TcpControl, TcpLayer, TcpProfile, TcpReply, TcpStub};
 use pfi_tpc::{TpcControl, TpcEvent, TpcLayer, TpcReply, TpcStub};
 
+use crate::coverage::Coverage;
 use crate::generate::{Campaign, TestCase};
+use crate::oracle::{
+    first_violation, DeliveredStream, GmpAgreementOracle, GmpLeaderUniquenessOracle,
+    GmpNoSelfDeathOracle, GmpProclaimRoutingOracle, GmpTimerDisciplineOracle, Oracle,
+    TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
+};
+use crate::schedule::{FaultSchedule, SiteScripts};
 
 /// Outcome of one test case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,23 +36,81 @@ impl Verdict {
     }
 }
 
-/// One case's result.
+/// One case's result — enough to diagnose and replay the case without
+/// re-running the whole campaign.
 #[derive(Debug, Clone)]
 pub struct CaseResult {
     /// The case id from the campaign.
     pub case_id: String,
+    /// The target's world seed the case ran under.
+    pub seed: u64,
+    /// The generated filter script the case installed.
+    pub script: String,
     /// The verdict.
     pub verdict: Verdict,
+    /// Name of the violated oracle, when `verdict` is a violation found by
+    /// one (service-level violations from the target itself leave this
+    /// empty).
+    pub oracle: Option<String>,
+    /// Behavioural coverage the run reached.
+    pub coverage: Coverage,
 }
+
+/// Outcome of running one [`FaultSchedule`].
+#[derive(Debug, Clone)]
+pub struct ScheduleRun {
+    /// The schedule's stable id.
+    pub schedule_id: String,
+    /// The target's world seed.
+    pub seed: u64,
+    /// The lowered per-site filter scripts.
+    pub scripts: Vec<SiteScripts>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Name of the violated oracle, if any.
+    pub oracle: Option<String>,
+    /// Behavioural coverage the run reached.
+    pub coverage: Coverage,
+}
+
+/// Per-run event budget for target drives. A healthy run of any bundled
+/// target is a few thousand events; fault compositions that amplify
+/// messages (duplicate + proclaim forwarding, say) can storm into the
+/// millions and stall a campaign. The cap cuts such runs short
+/// deterministically — the truncated trace still yields coverage and is
+/// still judged by the oracles.
+pub const DRIVE_EVENT_CAP: u64 = 250_000;
 
 /// A system a campaign can be run against.
 pub trait TestTarget {
-    /// Builds a fresh instance; returns the world plus the node and stack
-    /// index of the PFI layer the case's filter is installed on.
-    fn build(&self) -> (World, NodeId, usize);
+    /// Short stable name (used in repro artifacts).
+    fn name(&self) -> &'static str;
+    /// The world seed every run of this target uses.
+    fn seed(&self) -> u64;
+    /// How many nodes the target builds (bounds destination faults).
+    fn node_count(&self) -> u32;
+    /// How many fault sites [`build`](TestTarget::build) returns (bounds
+    /// a schedule's `site` indices without building a world).
+    fn fault_sites(&self) -> u32 {
+        1
+    }
+    /// Which fault site grid-generated single-script cases install on.
+    fn primary_site(&self) -> usize {
+        0
+    }
+    /// Builds a fresh instance; returns the world plus the fault sites —
+    /// each a `(node, stack index)` of a PFI layer schedules can put
+    /// filters on. Must return exactly
+    /// [`fault_sites`](TestTarget::fault_sites) entries.
+    fn build(&self) -> (World, Vec<(NodeId, usize)>);
     /// Drives the system through the test.
     fn drive(&self, world: &mut World);
-    /// Checks invariants after the run.
+    /// Records end-of-run facts into the trace (e.g. the delivered byte
+    /// stream) before the oracles judge it.
+    fn harvest(&self, _world: &mut World) {}
+    /// The invariant oracles judging a finished run's trace.
+    fn oracles(&self) -> Vec<Box<dyn Oracle>>;
+    /// Service-level check after the oracles pass: `Pass` or `Degraded`.
     fn verdict(&self, world: &mut World) -> Verdict;
 }
 
@@ -57,28 +123,97 @@ pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseRes
         .collect()
 }
 
-/// Runs a single case.
+/// Runs a single grid-generated case (on the target's primary site).
 pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
-    let (mut world, node, pfi_layer) = target.build();
-    let filter = Filter::script(&case.script).expect("generated scripts always parse");
-    let op = match case.dir {
-        Direction::Send => PfiControl::SetSendFilter(filter),
-        Direction::Receive => PfiControl::SetRecvFilter(filter),
+    let script = SiteScripts {
+        site: target.primary_site() as u32,
+        send: match case.dir {
+            Direction::Send => case.script.clone(),
+            Direction::Receive => String::new(),
+        },
+        recv: match case.dir {
+            Direction::Send => String::new(),
+            Direction::Receive => case.script.clone(),
+        },
     };
-    let _: PfiReply = world.control(node, pfi_layer, op);
-    target.drive(&mut world);
+    let (verdict, oracle, coverage) = execute(target, std::slice::from_ref(&script));
     CaseResult {
         case_id: case.id.clone(),
-        verdict: target.verdict(&mut world),
+        seed: target.seed(),
+        script: case.script.clone(),
+        verdict,
+        oracle,
+        coverage,
     }
+}
+
+/// Runs one fault schedule: lowers it, installs the filters on each fault
+/// site it touches, and judges the run.
+pub fn run_schedule(target: &dyn TestTarget, schedule: &FaultSchedule) -> ScheduleRun {
+    let scripts = schedule.lower();
+    let (verdict, oracle, coverage) = execute(target, &scripts);
+    ScheduleRun {
+        schedule_id: schedule.id(),
+        seed: target.seed(),
+        scripts,
+        verdict,
+        oracle,
+        coverage,
+    }
+}
+
+/// The shared execution path: build, arm timer tracing, install filters,
+/// drive, harvest, extract coverage, judge.
+///
+/// Panics if a script addresses a site index the target does not have —
+/// that means a repro artifact written for a different target.
+fn execute(
+    target: &dyn TestTarget,
+    scripts: &[SiteScripts],
+) -> (Verdict, Option<String>, Coverage) {
+    let (mut world, sites) = target.build();
+    // Timer life-cycle records are a coverage signal; trace them for the
+    // driven phase (build-time convergence stays untraced on purpose).
+    world.trace_timers = true;
+    for s in scripts {
+        let &(node, pfi_layer) = sites.get(s.site as usize).unwrap_or_else(|| {
+            panic!(
+                "schedule addresses fault site n{} but target {:?} has only {}",
+                s.site,
+                target.name(),
+                sites.len()
+            )
+        });
+        for (script, make_op) in [
+            (&s.send, PfiControl::SetSendFilter as fn(Filter) -> _),
+            (&s.recv, PfiControl::SetRecvFilter as fn(Filter) -> _),
+        ] {
+            if !script.is_empty() {
+                let filter = Filter::script(script).expect("generated scripts always parse");
+                let _: PfiReply = world.control(node, pfi_layer, make_op(filter));
+            }
+        }
+    }
+    target.drive(&mut world);
+    target.harvest(&mut world);
+    let coverage = Coverage::from_trace(world.trace());
+    if let Some((name, msg)) = first_violation(&target.oracles(), world.trace()) {
+        return (
+            Verdict::Violated(format!("{name}: {msg}")),
+            Some(name.to_string()),
+            coverage,
+        );
+    }
+    (target.verdict(&mut world), None, coverage)
 }
 
 // ---------------------------------------------------------------------
 // GMP target
 // ---------------------------------------------------------------------
 
-/// A three-daemon GMP cluster; the case filter is installed on node 1
-/// (a non-leader member).
+/// A three-daemon GMP cluster. Every daemon's PFI layer is a fault site
+/// (site index = node index); grid-generated single-script cases fault
+/// node 1, a non-leader member.
 #[derive(Debug, Clone)]
 pub struct GmpTarget {
     /// Which implementation bugs are present.
@@ -103,8 +238,28 @@ impl GmpTarget {
 }
 
 impl TestTarget for GmpTarget {
-    fn build(&self) -> (World, NodeId, usize) {
-        let mut world = World::new(4242);
+    fn name(&self) -> &'static str {
+        "gmp"
+    }
+
+    fn seed(&self) -> u64 {
+        4242
+    }
+
+    fn node_count(&self) -> u32 {
+        3
+    }
+
+    fn fault_sites(&self) -> u32 {
+        3
+    }
+
+    fn primary_site(&self) -> usize {
+        1 // grid cases fault node 1, a non-leader member
+    }
+
+    fn build(&self) -> (World, Vec<(NodeId, usize)>) {
+        let mut world = World::new(self.seed());
         let peers = Self::peers();
         for _ in 0..3 {
             let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(self.bugs));
@@ -119,49 +274,28 @@ impl TestTarget for GmpTarget {
         }
         // Converge before the fault is installed.
         world.run_for(SimDuration::from_secs(40));
-        (world, peers[1], 1)
+        let sites = peers.iter().map(|&p| (p, 1)).collect();
+        (world, sites)
     }
 
     fn drive(&self, world: &mut World) {
-        world.run_for(SimDuration::from_secs(self.fault_secs));
+        world.run_for_capped(SimDuration::from_secs(self.fault_secs), DRIVE_EVENT_CAP);
+    }
+
+    fn oracles(&self) -> Vec<Box<dyn Oracle>> {
+        vec![
+            Box::new(GmpAgreementOracle),
+            Box::new(GmpLeaderUniquenessOracle),
+            Box::new(GmpNoSelfDeathOracle),
+            Box::new(GmpProclaimRoutingOracle),
+            Box::new(GmpTimerDisciplineOracle),
+        ]
     }
 
     fn verdict(&self, world: &mut World) -> Verdict {
         let peers = Self::peers();
-        // Invariant 1: agreement — same group id, same member list, across
-        // every committed view anywhere.
-        let mut by_gid: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
-        for &p in &peers {
-            for (_, e) in world.trace().events_of::<GmpEvent>(Some(p)) {
-                match e {
-                    GmpEvent::GroupView { gid, members, .. } => match by_gid.get(&gid) {
-                        None => {
-                            by_gid.insert(gid, members);
-                        }
-                        Some(existing) => {
-                            if *existing != members {
-                                return Verdict::Violated(format!(
-                                    "view disagreement for gid {gid}: {existing:?} vs {members:?}"
-                                ));
-                            }
-                        }
-                    },
-                    // Invariant 2: a daemon must never declare itself dead.
-                    GmpEvent::SelfDeclaredDead => {
-                        return Verdict::Violated(format!("{p} declared itself dead"));
-                    }
-                    // Invariant 3: no timers may fire inside a transition.
-                    GmpEvent::SpuriousTimerInTransition { suspect } => {
-                        return Verdict::Violated(format!(
-                            "{p} saw a stale timer for n{suspect} while in transition"
-                        ));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        // Invariant 4 (liveness): the two unfaulted daemons (0 and 2) must
-        // end up Up, agreeing, and together.
+        // Liveness: the two unfaulted daemons (0 and 2) must end up Up,
+        // agreeing, and together.
         let v0 = world
             .control::<GmpReply>(peers[0], 0, GmpControl::Status)
             .expect_status();
@@ -239,78 +373,21 @@ impl TcpTarget {
     const CONN: ConnId = ConnId(0);
 }
 
-// ---------------------------------------------------------------------
-// 2PC target
-// ---------------------------------------------------------------------
-
-/// A coordinator plus three participants running one transaction; the case
-/// filter is installed on participant 1's PFI layer.
-///
-/// Invariant: **decision agreement** — no two nodes ever apply conflicting
-/// decisions for the same transaction. Faults may block participants or
-/// abort the transaction (degradation), never split the decision.
-#[derive(Debug, Clone, Default)]
-pub struct TpcTarget;
-
-impl TestTarget for TpcTarget {
-    fn build(&self) -> (World, NodeId, usize) {
-        let mut world = World::new(555);
-        for _ in 0..4 {
-            world.add_node(vec![
-                Box::new(TpcLayer::default()),
-                Box::new(pfi_core::PfiLayer::new(Box::new(TpcStub))),
-                Box::new(RudpLayer::default()),
-            ]);
-        }
-        (world, NodeId::new(1), 1)
-    }
-
-    fn drive(&self, world: &mut World) {
-        let participants: Vec<NodeId> = (1..4).map(NodeId::new).collect();
-        world.control::<TpcReply>(
-            NodeId::new(0),
-            0,
-            TpcControl::Begin {
-                txid: 1,
-                participants,
-            },
-        );
-        world.run_for(SimDuration::from_secs(60));
-    }
-
-    fn verdict(&self, world: &mut World) -> Verdict {
-        let mut decision: Option<bool> = None;
-        let mut blocked = 0usize;
-        for i in 0..4 {
-            for (_, e) in world.trace().events_of::<TpcEvent>(Some(NodeId::new(i))) {
-                match e {
-                    TpcEvent::DecisionApplied { commit, .. }
-                    | TpcEvent::DecisionMade { commit, .. } => match decision {
-                        None => decision = Some(commit),
-                        Some(d) if d != commit => {
-                            return Verdict::Violated(format!("decision split: {d} vs {commit}"))
-                        }
-                        _ => {}
-                    },
-                    TpcEvent::Blocked { .. } => blocked += 1,
-                    _ => {}
-                }
-            }
-        }
-        if blocked > 0 {
-            return Verdict::Degraded(format!("{blocked} participant(s) blocked in uncertainty"));
-        }
-        match decision {
-            Some(true) => Verdict::Pass,
-            Some(false) => Verdict::Degraded("transaction aborted".to_string()),
-            None => Verdict::Degraded("no decision reached".to_string()),
-        }
-    }
-}
-
 impl TestTarget for TcpTarget {
-    fn build(&self) -> (World, NodeId, usize) {
-        let mut world = World::new(777);
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn seed(&self) -> u64 {
+        777
+    }
+
+    fn node_count(&self) -> u32 {
+        2
+    }
+
+    fn build(&self) -> (World, Vec<(NodeId, usize)>) {
+        let mut world = World::new(self.seed());
         let client = world.add_node(vec![Box::new(TcpLayer::new(self.profile.clone()))]);
         let server = world.add_node(vec![
             Box::new(TcpLayer::new(TcpProfile::rfc_reference())),
@@ -320,7 +397,7 @@ impl TestTarget for TcpTarget {
         // Open the connection only after the fault is installed — SYN-path
         // faults are part of the campaign.
         let _ = client;
-        (world, server, 1)
+        (world, vec![(server, 1)])
     }
 
     fn drive(&self, world: &mut World) {
@@ -346,35 +423,149 @@ impl TestTarget for TcpTarget {
                 data: payload,
             },
         );
-        world.run_for(SimDuration::from_secs(self.fault_secs));
+        world.run_for_capped(SimDuration::from_secs(self.fault_secs), DRIVE_EVENT_CAP);
     }
 
-    fn verdict(&self, world: &mut World) -> Verdict {
-        let payload = self.payload();
+    fn harvest(&self, world: &mut World) {
+        // Take whatever the server-side application can read and record it
+        // for the stream oracles (RecvTake consumes, so this happens once).
         let sconn =
             match world.control::<TcpReply>(Self::server(), 0, TcpControl::AcceptedOn { port: 80 })
             {
                 TcpReply::MaybeConn(Some(c)) => c,
-                _ => return Verdict::Degraded("connection never established".to_string()),
+                _ => return,
             };
-        let got = world
+        let data = world
             .control::<TcpReply>(Self::server(), 0, TcpControl::RecvTake { conn: sconn })
             .expect_data();
-        // The integrity invariant: whatever arrives must be an exact prefix.
-        if got.len() > payload.len() || got[..] != payload[..got.len()] {
-            return Verdict::Violated(format!(
-                "delivered {} bytes that are not a prefix of the sent stream",
-                got.len()
-            ));
-        }
-        if got.len() == payload.len() {
+        let now = world.now();
+        world.trace().record(
+            now,
+            Self::server(),
+            "testgen",
+            DeliveredStream {
+                conn: sconn.0,
+                data,
+            },
+        );
+    }
+
+    fn oracles(&self) -> Vec<Box<dyn Oracle>> {
+        vec![
+            Box::new(TcpPrefixOracle {
+                expected: self.payload(),
+            }),
+            Box::new(TcpNoSilentCloseOracle),
+            Box::new(TcpRtoBoundsOracle::default()),
+        ]
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        let streams = world
+            .trace()
+            .events_of::<DeliveredStream>(Some(Self::server()));
+        let Some((_, stream)) = streams.first() else {
+            return Verdict::Degraded("connection never established".to_string());
+        };
+        if stream.data.len() == self.payload_len {
             Verdict::Pass
         } else {
             Verdict::Degraded(format!(
                 "only {}/{} bytes arrived",
-                got.len(),
-                payload.len()
+                stream.data.len(),
+                self.payload_len
             ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2PC target
+// ---------------------------------------------------------------------
+
+/// A coordinator plus three participants running one transaction. Every
+/// node's PFI layer is a fault site (site index = node index);
+/// grid-generated cases fault participant 1.
+///
+/// Invariant: **decision agreement** — no two nodes ever apply conflicting
+/// decisions for the same transaction. Faults may block participants or
+/// abort the transaction (degradation), never split the decision.
+#[derive(Debug, Clone, Default)]
+pub struct TpcTarget;
+
+impl TestTarget for TpcTarget {
+    fn name(&self) -> &'static str {
+        "tpc"
+    }
+
+    fn seed(&self) -> u64 {
+        555
+    }
+
+    fn node_count(&self) -> u32 {
+        4
+    }
+
+    fn fault_sites(&self) -> u32 {
+        4
+    }
+
+    fn primary_site(&self) -> usize {
+        1 // grid cases fault participant 1
+    }
+
+    fn build(&self) -> (World, Vec<(NodeId, usize)>) {
+        let mut world = World::new(self.seed());
+        for _ in 0..4 {
+            world.add_node(vec![
+                Box::new(TpcLayer::default()),
+                Box::new(pfi_core::PfiLayer::new(Box::new(TpcStub))),
+                Box::new(RudpLayer::default()),
+            ]);
+        }
+        let sites = (0..4).map(|i| (NodeId::new(i), 1)).collect();
+        (world, sites)
+    }
+
+    fn drive(&self, world: &mut World) {
+        let participants: Vec<NodeId> = (1..4).map(NodeId::new).collect();
+        world.control::<TpcReply>(
+            NodeId::new(0),
+            0,
+            TpcControl::Begin {
+                txid: 1,
+                participants,
+            },
+        );
+        world.run_for_capped(SimDuration::from_secs(60), DRIVE_EVENT_CAP);
+    }
+
+    fn oracles(&self) -> Vec<Box<dyn Oracle>> {
+        vec![Box::new(TpcAtomicityOracle)]
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        let mut decision: Option<bool> = None;
+        let mut blocked = 0usize;
+        for i in 0..4 {
+            for (_, e) in world.trace().events_of::<TpcEvent>(Some(NodeId::new(i))) {
+                match e {
+                    TpcEvent::DecisionApplied { commit, .. }
+                    | TpcEvent::DecisionMade { commit, .. } => {
+                        decision.get_or_insert(commit);
+                    }
+                    TpcEvent::Blocked { .. } => blocked += 1,
+                    _ => {}
+                }
+            }
+        }
+        if blocked > 0 {
+            return Verdict::Degraded(format!("{blocked} participant(s) blocked in uncertainty"));
+        }
+        match decision {
+            Some(true) => Verdict::Pass,
+            Some(false) => Verdict::Degraded("transaction aborted".to_string()),
+            None => Verdict::Degraded("no decision reached".to_string()),
         }
     }
 }

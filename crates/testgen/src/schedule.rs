@@ -1,0 +1,534 @@
+//! Parameterized fault schedules: the campaign engine's genome.
+//!
+//! The grid generator ([`crate::generate`]) enumerates one fault per case;
+//! a coverage-guided campaign instead searches over [`FaultSchedule`]s —
+//! small *compositions* of parameterized faults installed on both filter
+//! directions at once. Schedules lower to ordinary PFI Tcl scripts through
+//! [`pfi_core::lower`], serialize to a stable one-line-per-fault text form
+//! (the repro artifact format), and mutate under a seeded [`SimRng`] so a
+//! whole exploration is replayable from one integer.
+
+use pfi_core::lower::{Clause, FaultAction, FilterProgram, Window};
+use pfi_core::Direction;
+use pfi_sim::SimRng;
+
+use crate::spec::ProtocolSpec;
+
+/// One parameterized fault against one message type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Drop every instance.
+    DropAll {
+        /// Targeted message type.
+        msg_type: String,
+    },
+    /// Drop only the `nth` instance (1-based).
+    DropNth {
+        /// Targeted message type.
+        msg_type: String,
+        /// Which instance to drop.
+        nth: u32,
+    },
+    /// Pass `after` instances, then drop the rest.
+    DropAfter {
+        /// Targeted message type.
+        msg_type: String,
+        /// How many instances pass first.
+        after: u32,
+    },
+    /// Drop instances addressed to one node.
+    DropToDest {
+        /// Targeted message type.
+        msg_type: String,
+        /// Destination node id.
+        dst: u32,
+    },
+    /// Delay every instance.
+    DelayMs {
+        /// Targeted message type.
+        msg_type: String,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+    /// Forward extra copies of every instance.
+    Duplicate {
+        /// Targeted message type.
+        msg_type: String,
+        /// How many extra copies.
+        copies: u32,
+    },
+    /// XOR one byte of every instance.
+    CorruptByteAt {
+        /// Targeted message type.
+        msg_type: String,
+        /// Byte offset.
+        offset: usize,
+        /// XOR mask (non-zero).
+        mask: u8,
+    },
+    /// Hold the first `hold` instances, release them after the next one —
+    /// a deterministic reordering window.
+    ReorderWindow {
+        /// Targeted message type.
+        msg_type: String,
+        /// How many instances to hold back.
+        hold: u32,
+    },
+}
+
+impl FaultOp {
+    /// The targeted message type.
+    pub fn msg_type(&self) -> &str {
+        match self {
+            FaultOp::DropAll { msg_type }
+            | FaultOp::DropNth { msg_type, .. }
+            | FaultOp::DropAfter { msg_type, .. }
+            | FaultOp::DropToDest { msg_type, .. }
+            | FaultOp::DelayMs { msg_type, .. }
+            | FaultOp::Duplicate { msg_type, .. }
+            | FaultOp::CorruptByteAt { msg_type, .. }
+            | FaultOp::ReorderWindow { msg_type, .. } => msg_type,
+        }
+    }
+
+    /// The typed filter clauses this fault lowers to.
+    pub fn clauses(&self) -> Vec<Clause> {
+        let base = |window, action| Clause {
+            msg_type: Some(self.msg_type().to_string()),
+            dst: None,
+            window,
+            action,
+        };
+        match self {
+            FaultOp::DropAll { .. } => vec![base(Window::All, FaultAction::Drop)],
+            FaultOp::DropNth { nth, .. } => vec![base(Window::Nth(*nth), FaultAction::Drop)],
+            FaultOp::DropAfter { after, .. } => {
+                vec![base(Window::After(*after), FaultAction::Drop)]
+            }
+            FaultOp::DropToDest { msg_type, dst } => vec![Clause {
+                msg_type: Some(msg_type.clone()),
+                dst: Some(*dst),
+                window: Window::All,
+                action: FaultAction::Drop,
+            }],
+            FaultOp::DelayMs { ms, .. } => vec![base(Window::All, FaultAction::DelayMs(*ms))],
+            FaultOp::Duplicate { copies, .. } => {
+                vec![base(Window::All, FaultAction::Duplicate(*copies))]
+            }
+            FaultOp::CorruptByteAt { offset, mask, .. } => vec![base(
+                Window::All,
+                FaultAction::CorruptByte {
+                    offset: *offset,
+                    mask: *mask,
+                },
+            )],
+            FaultOp::ReorderWindow { hold, .. } => vec![
+                base(Window::First(*hold), FaultAction::Hold),
+                base(Window::Nth(*hold + 1), FaultAction::Release),
+            ],
+        }
+    }
+
+    fn tokens(&self) -> String {
+        match self {
+            FaultOp::DropAll { msg_type } => format!("drop-all {msg_type}"),
+            FaultOp::DropNth { msg_type, nth } => format!("drop-nth {msg_type} {nth}"),
+            FaultOp::DropAfter { msg_type, after } => format!("drop-after {msg_type} {after}"),
+            FaultOp::DropToDest { msg_type, dst } => format!("drop-to-dest {msg_type} {dst}"),
+            FaultOp::DelayMs { msg_type, ms } => format!("delay-ms {msg_type} {ms}"),
+            FaultOp::Duplicate { msg_type, copies } => format!("duplicate {msg_type} {copies}"),
+            FaultOp::CorruptByteAt {
+                msg_type,
+                offset,
+                mask,
+            } => format!("corrupt-byte {msg_type} {offset} {mask}"),
+            FaultOp::ReorderWindow { msg_type, hold } => format!("reorder {msg_type} {hold}"),
+        }
+    }
+}
+
+/// A fault plus where it is interposed: which fault site (a node's PFI
+/// layer) and which filter direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Which of the target's fault sites carries the filter. Site indices
+    /// are defined by [`crate::TestTarget::build`]; for the bundled targets
+    /// they equal world node indices.
+    pub site: u32,
+    /// Which filter (send or receive path) carries the fault.
+    pub dir: Direction,
+    /// The fault itself.
+    pub op: FaultOp,
+}
+
+impl ScheduledFault {
+    /// The stable one-line text form, e.g. `n1 send drop-nth HEARTBEAT 3`.
+    pub fn to_line(&self) -> String {
+        let dir = match self.dir {
+            Direction::Send => "send",
+            Direction::Receive => "recv",
+        };
+        format!("n{} {} {}", self.site, dir, self.op.tokens())
+    }
+
+    /// Parses the [`to_line`](ScheduledFault::to_line) form back. A
+    /// missing leading `n<site>` token means site 0.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
+        let err = || format!("malformed fault line: {line:?}");
+        let site = match toks.first() {
+            Some(t) => match t.strip_prefix('n').and_then(|n| n.parse::<u32>().ok()) {
+                Some(site) => {
+                    toks.remove(0);
+                    site
+                }
+                None => 0,
+            },
+            None => return Err(err()),
+        };
+        let dir = match toks.first() {
+            Some(&"send") => Direction::Send,
+            Some(&"recv") | Some(&"receive") => Direction::Receive,
+            _ => return Err(err()),
+        };
+        let num = |i: usize| -> Result<u64, String> {
+            toks.get(i)
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(err)
+        };
+        let msg = |i: usize| -> Result<String, String> {
+            toks.get(i).map(|t| t.to_string()).ok_or_else(err)
+        };
+        let op = match toks.get(1) {
+            Some(&"drop-all") => FaultOp::DropAll { msg_type: msg(2)? },
+            Some(&"drop-nth") => FaultOp::DropNth {
+                msg_type: msg(2)?,
+                nth: num(3)? as u32,
+            },
+            Some(&"drop-after") => FaultOp::DropAfter {
+                msg_type: msg(2)?,
+                after: num(3)? as u32,
+            },
+            Some(&"drop-to-dest") => FaultOp::DropToDest {
+                msg_type: msg(2)?,
+                dst: num(3)? as u32,
+            },
+            Some(&"delay-ms") => FaultOp::DelayMs {
+                msg_type: msg(2)?,
+                ms: num(3)?,
+            },
+            Some(&"duplicate") => FaultOp::Duplicate {
+                msg_type: msg(2)?,
+                copies: num(3)? as u32,
+            },
+            Some(&"corrupt-byte") => FaultOp::CorruptByteAt {
+                msg_type: msg(2)?,
+                offset: num(3)? as usize,
+                mask: num(4)? as u8,
+            },
+            Some(&"reorder") => FaultOp::ReorderWindow {
+                msg_type: msg(2)?,
+                hold: num(3)? as u32,
+            },
+            _ => return Err(err()),
+        };
+        Ok(ScheduledFault { site, dir, op })
+    }
+}
+
+/// A composition of scheduled faults — one campaign test case.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The faults, applied together in one run.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// The empty (baseline, fault-free) schedule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether this is the baseline schedule.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A stable identifier (the serialized lines joined with ` + `).
+    pub fn id(&self) -> String {
+        if self.is_empty() {
+            "baseline".to_string()
+        } else {
+            self.faults
+                .iter()
+                .map(ScheduledFault::to_line)
+                .collect::<Vec<_>>()
+                .join(" + ")
+        }
+    }
+
+    /// Serializes to one line per fault (the repro artifact body).
+    pub fn to_lines(&self) -> Vec<String> {
+        self.faults.iter().map(ScheduledFault::to_line).collect()
+    }
+
+    /// Parses a list of fault lines back into a schedule.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<Self, String> {
+        let faults = lines
+            .into_iter()
+            .map(ScheduledFault::from_line)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultSchedule { faults })
+    }
+
+    /// Lowers the schedule to per-site filter scripts, one entry per fault
+    /// site the schedule touches (ascending by site index).
+    pub fn lower(&self) -> Vec<SiteScripts> {
+        let mut by_site: std::collections::BTreeMap<u32, (FilterProgram, FilterProgram)> =
+            std::collections::BTreeMap::new();
+        for fault in &self.faults {
+            let (send, recv) = by_site.entry(fault.site).or_default();
+            for clause in fault.op.clauses() {
+                match fault.dir {
+                    Direction::Send => send.push(clause),
+                    Direction::Receive => recv.push(clause),
+                }
+            }
+        }
+        by_site
+            .into_iter()
+            .map(|(site, (send, recv))| SiteScripts {
+                site,
+                send: send.emit(),
+                recv: recv.emit(),
+            })
+            .collect()
+    }
+}
+
+/// The lowered filter scripts for one fault site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteScripts {
+    /// The fault-site index the scripts install on.
+    pub site: u32,
+    /// The send-filter script (empty string when no send faults).
+    pub send: String,
+    /// The receive-filter script (empty string when no receive faults).
+    pub recv: String,
+}
+
+/// Mutates schedules within a protocol's message vocabulary.
+#[derive(Debug, Clone)]
+pub struct ScheduleMutator {
+    messages: Vec<String>,
+    nodes: u32,
+    sites: u32,
+}
+
+impl ScheduleMutator {
+    /// A mutator drawing message types from `spec`, destinations from the
+    /// target's `nodes` node ids, and fault placements from its `sites`
+    /// fault sites.
+    pub fn new(spec: &ProtocolSpec, nodes: u32, sites: u32) -> Self {
+        ScheduleMutator {
+            messages: spec.messages.iter().map(|m| m.name.clone()).collect(),
+            nodes: nodes.max(1),
+            sites: sites.max(1),
+        }
+    }
+
+    fn pick_message(&self, rng: &mut SimRng) -> String {
+        self.messages[rng.uniform_u64(0, self.messages.len() as u64) as usize].clone()
+    }
+
+    /// Draws one random scheduled fault.
+    pub fn random_fault(&self, rng: &mut SimRng) -> ScheduledFault {
+        let site = rng.uniform_u64(0, self.sites as u64) as u32;
+        let dir = if rng.coin(0.5) {
+            Direction::Send
+        } else {
+            Direction::Receive
+        };
+        let msg_type = self.pick_message(rng);
+        let op = match rng.uniform_u64(0, 8) {
+            0 => FaultOp::DropAll { msg_type },
+            1 => FaultOp::DropNth {
+                msg_type,
+                nth: rng.uniform_u64(1, 9) as u32,
+            },
+            2 => FaultOp::DropAfter {
+                msg_type,
+                after: rng.uniform_u64(0, 21) as u32,
+            },
+            3 => FaultOp::DropToDest {
+                msg_type,
+                dst: rng.uniform_u64(0, self.nodes as u64) as u32,
+            },
+            4 => {
+                const DELAYS: [u64; 5] = [250, 1_000, 3_000, 5_000, 15_000];
+                FaultOp::DelayMs {
+                    msg_type,
+                    ms: DELAYS[rng.uniform_u64(0, DELAYS.len() as u64) as usize],
+                }
+            }
+            5 => FaultOp::Duplicate {
+                msg_type,
+                copies: rng.uniform_u64(1, 3) as u32,
+            },
+            6 => {
+                const MASKS: [u8; 4] = [0x01, 0x40, 0x80, 0xFF];
+                FaultOp::CorruptByteAt {
+                    msg_type,
+                    offset: rng.uniform_u64(0, 12) as usize,
+                    mask: MASKS[rng.uniform_u64(0, MASKS.len() as u64) as usize],
+                }
+            }
+            _ => FaultOp::ReorderWindow {
+                msg_type,
+                hold: rng.uniform_u64(1, 4) as u32,
+            },
+        };
+        ScheduledFault { site, dir, op }
+    }
+
+    /// Produces a mutated child of `parent`: add a fault (while under
+    /// `max_faults`), remove one, or replace one.
+    pub fn mutate(
+        &self,
+        parent: &FaultSchedule,
+        max_faults: usize,
+        rng: &mut SimRng,
+    ) -> FaultSchedule {
+        let mut child = parent.clone();
+        let roll = rng.uniform_u64(0, 10);
+        if child.is_empty() || (roll < 4 && child.len() < max_faults) {
+            child.faults.push(self.random_fault(rng));
+        } else if roll < 6 && child.len() > 1 {
+            let i = rng.uniform_u64(0, child.len() as u64) as usize;
+            child.faults.remove(i);
+        } else {
+            let i = rng.uniform_u64(0, child.len() as u64) as usize;
+            child.faults[i] = self.random_fault(rng);
+        }
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfi_script::Script;
+
+    fn sample_schedule() -> FaultSchedule {
+        FaultSchedule {
+            faults: vec![
+                ScheduledFault {
+                    site: 1,
+                    dir: Direction::Send,
+                    op: FaultOp::DropNth {
+                        msg_type: "HEARTBEAT".into(),
+                        nth: 3,
+                    },
+                },
+                ScheduledFault {
+                    site: 2,
+                    dir: Direction::Receive,
+                    op: FaultOp::CorruptByteAt {
+                        msg_type: "COMMIT".into(),
+                        offset: 2,
+                        mask: 0x40,
+                    },
+                },
+                ScheduledFault {
+                    site: 1,
+                    dir: Direction::Send,
+                    op: FaultOp::ReorderWindow {
+                        msg_type: "DATA".into(),
+                        hold: 2,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lowering_groups_by_site_and_parses() {
+        let scripts = sample_schedule().lower();
+        assert_eq!(scripts.len(), 2);
+        assert_eq!(scripts[0].site, 1);
+        assert_eq!(scripts[1].site, 2);
+        for s in &scripts {
+            assert!(Script::parse(&s.send).is_ok(), "{}", s.send);
+            assert!(Script::parse(&s.recv).is_ok(), "{}", s.recv);
+        }
+        // Site 1 carries both send faults; site 2 only the recv corruption.
+        let site1 = &scripts[0];
+        assert!(site1.send.contains("xHold") && site1.send.contains("xRelease"));
+        assert!(site1.recv.is_empty());
+        let site2 = &scripts[1];
+        assert!(site2.send.is_empty());
+        assert!(site2.recv.contains("msg_set_byte"), "{}", site2.recv);
+    }
+
+    #[test]
+    fn fault_lines_carry_the_site() {
+        let lines = sample_schedule().to_lines();
+        assert_eq!(lines[0], "n1 send drop-nth HEARTBEAT 3");
+        assert_eq!(lines[1], "n2 recv corrupt-byte COMMIT 2 64");
+        // A line without a site token parses as site 0.
+        let f = ScheduledFault::from_line("send drop-all ACK").unwrap();
+        assert_eq!(f.site, 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let sched = sample_schedule();
+        let lines = sched.to_lines();
+        let back = FaultSchedule::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(back, sched);
+        assert_eq!(back.to_lines(), lines);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "send",
+            "send drop-nth",
+            "send drop-nth HEARTBEAT notanumber",
+            "sideways drop-all ACK",
+            "send explode ACK",
+        ] {
+            assert!(ScheduledFault::from_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_bounded() {
+        let mutator = ScheduleMutator::new(&ProtocolSpec::gmp(), 3, 3);
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        let mut sa = FaultSchedule::empty();
+        let mut sb = FaultSchedule::empty();
+        let mut sites_seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            sa = mutator.mutate(&sa, 4, &mut a);
+            sb = mutator.mutate(&sb, 4, &mut b);
+            assert!(sa.len() <= 4);
+            for f in &sa.faults {
+                assert!(f.site < 3);
+                sites_seen.insert(f.site);
+            }
+            for s in sa.lower() {
+                assert!(Script::parse(&s.send).is_ok() && Script::parse(&s.recv).is_ok());
+            }
+        }
+        assert_eq!(sa, sb);
+        assert!(sites_seen.len() > 1, "mutator never moved the fault site");
+    }
+}

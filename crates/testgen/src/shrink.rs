@@ -1,0 +1,111 @@
+//! Delta-debugging failing fault schedules down to 1-minimal fault sets.
+//!
+//! A coverage-guided search usually finds a bug with a *composed* schedule
+//! — three or four faults, most of them incidental. [`shrink_schedule`]
+//! repeatedly re-runs the target with single faults removed, keeping any
+//! reduction that still fails, until a fixpoint: the result is 1-minimal
+//! (removing any one remaining fault makes the failure disappear), which
+//! is exactly the property the repro artifacts advertise.
+
+use crate::schedule::FaultSchedule;
+
+/// Greedily removes faults from `failing` while `still_fails` holds.
+///
+/// `still_fails` must be deterministic (re-running the same schedule gives
+/// the same answer — true of every simulator target here). The returned
+/// schedule satisfies `still_fails`, and removing any single remaining
+/// fault from it does not; callers get that guarantee without a second
+/// verification pass because the final fixpoint round has already re-run
+/// every single-fault removal.
+pub fn shrink_schedule(
+    failing: &FaultSchedule,
+    mut still_fails: impl FnMut(&FaultSchedule) -> bool,
+) -> FaultSchedule {
+    let mut current = failing.clone();
+    loop {
+        let mut reduced = false;
+        for i in 0..current.faults.len() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultOp, ScheduledFault};
+    use pfi_core::Direction;
+
+    fn fault(msg: &str) -> ScheduledFault {
+        ScheduledFault {
+            site: 0,
+            dir: Direction::Send,
+            op: FaultOp::DropAll {
+                msg_type: msg.into(),
+            },
+        }
+    }
+
+    fn schedule(msgs: &[&str]) -> FaultSchedule {
+        FaultSchedule {
+            faults: msgs.iter().map(|m| fault(m)).collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Failure iff the HEARTBEAT fault is present.
+        let start = schedule(&["ACK", "HEARTBEAT", "COMMIT", "NAK"]);
+        let shrunk = shrink_schedule(&start, |s| {
+            s.faults.iter().any(|f| f.op.msg_type() == "HEARTBEAT")
+        });
+        assert_eq!(shrunk, schedule(&["HEARTBEAT"]));
+    }
+
+    #[test]
+    fn keeps_a_required_pair_and_is_one_minimal() {
+        // Failure needs BOTH faults — neither alone suffices.
+        let start = schedule(&["ACK", "HEARTBEAT", "PROCLAIM", "COMMIT"]);
+        let needs_both = |s: &FaultSchedule| {
+            let has = |m: &str| s.faults.iter().any(|f| f.op.msg_type() == m);
+            has("HEARTBEAT") && has("PROCLAIM")
+        };
+        let shrunk = shrink_schedule(&start, needs_both);
+        assert_eq!(shrunk, schedule(&["HEARTBEAT", "PROCLAIM"]));
+        // 1-minimality: removing either remaining fault breaks the failure.
+        for i in 0..shrunk.faults.len() {
+            let mut cand = shrunk.clone();
+            cand.faults.remove(i);
+            assert!(!needs_both(&cand));
+        }
+    }
+
+    #[test]
+    fn counts_runs_linearly_not_exponentially() {
+        let start = schedule(&["A", "B", "C", "D", "E", "F"]);
+        let mut runs = 0;
+        let shrunk = shrink_schedule(&start, |s| {
+            runs += 1;
+            s.faults.iter().any(|f| f.op.msg_type() == "F")
+        });
+        assert_eq!(shrunk.len(), 1);
+        // Greedy one-at-a-time: well under 2^n for n = 6.
+        assert!(runs <= 36, "took {runs} runs");
+    }
+
+    #[test]
+    fn already_minimal_schedules_are_returned_unchanged() {
+        let start = schedule(&["HEARTBEAT"]);
+        let shrunk = shrink_schedule(&start, |s| !s.is_empty());
+        assert_eq!(shrunk, start);
+    }
+}

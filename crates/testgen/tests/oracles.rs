@@ -1,0 +1,380 @@
+//! Unit suite for the invariant oracles: every oracle is exercised against
+//! one hand-built trace that violates it and one clean trace that does not.
+//! Oracles only ever see a [`TraceLog`], so no simulation is needed here —
+//! the traces are constructed record by record.
+
+use pfi_gmp::GmpEvent;
+use pfi_sim::{NodeId, SimDuration, SimTime, TraceLog};
+use pfi_tcp::{CloseReason, TcpEvent};
+use pfi_testgen::{
+    first_violation, DeliveredStream, GmpAgreementOracle, GmpLeaderUniquenessOracle,
+    GmpNoSelfDeathOracle, GmpProclaimRoutingOracle, GmpTimerDisciplineOracle, Oracle,
+    TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
+};
+use pfi_tpc::TpcEvent;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Asserts the oracle flags `bad` (with `expect_in` in the message) and
+/// passes `good`.
+fn check(oracle: &dyn Oracle, bad: &TraceLog, good: &TraceLog, expect_in: &str) {
+    let err = oracle
+        .check(bad)
+        .expect_err(&format!("{} accepted the violating trace", oracle.name()));
+    assert!(
+        err.contains(expect_in),
+        "{}: message {err:?} does not mention {expect_in:?}",
+        oracle.name()
+    );
+    if let Err(msg) = oracle.check(good) {
+        panic!("{} rejected the clean trace: {msg}", oracle.name());
+    }
+}
+
+// ------------------------------------------------------------------ TCP
+
+#[test]
+fn tcp_prefix_oracle() {
+    let expected = vec![10u8, 20, 30, 40];
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(1),
+        "testgen",
+        DeliveredStream {
+            conn: 0,
+            data: vec![10, 99], // second byte differs
+        },
+    );
+    let good = TraceLog::new();
+    good.record(
+        t(1),
+        n(1),
+        "testgen",
+        DeliveredStream {
+            conn: 0,
+            data: vec![10, 20], // truncated prefix is fine
+        },
+    );
+    check(&TcpPrefixOracle { expected }, &bad, &good, "not a prefix");
+}
+
+#[test]
+fn tcp_prefix_oracle_rejects_overlong_streams() {
+    let oracle = TcpPrefixOracle {
+        expected: vec![1, 2],
+    };
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(1),
+        "testgen",
+        DeliveredStream {
+            conn: 0,
+            data: vec![1, 2, 3],
+        },
+    );
+    assert!(oracle.check(&bad).is_err());
+}
+
+#[test]
+fn tcp_no_silent_close_oracle() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(5),
+        n(0),
+        "tcp",
+        TcpEvent::Closed {
+            conn: 0,
+            reason: CloseReason::Timeout,
+        },
+    );
+    let good = TraceLog::new();
+    good.record(
+        t(1),
+        n(0),
+        "tcp",
+        TcpEvent::Retransmit {
+            conn: 0,
+            seq: 1,
+            nth: 1,
+            next_rto: SimDuration::from_secs(2),
+        },
+    );
+    good.record(
+        t(5),
+        n(0),
+        "tcp",
+        TcpEvent::Closed {
+            conn: 0,
+            reason: CloseReason::Timeout,
+        },
+    );
+    check(
+        &TcpNoSilentCloseOracle,
+        &bad,
+        &good,
+        "without a single retransmission",
+    );
+}
+
+#[test]
+fn tcp_no_silent_close_oracle_keepalive_variant() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(5),
+        n(0),
+        "tcp",
+        TcpEvent::Closed {
+            conn: 3,
+            reason: CloseReason::KeepaliveTimeout,
+        },
+    );
+    let good = TraceLog::new();
+    good.record(
+        t(1),
+        n(0),
+        "tcp",
+        TcpEvent::KeepaliveProbe {
+            conn: 3,
+            nth: 1,
+            garbage_bytes: 1,
+        },
+    );
+    good.record(
+        t(5),
+        n(0),
+        "tcp",
+        TcpEvent::Closed {
+            conn: 3,
+            reason: CloseReason::KeepaliveTimeout,
+        },
+    );
+    check(&TcpNoSilentCloseOracle, &bad, &good, "without probing");
+}
+
+#[test]
+fn tcp_rto_bounds_oracle() {
+    let retransmit = |rto: SimDuration| TcpEvent::Retransmit {
+        conn: 0,
+        seq: 7,
+        nth: 2,
+        next_rto: rto,
+    };
+    let bad = TraceLog::new();
+    bad.record(t(1), n(0), "tcp", retransmit(SimDuration::from_secs(600)));
+    let good = TraceLog::new();
+    good.record(t(1), n(0), "tcp", retransmit(SimDuration::from_secs(4)));
+    check(&TcpRtoBoundsOracle::default(), &bad, &good, "outside");
+    // Below the floor is just as illegal as above the cap.
+    let too_small = TraceLog::new();
+    too_small.record(t(1), n(0), "tcp", retransmit(SimDuration::from_millis(1)));
+    assert!(TcpRtoBoundsOracle::default().check(&too_small).is_err());
+}
+
+// ------------------------------------------------------------------ GMP
+
+fn view(gid: u64, members: &[u32]) -> GmpEvent {
+    GmpEvent::GroupView {
+        gid,
+        members: members.to_vec(),
+        leader: *members.iter().min().unwrap(),
+    }
+}
+
+#[test]
+fn gmp_agreement_oracle_flags_member_disagreement() {
+    let bad = TraceLog::new();
+    bad.record(t(1), n(0), "gmd", view(7, &[0, 1, 2]));
+    bad.record(t(2), n(1), "gmd", view(7, &[0, 1]));
+    let good = TraceLog::new();
+    good.record(t(1), n(0), "gmd", view(7, &[0, 1, 2]));
+    good.record(t(2), n(1), "gmd", view(7, &[0, 1, 2]));
+    good.record(t(3), n(1), "gmd", view(8, &[0, 1])); // new gid may differ
+    check(&GmpAgreementOracle, &bad, &good, "disagreement");
+}
+
+#[test]
+fn gmp_agreement_oracle_flags_invalid_views() {
+    let empty = TraceLog::new();
+    empty.record(
+        t(1),
+        n(0),
+        "gmd",
+        GmpEvent::GroupView {
+            gid: 7,
+            members: vec![],
+            leader: 0,
+        },
+    );
+    assert!(GmpAgreementOracle.check(&empty).is_err());
+
+    let wrong_leader = TraceLog::new();
+    wrong_leader.record(
+        t(1),
+        n(0),
+        "gmd",
+        GmpEvent::GroupView {
+            gid: 7,
+            members: vec![0, 1, 2],
+            leader: 2,
+        },
+    );
+    assert!(GmpAgreementOracle.check(&wrong_leader).is_err());
+}
+
+#[test]
+fn gmp_leader_uniqueness_oracle() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(0),
+        "gmd",
+        GmpEvent::GroupView {
+            gid: 7,
+            members: vec![0, 1],
+            leader: 0,
+        },
+    );
+    bad.record(
+        t(2),
+        n(1),
+        "gmd",
+        GmpEvent::GroupView {
+            gid: 7,
+            members: vec![1, 2],
+            leader: 1,
+        },
+    );
+    let good = TraceLog::new();
+    good.record(t(1), n(0), "gmd", view(7, &[0, 1]));
+    good.record(t(2), n(1), "gmd", view(7, &[0, 1]));
+    check(&GmpLeaderUniquenessOracle, &bad, &good, "rival leaders");
+}
+
+#[test]
+fn gmp_no_self_death_oracle() {
+    let bad = TraceLog::new();
+    bad.record(t(1), n(1), "gmd", GmpEvent::SelfDeclaredDead);
+    let good = TraceLog::new();
+    good.record(t(1), n(1), "gmd", GmpEvent::MemberSuspected { suspect: 2 });
+    check(&GmpNoSelfDeathOracle, &bad, &good, "itself");
+}
+
+#[test]
+fn gmp_proclaim_routing_oracle() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(0),
+        "gmd",
+        GmpEvent::ProclaimAnswered { to: 1, origin: 2 },
+    );
+    let good = TraceLog::new();
+    good.record(
+        t(1),
+        n(0),
+        "gmd",
+        GmpEvent::ProclaimAnswered { to: 2, origin: 2 },
+    );
+    check(&GmpProclaimRoutingOracle, &bad, &good, "instead of");
+}
+
+#[test]
+fn gmp_timer_discipline_oracle() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(2),
+        "gmd",
+        GmpEvent::SpuriousTimerInTransition { suspect: 1 },
+    );
+    let good = TraceLog::new();
+    good.record(t(1), n(2), "gmd", GmpEvent::InTransition { gid: 9 });
+    check(&GmpTimerDisciplineOracle, &bad, &good, "stale timer");
+}
+
+// ------------------------------------------------------------------ 2PC
+
+#[test]
+fn tpc_atomicity_oracle() {
+    let bad = TraceLog::new();
+    bad.record(
+        t(1),
+        n(0),
+        "tpc",
+        TpcEvent::DecisionMade {
+            txid: 1,
+            commit: true,
+        },
+    );
+    bad.record(
+        t(2),
+        n(2),
+        "tpc",
+        TpcEvent::DecisionApplied {
+            txid: 1,
+            commit: false,
+        },
+    );
+    let good = TraceLog::new();
+    good.record(
+        t(1),
+        n(0),
+        "tpc",
+        TpcEvent::DecisionMade {
+            txid: 1,
+            commit: true,
+        },
+    );
+    good.record(
+        t(2),
+        n(2),
+        "tpc",
+        TpcEvent::DecisionApplied {
+            txid: 1,
+            commit: true,
+        },
+    );
+    // A different transaction may decide differently.
+    good.record(
+        t(3),
+        n(0),
+        "tpc",
+        TpcEvent::DecisionMade {
+            txid: 2,
+            commit: false,
+        },
+    );
+    check(&TpcAtomicityOracle, &bad, &good, "decision split");
+}
+
+// ------------------------------------------------- first_violation order
+
+#[test]
+fn first_violation_reports_the_first_failing_oracle() {
+    let trace = TraceLog::new();
+    trace.record(t(1), n(1), "gmd", GmpEvent::SelfDeclaredDead);
+    trace.record(
+        t(2),
+        n(0),
+        "gmd",
+        GmpEvent::ProclaimAnswered { to: 1, origin: 2 },
+    );
+    let oracles: Vec<Box<dyn Oracle>> = vec![
+        Box::new(GmpProclaimRoutingOracle),
+        Box::new(GmpNoSelfDeathOracle),
+    ];
+    let (name, _) = first_violation(&oracles, &trace).unwrap();
+    assert_eq!(name, "gmp-proclaim-routing");
+
+    let clean = TraceLog::new();
+    clean.record(t(1), n(1), "gmd", GmpEvent::Started);
+    assert!(first_violation(&oracles, &clean).is_none());
+}
