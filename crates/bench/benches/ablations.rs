@@ -320,11 +320,50 @@ fn bench_congestion_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_campaign_throughput(c: &mut Criterion) {
+    use pfi_gmp::GmpBugs;
+    use pfi_testgen::{explore_fleet, ExploreConfig, GmpTarget, ProtocolSpec};
+    use std::sync::Arc;
+
+    // Fleet scaling on the GMP explorer: the same fixed-seed campaign at
+    // 1, 2, and 4 workers. Outcomes are byte-identical by construction
+    // (asserted by crates/fleet/tests/campaign_determinism.rs); this
+    // measures only the wall-clock side. Throughput is declared as the
+    // fleet-dispatched schedule count, so elements_per_sec is campaign
+    // executions per second. On a single-core host the jobs=2/4 rows
+    // measure dispatch overhead, not speedup — see EXPERIMENTS.md.
+    let spec = ProtocolSpec::gmp();
+    let config = ExploreConfig {
+        seed: 42,
+        budget: 24,
+        max_faults: 3,
+        epoch: 8,
+    };
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.sample_size(5);
+    for jobs in [1usize, 2, 4] {
+        let factory = Arc::new(GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 60,
+        });
+        let (outcome, _) = explore_fleet(factory.clone(), &spec, &config, jobs);
+        g.throughput(Throughput::Elements(outcome.executed as u64));
+        g.bench_function(&format!("gmp_explore_jobs_{jobs}"), |b| {
+            b.iter(|| {
+                let (outcome, report) = explore_fleet(factory.clone(), &spec, &config, jobs);
+                black_box((outcome.executed, report.executed()))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablations,
     bench_pfi_overhead,
     bench_script_interp,
     bench_sim_engine,
-    bench_congestion_ablation
+    bench_congestion_ablation,
+    bench_campaign_throughput
 );
 criterion_main!(ablations);

@@ -1,0 +1,205 @@
+//! A hand-rolled multi-producer / multi-consumer channel.
+//!
+//! The workspace carries no external dependencies, so the fleet's two
+//! queues (master → workers jobs, workers → master results) are built on
+//! `Mutex<VecDeque>` + `Condvar` directly. The channel is deliberately
+//! small: blocking `recv`, non-blocking `send`, explicit `close`, and a
+//! high-water mark so the campaign report can show how deep the queues
+//! actually ran.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// One endpoint of an unbounded MPMC channel. Cloning produces another
+/// handle to the same channel; the channel lives until every handle is
+/// dropped, but delivery stops as soon as any handle calls
+/// [`close`](Chan::close).
+pub struct Chan<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        Chan {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Chan<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Chan<T> {
+    /// Creates an empty, open channel.
+    pub fn new() -> Self {
+        Chan {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    closed: false,
+                    high_water: 0,
+                }),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueues a value; returns `false` (dropping the value) if the
+    /// channel has been closed.
+    pub fn send(&self, value: T) -> bool {
+        let mut st = self.inner.state.lock().expect("channel lock poisoned");
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back(value);
+        if st.queue.len() > st.high_water {
+            st.high_water = st.queue.len();
+        }
+        drop(st);
+        self.inner.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a value is available or the channel is both closed and
+    /// drained; `None` means no value will ever arrive again.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.ready.wait(st).expect("channel lock poisoned");
+        }
+    }
+
+    /// Closes the channel: senders start failing, receivers drain what is
+    /// queued and then get `None`.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock().expect("channel lock poisoned");
+        st.closed = true;
+        drop(st);
+        self.inner.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn delivers_in_fifo_order_single_consumer() {
+        let ch = Chan::new();
+        for i in 0..10 {
+            assert!(ch.send(i));
+        }
+        assert_eq!(ch.high_water(), 10);
+        for i in 0..10 {
+            assert_eq!(ch.recv(), Some(i));
+        }
+        ch.close();
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let ch = Chan::new();
+        ch.send(1);
+        ch.send(2);
+        ch.close();
+        assert!(!ch.send(3), "send after close must fail");
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send_across_threads() {
+        let ch: Chan<u32> = Chan::new();
+        let rx = ch.clone();
+        let h = thread::spawn(move || rx.recv());
+        ch.send(7);
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn blocked_receivers_wake_on_close() {
+        let ch: Chan<u32> = Chan::new();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = ch.clone();
+                thread::spawn(move || rx.recv())
+            })
+            .collect();
+        ch.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_one_consumer_loses_nothing() {
+        let ch: Chan<u64> = Chan::new();
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let tx = ch.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u64> = (0..400).map(|_| ch.recv().unwrap()).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,348 @@
+//! The worker pool and its deterministic epoch scheduler.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::channel::Chan;
+use crate::stats::{FleetReport, WorkerStats};
+
+/// Executes one job to one result inside a worker thread.
+///
+/// Runners are built *inside* their worker thread by the factory passed to
+/// [`Fleet::new`], so they may freely own `!Send` state (an `Rc`-based
+/// simulation `World`, say) — only the factory and the job/result types
+/// cross the thread boundary. Any `FnMut(J) -> R` closure is a runner.
+pub trait JobRunner<J, R> {
+    /// Executes one job. Must be a pure function of the job for the
+    /// fleet's determinism guarantee to hold.
+    fn run(&mut self, job: J) -> R;
+}
+
+impl<J, R, F: FnMut(J) -> R> JobRunner<J, R> for F {
+    fn run(&mut self, job: J) -> R {
+        self(job)
+    }
+}
+
+struct Job<J> {
+    seq: u64,
+    payload: J,
+}
+
+struct Delivery<R> {
+    seq: u64,
+    worker: usize,
+    busy: Duration,
+    payload: Result<R, String>,
+}
+
+/// One job's result as returned by [`Fleet::run_epoch`], tagged with its
+/// dispatch sequence number and the worker that ran it.
+#[derive(Debug)]
+pub struct EpochItem<R> {
+    /// Dispatch sequence number (global across epochs).
+    pub seq: u64,
+    /// Which worker executed the job (timing-dependent — never let results
+    /// depend on it; it exists for statistics).
+    pub worker: usize,
+    /// The runner's result.
+    pub result: R,
+}
+
+/// A pool of worker threads executing jobs in deterministic epochs.
+///
+/// The contract: [`run_epoch`](Fleet::run_epoch) returns results sorted by
+/// dispatch order, and each result is a pure function of its job — so the
+/// *sequence of result values* a caller observes is byte-identical for any
+/// worker count, while wall-clock time scales with workers. Which worker
+/// ran which job, and in what real-time order jobs completed, is visible
+/// only through [`FleetReport`] statistics.
+pub struct Fleet<J, R> {
+    jobs: Chan<Job<J>>,
+    results: Chan<Delivery<R>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Vec<WorkerStats>,
+    epochs: u64,
+    dispatched: u64,
+    next_seq: u64,
+    started: Instant,
+}
+
+impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
+    /// Spawns `workers` threads (at least one). `factory(i)` is called
+    /// once *inside* worker thread `i` to build its runner; the factory
+    /// must be `Send + Sync`, the runner need not be.
+    pub fn new<F>(workers: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn JobRunner<J, R>> + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let jobs: Chan<Job<J>> = Chan::new();
+        let results: Chan<Delivery<R>> = Chan::new();
+        let factory = Arc::new(factory);
+        let handles = (0..workers)
+            .map(|w| {
+                let rx = jobs.clone();
+                let tx = results.clone();
+                let make = Arc::clone(&factory);
+                std::thread::Builder::new()
+                    .name(format!("pfi-fleet-{w}"))
+                    .spawn(move || {
+                        let mut runner = make(w);
+                        while let Some(Job { seq, payload }) = rx.recv() {
+                            let t0 = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| runner.run(payload)));
+                            let busy = t0.elapsed();
+                            let payload = outcome.map_err(|p| panic_message(&p));
+                            let failed = payload.is_err();
+                            tx.send(Delivery {
+                                seq,
+                                worker: w,
+                                busy,
+                                payload,
+                            });
+                            if failed {
+                                // The runner may be left in an inconsistent
+                                // state after an unwind; retire the worker.
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawning a fleet worker thread")
+            })
+            .collect();
+        Fleet {
+            jobs,
+            results,
+            handles,
+            stats: (0..workers)
+                .map(|worker| WorkerStats {
+                    worker,
+                    ..WorkerStats::default()
+                })
+                .collect(),
+            epochs: 0,
+            dispatched: 0,
+            next_seq: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Dispatches one epoch of jobs and blocks until every one has a
+    /// result (the epoch barrier). Results come back sorted by dispatch
+    /// order regardless of which workers ran them or when they finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics (propagating the message) if a worker's runner panicked.
+    pub fn run_epoch(&mut self, batch: Vec<J>) -> Vec<EpochItem<R>> {
+        let n = batch.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.epochs += 1;
+        self.dispatched += n as u64;
+        for payload in batch {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            assert!(
+                self.jobs.send(Job { seq, payload }),
+                "fleet job queue closed while dispatching"
+            );
+        }
+        let mut out: Vec<EpochItem<R>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = self
+                .results
+                .recv()
+                .expect("fleet workers exited with jobs outstanding");
+            let stat = &mut self.stats[d.worker];
+            stat.executed += 1;
+            stat.busy += d.busy;
+            match d.payload {
+                Ok(result) => out.push(EpochItem {
+                    seq: d.seq,
+                    worker: d.worker,
+                    result,
+                }),
+                Err(msg) => panic!("fleet worker {} panicked: {msg}", d.worker),
+            }
+        }
+        out.sort_by_key(|item| item.seq);
+        out
+    }
+
+    /// Records that the job a worker ran produced a coverage-novel result
+    /// (a statistic the scheduler itself cannot know).
+    pub fn note_novel(&mut self, worker: usize) {
+        if let Some(stat) = self.stats.get_mut(worker) {
+            stat.novel += 1;
+        }
+    }
+
+    /// A snapshot of the fleet's statistics so far.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            workers: self.stats.clone(),
+            epochs: self.epochs,
+            dispatched: self.dispatched,
+            job_queue_high_water: self.jobs.high_water(),
+            result_queue_high_water: self.results.high_water(),
+            wall: self.started.elapsed(),
+        }
+    }
+
+    /// Stops the workers, joins them, and returns the final report.
+    pub fn shutdown(mut self) -> FleetReport {
+        self.join_workers();
+        self.report()
+    }
+
+    fn join_workers(&mut self) {
+        self.jobs.close();
+        for h in self.handles.drain(..) {
+            // A worker that panicked has already reported the panic via the
+            // result channel (or will never be joined on the happy path);
+            // don't double-panic out of drop.
+            let _ = h.join();
+        }
+    }
+}
+
+impl<J, R> Drop for Fleet<J, R> {
+    fn drop(&mut self) {
+        self.jobs.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn square_fleet(workers: usize) -> Fleet<u64, u64> {
+        Fleet::new(workers, |_| Box::new(|j: u64| j * j))
+    }
+
+    #[test]
+    fn results_come_back_in_dispatch_order() {
+        for workers in [1, 2, 4] {
+            let mut fleet = square_fleet(workers);
+            let batch: Vec<u64> = (0..64).collect();
+            let items = fleet.run_epoch(batch);
+            let got: Vec<u64> = items.iter().map(|i| i.result).collect();
+            let want: Vec<u64> = (0..64).map(|j| j * j).collect();
+            assert_eq!(got, want, "workers={workers}");
+            let report = fleet.shutdown();
+            assert_eq!(report.executed(), 64);
+            assert_eq!(report.dispatched, 64);
+            assert_eq!(report.epochs, 1);
+        }
+    }
+
+    #[test]
+    fn factory_runs_once_inside_each_worker_thread() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let mut fleet: Fleet<u64, String> = Fleet::new(3, |w| {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            assert_eq!(name, format!("pfi-fleet-{w}"));
+            Box::new(move |j: u64| format!("{name}:{j}"))
+        });
+        // Drive enough jobs that every worker has had work at some point.
+        for _ in 0..4 {
+            fleet.run_epoch((0..32).collect());
+        }
+        fleet.shutdown();
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn runners_may_own_not_send_state() {
+        // The central boundary of the design: the runner holds an Rc (as
+        // the simulation World does) and still works, because it is built
+        // inside its worker thread. This test is primarily a compile-time
+        // proof.
+        let mut fleet: Fleet<u64, u64> = Fleet::new(2, |_| {
+            let local: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+            Box::new(move |j: u64| {
+                *local.borrow_mut() += 1;
+                j + *local.borrow()
+            })
+        });
+        let items = fleet.run_epoch(vec![10, 20]);
+        assert_eq!(items.len(), 2);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn epochs_are_barriers_and_stats_accumulate() {
+        let mut fleet = square_fleet(2);
+        for epoch in 1..=5u64 {
+            let items = fleet.run_epoch(vec![1, 2, 3]);
+            assert_eq!(items.len(), 3);
+            let report = fleet.report();
+            assert_eq!(report.epochs, epoch);
+            assert_eq!(report.executed(), epoch * 3);
+        }
+        fleet.note_novel(0);
+        fleet.note_novel(0);
+        let report = fleet.shutdown();
+        assert_eq!(report.workers[0].novel, 2);
+        assert_eq!(report.dispatched, 15);
+        assert!(report.job_queue_high_water >= 1);
+    }
+
+    #[test]
+    fn empty_epoch_is_a_no_op() {
+        let mut fleet = square_fleet(2);
+        assert!(fleet.run_epoch(Vec::new()).is_empty());
+        let report = fleet.shutdown();
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.dispatched, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet worker")]
+    fn worker_panics_propagate_to_the_master() {
+        let mut fleet: Fleet<u64, u64> = Fleet::new(1, |_| {
+            Box::new(|j: u64| {
+                if j == 3 {
+                    panic!("job {j} exploded");
+                }
+                j
+            })
+        });
+        fleet.run_epoch(vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let mut fleet = square_fleet(0);
+        assert_eq!(fleet.workers(), 1);
+        let items = fleet.run_epoch(vec![5]);
+        assert_eq!(items[0].result, 25);
+    }
+}

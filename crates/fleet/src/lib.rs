@@ -1,0 +1,51 @@
+//! # pfi-fleet — deterministic multi-worker campaign execution
+//!
+//! The paper's headline experiments are *campaigns*: 112 hours of probing
+//! four vendor TCP implementations, and grid sweeps over GMP failure
+//! scenarios. Reproduced under a deterministic simulator, every campaign
+//! execution is an independent pure function of its fault schedule — which
+//! makes campaigns embarrassingly parallel *if* the search loop around
+//! them can be parallelised without giving up byte-stable results.
+//!
+//! This crate is that engine. It knows nothing about protocols or fault
+//! schedules; it schedules opaque `Send` jobs onto worker threads and
+//! returns their results in a canonical order:
+//!
+//! * **Epochs** — the master dispatches a batch of jobs, then blocks at a
+//!   barrier until all results are in. [`Fleet::run_epoch`] hands results
+//!   back sorted by dispatch order, so the caller's merge loop observes
+//!   the exact same sequence for 1, 2, or 64 workers.
+//! * **The `!Send` boundary** — simulation worlds are `Rc`/`RefCell`-based
+//!   and cannot cross threads. Workers therefore *construct* their own
+//!   execution state: [`Fleet::new`] takes a `Send + Sync` factory that is
+//!   invoked once inside each worker thread, and the [`JobRunner`] it
+//!   builds may own arbitrary thread-local state.
+//! * **Hand-rolled substrate** — `std::thread` plus the
+//!   [`Chan`](channel::Chan) MPMC channel in this crate; the workspace
+//!   carries no external dependencies.
+//! * **Statistics, not semantics** — per-worker executions, busy time,
+//!   coverage-novel hits, and queue depths are aggregated into a
+//!   [`FleetReport`]; nothing in a result sequence may depend on them.
+//!
+//! # Example
+//!
+//! ```
+//! use pfi_fleet::Fleet;
+//!
+//! // Workers each build their own (possibly !Send) runner state.
+//! let mut fleet: Fleet<u32, u32> = Fleet::new(4, |_worker| Box::new(|job: u32| job * 2));
+//! let results = fleet.run_epoch((0..8).collect());
+//! let values: Vec<u32> = results.iter().map(|item| item.result).collect();
+//! assert_eq!(values, vec![0, 2, 4, 6, 8, 10, 12, 14]); // dispatch order, any worker count
+//! let report = fleet.shutdown();
+//! assert_eq!(report.executed(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+mod fleet;
+mod stats;
+
+pub use fleet::{EpochItem, Fleet, JobRunner};
+pub use stats::{FleetReport, WorkerStats};

@@ -1,6 +1,8 @@
 //! Command-line campaign runner: generate a fault-injection campaign from
 //! a bundled protocol specification and run it against the matching target,
-//! or run a coverage-guided exploration instead of the fixed grid.
+//! or run a coverage-guided exploration instead of the fixed grid. Both
+//! modes fan case execution out across a worker fleet (`--jobs`), with
+//! outcomes byte-identical for any worker count.
 //!
 //! ```text
 //! pfi-campaign gmp                      # full grid campaign, fixed GMP
@@ -10,30 +12,73 @@
 //! pfi-campaign gmp --list               # print the generated scripts, don't run
 //! pfi-campaign gmp --explore            # coverage-guided search instead of the grid
 //! pfi-campaign gmp --explore --budget 64 --seed 7
+//! pfi-campaign gmp --explore --jobs 4 --stats
+//! pfi-campaign gmp --explore --digest   # one-line outcome digest (CI golden)
 //! ```
 //!
 //! Exploration prints each discovered failure as a replayable `pfi-repro`
 //! artifact (shrunk to a 1-minimal fault set).
 
+use std::sync::Arc;
+
 use pfi_core::Direction;
 use pfi_gmp::GmpBugs;
 use pfi_testgen::{
-    explore, generate, run_campaign, ExploreConfig, FaultKind, GmpTarget, ProtocolSpec, TcpTarget,
-    TestTarget, TpcTarget, Verdict,
+    explore_fleet, generate, run_campaign_fleet, ExploreConfig, FaultKind, GmpTarget, ProtocolSpec,
+    TargetFactory, TcpTarget, TpcTarget, Verdict,
 };
+
+const HELP: &str = "pfi-campaign — script-driven fault-injection campaigns
+
+USAGE:
+    pfi-campaign [PROTOCOL] [FLAGS]
+
+PROTOCOL (default gmp):
+    gmp        group membership daemon cluster
+    tcp        client/server TCP transfer
+    tpc        two-phase commit transaction
+
+FLAGS:
+    --buggy           use the implementation with the paper's seeded bugs (gmp)
+    --list            print the generated grid scripts and exit
+    --explore         coverage-guided schedule search instead of the fixed grid
+    --seed N          exploration RNG seed
+    --budget N        exploration mutation budget
+    --epoch N         candidates per dispatch epoch (determinism unit; outcomes
+                      depend on it, never on --jobs; 1 = classic sequential walk)
+    --jobs N          worker threads (default: available parallelism); any value
+                      yields byte-identical campaign results
+    --stats           print the fleet execution report (workers, exec/sec, queues)
+    --digest          print a one-line outcome digest (for golden comparisons)
+    --help            this text
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let proto = args.first().map(String::as_str).unwrap_or("gmp");
     let buggy = args.iter().any(|a| a == "--buggy");
     let list_only = args.iter().any(|a| a == "--list");
     let explore_mode = args.iter().any(|a| a == "--explore");
+    let stats = args.iter().any(|a| a == "--stats");
+    let digest = args.iter().any(|a| a == "--digest");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<u64>().ok())
     };
+    let jobs = flag_value("--jobs")
+        .map(|j| j as usize)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
 
     let spec = match proto {
         "gmp" => ProtocolSpec::gmp(),
@@ -45,8 +90,10 @@ fn main() {
         }
     };
 
-    let target: Box<dyn TestTarget> = match proto {
-        "gmp" => Box::new(GmpTarget {
+    // The factory (plain-data target config) is what crosses into the
+    // fleet's worker threads; each worker builds its own !Send world.
+    let factory: Arc<dyn TargetFactory> = match proto {
+        "gmp" => Arc::new(GmpTarget {
             bugs: if buggy {
                 GmpBugs::all()
             } else {
@@ -54,8 +101,8 @@ fn main() {
             },
             fault_secs: 60,
         }),
-        "tpc" => Box::new(TpcTarget),
-        _ => Box::new(TcpTarget::default()),
+        "tpc" => Arc::new(TpcTarget),
+        _ => Arc::new(TcpTarget::default()),
     };
 
     if explore_mode {
@@ -66,24 +113,46 @@ fn main() {
         if let Some(budget) = flag_value("--budget") {
             config.budget = budget as usize;
         }
-        println!(
-            "exploring {} (seed {}, budget {}, ≤{} faults per schedule)…\n",
-            proto, config.seed, config.budget, config.max_faults
-        );
-        let outcome = explore(target.as_ref(), &spec, &config);
-        println!(
-            "ran {} schedules; corpus kept {} ({} coverage edges)",
-            outcome.executed,
-            outcome.corpus.len(),
-            outcome.coverage.len()
-        );
-        for failure in &outcome.failures {
+        if let Some(epoch) = flag_value("--epoch") {
+            config.epoch = (epoch as usize).max(1);
+        }
+        if !digest {
             println!(
-                "\nVIOLATION (shrunk from {} to {} fault(s)):\n{}",
-                failure.schedule.len(),
-                failure.shrunk.len(),
-                failure.repro.to_text()
+                "exploring {} (seed {}, budget {}, ≤{} faults per schedule, epoch {}, {} job(s))…\n",
+                proto, config.seed, config.budget, config.max_faults, config.epoch, jobs
             );
+        }
+        let (outcome, report) = explore_fleet(Arc::clone(&factory), &spec, &config, jobs);
+        if digest {
+            // One line, a pure function of (target, seed, budget,
+            // max_faults, epoch) — CI compares it across --jobs values.
+            println!(
+                "pfi-campaign digest {} seed={} budget={} epoch={} {}",
+                proto,
+                config.seed,
+                config.budget,
+                config.epoch,
+                outcome.digest64()
+            );
+        } else {
+            println!(
+                "ran {} schedules; corpus kept {} ({} coverage edges)",
+                outcome.executed,
+                outcome.corpus.len(),
+                outcome.coverage.len()
+            );
+            for failure in &outcome.failures {
+                println!(
+                    "\nVIOLATION (shrunk from {} to {} fault(s)):\n{}",
+                    failure.schedule.len(),
+                    failure.shrunk.len(),
+                    failure.repro.to_text()
+                );
+            }
+        }
+        if stats {
+            println!();
+            print!("{report}");
         }
         if !outcome.failures.is_empty() {
             std::process::exit(1);
@@ -97,9 +166,10 @@ fn main() {
         &[Direction::Send, Direction::Receive],
     );
     println!(
-        "campaign: {} cases for protocol {}\n",
+        "campaign: {} cases for protocol {} ({} job(s))\n",
         campaign.len(),
-        campaign.protocol
+        campaign.protocol,
+        jobs
     );
 
     if list_only {
@@ -109,7 +179,7 @@ fn main() {
         return;
     }
 
-    let results = run_campaign(target.as_ref(), &campaign);
+    let (results, report) = run_campaign_fleet(Arc::clone(&factory), &campaign, jobs);
 
     let mut pass = 0;
     let mut degraded = 0;
@@ -125,6 +195,10 @@ fn main() {
         }
     }
     println!("\n{pass} pass, {degraded} degraded, {violated} violations");
+    if stats {
+        println!();
+        print!("{report}");
+    }
     if violated > 0 {
         std::process::exit(1);
     }

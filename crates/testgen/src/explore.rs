@@ -1,18 +1,40 @@
-//! The coverage-guided campaign engine.
+//! The coverage-guided campaign engine, expressed as a fleet of epochs.
 //!
 //! Where [`crate::generate`] enumerates a fixed grid, [`explore`] *searches*:
 //! starting from the fault-free baseline, it repeatedly picks a corpus
 //! schedule, mutates it under a seeded RNG, runs the mutant against a fresh
 //! target, and keeps it iff it reaches coverage no earlier schedule
 //! reached. Violations are delta-debugged to 1-minimal fault sets and
-//! rendered as replayable [`Repro`] artifacts. Everything — corpus order,
-//! coverage, artifact bytes — is a pure function of the seed and budget.
+//! rendered as replayable [`Repro`] artifacts.
+//!
+//! # Determinism across worker counts
+//!
+//! The search runs in **epochs** of [`ExploreConfig::epoch`] candidates:
+//! the master generates the whole epoch serially (consuming the seeded RNG
+//! against the epoch-start corpus), the candidates execute — inline, or
+//! fanned out across a [`pfi_fleet::Fleet`] by [`explore_fleet`] — and the
+//! results merge back in canonical schedule-id order. Every run is a pure
+//! function of its schedule, so corpus evolution, coverage, `executed`
+//! counts, and repro artifact bytes are a function of
+//! `(seed, budget, max_faults, epoch)` and **never** of the worker count.
+//! With `epoch == 1` the engine *is* the classic sequential explorer —
+//! generate one, run one, merge one — reproducing its digests exactly;
+//! larger epochs trade a little search adaptivity for dispatch width.
+//!
+//! Workers never receive a built simulation world (worlds are
+//! `Rc`/`RefCell`-based and `!Send`): [`explore_fleet`] ships each worker
+//! a [`TargetFactory`] at construction and each candidate as serialized
+//! fault-schedule text, and the worker builds everything on its own side
+//! of the boundary.
 
+use std::sync::Arc;
+
+use pfi_fleet::{Fleet, FleetReport, JobRunner};
 use pfi_sim::SimRng;
 
 use crate::coverage::Coverage;
 use crate::repro::Repro;
-use crate::runner::{run_schedule, TestTarget, Verdict};
+use crate::runner::{run_schedule, ScheduleRun, TargetFactory, TestTarget, Verdict};
 use crate::schedule::{FaultSchedule, ScheduleMutator};
 use crate::shrink::shrink_schedule;
 use crate::spec::ProtocolSpec;
@@ -26,7 +48,16 @@ pub struct ExploreConfig {
     pub budget: usize,
     /// Maximum faults per schedule.
     pub max_faults: usize,
+    /// Candidates generated per dispatch epoch — the determinism unit.
+    /// Outcomes depend on it (corpus selection sees the epoch-start corpus)
+    /// but never on the worker count executing the epoch. `1` reproduces
+    /// the classic fully-sequential explorer byte-for-byte.
+    pub epoch: usize,
 }
+
+/// The default epoch width: wide enough to keep a handful of workers busy,
+/// narrow enough that corpus feedback still steers the search.
+pub const DEFAULT_EPOCH: usize = 16;
 
 impl Default for ExploreConfig {
     fn default() -> Self {
@@ -34,6 +65,7 @@ impl Default for ExploreConfig {
             seed: 0x7061_7065_7266_6975, // "paperfiu"
             budget: 48,
             max_faults: 3,
+            epoch: DEFAULT_EPOCH,
         }
     }
 }
@@ -88,19 +120,153 @@ impl ExploreOutcome {
         }
         out
     }
+
+    /// A short fixed-width form of [`digest`](ExploreOutcome::digest)
+    /// (FNV-1a, hex) for golden files and CI comparisons.
+    pub fn digest64(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.digest().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
-/// Runs a coverage-guided exploration of `target` within `config.budget`.
-pub fn explore(
-    target: &dyn TestTarget,
+// ---------------------------------------------------------------------
+// Worker-side candidate execution
+// ---------------------------------------------------------------------
+
+/// Everything one candidate execution produced. Computed entirely on the
+/// worker that ran the candidate — a pure function of the schedule — so
+/// the master can merge reports in canonical order without re-running
+/// anything.
+#[derive(Debug, Clone)]
+struct CandidateReport {
+    /// The candidate schedule (round-tripped through its text form when
+    /// the run happened on a fleet worker).
+    schedule: FaultSchedule,
+    /// The run itself.
+    run: ScheduleRun,
+    /// Shrink results, when the run violated an oracle.
+    shrink: Option<ShrinkReport>,
+    /// Which worker ran it (statistics only; 0 inline).
+    worker: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ShrinkReport {
+    /// The violated oracle the shrink preserved.
+    oracle: String,
+    /// The 1-minimal schedule.
+    shrunk: FaultSchedule,
+    /// How many re-executions shrinking performed.
+    runs: usize,
+}
+
+/// Runs one candidate: execute, and delta-debug to 1-minimal if it
+/// violated an oracle. Shrinking re-runs against the *same* oracle: the
+/// minimal schedule must reproduce this failure, not just any failure.
+fn candidate_report(target: &dyn TestTarget, schedule: FaultSchedule) -> CandidateReport {
+    let run = run_schedule(target, &schedule);
+    let shrink = match &run.verdict {
+        Verdict::Violated(_) => {
+            let oracle = run.oracle.clone().unwrap_or_else(|| "target".to_string());
+            let mut runs = 0usize;
+            let shrunk = shrink_schedule(&schedule, |s| {
+                runs += 1;
+                let rerun = run_schedule(target, s);
+                rerun.verdict.is_violation() && rerun.oracle.as_deref() == Some(oracle.as_str())
+            });
+            Some(ShrinkReport {
+                oracle,
+                shrunk,
+                runs,
+            })
+        }
+        _ => None,
+    };
+    CandidateReport {
+        schedule,
+        run,
+        shrink,
+        worker: 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch execution strategies
+// ---------------------------------------------------------------------
+
+/// How one epoch's candidates get executed. The master's search loop is
+/// identical either way; only the dispatch differs.
+trait EpochRunner {
+    /// Runs every candidate of an epoch; order of the returned reports is
+    /// irrelevant (the merge step canonicalises it).
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport>;
+    /// Statistics hook: the candidate run by `worker` reached new coverage.
+    fn note_novel(&mut self, _worker: usize) {}
+}
+
+/// In-place execution on the caller's target: the 1-worker fleet.
+struct InlineEpochs<'a> {
+    target: &'a dyn TestTarget,
+}
+
+impl EpochRunner for InlineEpochs<'_> {
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport> {
+        batch
+            .into_iter()
+            .map(|s| candidate_report(self.target, s))
+            .collect()
+    }
+}
+
+/// Fan-out across a worker fleet. Candidates cross the thread boundary as
+/// serialized fault lines; reports come back `Send`.
+struct FleetEpochs {
+    fleet: Fleet<Vec<String>, CandidateReport>,
+}
+
+impl EpochRunner for FleetEpochs {
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport> {
+        let jobs: Vec<Vec<String>> = batch.iter().map(FaultSchedule::to_lines).collect();
+        self.fleet
+            .run_epoch(jobs)
+            .into_iter()
+            .map(|item| {
+                let mut report = item.result;
+                report.worker = item.worker;
+                report
+            })
+            .collect()
+    }
+
+    fn note_novel(&mut self, worker: usize) {
+        self.fleet.note_novel(worker);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The search loop
+// ---------------------------------------------------------------------
+
+/// The epoch-synchronous search shared by [`explore`] and
+/// [`explore_fleet`]. `master` handles everything that must stay serial:
+/// candidate generation (the RNG), the baseline run, and the final
+/// confirmation run of each unique shrunk failure.
+fn explore_with(
+    master: &dyn TestTarget,
+    epochs: &mut dyn EpochRunner,
     spec: &ProtocolSpec,
     config: &ExploreConfig,
 ) -> ExploreOutcome {
+    assert!(config.epoch > 0, "epoch width must be at least 1");
     let mut rng = SimRng::seed_from(config.seed);
-    let mutator = ScheduleMutator::new(spec, target.node_count(), target.fault_sites());
+    let mutator = ScheduleMutator::new(spec, master.node_count(), master.fault_sites());
 
     let baseline = FaultSchedule::empty();
-    let base_run = run_schedule(target, &baseline);
+    let base_run = run_schedule(master, &baseline);
     let mut coverage = base_run.coverage;
     let mut corpus = vec![baseline.clone()];
     let mut executed = 1usize;
@@ -110,56 +276,69 @@ pub fn explore(
     let mut failures: Vec<FoundFailure> = Vec::new();
     let mut failure_keys = std::collections::BTreeSet::new();
 
-    for _ in 0..config.budget {
-        let parent = &corpus[rng.uniform_u64(0, corpus.len() as u64) as usize];
-        let candidate = mutator.mutate(parent, config.max_faults, &mut rng);
-        if !seen.insert(candidate.id()) {
-            continue; // Already ran this exact schedule; the attempt still
-                      // counts against the budget.
+    let mut attempted = 0usize;
+    while attempted < config.budget {
+        // Generate the epoch serially against the epoch-start corpus; a
+        // mutant that re-derives an already-seen schedule still consumes
+        // budget but is not re-run.
+        let mut batch: Vec<FaultSchedule> = Vec::new();
+        while attempted < config.budget && batch.len() < config.epoch {
+            attempted += 1;
+            let parent = &corpus[rng.uniform_u64(0, corpus.len() as u64) as usize];
+            let candidate = mutator.mutate(parent, config.max_faults, &mut rng);
+            if seen.insert(candidate.id()) {
+                batch.push(candidate);
+            }
         }
-        let run = run_schedule(target, &candidate);
-        executed += 1;
-        if coverage.merge(&run.coverage) > 0 {
-            corpus.push(candidate.clone());
-        }
-        let Verdict::Violated(_) = &run.verdict else {
+        if batch.is_empty() {
             continue;
-        };
-        let oracle = run.oracle.clone().unwrap_or_else(|| "target".to_string());
-        // Shrink against the *same* oracle: the minimal schedule must
-        // reproduce this failure, not just any failure.
-        let shrunk = shrink_schedule(&candidate, |s| {
-            let rerun = run_schedule(target, s);
-            executed += 1;
-            rerun.verdict.is_violation() && rerun.oracle.as_deref() == Some(oracle.as_str())
-        });
-        if !failure_keys.insert((oracle.clone(), shrunk.id())) {
-            continue; // Same minimal failure already reported.
         }
-        let final_run = run_schedule(target, &shrunk);
-        executed += 1;
-        let message = match &final_run.verdict {
-            // The verdict text is "oracle-name: message"; the artifact keeps
-            // the oracle on its own line, so store the bare message.
-            Verdict::Violated(m) => m
-                .strip_prefix(&format!("{oracle}: "))
-                .unwrap_or(m)
-                .to_string(),
-            other => unreachable!("shrunk schedule stopped failing: {other:?}"),
-        };
-        failures.push(FoundFailure {
-            schedule: candidate,
-            shrunk: shrunk.clone(),
-            oracle: oracle.clone(),
-            message: message.clone(),
-            repro: Repro {
-                target: target.name().to_string(),
-                seed: target.seed(),
-                oracle,
-                message,
-                schedule: shrunk,
-            },
-        });
+
+        // Execute anywhere, merge canonically: schedule-id order makes the
+        // merge independent of completion order and worker count.
+        let mut reports = epochs.run_epoch(batch);
+        reports.sort_by_key(|r| r.schedule.id());
+
+        for report in reports {
+            executed += 1 + report.shrink.as_ref().map_or(0, |s| s.runs);
+            if coverage.merge(&report.run.coverage) > 0 {
+                corpus.push(report.schedule.clone());
+                epochs.note_novel(report.worker);
+            }
+            let Some(shrink) = report.shrink else {
+                continue;
+            };
+            if !failure_keys.insert((shrink.oracle.clone(), shrink.shrunk.id())) {
+                continue; // Same minimal failure already reported.
+            }
+            // Confirm the shrunk schedule on the master and harvest the
+            // violation message for the artifact.
+            let final_run = run_schedule(master, &shrink.shrunk);
+            executed += 1;
+            let message = match &final_run.verdict {
+                // The verdict text is "oracle-name: message"; the artifact
+                // keeps the oracle on its own line, so store the bare
+                // message.
+                Verdict::Violated(m) => m
+                    .strip_prefix(&format!("{}: ", shrink.oracle))
+                    .unwrap_or(m)
+                    .to_string(),
+                other => unreachable!("shrunk schedule stopped failing: {other:?}"),
+            };
+            failures.push(FoundFailure {
+                schedule: report.schedule,
+                shrunk: shrink.shrunk.clone(),
+                oracle: shrink.oracle.clone(),
+                message: message.clone(),
+                repro: Repro {
+                    target: master.name().to_string(),
+                    seed: master.seed(),
+                    oracle: shrink.oracle,
+                    message,
+                    schedule: shrink.shrunk,
+                },
+            });
+        }
     }
 
     ExploreOutcome {
@@ -168,6 +347,46 @@ pub fn explore(
         failures,
         executed,
     }
+}
+
+/// Runs a coverage-guided exploration of `target` within `config.budget`,
+/// executing candidates inline on the calling thread (the 1-worker fleet).
+/// Byte-identical to [`explore_fleet`] at the same config for any job
+/// count.
+pub fn explore(
+    target: &dyn TestTarget,
+    spec: &ProtocolSpec,
+    config: &ExploreConfig,
+) -> ExploreOutcome {
+    let mut epochs = InlineEpochs { target };
+    explore_with(target, &mut epochs, spec, config)
+}
+
+/// Runs the same exploration with candidate execution fanned out across
+/// `jobs` worker threads. Every worker constructs its own target from the
+/// `Send` factory; candidates travel as schedule text. The outcome is
+/// byte-identical to [`explore`] with the same config — worker count
+/// affects only wall-clock time and the [`FleetReport`] statistics.
+pub fn explore_fleet(
+    factory: Arc<dyn TargetFactory>,
+    spec: &ProtocolSpec,
+    config: &ExploreConfig,
+    jobs: usize,
+) -> (ExploreOutcome, FleetReport) {
+    let master = factory.make();
+    let worker_factory = Arc::clone(&factory);
+    let fleet: Fleet<Vec<String>, CandidateReport> = Fleet::new(jobs, move |_worker| {
+        let target = worker_factory.make();
+        Box::new(move |lines: Vec<String>| {
+            let schedule = FaultSchedule::from_lines(lines.iter().map(String::as_str))
+                .expect("fleet jobs carry well-formed fault lines");
+            candidate_report(target.as_ref(), schedule)
+        }) as Box<dyn JobRunner<Vec<String>, CandidateReport>>
+    });
+    let mut epochs = FleetEpochs { fleet };
+    let outcome = explore_with(master.as_ref(), &mut epochs, spec, config);
+    let report = epochs.fleet.shutdown();
+    (outcome, report)
 }
 
 /// Replays a repro artifact against a target; the returned run should

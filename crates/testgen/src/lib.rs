@@ -15,6 +15,11 @@
 //!   the judges, delta-debugging ([`shrink_schedule`]) to 1-minimal
 //!   failures, and replayable text [`Repro`] artifacts.
 //!
+//! Both campaign forms fan out across worker threads via `pfi-fleet`:
+//! [`explore_fleet`] and [`run_campaign_fleet`] take a [`TargetFactory`]
+//! (workers build their own `!Send` worlds) and produce outcomes
+//! byte-identical to their sequential counterparts for any job count.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,7 +46,7 @@
 //! let outcome = explore(
 //!     &GmpTarget::default(),
 //!     &ProtocolSpec::gmp(),
-//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2 },
+//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2, epoch: 1 },
 //! );
 //! assert!(outcome.coverage.len() > 0);
 //! ```
@@ -59,17 +64,20 @@ mod shrink;
 mod spec;
 
 pub use coverage::Coverage;
-pub use explore::{explore, replay, ExploreConfig, ExploreOutcome, FoundFailure};
+pub use explore::{
+    explore, explore_fleet, replay, ExploreConfig, ExploreOutcome, FoundFailure, DEFAULT_EPOCH,
+};
 pub use generate::{generate, Campaign, FaultKind, TestCase};
 pub use oracle::{
     first_violation, DeliveredStream, GmpAgreementOracle, GmpLeaderUniquenessOracle,
     GmpNoSelfDeathOracle, GmpProclaimRoutingOracle, GmpTimerDisciplineOracle, Oracle,
     TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
 };
+pub use pfi_fleet::{FleetReport, WorkerStats};
 pub use repro::Repro;
 pub use runner::{
-    run_campaign, run_case, run_schedule, CaseResult, GmpTarget, ScheduleRun, TcpTarget,
-    TestTarget, TpcTarget, Verdict, DRIVE_EVENT_CAP,
+    run_campaign, run_campaign_fleet, run_case, run_schedule, CaseResult, GmpTarget, ScheduleRun,
+    TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict, DRIVE_EVENT_CAP,
 };
 pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
 pub use shrink::shrink_schedule;

@@ -206,10 +206,12 @@ impl Oracle for GmpAgreementOracle {
             else {
                 continue;
             };
-            if members.is_empty() {
+            // let-else keeps this structurally panic-free: an empty member
+            // list is itself the violation, never an unwrap on min().
+            let Some(&min_member) = members.iter().min() else {
                 return Err(format!("{node} committed an empty view for gid {gid}"));
-            }
-            if leader != *members.iter().min().unwrap() {
+            };
+            if leader != min_member {
                 return Err(format!(
                     "{node} committed gid {gid} with leader {leader} not the minimum of {members:?}"
                 ));

@@ -2,7 +2,10 @@
 //! target system, extracts coverage, and judges the run with the target's
 //! oracles.
 
+use std::sync::Arc;
+
 use pfi_core::{Direction, Filter, PfiControl, PfiReply};
+use pfi_fleet::{Fleet, FleetReport, JobRunner};
 use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStub};
 use pfi_rudp::RudpLayer;
 use pfi_sim::{NodeId, SimDuration, World};
@@ -114,6 +117,24 @@ pub trait TestTarget {
     fn verdict(&self, world: &mut World) -> Verdict;
 }
 
+/// Builds fresh [`TestTarget`]s on demand — the `Send` handle a fleet
+/// worker uses to construct its own target on its own thread. (Built
+/// worlds are `Rc`/`RefCell`-based and `!Send`; the factory is what
+/// crosses the thread boundary instead.)
+pub trait TargetFactory: Send + Sync {
+    /// Builds one target instance.
+    fn make(&self) -> Box<dyn TestTarget>;
+}
+
+/// Every `Clone + Send + Sync` target description is its own factory —
+/// the bundled targets ([`GmpTarget`], [`TcpTarget`], [`TpcTarget`]) are
+/// plain-data configs, so `Arc::new(GmpTarget::default())` is a factory.
+impl<T: TestTarget + Clone + Send + Sync + 'static> TargetFactory for T {
+    fn make(&self) -> Box<dyn TestTarget> {
+        Box::new(self.clone())
+    }
+}
+
 /// Runs every case of a campaign against fresh instances of the target.
 pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseResult> {
     campaign
@@ -121,6 +142,28 @@ pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseRes
         .iter()
         .map(|case| run_case(target, case))
         .collect()
+}
+
+/// Runs a campaign's cases fanned out across `jobs` worker threads. Cases
+/// are independent pure functions of their scripts, so results come back
+/// in campaign order and are byte-identical to [`run_campaign`] for any
+/// job count; only wall-clock time and the [`FleetReport`] vary.
+pub fn run_campaign_fleet(
+    factory: Arc<dyn TargetFactory>,
+    campaign: &Campaign,
+    jobs: usize,
+) -> (Vec<CaseResult>, FleetReport) {
+    let mut fleet: Fleet<TestCase, CaseResult> = Fleet::new(jobs, move |_worker| {
+        let target = factory.make();
+        Box::new(move |case: TestCase| run_case(target.as_ref(), &case))
+            as Box<dyn JobRunner<TestCase, CaseResult>>
+    });
+    let results = fleet
+        .run_epoch(campaign.cases.clone())
+        .into_iter()
+        .map(|item| item.result)
+        .collect();
+    (results, fleet.shutdown())
 }
 
 /// Runs a single grid-generated case (on the target's primary site).

@@ -38,10 +38,13 @@ fn rediscovers(bug: &str, oracle: &str, budget: usize) {
     let outcome = explore(
         &target,
         &spec,
+        // epoch: 1 pins the classic sequential trajectory these budgets
+        // were sized against (epoch width changes the search walk).
         &ExploreConfig {
             seed: SEED,
             budget,
             max_faults: 3,
+            epoch: 1,
         },
     );
     let failure = outcome
@@ -145,6 +148,7 @@ fn coverage_guided_search_beats_the_grid() {
             seed: SEED,
             budget: campaign.len() - 1,
             max_faults: 3,
+            epoch: 1,
         },
     );
     assert!(outcome.executed <= campaign.len());
@@ -169,6 +173,7 @@ fn exploration_is_deterministic() {
         seed: 7,
         budget: 40,
         max_faults: 3,
+        epoch: 1,
     };
     let a = explore(&target, &spec, &config);
     let b = explore(&target, &spec, &config);
@@ -195,6 +200,7 @@ fn clean_target_yields_no_failures() {
             seed: SEED,
             budget: 24,
             max_faults: 3,
+            epoch: 1,
         },
     );
     assert!(

@@ -1,29 +1,32 @@
 #!/usr/bin/env sh
 # Tracked bench pipeline: runs the ablation benchmark groups
 # (script_interpreter, pfi_interposition_overhead, congestion_ablation,
-# sim_engine) and aggregates the per-bench JSON records into BENCH_1.json
-# at the repository root — group -> bench -> median ns/op (+ throughput
-# where the bench declares one). If scripts/bench_baseline.json exists
-# (the recorded pre-compile-once baseline, measured back-to-back with the
-# optimized build on the same machine), each entry also carries the
-# baseline median and the speedup factor.
+# sim_engine, campaign_throughput) and aggregates the per-bench JSON
+# records into BENCH_2.json at the repository root — group -> bench ->
+# median ns/op (+ throughput where the bench declares one), so one report
+# carries both the PR-1 interpreter/engine benches and the PR-3 fleet
+# scaling rows. If scripts/bench_baseline.json exists (the recorded
+# pre-compile-once baseline, measured back-to-back with the optimized
+# build on the same machine), each entry also carries the baseline median
+# and the speedup factor. A `_meta` entry records the host's CPU count —
+# fleet scaling rows are meaningless without it.
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args]
 # Knobs: PFI_BENCH_SAMPLE_MS, PFI_BENCH_WARMUP_MS, PFI_BENCH_SAMPLES
-#        (see crates/criterion), BENCH_OUT (default: BENCH_1.json).
+#        (see crates/criterion), BENCH_OUT (default: BENCH_2.json).
 
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 raw="$repo/target/pfi-bench"
-out="${BENCH_OUT:-$repo/BENCH_1.json}"
+out="${BENCH_OUT:-$repo/BENCH_2.json}"
 
 rm -rf "$raw"
 PFI_BENCH_OUT="$raw" cargo bench --manifest-path "$repo/Cargo.toml" \
     -p pfi-bench --bench ablations -- "$@"
 
 python3 - "$raw" "$repo/scripts/bench_baseline.json" "$out" <<'PY'
-import json, pathlib, sys
+import json, os, pathlib, sys
 
 raw, baseline_path, out = map(pathlib.Path, sys.argv[1:4])
 
@@ -45,9 +48,12 @@ for f in sorted(raw.glob("*/*.json")):
         entry["speedup"] = round(base / d["median_ns"], 2)
     result.setdefault(d["group"], {})[d["bench"]] = entry
 
+result["_meta"] = {"host_cpus": os.cpu_count()}
 out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-print(f"wrote {out}")
+print(f"wrote {out} (host_cpus={os.cpu_count()})")
 for group, benches in sorted(result.items()):
+    if group == "_meta":
+        continue
     for bench, rec in sorted(benches.items()):
         speed = f'  {rec["speedup"]:.2f}x vs baseline' if "speedup" in rec else ""
         print(f'{group}/{bench}: {rec["median_ns"]:.1f} ns/op{speed}')

@@ -23,6 +23,9 @@
 //! * [`experiments`] — the paper's evaluation experiments.
 //! * [`testgen`] — automatic test-script generation from protocol
 //!   specifications (the paper's future work (ii)).
+//! * [`fleet`] — deterministic multi-worker campaign execution (epoch
+//!   scheduling, worker statistics); campaign outcomes are byte-identical
+//!   for any worker count.
 //!
 //! # Quick start
 //!
@@ -65,6 +68,7 @@
 
 pub use pfi_core as core;
 pub use pfi_experiments as experiments;
+pub use pfi_fleet as fleet;
 pub use pfi_gmp as gmp;
 pub use pfi_ip as ip;
 pub use pfi_rudp as rudp;
