@@ -338,6 +338,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         budget: 24,
         max_faults: 3,
         epoch: 8,
+        prefilter: true,
     };
     let mut g = c.benchmark_group("campaign_throughput");
     g.sample_size(5);

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod bindings;
+mod commands;
 mod control;
 pub mod faults;
 mod filter;
@@ -82,6 +83,7 @@ mod log;
 pub mod lower;
 mod stub;
 
+pub use commands::{CommandInfo, CommandTable};
 pub use control::{PfiControl, PfiReply};
 pub use filter::{Direction, Filter, FilterCtx, Injection, Verdict};
 pub use globals::GlobalBoard;

@@ -188,7 +188,7 @@ impl BenchmarkGroup<'_> {
         }
         let sample_ms = env_u64("PFI_BENCH_SAMPLE_MS", 60);
         let warmup_ms = env_u64("PFI_BENCH_WARMUP_MS", 150);
-        let samples = env_u64("PFI_BENCH_SAMPLES", 0).max(0) as usize;
+        let samples = env_u64("PFI_BENCH_SAMPLES", 0) as usize;
         let samples = if samples > 0 {
             samples
         } else {
@@ -208,7 +208,7 @@ impl BenchmarkGroup<'_> {
         let warm_deadline = Instant::now() + Duration::from_millis(warmup_ms);
         while Instant::now() < warm_deadline {
             let mut wb = Bencher {
-                iters: iters.min(1_000).max(1),
+                iters: iters.clamp(1, 1_000),
                 elapsed: Duration::ZERO,
             };
             f(&mut wb);

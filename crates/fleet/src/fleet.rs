@@ -193,6 +193,7 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
             workers: self.stats.clone(),
             epochs: self.epochs,
             dispatched: self.dispatched,
+            rejected: 0, // only the campaign layer knows what it pre-filtered
             job_queue_high_water: self.jobs.high_water(),
             result_queue_high_water: self.results.high_water(),
             wall: self.started.elapsed(),

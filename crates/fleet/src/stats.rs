@@ -44,6 +44,11 @@ pub struct FleetReport {
     pub epochs: u64,
     /// Jobs dispatched across all epochs.
     pub dispatched: u64,
+    /// Jobs the master rejected before dispatch (e.g. statically-invalid
+    /// campaign candidates dropped by a pre-filter) — work the fleet
+    /// never had to schedule. Set by the caller; the fleet itself only
+    /// ever sees jobs that survived.
+    pub rejected: u64,
     /// Deepest the job queue ever ran (jobs waiting for a worker).
     pub job_queue_high_water: usize,
     /// Deepest the result queue ever ran (results waiting for the master).
@@ -79,10 +84,11 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet: {} worker(s), {} epoch(s), {} job(s), {:.1} exec/s wall ({:.0} ms wall, {:.0} ms busy), queue high-water jobs={} results={}",
+            "fleet: {} worker(s), {} epoch(s), {} job(s), {} rejected pre-dispatch, {:.1} exec/s wall ({:.0} ms wall, {:.0} ms busy), queue high-water jobs={} results={}",
             self.workers.len(),
             self.epochs,
             self.dispatched,
+            self.rejected,
             self.exec_per_sec(),
             self.wall.as_secs_f64() * 1e3,
             self.total_busy().as_secs_f64() * 1e3,

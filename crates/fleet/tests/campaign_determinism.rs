@@ -51,7 +51,11 @@ fn fixed_gmp() -> GmpTarget {
 /// dedup, run, merge coverage, shrink-and-confirm violations — one
 /// candidate at a time on one thread. The epoch engine at `epoch: 1` must
 /// reproduce this loop exactly (same RNG stream, same executed counts,
-/// same artifact bytes).
+/// same artifact bytes). This loop predates static pre-filtering, so it
+/// runs uninstallable candidates (which refuse at install time with
+/// empty coverage) — the comparison below therefore uses
+/// `prefilter: false`; digest equality between the filtered and
+/// unfiltered engines is asserted separately in the testgen suite.
 fn reference_sequential_explore(
     target: &dyn TestTarget,
     spec: &ProtocolSpec,
@@ -123,6 +127,7 @@ fn reference_sequential_explore(
         coverage,
         failures,
         executed,
+        rejected: 0,
     }
 }
 
@@ -140,9 +145,10 @@ fn epoch_one_fleet_reproduces_the_prefleet_sequential_explorer() {
     let spec = ProtocolSpec::gmp();
     let config = ExploreConfig {
         seed: SEED,
-        budget: 24,
+        budget: 40, // smallest budget at which this seed rediscovers the bug
         max_faults: 3,
         epoch: 1,
+        prefilter: false,
     };
 
     let reference = reference_sequential_explore(&target, &spec, &config);
@@ -192,6 +198,7 @@ fn wide_epoch_outcomes_are_worker_count_invariant() {
             budget: 24,
             max_faults: 3,
             epoch,
+            prefilter: true,
         };
         let mut digests = Vec::new();
         for jobs in [1, 2, 4] {
@@ -246,6 +253,7 @@ fn golden_campaign_digest_is_stable() {
         budget: 24,
         max_faults: 3,
         epoch: 8,
+        prefilter: true,
     };
     let (outcome, _) = explore_fleet(Arc::new(fixed_gmp()), &ProtocolSpec::gmp(), &config, 2);
     let line = format!(

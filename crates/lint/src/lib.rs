@@ -1,0 +1,363 @@
+//! # pfi-lint — static analysis for PFI filter scripts
+//!
+//! A multi-pass analyzer over the ASTs `pfi-script` already produces (no
+//! second parser): command resolution against the interpreter's builtin
+//! table and the PFI layer's host-command table, def-before-use variable
+//! dataflow, dead-code and constant-condition detection, and a
+//! determinism lint for RNG-drawing commands.
+//!
+//! The analysis is deliberately conservative: whenever a construct is
+//! dynamic (a computed command word, a computed `set` target, a dynamic
+//! `eval`), the affected pass degrades to silence or a `note` rather than
+//! risk an `error`-severity false positive — campaign pre-filtering
+//! rejects candidates on `error` findings, so an error must mean the
+//! script truly cannot work.
+//!
+//! ```
+//! use pfi_lint::{Category, Linter, Severity};
+//!
+//! let diags = Linter::filter().lint("if {[msg_type] == \"ACK\"} { xDorp cur_msg }");
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].category, Category::UnknownCommand);
+//! assert_eq!(diags[0].severity, Severity::Error);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod diag;
+
+pub use analysis::Linter;
+pub use diag::{render, Category, Diagnostic, Severity};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cats(diags: &[Diagnostic]) -> Vec<Category> {
+        diags.iter().map(|d| d.category).collect()
+    }
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    // ---- pass 1: command resolution -----------------------------------
+
+    #[test]
+    fn unknown_command_is_an_error_with_a_span() {
+        let diags = Linter::filter().lint("set x 1\nxDorp cur_msg\n");
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!((diags[0].span.line, diags[0].span.col), (2, 1));
+        assert!(diags[0].message.contains("xDorp"));
+    }
+
+    #[test]
+    fn unknown_command_without_host_table() {
+        // `plain()` has no host commands: filter-only words are unknown.
+        let diags = Linter::plain().lint("xDrop");
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+        let diags = Linter::filter().lint("xDrop");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn computed_command_words_are_never_flagged() {
+        // Dynamic dispatch the analysis cannot see must not error.
+        let diags = Linter::filter().lint("set op xDrop\n$op\n[msg_field 0] cur_msg\n");
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn script_local_procs_resolve() {
+        let src = "proc classify {t} { return $t }\nclassify ACK\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        // ... including calls lexically before the definition.
+        let src = "classify ACK\nproc classify {t} { return $t }\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bad_arity_on_builtin_host_and_proc() {
+        let diags = Linter::filter().lint("llength a b\n");
+        assert_eq!(cats(&diags), vec![Category::BadArity]);
+        assert_eq!(diags[0].severity, Severity::Error);
+
+        let diags = Linter::filter().lint("msg_set_byte 0\n");
+        assert_eq!(cats(&diags), vec![Category::BadArity]);
+
+        let src = "proc two {a b} { return $a$b }\ntwo onearg\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::BadArity]);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn cur_msg_tokens_do_not_count_toward_arity() {
+        let diags = Linter::filter().lint("msg_type cur_msg\nxDrop cur_msg\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn proc_with_defaults_and_args_tail() {
+        let src = "proc f {a {b 0} args} { return $a }\nf 1\nf 1 2 3 4\nf\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::BadArity]); // only `f` with 0 args
+        assert_eq!(diags[0].span.line, 4);
+    }
+
+    // ---- pass 2: variable dataflow ------------------------------------
+
+    #[test]
+    fn read_of_never_assigned_var_warns() {
+        let diags = Linter::filter().lint("set x $undefined\n");
+        assert_eq!(cats(&diags), vec![Category::UndefVar]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("undefined"));
+    }
+
+    #[test]
+    fn one_branch_assignment_is_a_maybe() {
+        let src = "if {[msg_len] > 0} { set n [msg_len] }\nset y $n\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::MaybeUndefVar]);
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn both_branch_assignment_is_definite() {
+        let src = "if {[msg_len] > 0} { set n 1 } else { set n 0 }\nset y $n\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn loop_body_assignment_stays_maybe_after_the_loop() {
+        let src = "while {[msg_len] > $i} { set last [msg_byte 0]; incr i }\nset y $last\n";
+        let diags = Linter::filter().lint(src);
+        // `$i` before any incr is a maybe too; `$last` after the loop may
+        // never have been set.
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.category == Category::MaybeUndefVar && d.severity == Severity::Note),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("last")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn straight_line_def_before_use_is_clean() {
+        let src = "set count 0\nincr count\nset msg \"n=$count\"\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn incr_and_append_count_as_definitions() {
+        // Unset targets default to 0 / empty at runtime.
+        let src = "incr hits\nappend log x\nset y $hits$log\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn guards_suppress_variable_findings() {
+        let src = "if {[info exists seen]} { set y $seen }\nglobal tally\nincr tally\n";
+        assert!(Linter::filter().lint(src).is_empty());
+        // A seeded variable declared by the embedder is never flagged.
+        let diags = Linter::filter()
+            .with_predefined_vars(["budget"])
+            .lint("set y $budget\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dynamic_set_target_suppresses_the_whole_scope() {
+        // `set $name ...` can define anything: stay silent, not wrong.
+        let src = "set name [msg_field 0]\nset $name 1\nset y $whatever\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn array_reads_and_writes_use_the_base_name() {
+        let src = "set seen(ACK) 1\nset y $seen(ACK)\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn foreach_vars_are_defined_in_the_body() {
+        let src = "foreach t {ACK DATA} { set last $t }\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn expr_reads_are_checked() {
+        let diags = Linter::filter().lint("if {$missing > 0} { xDrop }\n");
+        assert_eq!(cats(&diags), vec![Category::UndefVar]);
+    }
+
+    #[test]
+    fn proc_params_are_defined_in_the_body() {
+        let src = "proc f {a b} { return [expr {$a + $b}] }\nf 1 2\n";
+        assert!(Linter::filter().lint(src).is_empty());
+        // ...but the body cannot see outer assignments.
+        let src = "set outer 1\nproc f {} { return $outer }\nf\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::UndefVar]);
+    }
+
+    // ---- pass 3: dead code & constant conditions ----------------------
+
+    #[test]
+    fn code_after_return_is_dead() {
+        let src = "xPass\nreturn\nxDrop\nxDelay 5\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::DeadCode]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // Reported once, at the first unreachable command.
+        assert_eq!((diags[0].span.line, diags[0].span.col), (3, 1));
+    }
+
+    #[test]
+    fn code_after_break_continue_error_is_dead() {
+        for term in ["break", "continue", "error oops"] {
+            let src = format!("while {{[msg_len] > 0}} {{\n  {term}\n  xDrop\n}}\n");
+            let diags = Linter::filter().lint(&src);
+            assert_eq!(cats(&diags), vec![Category::DeadCode], "after {term}");
+            assert_eq!(diags[0].span.line, 3, "after {term}");
+        }
+    }
+
+    #[test]
+    fn a_return_inside_a_branch_does_not_kill_the_tail() {
+        let src = "if {[msg_len] > 8} { return }\nxPass\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn constant_conditions_fold() {
+        let diags = Linter::filter().lint("if {0} { xDrop }\n");
+        assert_eq!(cats(&diags), vec![Category::ConstantCondition]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+
+        let diags = Linter::filter().lint("if {2 > 1} { xDrop }\n");
+        assert_eq!(cats(&diags), vec![Category::ConstantCondition]);
+
+        let diags = Linter::filter().lint("while {1 == 2} { xDrop }\n");
+        assert_eq!(cats(&diags), vec![Category::ConstantCondition]);
+    }
+
+    #[test]
+    fn while_1_idiom_is_allowed() {
+        let src = "while {1} { break }\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    #[test]
+    fn non_constant_conditions_do_not_fold() {
+        let src = "if {[msg_len] > 8} { xDrop }\nif {$n > 0} { xPass }\nset n 1\n";
+        let diags = Linter::filter().lint(src);
+        assert!(
+            diags.iter().all(|d| d.category == Category::MaybeUndefVar),
+            "{diags:?}"
+        );
+    }
+
+    // ---- pass 4: determinism ------------------------------------------
+
+    #[test]
+    fn rng_commands_warn_outside_the_deterministic_allowlist() {
+        let src = "if {[coin 0.5]} { xDrop } else { xPass }\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::Nondeterministic]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("coin"));
+    }
+
+    #[test]
+    fn deterministic_commands_do_not_warn() {
+        let src = "if {[msg_type] == \"ACK\"} { xDelay [expr {[msg_len] * 2}] }\n";
+        assert!(Linter::filter().lint(src).is_empty());
+    }
+
+    // ---- structural cases ---------------------------------------------
+
+    #[test]
+    fn parse_failure_is_a_single_error_diagnostic() {
+        let diags = Linter::filter().lint("set x \"unclosed\n");
+        assert_eq!(cats(&diags), vec![Category::ParseError]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].span.line > 0);
+    }
+
+    #[test]
+    fn malformed_nested_body_is_located() {
+        let src = "xPass\nif {[msg_len] > 0} {\n  set x \"unclosed\n}\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::ParseError]);
+        // The parser discovers the unterminated quote at end of input
+        // (line 4), in the enclosing file's coordinates — not line 1 of
+        // the inner body.
+        assert_eq!(diags[0].span.line, 4, "{diags:?}");
+    }
+
+    #[test]
+    fn findings_inside_catch_downgrade_to_notes() {
+        let src = "catch { xDorp cur_msg } err\nset y $err\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+        assert_eq!(diags[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn switch_bodies_are_walked() {
+        let src = "switch [msg_type] {\n  ACK { xDorp }\n  default { xPass }\n}\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+    }
+
+    #[test]
+    fn xafter_deferred_bodies_are_walked() {
+        let src = "xAfter 10 { xDorp cur_msg }\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+    }
+
+    #[test]
+    fn static_eval_bodies_are_walked() {
+        let diags = Linter::filter().lint("eval { xDorp cur_msg }\n");
+        assert_eq!(cats(&diags), vec![Category::UnknownCommand]);
+        // Dynamic eval: unknowable, silent.
+        let diags = Linter::filter().lint("set body [msg_field 0]\neval $body\n");
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_position() {
+        let src = "xDorp\nset y $nope\nxFrob\n";
+        let diags = Linter::filter().lint(src);
+        let lines: Vec<u32> = diags.iter().map(|d| d.span.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn lowered_campaign_scripts_are_clean() {
+        // The shape `pfi_core::lower` emits: guarded clauses with per-
+        // clause counters. Must never trip the linter.
+        let src = "if {[msg_type] == \"ACK\"} {\n  incr c0\n  if {$c0 == 2} { xDrop cur_msg }\n}\nif {[msg_len] > 4} {\n  incr c1\n  xDelay 50\n}\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -232,7 +232,7 @@ mod tests {
         let lens: Vec<usize> = (0..100)
             .map(|_| p.generate(&mut rng).chars().count())
             .collect();
-        assert!(lens.iter().any(|&l| l == 0));
+        assert!(lens.contains(&0));
         assert!(lens.iter().any(|&l| l > 4));
     }
 

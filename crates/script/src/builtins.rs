@@ -1,0 +1,173 @@
+//! The interpreter's builtin command table, exported for static analysis.
+//!
+//! `pfi-lint` resolves statically-known command words against this table
+//! (plus the host's command table and script-local `proc` definitions)
+//! and checks argument counts without running anything. The table is the
+//! source of truth for *names and arities only* — semantics live in
+//! `interp.rs`; a mismatch between the two is a bug caught by
+//! `table_matches_the_interpreter` below.
+
+/// Name and arity bounds for one interpreter builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltinInfo {
+    /// The command word.
+    pub name: &'static str,
+    /// Minimum number of arguments (after the command word).
+    pub min_args: usize,
+    /// Maximum number of arguments, or `None` for variadic commands.
+    pub max_args: Option<usize>,
+}
+
+impl BuiltinInfo {
+    /// Whether `n` arguments is an acceptable count for this builtin.
+    pub fn accepts(&self, n: usize) -> bool {
+        n >= self.min_args && self.max_args.is_none_or(|max| n <= max)
+    }
+}
+
+const fn b(name: &'static str, min_args: usize, max_args: Option<usize>) -> BuiltinInfo {
+    BuiltinInfo {
+        name,
+        min_args,
+        max_args,
+    }
+}
+
+/// Every builtin the interpreter dispatches, sorted by name.
+///
+/// `if` and `switch` are syntactically variadic (`elseif`/`else` chains,
+/// optional `-exact`/`-glob` flags), so their upper bounds are `None` even
+/// though the interpreter enforces more structure at runtime.
+const TABLE: &[BuiltinInfo] = &[
+    b("append", 1, None),
+    b("array", 2, Some(2)),
+    b("break", 0, Some(0)),
+    b("catch", 1, Some(2)),
+    b("concat", 0, None),
+    b("continue", 0, Some(0)),
+    b("error", 1, Some(1)),
+    b("eval", 0, None),
+    b("expr", 1, None),
+    b("for", 4, Some(4)),
+    b("foreach", 3, Some(3)),
+    b("format", 1, None),
+    b("global", 0, None),
+    b("if", 2, None),
+    b("incr", 1, Some(2)),
+    b("info", 2, Some(2)),
+    b("join", 1, Some(2)),
+    b("lappend", 1, None),
+    b("lindex", 2, Some(2)),
+    b("linsert", 3, None),
+    b("list", 0, None),
+    b("llength", 1, Some(1)),
+    b("lrange", 3, Some(3)),
+    b("lreplace", 3, None),
+    b("lreverse", 1, Some(1)),
+    b("lsearch", 2, Some(3)),
+    b("lsort", 1, None),
+    b("proc", 3, Some(3)),
+    b("puts", 1, Some(2)),
+    b("return", 0, Some(1)),
+    b("set", 1, Some(2)),
+    b("split", 1, Some(2)),
+    b("string", 1, None),
+    b("switch", 2, Some(3)),
+    b("unset", 0, None),
+    b("while", 2, Some(2)),
+];
+
+/// The interpreter's builtin commands with their arity bounds, sorted by
+/// name (so lookups can binary-search).
+pub fn builtins() -> &'static [BuiltinInfo] {
+    TABLE
+}
+
+/// Looks up a builtin by command word.
+pub fn lookup_builtin(name: &str) -> Option<&'static BuiltinInfo> {
+    TABLE
+        .binary_search_by(|info| info.name.cmp(name))
+        .ok()
+        .map(|i| &TABLE[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, NoHost};
+
+    #[test]
+    fn table_is_sorted_for_binary_search() {
+        for pair in TABLE.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "{} >= {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_entry() {
+        for info in TABLE {
+            assert_eq!(lookup_builtin(info.name), Some(info));
+        }
+        assert_eq!(lookup_builtin("frobnicate"), None);
+    }
+
+    #[test]
+    fn accepts_bounds() {
+        let set = lookup_builtin("set").unwrap();
+        assert!(!set.accepts(0));
+        assert!(set.accepts(1));
+        assert!(set.accepts(2));
+        assert!(!set.accepts(3));
+        let list = lookup_builtin("list").unwrap();
+        assert!(list.accepts(0));
+        assert!(list.accepts(100));
+    }
+
+    /// Every table entry must actually be dispatched by the interpreter
+    /// (i.e. not reach the "invalid command name" fallback), and a name
+    /// missing from the table must not be a builtin.
+    #[test]
+    fn table_matches_the_interpreter() {
+        for info in TABLE {
+            // Invoke with zero args: any error is fine except the unknown-
+            // command error, which would mean the table lists a ghost.
+            let r = Interp::new().eval(&mut NoHost, info.name);
+            if let Err(e) = r {
+                assert!(
+                    !e.message.contains("invalid command name"),
+                    "table lists \"{}\" but the interpreter does not dispatch it",
+                    info.name
+                );
+            }
+        }
+    }
+
+    /// Below-minimum and above-maximum argument counts must be rejected at
+    /// runtime for bounded builtins — the linter's arity errors are only
+    /// trustworthy if the interpreter agrees.
+    #[test]
+    fn arity_bounds_agree_with_runtime() {
+        for info in TABLE {
+            if info.min_args > 0 {
+                let words = vec![info.name.to_string(); 1]; // zero args
+                let src = words.join(" ");
+                let r = Interp::new().eval(&mut NoHost, &src);
+                assert!(
+                    r.is_err(),
+                    "\"{src}\" should fail with too few args (min {})",
+                    info.min_args
+                );
+            }
+            if let Some(max) = info.max_args {
+                let src = format!("{} {}", info.name, vec!["0"; max + 1].join(" "));
+                let r = Interp::new().eval(&mut NoHost, &src);
+                assert!(r.is_err(), "\"{src}\" should fail with too many args");
+            }
+        }
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::parse::Span;
+
 /// An error raised while parsing or evaluating a script.
 ///
 /// The [`Display`](fmt::Display) form matches Tcl's terse error style
@@ -13,29 +15,52 @@ pub struct ScriptError {
     pub message: String,
     /// 1-based source line the error was raised on (0 if unknown).
     pub line: u32,
+    /// 1-based source column the error was raised on (0 if unknown).
+    pub col: u32,
 }
 
 impl ScriptError {
-    /// Creates an error with no line attribution.
+    /// Creates an error with no source attribution.
     pub fn new(message: impl Into<String>) -> Self {
         ScriptError {
             message: message.into(),
             line: 0,
+            col: 0,
         }
     }
 
-    /// Creates an error attributed to a source line.
+    /// Creates an error attributed to a source line (column unknown).
     pub fn at(line: u32, message: impl Into<String>) -> Self {
         ScriptError {
             message: message.into(),
             line,
+            col: 0,
+        }
+    }
+
+    /// Creates an error attributed to an exact source position.
+    pub fn at_span(span: Span, message: impl Into<String>) -> Self {
+        ScriptError {
+            message: message.into(),
+            line: span.line,
+            col: span.col,
+        }
+    }
+
+    /// The error's source position (`line`/`col` may be 0 = unknown).
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
         }
     }
 }
 
 impl fmt::Display for ScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
+        if self.line > 0 && self.col > 0 {
+            write!(f, "{} (line {}:{})", self.message, self.line, self.col)
+        } else if self.line > 0 {
             write!(f, "{} (line {})", self.message, self.line)
         } else {
             write!(f, "{}", self.message)
@@ -83,6 +108,10 @@ mod tests {
     fn display_with_and_without_line() {
         assert_eq!(ScriptError::new("boom").to_string(), "boom");
         assert_eq!(ScriptError::at(3, "boom").to_string(), "boom (line 3)");
+        assert_eq!(
+            ScriptError::at_span(Span::at(3, 7), "boom").to_string(),
+            "boom (line 3:7)"
+        );
     }
 
     #[test]

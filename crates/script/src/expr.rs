@@ -562,6 +562,111 @@ impl ExprParser {
     }
 }
 
+/// What a static pass can learn about an `expr` source without evaluating
+/// it against interpreter state: the variables it reads, the `[command]`
+/// substitution scripts it would run, and — when it contains no
+/// substitutions at all — its constant truth value.
+///
+/// Produced by [`analyze_expr`]; consumed by `pfi-lint`'s dataflow and
+/// constant-condition passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExprSummary {
+    /// Names of `$var` / `$arr(index)` reads, in first-occurrence order,
+    /// deduplicated. For array reads this is the bare array name.
+    pub vars: Vec<String>,
+    /// Raw source text of each `[command]` substitution, in order.
+    pub cmd_scripts: Vec<String>,
+    /// `Some(truth)` when the expression has no substitutions and folds to
+    /// a value with a defined truthiness; `None` otherwise.
+    pub constant: Option<bool>,
+}
+
+/// Statically analyzes an expression source string. See [`ExprSummary`].
+///
+/// # Errors
+///
+/// Returns a [`ScriptError`] if the source does not parse as an expression.
+pub fn analyze_expr(src: &str) -> Result<ExprSummary, ScriptError> {
+    let ast = parse_expr(src)?;
+    let mut summary = ExprSummary::default();
+    collect_summary(&ast.root, &mut summary);
+    if summary.vars.is_empty() && summary.cmd_scripts.is_empty() {
+        // No substitutions: the expression is a pure function of literals.
+        // Fold it with a resolver that can never be reached.
+        struct NoSubst;
+        impl Resolver for NoSubst {
+            fn var(&mut self, name: &str) -> Result<String, ScriptError> {
+                Err(ScriptError::new(format!("unexpected var \"{name}\"")))
+            }
+            fn cmd(&mut self, script: &str) -> Result<String, ScriptError> {
+                Err(ScriptError::new(format!("unexpected cmd \"{script}\"")))
+            }
+        }
+        if let Ok(v) = eval_node(&ast.root, &mut NoSubst) {
+            summary.constant = v.truthy().ok();
+        }
+    }
+    let mut seen = Vec::new();
+    summary.vars.retain(|v| {
+        if seen.contains(v) {
+            false
+        } else {
+            seen.push(v.clone());
+            true
+        }
+    });
+    Ok(summary)
+}
+
+fn collect_summary(n: &Node, out: &mut ExprSummary) {
+    match n {
+        Node::Val(_) => {}
+        Node::Var(name) => out.vars.push(name.clone()),
+        Node::ArrVar(name, index) => {
+            out.vars.push(name.clone());
+            // `$vars` inside the index are reads too.
+            collect_index_vars(index, &mut out.vars);
+        }
+        Node::Cmd(script) => out.cmd_scripts.push(script.clone()),
+        Node::Unary(_, a) => collect_summary(a, out),
+        Node::Bin(_, a, b) => {
+            collect_summary(a, out);
+            collect_summary(b, out);
+        }
+        Node::Ternary(c, t, f) => {
+            collect_summary(c, out);
+            collect_summary(t, out);
+            collect_summary(f, out);
+        }
+        Node::Func(_, args) => {
+            for a in args {
+                collect_summary(a, out);
+            }
+        }
+    }
+}
+
+/// Extracts `$name` reads from an array-index source fragment (mirrors
+/// [`resolve_index_vars`], but statically).
+fn collect_index_vars(index: &str, out: &mut Vec<String>) {
+    let chars: Vec<char> = index.chars().collect();
+    let mut pos = 0usize;
+    while pos < chars.len() {
+        if chars[pos] == '$' {
+            pos += 1;
+            let start = pos;
+            while pos < chars.len() && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_') {
+                pos += 1;
+            }
+            if pos > start {
+                out.push(chars[start..pos].iter().collect());
+            }
+        } else {
+            pos += 1;
+        }
+    }
+}
+
 /// Compiles an expression source string into a reusable [`ExprAst`].
 pub(crate) fn parse_expr(src: &str) -> Result<ExprAst, ScriptError> {
     let toks = tokenize(src)?;
@@ -1085,5 +1190,38 @@ mod tests {
         assert_eq!(fmt_double(2.0), "2.0");
         assert_eq!(fmt_double(2.5), "2.5");
         assert_eq!(fmt_double(0.1), "0.1");
+    }
+
+    #[test]
+    fn analyze_collects_vars_and_cmds() {
+        let s = analyze_expr("$x + $y * $x").unwrap();
+        assert_eq!(s.vars, vec!["x", "y"]); // deduplicated, first-seen order
+        assert!(s.cmd_scripts.is_empty());
+        assert_eq!(s.constant, None);
+
+        let s = analyze_expr("[msg_type] == \"ACK\" && $seen($t) > 0").unwrap();
+        assert_eq!(s.vars, vec!["seen", "t"]);
+        assert_eq!(s.cmd_scripts, vec!["msg_type"]);
+        assert_eq!(s.constant, None);
+    }
+
+    #[test]
+    fn analyze_folds_constants() {
+        assert_eq!(analyze_expr("1").unwrap().constant, Some(true));
+        assert_eq!(analyze_expr("0").unwrap().constant, Some(false));
+        assert_eq!(analyze_expr("2 > 3").unwrap().constant, Some(false));
+        assert_eq!(analyze_expr("1 + 1 == 2").unwrap().constant, Some(true));
+        // Substitutions make the value unknowable statically.
+        assert_eq!(analyze_expr("$x > 0").unwrap().constant, None);
+        // A constant that errors (divide by zero) has no truth value.
+        assert_eq!(analyze_expr("1 / 0").unwrap().constant, None);
+        // A non-boolean string constant has no truth value either.
+        assert_eq!(analyze_expr("{hello}").unwrap().constant, None);
+    }
+
+    #[test]
+    fn analyze_rejects_malformed_sources() {
+        assert!(analyze_expr("1 +").is_err());
+        assert!(analyze_expr("").is_err());
     }
 }

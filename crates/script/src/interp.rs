@@ -12,7 +12,7 @@ use crate::cache::{CacheStats, SourceCache};
 use crate::error::{EvalResult, Exc, ScriptError};
 use crate::expr::{eval_ast, parse_expr, ExprAst, Resolver, Value};
 use crate::list::{glob_match, list_format, list_parse};
-use crate::parse::{Command, Part, Script, Word};
+use crate::parse::{Command, Part, Script, Span, Word};
 
 /// Extension point for commands implemented by the embedding application —
 /// the Rust analogue of Tcl extensions written in C (the paper's
@@ -282,10 +282,10 @@ impl Interp {
 
     // ---- internals ----------------------------------------------------
 
-    fn burn(&mut self, line: u32) -> Result<(), Exc> {
+    fn burn(&mut self, span: Span) -> Result<(), Exc> {
         if self.fuel == 0 {
-            return Err(Exc::Error(ScriptError::at(
-                line,
+            return Err(Exc::Error(ScriptError::at_span(
+                span,
                 "script execution budget exhausted",
             )));
         }
@@ -308,7 +308,7 @@ impl Interp {
     fn eval_script(&mut self, host: &mut dyn Host, script: &Script) -> EvalResult {
         let mut last = String::new();
         for cmd in &script.commands {
-            self.burn(cmd.line)?;
+            self.burn(cmd.span)?;
             last = self.eval_command(host, cmd)?;
         }
         Ok(last)
@@ -322,13 +322,13 @@ impl Interp {
         if words.is_empty() {
             return Ok(String::new());
         }
-        self.invoke(host, &words, cmd.line)
+        self.invoke(host, &words, cmd.span)
     }
 
     fn expand_word(&mut self, host: &mut dyn Host, w: &Word) -> EvalResult {
         match w {
-            Word::Braced(s) => Ok(s.clone()),
-            Word::Parts(parts) => self.expand_parts(host, parts),
+            Word::Braced(s, _) => Ok(s.clone()),
+            Word::Parts(parts, _) => self.expand_parts(host, parts),
         }
     }
 
@@ -404,12 +404,12 @@ impl Interp {
         }
     }
 
-    fn invoke(&mut self, host: &mut dyn Host, words: &[String], line: u32) -> EvalResult {
+    fn invoke(&mut self, host: &mut dyn Host, words: &[String], span: Span) -> EvalResult {
         let name = words[0].as_str();
         let args = &words[1..];
         let wrong_args = |usage: &str| {
-            Exc::Error(ScriptError::at(
-                line,
+            Exc::Error(ScriptError::at_span(
+                span,
                 format!("wrong # args: should be \"{usage}\""),
             ))
         };
@@ -434,8 +434,8 @@ impl Interp {
                     [n, d] => (
                         n,
                         d.trim().parse::<i64>().map_err(|_| {
-                            Exc::Error(ScriptError::at(
-                                line,
+                            Exc::Error(ScriptError::at_span(
+                                span,
                                 format!("expected integer but got \"{d}\""),
                             ))
                         })?,
@@ -444,8 +444,8 @@ impl Interp {
                 };
                 let cur = match self.var_ref(n) {
                     Ok(v) => v.trim().parse::<i64>().map_err(|_| {
-                        Exc::Error(ScriptError::at(
-                            line,
+                        Exc::Error(ScriptError::at_span(
+                            span,
                             format!("expected integer but got \"{v}\""),
                         ))
                     })?,
@@ -475,7 +475,7 @@ impl Interp {
                     self.expr_eval(host, &src).map(|v| v.to_output())
                 }
             },
-            "if" => self.builtin_if(host, args, line),
+            "if" => self.builtin_if(host, args, span),
             "while" => {
                 let [cond, body] = args else {
                     return Err(wrong_args("while test command"));
@@ -484,7 +484,7 @@ impl Interp {
                 let cond = self.cached_expr(cond)?;
                 let mut last = String::new();
                 loop {
-                    self.burn(line)?;
+                    self.burn(span)?;
                     if !self.expr_truthy_ast(host, &cond)? {
                         break;
                     }
@@ -507,7 +507,7 @@ impl Interp {
                 let body = self.cached_script(body)?;
                 self.eval_script(host, &init)?;
                 loop {
-                    self.burn(line)?;
+                    self.burn(span)?;
                     if !self.expr_truthy_ast(host, &cond)? {
                         break;
                     }
@@ -526,8 +526,8 @@ impl Interp {
                 };
                 let var_names = list_parse(vars).map_err(Exc::Error)?;
                 if var_names.is_empty() {
-                    return Err(Exc::Error(ScriptError::at(
-                        line,
+                    return Err(Exc::Error(ScriptError::at_span(
+                        span,
                         "foreach varlist is empty",
                     )));
                 }
@@ -536,7 +536,7 @@ impl Interp {
                 let stride = var_names.len();
                 let mut i = 0;
                 while i < items.len() {
-                    self.burn(line)?;
+                    self.burn(span)?;
                     for (k, vn) in var_names.iter().enumerate() {
                         let val = items.get(i + k).cloned().unwrap_or_default();
                         self.set_var(vn, val);
@@ -568,8 +568,8 @@ impl Interp {
                         1 => specs.push((parts[0].clone(), None)),
                         2 => specs.push((parts[0].clone(), Some(parts[1].clone()))),
                         _ => {
-                            return Err(Exc::Error(ScriptError::at(
-                                line,
+                            return Err(Exc::Error(ScriptError::at_span(
+                                span,
                                 format!("malformed parameter \"{p}\""),
                             )))
                         }
@@ -625,7 +625,7 @@ impl Interp {
                 Ok(code.to_string())
             }
             "error" => match args {
-                [msg] => Err(Exc::Error(ScriptError::at(line, msg.clone()))),
+                [msg] => Err(Exc::Error(ScriptError::at_span(span, msg.clone()))),
                 _ => Err(wrong_args("error message")),
             },
             "eval" => {
@@ -639,7 +639,7 @@ impl Interp {
                     return Err(wrong_args("lindex list index"));
                 };
                 let items = list_parse(list).map_err(Exc::Error)?;
-                let i = parse_index(idx, items.len(), line)?;
+                let i = parse_index(idx, items.len(), span)?;
                 Ok(items.get(i).cloned().unwrap_or_default())
             }
             "llength" => {
@@ -681,8 +681,8 @@ impl Interp {
                         "-decreasing" => decreasing = true,
                         "-increasing" => decreasing = false,
                         other => {
-                            return Err(Exc::Error(ScriptError::at(
-                                line,
+                            return Err(Exc::Error(ScriptError::at_span(
+                                span,
                                 format!("unknown lsort option \"{other}\""),
                             )))
                         }
@@ -693,8 +693,8 @@ impl Interp {
                     let mut keyed: Vec<(i64, String)> = Vec::with_capacity(items.len());
                     for it in items {
                         let k: i64 = it.trim().parse().map_err(|_| {
-                            Exc::Error(ScriptError::at(
-                                line,
+                            Exc::Error(ScriptError::at_span(
+                                span,
                                 format!("expected integer but got \"{it}\""),
                             ))
                         })?;
@@ -715,7 +715,7 @@ impl Interp {
                     return Err(wrong_args("linsert list index element ?element ...?"));
                 };
                 let mut items = list_parse(list).map_err(Exc::Error)?;
-                let i = parse_index(idx, items.len() + 1, line)?.min(items.len());
+                let i = parse_index(idx, items.len() + 1, span)?.min(items.len());
                 for (k, e) in rest.iter().enumerate() {
                     items.insert(i + k, e.clone());
                 }
@@ -726,8 +726,8 @@ impl Interp {
                     return Err(wrong_args("lreplace list first last ?element ...?"));
                 };
                 let mut items = list_parse(list).map_err(Exc::Error)?;
-                let i = parse_index(a, items.len(), line)?.min(items.len());
-                let j = parse_index(b, items.len(), line)?;
+                let i = parse_index(a, items.len(), span)?.min(items.len());
+                let j = parse_index(b, items.len(), span)?;
                 let end = if j == usize::MAX || j < i {
                     i
                 } else {
@@ -741,8 +741,8 @@ impl Interp {
                     return Err(wrong_args("lrange list first last"));
                 };
                 let items = list_parse(list).map_err(Exc::Error)?;
-                let i = parse_index(a, items.len(), line)?;
-                let j = parse_index(b, items.len(), line)?;
+                let i = parse_index(a, items.len(), span)?;
+                let j = parse_index(b, items.len(), span)?;
                 if items.is_empty() || i >= items.len() || j < i {
                     return Ok(String::new());
                 }
@@ -795,7 +795,7 @@ impl Interp {
                 }
                 Ok(parts.join(" "))
             }
-            "string" => self.builtin_string(args, line),
+            "string" => self.builtin_string(args, span),
             "format" => {
                 if args.is_empty() {
                     return Err(wrong_args("format formatString ?arg arg ...?"));
@@ -804,8 +804,8 @@ impl Interp {
             }
             "info" => match args {
                 [sub, n] if sub == "exists" => Ok((self.var_exists(n) as i32).to_string()),
-                _ => Err(Exc::Error(ScriptError::at(
-                    line,
+                _ => Err(Exc::Error(ScriptError::at_span(
+                    span,
                     "info supports only: info exists varName",
                 ))),
             },
@@ -851,21 +851,21 @@ impl Interp {
                         }
                         Ok(String::new())
                     }
-                    _ => Err(Exc::Error(ScriptError::at(
-                        line,
+                    _ => Err(Exc::Error(ScriptError::at_span(
+                        span,
                         "array supports: exists|size|names|get|unset arrayName",
                     ))),
                 }
             }
-            "switch" => self.builtin_switch(host, args, line),
+            "switch" => self.builtin_switch(host, args, span),
             _ => {
                 if let Some(def) = self.procs.get(name).cloned() {
-                    return self.call_proc(host, name, &def, args, line);
+                    return self.call_proc(host, name, &def, args, span);
                 }
                 match host.call(self, name, args) {
                     Some(r) => r.map_err(Exc::Error),
-                    None => Err(Exc::Error(ScriptError::at(
-                        line,
+                    None => Err(Exc::Error(ScriptError::at_span(
+                        span,
                         format!("invalid command name \"{name}\""),
                     ))),
                 }
@@ -873,12 +873,12 @@ impl Interp {
         }
     }
 
-    fn builtin_if(&mut self, host: &mut dyn Host, args: &[String], line: u32) -> EvalResult {
+    fn builtin_if(&mut self, host: &mut dyn Host, args: &[String], span: Span) -> EvalResult {
         let mut i = 0;
         loop {
             if i + 1 > args.len() {
-                return Err(Exc::Error(ScriptError::at(
-                    line,
+                return Err(Exc::Error(ScriptError::at_span(
+                    span,
                     "wrong # args: no expression after \"if\"",
                 )));
             }
@@ -888,8 +888,8 @@ impl Interp {
                 i += 1;
             }
             let Some(body) = args.get(i) else {
-                return Err(Exc::Error(ScriptError::at(
-                    line,
+                return Err(Exc::Error(ScriptError::at_span(
+                    span,
                     "wrong # args: no script following condition",
                 )));
             };
@@ -905,8 +905,8 @@ impl Interp {
                 }
                 Some("else") => {
                     let Some(body) = args.get(i + 1) else {
-                        return Err(Exc::Error(ScriptError::at(
-                            line,
+                        return Err(Exc::Error(ScriptError::at_span(
+                            span,
                             "wrong # args: no script following \"else\"",
                         )));
                     };
@@ -914,8 +914,8 @@ impl Interp {
                     return self.eval_script(host, &parsed);
                 }
                 Some(other) => {
-                    return Err(Exc::Error(ScriptError::at(
-                        line,
+                    return Err(Exc::Error(ScriptError::at_span(
+                        span,
                         format!("invalid argument \"{other}\" after if body"),
                     )))
                 }
@@ -924,20 +924,20 @@ impl Interp {
         }
     }
 
-    fn builtin_switch(&mut self, host: &mut dyn Host, args: &[String], line: u32) -> EvalResult {
+    fn builtin_switch(&mut self, host: &mut dyn Host, args: &[String], span: Span) -> EvalResult {
         let (mode, value, pairs_src) =
             match args {
                 [v, p] => ("-exact", v, p),
                 [m, v, p] if m == "-exact" || m == "-glob" => (m.as_str(), v, p),
-                _ => return Err(Exc::Error(ScriptError::at(
-                    line,
+                _ => return Err(Exc::Error(ScriptError::at_span(
+                    span,
                     "wrong # args: should be \"switch ?-exact|-glob? string {pattern body ...}\"",
                 ))),
             };
         let pairs = list_parse(pairs_src).map_err(Exc::Error)?;
         if pairs.len() % 2 != 0 {
-            return Err(Exc::Error(ScriptError::at(
-                line,
+            return Err(Exc::Error(ScriptError::at_span(
+                span,
                 "extra switch pattern with no body",
             )));
         }
@@ -961,8 +961,8 @@ impl Interp {
         while pairs[body_idx] == "-" {
             body_idx += 2;
             if body_idx >= pairs.len() {
-                return Err(Exc::Error(ScriptError::at(
-                    line,
+                return Err(Exc::Error(ScriptError::at_span(
+                    span,
                     "no body specified for final fallthrough pattern",
                 )));
             }
@@ -971,8 +971,8 @@ impl Interp {
         self.eval_script(host, &parsed)
     }
 
-    fn builtin_string(&mut self, args: &[String], line: u32) -> EvalResult {
-        let err = |m: String| Err(Exc::Error(ScriptError::at(line, m)));
+    fn builtin_string(&mut self, args: &[String], span: Span) -> EvalResult {
+        let err = |m: String| Err(Exc::Error(ScriptError::at_span(span, m)));
         let Some(sub) = args.first() else {
             return err("wrong # args: should be \"string subcommand ...\"".into());
         };
@@ -981,13 +981,13 @@ impl Interp {
             ("length", [s]) => Ok(s.chars().count().to_string()),
             ("index", [s, i]) => {
                 let chars: Vec<char> = s.chars().collect();
-                let idx = parse_index(i, chars.len(), line)?;
+                let idx = parse_index(i, chars.len(), span)?;
                 Ok(chars.get(idx).map(|c| c.to_string()).unwrap_or_default())
             }
             ("range", [s, a, b]) => {
                 let chars: Vec<char> = s.chars().collect();
-                let i = parse_index(a, chars.len(), line)?;
-                let j = parse_index(b, chars.len(), line)?;
+                let i = parse_index(a, chars.len(), span)?;
+                let j = parse_index(b, chars.len(), span)?;
                 if chars.is_empty() || i >= chars.len() || j < i {
                     return Ok(String::new());
                 }
@@ -1042,8 +1042,8 @@ impl Interp {
             ("reverse", [s]) => Ok(s.chars().rev().collect()),
             ("repeat", [s, n]) => {
                 let n: usize = n.parse().map_err(|_| {
-                    Exc::Error(ScriptError::at(
-                        line,
+                    Exc::Error(ScriptError::at_span(
+                        span,
                         format!("expected integer but got \"{n}\""),
                     ))
                 })?;
@@ -1059,11 +1059,11 @@ impl Interp {
         name: &str,
         def: &ProcDef,
         args: &[String],
-        line: u32,
+        span: Span,
     ) -> EvalResult {
         if self.frames.len() >= 64 {
-            return Err(Exc::Error(ScriptError::at(
-                line,
+            return Err(Exc::Error(ScriptError::at_span(
+                span,
                 "too many nested proc calls",
             )));
         }
@@ -1086,8 +1086,8 @@ impl Interp {
                         frame.vars.insert(pname.clone(), d.clone());
                     }
                     None => {
-                        return Err(Exc::Error(ScriptError::at(
-                            line,
+                        return Err(Exc::Error(ScriptError::at_span(
+                            span,
                             format!("wrong # args: should be \"{name} {}\"", proc_usage(def)),
                         )))
                     }
@@ -1095,8 +1095,8 @@ impl Interp {
             }
         }
         if ai < args.len() {
-            return Err(Exc::Error(ScriptError::at(
-                line,
+            return Err(Exc::Error(ScriptError::at_span(
+                span,
                 format!("wrong # args: should be \"{name} {}\"", proc_usage(def)),
             )));
         }
@@ -1106,8 +1106,8 @@ impl Interp {
         match result {
             Ok(v) => Ok(v),
             Err(Exc::Return(v)) => Ok(v),
-            Err(Exc::Break) | Err(Exc::Continue) => Err(Exc::Error(ScriptError::at(
-                line,
+            Err(Exc::Break) | Err(Exc::Continue) => Err(Exc::Error(ScriptError::at_span(
+                span,
                 "invoked \"break\" or \"continue\" outside of a loop",
             ))),
             Err(e) => Err(e),
@@ -1127,8 +1127,8 @@ fn proc_usage(def: &ProcDef) -> String {
 }
 
 /// Parses a Tcl index: a number, `end`, or `end-N`.
-fn parse_index(s: &str, len: usize, line: u32) -> Result<usize, Exc> {
-    let bad = || Exc::Error(ScriptError::at(line, format!("bad index \"{s}\"")));
+fn parse_index(s: &str, len: usize, span: Span) -> Result<usize, Exc> {
+    let bad = || Exc::Error(ScriptError::at_span(span, format!("bad index \"{s}\"")));
     let t = s.trim();
     if t == "end" {
         return Ok(len.saturating_sub(1));

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod builtins;
 mod cache;
 mod error;
 mod expr;
@@ -54,8 +55,10 @@ mod interp;
 mod list;
 mod parse;
 
+pub use builtins::{builtins, lookup_builtin, BuiltinInfo};
 pub use cache::CacheStats;
 pub use error::ScriptError;
+pub use expr::{analyze_expr, ExprSummary};
 pub use interp::{Host, Interp, NoHost};
 pub use list::{glob_match, list_format, list_parse};
-pub use parse::Script;
+pub use parse::{Command, Part, Script, Span, Word};

@@ -8,6 +8,26 @@
 
 use crate::error::ScriptError;
 
+/// A line/column position in script source (both 1-based; `0` = unknown).
+///
+/// Spans point at the first character of the construct they describe and
+/// are carried on every parsed [`Command`] and [`Word`], so both runtime
+/// errors and static analysis (`pfi-lint`) can report exact positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Span {
+    /// A span at an explicit line/column.
+    pub fn at(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
 /// A parsed script: a sequence of commands.
 ///
 /// Parsing is separated from evaluation so that filter scripts can be parsed
@@ -34,7 +54,19 @@ impl Script {
     /// Returns a [`ScriptError`] on malformed input (unbalanced braces,
     /// brackets, or quotes, or trailing garbage after a closing brace).
     pub fn parse(src: &str) -> Result<Script, ScriptError> {
-        let mut p = Parser::new(src);
+        Self::parse_at(src, Span::at(1, 1))
+    }
+
+    /// Parses source text that originated at `origin` within a larger
+    /// script (e.g. the contents of a braced word), so that command spans
+    /// and parse errors come out in the enclosing script's coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScriptError`] on malformed input, positioned relative
+    /// to `origin`.
+    pub fn parse_at(src: &str, origin: Span) -> Result<Script, ScriptError> {
+        let mut p = Parser::new_at(src, origin);
         let script = p.parse_script(None)?;
         Ok(script)
     }
@@ -48,27 +80,54 @@ impl Script {
     pub fn is_empty(&self) -> bool {
         self.commands.is_empty()
     }
+
+    /// The parsed commands, in source order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
 }
 
-/// One command: a list of words, plus the source line it starts on.
+/// One command: a list of words, plus the source position it starts at.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Command {
+pub struct Command {
     pub(crate) words: Vec<Word>,
-    pub(crate) line: u32,
+    pub(crate) span: Span,
 }
 
-/// One word of a command.
+impl Command {
+    /// The command's words (word 0 is the command name).
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Source position of the command's first word.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// One word of a command, with the source position it starts at.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Word {
-    /// `{…}`: a literal with no substitution.
-    Braced(String),
+pub enum Word {
+    /// `{…}`: a literal with no substitution. The span points at the
+    /// opening brace; the content starts one column later.
+    Braced(String, Span),
     /// Bare or `"…"`: concatenation of parts, substituted at eval time.
-    Parts(Vec<Part>),
+    Parts(Vec<Part>, Span),
+}
+
+impl Word {
+    /// Source position of the word's first character.
+    pub fn span(&self) -> Span {
+        match self {
+            Word::Braced(_, s) | Word::Parts(_, s) => *s,
+        }
+    }
 }
 
 /// A fragment of a substituting word.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Part {
+pub enum Part {
     /// Literal text.
     Lit(String),
     /// `$name` / `${name}` variable substitution.
@@ -84,14 +143,16 @@ struct Parser {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
 }
 
 impl Parser {
-    fn new(src: &str) -> Self {
+    fn new_at(src: &str, origin: Span) -> Self {
         Parser {
             chars: src.chars().collect(),
             pos: 0,
-            line: 1,
+            line: origin.line.max(1),
+            col: origin.col.max(1),
         }
     }
 
@@ -104,12 +165,22 @@ impl Parser {
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
 
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
     fn err(&self, msg: impl Into<String>) -> ScriptError {
-        ScriptError::at(self.line, msg)
+        ScriptError::at_span(self.span(), msg)
     }
 
     /// Skips spaces/tabs and backslash-newline continuations (not command
@@ -176,7 +247,7 @@ impl Parser {
     /// Parses one command; stops (without consuming) at `\n`, `;`, EOF, or
     /// the enclosing terminator.
     fn parse_command(&mut self, terminator: Option<char>) -> Result<Command, ScriptError> {
-        let line = self.line;
+        let span = self.span();
         let mut words = Vec::new();
         loop {
             self.skip_blank();
@@ -187,7 +258,7 @@ impl Parser {
                 Some(_) => words.push(self.parse_word(terminator)?),
             }
         }
-        Ok(Command { words, line })
+        Ok(Command { words, span })
     }
 
     fn at_word_end(&self, terminator: Option<char>) -> bool {
@@ -200,13 +271,14 @@ impl Parser {
     }
 
     fn parse_word(&mut self, terminator: Option<char>) -> Result<Word, ScriptError> {
+        let span = self.span();
         match self.peek() {
             Some('{') => {
                 let content = self.parse_braced()?;
                 if !self.at_word_end(terminator) {
                     return Err(self.err("extra characters after close-brace"));
                 }
-                Ok(Word::Braced(content))
+                Ok(Word::Braced(content, span))
             }
             Some('"') => {
                 self.bump();
@@ -214,11 +286,11 @@ impl Parser {
                 if !self.at_word_end(terminator) {
                     return Err(self.err("extra characters after close-quote"));
                 }
-                Ok(Word::Parts(parts))
+                Ok(Word::Parts(parts, span))
             }
             _ => {
                 let parts = self.parse_parts(PartsEnd::Bare(terminator))?;
-                Ok(Word::Parts(parts))
+                Ok(Word::Parts(parts, span))
             }
         }
     }
@@ -414,11 +486,27 @@ mod tests {
         s.commands[0].words.clone()
     }
 
+    /// The parts of a substituting word (panics on braced words).
+    fn parts(w: &Word) -> &[Part] {
+        match w {
+            Word::Parts(p, _) => p,
+            other => panic!("expected a parts word, got {other:?}"),
+        }
+    }
+
+    /// The content of a braced word (panics on substituting words).
+    fn braced(w: &Word) -> &str {
+        match w {
+            Word::Braced(s, _) => s,
+            other => panic!("expected a braced word, got {other:?}"),
+        }
+    }
+
     #[test]
     fn simple_command_splits_words() {
         let w = words("set x 10");
         assert_eq!(w.len(), 3);
-        assert_eq!(w[0], Word::Parts(vec![Part::Lit("set".into())]));
+        assert_eq!(parts(&w[0]), &[Part::Lit("set".into())]);
     }
 
     #[test]
@@ -436,66 +524,62 @@ mod tests {
     #[test]
     fn braced_word_is_literal() {
         let w = words("set x {hello $world [cmd]}");
-        assert_eq!(w[2], Word::Braced("hello $world [cmd]".into()));
+        assert_eq!(braced(&w[2]), "hello $world [cmd]");
     }
 
     #[test]
     fn braces_nest() {
         let w = words("proc f {} {if {1} {puts hi}}");
-        assert_eq!(w[3], Word::Braced("if {1} {puts hi}".into()));
+        assert_eq!(braced(&w[3]), "if {1} {puts hi}");
     }
 
     #[test]
     fn quoted_word_substitutes() {
         let w = words(r#"puts "x is $x!""#);
         assert_eq!(
-            w[1],
-            Word::Parts(vec![
+            parts(&w[1]),
+            &[
                 Part::Lit("x is ".into()),
                 Part::Var("x".into()),
                 Part::Lit("!".into())
-            ])
+            ]
         );
     }
 
     #[test]
     fn bare_word_with_var_and_cmd() {
         let w = words("set y $x[foo]z");
-        match &w[2] {
-            Word::Parts(parts) => {
-                assert_eq!(parts.len(), 3);
-                assert_eq!(parts[0], Part::Var("x".into()));
-                assert!(matches!(parts[1], Part::Cmd(_)));
-                assert_eq!(parts[2], Part::Lit("z".into()));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let p = parts(&w[2]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], Part::Var("x".into()));
+        assert!(matches!(p[1], Part::Cmd(_)));
+        assert_eq!(p[2], Part::Lit("z".into()));
     }
 
     #[test]
     fn dollar_brace_var() {
         let w = words("puts ${weird name}");
-        assert_eq!(w[1], Word::Parts(vec![Part::Var("weird name".into())]));
+        assert_eq!(parts(&w[1]), &[Part::Var("weird name".into())]);
     }
 
     #[test]
     fn lone_dollar_is_literal() {
         let w = words("puts a$ b");
-        assert_eq!(w[1], Word::Parts(vec![Part::Lit("a$".into())]));
+        assert_eq!(parts(&w[1]), &[Part::Lit("a$".into())]);
     }
 
     #[test]
     fn escapes_in_bare_and_quoted() {
         let w = words(r#"puts a\ b"#);
-        assert_eq!(w[1], Word::Parts(vec![Part::Lit("a b".into())]));
+        assert_eq!(parts(&w[1]), &[Part::Lit("a b".into())]);
         let w = words(r#"puts "tab\there""#);
-        assert_eq!(w[1], Word::Parts(vec![Part::Lit("tab\there".into())]));
+        assert_eq!(parts(&w[1]), &[Part::Lit("tab\there".into())]);
     }
 
     #[test]
     fn escaped_dollar_is_literal() {
         let w = words(r#"puts \$x"#);
-        assert_eq!(w[1], Word::Parts(vec![Part::Lit("$x".into())]));
+        assert_eq!(parts(&w[1]), &[Part::Lit("$x".into())]);
     }
 
     #[test]
@@ -508,14 +592,11 @@ mod tests {
     #[test]
     fn nested_brackets_parse_recursively() {
         let w = words("set x [outer [inner a b] c]");
-        match &w[2] {
-            Word::Parts(parts) => match &parts[0] {
-                Part::Cmd(s) => {
-                    assert_eq!(s.len(), 1);
-                    assert_eq!(s.commands[0].words.len(), 3);
-                }
-                other => panic!("unexpected {other:?}"),
-            },
+        match &parts(&w[2])[0] {
+            Part::Cmd(s) => {
+                assert_eq!(s.len(), 1);
+                assert_eq!(s.commands[0].words.len(), 3);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -525,7 +606,7 @@ mod tests {
         // The braced word inside the bracket contains an unbalanced-looking
         // bracket; structural parsing must handle it.
         let w = words("set x [string match {[a]} $v]");
-        assert!(matches!(&w[2], Word::Parts(p) if matches!(p[0], Part::Cmd(_))));
+        assert!(matches!(&parts(&w[2])[0], Part::Cmd(_)));
     }
 
     #[test]
@@ -537,9 +618,12 @@ mod tests {
     }
 
     #[test]
-    fn error_carries_line_number() {
+    fn error_carries_line_and_column() {
         let e = Script::parse("set a 1\nset b \"unclosed").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 16); // one past the end of `set b "unclosed`
+        let e = Script::parse("set x {a}b").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 10));
     }
 
     #[test]
@@ -553,24 +637,50 @@ mod tests {
     #[test]
     fn backslash_escaped_brace_inside_braces() {
         let w = words(r"set x {a\}b}");
-        assert_eq!(w[2], Word::Braced(r"a\}b".into()));
+        assert_eq!(braced(&w[2]), r"a\}b");
     }
 
     #[test]
     fn command_line_numbers() {
         let s = Script::parse("a\n\nb\nc").unwrap();
-        let lines: Vec<u32> = s.commands.iter().map(|c| c.line).collect();
+        let lines: Vec<u32> = s.commands.iter().map(|c| c.span.line).collect();
         assert_eq!(lines, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn command_and_word_columns() {
+        let s = Script::parse("set x 1\n  incr  counter 2").unwrap();
+        assert_eq!(s.commands[0].span, Span::at(1, 1));
+        assert_eq!(s.commands[1].span, Span::at(2, 3));
+        let w = &s.commands[1].words;
+        assert_eq!(w[0].span(), Span::at(2, 3));
+        assert_eq!(w[1].span(), Span::at(2, 9));
+        assert_eq!(w[2].span(), Span::at(2, 17));
+    }
+
+    #[test]
+    fn braced_words_carry_the_open_brace_span() {
+        let s = Script::parse("if {$x} {\n  puts hi\n}").unwrap();
+        let w = &s.commands[0].words;
+        assert_eq!(w[1].span(), Span::at(1, 4));
+        assert_eq!(w[2].span(), Span::at(1, 9));
+    }
+
+    #[test]
+    fn parse_at_offsets_spans() {
+        let s = Script::parse_at("puts a\nputs b", Span::at(5, 11)).unwrap();
+        assert_eq!(s.commands[0].span, Span::at(5, 11));
+        // After a newline the origin column no longer applies.
+        assert_eq!(s.commands[1].span, Span::at(6, 1));
+        let e = Script::parse_at("set x \"oops", Span::at(7, 3)).unwrap_err();
+        assert_eq!(e.line, 7);
     }
 
     #[test]
     fn semicolon_inside_quotes_is_literal() {
         let s = Script::parse(r#"puts "a;b""#).unwrap();
         assert_eq!(s.len(), 1);
-        assert_eq!(
-            s.commands[0].words[1],
-            Word::Parts(vec![Part::Lit("a;b".into())])
-        );
+        assert_eq!(parts(&s.commands[0].words[1]), &[Part::Lit("a;b".into())]);
     }
 
     #[test]

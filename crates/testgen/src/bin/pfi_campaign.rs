@@ -48,6 +48,8 @@ FLAGS:
                       depend on it, never on --jobs; 1 = classic sequential walk)
     --jobs N          worker threads (default: available parallelism); any value
                       yields byte-identical campaign results
+    --no-prefilter    run statically-invalid candidates instead of rejecting them
+                      up front (same digest either way; used by CI to prove it)
     --stats           print the fleet execution report (workers, exec/sec, queues)
     --digest          print a one-line outcome digest (for golden comparisons)
     --help            this text
@@ -116,6 +118,9 @@ fn main() {
         if let Some(epoch) = flag_value("--epoch") {
             config.epoch = (epoch as usize).max(1);
         }
+        if args.iter().any(|a| a == "--no-prefilter") {
+            config.prefilter = false;
+        }
         if !digest {
             println!(
                 "exploring {} (seed {}, budget {}, ≤{} faults per schedule, epoch {}, {} job(s))…\n",
@@ -136,10 +141,16 @@ fn main() {
             );
         } else {
             println!(
-                "ran {} schedules; corpus kept {} ({} coverage edges)",
+                "ran {} schedules; corpus kept {} ({} coverage edges); {} candidate(s) rejected as uninstallable{}",
                 outcome.executed,
                 outcome.corpus.len(),
-                outcome.coverage.len()
+                outcome.coverage.len(),
+                outcome.rejected,
+                if config.prefilter {
+                    " before dispatch"
+                } else {
+                    " at install time"
+                }
             );
             for failure in &outcome.failures {
                 println!(
@@ -191,6 +202,12 @@ fn main() {
             Verdict::Violated(why) => {
                 violated += 1;
                 println!("VIOLATION {:<44} {}", r.case_id, why);
+            }
+            // Grid cases are generated against the target's own primary
+            // site, so refusal can only mean a harness bug — surface it.
+            Verdict::Invalid(why) => {
+                violated += 1;
+                println!("INVALID   {:<44} {}", r.case_id, why);
             }
         }
     }

@@ -53,6 +53,15 @@ pub struct ExploreConfig {
     /// but never on the worker count executing the epoch. `1` reproduces
     /// the classic fully-sequential explorer byte-for-byte.
     pub epoch: usize,
+    /// Statically reject uninstallable candidates (out-of-topology fault
+    /// sites, lowered scripts that do not parse) before dispatching them
+    /// to workers. Rejection uses exactly the install predicate the
+    /// runner enforces ([`crate::validate::schedule_is_installable`]), so
+    /// corpus, coverage, failures — the whole digest — are byte-identical
+    /// with pre-filtering on or off; only `executed` shrinks (the
+    /// unfiltered engine runs the candidate just to watch it refuse
+    /// installation). Default `true`.
+    pub prefilter: bool,
 }
 
 /// The default epoch width: wide enough to keep a handful of workers busy,
@@ -66,6 +75,7 @@ impl Default for ExploreConfig {
             budget: 48,
             max_faults: 3,
             epoch: DEFAULT_EPOCH,
+            prefilter: true,
         }
     }
 }
@@ -99,6 +109,12 @@ pub struct ExploreOutcome {
     /// mutation (≤ budget + 1), plus the re-executions shrinking performs
     /// for each found failure.
     pub executed: usize,
+    /// How many candidates were refused as uninstallable — statically by
+    /// the pre-filter ([`ExploreConfig::prefilter`]), or at install time
+    /// ([`crate::Verdict::Invalid`]) when pre-filtering is off. The same
+    /// candidates are refused either way; with the pre-filter on they
+    /// never consume a worker.
+    pub rejected: usize,
 }
 
 impl ExploreOutcome {
@@ -275,7 +291,9 @@ fn explore_with(
     seen.insert(baseline.id());
     let mut failures: Vec<FoundFailure> = Vec::new();
     let mut failure_keys = std::collections::BTreeSet::new();
+    let mut rejected = 0usize;
 
+    let sites = master.fault_sites();
     let mut attempted = 0usize;
     while attempted < config.budget {
         // Generate the epoch serially against the epoch-start corpus; a
@@ -290,6 +308,19 @@ fn explore_with(
                 batch.push(candidate);
             }
         }
+        // Static pre-filter: drop uninstallable candidates before they
+        // reach a worker. This happens *after* generation — the RNG and
+        // the `seen` set have already advanced identically to the
+        // unfiltered engine — so the surviving runs are the same runs.
+        if config.prefilter {
+            batch.retain(|candidate| {
+                let ok = crate::validate::schedule_is_installable(candidate, sites);
+                if !ok {
+                    rejected += 1;
+                }
+                ok
+            });
+        }
         if batch.is_empty() {
             continue;
         }
@@ -301,6 +332,14 @@ fn explore_with(
 
         for report in reports {
             executed += 1 + report.shrink.as_ref().map_or(0, |s| s.runs);
+            if report.run.verdict.is_invalid() {
+                // Only reachable with the pre-filter off: the runner
+                // refused the same candidate the filter would have
+                // dropped. Coverage is empty, so nothing downstream sees
+                // a difference.
+                rejected += 1;
+                continue;
+            }
             if coverage.merge(&report.run.coverage) > 0 {
                 corpus.push(report.schedule.clone());
                 epochs.note_novel(report.worker);
@@ -346,6 +385,7 @@ fn explore_with(
         coverage,
         failures,
         executed,
+        rejected,
     }
 }
 
@@ -385,7 +425,8 @@ pub fn explore_fleet(
     });
     let mut epochs = FleetEpochs { fleet };
     let outcome = explore_with(master.as_ref(), &mut epochs, spec, config);
-    let report = epochs.fleet.shutdown();
+    let mut report = epochs.fleet.shutdown();
+    report.rejected = outcome.rejected as u64;
     (outcome, report)
 }
 

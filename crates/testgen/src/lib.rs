@@ -46,7 +46,7 @@
 //! let outcome = explore(
 //!     &GmpTarget::default(),
 //!     &ProtocolSpec::gmp(),
-//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2, epoch: 1 },
+//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2, epoch: 1, prefilter: true },
 //! );
 //! assert!(outcome.coverage.len() > 0);
 //! ```
@@ -62,6 +62,7 @@ mod runner;
 mod schedule;
 mod shrink;
 mod spec;
+mod validate;
 
 pub use coverage::Coverage;
 pub use explore::{
@@ -82,3 +83,7 @@ pub use runner::{
 pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
 pub use shrink::shrink_schedule;
 pub use spec::{MessageSpec, ProtocolSpec, Role};
+pub use validate::{
+    install_errors, schedule_is_installable, scripts_install_errors, validate_schedule,
+    ScheduleFinding,
+};

@@ -30,12 +30,23 @@ pub enum Verdict {
     Degraded(String),
     /// An invariant was violated: the campaign found a bug.
     Violated(String),
+    /// The schedule could not be installed — a fault site the target does
+    /// not have, or a lowered script that does not parse. Nothing ran;
+    /// the run contributed no coverage. Campaign pre-filtering
+    /// ([`crate::ExploreConfig::prefilter`]) rejects exactly these
+    /// schedules without executing them.
+    Invalid(String),
 }
 
 impl Verdict {
     /// Whether this verdict represents an invariant violation.
     pub fn is_violation(&self) -> bool {
         matches!(self, Verdict::Violated(_))
+    }
+
+    /// Whether the schedule was refused at install time (nothing ran).
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, Verdict::Invalid(_))
     }
 }
 
@@ -205,15 +216,26 @@ pub fn run_schedule(target: &dyn TestTarget, schedule: &FaultSchedule) -> Schedu
     }
 }
 
-/// The shared execution path: build, arm timer tracing, install filters,
-/// drive, harvest, extract coverage, judge.
+/// The shared execution path: validate, build, arm timer tracing, install
+/// filters, drive, harvest, extract coverage, judge.
 ///
-/// Panics if a script addresses a site index the target does not have —
-/// that means a repro artifact written for a different target.
+/// Scripts that cannot be installed — a site index the target does not
+/// have (e.g. a repro artifact written for a different target), or a
+/// script that does not parse — are refused *before* the world is built:
+/// the run returns [`Verdict::Invalid`] with empty coverage, exactly the
+/// schedules campaign pre-filtering rejects without executing.
 fn execute(
     target: &dyn TestTarget,
     scripts: &[SiteScripts],
 ) -> (Verdict, Option<String>, Coverage) {
+    let install_errors = crate::validate::scripts_install_errors(scripts, target.fault_sites());
+    if !install_errors.is_empty() {
+        return (
+            Verdict::Invalid(install_errors.join("; ")),
+            None,
+            Coverage::new(),
+        );
+    }
     let (mut world, sites) = target.build();
     // Timer life-cycle records are a coverage signal; trace them for the
     // driven phase (build-time convergence stays untraced on purpose).

@@ -91,6 +91,21 @@ impl FaultOp {
         }
     }
 
+    /// Mutable access to the targeted message type (scramble mutations
+    /// corrupt it in place).
+    pub(crate) fn msg_type_mut(&mut self) -> &mut String {
+        match self {
+            FaultOp::DropAll { msg_type }
+            | FaultOp::DropNth { msg_type, .. }
+            | FaultOp::DropAfter { msg_type, .. }
+            | FaultOp::DropToDest { msg_type, .. }
+            | FaultOp::DelayMs { msg_type, .. }
+            | FaultOp::Duplicate { msg_type, .. }
+            | FaultOp::CorruptByteAt { msg_type, .. }
+            | FaultOp::ReorderWindow { msg_type, .. } => msg_type,
+        }
+    }
+
     /// The typed filter clauses this fault lowers to.
     pub fn clauses(&self) -> Vec<Clause> {
         let base = |window, action| Clause {
@@ -396,8 +411,29 @@ impl ScheduleMutator {
         ScheduledFault { site, dir, op }
     }
 
+    /// Draws one *statically-invalid* scheduled fault: either it addresses
+    /// a fault site the target does not have, or its message type carries
+    /// a stray `}` that closes the lowered guard's braced condition early
+    /// and breaks the filter script's parse. Both classes are refused at
+    /// install time ([`crate::Verdict::Invalid`]); the campaign pre-filter
+    /// exists to reject them before a worker is even dispatched.
+    fn scrambled_fault(&self, rng: &mut SimRng) -> ScheduledFault {
+        let mut fault = self.random_fault(rng);
+        if rng.coin(0.5) {
+            fault.site = self.sites + 1 + rng.uniform_u64(0, 2) as u32;
+        } else {
+            let m = fault.op.msg_type().to_string();
+            *fault.op.msg_type_mut() = format!("{}}}{}", &m[..1], &m[1..]);
+        }
+        fault
+    }
+
     /// Produces a mutated child of `parent`: add a fault (while under
-    /// `max_faults`), remove one, or replace one.
+    /// `max_faults`), remove one, or replace one. One roll in ten is a
+    /// *scramble* — the child carries a statically-invalid fault
+    /// ([`scrambled_fault`](Self::scrambled_fault)), modelling the
+    /// corrupted or cross-target schedules a long campaign accumulates;
+    /// the static pre-filter is what keeps them off the workers.
     pub fn mutate(
         &self,
         parent: &FaultSchedule,
@@ -406,7 +442,15 @@ impl ScheduleMutator {
     ) -> FaultSchedule {
         let mut child = parent.clone();
         let roll = rng.uniform_u64(0, 10);
-        if child.is_empty() || (roll < 4 && child.len() < max_faults) {
+        if roll == 9 {
+            let fault = self.scrambled_fault(rng);
+            if child.is_empty() {
+                child.faults.push(fault);
+            } else {
+                let i = rng.uniform_u64(0, child.len() as u64) as usize;
+                child.faults[i] = fault;
+            }
+        } else if child.is_empty() || (roll < 4 && child.len() < max_faults) {
             child.faults.push(self.random_fault(rng));
         } else if roll < 6 && child.len() > 1 {
             let i = rng.uniform_u64(0, child.len() as u64) as usize;
@@ -514,21 +558,55 @@ mod tests {
         let mut a = SimRng::seed_from(99);
         let mut b = SimRng::seed_from(99);
         let mut sa = FaultSchedule::empty();
-        let mut sb = FaultSchedule::empty();
         let mut sites_seen = std::collections::BTreeSet::new();
         for _ in 0..50 {
-            sa = mutator.mutate(&sa, 4, &mut a);
-            sb = mutator.mutate(&sb, 4, &mut b);
-            assert!(sa.len() <= 4);
-            for f in &sa.faults {
+            let next = mutator.mutate(&sa, 4, &mut a);
+            assert_eq!(next, mutator.mutate(&sa, 4, &mut b));
+            assert!(next.len() <= 4);
+            // Like the engine's corpus, only installable mutants become
+            // parents (invalid ones are pre-filtered away).
+            if !crate::validate::schedule_is_installable(&next, 3) {
+                continue;
+            }
+            for f in &next.faults {
                 assert!(f.site < 3);
                 sites_seen.insert(f.site);
             }
-            for s in sa.lower() {
+            for s in next.lower() {
                 assert!(Script::parse(&s.send).is_ok() && Script::parse(&s.recv).is_ok());
             }
+            sa = next;
         }
-        assert_eq!(sa, sb);
         assert!(sites_seen.len() > 1, "mutator never moved the fault site");
+    }
+
+    #[test]
+    fn scrambles_produce_both_invalid_classes_and_nothing_else() {
+        let mutator = ScheduleMutator::new(&ProtocolSpec::gmp(), 3, 3);
+        let mut rng = SimRng::seed_from(7);
+        let (mut bad_site, mut bad_parse) = (0usize, 0usize);
+        for _ in 0..300 {
+            let child = mutator.mutate(&FaultSchedule::empty(), 4, &mut rng);
+            let errs = crate::validate::install_errors(&child, 3);
+            if errs.is_empty() {
+                continue;
+            }
+            // An invalid mutant must fail for exactly one known reason.
+            assert_eq!(errs.len(), 1, "{errs:?}");
+            if errs[0].contains("fault site") {
+                bad_site += 1;
+                assert!(child.faults.iter().any(|f| f.site >= 3));
+            } else {
+                bad_parse += 1;
+                assert!(errs[0].contains("does not parse"), "{errs:?}");
+                // ... and still round-trips through the repro line format,
+                // so unfiltered engines can ship it to fleet workers.
+                let back =
+                    FaultSchedule::from_lines(child.to_lines().iter().map(String::as_str)).unwrap();
+                assert_eq!(back, child);
+            }
+        }
+        assert!(bad_site > 0, "no out-of-topology scrambles in 300 draws");
+        assert!(bad_parse > 0, "no parse-breaking scrambles in 300 draws");
     }
 }

@@ -4,11 +4,13 @@
 //! artifact that replays byte-identically, beat the legacy grid on
 //! coverage at equal case count, and be bit-for-bit deterministic.
 
+use std::sync::Arc;
+
 use pfi_core::Direction;
 use pfi_gmp::GmpBugs;
 use pfi_testgen::{
-    explore, generate, replay, run_campaign, run_schedule, Coverage, ExploreConfig, FaultKind,
-    GmpTarget, ProtocolSpec, TestTarget,
+    explore, explore_fleet, generate, replay, run_campaign, run_schedule, Coverage, ExploreConfig,
+    FaultKind, GmpTarget, ProtocolSpec, TestTarget,
 };
 
 /// The fixed seed the rediscovery tests run under. The budgets below were
@@ -23,7 +25,6 @@ fn buggy(bug: &str) -> GmpTarget {
             self_death: bug == "self_death",
             proclaim_forward: bug == "proclaim_forward",
             timer_unset: bug == "timer_unset",
-            ..GmpBugs::none()
         },
         fault_secs: 60,
     }
@@ -45,6 +46,7 @@ fn rediscovers(bug: &str, oracle: &str, budget: usize) {
             budget,
             max_faults: 3,
             epoch: 1,
+            prefilter: true,
         },
     );
     let failure = outcome
@@ -149,6 +151,7 @@ fn coverage_guided_search_beats_the_grid() {
             budget: campaign.len() - 1,
             max_faults: 3,
             epoch: 1,
+            prefilter: true,
         },
     );
     assert!(outcome.executed <= campaign.len());
@@ -174,6 +177,7 @@ fn exploration_is_deterministic() {
         budget: 40,
         max_faults: 3,
         epoch: 1,
+        prefilter: true,
     };
     let a = explore(&target, &spec, &config);
     let b = explore(&target, &spec, &config);
@@ -186,6 +190,77 @@ fn exploration_is_deterministic() {
     // constant function).
     let c = explore(&target, &spec, &ExploreConfig { seed: 8, ..config });
     assert_ne!(a.digest(), c.digest());
+}
+
+/// The pre-filter contract: statically rejecting uninstallable mutants
+/// must not change *anything* the campaign produces — an unfiltered run
+/// ships the same candidates to the runner, which refuses them at install
+/// time with empty coverage, and both engines reach byte-identical
+/// corpus, coverage, and failures. Only the executed/rejected accounting
+/// moves.
+#[test]
+fn prefiltering_preserves_the_unfiltered_outcome() {
+    let target = buggy("self_death");
+    let spec = ProtocolSpec::gmp();
+    let base = ExploreConfig {
+        seed: SEED,
+        budget: 24,
+        max_faults: 3,
+        epoch: 1,
+        prefilter: true,
+    };
+    let filtered = explore(&target, &spec, &base);
+    let unfiltered = explore(
+        &target,
+        &spec,
+        &ExploreConfig {
+            prefilter: false,
+            ..base
+        },
+    );
+
+    assert!(
+        filtered.rejected > 0,
+        "seed {SEED} must draw at least one statically-invalid mutant for \
+         this comparison to mean anything"
+    );
+    // Same mutants fail statically as fail at install time.
+    assert_eq!(filtered.rejected, unfiltered.rejected);
+    // The filtered engine saved exactly that many executions.
+    assert_eq!(unfiltered.executed, filtered.executed + filtered.rejected);
+    // And nothing the campaign *found* is different.
+    assert_eq!(filtered.digest(), unfiltered.digest());
+}
+
+/// Pre-filtering happens on the master thread before dispatch, so a
+/// filtered campaign stays byte-stable across worker counts, and the
+/// fleet report carries the rejection count.
+#[test]
+fn prefiltered_exploration_is_worker_count_invariant() {
+    let spec = ProtocolSpec::gmp();
+    let config = ExploreConfig {
+        seed: SEED,
+        budget: 24,
+        max_faults: 3,
+        epoch: 8,
+        prefilter: true,
+    };
+    let mut outcomes = Vec::new();
+    for jobs in [1, 4] {
+        let (outcome, report) = explore_fleet(Arc::new(buggy("self_death")), &spec, &config, jobs);
+        assert_eq!(
+            report.rejected, outcome.rejected as u64,
+            "fleet report must carry the campaign's rejection count"
+        );
+        outcomes.push((jobs, outcome));
+    }
+    let (_, first) = &outcomes[0];
+    assert!(first.rejected > 0, "seed {SEED} must reject some mutants");
+    for (jobs, outcome) in &outcomes {
+        assert_eq!(outcome.digest(), first.digest(), "jobs={jobs} diverged");
+        assert_eq!(outcome.rejected, first.rejected, "jobs={jobs} diverged");
+        assert_eq!(outcome.executed, first.executed, "jobs={jobs} diverged");
+    }
 }
 
 #[test]
@@ -201,6 +276,7 @@ fn clean_target_yields_no_failures() {
             budget: 24,
             max_faults: 3,
             epoch: 1,
+            prefilter: true,
         },
     );
     assert!(
@@ -212,5 +288,5 @@ fn clean_target_yields_no_failures() {
             .map(|f| (&f.oracle, &f.message))
             .collect::<Vec<_>>()
     );
-    assert!(outcome.coverage.len() > 0);
+    assert!(!outcome.coverage.is_empty());
 }

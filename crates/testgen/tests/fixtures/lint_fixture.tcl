@@ -1,0 +1,9 @@
+# pfi-lint golden fixture: one instance of every defect class.
+xDorp cur_msg
+incr
+if {$tcp_port > 1024} { set maybe 1 }
+puts $maybe
+if {0} { msg_log cur_msg }
+coin 0.5
+return
+msg_log cur_msg

@@ -60,6 +60,7 @@ fn main() {
             Verdict::Pass => pass += 1,
             Verdict::Degraded(_) => degraded += 1,
             Verdict::Violated(v) => panic!("fixed implementation violated an invariant: {v}"),
+            Verdict::Invalid(v) => panic!("grid case refused to install: {v}"),
         }
         if b.verdict.is_violation() && !f.verdict.is_violation() {
             found.push((b.case_id.clone(), b.verdict.clone()));

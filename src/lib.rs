@@ -18,6 +18,7 @@
 //! * [`rudp`] — reliable datagram layer.
 //! * [`gmp`] — group membership protocol.
 //! * [`ip`] — IP-style fragmentation/reassembly (Figure 3's layer below PFI).
+//! * [`lint`] — static analysis of filter scripts and fault schedules.
 //! * [`tpc`] — two-phase commit, a second application-level study target
 //!   (the paper's future work (iii)).
 //! * [`experiments`] — the paper's evaluation experiments.
@@ -71,6 +72,7 @@ pub use pfi_experiments as experiments;
 pub use pfi_fleet as fleet;
 pub use pfi_gmp as gmp;
 pub use pfi_ip as ip;
+pub use pfi_lint as lint;
 pub use pfi_rudp as rudp;
 pub use pfi_script as script;
 pub use pfi_sim as sim;
