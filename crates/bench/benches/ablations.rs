@@ -339,6 +339,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         max_faults: 3,
         epoch: 8,
         prefilter: true,
+        ..ExploreConfig::default()
     };
     let mut g = c.benchmark_group("campaign_throughput");
     g.sample_size(5);

@@ -41,6 +41,12 @@ pub enum PfiControl {
     /// interpreter (scripts and exprs), for asserting that warm per-message
     /// paths never re-parse.
     CacheStats(Direction),
+    /// Caps the interpreter steps a single filter evaluation may execute,
+    /// in *both* direction interpreters — the runaway-script watchdog. A
+    /// looping filter then raises the step-budget error (recorded in the
+    /// trace as a budget-exhausted `ScriptFailed` event, message passed
+    /// unfiltered) instead of wedging the run.
+    SetStepBudget(u64),
 }
 
 /// Replies produced by [`PfiLayer::control`](crate::PfiLayer).

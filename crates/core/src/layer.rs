@@ -139,7 +139,7 @@ impl PfiLayer {
         };
         let now = ctx.now();
         let node = ctx.node();
-        let mut script_error: Option<String> = None;
+        let mut script_error: Option<pfi_script::ScriptError> = None;
         {
             let [send_interp, recv_interp] = &mut self.interps;
             let (own, peer) = match dir {
@@ -162,7 +162,7 @@ impl PfiLayer {
                 Filter::Script(script) => {
                     let mut host = Bindings { fctx, peer };
                     if let Err(e) = own.eval_parsed(&mut host, script) {
-                        script_error = Some(e.to_string());
+                        script_error = Some(e);
                     }
                 }
             }
@@ -172,7 +172,11 @@ impl PfiLayer {
             // A failing filter must not eat traffic silently: pass the
             // message and record the failure.
             effects.verdict = Verdict::Pass;
-            ctx.emit(PfiEvent::ScriptFailed { dir, error });
+            ctx.emit(PfiEvent::ScriptFailed {
+                dir,
+                error: error.to_string(),
+                budget_exhausted: error.is_budget_exhausted(),
+            });
         }
         effects
     }
@@ -324,6 +328,7 @@ impl Layer for PfiLayer {
                 ctx.emit(PfiEvent::ScriptFailed {
                     dir,
                     error: e.to_string(),
+                    budget_exhausted: e.is_budget_exhausted(),
                 });
             }
         }
@@ -381,6 +386,12 @@ impl Layer for PfiLayer {
                     scripts: interp.script_cache_stats(),
                     exprs: interp.expr_cache_stats(),
                 }
+            }
+            PfiControl::SetStepBudget(budget) => {
+                for interp in &mut self.interps {
+                    interp.set_step_budget(budget);
+                }
+                PfiReply::Unit
             }
         };
         Box::new(reply)

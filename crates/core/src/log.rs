@@ -88,5 +88,9 @@ pub enum PfiEvent {
         dir: Direction,
         /// The script error message.
         error: String,
+        /// Whether the error was the interpreter's step-budget watchdog
+        /// firing (a looping script cut short, not a broken one). Campaign
+        /// runners escalate these runs to a `Hung` verdict.
+        budget_exhausted: bool,
     },
 }

@@ -280,9 +280,37 @@ fn failing_script_passes_message_and_reports() {
     w.run_for(SimDuration::from_millis(10));
     assert_eq!(received(&mut w, b).len(), 1, "message must still pass");
     let evs = w.trace().events_of::<PfiEvent>(Some(a));
-    assert!(evs
-        .iter()
-        .any(|(_, e)| matches!(e, PfiEvent::ScriptFailed { .. })));
+    assert!(evs.iter().any(|(_, e)| matches!(
+        e,
+        PfiEvent::ScriptFailed {
+            budget_exhausted: false,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn step_budget_cuts_a_looping_filter_short() {
+    let pfi = PfiLayer::new(Box::new(RawStub))
+        .with_send_filter(Filter::script("while {1} {incr spin}").unwrap());
+    let (mut w, a, b) = two_nodes(pfi);
+    let _: PfiReply = w.control(a, 1, PfiControl::SetStepBudget(200));
+    send(&mut w, a, b, b"x");
+    w.run_for(SimDuration::from_millis(10));
+    // The watchdog fires, the message still passes (fail-open), and the
+    // trace records the budget class so campaign runners can escalate.
+    assert_eq!(received(&mut w, b).len(), 1, "message must still pass");
+    let evs = w.trace().events_of::<PfiEvent>(Some(a));
+    assert!(
+        evs.iter().any(|(_, e)| matches!(
+            e,
+            PfiEvent::ScriptFailed {
+                budget_exhausted: true,
+                ..
+            }
+        )),
+        "{evs:?}"
+    );
 }
 
 #[test]

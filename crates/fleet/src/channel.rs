@@ -8,7 +8,24 @@
 //! actually ran.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Chan::send`] on a closed channel; hands the value
+/// back to the caller instead of silently dropping it.
+///
+/// Closing and sending race freely across threads — the outcome is decided
+/// under the channel's one mutex, never by condvar wakeup ordering: a send
+/// that acquires the lock before `close` delivers, one that acquires it
+/// after gets its value back in this error. There is no third state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "send on a closed channel")
+    }
+}
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -58,12 +75,14 @@ impl<T> Chan<T> {
         }
     }
 
-    /// Enqueues a value; returns `false` (dropping the value) if the
-    /// channel has been closed.
-    pub fn send(&self, value: T) -> bool {
+    /// Enqueues a value; a closed channel refuses it with
+    /// [`SendError`], handing the value back. The closed check happens
+    /// under the same lock `close` takes, so concurrent senders see a
+    /// consistent answer regardless of condvar wakeup ordering.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut st = self.inner.state.lock().expect("channel lock poisoned");
         if st.closed {
-            return false;
+            return Err(SendError(value));
         }
         st.queue.push_back(value);
         if st.queue.len() > st.high_water {
@@ -71,7 +90,7 @@ impl<T> Chan<T> {
         }
         drop(st);
         self.inner.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks until a value is available or the channel is both closed and
@@ -132,7 +151,7 @@ mod tests {
     fn delivers_in_fifo_order_single_consumer() {
         let ch = Chan::new();
         for i in 0..10 {
-            assert!(ch.send(i));
+            assert!(ch.send(i).is_ok());
         }
         assert_eq!(ch.high_water(), 10);
         for i in 0..10 {
@@ -145,10 +164,14 @@ mod tests {
     #[test]
     fn close_drains_then_returns_none() {
         let ch = Chan::new();
-        ch.send(1);
-        ch.send(2);
+        ch.send(1).unwrap();
+        ch.send(2).unwrap();
         ch.close();
-        assert!(!ch.send(3), "send after close must fail");
+        assert_eq!(
+            ch.send(3),
+            Err(SendError(3)),
+            "send after close must hand the value back"
+        );
         assert_eq!(ch.recv(), Some(1));
         assert_eq!(ch.recv(), Some(2));
         assert_eq!(ch.recv(), None);
@@ -159,8 +182,58 @@ mod tests {
         let ch: Chan<u32> = Chan::new();
         let rx = ch.clone();
         let h = thread::spawn(move || rx.recv());
-        ch.send(7);
+        ch.send(7).unwrap();
         assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    /// The close-while-sending contract: every send racing a concurrent
+    /// `close` either delivers its value or gets it back in `SendError` —
+    /// decided under the channel mutex, never by condvar wakeup order. No
+    /// value may be both refused and delivered, and none may vanish.
+    #[test]
+    fn close_racing_senders_never_loses_or_duplicates_values() {
+        for _ in 0..50 {
+            let ch: Chan<u64> = Chan::new();
+            let senders: Vec<_> = (0..4u64)
+                .map(|p| {
+                    let tx = ch.clone();
+                    thread::spawn(move || {
+                        let mut refused = Vec::new();
+                        for i in 0..25 {
+                            let v = p * 100 + i;
+                            if let Err(SendError(back)) = tx.send(v) {
+                                assert_eq!(back, v, "error must return the refused value");
+                                refused.push(v);
+                            }
+                        }
+                        refused
+                    })
+                })
+                .collect();
+            let closer = {
+                let c = ch.clone();
+                thread::spawn(move || c.close())
+            };
+            let mut refused: Vec<u64> = Vec::new();
+            for h in senders {
+                refused.extend(h.join().unwrap());
+            }
+            closer.join().unwrap();
+            let mut delivered = Vec::new();
+            while let Some(v) = ch.recv() {
+                delivered.push(v);
+            }
+            let mut all = delivered.clone();
+            all.extend(&refused);
+            all.sort_unstable();
+            let mut want: Vec<u64> = (0..4u64)
+                .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(all, want, "every value is delivered xor refused");
+            // After close, sends fail consistently — forever.
+            assert_eq!(ch.send(999), Err(SendError(999)));
+        }
     }
 
     #[test]
@@ -186,7 +259,7 @@ mod tests {
                 let tx = ch.clone();
                 thread::spawn(move || {
                     for i in 0..100 {
-                        tx.send(p * 1000 + i);
+                        tx.send(p * 1000 + i).unwrap();
                     }
                 })
             })

@@ -1,5 +1,27 @@
-//! The worker pool and its deterministic epoch scheduler.
+//! The worker pool, its deterministic epoch scheduler, and the worker
+//! supervisor.
+//!
+//! # Supervision
+//!
+//! A runner that panics poisons only its own worker: the worker catches
+//! the unwind, reports it through the result channel, and retires (its
+//! runner state may be inconsistent after the unwind). The master then
+//! **respawns** the worker from the factory, so the pool never shrinks and
+//! the epoch barrier cannot deadlock on a dead thread.
+//!
+//! What happens to the *job* depends on the entry point:
+//!
+//! * [`Fleet::run_epoch`] keeps the original contract — a panic propagates
+//!   to the master (the caller treats worker panics as fatal bugs).
+//! * [`Fleet::run_epoch_checked`] supervises — the job is retried on
+//!   another (or the respawned) worker with exponential *virtual* backoff,
+//!   measured in result deliveries rather than wall time so the schedule
+//!   stays deterministic-friendly; after
+//!   [`max_retries`](Fleet::set_max_retries) failed retries the job is
+//!   quarantined and returned as an `Err(JobFailure)` in its canonical
+//!   dispatch slot. The epoch always completes.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,6 +48,9 @@ impl<J, R, F: FnMut(J) -> R> JobRunner<J, R> for F {
     }
 }
 
+/// The factory type a fleet keeps for respawning dead workers.
+type RunnerFactory<J, R> = Arc<dyn Fn(usize) -> Box<dyn JobRunner<J, R>> + Send + Sync>;
+
 struct Job<J> {
     seq: u64,
     payload: J,
@@ -51,6 +76,19 @@ pub struct EpochItem<R> {
     pub result: R,
 }
 
+/// Why a job was quarantined by [`Fleet::run_epoch_checked`]: every
+/// attempt (the original dispatch plus the retries) panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+    /// The panic message of the last attempt.
+    pub error: String,
+}
+
+/// Default retry budget for [`Fleet::run_epoch_checked`].
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
 /// A pool of worker threads executing jobs in deterministic epochs.
 ///
 /// The contract: [`run_epoch`](Fleet::run_epoch) returns results sorted by
@@ -62,8 +100,12 @@ pub struct EpochItem<R> {
 pub struct Fleet<J, R> {
     jobs: Chan<Job<J>>,
     results: Chan<Delivery<R>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    factory: RunnerFactory<J, R>,
     stats: Vec<WorkerStats>,
+    max_retries: u32,
+    retries: u64,
+    quarantined: u64,
     epochs: u64,
     dispatched: u64,
     next_seq: u64,
@@ -73,7 +115,9 @@ pub struct Fleet<J, R> {
 impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
     /// Spawns `workers` threads (at least one). `factory(i)` is called
     /// once *inside* worker thread `i` to build its runner; the factory
-    /// must be `Send + Sync`, the runner need not be.
+    /// must be `Send + Sync`, the runner need not be. The factory is kept
+    /// for the fleet's lifetime so the supervisor can rebuild the runner
+    /// of a worker that died to a panicking job.
     pub fn new<F>(workers: usize, factory: F) -> Self
     where
         F: Fn(usize) -> Box<dyn JobRunner<J, R>> + Send + Sync + 'static,
@@ -81,48 +125,24 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
         let workers = workers.max(1);
         let jobs: Chan<Job<J>> = Chan::new();
         let results: Chan<Delivery<R>> = Chan::new();
-        let factory = Arc::new(factory);
+        let factory: RunnerFactory<J, R> = Arc::new(factory);
         let handles = (0..workers)
-            .map(|w| {
-                let rx = jobs.clone();
-                let tx = results.clone();
-                let make = Arc::clone(&factory);
-                std::thread::Builder::new()
-                    .name(format!("pfi-fleet-{w}"))
-                    .spawn(move || {
-                        let mut runner = make(w);
-                        while let Some(Job { seq, payload }) = rx.recv() {
-                            let t0 = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| runner.run(payload)));
-                            let busy = t0.elapsed();
-                            let payload = outcome.map_err(|p| panic_message(&p));
-                            let failed = payload.is_err();
-                            tx.send(Delivery {
-                                seq,
-                                worker: w,
-                                busy,
-                                payload,
-                            });
-                            if failed {
-                                // The runner may be left in an inconsistent
-                                // state after an unwind; retire the worker.
-                                break;
-                            }
-                        }
-                    })
-                    .expect("spawning a fleet worker thread")
-            })
+            .map(|w| Some(spawn_worker(w, &jobs, &results, &factory)))
             .collect();
         Fleet {
             jobs,
             results,
             handles,
+            factory,
             stats: (0..workers)
                 .map(|worker| WorkerStats {
                     worker,
                     ..WorkerStats::default()
                 })
                 .collect(),
+            max_retries: DEFAULT_MAX_RETRIES,
+            retries: 0,
+            quarantined: 0,
             epochs: 0,
             dispatched: 0,
             next_seq: 0,
@@ -135,13 +155,22 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
         self.stats.len()
     }
 
+    /// Sets how many times [`run_epoch_checked`](Fleet::run_epoch_checked)
+    /// retries a panicking job before quarantining it.
+    pub fn set_max_retries(&mut self, max_retries: u32) {
+        self.max_retries = max_retries;
+    }
+
     /// Dispatches one epoch of jobs and blocks until every one has a
     /// result (the epoch barrier). Results come back sorted by dispatch
     /// order regardless of which workers ran them or when they finished.
+    /// A worker that panics is respawned before this returns or panics.
     ///
     /// # Panics
     ///
-    /// Panics (propagating the message) if a worker's runner panicked.
+    /// Panics (propagating the message) if a worker's runner panicked. Use
+    /// [`run_epoch_checked`](Fleet::run_epoch_checked) to retry and
+    /// quarantine instead.
     pub fn run_epoch(&mut self, batch: Vec<J>) -> Vec<EpochItem<R>> {
         let n = batch.len();
         if n == 0 {
@@ -152,27 +181,124 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
         for payload in batch {
             let seq = self.next_seq;
             self.next_seq += 1;
-            assert!(
-                self.jobs.send(Job { seq, payload }),
-                "fleet job queue closed while dispatching"
-            );
+            self.dispatch(seq, payload);
         }
         let mut out: Vec<EpochItem<R>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let d = self
-                .results
-                .recv()
-                .expect("fleet workers exited with jobs outstanding");
-            let stat = &mut self.stats[d.worker];
-            stat.executed += 1;
-            stat.busy += d.busy;
+            let d = self.receive();
             match d.payload {
                 Ok(result) => out.push(EpochItem {
                     seq: d.seq,
                     worker: d.worker,
                     result,
                 }),
-                Err(msg) => panic!("fleet worker {} panicked: {msg}", d.worker),
+                Err(msg) => {
+                    self.note_panic(d.worker);
+                    panic!("fleet worker {} panicked: {msg}", d.worker);
+                }
+            }
+        }
+        out.sort_by_key(|item| item.seq);
+        out
+    }
+
+    /// [`run_epoch`](Fleet::run_epoch) with supervision: a panicking job
+    /// is retried (on whichever worker picks it up — the dead one is
+    /// respawned first) with exponential *virtual* backoff, and after
+    /// `max_retries` failed retries it is quarantined: its canonical slot
+    /// carries `Err(JobFailure)` instead of aborting the epoch. The epoch
+    /// barrier always completes, whatever the jobs do.
+    ///
+    /// Backoff is measured in result deliveries, not wall time: the k-th
+    /// retry of a job re-dispatches only after `2^k` further results have
+    /// arrived (immediately if the queue would otherwise idle), spacing
+    /// retries out without introducing timing nondeterminism.
+    pub fn run_epoch_checked(&mut self, batch: Vec<J>) -> Vec<EpochItem<Result<R, JobFailure>>>
+    where
+        J: Clone,
+    {
+        let n = batch.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.epochs += 1;
+        self.dispatched += n as u64;
+        // seq → (payload for retries, attempts so far).
+        let mut inflight: BTreeMap<u64, (J, u32)> = BTreeMap::new();
+        for payload in batch {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            inflight.insert(seq, (payload.clone(), 1));
+            self.dispatch(seq, payload);
+        }
+        let mut outstanding = n;
+        let mut deliveries: u64 = 0;
+        // (virtual re-dispatch deadline in deliveries, seq).
+        let mut backoff: Vec<(u64, u64)> = Vec::new();
+        let mut out: Vec<EpochItem<Result<R, JobFailure>>> = Vec::with_capacity(n);
+        while out.len() < n {
+            // Re-dispatch retries whose virtual deadline has passed; if
+            // nothing is in flight the earliest goes immediately — virtual
+            // time only advances with deliveries, so waiting would
+            // deadlock the barrier.
+            let mut i = 0;
+            while i < backoff.len() {
+                if backoff[i].0 <= deliveries {
+                    let (_, seq) = backoff.swap_remove(i);
+                    let payload = inflight[&seq].0.clone();
+                    self.dispatch(seq, payload);
+                    outstanding += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if outstanding == 0 {
+                let earliest = backoff
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(deadline, seq))| (deadline, seq))
+                    .map(|(i, _)| i)
+                    .expect("epoch barrier stalled with no job in flight or backed off");
+                let (_, seq) = backoff.swap_remove(earliest);
+                let payload = inflight[&seq].0.clone();
+                self.dispatch(seq, payload);
+                outstanding += 1;
+            }
+            let d = self.receive();
+            deliveries += 1;
+            outstanding -= 1;
+            match d.payload {
+                Ok(result) => {
+                    inflight.remove(&d.seq);
+                    out.push(EpochItem {
+                        seq: d.seq,
+                        worker: d.worker,
+                        result: Ok(result),
+                    });
+                }
+                Err(error) => {
+                    self.note_panic(d.worker);
+                    let attempts = inflight
+                        .get(&d.seq)
+                        .expect("panic delivery for an unknown job")
+                        .1;
+                    if attempts > self.max_retries {
+                        inflight.remove(&d.seq);
+                        self.quarantined += 1;
+                        out.push(EpochItem {
+                            seq: d.seq,
+                            worker: d.worker,
+                            result: Err(JobFailure { attempts, error }),
+                        });
+                    } else {
+                        inflight.get_mut(&d.seq).expect("checked above").1 += 1;
+                        self.retries += 1;
+                        // k-th retry waits 2^k deliveries (capped well
+                        // below overflow).
+                        let wait = 1u64 << attempts.min(16);
+                        backoff.push((deliveries + wait, d.seq));
+                    }
+                }
             }
         }
         out.sort_by_key(|item| item.seq);
@@ -194,6 +320,8 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
             epochs: self.epochs,
             dispatched: self.dispatched,
             rejected: 0, // only the campaign layer knows what it pre-filtered
+            retries: self.retries,
+            quarantined: self.quarantined,
             job_queue_high_water: self.jobs.high_water(),
             result_queue_high_water: self.results.high_water(),
             wall: self.started.elapsed(),
@@ -206,9 +334,43 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
         self.report()
     }
 
+    fn dispatch(&self, seq: u64, payload: J) {
+        if self.jobs.send(Job { seq, payload }).is_err() {
+            panic!("fleet job queue closed while dispatching");
+        }
+    }
+
+    /// Receives one delivery and books its execution statistics.
+    fn receive(&mut self) -> Delivery<R> {
+        let d = self
+            .results
+            .recv()
+            .expect("fleet workers exited with jobs outstanding");
+        let stat = &mut self.stats[d.worker];
+        stat.executed += 1;
+        stat.busy += d.busy;
+        d
+    }
+
+    /// Books a worker panic and respawns the worker (it retired itself
+    /// after reporting — its runner may be inconsistent mid-unwind, so it
+    /// gets a fresh one from the factory).
+    fn note_panic(&mut self, worker: usize) {
+        self.stats[worker].panics += 1;
+        if let Some(h) = self.handles[worker].take() {
+            let _ = h.join();
+        }
+        self.handles[worker] = Some(spawn_worker(
+            worker,
+            &self.jobs,
+            &self.results,
+            &self.factory,
+        ));
+    }
+
     fn join_workers(&mut self) {
         self.jobs.close();
-        for h in self.handles.drain(..) {
+        for h in self.handles.iter_mut().filter_map(Option::take) {
             // A worker that panicked has already reported the panic via the
             // result channel (or will never be joined on the happy path);
             // don't double-panic out of drop.
@@ -217,10 +379,50 @@ impl<J: Send + 'static, R: Send + 'static> Fleet<J, R> {
     }
 }
 
+/// Spawns worker `w`: build a runner from the factory, then loop — run a
+/// job, report the result (or the caught panic), retire on panic (the
+/// supervisor respawns with a fresh runner) or when the job queue closes.
+fn spawn_worker<J: Send + 'static, R: Send + 'static>(
+    w: usize,
+    jobs: &Chan<Job<J>>,
+    results: &Chan<Delivery<R>>,
+    factory: &RunnerFactory<J, R>,
+) -> JoinHandle<()> {
+    let rx = jobs.clone();
+    let tx = results.clone();
+    let make = Arc::clone(factory);
+    std::thread::Builder::new()
+        .name(format!("pfi-fleet-{w}"))
+        .spawn(move || {
+            let mut runner = make(w);
+            while let Some(Job { seq, payload }) = rx.recv() {
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| runner.run(payload)));
+                let busy = t0.elapsed();
+                // `as_ref`, not `&p`: a `&Box<dyn Any>` would itself
+                // coerce to `&dyn Any` and hide the payload.
+                let payload = outcome.map_err(|p| panic_message(p.as_ref()));
+                let failed = payload.is_err();
+                let _ = tx.send(Delivery {
+                    seq,
+                    worker: w,
+                    busy,
+                    payload,
+                });
+                if failed {
+                    // The runner may be left in an inconsistent state
+                    // after an unwind; retire the worker.
+                    break;
+                }
+            }
+        })
+        .expect("spawning a fleet worker thread")
+}
+
 impl<J, R> Drop for Fleet<J, R> {
     fn drop(&mut self) {
         self.jobs.close();
-        for h in self.handles.drain(..) {
+        for h in self.handles.iter_mut().filter_map(Option::take) {
             let _ = h.join();
         }
     }
@@ -337,6 +539,104 @@ mod tests {
             })
         });
         fleet.run_epoch(vec![1, 2, 3]);
+    }
+
+    /// A runner panicking under `run_epoch` must not leave the pool dead:
+    /// the supervisor respawns the worker before the panic propagates, so
+    /// catching it and running another epoch works even at 1 worker.
+    #[test]
+    fn pool_survives_a_caught_run_epoch_panic() {
+        let mut fleet: Fleet<u64, u64> = Fleet::new(1, |_| {
+            Box::new(|j: u64| {
+                if j == 3 {
+                    panic!("job {j} exploded");
+                }
+                j * j
+            })
+        });
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            fleet.run_epoch(vec![3]);
+        }));
+        assert!(caught.is_err());
+        let items = fleet.run_epoch(vec![4, 5]);
+        let got: Vec<u64> = items.iter().map(|i| i.result).collect();
+        assert_eq!(got, vec![16, 25]);
+        let report = fleet.shutdown();
+        assert_eq!(report.workers[0].panics, 1);
+    }
+
+    /// Transient panics: the job fails on its first attempt, the retry
+    /// succeeds on the respawned worker; the caller sees only `Ok`s.
+    #[test]
+    fn run_epoch_checked_retries_transient_panics() {
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        ATTEMPTS.store(0, Ordering::SeqCst);
+        let mut fleet: Fleet<u64, u64> = Fleet::new(1, |_| {
+            Box::new(|j: u64| {
+                if j == 3 && ATTEMPTS.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient failure");
+                }
+                j * j
+            })
+        });
+        let items = fleet.run_epoch_checked(vec![1, 2, 3, 4]);
+        let got: Vec<u64> = items.iter().map(|i| *i.result.as_ref().unwrap()).collect();
+        assert_eq!(got, vec![1, 4, 9, 16], "canonical order, retry folded in");
+        let report = fleet.shutdown();
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.panics(), 1);
+    }
+
+    /// Persistent panics: after max_retries failed retries the job is
+    /// quarantined in its canonical slot and the epoch still completes.
+    #[test]
+    fn run_epoch_checked_quarantines_persistent_panics() {
+        for workers in [1, 2] {
+            let mut fleet: Fleet<u64, u64> = Fleet::new(workers, |_| {
+                Box::new(|j: u64| {
+                    if j == 3 {
+                        panic!("always fails");
+                    }
+                    j * j
+                })
+            });
+            fleet.set_max_retries(2);
+            let items = fleet.run_epoch_checked((0..6).collect());
+            assert_eq!(items.len(), 6);
+            for item in &items {
+                if item.seq == 3 {
+                    let failure = item.result.as_ref().unwrap_err();
+                    assert_eq!(failure.attempts, 3, "1 original + 2 retries");
+                    assert!(failure.error.contains("always fails"));
+                } else {
+                    assert_eq!(*item.result.as_ref().unwrap(), item.seq * item.seq);
+                }
+            }
+            // The pool still works afterwards.
+            let again = fleet.run_epoch_checked(vec![7]);
+            assert_eq!(*again[0].result.as_ref().unwrap(), 49);
+            let report = fleet.shutdown();
+            assert_eq!(report.retries, 2, "workers={workers}");
+            assert_eq!(report.quarantined, 1, "workers={workers}");
+            assert_eq!(report.panics(), 3, "workers={workers}");
+        }
+    }
+
+    /// Every job panicking at once exercises the virtual-backoff idle
+    /// path: with nothing in flight the earliest deadline dispatches
+    /// immediately instead of deadlocking the barrier.
+    #[test]
+    fn run_epoch_checked_survives_an_all_panic_epoch() {
+        let mut fleet: Fleet<u64, u64> =
+            Fleet::new(2, |_| Box::new(|_: u64| -> u64 { panic!("boom") }));
+        fleet.set_max_retries(1);
+        let items = fleet.run_epoch_checked((0..4).collect());
+        assert_eq!(items.len(), 4);
+        assert!(items.iter().all(|i| i.result.is_err()));
+        let report = fleet.shutdown();
+        assert_eq!(report.quarantined, 4);
+        assert_eq!(report.retries, 4);
     }
 
     #[test]

@@ -47,5 +47,6 @@ pub mod channel;
 mod fleet;
 mod stats;
 
-pub use fleet::{EpochItem, Fleet, JobRunner};
+pub use channel::SendError;
+pub use fleet::{EpochItem, Fleet, JobFailure, JobRunner, DEFAULT_MAX_RETRIES};
 pub use stats::{FleetReport, WorkerStats};

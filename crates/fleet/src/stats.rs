@@ -21,6 +21,9 @@ pub struct WorkerStats {
     /// Jobs whose result the caller flagged as coverage-novel (via
     /// [`Fleet::note_novel`](crate::Fleet::note_novel)).
     pub novel: u64,
+    /// Jobs that panicked on this worker (each one retired the worker; the
+    /// supervisor respawned it with a fresh runner under the same index).
+    pub panics: u64,
 }
 
 impl WorkerStats {
@@ -49,6 +52,13 @@ pub struct FleetReport {
     /// never had to schedule. Set by the caller; the fleet itself only
     /// ever sees jobs that survived.
     pub rejected: u64,
+    /// Panicked jobs re-dispatched by
+    /// [`Fleet::run_epoch_checked`](crate::Fleet::run_epoch_checked)
+    /// (each with exponential virtual backoff).
+    pub retries: u64,
+    /// Jobs quarantined after exhausting their retry budget — returned to
+    /// the caller as failures instead of aborting the epoch.
+    pub quarantined: u64,
     /// Deepest the job queue ever ran (jobs waiting for a worker).
     pub job_queue_high_water: usize,
     /// Deepest the result queue ever ran (results waiting for the master).
@@ -78,17 +88,25 @@ impl FleetReport {
     pub fn total_busy(&self) -> Duration {
         self.workers.iter().map(|w| w.busy).sum()
     }
+
+    /// Total jobs that panicked, summed over workers.
+    pub fn panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.panics).sum()
+    }
 }
 
 impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet: {} worker(s), {} epoch(s), {} job(s), {} rejected pre-dispatch, {:.1} exec/s wall ({:.0} ms wall, {:.0} ms busy), queue high-water jobs={} results={}",
+            "fleet: {} worker(s), {} epoch(s), {} job(s), {} rejected pre-dispatch, {} panic(s), {} retried, {} quarantined, {:.1} exec/s wall ({:.0} ms wall, {:.0} ms busy), queue high-water jobs={} results={}",
             self.workers.len(),
             self.epochs,
             self.dispatched,
             self.rejected,
+            self.panics(),
+            self.retries,
+            self.quarantined,
             self.exec_per_sec(),
             self.wall.as_secs_f64() * 1e3,
             self.total_busy().as_secs_f64() * 1e3,
@@ -98,10 +116,11 @@ impl fmt::Display for FleetReport {
         for w in &self.workers {
             writeln!(
                 f,
-                "  worker {}: {} exec, {} coverage-novel, {:.0} ms busy, {:.1} exec/s busy",
+                "  worker {}: {} exec, {} coverage-novel, {} panic(s), {:.0} ms busy, {:.1} exec/s busy",
                 w.worker,
                 w.executed,
                 w.novel,
+                w.panics,
                 w.busy.as_secs_f64() * 1e3,
                 w.exec_per_sec(),
             )?;

@@ -128,6 +128,10 @@ fn reference_sequential_explore(
         failures,
         executed,
         rejected: 0,
+        replayed: 0,
+        crashed: 0,
+        hung: 0,
+        quarantined: Vec::new(),
     }
 }
 
@@ -149,6 +153,7 @@ fn epoch_one_fleet_reproduces_the_prefleet_sequential_explorer() {
         max_faults: 3,
         epoch: 1,
         prefilter: false,
+        ..ExploreConfig::default()
     };
 
     let reference = reference_sequential_explore(&target, &spec, &config);
@@ -199,6 +204,7 @@ fn wide_epoch_outcomes_are_worker_count_invariant() {
             max_faults: 3,
             epoch,
             prefilter: true,
+            ..ExploreConfig::default()
         };
         let mut digests = Vec::new();
         for jobs in [1, 2, 4] {
@@ -254,6 +260,7 @@ fn golden_campaign_digest_is_stable() {
         max_faults: 3,
         epoch: 8,
         prefilter: true,
+        ..ExploreConfig::default()
     };
     let (outcome, _) = explore_fleet(Arc::new(fixed_gmp()), &ProtocolSpec::gmp(), &config, 2);
     let line = format!(

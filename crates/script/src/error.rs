@@ -4,6 +4,23 @@ use std::fmt;
 
 use crate::parse::Span;
 
+/// What class of failure a [`ScriptError`] reports.
+///
+/// Almost every error is [`General`](ScriptErrorKind::General) — a parse or
+/// runtime failure of the script itself. [`BudgetExhausted`]
+/// (ScriptErrorKind::BudgetExhausted) is the watchdog class: the
+/// interpreter's step budget ([`crate::Interp::set_step_budget`]) ran out,
+/// which means the *script* may be fine but is looping — campaign runners
+/// escalate it to a `Hung` verdict instead of treating it as a script bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScriptErrorKind {
+    /// A parse or runtime error of the script.
+    #[default]
+    General,
+    /// The interpreter's step budget ran out before the script finished.
+    BudgetExhausted,
+}
+
 /// An error raised while parsing or evaluating a script.
 ///
 /// The [`Display`](fmt::Display) form matches Tcl's terse error style
@@ -17,6 +34,8 @@ pub struct ScriptError {
     pub line: u32,
     /// 1-based source column the error was raised on (0 if unknown).
     pub col: u32,
+    /// Failure class (almost always [`ScriptErrorKind::General`]).
+    pub kind: ScriptErrorKind,
 }
 
 impl ScriptError {
@@ -26,6 +45,7 @@ impl ScriptError {
             message: message.into(),
             line: 0,
             col: 0,
+            kind: ScriptErrorKind::General,
         }
     }
 
@@ -35,6 +55,7 @@ impl ScriptError {
             message: message.into(),
             line,
             col: 0,
+            kind: ScriptErrorKind::General,
         }
     }
 
@@ -44,7 +65,24 @@ impl ScriptError {
             message: message.into(),
             line: span.line,
             col: span.col,
+            kind: ScriptErrorKind::General,
         }
+    }
+
+    /// Creates the step-budget-exhausted watchdog error.
+    pub fn budget_exhausted(span: Span) -> Self {
+        ScriptError {
+            message: "script execution budget exhausted".to_string(),
+            line: span.line,
+            col: span.col,
+            kind: ScriptErrorKind::BudgetExhausted,
+        }
+    }
+
+    /// Whether this is the step-budget watchdog error (a looping script,
+    /// not a broken one).
+    pub fn is_budget_exhausted(&self) -> bool {
+        self.kind == ScriptErrorKind::BudgetExhausted
     }
 
     /// The error's source position (`line`/`col` may be 0 = unknown).
@@ -112,6 +150,18 @@ mod tests {
             ScriptError::at_span(Span::at(3, 7), "boom").to_string(),
             "boom (line 3:7)"
         );
+    }
+
+    #[test]
+    fn budget_errors_carry_their_kind() {
+        let e = ScriptError::budget_exhausted(Span::at(2, 5));
+        assert!(e.is_budget_exhausted());
+        assert_eq!(e.line, 2);
+        assert_eq!(
+            e.to_string(),
+            "script execution budget exhausted (line 2:5)"
+        );
+        assert!(!ScriptError::new("boom").is_budget_exhausted());
     }
 
     #[test]

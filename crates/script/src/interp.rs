@@ -127,6 +127,22 @@ impl Interp {
         self.fuel_limit = limit;
     }
 
+    /// Caps the number of interpreter steps (commands and loop iterations)
+    /// a single top-level `eval` may execute — the runaway-script
+    /// watchdog. Exceeding it raises the dedicated
+    /// [`ScriptErrorKind::BudgetExhausted`](crate::ScriptErrorKind)
+    /// error instead of spinning forever. Same knob as
+    /// [`set_fuel_limit`](Interp::set_fuel_limit) under the campaign
+    /// watchdogs' name.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.fuel_limit = budget;
+    }
+
+    /// The current per-eval step budget.
+    pub fn step_budget(&self) -> u64 {
+        self.fuel_limit
+    }
+
     /// Rebounds the script/expr caches. A capacity of 0 disables caching
     /// (every evaluation re-parses — the cold path used by determinism
     /// cross-checks).
@@ -284,10 +300,7 @@ impl Interp {
 
     fn burn(&mut self, span: Span) -> Result<(), Exc> {
         if self.fuel == 0 {
-            return Err(Exc::Error(ScriptError::at_span(
-                span,
-                "script execution budget exhausted",
-            )));
+            return Err(Exc::Error(ScriptError::budget_exhausted(span)));
         }
         self.fuel -= 1;
         Ok(())
@@ -1440,6 +1453,21 @@ mod tests {
         interp.set_fuel_limit(10_000);
         let err = interp.eval(&mut NoHost, "while {1} {}").unwrap_err();
         assert!(err.message.contains("budget"), "{err}");
+        assert!(err.is_budget_exhausted(), "{err:?}");
+    }
+
+    #[test]
+    fn step_budget_is_the_watchdog_knob() {
+        let mut interp = Interp::new();
+        interp.set_step_budget(50);
+        assert_eq!(interp.step_budget(), 50);
+        let err = interp.eval(&mut NoHost, "while {1} {}").unwrap_err();
+        assert!(err.is_budget_exhausted(), "{err:?}");
+        // Ordinary errors are not the watchdog class.
+        let err = interp.eval(&mut NoHost, "set").unwrap_err();
+        assert!(!err.is_budget_exhausted(), "{err:?}");
+        // The budget resets per top-level eval: a fresh script still runs.
+        assert!(interp.eval(&mut NoHost, "expr {1 + 1}").is_ok());
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod parse;
 
 pub use builtins::{builtins, lookup_builtin, BuiltinInfo};
 pub use cache::CacheStats;
-pub use error::ScriptError;
+pub use error::{ScriptError, ScriptErrorKind};
 pub use expr::{analyze_expr, ExprSummary};
 pub use interp::{Host, Interp, NoHost};
 pub use list::{glob_match, list_format, list_parse};

@@ -14,6 +14,8 @@
 //! pfi-campaign gmp --explore --budget 64 --seed 7
 //! pfi-campaign gmp --explore --jobs 4 --stats
 //! pfi-campaign gmp --explore --digest   # one-line outcome digest (CI golden)
+//! pfi-campaign gmp --explore --journal run.journal        # crash-safe record
+//! pfi-campaign gmp --explore --resume run.journal --journal run.journal
 //! ```
 //!
 //! Exploration prints each discovered failure as a replayable `pfi-repro`
@@ -24,8 +26,8 @@ use std::sync::Arc;
 use pfi_core::Direction;
 use pfi_gmp::GmpBugs;
 use pfi_testgen::{
-    explore_fleet, generate, run_campaign_fleet, ExploreConfig, FaultKind, GmpTarget, ProtocolSpec,
-    TargetFactory, TcpTarget, TpcTarget, Verdict,
+    explore_fleet, generate, run_campaign_fleet, ChaosOracleTarget, ExploreConfig, FaultKind,
+    GmpTarget, ProtocolSpec, TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict,
 };
 
 const HELP: &str = "pfi-campaign — script-driven fault-injection campaigns
@@ -50,9 +52,28 @@ FLAGS:
                       yields byte-identical campaign results
     --no-prefilter    run statically-invalid candidates instead of rejecting them
                       up front (same digest either way; used by CI to prove it)
+    --journal PATH    write-ahead journal: record dispatch intent and every
+                      result to PATH as the exploration runs (crash-safe)
+    --resume PATH     replay the completed work recorded in PATH instead of
+                      re-executing it; must be the same campaign config.
+                      Combine with --journal (same path is fine) to end up
+                      with a journal byte-identical to an uninterrupted run's
+    --max-retries N   panic retries before a candidate is quarantined and its
+                      lineage dropped (fleet workers; default 2)
+    --step-budget N   interpreter step budget per filter script per run; a
+                      script that burns it out reports the run as HUNG
+    --inject-panic    add a sabotage oracle that panics whenever a run drops
+                      a message — exercises crash containment (CI resilience)
     --stats           print the fleet execution report (workers, exec/sec, queues)
     --digest          print a one-line outcome digest (for golden comparisons)
     --help            this text
+
+EXIT CODES:
+    0   clean: no violations, no infrastructure trouble
+    1   at least one oracle violation was found (the campaign's purpose)
+    2   usage error
+    3   infrastructure trouble only: crashed / hung / quarantined /
+        uninstallable cases, but no violations
 ";
 
 fn main() {
@@ -94,17 +115,31 @@ fn main() {
 
     // The factory (plain-data target config) is what crosses into the
     // fleet's worker threads; each worker builds its own !Send world.
+    let inject_panic = args.iter().any(|a| a == "--inject-panic");
+    fn sabotage<T: TestTarget + Clone + Send + Sync + 'static>(
+        target: T,
+        inject_panic: bool,
+    ) -> Arc<dyn TargetFactory> {
+        if inject_panic {
+            Arc::new(ChaosOracleTarget { inner: target })
+        } else {
+            Arc::new(target)
+        }
+    }
     let factory: Arc<dyn TargetFactory> = match proto {
-        "gmp" => Arc::new(GmpTarget {
-            bugs: if buggy {
-                GmpBugs::all()
-            } else {
-                GmpBugs::none()
+        "gmp" => sabotage(
+            GmpTarget {
+                bugs: if buggy {
+                    GmpBugs::all()
+                } else {
+                    GmpBugs::none()
+                },
+                fault_secs: 60,
             },
-            fault_secs: 60,
-        }),
-        "tpc" => Arc::new(TpcTarget),
-        _ => Arc::new(TcpTarget::default()),
+            inject_panic,
+        ),
+        "tpc" => sabotage(TpcTarget, inject_panic),
+        _ => sabotage(TcpTarget::default(), inject_panic),
     };
 
     if explore_mode {
@@ -120,6 +155,28 @@ fn main() {
         }
         if args.iter().any(|a| a == "--no-prefilter") {
             config.prefilter = false;
+        }
+        if let Some(retries) = flag_value("--max-retries") {
+            config.max_retries = retries as u32;
+        }
+        if let Some(steps) = flag_value("--step-budget") {
+            config.step_budget = steps;
+        }
+        let path_value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+        };
+        config.journal = path_value("--journal");
+        if let Some(path) = path_value("--resume") {
+            match pfi_testgen::Journal::load(&path) {
+                Ok(journal) => config.resume = Some(journal),
+                Err(e) => {
+                    eprintln!("cannot resume from {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
         }
         if !digest {
             println!(
@@ -152,6 +209,26 @@ fn main() {
                     " at install time"
                 }
             );
+            if outcome.replayed > 0 {
+                println!(
+                    "resumed: {} of those results were replayed from the journal, not re-executed",
+                    outcome.replayed
+                );
+            }
+            if outcome.crashed > 0 || outcome.hung > 0 {
+                println!(
+                    "infrastructure: {} run(s) crashed (panic contained, coverage salvaged), {} cut short by a runaway-run watchdog",
+                    outcome.crashed, outcome.hung
+                );
+            }
+            for q in &outcome.quarantined {
+                println!(
+                    "QUARANTINED {} after {} attempt(s): {}",
+                    q.schedule.id(),
+                    q.attempts,
+                    q.error
+                );
+            }
             for failure in &outcome.failures {
                 println!(
                     "\nVIOLATION (shrunk from {} to {} fault(s)):\n{}",
@@ -165,8 +242,13 @@ fn main() {
             println!();
             print!("{report}");
         }
+        // Same exit-code contract as the grid: violations are findings
+        // (1) and outrank infrastructure trouble (3).
         if !outcome.failures.is_empty() {
             std::process::exit(1);
+        }
+        if outcome.crashed > 0 || outcome.hung > 0 || !outcome.quarantined.is_empty() {
+            std::process::exit(3);
         }
         return;
     }
@@ -195,6 +277,7 @@ fn main() {
     let mut pass = 0;
     let mut degraded = 0;
     let mut violated = 0;
+    let mut infra = 0;
     for r in &results {
         match &r.verdict {
             Verdict::Pass => pass += 1,
@@ -204,19 +287,33 @@ fn main() {
                 println!("VIOLATION {:<44} {}", r.case_id, why);
             }
             // Grid cases are generated against the target's own primary
-            // site, so refusal can only mean a harness bug — surface it.
+            // site, so refusal can only mean a harness bug — infra class.
             Verdict::Invalid(why) => {
-                violated += 1;
+                infra += 1;
                 println!("INVALID   {:<44} {}", r.case_id, why);
+            }
+            Verdict::Crashed(why) => {
+                infra += 1;
+                println!("CRASHED   {:<44} {}", r.case_id, why);
+            }
+            Verdict::Hung(why) => {
+                infra += 1;
+                println!("HUNG      {:<44} {}", r.case_id, why);
             }
         }
     }
-    println!("\n{pass} pass, {degraded} degraded, {violated} violations");
+    println!("\n{pass} pass, {degraded} degraded, {violated} violations, {infra} infrastructure");
     if stats {
         println!();
         print!("{report}");
     }
+    // Exit codes: violations are findings (1); crashes, hangs, and
+    // uninstallable grid cases are harness trouble (3). A run with both
+    // reports the findings — they are the result the campaign exists for.
     if violated > 0 {
         std::process::exit(1);
+    }
+    if infra > 0 {
+        std::process::exit(3);
     }
 }

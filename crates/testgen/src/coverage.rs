@@ -43,6 +43,19 @@ impl Coverage {
         Coverage { edges }
     }
 
+    /// Rebuilds coverage from a recorded edge list — the inverse of
+    /// [`edges`](Coverage::edges), used when replaying journaled campaign
+    /// results without re-executing them.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        Coverage {
+            edges: edges.into_iter().map(Into::into).collect(),
+        }
+    }
+
     /// Merges `other` in; returns how many of its edges were new.
     pub fn merge(&mut self, other: &Coverage) -> usize {
         let before = self.edges.len();

@@ -27,14 +27,20 @@
 //! fault-schedule text, and the worker builds everything on its own side
 //! of the boundary.
 
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use pfi_fleet::{Fleet, FleetReport, JobRunner};
+use pfi_fleet::{Fleet, FleetReport, JobRunner, DEFAULT_MAX_RETRIES};
 use pfi_sim::SimRng;
 
 use crate::coverage::Coverage;
+use crate::journal::{Journal, JournalCase, JournalMeta, JournalQuarantine, JournalWriter};
 use crate::repro::Repro;
-use crate::runner::{run_schedule, ScheduleRun, TargetFactory, TestTarget, Verdict};
+use crate::runner::{
+    panic_text, run_schedule_limited, RunLimits, ScheduleRun, TargetFactory, TestTarget, Verdict,
+};
 use crate::schedule::{FaultSchedule, ScheduleMutator};
 use crate::shrink::shrink_schedule;
 use crate::spec::ProtocolSpec;
@@ -62,6 +68,58 @@ pub struct ExploreConfig {
     /// unfiltered engine runs the candidate just to watch it refuse
     /// installation). Default `true`.
     pub prefilter: bool,
+    /// How many times a candidate whose execution *panics* (escaping the
+    /// runner's own containment) is retried before it is quarantined and
+    /// its lineage dropped. Fleet workers retry with exponential virtual
+    /// backoff; the inline engine quarantines on the first panic (a
+    /// deterministic panic quarantines the same schedule either way, so
+    /// corpus and coverage stay worker-count-independent). Default
+    /// [`DEFAULT_MAX_RETRIES`].
+    pub max_retries: u32,
+    /// Interpreter step budget installed per run on every fault site's
+    /// filter interpreters; a filter script that exhausts it is cut short
+    /// and the run reports [`Verdict::Hung`]. `0` (the default) keeps the
+    /// interpreter's own generous default fuel.
+    pub step_budget: u64,
+    /// Write-ahead journal path. When set, the campaign appends dispatch
+    /// intent and every merged result to this file as it runs (creating
+    /// or truncating it first), so an interrupted campaign can resume.
+    /// Journal I/O failure panics: a crash-safety journal that silently
+    /// stopped recording would be worse than none.
+    pub journal: Option<PathBuf>,
+    /// A journal loaded from an interrupted run of the *same* campaign
+    /// (the metadata is checked; a mismatch panics). Recorded results are
+    /// replayed without re-execution; only unrecorded work runs. The
+    /// resulting [`ExploreOutcome`] — digest included — is byte-identical
+    /// to an uninterrupted run's, and a journal written alongside
+    /// (`journal` may point at the same path) ends byte-identical to an
+    /// uninterrupted run's journal.
+    pub resume: Option<Journal>,
+}
+
+impl ExploreConfig {
+    /// The per-run runaway-run watchdog budgets this config implies.
+    pub fn limits(&self) -> RunLimits {
+        RunLimits {
+            step_budget: self.step_budget,
+            ..RunLimits::default()
+        }
+    }
+
+    /// The journal metadata identifying this campaign on `target`.
+    pub fn journal_meta(&self, target: &dyn TestTarget) -> JournalMeta {
+        JournalMeta {
+            target: target.name().to_string(),
+            world_seed: target.seed(),
+            seed: self.seed,
+            budget: self.budget,
+            max_faults: self.max_faults,
+            epoch: self.epoch,
+            prefilter: self.prefilter,
+            step_budget: self.step_budget,
+            max_retries: self.max_retries,
+        }
+    }
 }
 
 /// The default epoch width: wide enough to keep a handful of workers busy,
@@ -76,6 +134,10 @@ impl Default for ExploreConfig {
             max_faults: 3,
             epoch: DEFAULT_EPOCH,
             prefilter: true,
+            max_retries: DEFAULT_MAX_RETRIES,
+            step_budget: 0,
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -115,6 +177,21 @@ pub struct ExploreOutcome {
     /// candidates are refused either way; with the pre-filter on they
     /// never consume a worker.
     pub rejected: usize,
+    /// How many of the `executed` results were replayed from a resume
+    /// journal instead of re-executed. An uninterrupted campaign reports
+    /// 0; a resumed one reports the work the interruption did not lose.
+    pub replayed: usize,
+    /// Runs whose target or oracle panicked mid-run ([`Verdict::Crashed`]).
+    /// Their pre-crash coverage still fed the corpus.
+    pub crashed: usize,
+    /// Runs a runaway-run watchdog cut short ([`Verdict::Hung`]): event-cap
+    /// exhaustion or a filter script burning out its step budget.
+    pub hung: usize,
+    /// Candidates the worker supervisor quarantined after exhausting panic
+    /// retries. They produced no result at all — each entry is a dropped
+    /// search lineage, reported loudly so a crashing target cannot leave a
+    /// silent hole in the explored space.
+    pub quarantined: Vec<JournalQuarantine>,
 }
 
 impl ExploreOutcome {
@@ -178,26 +255,36 @@ struct ShrinkReport {
     shrunk: FaultSchedule,
     /// How many re-executions shrinking performed.
     runs: usize,
+    /// The confirmed bare violation message, when this report was replayed
+    /// from a journal (the original run already confirmed it on the
+    /// master; replay must not re-execute). `None` on live runs — the
+    /// master confirms as usual.
+    message: Option<String>,
 }
 
 /// Runs one candidate: execute, and delta-debug to 1-minimal if it
 /// violated an oracle. Shrinking re-runs against the *same* oracle: the
 /// minimal schedule must reproduce this failure, not just any failure.
-fn candidate_report(target: &dyn TestTarget, schedule: FaultSchedule) -> CandidateReport {
-    let run = run_schedule(target, &schedule);
+fn candidate_report(
+    target: &dyn TestTarget,
+    schedule: FaultSchedule,
+    limits: &RunLimits,
+) -> CandidateReport {
+    let run = run_schedule_limited(target, &schedule, limits);
     let shrink = match &run.verdict {
         Verdict::Violated(_) => {
             let oracle = run.oracle.clone().unwrap_or_else(|| "target".to_string());
             let mut runs = 0usize;
             let shrunk = shrink_schedule(&schedule, |s| {
                 runs += 1;
-                let rerun = run_schedule(target, s);
+                let rerun = run_schedule_limited(target, s, limits);
                 rerun.verdict.is_violation() && rerun.oracle.as_deref() == Some(oracle.as_str())
             });
             Some(ShrinkReport {
                 oracle,
                 shrunk,
                 runs,
+                message: None,
             })
         }
         _ => None,
@@ -210,16 +297,66 @@ fn candidate_report(target: &dyn TestTarget, schedule: FaultSchedule) -> Candida
     }
 }
 
+/// Rebuilds a candidate report from a journaled case — the no-execution
+/// path resume takes for work the interrupted run already finished.
+fn replayed_report(world_seed: u64, case: JournalCase) -> CandidateReport {
+    let run = ScheduleRun {
+        schedule_id: case.schedule.id(),
+        seed: world_seed,
+        scripts: case.schedule.lower(),
+        verdict: case.verdict,
+        oracle: case.oracle.clone(),
+        coverage: Coverage::from_edges(case.coverage),
+    };
+    let shrink = case.shrink.map(|s| ShrinkReport {
+        oracle: case.oracle.unwrap_or_else(|| "target".to_string()),
+        shrunk: s.shrunk,
+        runs: s.runs,
+        message: s.message,
+    });
+    CandidateReport {
+        schedule: case.schedule,
+        run,
+        shrink,
+        worker: 0,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Epoch execution strategies
 // ---------------------------------------------------------------------
 
+/// What became of one dispatched candidate: a report, or a quarantine
+/// notice after the supervisor gave up retrying a panicking execution.
+enum EpochResult {
+    /// The candidate ran (possibly to a [`Verdict::Crashed`] — contained
+    /// panics still yield reports) and reported back.
+    Report(CandidateReport),
+    /// Execution itself panicked past containment every time the
+    /// supervisor tried it; the candidate produced nothing.
+    Quarantined {
+        schedule: FaultSchedule,
+        attempts: u32,
+        error: String,
+    },
+}
+
+impl EpochResult {
+    /// The candidate's schedule id — the canonical merge-order key.
+    fn schedule_id(&self) -> String {
+        match self {
+            EpochResult::Report(r) => r.schedule.id(),
+            EpochResult::Quarantined { schedule, .. } => schedule.id(),
+        }
+    }
+}
+
 /// How one epoch's candidates get executed. The master's search loop is
 /// identical either way; only the dispatch differs.
 trait EpochRunner {
-    /// Runs every candidate of an epoch; order of the returned reports is
+    /// Runs every candidate of an epoch; order of the returned results is
     /// irrelevant (the merge step canonicalises it).
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport>;
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult>;
     /// Statistics hook: the candidate run by `worker` reached new coverage.
     fn note_novel(&mut self, _worker: usize) {}
 }
@@ -227,33 +364,63 @@ trait EpochRunner {
 /// In-place execution on the caller's target: the 1-worker fleet.
 struct InlineEpochs<'a> {
     target: &'a dyn TestTarget,
+    limits: RunLimits,
 }
 
 impl EpochRunner for InlineEpochs<'_> {
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport> {
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult> {
         batch
             .into_iter()
-            .map(|s| candidate_report(self.target, s))
+            .map(|s| {
+                // The runner contains target/oracle panics itself
+                // (`Verdict::Crashed`); this outer net catches panics in
+                // the engine plumbing around it, mirroring the fleet
+                // supervisor so a pathological candidate quarantines
+                // instead of killing the campaign. No retry inline: a
+                // panic on this thread is deterministic by construction.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    candidate_report(self.target, s.clone(), &self.limits)
+                })) {
+                    Ok(report) => EpochResult::Report(report),
+                    Err(payload) => EpochResult::Quarantined {
+                        schedule: s,
+                        attempts: 1,
+                        error: panic_text(payload.as_ref()),
+                    },
+                }
+            })
             .collect()
     }
 }
 
 /// Fan-out across a worker fleet. Candidates cross the thread boundary as
-/// serialized fault lines; reports come back `Send`.
+/// serialized fault lines; reports come back `Send`. Jobs whose worker
+/// dies repeatedly come back as supervisor quarantine errors instead of
+/// aborting the epoch.
 struct FleetEpochs {
     fleet: Fleet<Vec<String>, CandidateReport>,
 }
 
 impl EpochRunner for FleetEpochs {
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<CandidateReport> {
+    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult> {
         let jobs: Vec<Vec<String>> = batch.iter().map(FaultSchedule::to_lines).collect();
+        // `run_epoch_checked` returns items in dispatch (seq) order, which
+        // is exactly `batch` order — zip to recover each job's schedule
+        // without round-tripping it through the failure path.
         self.fleet
-            .run_epoch(jobs)
+            .run_epoch_checked(jobs)
             .into_iter()
-            .map(|item| {
-                let mut report = item.result;
-                report.worker = item.worker;
-                report
+            .zip(batch)
+            .map(|(item, schedule)| match item.result {
+                Ok(mut report) => {
+                    report.worker = item.worker;
+                    EpochResult::Report(report)
+                }
+                Err(failure) => EpochResult::Quarantined {
+                    schedule,
+                    attempts: failure.attempts,
+                    error: failure.error,
+                },
             })
             .collect()
     }
@@ -267,10 +434,39 @@ impl EpochRunner for FleetEpochs {
 // The search loop
 // ---------------------------------------------------------------------
 
+/// Appends one merged result to the write-ahead journal (no-op without a
+/// writer). `message` is the confirmed bare violation message, present
+/// exactly when this report first discovered its failure — its presence is
+/// what lets resume skip the confirmation run.
+fn journal_record(
+    writer: Option<&mut JournalWriter>,
+    report: &CandidateReport,
+    message: Option<&str>,
+) {
+    let Some(w) = writer else { return };
+    let case = JournalCase {
+        schedule: report.schedule.clone(),
+        verdict: report.run.verdict.clone(),
+        oracle: report.run.oracle.clone(),
+        coverage: report.run.coverage.edges().map(str::to_string).collect(),
+        shrink: report
+            .shrink
+            .as_ref()
+            .map(|s| crate::journal::JournalShrink {
+                shrunk: s.shrunk.clone(),
+                runs: s.runs,
+                message: message.map(str::to_string),
+            }),
+    };
+    w.case(&case)
+        .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+}
+
 /// The epoch-synchronous search shared by [`explore`] and
 /// [`explore_fleet`]. `master` handles everything that must stay serial:
-/// candidate generation (the RNG), the baseline run, and the final
-/// confirmation run of each unique shrunk failure.
+/// candidate generation (the RNG), the baseline run, the final
+/// confirmation run of each unique shrunk failure, and the write-ahead
+/// journal.
 fn explore_with(
     master: &dyn TestTarget,
     epochs: &mut dyn EpochRunner,
@@ -278,12 +474,56 @@ fn explore_with(
     config: &ExploreConfig,
 ) -> ExploreOutcome {
     assert!(config.epoch > 0, "epoch width must be at least 1");
+    let limits = config.limits();
+    let meta = config.journal_meta(master);
+    let mut replay: BTreeMap<String, JournalCase> = match &config.resume {
+        Some(journal) => {
+            assert_eq!(
+                journal.meta, meta,
+                "resume journal was recorded for a different campaign"
+            );
+            journal.replay_map()
+        }
+        None => BTreeMap::new(),
+    };
+    let mut writer = config.journal.as_ref().map(|path| {
+        JournalWriter::create(path, &meta)
+            .unwrap_or_else(|e| panic!("cannot create campaign journal: {e}"))
+    });
+
     let mut rng = SimRng::seed_from(config.seed);
     let mutator = ScheduleMutator::new(spec, master.node_count(), master.fault_sites());
 
+    let mut replayed = 0usize;
+    let mut crashed = 0usize;
+    let mut hung = 0usize;
+    let mut quarantined: Vec<JournalQuarantine> = Vec::new();
+
     let baseline = FaultSchedule::empty();
-    let base_run = run_schedule(master, &baseline);
-    let mut coverage = base_run.coverage;
+    if let Some(w) = writer.as_mut() {
+        w.dispatch(&baseline.id())
+            .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+    }
+    let base_report = match replay.remove(&baseline.id()) {
+        Some(case) => {
+            replayed += 1;
+            replayed_report(master.seed(), case)
+        }
+        None => CandidateReport {
+            run: run_schedule_limited(master, &baseline, &limits),
+            schedule: baseline.clone(),
+            shrink: None,
+            worker: 0,
+        },
+    };
+    journal_record(writer.as_mut(), &base_report, None);
+    if base_report.run.verdict.is_crashed() {
+        crashed += 1;
+    }
+    if base_report.run.verdict.is_hung() {
+        hung += 1;
+    }
+    let mut coverage = base_report.run.coverage;
     let mut corpus = vec![baseline.clone()];
     let mut executed = 1usize;
 
@@ -325,45 +565,117 @@ fn explore_with(
             continue;
         }
 
-        // Execute anywhere, merge canonically: schedule-id order makes the
-        // merge independent of completion order and worker count.
-        let mut reports = epochs.run_epoch(batch);
-        reports.sort_by_key(|r| r.schedule.id());
+        // Journal the epoch's dispatch intent before any of it executes —
+        // replayed candidates included, so a resumed run's journal stays
+        // byte-identical to an uninterrupted run's.
+        if let Some(w) = writer.as_mut() {
+            for candidate in &batch {
+                w.dispatch(&candidate.id())
+                    .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+            }
+        }
 
-        for report in reports {
+        // Split candidates the resume journal already settled from the
+        // ones that must actually execute.
+        let mut results: Vec<EpochResult> = Vec::new();
+        let mut dispatch: Vec<FaultSchedule> = Vec::new();
+        for candidate in batch {
+            match replay.remove(&candidate.id()) {
+                Some(case) => {
+                    replayed += 1;
+                    results.push(EpochResult::Report(replayed_report(master.seed(), case)));
+                }
+                None => dispatch.push(candidate),
+            }
+        }
+        // Execute anywhere, merge canonically: schedule-id order makes the
+        // merge independent of completion order, worker count, and of how
+        // the epoch split between replayed and live candidates.
+        if !dispatch.is_empty() {
+            results.extend(epochs.run_epoch(dispatch));
+        }
+        results.sort_by_key(EpochResult::schedule_id);
+
+        for result in results {
+            let report = match result {
+                EpochResult::Report(report) => report,
+                EpochResult::Quarantined {
+                    schedule,
+                    attempts,
+                    error,
+                } => {
+                    // The supervisor gave up on this candidate: no result,
+                    // no coverage, a dropped search lineage. Record it
+                    // loudly (journal + outcome) instead of leaving a
+                    // silent hole in the explored space.
+                    let q = JournalQuarantine {
+                        schedule,
+                        attempts,
+                        error,
+                    };
+                    if let Some(w) = writer.as_mut() {
+                        w.quarantine(&q)
+                            .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+                    }
+                    quarantined.push(q);
+                    continue;
+                }
+            };
             executed += 1 + report.shrink.as_ref().map_or(0, |s| s.runs);
+            if report.run.verdict.is_crashed() {
+                crashed += 1;
+            }
+            if report.run.verdict.is_hung() {
+                hung += 1;
+            }
             if report.run.verdict.is_invalid() {
                 // Only reachable with the pre-filter off: the runner
                 // refused the same candidate the filter would have
                 // dropped. Coverage is empty, so nothing downstream sees
                 // a difference.
                 rejected += 1;
+                journal_record(writer.as_mut(), &report, None);
                 continue;
             }
             if coverage.merge(&report.run.coverage) > 0 {
                 corpus.push(report.schedule.clone());
                 epochs.note_novel(report.worker);
             }
-            let Some(shrink) = report.shrink else {
+            let Some(shrink) = report.shrink.clone() else {
+                journal_record(writer.as_mut(), &report, None);
                 continue;
             };
             if !failure_keys.insert((shrink.oracle.clone(), shrink.shrunk.id())) {
-                continue; // Same minimal failure already reported.
+                // Same minimal failure already reported.
+                journal_record(writer.as_mut(), &report, None);
+                continue;
             }
-            // Confirm the shrunk schedule on the master and harvest the
-            // violation message for the artifact.
-            let final_run = run_schedule(master, &shrink.shrunk);
-            executed += 1;
-            let message = match &final_run.verdict {
-                // The verdict text is "oracle-name: message"; the artifact
-                // keeps the oracle on its own line, so store the bare
-                // message.
-                Verdict::Violated(m) => m
-                    .strip_prefix(&format!("{}: ", shrink.oracle))
-                    .unwrap_or(m)
-                    .to_string(),
-                other => unreachable!("shrunk schedule stopped failing: {other:?}"),
+            let message = match &shrink.message {
+                // Replayed first discovery: the interrupted run already
+                // confirmed on its master and journaled the message. Count
+                // the confirmation run it performed, don't repeat it.
+                Some(m) => {
+                    executed += 1;
+                    m.clone()
+                }
+                // Confirm the shrunk schedule on the master and harvest
+                // the violation message for the artifact.
+                None => {
+                    let final_run = run_schedule_limited(master, &shrink.shrunk, &limits);
+                    executed += 1;
+                    match &final_run.verdict {
+                        // The verdict text is "oracle-name: message"; the
+                        // artifact keeps the oracle on its own line, so
+                        // store the bare message.
+                        Verdict::Violated(m) => m
+                            .strip_prefix(&format!("{}: ", shrink.oracle))
+                            .unwrap_or(m)
+                            .to_string(),
+                        other => unreachable!("shrunk schedule stopped failing: {other:?}"),
+                    }
+                }
             };
+            journal_record(writer.as_mut(), &report, Some(&message));
             failures.push(FoundFailure {
                 schedule: report.schedule,
                 shrunk: shrink.shrunk.clone(),
@@ -380,12 +692,21 @@ fn explore_with(
         }
     }
 
+    if let Some(w) = writer.as_mut() {
+        w.complete()
+            .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+    }
+
     ExploreOutcome {
         corpus,
         coverage,
         failures,
         executed,
         rejected,
+        replayed,
+        crashed,
+        hung,
+        quarantined,
     }
 }
 
@@ -398,7 +719,10 @@ pub fn explore(
     spec: &ProtocolSpec,
     config: &ExploreConfig,
 ) -> ExploreOutcome {
-    let mut epochs = InlineEpochs { target };
+    let mut epochs = InlineEpochs {
+        target,
+        limits: config.limits(),
+    };
     explore_with(target, &mut epochs, spec, config)
 }
 
@@ -415,14 +739,16 @@ pub fn explore_fleet(
 ) -> (ExploreOutcome, FleetReport) {
     let master = factory.make();
     let worker_factory = Arc::clone(&factory);
-    let fleet: Fleet<Vec<String>, CandidateReport> = Fleet::new(jobs, move |_worker| {
+    let limits = config.limits();
+    let mut fleet: Fleet<Vec<String>, CandidateReport> = Fleet::new(jobs, move |_worker| {
         let target = worker_factory.make();
         Box::new(move |lines: Vec<String>| {
             let schedule = FaultSchedule::from_lines(lines.iter().map(String::as_str))
                 .expect("fleet jobs carry well-formed fault lines");
-            candidate_report(target.as_ref(), schedule)
+            candidate_report(target.as_ref(), schedule, &limits)
         }) as Box<dyn JobRunner<Vec<String>, CandidateReport>>
     });
+    fleet.set_max_retries(config.max_retries);
     let mut epochs = FleetEpochs { fleet };
     let outcome = explore_with(master.as_ref(), &mut epochs, spec, config);
     let mut report = epochs.fleet.shutdown();
@@ -433,5 +759,5 @@ pub fn explore_fleet(
 /// Replays a repro artifact against a target; the returned run should
 /// reproduce the recorded violation (asserted by callers, not here).
 pub fn replay(target: &dyn TestTarget, repro: &Repro) -> crate::runner::ScheduleRun {
-    run_schedule(target, &repro.schedule)
+    run_schedule_limited(target, &repro.schedule, &RunLimits::default())
 }

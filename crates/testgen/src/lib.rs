@@ -46,7 +46,7 @@
 //! let outcome = explore(
 //!     &GmpTarget::default(),
 //!     &ProtocolSpec::gmp(),
-//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2, epoch: 1, prefilter: true },
+//!     &ExploreConfig { seed: 1, budget: 8, max_faults: 2, epoch: 1, ..ExploreConfig::default() },
 //! );
 //! assert!(outcome.coverage.len() > 0);
 //! ```
@@ -56,6 +56,7 @@
 mod coverage;
 mod explore;
 mod generate;
+mod journal;
 mod oracle;
 mod repro;
 mod runner;
@@ -69,16 +70,21 @@ pub use explore::{
     explore, explore_fleet, replay, ExploreConfig, ExploreOutcome, FoundFailure, DEFAULT_EPOCH,
 };
 pub use generate::{generate, Campaign, FaultKind, TestCase};
+pub use journal::{
+    Journal, JournalCase, JournalMeta, JournalQuarantine, JournalShrink, JournalWriter,
+};
 pub use oracle::{
-    first_violation, DeliveredStream, GmpAgreementOracle, GmpLeaderUniquenessOracle,
-    GmpNoSelfDeathOracle, GmpProclaimRoutingOracle, GmpTimerDisciplineOracle, Oracle,
-    TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
+    first_violation, ChaosPanicOracle, DeliveredStream, GmpAgreementOracle,
+    GmpLeaderUniquenessOracle, GmpNoSelfDeathOracle, GmpProclaimRoutingOracle,
+    GmpTimerDisciplineOracle, Oracle, TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle,
+    TpcAtomicityOracle,
 };
 pub use pfi_fleet::{FleetReport, WorkerStats};
 pub use repro::Repro;
 pub use runner::{
-    run_campaign, run_campaign_fleet, run_case, run_schedule, CaseResult, GmpTarget, ScheduleRun,
-    TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict, DRIVE_EVENT_CAP,
+    run_campaign, run_campaign_fleet, run_case, run_schedule, run_schedule_limited, CaseResult,
+    ChaosOracleTarget, GmpTarget, RunLimits, ScheduleRun, TargetFactory, TcpTarget, TestTarget,
+    TpcTarget, Verdict, DRIVE_EVENT_CAP,
 };
 pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
 pub use shrink::shrink_schedule;

@@ -8,6 +8,7 @@
 //! unit-test each one, and a replayed repro artifact re-judges itself with
 //! the exact oracle that originally flagged it.
 
+use pfi_core::PfiEvent;
 use pfi_gmp::GmpEvent;
 use pfi_sim::{SimDuration, TraceLog};
 use pfi_tcp::{CloseReason, TcpEvent};
@@ -38,6 +39,38 @@ pub fn first_violation(
         }
     }
     None
+}
+
+// ---------------------------------------------------------------------
+// Chaos oracle (resilience testing)
+// ---------------------------------------------------------------------
+
+/// A deliberately buggy oracle for resilience testing: it **panics** —
+/// instead of returning a verdict — whenever the trace contains a dropped
+/// message. Fault-free baselines judge clean, so campaigns start normally;
+/// any schedule that installs a drop then crashes the judging phase, which
+/// the runner must contain as a `Crashed` verdict without losing the run's
+/// coverage. Installed by [`ChaosOracleTarget`](crate::ChaosOracleTarget)
+/// and `pfi-campaign --inject-panic`.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPanicOracle;
+
+impl Oracle for ChaosPanicOracle {
+    fn name(&self) -> &'static str {
+        "chaos-panic"
+    }
+
+    fn check(&self, trace: &TraceLog) -> Result<(), String> {
+        let drops = trace
+            .events_with_nodes::<PfiEvent>()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, PfiEvent::Dropped { .. }))
+            .count();
+        if drops > 0 {
+            panic!("chaos oracle injected panic: saw {drops} dropped message(s)");
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -2,13 +2,15 @@
 //! target system, extracts coverage, and judges the run with the target's
 //! oracles.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use pfi_core::{Direction, Filter, PfiControl, PfiReply};
+use pfi_core::{Direction, Filter, PfiControl, PfiEvent, PfiReply};
 use pfi_fleet::{Fleet, FleetReport, JobRunner};
 use pfi_gmp::{GmpBugs, GmpConfig, GmpControl, GmpEvent, GmpLayer, GmpReply, GmpStub};
 use pfi_rudp::RudpLayer;
-use pfi_sim::{NodeId, SimDuration, World};
+use pfi_sim::{NodeId, SimDuration, TraceLog, World};
 use pfi_tcp::{ConnId, TcpControl, TcpLayer, TcpProfile, TcpReply, TcpStub};
 use pfi_tpc::{TpcControl, TpcEvent, TpcLayer, TpcReply, TpcStub};
 
@@ -36,6 +38,18 @@ pub enum Verdict {
     /// ([`crate::ExploreConfig::prefilter`]) rejects exactly these
     /// schedules without executing them.
     Invalid(String),
+    /// The target (or an oracle) panicked mid-run. The panic was contained
+    /// by the runner: coverage reached before the crash is kept, and any
+    /// oracle violation observed on the partial trace still wins over this
+    /// verdict. Says nothing about the protocol — it is an infrastructure
+    /// finding about the harness or target code itself.
+    Crashed(String),
+    /// A runaway-run watchdog cut the run short: the drive exhausted its
+    /// [`RunLimits::event_cap`] (a message storm stalled virtual time), or
+    /// a filter script burned through its interpreter step budget (an
+    /// unbounded loop). The truncated trace was still judged — an oracle
+    /// violation observed before the cutoff wins over this verdict.
+    Hung(String),
 }
 
 impl Verdict {
@@ -47,6 +61,23 @@ impl Verdict {
     /// Whether the schedule was refused at install time (nothing ran).
     pub fn is_invalid(&self) -> bool {
         matches!(self, Verdict::Invalid(_))
+    }
+
+    /// Whether the target or an oracle panicked mid-run.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Verdict::Crashed(_))
+    }
+
+    /// Whether a runaway-run watchdog cut the run short.
+    pub fn is_hung(&self) -> bool {
+        matches!(self, Verdict::Hung(_))
+    }
+
+    /// Whether this verdict reports harness trouble (crash or hang) rather
+    /// than a protocol judgement — campaigns count these separately and
+    /// the CLI maps them to a distinct exit code.
+    pub fn is_infrastructure(&self) -> bool {
+        self.is_crashed() || self.is_hung()
     }
 }
 
@@ -92,8 +123,35 @@ pub struct ScheduleRun {
 /// messages (duplicate + proclaim forwarding, say) can storm into the
 /// millions and stall a campaign. The cap cuts such runs short
 /// deterministically — the truncated trace still yields coverage and is
-/// still judged by the oracles.
+/// still judged by the oracles. The default for [`RunLimits::event_cap`].
 pub const DRIVE_EVENT_CAP: u64 = 250_000;
+
+/// Runaway-run watchdog budgets, applied per executed schedule.
+///
+/// Both budgets are measured in deterministic units (simulator events and
+/// interpreter steps), so a run that trips a watchdog trips it identically
+/// on every replay, on every worker, at every job count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum simulator events one drive phase may process before the run
+    /// is declared [`Verdict::Hung`]. See [`DRIVE_EVENT_CAP`].
+    pub event_cap: u64,
+    /// Interpreter step budget installed on every fault site's filter
+    /// interpreters (via [`PfiControl::SetStepBudget`]) before the drive.
+    /// A script that exhausts it fails open with a budget-exhausted trace
+    /// event, and the run is declared [`Verdict::Hung`]. `0` keeps the
+    /// interpreter's own default fuel limit.
+    pub step_budget: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            event_cap: DRIVE_EVENT_CAP,
+            step_budget: 0,
+        }
+    }
+}
 
 /// A system a campaign can be run against.
 pub trait TestTarget {
@@ -117,8 +175,11 @@ pub trait TestTarget {
     /// filters on. Must return exactly
     /// [`fault_sites`](TestTarget::fault_sites) entries.
     fn build(&self) -> (World, Vec<(NodeId, usize)>);
-    /// Drives the system through the test.
-    fn drive(&self, world: &mut World);
+    /// Drives the system through the test. Returns `true` iff the event
+    /// cap in `limits` cut the drive short — the runner escalates such
+    /// runs to [`Verdict::Hung`] after the oracles have judged the
+    /// truncated trace.
+    fn drive(&self, world: &mut World, limits: &RunLimits) -> bool;
     /// Records end-of-run facts into the trace (e.g. the delivered byte
     /// stream) before the oracles judge it.
     fn harvest(&self, _world: &mut World) {}
@@ -190,7 +251,8 @@ pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
             Direction::Receive => case.script.clone(),
         },
     };
-    let (verdict, oracle, coverage) = execute(target, std::slice::from_ref(&script));
+    let (verdict, oracle, coverage) =
+        execute(target, std::slice::from_ref(&script), &RunLimits::default());
     CaseResult {
         case_id: case.id.clone(),
         seed: target.seed(),
@@ -202,10 +264,21 @@ pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
 }
 
 /// Runs one fault schedule: lowers it, installs the filters on each fault
-/// site it touches, and judges the run.
+/// site it touches, and judges the run. Uses the default [`RunLimits`];
+/// campaigns with a configured step budget use
+/// [`run_schedule_limited`].
 pub fn run_schedule(target: &dyn TestTarget, schedule: &FaultSchedule) -> ScheduleRun {
+    run_schedule_limited(target, schedule, &RunLimits::default())
+}
+
+/// [`run_schedule`] with explicit runaway-run watchdog budgets.
+pub fn run_schedule_limited(
+    target: &dyn TestTarget,
+    schedule: &FaultSchedule,
+    limits: &RunLimits,
+) -> ScheduleRun {
     let scripts = schedule.lower();
-    let (verdict, oracle, coverage) = execute(target, &scripts);
+    let (verdict, oracle, coverage) = execute(target, &scripts, limits);
     ScheduleRun {
         schedule_id: schedule.id(),
         seed: target.seed(),
@@ -224,9 +297,19 @@ pub fn run_schedule(target: &dyn TestTarget, schedule: &FaultSchedule) -> Schedu
 /// script that does not parse — are refused *before* the world is built:
 /// the run returns [`Verdict::Invalid`] with empty coverage, exactly the
 /// schedules campaign pre-filtering rejects without executing.
+///
+/// The drive/harvest phase and both judging phases run under panic guards:
+/// a target or oracle that panics yields [`Verdict::Crashed`] instead of
+/// unwinding into the campaign loop (or taking a fleet worker's whole
+/// epoch with it). Coverage is extracted from the trace *after* the guard,
+/// so a crashed run's pre-crash edges still feed corpus growth — a
+/// crashing schedule leaves no silent hole in the search space. Verdict
+/// priority: `Violated` (even on a truncated or partial trace) beats
+/// `Crashed` beats `Hung` beats the target's own service verdict.
 fn execute(
     target: &dyn TestTarget,
     scripts: &[SiteScripts],
+    limits: &RunLimits,
 ) -> (Verdict, Option<String>, Coverage) {
     let install_errors = crate::validate::scripts_install_errors(scripts, target.fault_sites());
     if !install_errors.is_empty() {
@@ -240,6 +323,15 @@ fn execute(
     // Timer life-cycle records are a coverage signal; trace them for the
     // driven phase (build-time convergence stays untraced on purpose).
     world.trace_timers = true;
+    if limits.step_budget > 0 {
+        for &(node, pfi_layer) in &sites {
+            let _: PfiReply = world.control(
+                node,
+                pfi_layer,
+                PfiControl::SetStepBudget(limits.step_budget),
+            );
+        }
+    }
     for s in scripts {
         let &(node, pfi_layer) = sites.get(s.site as usize).unwrap_or_else(|| {
             panic!(
@@ -259,17 +351,104 @@ fn execute(
             }
         }
     }
-    target.drive(&mut world);
-    target.harvest(&mut world);
+    let driven = catch_unwind(AssertUnwindSafe(|| {
+        let capped = target.drive(&mut world, limits);
+        target.harvest(&mut world);
+        capped
+    }));
+    // The trace survives a drive panic; salvage whatever coverage the run
+    // reached before it died.
     let coverage = Coverage::from_trace(world.trace());
-    if let Some((name, msg)) = first_violation(&target.oracles(), world.trace()) {
+    // Judge even truncated and partial traces: a violation observed before
+    // a crash or hang is still a finding, and shrink/replay re-judge the
+    // same truncated trace deterministically.
+    match catch_unwind(AssertUnwindSafe(|| {
+        first_violation(&target.oracles(), world.trace())
+    })) {
+        Ok(Some((name, msg))) => {
+            return (
+                Verdict::Violated(format!("{name}: {msg}")),
+                Some(name.to_string()),
+                coverage,
+            );
+        }
+        Ok(None) => {}
+        Err(payload) => {
+            return (
+                Verdict::Crashed(format!("oracle panicked: {}", panic_text(payload.as_ref()))),
+                None,
+                coverage,
+            );
+        }
+    }
+    let capped = match driven {
+        Ok(capped) => capped,
+        Err(payload) => {
+            return (
+                Verdict::Crashed(format!("target panicked: {}", panic_text(payload.as_ref()))),
+                None,
+                coverage,
+            );
+        }
+    };
+    if capped {
         return (
-            Verdict::Violated(format!("{name}: {msg}")),
-            Some(name.to_string()),
+            Verdict::Hung(format!(
+                "drive exhausted its {} simulator-event budget",
+                limits.event_cap
+            )),
+            None,
             coverage,
         );
     }
-    (target.verdict(&mut world), None, coverage)
+    if let Some(error) = budget_exhausted_script(world.trace()) {
+        return (
+            Verdict::Hung(format!("filter script watchdog fired: {error}")),
+            None,
+            coverage,
+        );
+    }
+    match catch_unwind(AssertUnwindSafe(|| target.verdict(&mut world))) {
+        Ok(verdict) => (verdict, None, coverage),
+        Err(payload) => (
+            Verdict::Crashed(format!(
+                "target verdict panicked: {}",
+                panic_text(payload.as_ref())
+            )),
+            None,
+            coverage,
+        ),
+    }
+}
+
+/// First budget-exhausted script failure in the trace, if any — the
+/// interpreter's step-budget watchdog firing is what distinguishes a
+/// looping script (a hang) from a merely broken one (fail-open noise).
+fn budget_exhausted_script(trace: &TraceLog) -> Option<String> {
+    trace
+        .events_with_nodes::<PfiEvent>()
+        .into_iter()
+        .find_map(|(_, node, event)| match event {
+            PfiEvent::ScriptFailed {
+                budget_exhausted: true,
+                dir,
+                error,
+            } => Some(format!("{node} {dir:?} filter: {error}")),
+            _ => None,
+        })
+}
+
+/// Renders a caught panic payload. Note the `&dyn Any` must be the *boxed*
+/// value, not a reference to the box (`Box<dyn Any>` itself implements
+/// `Any`, so `downcast_ref` on the wrong one always misses).
+pub(crate) fn panic_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -343,8 +522,9 @@ impl TestTarget for GmpTarget {
         (world, sites)
     }
 
-    fn drive(&self, world: &mut World) {
-        world.run_for_capped(SimDuration::from_secs(self.fault_secs), DRIVE_EVENT_CAP);
+    fn drive(&self, world: &mut World, limits: &RunLimits) -> bool {
+        let ran = world.run_for_capped(SimDuration::from_secs(self.fault_secs), limits.event_cap);
+        ran == limits.event_cap
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -465,7 +645,7 @@ impl TestTarget for TcpTarget {
         (world, vec![(server, 1)])
     }
 
-    fn drive(&self, world: &mut World) {
+    fn drive(&self, world: &mut World, limits: &RunLimits) -> bool {
         let conn = world
             .control::<TcpReply>(
                 Self::client(),
@@ -478,7 +658,12 @@ impl TestTarget for TcpTarget {
             )
             .expect_conn();
         debug_assert_eq!(conn, Self::CONN);
-        world.run_for(SimDuration::from_secs(5));
+        // The handshake phase gets its own full cap (rather than drawing
+        // down the transfer phase's budget) so transfer-phase event counts
+        // are unchanged from when this phase ran uncapped.
+        if world.run_for_capped(SimDuration::from_secs(5), limits.event_cap) == limits.event_cap {
+            return true;
+        }
         let payload = self.payload();
         world.control::<TcpReply>(
             Self::client(),
@@ -488,7 +673,8 @@ impl TestTarget for TcpTarget {
                 data: payload,
             },
         );
-        world.run_for_capped(SimDuration::from_secs(self.fault_secs), DRIVE_EVENT_CAP);
+        let ran = world.run_for_capped(SimDuration::from_secs(self.fault_secs), limits.event_cap);
+        ran == limits.event_cap
     }
 
     fn harvest(&self, world: &mut World) {
@@ -592,7 +778,7 @@ impl TestTarget for TpcTarget {
         (world, sites)
     }
 
-    fn drive(&self, world: &mut World) {
+    fn drive(&self, world: &mut World, limits: &RunLimits) -> bool {
         let participants: Vec<NodeId> = (1..4).map(NodeId::new).collect();
         world.control::<TpcReply>(
             NodeId::new(0),
@@ -602,7 +788,8 @@ impl TestTarget for TpcTarget {
                 participants,
             },
         );
-        world.run_for_capped(SimDuration::from_secs(60), DRIVE_EVENT_CAP);
+        let ran = world.run_for_capped(SimDuration::from_secs(60), limits.event_cap);
+        ran == limits.event_cap
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -632,5 +819,175 @@ impl TestTarget for TpcTarget {
             Some(false) => Verdict::Degraded("transaction aborted".to_string()),
             None => Verdict::Degraded("no decision reached".to_string()),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos wrapper (resilience testing)
+// ---------------------------------------------------------------------
+
+/// Wraps any target and appends a
+/// [`ChaosPanicOracle`](crate::oracle::ChaosPanicOracle) to its oracles —
+/// an oracle that panics instead of judging whenever the run dropped a
+/// message. This is the fault the campaign *itself* is tested against:
+/// a resilient campaign contains every panic as [`Verdict::Crashed`],
+/// keeps each crashed run's coverage, and finishes. Used by resilience
+/// tests and `pfi-campaign --inject-panic`.
+#[derive(Debug, Clone)]
+pub struct ChaosOracleTarget<T> {
+    /// The real target being sabotaged.
+    pub inner: T,
+}
+
+impl<T: TestTarget> TestTarget for ChaosOracleTarget<T> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+
+    fn node_count(&self) -> u32 {
+        self.inner.node_count()
+    }
+
+    fn fault_sites(&self) -> u32 {
+        self.inner.fault_sites()
+    }
+
+    fn primary_site(&self) -> usize {
+        self.inner.primary_site()
+    }
+
+    fn build(&self) -> (World, Vec<(NodeId, usize)>) {
+        self.inner.build()
+    }
+
+    fn drive(&self, world: &mut World, limits: &RunLimits) -> bool {
+        self.inner.drive(world, limits)
+    }
+
+    fn harvest(&self, world: &mut World) {
+        self.inner.harvest(world)
+    }
+
+    fn oracles(&self) -> Vec<Box<dyn Oracle>> {
+        let mut oracles = self.inner.oracles();
+        oracles.push(Box::new(crate::oracle::ChaosPanicOracle));
+        oracles
+    }
+
+    fn verdict(&self, world: &mut World) -> Verdict {
+        self.inner.verdict(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultOp, FaultSchedule, ScheduledFault};
+
+    fn drop_heartbeats() -> FaultSchedule {
+        FaultSchedule {
+            faults: vec![ScheduledFault {
+                site: 1,
+                dir: Direction::Receive,
+                op: FaultOp::DropAll {
+                    msg_type: "HEARTBEAT".to_string(),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn chaos_oracle_panic_is_contained_as_crashed_with_coverage() {
+        let target = ChaosOracleTarget {
+            inner: GmpTarget::default(),
+        };
+        let run = run_schedule(&target, &drop_heartbeats());
+        assert!(
+            run.verdict.is_crashed(),
+            "expected Crashed, got {:?}",
+            run.verdict
+        );
+        assert!(run.verdict.is_infrastructure());
+        let Verdict::Crashed(msg) = &run.verdict else {
+            unreachable!()
+        };
+        assert!(
+            msg.contains("chaos oracle injected panic"),
+            "panic payload text must survive containment: {msg}"
+        );
+        assert!(
+            !run.coverage.is_empty(),
+            "a crashed run must still salvage its pre-crash coverage"
+        );
+    }
+
+    #[test]
+    fn chaos_oracle_judges_fault_free_baselines_clean() {
+        let target = ChaosOracleTarget {
+            inner: GmpTarget::default(),
+        };
+        let run = run_schedule(&target, &FaultSchedule::empty());
+        assert!(
+            !run.verdict.is_infrastructure(),
+            "no drops, no panic: got {:?}",
+            run.verdict
+        );
+    }
+
+    #[test]
+    fn event_cap_escalates_to_hung() {
+        // A tiny event cap truncates the drive immediately.
+        let run = run_schedule_limited(
+            &GmpTarget::default(),
+            &FaultSchedule::empty(),
+            &RunLimits {
+                event_cap: 10,
+                step_budget: 0,
+            },
+        );
+        assert!(
+            run.verdict.is_hung(),
+            "expected Hung, got {:?}",
+            run.verdict
+        );
+    }
+
+    #[test]
+    fn step_budget_watchdog_escalates_to_hung() {
+        // No FaultOp lowers to a looping script, so drive the private
+        // execute path directly with one.
+        let script = SiteScripts {
+            site: 1,
+            send: String::new(),
+            recv: "while {1} {incr spin}".to_string(),
+        };
+        let (verdict, oracle, coverage) = execute(
+            &GmpTarget::default(),
+            std::slice::from_ref(&script),
+            &RunLimits {
+                event_cap: DRIVE_EVENT_CAP,
+                step_budget: 500,
+            },
+        );
+        assert!(
+            verdict.is_hung(),
+            "looping filter script must trip the step-budget watchdog, got {verdict:?}"
+        );
+        let Verdict::Hung(msg) = &verdict else {
+            unreachable!()
+        };
+        assert!(
+            msg.contains("watchdog"),
+            "hung message names the cause: {msg}"
+        );
+        assert!(oracle.is_none());
+        assert!(
+            !coverage.is_empty(),
+            "the run still ran (scripts fail open) and must yield coverage"
+        );
     }
 }

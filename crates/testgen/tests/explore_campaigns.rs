@@ -47,6 +47,7 @@ fn rediscovers(bug: &str, oracle: &str, budget: usize) {
             max_faults: 3,
             epoch: 1,
             prefilter: true,
+            ..ExploreConfig::default()
         },
     );
     let failure = outcome
@@ -152,6 +153,7 @@ fn coverage_guided_search_beats_the_grid() {
             max_faults: 3,
             epoch: 1,
             prefilter: true,
+            ..ExploreConfig::default()
         },
     );
     assert!(outcome.executed <= campaign.len());
@@ -178,6 +180,7 @@ fn exploration_is_deterministic() {
         max_faults: 3,
         epoch: 1,
         prefilter: true,
+        ..ExploreConfig::default()
     };
     let a = explore(&target, &spec, &config);
     let b = explore(&target, &spec, &config);
@@ -208,6 +211,7 @@ fn prefiltering_preserves_the_unfiltered_outcome() {
         max_faults: 3,
         epoch: 1,
         prefilter: true,
+        ..ExploreConfig::default()
     };
     let filtered = explore(&target, &spec, &base);
     let unfiltered = explore(
@@ -244,6 +248,7 @@ fn prefiltered_exploration_is_worker_count_invariant() {
         max_faults: 3,
         epoch: 8,
         prefilter: true,
+        ..ExploreConfig::default()
     };
     let mut outcomes = Vec::new();
     for jobs in [1, 4] {
@@ -277,6 +282,7 @@ fn clean_target_yields_no_failures() {
             max_faults: 3,
             epoch: 1,
             prefilter: true,
+            ..ExploreConfig::default()
         },
     );
     assert!(

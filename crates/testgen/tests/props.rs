@@ -11,7 +11,8 @@ use pfi_core::Direction;
 use pfi_script::Script;
 use pfi_sim::SimRng;
 use pfi_testgen::{
-    shrink_schedule, FaultOp, FaultSchedule, ProtocolSpec, ScheduleMutator, ScheduledFault,
+    shrink_schedule, FaultOp, FaultSchedule, Journal, JournalCase, JournalMeta, JournalQuarantine,
+    JournalShrink, ProtocolSpec, ScheduleMutator, ScheduledFault, Verdict,
 };
 use proptest::prelude::*;
 
@@ -156,5 +157,135 @@ proptest! {
                 prop_assert!(Script::parse(&site.recv).is_ok(), "{}", site.recv);
             }
         }
+    }
+
+    /// Every journal round-trips through its text form value-identically —
+    /// whatever mix of verdicts, shrink records, and quarantines it holds.
+    #[test]
+    fn journal_text_round_trips(
+        raw_cases in proptest::collection::vec(
+            (proptest::collection::vec(
+                (0u32..3, any::<bool>(), 0u8..6, 0usize..4, 0u32..100), 0..4),
+             0u8..6, any::<bool>(), 0usize..8, 0u32..4),
+            0..5),
+        raw_quarantines in proptest::collection::vec(
+            (proptest::collection::vec(
+                (0u32..3, any::<bool>(), 0u8..6, 0usize..4, 0u32..100), 1..4),
+             1u32..5, 0usize..4),
+            0..3),
+        complete in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut journal = Journal::new(journal_meta(seed));
+        for (raw, verdict_kind, with_oracle, msg_ix, cover_n) in &raw_cases {
+            let schedule = schedule_from(raw);
+            journal.dispatched.push(schedule.id());
+            journal.cases.push(journal_case(
+                schedule, *verdict_kind, *with_oracle, *msg_ix, *cover_n));
+        }
+        for (raw, attempts, msg_ix) in &raw_quarantines {
+            let schedule = schedule_from(raw);
+            journal.dispatched.push(schedule.id());
+            journal.quarantined.push(JournalQuarantine {
+                schedule,
+                attempts: *attempts,
+                error: MESSAGES[*msg_ix % MESSAGES.len()].to_string(),
+            });
+        }
+        journal.complete = complete;
+        let text = journal.to_text();
+        let back = Journal::from_text(&text).unwrap();
+        prop_assert_eq!(&back, &journal);
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    /// Cutting a journal anywhere after its metadata never makes it
+    /// unreadable: the torn tail drops at most the partial trailing record,
+    /// and everything parsed is a prefix of the full journal.
+    #[test]
+    fn torn_journals_stay_loadable(
+        raw_cases in proptest::collection::vec(
+            (proptest::collection::vec(
+                (0u32..3, any::<bool>(), 0u8..6, 0usize..4, 0u32..100), 0..4),
+             0u8..6, any::<bool>(), 0usize..8, 0u32..4),
+            1..5),
+        cut_frac in 0u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let mut journal = Journal::new(journal_meta(seed));
+        for (raw, verdict_kind, with_oracle, msg_ix, cover_n) in &raw_cases {
+            let schedule = schedule_from(raw);
+            journal.dispatched.push(schedule.id());
+            journal.cases.push(journal_case(
+                schedule, *verdict_kind, *with_oracle, *msg_ix, *cover_n));
+        }
+        journal.complete = true;
+        let text = journal.to_text();
+        let meta_len = Journal::new(journal_meta(seed)).to_text().len();
+        let cut = meta_len + (text.len() - meta_len) * cut_frac as usize / 1000;
+        let torn = Journal::from_text(&text[..cut]).unwrap();
+        prop_assert_eq!(&torn.meta, &journal.meta);
+        prop_assert!(torn.cases.len() <= journal.cases.len());
+        prop_assert_eq!(
+            &torn.cases[..],
+            &journal.cases[..torn.cases.len()],
+            "torn cases must be a prefix of the full journal's"
+        );
+        prop_assert!(!torn.complete || cut == text.len());
+    }
+}
+
+const MESSAGES: [&str; 4] = [
+    "leader vanished",
+    "oracle gmp-agreement: views diverged",
+    "panic: index out of bounds",
+    "drive exhausted its 250000 simulator-event budget",
+];
+
+fn journal_meta(seed: u64) -> JournalMeta {
+    JournalMeta {
+        target: "gmp".to_string(),
+        world_seed: seed.wrapping_mul(3),
+        seed,
+        budget: (seed % 100) as usize,
+        max_faults: 3,
+        epoch: 1 + (seed % 16) as usize,
+        prefilter: seed % 2 == 0,
+        step_budget: seed % 5000,
+        max_retries: (seed % 4) as u32,
+    }
+}
+
+/// Builds one journal case from small generated integers, honouring the
+/// codec's validity rules (shrink data only on violated verdicts).
+fn journal_case(
+    schedule: FaultSchedule,
+    verdict_kind: u8,
+    with_oracle: bool,
+    msg_ix: usize,
+    cover_n: u32,
+) -> JournalCase {
+    let msg = MESSAGES[msg_ix % MESSAGES.len()].to_string();
+    let verdict = match verdict_kind % 6 {
+        0 => Verdict::Pass,
+        1 => Verdict::Degraded(msg.clone()),
+        2 => Verdict::Violated(msg.clone()),
+        3 => Verdict::Invalid(msg.clone()),
+        4 => Verdict::Crashed(msg.clone()),
+        _ => Verdict::Hung(msg.clone()),
+    };
+    let shrink = matches!(verdict, Verdict::Violated(_)).then(|| JournalShrink {
+        shrunk: FaultSchedule {
+            faults: schedule.faults.first().cloned().into_iter().collect(),
+        },
+        runs: schedule.len() * 2,
+        message: (msg_ix % 2 == 0).then(|| msg.clone()),
+    });
+    JournalCase {
+        schedule,
+        verdict,
+        oracle: with_oracle.then(|| "gmp-agreement".to_string()),
+        coverage: (0..cover_n).map(|i| format!("gmp:n{i}:Started")).collect(),
+        shrink,
     }
 }

@@ -61,6 +61,8 @@ fn main() {
             Verdict::Degraded(_) => degraded += 1,
             Verdict::Violated(v) => panic!("fixed implementation violated an invariant: {v}"),
             Verdict::Invalid(v) => panic!("grid case refused to install: {v}"),
+            Verdict::Crashed(v) => panic!("fixed implementation crashed: {v}"),
+            Verdict::Hung(v) => panic!("fixed implementation hung: {v}"),
         }
         if b.verdict.is_violation() && !f.verdict.is_violation() {
             found.push((b.case_id.clone(), b.verdict.clone()));
