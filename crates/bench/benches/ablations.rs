@@ -326,7 +326,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     use std::sync::Arc;
 
     // Fleet scaling on the GMP explorer: the same fixed-seed campaign at
-    // 1, 2, and 4 workers. Outcomes are byte-identical by construction
+    // 1, 2, 4, and 8 workers. Outcomes are byte-identical by construction
     // (asserted by crates/fleet/tests/campaign_determinism.rs); this
     // measures only the wall-clock side. Throughput is declared as the
     // fleet-dispatched schedule count, so elements_per_sec is campaign
@@ -343,7 +343,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("campaign_throughput");
     g.sample_size(5);
-    for jobs in [1usize, 2, 4] {
+    for jobs in [1usize, 2, 4, 8] {
         let factory = Arc::new(GmpTarget {
             bugs: GmpBugs::none(),
             fault_secs: 60,

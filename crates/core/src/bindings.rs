@@ -8,7 +8,7 @@
 //! clocks (`now_ms`), and probability distributions (`dst_normal`, …).
 
 use pfi_script::{Host, Interp, ScriptError};
-use pfi_sim::{NodeId, SimDuration};
+use pfi_sim::{BoardStore, NodeId, SimDuration};
 
 use crate::filter::{Direction, FilterCtx};
 use crate::globals::GlobalBoard;
@@ -228,14 +228,14 @@ impl Host for Bindings<'_, '_> {
                 let name = args
                     .first()
                     .ok_or_else(|| ScriptError::new("global_set: missing key"))?;
-                self.fctx.globals().set(name, args.get(1).unwrap_or(""));
+                self.fctx.global_set(name, args.get(1).unwrap_or(""));
                 Ok(String::new())
             })()),
             "global_get" => Some((|| {
                 let name = args
                     .first()
                     .ok_or_else(|| ScriptError::new("global_get: missing key"))?;
-                match self.fctx.globals().get(name) {
+                match self.fctx.global_get(name) {
                     Some(v) => Ok(v),
                     None => args
                         .get(1)
@@ -292,7 +292,8 @@ impl Host for Bindings<'_, '_> {
 /// Host for scripts evaluated through control ops, outside any message
 /// context: only state commands are available.
 pub(crate) struct ControlBindings<'a, 'b> {
-    pub(crate) globals: &'a GlobalBoard,
+    pub(crate) globals: GlobalBoard,
+    pub(crate) boards: &'a mut BoardStore,
     pub(crate) peer: &'b mut Interp,
 }
 
@@ -320,12 +321,12 @@ impl Host for ControlBindings<'_, '_> {
             "global_set" => {
                 let name = args.first()?.clone();
                 self.globals
-                    .set(name, args.get(1).cloned().unwrap_or_default());
+                    .set(self.boards, name, args.get(1).cloned().unwrap_or_default());
                 Some(Ok(String::new()))
             }
             "global_get" => {
                 let name = args.first()?.clone();
-                Some(match self.globals.get(&name) {
+                Some(match self.globals.get(self.boards, &name) {
                     Some(v) => Ok(v),
                     None => args
                         .get(1)

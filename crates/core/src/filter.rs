@@ -7,10 +7,10 @@
 //! procedures written in C and linked into the tool".
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pfi_script::Script;
-use pfi_sim::{Message, NodeId, SimDuration, SimRng, SimTime};
+use pfi_sim::{BoardStore, Message, NodeId, SimDuration, SimRng, SimTime};
 
 use crate::globals::GlobalBoard;
 use crate::log::LogEntry;
@@ -77,9 +77,10 @@ pub(crate) struct Effects {
     pub release: bool,
     /// Scripts to evaluate later in this direction's interpreter
     /// (the paper's "setting and manipulating timers" library). Held as
-    /// `Rc<Script>` so re-armed timers share one compiled body with the
-    /// interpreter's script cache instead of re-parsing per arm.
-    pub timer_scripts: Vec<(SimDuration, Rc<Script>)>,
+    /// `Arc<Script>` so re-armed timers share one compiled body with the
+    /// interpreter's script cache instead of re-parsing per arm (`Arc`
+    /// rather than `Rc` so the owning layer — and its world — stay `Send`).
+    pub timer_scripts: Vec<(SimDuration, Arc<Script>)>,
 }
 
 /// The API a filter uses to inspect and manipulate the current message.
@@ -96,7 +97,10 @@ pub struct FilterCtx<'a> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) rng: &'a mut SimRng,
-    pub(crate) globals: &'a GlobalBoard,
+    /// Handle of the blackboard this layer coordinates through.
+    pub(crate) globals: GlobalBoard,
+    /// The world's blackboard arena (lent through the layer [`Context`]).
+    pub(crate) boards: &'a mut BoardStore,
 }
 
 impl fmt::Debug for FilterCtx<'_> {
@@ -198,8 +202,8 @@ impl<'a> FilterCtx<'a> {
     ///
     /// Script filters obtain the compiled body from the interpreter's
     /// script cache ([`pfi_script::Interp::compile`]); native filters can
-    /// parse once up front with [`Script::parse`] and wrap in [`Rc`].
-    pub fn after(&mut self, delay: SimDuration, script: Rc<Script>) {
+    /// parse once up front with [`Script::parse`] and wrap in [`Arc`].
+    pub fn after(&mut self, delay: SimDuration, script: Arc<Script>) {
         self.effects.timer_scripts.push((delay, script));
     }
 
@@ -223,9 +227,25 @@ impl<'a> FilterCtx<'a> {
         self.rng
     }
 
-    /// The world-wide script blackboard (cross-node coordination).
-    pub fn globals(&self) -> &GlobalBoard {
+    /// The handle of this layer's script blackboard (cross-node
+    /// coordination; the data lives in the world's [`BoardStore`]).
+    pub fn globals(&self) -> GlobalBoard {
         self.globals
+    }
+
+    /// Reads a key from the blackboard (the script command `global_get`).
+    pub fn global_get(&self, key: &str) -> Option<String> {
+        self.globals.get(self.boards, key)
+    }
+
+    /// Sets a key on the blackboard (the script command `global_set`).
+    pub fn global_set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.globals.set(self.boards, key, value);
+    }
+
+    /// Removes a key from the blackboard, returning its previous value.
+    pub fn global_remove(&mut self, key: &str) -> Option<String> {
+        self.globals.remove(self.boards, key)
     }
 }
 
@@ -235,7 +255,9 @@ pub enum Filter {
     /// message.
     Script(Script),
     /// A native Rust closure — the "user-defined procedure" escape hatch.
-    Native(Box<dyn FnMut(&mut FilterCtx<'_>)>),
+    /// `Send` because installed filters live inside the layer, and a
+    /// fully-constructed world crosses thread boundaries.
+    Native(Box<dyn FnMut(&mut FilterCtx<'_>) + Send>),
 }
 
 impl Filter {
@@ -249,7 +271,7 @@ impl Filter {
     }
 
     /// Wraps a native closure as a filter.
-    pub fn native(f: impl FnMut(&mut FilterCtx<'_>) + 'static) -> Filter {
+    pub fn native(f: impl FnMut(&mut FilterCtx<'_>) + Send + 'static) -> Filter {
         Filter::Native(Box::new(f))
     }
 }
@@ -280,7 +302,8 @@ mod tests {
         let mut effects = Effects::default();
         let mut log = Vec::new();
         let mut rng = SimRng::seed_from(1);
-        let globals = GlobalBoard::new();
+        let mut boards = BoardStore::new();
+        let globals = GlobalBoard::alloc_in(&mut boards);
         let stub = RawStub;
         let mut ctx = FilterCtx {
             dir: Direction::Send,
@@ -291,10 +314,13 @@ mod tests {
             now: SimTime::from_micros(5),
             node: NodeId::new(0),
             rng: &mut rng,
-            globals: &globals,
+            globals,
+            boards: &mut boards,
         };
         ctx.duplicate(2);
         ctx.log_msg();
+        ctx.global_set("k", "v");
+        assert_eq!(ctx.global_get("k").as_deref(), Some("v"));
         ctx.delay(SimDuration::from_secs(3));
         ctx.drop_msg();
         ctx.pass();

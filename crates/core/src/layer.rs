@@ -9,7 +9,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pfi_script::Interp;
 use pfi_sim::{Context, Layer, Message};
@@ -46,11 +46,15 @@ pub struct PfiLayer {
     interps: [Interp; 2],
     held: Vec<(Direction, Message)>,
     delayed: HashMap<u64, (Direction, Message)>,
-    timer_scripts: HashMap<u64, (Direction, Rc<pfi_script::Script>)>,
+    timer_scripts: HashMap<u64, (Direction, Arc<pfi_script::Script>)>,
     next_token: u64,
     killed: bool,
     packet_log: Vec<LogEntry>,
-    globals: GlobalBoard,
+    /// Blackboard handle. `None` until first use: a layer not explicitly
+    /// sharing a board via [`with_globals`](PfiLayer::with_globals) lazily
+    /// allocates a private one from the world's arena on the first script
+    /// that touches globals (deterministic first-touch order).
+    globals: Option<GlobalBoard>,
 }
 
 impl std::fmt::Debug for PfiLayer {
@@ -85,7 +89,7 @@ impl PfiLayer {
             next_token: 0,
             killed: false,
             packet_log: Vec::new(),
-            globals: GlobalBoard::new(),
+            globals: None,
         }
     }
 
@@ -101,11 +105,19 @@ impl PfiLayer {
         self
     }
 
-    /// Shares a cross-node blackboard with this layer (clone the same board
-    /// into every PFI layer that should coordinate).
+    /// Shares a cross-node blackboard with this layer (copy the same board
+    /// handle into every PFI layer that should coordinate).
     pub fn with_globals(mut self, board: GlobalBoard) -> Self {
-        self.globals = board;
+        self.globals = Some(board);
         self
+    }
+
+    /// The blackboard handle this layer coordinates through, allocating a
+    /// private board from the world's arena on first use.
+    fn board(&mut self, ctx: &mut Context<'_>) -> GlobalBoard {
+        *self
+            .globals
+            .get_or_insert_with(|| GlobalBoard::alloc_in(ctx.boards()))
     }
 
     /// Pre-sets a variable in the send filter's interpreter.
@@ -139,8 +151,10 @@ impl PfiLayer {
         };
         let now = ctx.now();
         let node = ctx.node();
+        let globals = self.board(ctx);
         let mut script_error: Option<pfi_script::ScriptError> = None;
         {
+            let (rng, boards) = ctx.rng_and_boards();
             let [send_interp, recv_interp] = &mut self.interps;
             let (own, peer) = match dir {
                 Direction::Send => (send_interp, recv_interp),
@@ -154,8 +168,9 @@ impl PfiLayer {
                 log: &mut self.packet_log,
                 now,
                 node,
-                rng: ctx.rng(),
-                globals: &self.globals,
+                rng,
+                globals,
+                boards,
             };
             match &mut filter {
                 Filter::Native(f) => f(&mut { fctx }),
@@ -270,14 +285,18 @@ impl PfiLayer {
         &mut self,
         dir: Direction,
         src: &str,
+        ctx: &mut Context<'_>,
     ) -> Result<String, pfi_script::ScriptError> {
+        let globals = self.board(ctx);
+        let boards = ctx.boards();
         let [send_interp, recv_interp] = &mut self.interps;
         let (own, peer) = match dir {
             Direction::Send => (send_interp, recv_interp),
             Direction::Receive => (recv_interp, send_interp),
         };
         let mut host = ControlBindings {
-            globals: &self.globals,
+            globals,
+            boards,
             peer,
         };
         own.eval(&mut host, src)
@@ -315,13 +334,16 @@ impl Layer for PfiLayer {
         } else if let Some((dir, script)) = self.timer_scripts.remove(&token) {
             // A script armed by xAfter: evaluate it in its direction's
             // interpreter, without a current message.
+            let globals = self.board(ctx);
+            let boards = ctx.boards();
             let [send_interp, recv_interp] = &mut self.interps;
             let (own, peer) = match dir {
                 Direction::Send => (send_interp, recv_interp),
                 Direction::Receive => (recv_interp, send_interp),
             };
             let mut host = ControlBindings {
-                globals: &self.globals,
+                globals,
+                boards,
                 peer,
             };
             if let Err(e) = own.eval_parsed(&mut host, &script) {
@@ -355,9 +377,11 @@ impl Layer for PfiLayer {
                 self.filters[1] = None;
                 PfiReply::Unit
             }
-            PfiControl::EvalInSend(src) => PfiReply::Eval(self.eval_control(Direction::Send, &src)),
+            PfiControl::EvalInSend(src) => {
+                PfiReply::Eval(self.eval_control(Direction::Send, &src, ctx))
+            }
             PfiControl::EvalInRecv(src) => {
-                PfiReply::Eval(self.eval_control(Direction::Receive, &src))
+                PfiReply::Eval(self.eval_control(Direction::Receive, &src, ctx))
             }
             PfiControl::Kill => {
                 if !self.killed {

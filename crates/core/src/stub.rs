@@ -10,7 +10,11 @@ use pfi_sim::{Message, NodeId};
 
 /// Knowledge about one protocol's packet format: recognition (type and
 /// fields) and generation (forging new packets for probes).
-pub trait PacketStub {
+///
+/// `Send` because stubs are installed inside PFI layers, which live in
+/// worlds that cross thread boundaries. Stubs are typically stateless
+/// zero-sized types, so this costs nothing.
+pub trait PacketStub: Send {
     /// Name of the protocol this stub understands (e.g. `"tcp"`).
     fn protocol(&self) -> &'static str;
 

@@ -29,19 +29,20 @@ impl Layer for Driver {
     }
 }
 
-/// Runs `script` as a send filter on one message and returns the shared
-/// global board the script can report into.
-fn run_filter(script: &str) -> GlobalBoard {
-    let board = GlobalBoard::new();
-    let pfi = PfiLayer::new(Box::new(RawStub))
-        .with_globals(board.clone())
-        .with_send_filter(Filter::script(script).expect("test filter parses"));
+/// Runs `script` as a send filter on one message and returns the world
+/// plus the shared global board the script can report into (board contents
+/// live in the world's arena).
+fn run_filter(script: &str) -> (World, GlobalBoard) {
     let mut w = World::new(7);
+    let board = GlobalBoard::alloc_in(w.boards_mut());
+    let pfi = PfiLayer::new(Box::new(RawStub))
+        .with_globals(board)
+        .with_send_filter(Filter::script(script).expect("test filter parses"));
     let a = w.add_node(vec![Box::new(Driver), Box::new(pfi)]);
     let b = w.add_node(vec![Box::new(Driver)]);
     w.control::<()>(a, 0, SendTo(b, b"probe".to_vec()));
     w.run_for(SimDuration::from_millis(10));
-    board
+    (w, board)
 }
 
 #[test]
@@ -56,10 +57,10 @@ fn every_table_command_dispatches_in_the_bindings() {
             name = info.name
         ));
     }
-    let board = run_filter(&script);
+    let (w, board) = run_filter(&script);
     for info in CommandTable.commands() {
         let got = board
-            .get(&format!("err_{}", info.name))
+            .get(w.boards(), &format!("err_{}", info.name))
             .unwrap_or_else(|| panic!("no verdict recorded for {}", info.name));
         assert!(
             !got.contains("invalid command name"),
@@ -85,10 +86,12 @@ fn below_minimum_arity_fails_at_runtime() {
             name = info.name
         ));
     }
-    let board = run_filter(&script);
+    let (w, board) = run_filter(&script);
     for info in &short {
         assert_eq!(
-            board.get(&format!("rc_{}", info.name)).as_deref(),
+            board
+                .get(w.boards(), &format!("rc_{}", info.name))
+                .as_deref(),
             Some("1"),
             "\"{}\" with zero args should fail (min_args {})",
             info.name,
@@ -101,6 +104,6 @@ fn below_minimum_arity_fails_at_runtime() {
 fn cur_msg_tokens_do_not_count_as_arguments() {
     // The paper's `msg_type cur_msg` spelling: the handle token is skipped
     // by the bindings, so the table's zero-arg arity is correct for it.
-    let board = run_filter("global_set t [msg_type cur_msg]");
-    assert_eq!(board.get("t").as_deref(), Some("unknown"));
+    let (w, board) = run_filter("global_set t [msg_type cur_msg]");
+    assert_eq!(board.get(w.boards(), "t").as_deref(), Some("unknown"));
 }

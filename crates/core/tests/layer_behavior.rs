@@ -215,23 +215,23 @@ fn script_state_persists_and_peer_communication_works() {
 
 #[test]
 fn global_board_coordinates_across_nodes() {
-    let board = GlobalBoard::new();
+    let mut w = World::new(1);
+    let board = GlobalBoard::alloc_in(w.boards_mut());
     let pfi_a = PfiLayer::new(Box::new(RawStub))
-        .with_globals(board.clone())
+        .with_globals(board)
         .with_send_filter(Filter::script("global_set phase drop").unwrap());
     let pfi_b = PfiLayer::new(Box::new(RawStub))
-        .with_globals(board.clone())
+        .with_globals(board)
         .with_recv_filter(
             Filter::script(r#"if {[global_get phase none] == "drop"} { xDrop }"#).unwrap(),
         );
-    let mut w = World::new(1);
     let a = w.add_node(vec![Box::new(Driver), Box::new(pfi_a)]);
     let b = w.add_node(vec![Box::new(Driver), Box::new(pfi_b)]);
     send(&mut w, a, b, b"x");
     w.run_for(SimDuration::from_millis(10));
     // a's send filter set the flag; b's receive filter dropped the message.
     assert!(received(&mut w, b).is_empty());
-    assert_eq!(board.get("phase").as_deref(), Some("drop"));
+    assert_eq!(board.get(w.boards(), "phase").as_deref(), Some("drop"));
 }
 
 #[test]
@@ -529,9 +529,10 @@ fn xafter_arms_timer_scripts_for_phase_changes() {
 
 #[test]
 fn xafter_scripts_can_touch_peer_and_global_state() {
-    let board = GlobalBoard::new();
+    let mut w = World::new(7);
+    let board = GlobalBoard::alloc_in(w.boards_mut());
     let pfi = PfiLayer::new(Box::new(RawStub))
-        .with_globals(board.clone())
+        .with_globals(board)
         .with_send_filter(
             Filter::script(
                 r#"
@@ -543,10 +544,11 @@ fn xafter_scripts_can_touch_peer_and_global_state() {
             )
             .unwrap(),
         );
-    let (mut w, a, b) = two_nodes(pfi);
+    let a = w.add_node(vec![Box::new(Driver), Box::new(pfi)]);
+    let b = w.add_node(vec![Box::new(Driver)]);
     send(&mut w, a, b, b"x");
     w.run_for(SimDuration::from_secs(1));
-    assert_eq!(board.get("phase").as_deref(), Some("late"));
+    assert_eq!(board.get(w.boards(), "phase").as_deref(), Some("late"));
     let v = w
         .control::<PfiReply>(a, 1, PfiControl::EvalInRecv("set poked".to_string()))
         .expect_eval();

@@ -40,9 +40,11 @@ pub fn run_crash_probe(profile: TcpProfile) -> CrashProbeRow {
 /// A passive wire tap: a pass-through layer that records every segment it
 /// carries. It has no ability to drop, delay, duplicate, modify, or inject
 /// — the structural limitation of monitoring-based approaches.
+/// (`Arc<Mutex<…>>` because layers must be `Send`; the harness reads the
+/// capture back out after the run.)
 #[derive(Debug, Default)]
 struct WireTap {
-    captured: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, Segment)>>>,
+    captured: std::sync::Arc<std::sync::Mutex<Vec<(SimTime, Segment)>>>,
 }
 
 impl pfi_sim::Layer for WireTap {
@@ -51,7 +53,7 @@ impl pfi_sim::Layer for WireTap {
     }
     fn push(&mut self, msg: pfi_sim::Message, ctx: &mut pfi_sim::Context<'_>) {
         if let Ok(seg) = Segment::decode(&msg) {
-            self.captured.borrow_mut().push((ctx.now(), seg));
+            self.captured.lock().unwrap().push((ctx.now(), seg));
         }
         ctx.send_down(msg);
     }
@@ -97,7 +99,7 @@ pub fn adaptability_distinguishability() -> (bool, bool) {
 fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
     let name = profile.name.to_string();
     let mut world = World::new(1995);
-    let captured = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let captured = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let vendor = world.add_node(vec![
         Box::new(TcpLayer::new(profile)),
         Box::new(WireTap {
@@ -133,7 +135,7 @@ fn run_crash_probe_with_tap_profile(profile: TcpProfile) -> CrashProbeRow {
     }
     world.schedule_in(SimDuration::from_secs(3), move |w| w.crash(peer));
     world.run_for(SimDuration::from_secs(3_000));
-    let captured = captured.borrow();
+    let captured = captured.lock().unwrap();
     let mut tx_times: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
     let mut reset_observed = false;
     for (t, seg) in captured.iter() {

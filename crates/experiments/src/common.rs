@@ -186,11 +186,11 @@ impl GmpTestbed {
     /// Builds `n` daemons (not yet started) with the given bugs.
     pub fn new(n: u32, bugs: GmpBugs) -> Self {
         let mut world = World::new(1995);
-        let board = GlobalBoard::new();
+        let board = GlobalBoard::alloc_in(world.boards_mut());
         let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
         for _ in 0..n {
             let gmd = GmpLayer::new(GmpConfig::new(peers.clone()).with_bugs(bugs));
-            let pfi = PfiLayer::new(Box::new(GmpStub)).with_globals(board.clone());
+            let pfi = PfiLayer::new(Box::new(GmpStub)).with_globals(board);
             world.add_node(vec![
                 Box::new(gmd),
                 Box::new(pfi),

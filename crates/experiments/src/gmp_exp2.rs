@@ -54,16 +54,16 @@ pub fn run_partition_cycle() -> PartitionRow {
     }
     tb.run(SimDuration::from_secs(60));
     // Partition on.
-    tb.board.set("partition", "1");
+    tb.board.set(tb.world.boards_mut(), "partition", "1");
     tb.run(SimDuration::from_secs(60));
     let left_partition_view = tb.members(tb.peers[0]);
     let right_partition_view = tb.members(tb.peers[3]);
     // Heal.
-    tb.board.set("partition", "0");
+    tb.board.set(tb.world.boards_mut(), "partition", "0");
     tb.run(SimDuration::from_secs(60));
     let healed_view = tb.members(tb.peers[4]);
     // Partition again: the cycle repeats.
-    tb.board.set("partition", "1");
+    tb.board.set(tb.world.boards_mut(), "partition", "1");
     tb.run(SimDuration::from_secs(60));
     let second_partition_left = tb.members(tb.peers[2]);
     PartitionRow {

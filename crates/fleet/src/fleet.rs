@@ -33,9 +33,12 @@ use crate::stats::{FleetReport, WorkerStats};
 /// Executes one job to one result inside a worker thread.
 ///
 /// Runners are built *inside* their worker thread by the factory passed to
-/// [`Fleet::new`], so they may freely own `!Send` state (an `Rc`-based
-/// simulation `World`, say) — only the factory and the job/result types
-/// cross the thread boundary. Any `FnMut(J) -> R` closure is a runner.
+/// [`Fleet::new`], so they may own worker-local state — even `!Send` state
+/// (only the factory and the job/result types cross the thread boundary).
+/// Simulation worlds no longer need that escape hatch (they are
+/// arena-backed and `Send`, so jobs can carry prebuilt worlds directly),
+/// but the capability remains part of the fleet's contract for runners
+/// with thread-local caches. Any `FnMut(J) -> R` closure is a runner.
 pub trait JobRunner<J, R> {
     /// Executes one job. Must be a pure function of the job for the
     /// fleet's determinism guarantee to hold.
@@ -484,9 +487,11 @@ mod tests {
 
     #[test]
     fn runners_may_own_not_send_state() {
-        // The central boundary of the design: the runner holds an Rc (as
-        // the simulation World does) and still works, because it is built
-        // inside its worker thread. This test is primarily a compile-time
+        // Only the factory and the job/result types cross threads, so a
+        // runner built inside its worker may hold an Rc (a worker-local
+        // cache, say) even though Rc is !Send. Simulation worlds are Send
+        // nowadays and ride in job payloads instead, but this capability
+        // stays part of the fleet contract. Primarily a compile-time
         // proof.
         let mut fleet: Fleet<u64, u64> = Fleet::new(2, |_| {
             let local: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));

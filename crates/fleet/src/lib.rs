@@ -15,11 +15,13 @@
 //!   barrier until all results are in. [`Fleet::run_epoch`] hands results
 //!   back sorted by dispatch order, so the caller's merge loop observes
 //!   the exact same sequence for 1, 2, or 64 workers.
-//! * **The `!Send` boundary** — simulation worlds are `Rc`/`RefCell`-based
-//!   and cannot cross threads. Workers therefore *construct* their own
+//! * **The thread boundary** — only the runner factory and the job/result
+//!   types cross it. Simulation worlds are arena-backed and `Send`, so a
+//!   job payload can carry a fully-built world (the campaign layer's
+//!   prebuilt-case dispatch). Workers may *also* construct their own
 //!   execution state: [`Fleet::new`] takes a `Send + Sync` factory that is
 //!   invoked once inside each worker thread, and the [`JobRunner`] it
-//!   builds may own arbitrary thread-local state.
+//!   builds may own arbitrary thread-local (even `!Send`) state.
 //! * **Hand-rolled substrate** — `std::thread` plus the
 //!   [`Chan`](channel::Chan) MPMC channel in this crate; the workspace
 //!   carries no external dependencies.

@@ -9,7 +9,7 @@
 //!
 //! Invariants:
 //!
-//! * Entries are immutable once inserted (`Rc<Script>` / `Rc<ExprAst>`);
+//! * Entries are immutable once inserted (`Arc<Script>` / `Arc<ExprAst>`);
 //!   a hit and a fresh parse of the same source are observationally
 //!   identical, so caching can never change evaluation results.
 //! * The cache is bounded: when `capacity` entries are exceeded, the oldest
@@ -21,7 +21,7 @@
 //!   embedders can assert that warm paths never re-parse.
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A snapshot of one cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,9 +53,9 @@ impl CacheStats {
 /// A bounded, source-keyed, FIFO-evicting cache of compiled artifacts.
 #[derive(Debug)]
 pub(crate) struct SourceCache<V> {
-    map: HashMap<Rc<str>, Rc<V>>,
+    map: HashMap<Arc<str>, Arc<V>>,
     /// Insertion order; front = oldest = next eviction victim.
-    order: VecDeque<Rc<str>>,
+    order: VecDeque<Arc<str>>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -75,18 +75,18 @@ impl<V> SourceCache<V> {
     }
 
     /// Looks up `src`, compiling with `compile` on a miss. The compiled
-    /// artifact is shared (`Rc`), so callers keep it alive across evictions.
+    /// artifact is shared (`Arc`), so callers keep it alive across evictions.
     pub(crate) fn get_or_insert<E>(
         &mut self,
         src: &str,
         compile: impl FnOnce(&str) -> Result<V, E>,
-    ) -> Result<Rc<V>, E> {
+    ) -> Result<Arc<V>, E> {
         if let Some(v) = self.map.get(src) {
             self.hits += 1;
-            return Ok(Rc::clone(v));
+            return Ok(Arc::clone(v));
         }
         self.misses += 1;
-        let v = Rc::new(compile(src)?);
+        let v = Arc::new(compile(src)?);
         if self.capacity == 0 {
             return Ok(v);
         }
@@ -96,9 +96,9 @@ impl<V> SourceCache<V> {
                 self.evictions += 1;
             }
         }
-        let key: Rc<str> = Rc::from(src);
-        self.order.push_back(Rc::clone(&key));
-        self.map.insert(key, Rc::clone(&v));
+        let key: Arc<str> = Arc::from(src);
+        self.order.push_back(Arc::clone(&key));
+        self.map.insert(key, Arc::clone(&v));
         Ok(v)
     }
 
@@ -237,6 +237,6 @@ mod tests {
         let mut c: SourceCache<String> = SourceCache::new(1);
         let a = c.get_or_insert("a", ok_compile).unwrap();
         c.get_or_insert("b", ok_compile).unwrap(); // evicts "a"
-        assert_eq!(*a, "A", "caller's Rc outlives the cache entry");
+        assert_eq!(*a, "A", "caller's Arc outlives the cache entry");
     }
 }

@@ -6,7 +6,7 @@
 //! counters between messages.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::cache::{CacheStats, SourceCache};
 use crate::error::{EvalResult, Exc, ScriptError};
@@ -49,7 +49,7 @@ impl Host for NoHost {
 struct ProcDef {
     params: Vec<(String, Option<String>)>,
     /// Pre-resolved at definition time; shared so calls never re-parse.
-    body: Rc<Script>,
+    body: Arc<Script>,
 }
 
 #[derive(Debug, Default)]
@@ -80,7 +80,7 @@ struct Frame {
 pub struct Interp {
     globals: HashMap<String, String>,
     frames: Vec<Frame>,
-    procs: HashMap<String, Rc<ProcDef>>,
+    procs: HashMap<String, Arc<ProcDef>>,
     output: String,
     fuel: u64,
     fuel_limit: u64,
@@ -164,7 +164,7 @@ impl Interp {
     /// Compiles `src` through the script cache: the first call parses, later
     /// calls with the same source return the shared parse. Embedders compile
     /// timer/control scripts through this so re-armed timers never re-parse.
-    pub fn compile(&mut self, src: &str) -> Result<Rc<Script>, ScriptError> {
+    pub fn compile(&mut self, src: &str) -> Result<Arc<Script>, ScriptError> {
         self.script_cache.get_or_insert(src, Script::parse)
     }
 
@@ -306,13 +306,13 @@ impl Interp {
         Ok(())
     }
 
-    fn cached_script(&mut self, src: &str) -> Result<Rc<Script>, Exc> {
+    fn cached_script(&mut self, src: &str) -> Result<Arc<Script>, Exc> {
         self.script_cache
             .get_or_insert(src, Script::parse)
             .map_err(Exc::Error)
     }
 
-    fn cached_expr(&mut self, src: &str) -> Result<Rc<ExprAst>, Exc> {
+    fn cached_expr(&mut self, src: &str) -> Result<Arc<ExprAst>, Exc> {
         self.expr_cache
             .get_or_insert(src, parse_expr)
             .map_err(Exc::Error)
@@ -591,7 +591,7 @@ impl Interp {
                 let body = self.cached_script(body)?;
                 self.procs.insert(
                     pname.clone(),
-                    Rc::new(ProcDef {
+                    Arc::new(ProcDef {
                         params: specs,
                         body,
                     }),

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 
+use crate::board::BoardStore;
 use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
 use crate::rng::SimRng;
@@ -18,9 +19,14 @@ use crate::trace::{TraceEvent, TraceLog};
 /// A protocol layer in a node's stack.
 ///
 /// Implementations receive a [`Context`] that collects their outputs: send a
-/// message further down or up, arm or cancel timers, emit trace events. All
-/// methods run on the single simulation thread.
-pub trait Layer {
+/// message further down or up, arm or cancel timers, emit trace events.
+///
+/// `Layer: Send` because layers live inside the [`World`](crate::World)
+/// arena and a fully-constructed world crosses thread boundaries (a fleet
+/// master builds cases and hands them to workers). Callbacks still run on
+/// exactly one thread at a time — the world is `Send`, not `Sync` — so
+/// implementations never need interior synchronisation.
+pub trait Layer: Send {
     /// Short name of the layer, used in traces (e.g. `"tcp"`, `"pfi"`).
     fn name(&self) -> &'static str;
 
@@ -75,7 +81,9 @@ pub(crate) enum Action {
 /// Execution context handed to every [`Layer`] callback.
 ///
 /// Collects the layer's outputs; the world routes them after the callback
-/// returns.
+/// returns. The mutable world state a callback may touch (RNG, trace log,
+/// blackboard arena, timer sequence) is lent in as disjoint `&mut` borrows
+/// of the world's arenas — no shared handles, no interior mutability.
 #[derive(Debug)]
 pub struct Context<'a> {
     pub(crate) now: SimTime,
@@ -83,7 +91,8 @@ pub struct Context<'a> {
     pub(crate) layer_name: &'static str,
     pub(crate) actions: Vec<Action>,
     pub(crate) rng: &'a mut SimRng,
-    pub(crate) trace: &'a TraceLog,
+    pub(crate) trace: &'a mut TraceLog,
+    pub(crate) boards: &'a mut BoardStore,
     pub(crate) timer_seq: &'a mut u64,
 }
 
@@ -139,6 +148,18 @@ impl<'a> Context<'a> {
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
+
+    /// The world's blackboard arena (script-visible key/value boards).
+    pub fn boards(&mut self) -> &mut BoardStore {
+        self.boards
+    }
+
+    /// Both the RNG and the blackboard arena, as simultaneous disjoint
+    /// borrows — for callers (like the PFI filter context) that need to
+    /// thread both into one sub-scope.
+    pub fn rng_and_boards(&mut self) -> (&mut SimRng, &mut BoardStore) {
+        (self.rng, self.boards)
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +169,8 @@ mod tests {
     #[test]
     fn context_collects_actions() {
         let mut rng = SimRng::seed_from(0);
-        let trace = TraceLog::new();
+        let mut trace = TraceLog::new();
+        let mut boards = BoardStore::new();
         let mut seq = 0u64;
         let mut ctx = Context {
             now: SimTime::from_micros(100),
@@ -156,7 +178,8 @@ mod tests {
             layer_name: "test",
             actions: Vec::new(),
             rng: &mut rng,
-            trace: &trace,
+            trace: &mut trace,
+            boards: &mut boards,
             timer_seq: &mut seq,
         };
         let m = Message::new(NodeId::new(1), NodeId::new(2), b"x");
@@ -177,7 +200,8 @@ mod tests {
     #[test]
     fn timer_ids_are_unique() {
         let mut rng = SimRng::seed_from(0);
-        let trace = TraceLog::new();
+        let mut trace = TraceLog::new();
+        let mut boards = BoardStore::new();
         let mut seq = 0u64;
         let mut ctx = Context {
             now: SimTime::ZERO,
@@ -185,7 +209,8 @@ mod tests {
             layer_name: "test",
             actions: Vec::new(),
             rng: &mut rng,
-            trace: &trace,
+            trace: &mut trace,
+            boards: &mut boards,
             timer_seq: &mut seq,
         };
         let a = ctx.set_timer(SimDuration::ZERO, 0);
@@ -196,7 +221,8 @@ mod tests {
     #[test]
     fn emit_records_layer_name() {
         let mut rng = SimRng::seed_from(0);
-        let trace = TraceLog::new();
+        let mut trace = TraceLog::new();
+        let mut boards = BoardStore::new();
         let mut seq = 0u64;
         let mut ctx = Context {
             now: SimTime::ZERO,
@@ -204,12 +230,35 @@ mod tests {
             layer_name: "mylayer",
             actions: Vec::new(),
             rng: &mut rng,
-            trace: &trace,
+            trace: &mut trace,
+            boards: &mut boards,
             timer_seq: &mut seq,
         };
         ctx.emit("hello");
         let mut seen = None;
         trace.for_each(|r| seen = Some((r.node, r.layer)));
         assert_eq!(seen, Some((NodeId::new(3), "mylayer")));
+    }
+
+    #[test]
+    fn boards_reachable_through_context() {
+        let mut rng = SimRng::seed_from(0);
+        let mut trace = TraceLog::new();
+        let mut boards = BoardStore::new();
+        let mut seq = 0u64;
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId::new(0),
+            layer_name: "test",
+            actions: Vec::new(),
+            rng: &mut rng,
+            trace: &mut trace,
+            boards: &mut boards,
+            timer_seq: &mut seq,
+        };
+        let id = ctx.boards().alloc();
+        ctx.boards().set(id, "k", "v");
+        let (_rng, boards) = ctx.rng_and_boards();
+        assert_eq!(boards.get(id, "k"), Some("v"));
     }
 }

@@ -1,9 +1,14 @@
 //! # pfi-sim — deterministic protocol-stack simulator
 //!
-//! The substrate underneath the PFI reproduction: a single-threaded,
-//! deterministic discrete-event simulator hosting x-Kernel-style layered
-//! protocol stacks, standing in for the Mach/SunOS x-Kernel machines of
-//! Dawson & Jahanian's ICDCS '95 paper.
+//! The substrate underneath the PFI reproduction: a deterministic
+//! discrete-event simulator hosting x-Kernel-style layered protocol
+//! stacks, standing in for the Mach/SunOS x-Kernel machines of Dawson &
+//! Jahanian's ICDCS '95 paper.
+//!
+//! Each [`World`] is driven by exactly one thread at a time, but owns all
+//! of its state as arenas of plain data — so a fully-constructed world is
+//! `Send`, and a campaign master can build worlds and hand them to worker
+//! threads (the substrate under pfi-fleet's multi-core scaling).
 //!
 //! * [`World`] — event queue, virtual clock, nodes, scheduler.
 //! * [`Layer`] — the protocol-layer trait (`push` down, `pop` up, timers,
@@ -11,6 +16,8 @@
 //! * [`Message`] — header-stacking byte buffer with simulator addressing.
 //! * [`Network`] — per-link latency/jitter/loss, partitions, link up/down.
 //! * [`TraceLog`] — typed packet/event log every experiment analyses.
+//! * [`BoardStore`] — arena of script-visible key/value blackboards,
+//!   addressed by plain [`BoardId`] indices.
 //!
 //! # Examples
 //!
@@ -36,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod board;
 mod ids;
 mod layer;
 mod message;
@@ -45,6 +53,7 @@ mod time;
 mod trace;
 mod world;
 
+pub use board::{BoardId, BoardStore};
 pub use ids::{NodeId, TimerId};
 pub use layer::{Context, Layer};
 pub use message::Message;

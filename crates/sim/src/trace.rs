@@ -6,24 +6,25 @@
 //! log by event type, node, and time.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 
 use crate::ids::NodeId;
 use crate::time::SimTime;
 
 /// A trace event payload: any `Debug`-printable value.
 ///
-/// Implemented automatically for every `'static` type that implements
+/// Implemented automatically for every `'static + Send` type that implements
 /// [`Debug`](fmt::Debug); protocol crates define their own event enums
 /// (e.g. `TcpEvent`) and experiments downcast records back to them.
-pub trait TraceEvent: Any + fmt::Debug {
+///
+/// The `Send` bound is what lets a fully-constructed [`World`](crate::World)
+/// (which owns its trace log) cross thread boundaries.
+pub trait TraceEvent: Any + fmt::Debug + Send {
     /// Upcast for downcasting by the query helpers.
     fn as_any(&self) -> &dyn Any;
 }
 
-impl<T: Any + fmt::Debug> TraceEvent for T {
+impl<T: Any + fmt::Debug + Send> TraceEvent for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -42,10 +43,13 @@ pub struct TraceRecord {
     pub event: Box<dyn TraceEvent>,
 }
 
-/// A shared, append-only log of trace records.
+/// An append-only log of trace records, owned by the [`World`](crate::World).
 ///
-/// Cloning a `TraceLog` yields another handle to the same log (the
-/// simulation is single-threaded, so this uses `Rc<RefCell<…>>`).
+/// The log is a plain arena: one owned `Vec`, no shared handles. Appending
+/// requires `&mut` access (routed through the world or a layer
+/// [`Context`](crate::Context)); queries take `&self`. Because every record
+/// payload is `Send`, the log — and therefore the world that owns it — can
+/// be moved across threads between runs.
 ///
 /// # Examples
 ///
@@ -55,14 +59,14 @@ pub struct TraceRecord {
 /// #[derive(Debug, Clone, PartialEq)]
 /// struct Ping(u32);
 ///
-/// let log = TraceLog::new();
+/// let mut log = TraceLog::new();
 /// log.record(SimTime::ZERO, NodeId::new(0), "test", Ping(7));
 /// let pings = log.events_of::<Ping>(Some(NodeId::new(0)));
 /// assert_eq!(pings, vec![(SimTime::ZERO, Ping(7))]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct TraceLog {
-    records: Rc<RefCell<Vec<TraceRecord>>>,
+    records: Vec<TraceRecord>,
 }
 
 impl TraceLog {
@@ -73,13 +77,13 @@ impl TraceLog {
 
     /// Appends a record.
     pub fn record<E: TraceEvent>(
-        &self,
+        &mut self,
         time: SimTime,
         node: NodeId,
         layer: &'static str,
         event: E,
     ) {
-        self.records.borrow_mut().push(TraceRecord {
+        self.records.push(TraceRecord {
             time,
             node,
             layer,
@@ -89,7 +93,7 @@ impl TraceLog {
 
     /// Number of records in the log.
     pub fn len(&self) -> usize {
-        self.records.borrow().len()
+        self.records.len()
     }
 
     /// Whether the log is empty.
@@ -98,15 +102,14 @@ impl TraceLog {
     }
 
     /// Discards all records.
-    pub fn clear(&self) {
-        self.records.borrow_mut().clear();
+    pub fn clear(&mut self) {
+        self.records.clear();
     }
 
     /// All events of type `T`, optionally restricted to one node, in
     /// emission order, cloned out of the log.
     pub fn events_of<T: Any + Clone>(&self, node: Option<NodeId>) -> Vec<(SimTime, T)> {
         self.records
-            .borrow()
             .iter()
             .filter(|r| node.is_none_or(|n| r.node == n))
             .filter_map(|r| {
@@ -130,7 +133,6 @@ impl TraceLog {
     /// by which `(node, event)` shapes appeared.
     pub fn events_with_nodes<T: Any + Clone>(&self) -> Vec<(SimTime, NodeId, T)> {
         self.records
-            .borrow()
             .iter()
             .filter_map(|r| {
                 r.event
@@ -154,7 +156,7 @@ impl TraceLog {
         key: impl Fn(&T) -> Option<K>,
     ) -> std::collections::BTreeMap<NodeId, Vec<K>> {
         let mut out: std::collections::BTreeMap<NodeId, Vec<K>> = std::collections::BTreeMap::new();
-        for r in self.records.borrow().iter() {
+        for r in self.records.iter() {
             if let Some(e) = r.event.as_ref().as_any().downcast_ref::<T>() {
                 if let Some(k) = key(e) {
                     out.entry(r.node).or_default().push(k);
@@ -167,7 +169,7 @@ impl TraceLog {
     /// Visits every record matching a predicate (for queries that need the
     /// layer name or cross-type analysis).
     pub fn for_each(&self, mut f: impl FnMut(&TraceRecord)) {
-        for r in self.records.borrow().iter() {
+        for r in self.records.iter() {
             f(r);
         }
     }
@@ -175,7 +177,6 @@ impl TraceLog {
     /// Renders the whole log as human-readable lines (debugging aid).
     pub fn render(&self) -> Vec<String> {
         self.records
-            .borrow()
             .iter()
             .map(|r| {
                 format!(
@@ -286,7 +287,7 @@ mod tests {
 
     #[test]
     fn query_by_type_and_node() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         let n0 = NodeId::new(0);
         let n1 = NodeId::new(1);
         log.record(SimTime::from_micros(1), n0, "l", EvA(1));
@@ -306,18 +307,21 @@ mod tests {
     }
 
     #[test]
-    fn clone_shares_storage() {
-        let log = TraceLog::new();
-        let other = log.clone();
-        other.record(SimTime::ZERO, NodeId::new(0), "l", EvA(5));
+    fn log_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TraceLog>();
+        assert_send::<TraceRecord>();
+
+        // A populated log really does cross a thread boundary.
+        let mut log = TraceLog::new();
+        log.record(SimTime::ZERO, NodeId::new(0), "l", EvA(5));
+        let log = std::thread::spawn(move || log).join().unwrap();
         assert_eq!(log.len(), 1);
-        log.clear();
-        assert!(other.is_empty());
     }
 
     #[test]
     fn render_is_nonempty_and_ordered() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(SimTime::from_micros(10), NodeId::new(0), "layer", EvA(9));
         let lines = log.render();
         assert_eq!(lines.len(), 1);
@@ -326,7 +330,7 @@ mod tests {
 
     #[test]
     fn events_with_nodes_attaches_emitters() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(SimTime::from_micros(1), NodeId::new(0), "l", EvA(1));
         log.record(SimTime::from_micros(2), NodeId::new(1), "l", EvA(2));
         log.record(SimTime::from_micros(3), NodeId::new(0), "l", EvB("x"));
@@ -341,7 +345,7 @@ mod tests {
 
     #[test]
     fn sequences_group_keys_per_node_in_order() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         let (n0, n1) = (NodeId::new(0), NodeId::new(1));
         log.record(SimTime::from_micros(1), n0, "l", EvA(1));
         log.record(SimTime::from_micros(2), n1, "l", EvA(9));
@@ -354,7 +358,7 @@ mod tests {
 
     #[test]
     fn for_each_sees_layer_names() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(SimTime::ZERO, NodeId::new(0), "tcp", EvA(1));
         let mut names = vec![];
         log.for_each(|r| names.push(r.layer));

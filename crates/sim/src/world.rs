@@ -4,6 +4,7 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
+use crate::board::{BoardId, BoardStore};
 use crate::ids::{NodeId, TimerId};
 use crate::layer::{Action, Context, Layer};
 use crate::message::Message;
@@ -30,7 +31,8 @@ enum EventKind {
         ev: NodeEvent,
     },
     /// Test-orchestration callback (the scheduled steps of an experiment).
-    Call(Box<dyn FnOnce(&mut World)>),
+    /// `Send` so a world with pending scheduled calls can cross threads.
+    Call(Box<dyn FnOnce(&mut World) + Send>),
 }
 
 struct Entry {
@@ -77,7 +79,12 @@ enum Work {
 /// The simulation world.
 ///
 /// Owns all nodes (each a stack of [`Layer`]s), the [`Network`], the event
-/// queue, the virtual clock, the deterministic RNG, and the [`TraceLog`].
+/// queue, the virtual clock, the deterministic RNG, the [`TraceLog`], and
+/// the [`BoardStore`] blackboard arena. All of that state is owned plain
+/// data — no `Rc`, no interior mutability — so a fully-constructed world is
+/// `Send`: a campaign master can build it and hand it to a worker thread.
+/// (It is deliberately *not* `Sync`; exactly one thread drives it at a
+/// time.)
 ///
 /// # Examples
 ///
@@ -98,6 +105,7 @@ pub struct World {
     network: Network,
     rng: SimRng,
     trace: TraceLog,
+    boards: BoardStore,
     timer_seq: u64,
     cancelled_timers: HashSet<u64>,
     /// Record `NetTrace` events for every wire transmission.
@@ -117,6 +125,7 @@ impl World {
             network: Network::new(),
             rng: SimRng::seed_from(seed),
             trace: TraceLog::new(),
+            boards: BoardStore::new(),
             timer_seq: 0,
             cancelled_timers: HashSet::new(),
             trace_packets: false,
@@ -129,9 +138,29 @@ impl World {
         self.now
     }
 
-    /// Handle to the trace log.
+    /// The trace log (queries).
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// Mutable access to the trace log (harness-level record/clear).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// The blackboard arena (script-visible key/value boards).
+    pub fn boards(&self) -> &BoardStore {
+        &self.boards
+    }
+
+    /// Mutable access to the blackboard arena.
+    pub fn boards_mut(&mut self) -> &mut BoardStore {
+        &mut self.boards
+    }
+
+    /// Allocates a fresh blackboard in this world's arena.
+    pub fn alloc_board(&mut self) -> BoardId {
+        self.boards.alloc()
     }
 
     /// The network model.
@@ -177,13 +206,17 @@ impl World {
     }
 
     /// Schedules a callback at an absolute virtual time (clamped to now).
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+    ///
+    /// The callback must be `Send`: it is stored inside the world, and the
+    /// world (pending calls included) may cross a thread boundary before
+    /// the callback runs.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         let at = at.max(self.now);
         self.push_entry(at, EventKind::Call(Box::new(f)));
     }
 
     /// Schedules a callback `delay` from now.
-    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut World) + 'static) {
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut World) + Send + 'static) {
         self.schedule_at(self.now + delay, f);
     }
 
@@ -199,6 +232,7 @@ impl World {
                 nodes,
                 rng,
                 trace,
+                boards,
                 timer_seq,
                 now,
                 ..
@@ -213,6 +247,7 @@ impl World {
                 actions: Vec::new(),
                 rng,
                 trace,
+                boards,
                 timer_seq,
             };
             let result = l.control(op, &mut ctx);
@@ -433,6 +468,7 @@ impl World {
                     nodes,
                     rng,
                     trace,
+                    boards,
                     timer_seq,
                     now,
                     ..
@@ -449,6 +485,7 @@ impl World {
                     actions: Vec::new(),
                     rng,
                     trace,
+                    boards,
                     timer_seq,
                 };
                 match w {
@@ -592,6 +629,15 @@ impl World {
     }
 }
 
+/// Compile-time proof of the tentpole invariant: a fully-constructed world
+/// — layers, pending scheduled calls, trace log, blackboards and all — may
+/// be moved across threads. If any field regresses to `!Send` (an `Rc`
+/// handle, an unbounded trait object), this stops compiling.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+};
+
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
@@ -709,27 +755,48 @@ mod tests {
     #[test]
     fn scheduled_calls_run_in_time_order() {
         let mut w = World::new(1);
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         for (i, secs) in [(1, 3u64), (2, 1), (3, 2)] {
             let log = log.clone();
             w.schedule_in(SimDuration::from_secs(secs), move |_| {
-                log.borrow_mut().push(i)
+                log.lock().unwrap().push(i)
             });
         }
         w.run_for(SimDuration::from_secs(10));
-        assert_eq!(*log.borrow(), vec![2, 3, 1]);
+        assert_eq!(*log.lock().unwrap(), vec![2, 3, 1]);
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
         let mut w = World::new(1);
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         for i in 0..5 {
             let log = log.clone();
-            w.schedule_in(SimDuration::from_secs(1), move |_| log.borrow_mut().push(i));
+            w.schedule_in(SimDuration::from_secs(1), move |_| {
+                log.lock().unwrap().push(i)
+            });
         }
         w.run_for(SimDuration::from_secs(2));
-        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn world_crosses_threads_mid_run() {
+        // Build on one thread, advance on another, harvest back on the
+        // first — the exact prepare/run split the fleet uses.
+        let mut w = World::new(1);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        let mut w = std::thread::spawn(move || {
+            w.run_for(SimDuration::from_millis(10));
+            w
+        })
+        .join()
+        .unwrap();
+        let inbox = w.drain_inbox(a);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].1.bytes(), b"ping");
     }
 
     #[test]

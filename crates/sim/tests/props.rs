@@ -59,15 +59,15 @@ proptest! {
     #[test]
     fn callbacks_run_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
         let mut world = World::new(1);
-        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         for (i, &d) in delays.iter().enumerate() {
             let log = log.clone();
             world.schedule_in(SimDuration::from_micros(d), move |w| {
-                log.borrow_mut().push((w.now().as_micros(), i));
+                log.lock().unwrap().push((w.now().as_micros(), i));
             });
         }
         world.run_for(SimDuration::from_millis(20));
-        let fired = log.borrow();
+        let fired = log.lock().unwrap();
         prop_assert_eq!(fired.len(), delays.len());
         for pair in fired.windows(2) {
             prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
@@ -81,11 +81,13 @@ proptest! {
     /// and never duplicates a message the network delivered once.
     #[test]
     fn network_delivery_counts_are_sane(seed in any::<u64>(), loss in 0.0f64..1.0, n in 1u32..60) {
-        struct Sink(std::rc::Rc<std::cell::Cell<u32>>);
+        struct Sink(std::sync::Arc<std::sync::atomic::AtomicU32>);
         impl Layer for Sink {
             fn name(&self) -> &'static str { "sink" }
             fn push(&mut self, m: Message, c: &mut Context<'_>) { c.send_down(m); }
-            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) { self.0.set(self.0.get() + 1); }
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         }
         struct Src;
         struct Fire(NodeId, u32);
@@ -101,16 +103,17 @@ proptest! {
                 Box::new(())
             }
         }
-        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
         let mut world = World::new(seed);
         world.network_mut().default_link_mut().loss = loss;
         let a = world.add_node(vec![Box::new(Src)]);
         let b = world.add_node(vec![Box::new(Sink(count.clone()))]);
         world.control::<()>(a, 0, Fire(b, n));
         world.run_for(SimDuration::from_secs(1));
-        prop_assert!(count.get() <= n, "the network must not duplicate: {} > {n}", count.get());
+        let delivered = count.load(std::sync::atomic::Ordering::Relaxed);
+        prop_assert!(delivered <= n, "the network must not duplicate: {delivered} > {n}");
         if loss == 0.0 {
-            prop_assert_eq!(count.get(), n, "lossless link must deliver everything");
+            prop_assert_eq!(delivered, n, "lossless link must deliver everything");
         }
     }
 }

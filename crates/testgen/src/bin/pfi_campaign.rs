@@ -48,8 +48,10 @@ FLAGS:
     --budget N        exploration mutation budget
     --epoch N         candidates per dispatch epoch (determinism unit; outcomes
                       depend on it, never on --jobs; 1 = classic sequential walk)
-    --jobs N          worker threads (default: available parallelism); any value
-                      yields byte-identical campaign results
+    --jobs N          worker threads; 0 or omitted auto-detects the host's
+                      available parallelism. Any value yields byte-identical
+                      campaign results (the resolved count is printed, shown
+                      in --stats, and recorded in the journal)
     --no-prefilter    run statically-invalid candidates instead of rejecting them
                       up front (same digest either way; used by CI to prove it)
     --journal PATH    write-ahead journal: record dispatch intent and every
@@ -94,14 +96,14 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<u64>().ok())
     };
-    let jobs = flag_value("--jobs")
-        .map(|j| j as usize)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1);
+    // `--jobs 0` (and no flag at all) auto-detects the host's cores; the
+    // resolved count is what gets printed, reported, and journaled.
+    let jobs = match flag_value("--jobs") {
+        Some(0) | None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(j) => j as usize,
+    };
 
     let spec = match proto {
         "gmp" => ProtocolSpec::gmp(),
@@ -113,8 +115,11 @@ fn main() {
         }
     };
 
-    // The factory (plain-data target config) is what crosses into the
-    // fleet's worker threads; each worker builds its own !Send world.
+    // The factory (plain-data target config) crosses into the fleet's
+    // worker threads. Grid mode prebuilds each case's world on the master
+    // and ships it (worlds are arena-backed and Send); explore mode lets
+    // workers build worlds themselves — there the per-candidate build is
+    // the parallel work.
     let inject_panic = args.iter().any(|a| a == "--inject-panic");
     fn sabotage<T: TestTarget + Clone + Send + Sync + 'static>(
         target: T,
@@ -240,6 +245,7 @@ fn main() {
         }
         if stats {
             println!();
+            println!("resolved jobs: {jobs} worker thread(s)");
             print!("{report}");
         }
         // Same exit-code contract as the grid: violations are findings
@@ -305,6 +311,7 @@ fn main() {
     println!("\n{pass} pass, {degraded} degraded, {violated} violations, {infra} infrastructure");
     if stats {
         println!();
+        println!("resolved jobs: {jobs} worker thread(s)");
         print!("{report}");
     }
     // Exit codes: violations are findings (1); crashes, hangs, and

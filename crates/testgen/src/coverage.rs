@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn gmp_edges_include_occurrences_and_transitions() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(SimTime::from_micros(1), n(0), "gmd", GmpEvent::Started);
         log.record(
             SimTime::from_micros(2),
@@ -252,7 +252,7 @@ mod tests {
 
     #[test]
     fn misrouted_proclaims_are_a_distinct_edge() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(
             SimTime::ZERO,
             n(0),
@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn retransmissions_bucket_per_node() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         for i in 0..6 {
             log.record(
                 SimTime::from_micros(i),
@@ -286,7 +286,7 @@ mod tests {
 
     #[test]
     fn timer_pairs_become_edges() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(
             SimTime::from_micros(1),
             n(1),
@@ -315,7 +315,7 @@ mod tests {
 
     #[test]
     fn merge_reports_only_new_edges() {
-        let log = TraceLog::new();
+        let mut log = TraceLog::new();
         log.record(SimTime::ZERO, n(0), "gmd", GmpEvent::Started);
         let one = Coverage::from_trace(&log);
         let mut acc = Coverage::new();

@@ -21,11 +21,12 @@
 //! generate one, run one, merge one — reproducing its digests exactly;
 //! larger epochs trade a little search adaptivity for dispatch width.
 //!
-//! Workers never receive a built simulation world (worlds are
-//! `Rc`/`RefCell`-based and `!Send`): [`explore_fleet`] ships each worker
-//! a [`TargetFactory`] at construction and each candidate as serialized
-//! fault-schedule text, and the worker builds everything on its own side
-//! of the boundary.
+//! Candidates cross the thread boundary as typed [`FaultSchedule`]s —
+//! worlds are arena-backed and `Send`, so nothing needs a text round-trip.
+//! Each worker still builds its own worlds from the [`TargetFactory`] it
+//! was handed at construction: per-candidate world construction is part of
+//! the parallel work here, and prebuilding on the master (as
+//! [`crate::run_campaign_fleet`] does for fixed grids) would serialize it.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -236,8 +237,8 @@ impl ExploreOutcome {
 /// anything.
 #[derive(Debug, Clone)]
 struct CandidateReport {
-    /// The candidate schedule (round-tripped through its text form when
-    /// the run happened on a fleet worker).
+    /// The candidate schedule (crosses the fleet boundary typed — no
+    /// serialization round-trip).
     schedule: FaultSchedule,
     /// The run itself.
     run: ScheduleRun,
@@ -359,6 +360,12 @@ trait EpochRunner {
     fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult>;
     /// Statistics hook: the candidate run by `worker` reached new coverage.
     fn note_novel(&mut self, _worker: usize) {}
+    /// The resolved worker count executing epochs — recorded in the
+    /// journal as statistics (never part of the campaign identity, since
+    /// outcomes are worker-count-independent by construction).
+    fn workers(&self) -> usize {
+        1
+    }
 }
 
 /// In-place execution on the caller's target: the 1-worker fleet.
@@ -394,21 +401,20 @@ impl EpochRunner for InlineEpochs<'_> {
 }
 
 /// Fan-out across a worker fleet. Candidates cross the thread boundary as
-/// serialized fault lines; reports come back `Send`. Jobs whose worker
-/// dies repeatedly come back as supervisor quarantine errors instead of
-/// aborting the epoch.
+/// typed [`FaultSchedule`]s (plain data, `Send` — no text round-trip);
+/// reports come back `Send`. Jobs whose worker dies repeatedly come back
+/// as supervisor quarantine errors instead of aborting the epoch.
 struct FleetEpochs {
-    fleet: Fleet<Vec<String>, CandidateReport>,
+    fleet: Fleet<FaultSchedule, CandidateReport>,
 }
 
 impl EpochRunner for FleetEpochs {
     fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult> {
-        let jobs: Vec<Vec<String>> = batch.iter().map(FaultSchedule::to_lines).collect();
         // `run_epoch_checked` returns items in dispatch (seq) order, which
         // is exactly `batch` order — zip to recover each job's schedule
-        // without round-tripping it through the failure path.
+        // without threading it through the failure path.
         self.fleet
-            .run_epoch_checked(jobs)
+            .run_epoch_checked(batch.clone())
             .into_iter()
             .zip(batch)
             .map(|(item, schedule)| match item.result {
@@ -427,6 +433,10 @@ impl EpochRunner for FleetEpochs {
 
     fn note_novel(&mut self, worker: usize) {
         self.fleet.note_novel(worker);
+    }
+
+    fn workers(&self) -> usize {
+        self.fleet.workers()
     }
 }
 
@@ -487,8 +497,14 @@ fn explore_with(
         None => BTreeMap::new(),
     };
     let mut writer = config.journal.as_ref().map(|path| {
-        JournalWriter::create(path, &meta)
-            .unwrap_or_else(|e| panic!("cannot create campaign journal: {e}"))
+        let mut w = JournalWriter::create(path, &meta)
+            .unwrap_or_else(|e| panic!("cannot create campaign journal: {e}"));
+        // Worker count is recorded for the campaign record but kept out of
+        // the identity `meta` — outcomes never depend on it, so resuming
+        // under a different `--jobs` is legitimate.
+        w.jobs(epochs.workers())
+            .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+        w
     });
 
     let mut rng = SimRng::seed_from(config.seed);
@@ -728,7 +744,7 @@ pub fn explore(
 
 /// Runs the same exploration with candidate execution fanned out across
 /// `jobs` worker threads. Every worker constructs its own target from the
-/// `Send` factory; candidates travel as schedule text. The outcome is
+/// `Send` factory; candidates travel as typed schedules. The outcome is
 /// byte-identical to [`explore`] with the same config — worker count
 /// affects only wall-clock time and the [`FleetReport`] statistics.
 pub fn explore_fleet(
@@ -740,13 +756,11 @@ pub fn explore_fleet(
     let master = factory.make();
     let worker_factory = Arc::clone(&factory);
     let limits = config.limits();
-    let mut fleet: Fleet<Vec<String>, CandidateReport> = Fleet::new(jobs, move |_worker| {
+    let mut fleet: Fleet<FaultSchedule, CandidateReport> = Fleet::new(jobs, move |_worker| {
         let target = worker_factory.make();
-        Box::new(move |lines: Vec<String>| {
-            let schedule = FaultSchedule::from_lines(lines.iter().map(String::as_str))
-                .expect("fleet jobs carry well-formed fault lines");
+        Box::new(move |schedule: FaultSchedule| {
             candidate_report(target.as_ref(), schedule, &limits)
-        }) as Box<dyn JobRunner<Vec<String>, CandidateReport>>
+        }) as Box<dyn JobRunner<FaultSchedule, CandidateReport>>
     });
     fleet.set_max_retries(config.max_retries);
     let mut epochs = FleetEpochs { fleet };

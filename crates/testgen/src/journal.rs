@@ -30,6 +30,7 @@
 //! prefilter true
 //! step-budget 0
 //! max-retries 2
+//! jobs 4
 //! dispatch baseline
 //! case begin
 //! verdict degraded membership changed 2 times under the fault
@@ -49,7 +50,12 @@
 //! complete
 //! ```
 //!
-//! `dispatch` lines are the write-*ahead* part: the id of every candidate
+//! The `jobs` line records the resolved worker count of the run that
+//! wrote the journal — statistics for the campaign record, not identity:
+//! outcomes never depend on the worker count, so resume neither checks it
+//! nor requires it to match, and it is the one journal line that may
+//! differ between runs of the same campaign. `dispatch` lines are the
+//! write-*ahead* part: the id of every candidate
 //! is journaled before its epoch executes, so an interrupted journal names
 //! the work that was in flight when the process died. `case` blocks are
 //! the results, appended in canonical merge order (which is deterministic,
@@ -153,6 +159,13 @@ pub struct JournalQuarantine {
 pub struct Journal {
     /// The campaign identity.
     pub meta: JournalMeta,
+    /// The resolved worker count of the run that wrote the journal —
+    /// statistics, not identity. Campaign outcomes are worker-count-
+    /// independent by construction, so resume never checks this (a journal
+    /// recorded at `--jobs 4` resumes fine at `--jobs 1`), and it is the
+    /// one line of a journal that may legitimately differ between runs of
+    /// the same campaign.
+    pub jobs: Option<usize>,
     /// Every schedule id journaled as dispatched (write-ahead intent).
     pub dispatched: Vec<String>,
     /// Completed case records, in merge order.
@@ -242,6 +255,7 @@ impl Journal {
     pub fn new(meta: JournalMeta) -> Self {
         Journal {
             meta,
+            jobs: None,
             dispatched: Vec::new(),
             cases: Vec::new(),
             quarantined: Vec::new(),
@@ -263,6 +277,9 @@ impl Journal {
     /// `from_text(to_text(j)) == j` holds for every journal.
     pub fn to_text(&self) -> String {
         let mut out = render_meta(&self.meta);
+        if let Some(jobs) = self.jobs {
+            let _ = writeln!(out, "jobs {jobs}");
+        }
         for id in &self.dispatched {
             let _ = writeln!(out, "dispatch {id}");
         }
@@ -361,6 +378,9 @@ impl Journal {
                 }
                 _ => match line.split_once(' ') {
                     Some(("dispatch", id)) => journal.dispatched.push(id.to_string()),
+                    Some(("jobs", v)) => {
+                        journal.jobs = Some(parse_u64("jobs", v)? as usize);
+                    }
                     _ => return Err(format!("unrecognised journal line: {line:?}")),
                 },
             }
@@ -511,6 +531,13 @@ impl JournalWriter {
         Ok(writer)
     }
 
+    /// Records the resolved worker count of the run writing this journal.
+    /// Statistics only — never part of the campaign identity resume
+    /// checks, since outcomes are worker-count-independent.
+    pub fn jobs(&mut self, jobs: usize) -> Result<(), String> {
+        self.append(&format!("jobs {jobs}\n"))
+    }
+
     /// Journals dispatch intent: `id` is about to execute (or replay).
     pub fn dispatch(&mut self, id: &str) -> Result<(), String> {
         self.append(&format!("dispatch {id}\n"))
@@ -571,6 +598,7 @@ mod tests {
                 step_budget: 0,
                 max_retries: 2,
             },
+            jobs: Some(4),
             dispatched: vec!["baseline".to_string(), schedule.id()],
             cases: vec![
                 JournalCase {
@@ -664,6 +692,7 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("pfi_journal_{}_writer_agrees", std::process::id()));
         let mut w = JournalWriter::create(&path, &journal.meta).unwrap();
+        w.jobs(4).unwrap();
         for id in &journal.dispatched {
             w.dispatch(id).unwrap();
         }

@@ -82,9 +82,10 @@ pub use oracle::{
 pub use pfi_fleet::{FleetReport, WorkerStats};
 pub use repro::Repro;
 pub use runner::{
-    run_campaign, run_campaign_fleet, run_case, run_schedule, run_schedule_limited, CaseResult,
-    ChaosOracleTarget, GmpTarget, RunLimits, ScheduleRun, TargetFactory, TcpTarget, TestTarget,
-    TpcTarget, Verdict, DRIVE_EVENT_CAP,
+    prepare, run_campaign, run_campaign_fleet, run_case, run_case_prepared, run_prepared,
+    run_schedule, run_schedule_limited, CaseResult, ChaosOracleTarget, GmpTarget, PreparedCase,
+    RunLimits, ScheduleRun, TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict,
+    DRIVE_EVENT_CAP,
 };
 pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
 pub use shrink::shrink_schedule;

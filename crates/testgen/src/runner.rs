@@ -189,10 +189,16 @@ pub trait TestTarget {
     fn verdict(&self, world: &mut World) -> Verdict;
 }
 
-/// Builds fresh [`TestTarget`]s on demand — the `Send` handle a fleet
-/// worker uses to construct its own target on its own thread. (Built
-/// worlds are `Rc`/`RefCell`-based and `!Send`; the factory is what
-/// crosses the thread boundary instead.)
+/// Builds fresh [`TestTarget`]s on demand — the `Send + Sync` handle a
+/// fleet worker uses to construct its own target on its own thread.
+///
+/// Built worlds are arena-backed and `Send`, so a [`PreparedCase`] can
+/// cross the thread boundary directly ([`run_campaign_fleet`] prepares on
+/// the master and ships the built world). The factory survives as the
+/// compatibility path: exploration workers still build worlds locally —
+/// there, per-candidate world construction *is* the parallel work — and
+/// every worker needs its own (cheap, plain-data) target for driving and
+/// judging whatever world it is handed.
 pub trait TargetFactory: Send + Sync {
     /// Builds one target instance.
     fn make(&self) -> Box<dyn TestTarget>;
@@ -216,31 +222,52 @@ pub fn run_campaign(target: &dyn TestTarget, campaign: &Campaign) -> Vec<CaseRes
         .collect()
 }
 
-/// Runs a campaign's cases fanned out across `jobs` worker threads. Cases
-/// are independent pure functions of their scripts, so results come back
-/// in campaign order and are byte-identical to [`run_campaign`] for any
-/// job count; only wall-clock time and the [`FleetReport`] vary.
+/// Runs a campaign's cases fanned out across `jobs` worker threads. The
+/// master prepares each case — builds the world, installs the filters —
+/// and dispatches the built [`PreparedCase`] to the fleet; workers only
+/// drive and judge. Cases are independent pure functions of their
+/// scripts, so results come back in campaign order and are byte-identical
+/// to [`run_campaign`] for any job count; only wall-clock time and the
+/// [`FleetReport`] vary.
 pub fn run_campaign_fleet(
     factory: Arc<dyn TargetFactory>,
     campaign: &Campaign,
     jobs: usize,
 ) -> (Vec<CaseResult>, FleetReport) {
-    let mut fleet: Fleet<TestCase, CaseResult> = Fleet::new(jobs, move |_worker| {
+    type PreparedJob = (TestCase, Result<PreparedCase, Verdict>);
+    let master = factory.make();
+    let mut fleet: Fleet<PreparedJob, CaseResult> = Fleet::new(jobs, move |_worker| {
+        // Workers hold their own target for the drive/judge half; the
+        // expensive half (the built world) arrives inside the job.
         let target = factory.make();
-        Box::new(move |case: TestCase| run_case(target.as_ref(), &case))
-            as Box<dyn JobRunner<TestCase, CaseResult>>
+        Box::new(move |(case, prepared): PreparedJob| {
+            run_case_prepared(target.as_ref(), &case, prepared)
+        }) as Box<dyn JobRunner<PreparedJob, CaseResult>>
     });
+    let batch: Vec<PreparedJob> = campaign
+        .cases
+        .iter()
+        .map(|case| {
+            let scripts = case_scripts(master.as_ref(), case);
+            let prepared = prepare(
+                master.as_ref(),
+                std::slice::from_ref(&scripts),
+                &RunLimits::default(),
+            );
+            (case.clone(), prepared)
+        })
+        .collect();
     let results = fleet
-        .run_epoch(campaign.cases.clone())
+        .run_epoch(batch)
         .into_iter()
         .map(|item| item.result)
         .collect();
     (results, fleet.shutdown())
 }
 
-/// Runs a single grid-generated case (on the target's primary site).
-pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
-    let script = SiteScripts {
+/// The single-site script placement a grid-generated case lowers to.
+fn case_scripts(target: &dyn TestTarget, case: &TestCase) -> SiteScripts {
+    SiteScripts {
         site: target.primary_site() as u32,
         send: match case.dir {
             Direction::Send => case.script.clone(),
@@ -250,9 +277,38 @@ pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
             Direction::Send => String::new(),
             Direction::Receive => case.script.clone(),
         },
-    };
+    }
+}
+
+/// Runs a single grid-generated case (on the target's primary site).
+pub fn run_case(target: &dyn TestTarget, case: &TestCase) -> CaseResult {
+    let script = case_scripts(target, case);
     let (verdict, oracle, coverage) =
         execute(target, std::slice::from_ref(&script), &RunLimits::default());
+    CaseResult {
+        case_id: case.id.clone(),
+        seed: target.seed(),
+        script: case.script.clone(),
+        verdict,
+        oracle,
+        coverage,
+    }
+}
+
+/// Drives and judges a case prepared elsewhere — the worker-side half of
+/// the prebuilt-case dispatch in [`run_campaign_fleet`]. `Err` carries the
+/// install refusal [`prepare`] produced on the preparing thread.
+/// Byte-identical to [`run_case`] on the same case: preparation is
+/// deterministic and the drive is a pure function of the prepared world.
+pub fn run_case_prepared(
+    target: &dyn TestTarget,
+    case: &TestCase,
+    prepared: Result<PreparedCase, Verdict>,
+) -> CaseResult {
+    let (verdict, oracle, coverage) = match prepared {
+        Ok(p) => run_prepared(target, p, &RunLimits::default()),
+        Err(verdict) => (verdict, None, Coverage::new()),
+    };
     CaseResult {
         case_id: case.id.clone(),
         seed: target.seed(),
@@ -289,35 +345,50 @@ pub fn run_schedule_limited(
     }
 }
 
-/// The shared execution path: validate, build, arm timer tracing, install
-/// filters, drive, harvest, extract coverage, judge.
+/// A fully-built, ready-to-drive case: the world with its fault-site
+/// filters installed, step budgets armed, and timer tracing on.
+///
+/// The whole point of the arena-backed world refactor: `World` owns all of
+/// its state as plain data, so a `PreparedCase` is `Send` — built on one
+/// thread (typically the campaign master) and driven on another (a fleet
+/// worker). [`run_campaign_fleet`] dispatches these as its job payload.
+#[derive(Debug)]
+pub struct PreparedCase {
+    world: World,
+    sites: Vec<(NodeId, usize)>,
+}
+
+// Compile-enforced: prepared cases must stay dispatchable across fleet
+// worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PreparedCase>();
+};
+
+impl PreparedCase {
+    /// The fault sites the target built — each a `(node, stack index)` of
+    /// a PFI layer.
+    pub fn sites(&self) -> &[(NodeId, usize)] {
+        &self.sites
+    }
+}
+
+/// Builds one case up to the point of driving it: validate, build the
+/// world, arm timer tracing, install step budgets and filters.
 ///
 /// Scripts that cannot be installed — a site index the target does not
 /// have (e.g. a repro artifact written for a different target), or a
 /// script that does not parse — are refused *before* the world is built:
-/// the run returns [`Verdict::Invalid`] with empty coverage, exactly the
-/// schedules campaign pre-filtering rejects without executing.
-///
-/// The drive/harvest phase and both judging phases run under panic guards:
-/// a target or oracle that panics yields [`Verdict::Crashed`] instead of
-/// unwinding into the campaign loop (or taking a fleet worker's whole
-/// epoch with it). Coverage is extracted from the trace *after* the guard,
-/// so a crashed run's pre-crash edges still feed corpus growth — a
-/// crashing schedule leaves no silent hole in the search space. Verdict
-/// priority: `Violated` (even on a truncated or partial trace) beats
-/// `Crashed` beats `Hung` beats the target's own service verdict.
-fn execute(
+/// `Err(Verdict::Invalid)` is exactly the refusal campaign pre-filtering
+/// predicts without executing.
+pub fn prepare(
     target: &dyn TestTarget,
     scripts: &[SiteScripts],
     limits: &RunLimits,
-) -> (Verdict, Option<String>, Coverage) {
+) -> Result<PreparedCase, Verdict> {
     let install_errors = crate::validate::scripts_install_errors(scripts, target.fault_sites());
     if !install_errors.is_empty() {
-        return (
-            Verdict::Invalid(install_errors.join("; ")),
-            None,
-            Coverage::new(),
-        );
+        return Err(Verdict::Invalid(install_errors.join("; ")));
     }
     let (mut world, sites) = target.build();
     // Timer life-cycle records are a coverage signal; trace them for the
@@ -351,6 +422,41 @@ fn execute(
             }
         }
     }
+    Ok(PreparedCase { world, sites })
+}
+
+/// The shared execution path: [`prepare`], then [`run_prepared`] —
+/// build-and-drive on the calling thread.
+fn execute(
+    target: &dyn TestTarget,
+    scripts: &[SiteScripts],
+    limits: &RunLimits,
+) -> (Verdict, Option<String>, Coverage) {
+    match prepare(target, scripts, limits) {
+        Ok(case) => run_prepared(target, case, limits),
+        Err(verdict) => (verdict, None, Coverage::new()),
+    }
+}
+
+/// Drives and judges a [`PreparedCase`]: drive, harvest, extract
+/// coverage, judge. The case may have been prepared on a different
+/// thread — the result is a pure function of the prepared world either
+/// way.
+///
+/// The drive/harvest phase and both judging phases run under panic guards:
+/// a target or oracle that panics yields [`Verdict::Crashed`] instead of
+/// unwinding into the campaign loop (or taking a fleet worker's whole
+/// epoch with it). Coverage is extracted from the trace *after* the guard,
+/// so a crashed run's pre-crash edges still feed corpus growth — a
+/// crashing schedule leaves no silent hole in the search space. Verdict
+/// priority: `Violated` (even on a truncated or partial trace) beats
+/// `Crashed` beats `Hung` beats the target's own service verdict.
+pub fn run_prepared(
+    target: &dyn TestTarget,
+    case: PreparedCase,
+    limits: &RunLimits,
+) -> (Verdict, Option<String>, Coverage) {
+    let PreparedCase { mut world, .. } = case;
     let driven = catch_unwind(AssertUnwindSafe(|| {
         let capped = target.drive(&mut world, limits);
         target.harvest(&mut world);
@@ -690,7 +796,7 @@ impl TestTarget for TcpTarget {
             .control::<TcpReply>(Self::server(), 0, TcpControl::RecvTake { conn: sconn })
             .expect_data();
         let now = world.now();
-        world.trace().record(
+        world.trace_mut().record(
             now,
             Self::server(),
             "testgen",

@@ -42,7 +42,7 @@ fn check(oracle: &dyn Oracle, bad: &TraceLog, good: &TraceLog, expect_in: &str) 
 #[test]
 fn tcp_prefix_oracle() {
     let expected = vec![10u8, 20, 30, 40];
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(1),
@@ -52,7 +52,7 @@ fn tcp_prefix_oracle() {
             data: vec![10, 99], // second byte differs
         },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(
         t(1),
         n(1),
@@ -70,7 +70,7 @@ fn tcp_prefix_oracle_rejects_overlong_streams() {
     let oracle = TcpPrefixOracle {
         expected: vec![1, 2],
     };
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(1),
@@ -85,7 +85,7 @@ fn tcp_prefix_oracle_rejects_overlong_streams() {
 
 #[test]
 fn tcp_no_silent_close_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(5),
         n(0),
@@ -95,7 +95,7 @@ fn tcp_no_silent_close_oracle() {
             reason: CloseReason::Timeout,
         },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(
         t(1),
         n(0),
@@ -126,7 +126,7 @@ fn tcp_no_silent_close_oracle() {
 
 #[test]
 fn tcp_no_silent_close_oracle_keepalive_variant() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(5),
         n(0),
@@ -136,7 +136,7 @@ fn tcp_no_silent_close_oracle_keepalive_variant() {
             reason: CloseReason::KeepaliveTimeout,
         },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(
         t(1),
         n(0),
@@ -167,13 +167,13 @@ fn tcp_rto_bounds_oracle() {
         nth: 2,
         next_rto: rto,
     };
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(t(1), n(0), "tcp", retransmit(SimDuration::from_secs(600)));
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(t(1), n(0), "tcp", retransmit(SimDuration::from_secs(4)));
     check(&TcpRtoBoundsOracle::default(), &bad, &good, "outside");
     // Below the floor is just as illegal as above the cap.
-    let too_small = TraceLog::new();
+    let mut too_small = TraceLog::new();
     too_small.record(t(1), n(0), "tcp", retransmit(SimDuration::from_millis(1)));
     assert!(TcpRtoBoundsOracle::default().check(&too_small).is_err());
 }
@@ -190,10 +190,10 @@ fn view(gid: u64, members: &[u32]) -> GmpEvent {
 
 #[test]
 fn gmp_agreement_oracle_flags_member_disagreement() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(t(1), n(0), "gmd", view(7, &[0, 1, 2]));
     bad.record(t(2), n(1), "gmd", view(7, &[0, 1]));
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(t(1), n(0), "gmd", view(7, &[0, 1, 2]));
     good.record(t(2), n(1), "gmd", view(7, &[0, 1, 2]));
     good.record(t(3), n(1), "gmd", view(8, &[0, 1])); // new gid may differ
@@ -202,7 +202,7 @@ fn gmp_agreement_oracle_flags_member_disagreement() {
 
 #[test]
 fn gmp_agreement_oracle_flags_invalid_views() {
-    let empty = TraceLog::new();
+    let mut empty = TraceLog::new();
     empty.record(
         t(1),
         n(0),
@@ -215,7 +215,7 @@ fn gmp_agreement_oracle_flags_invalid_views() {
     );
     assert!(GmpAgreementOracle.check(&empty).is_err());
 
-    let wrong_leader = TraceLog::new();
+    let mut wrong_leader = TraceLog::new();
     wrong_leader.record(
         t(1),
         n(0),
@@ -231,7 +231,7 @@ fn gmp_agreement_oracle_flags_invalid_views() {
 
 #[test]
 fn gmp_leader_uniqueness_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(0),
@@ -252,7 +252,7 @@ fn gmp_leader_uniqueness_oracle() {
             leader: 1,
         },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(t(1), n(0), "gmd", view(7, &[0, 1]));
     good.record(t(2), n(1), "gmd", view(7, &[0, 1]));
     check(&GmpLeaderUniquenessOracle, &bad, &good, "rival leaders");
@@ -260,23 +260,23 @@ fn gmp_leader_uniqueness_oracle() {
 
 #[test]
 fn gmp_no_self_death_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(t(1), n(1), "gmd", GmpEvent::SelfDeclaredDead);
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(t(1), n(1), "gmd", GmpEvent::MemberSuspected { suspect: 2 });
     check(&GmpNoSelfDeathOracle, &bad, &good, "itself");
 }
 
 #[test]
 fn gmp_proclaim_routing_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(0),
         "gmd",
         GmpEvent::ProclaimAnswered { to: 1, origin: 2 },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(
         t(1),
         n(0),
@@ -288,14 +288,14 @@ fn gmp_proclaim_routing_oracle() {
 
 #[test]
 fn gmp_timer_discipline_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(2),
         "gmd",
         GmpEvent::SpuriousTimerInTransition { suspect: 1 },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(t(1), n(2), "gmd", GmpEvent::InTransition { gid: 9 });
     check(&GmpTimerDisciplineOracle, &bad, &good, "stale timer");
 }
@@ -304,7 +304,7 @@ fn gmp_timer_discipline_oracle() {
 
 #[test]
 fn tpc_atomicity_oracle() {
-    let bad = TraceLog::new();
+    let mut bad = TraceLog::new();
     bad.record(
         t(1),
         n(0),
@@ -323,7 +323,7 @@ fn tpc_atomicity_oracle() {
             commit: false,
         },
     );
-    let good = TraceLog::new();
+    let mut good = TraceLog::new();
     good.record(
         t(1),
         n(0),
@@ -359,7 +359,7 @@ fn tpc_atomicity_oracle() {
 
 #[test]
 fn first_violation_reports_the_first_failing_oracle() {
-    let trace = TraceLog::new();
+    let mut trace = TraceLog::new();
     trace.record(t(1), n(1), "gmd", GmpEvent::SelfDeclaredDead);
     trace.record(
         t(2),
@@ -374,7 +374,7 @@ fn first_violation_reports_the_first_failing_oracle() {
     let (name, _) = first_violation(&oracles, &trace).unwrap();
     assert_eq!(name, "gmp-proclaim-routing");
 
-    let clean = TraceLog::new();
+    let mut clean = TraceLog::new();
     clean.record(t(1), n(1), "gmd", GmpEvent::Started);
     assert!(first_violation(&oracles, &clean).is_none());
 }

@@ -11,8 +11,9 @@ use pfi_core::Direction;
 use pfi_script::Script;
 use pfi_sim::SimRng;
 use pfi_testgen::{
-    shrink_schedule, FaultOp, FaultSchedule, Journal, JournalCase, JournalMeta, JournalQuarantine,
-    JournalShrink, ProtocolSpec, ScheduleMutator, ScheduledFault, Verdict,
+    schedule_is_installable, shrink_schedule, FaultOp, FaultSchedule, Journal, JournalCase,
+    JournalMeta, JournalQuarantine, JournalShrink, ProtocolSpec, ScheduleMutator, ScheduledFault,
+    Verdict,
 };
 use proptest::prelude::*;
 
@@ -142,8 +143,13 @@ proptest! {
         prop_assert_eq!(back.to_lines(), lines);
     }
 
-    /// Any mutation chain stays within bounds and lowers to parseable
-    /// filter scripts, whatever the seed.
+    /// Any mutation chain stays within bounds, and every child the static
+    /// pre-filter admits lowers to parseable filter scripts, whatever the
+    /// seed. (One mutation roll in ten is a deliberate *scramble* — an
+    /// out-of-topology site or a brace-breaking message type — so "every
+    /// child is lowerable" is intentionally false; `schedule_is_installable`
+    /// is exactly the predicate that keeps those off the workers, and a
+    /// scrambled child must always be caught by it.)
     #[test]
     fn mutation_chains_stay_lowerable(seed in any::<u64>(), steps in 1usize..30) {
         let mutator = ScheduleMutator::new(&ProtocolSpec::gmp(), 3, 3);
@@ -152,9 +158,11 @@ proptest! {
         for _ in 0..steps {
             sched = mutator.mutate(&sched, 4, &mut rng);
             prop_assert!(sched.len() <= 4);
-            for site in sched.lower() {
-                prop_assert!(Script::parse(&site.send).is_ok(), "{}", site.send);
-                prop_assert!(Script::parse(&site.recv).is_ok(), "{}", site.recv);
+            if schedule_is_installable(&sched, 3) {
+                for site in sched.lower() {
+                    prop_assert!(Script::parse(&site.send).is_ok(), "{}", site.send);
+                    prop_assert!(Script::parse(&site.recv).is_ok(), "{}", site.recv);
+                }
             }
         }
     }
@@ -287,5 +295,33 @@ fn journal_case(
         oracle: with_oracle.then(|| "gmp-agreement".to_string()),
         coverage: (0..cover_n).map(|i| format!("gmp:n{i}:Started")).collect(),
         shrink,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Master-thread vs worker-thread execution equality. Exploration outcomes
+// are a pure function of the campaign config; shipping candidates to fleet
+// worker threads (arena worlds, Send payloads) must not perturb the digest
+// for any seed. Budgets are tiny — each case runs two real explorations.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn explore_digest_is_worker_thread_independent(seed in 0u64..1_000_000, jobs in 2usize..4) {
+        use std::sync::Arc;
+        use pfi_testgen::{explore, explore_fleet, ExploreConfig, GmpTarget, TargetFactory};
+
+        let config = ExploreConfig {
+            seed,
+            budget: 8,
+            epoch: 4,
+            ..ExploreConfig::default()
+        };
+        let spec = ProtocolSpec::gmp();
+        let inline = explore(&GmpTarget::default(), &spec, &config);
+        let factory: Arc<dyn TargetFactory> = Arc::new(GmpTarget::default());
+        let (fleet, _report) = explore_fleet(factory, &spec, &config, jobs);
+        prop_assert_eq!(inline.digest64(), fleet.digest64());
     }
 }

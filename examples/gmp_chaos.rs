@@ -53,11 +53,11 @@ fn main() {
     tb.run(SimDuration::from_secs(60));
     show_views(&mut tb, "t=60s — converged:");
 
-    tb.board.set("partition", "1");
+    tb.board.set(tb.world.boards_mut(), "partition", "1");
     tb.run(SimDuration::from_secs(60));
     show_views(&mut tb, "\nt=120s — partitioned {0,1,2} | {3,4}:");
 
-    tb.board.set("partition", "0");
+    tb.board.set(tb.world.boards_mut(), "partition", "0");
     tb.run(SimDuration::from_secs(60));
     show_views(&mut tb, "\nt=180s — healed:");
 

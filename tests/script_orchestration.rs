@@ -103,11 +103,11 @@ fn injected_probe_elicits_rst_from_live_tcp() {
 #[test]
 fn scripts_synchronise_across_nodes_through_the_global_board() {
     let mut world = World::new(3);
-    let board = GlobalBoard::new();
+    let board = GlobalBoard::alloc_in(world.boards_mut());
     // A's send filter counts traffic; at the third message it raises a
     // flag. B's send filter blocks all of B's traffic while the flag is up.
     let pfi_a = PfiLayer::new(Box::new(pfi::core::RawStub))
-        .with_globals(board.clone())
+        .with_globals(board)
         .with_send_filter(
             Filter::script(
                 r#"
@@ -118,7 +118,7 @@ fn scripts_synchronise_across_nodes_through_the_global_board() {
             .unwrap(),
         );
     let pfi_b = PfiLayer::new(Box::new(pfi::core::RawStub))
-        .with_globals(board.clone())
+        .with_globals(board)
         .with_send_filter(
             Filter::script(r#"if {[global_get blockade 0] == 1} { xDrop }"#).unwrap(),
         );
