@@ -357,6 +357,33 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             })
         });
     }
+
+    // Snapshot/fork ablation at one worker, on a loop-heavy campaign:
+    // every candidate shares the 40-virtual-second membership-convergence
+    // prefix (the explore loop's fixed warm-up) and drives faults for only
+    // 5 virtual seconds on top. `off` replays that prefix from t=0 for
+    // every run; `on` forks every run after the first off the cached base
+    // snapshot and replays only the fault suffix. Outcomes are
+    // byte-identical by construction (crates/testgen/tests/snapshot_fork.rs);
+    // the on/off exec/s ratio is the replay-savings row in EXPERIMENTS.md.
+    for (label, snapshots) in [("snapshots_on", true), ("snapshots_off", false)] {
+        let factory = Arc::new(GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 5,
+        });
+        let cfg = ExploreConfig {
+            snapshots,
+            ..config.clone()
+        };
+        let (outcome, _) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+        g.throughput(Throughput::Elements(outcome.executed as u64));
+        g.bench_function(&format!("gmp_explore_{label}"), |b| {
+            b.iter(|| {
+                let (outcome, report) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+                black_box((outcome.executed, report.executed()))
+            })
+        });
+    }
     g.finish();
 }
 

@@ -274,6 +274,16 @@ impl Filter {
     pub fn native(f: impl FnMut(&mut FilterCtx<'_>) + Send + 'static) -> Filter {
         Filter::Native(Box::new(f))
     }
+
+    /// Deep copy, for world snapshots. Script filters clone their compiled
+    /// body; native closures cannot be cloned and return `None` (a layer
+    /// holding one refuses to snapshot).
+    pub fn try_clone(&self) -> Option<Filter> {
+        match self {
+            Filter::Script(s) => Some(Filter::Script(s.clone())),
+            Filter::Native(_) => None,
+        }
+    }
 }
 
 impl fmt::Debug for Filter {

@@ -420,4 +420,32 @@ impl Layer for PfiLayer {
         };
         Box::new(reply)
     }
+
+    /// A PFI layer is clonable — and therefore snapshot/fork-able — when
+    /// its stub supports [`PacketStub::clone_box`] and every installed
+    /// filter is a script (native closures cannot be cloned). Everything
+    /// else it owns (interpreters, held/delayed messages, timer scripts,
+    /// packet log) is plain data or `Arc`-shared.
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        let stub = self.stub.clone_box()?;
+        let mut filters: [Option<Filter>; 2] = [None, None];
+        for (slot, f) in filters.iter_mut().zip(self.filters.iter()) {
+            *slot = match f {
+                Some(f) => Some(f.try_clone()?),
+                None => None,
+            };
+        }
+        Some(Box::new(PfiLayer {
+            stub,
+            filters,
+            interps: self.interps.clone(),
+            held: self.held.clone(),
+            delayed: self.delayed.clone(),
+            timer_scripts: self.timer_scripts.clone(),
+            next_token: self.next_token,
+            killed: self.killed,
+            packet_log: self.packet_log.clone(),
+            globals: self.globals,
+        }))
+    }
 }

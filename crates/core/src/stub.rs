@@ -50,6 +50,16 @@ pub trait PacketStub: Send {
     ///
     /// Returns a description of what was malformed.
     fn generate(&self, src: NodeId, args: &[String]) -> Result<Message, String>;
+
+    /// Deep copy behind the trait object, for world snapshots.
+    ///
+    /// Returning `None` (the default) marks the hosting PFI layer
+    /// unclonable, which makes the world refuse to snapshot. Stubs are
+    /// typically stateless `Copy` types; those return
+    /// `Some(Box::new(*self))`.
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        None
+    }
 }
 
 /// A stub for unstructured payloads: no types, no fields; generation takes
@@ -82,6 +92,10 @@ impl PacketStub for RawStub {
             }
             _ => Err("raw stub generation: expected `raw <dst> <payload>`".to_string()),
         }
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
     }
 }
 

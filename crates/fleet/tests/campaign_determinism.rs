@@ -132,6 +132,7 @@ fn reference_sequential_explore(
         crashed: 0,
         hung: 0,
         quarantined: Vec::new(),
+        snapshots: pfi_testgen::SnapshotStats::default(),
     }
 }
 

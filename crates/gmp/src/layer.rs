@@ -103,7 +103,7 @@ impl GmpReply {
 }
 
 /// A pending two-phase change this daemon is coordinating.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingMc {
     gid: u64,
     proposed: Vec<NodeId>,
@@ -112,7 +112,7 @@ struct PendingMc {
 }
 
 /// The group membership daemon.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GmpLayer {
     config: GmpConfig,
     me: Option<NodeId>,
@@ -665,6 +665,10 @@ impl GmpLayer {
 }
 
 impl Layer for GmpLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "gmp"
     }

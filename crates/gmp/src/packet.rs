@@ -169,6 +169,10 @@ impl GmpPacket {
 pub struct GmpStub;
 
 impl PacketStub for GmpStub {
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
+    }
+
     fn protocol(&self) -> &'static str {
         "gmp"
     }

@@ -100,7 +100,7 @@ impl FragHeader {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PartialDatagram {
     total_len: usize,
     chunks: BTreeMap<u16, Vec<u8>>,
@@ -137,7 +137,7 @@ impl PartialDatagram {
 }
 
 /// The IP-style fragmentation layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IpLayer {
     mtu: usize,
     next_ident: u32,
@@ -179,6 +179,10 @@ impl IpLayer {
 }
 
 impl Layer for IpLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "ip"
     }
@@ -290,6 +294,10 @@ impl Layer for IpLayer {
 pub struct IpStub;
 
 impl PacketStub for IpStub {
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
+    }
+
     fn protocol(&self) -> &'static str {
         "ip"
     }

@@ -89,7 +89,7 @@ pub enum RudpEvent {
     DecodeFailed,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pending {
     dst: NodeId,
     seq: u32,
@@ -99,7 +99,7 @@ struct Pending {
 }
 
 /// The reliable datagram layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RudpLayer {
     config: RudpConfig,
     next_seq: HashMap<NodeId, u32>,
@@ -159,6 +159,10 @@ impl Default for RudpLayer {
 }
 
 impl Layer for RudpLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "rudp"
     }
@@ -258,6 +262,10 @@ impl Layer for RudpLayer {
 pub struct RudpStub;
 
 impl PacketStub for RudpStub {
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
+    }
+
     fn protocol(&self) -> &'static str {
         "rudp"
     }

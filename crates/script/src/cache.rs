@@ -62,6 +62,22 @@ pub(crate) struct SourceCache<V> {
     evictions: u64,
 }
 
+/// Manual impl: cloning shares the `Arc`-held artifacts (they are immutable
+/// once inserted), so no `V: Clone` bound is needed — which is what lets an
+/// interpreter holding caches of non-`Clone` ASTs be cloned for snapshots.
+impl<V> Clone for SourceCache<V> {
+    fn clone(&self) -> Self {
+        SourceCache {
+            map: self.map.clone(),
+            order: self.order.clone(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
 impl<V> SourceCache<V> {
     pub(crate) fn new(capacity: usize) -> Self {
         SourceCache {

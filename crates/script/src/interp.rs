@@ -52,7 +52,7 @@ struct ProcDef {
     body: Arc<Script>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Frame {
     vars: HashMap<String, String>,
     globals: HashSet<String>,
@@ -76,7 +76,7 @@ struct Frame {
 /// ").unwrap();
 /// assert_eq!(result, "100");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Interp {
     globals: HashMap<String, String>,
     frames: Vec<Frame>,

@@ -32,7 +32,7 @@ impl BoardId {
 /// for the lifetime of the world — ids are stable, dense indices. All data
 /// is owned (`String`s in `HashMap`s in a `Vec`), so the store is `Send`
 /// and a future snapshot/fork is a structural copy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BoardStore {
     boards: Vec<HashMap<String, String>>,
 }

@@ -54,6 +54,17 @@ pub trait Layer: Send {
         let _ = (op, ctx);
         Box::new(())
     }
+
+    /// Deep copy behind the trait object, for world snapshots.
+    ///
+    /// Returning `None` (the default) marks the layer unclonable and makes
+    /// [`World::try_snapshot`](crate::World::try_snapshot) refuse —
+    /// correct for layers holding state that genuinely cannot be copied
+    /// (e.g. native closures). Layers that want to participate in
+    /// snapshot/fork execution return `Some(Box::new(self.clone()))`.
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
 }
 
 /// An output produced by a layer while handling an event.

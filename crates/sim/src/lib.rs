@@ -49,6 +49,7 @@ mod layer;
 mod message;
 mod network;
 mod rng;
+mod snapshot;
 mod time;
 mod trace;
 mod world;
@@ -59,6 +60,7 @@ pub use layer::{Context, Layer};
 pub use message::Message;
 pub use network::{LinkConfig, Network, Transit};
 pub use rng::SimRng;
+pub use snapshot::{SnapshotError, WorldSnapshot};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, NetTrace, TimerTrace, TraceEvent, TraceLog, TraceRecord};
 pub use world::World;

@@ -57,7 +57,7 @@ pub enum Transit {
 /// let mut net = Network::new();
 /// net.link_mut(NodeId::new(0), NodeId::new(1)).latency = SimDuration::from_millis(10);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Network {
     default_link: LinkConfig,
     overrides: HashMap<(NodeId, NodeId), LinkConfig>,
@@ -150,6 +150,34 @@ impl Network {
     /// Whether the pair is currently blocked by a partition.
     pub fn is_partitioned(&self, src: NodeId, dst: NodeId) -> bool {
         self.partition_blocked.contains(&(src, dst))
+    }
+
+    /// Feeds the full link configuration into a snapshot digest in a
+    /// deterministic order (the override map and partition set are hashed
+    /// sorted).
+    pub(crate) fn digest_into(&self, h: &mut crate::snapshot::Fnv) {
+        fn digest_link(h: &mut crate::snapshot::Fnv, l: &LinkConfig) {
+            h.write_u64(l.latency.as_micros());
+            h.write_u64(l.jitter.as_micros());
+            h.write_u64(l.loss.to_bits());
+            h.write(&[u8::from(l.up)]);
+        }
+        digest_link(h, &self.default_link);
+        let mut overrides: Vec<(&(NodeId, NodeId), &LinkConfig)> = self.overrides.iter().collect();
+        overrides.sort_by_key(|(k, _)| **k);
+        h.write_usize(overrides.len());
+        for ((src, dst), link) in overrides {
+            h.write_u64(u64::from(src.as_u32()));
+            h.write_u64(u64::from(dst.as_u32()));
+            digest_link(h, link);
+        }
+        let mut blocked: Vec<(NodeId, NodeId)> = self.partition_blocked.iter().copied().collect();
+        blocked.sort();
+        h.write_usize(blocked.len());
+        for (src, dst) in blocked {
+            h.write_u64(u64::from(src.as_u32()));
+            h.write_u64(u64::from(dst.as_u32()));
+        }
     }
 
     /// Offers a message to the network and decides its fate.

@@ -43,6 +43,12 @@ impl SimRng {
         }
     }
 
+    /// The four raw state words (snapshot digests only — the stream
+    /// position is part of a world's observable state).
+    pub(crate) fn state_words(&self) -> [u64; 4] {
+        self.state
+    }
+
     /// The next raw 64-bit output (xoshiro256++ step).
     fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;

@@ -13,20 +13,29 @@ use crate::time::SimTime;
 
 /// A trace event payload: any `Debug`-printable value.
 ///
-/// Implemented automatically for every `'static + Send` type that implements
-/// [`Debug`](fmt::Debug); protocol crates define their own event enums
-/// (e.g. `TcpEvent`) and experiments downcast records back to them.
+/// Implemented automatically for every `'static + Send + Clone` type that
+/// implements [`Debug`](fmt::Debug); protocol crates define their own event
+/// enums (e.g. `TcpEvent`) and experiments downcast records back to them.
 ///
 /// The `Send` bound is what lets a fully-constructed [`World`](crate::World)
-/// (which owns its trace log) cross thread boundaries.
+/// (which owns its trace log) cross thread boundaries; the `Clone` bound
+/// (via [`clone_box`](TraceEvent::clone_box)) is what lets a world
+/// *snapshot* carry a deep copy of the log.
 pub trait TraceEvent: Any + fmt::Debug + Send {
     /// Upcast for downcasting by the query helpers.
     fn as_any(&self) -> &dyn Any;
+
+    /// Deep copy behind the trait object (snapshot support).
+    fn clone_box(&self) -> Box<dyn TraceEvent>;
 }
 
-impl<T: Any + fmt::Debug + Send> TraceEvent for T {
+impl<T: Any + fmt::Debug + Send + Clone> TraceEvent for T {
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceEvent> {
+        Box::new(self.clone())
     }
 }
 
@@ -41,6 +50,20 @@ pub struct TraceRecord {
     pub layer: &'static str,
     /// The typed payload.
     pub event: Box<dyn TraceEvent>,
+}
+
+impl Clone for TraceRecord {
+    fn clone(&self) -> Self {
+        TraceRecord {
+            time: self.time,
+            node: self.node,
+            layer: self.layer,
+            // `as_ref()` first, as in the query helpers: cloning through the
+            // box keeps the concrete payload type (and thus downcasting)
+            // intact.
+            event: self.event.as_ref().clone_box(),
+        }
+    }
 }
 
 /// An append-only log of trace records, owned by the [`World`](crate::World).
@@ -64,7 +87,7 @@ pub struct TraceRecord {
 /// let pings = log.events_of::<Ping>(Some(NodeId::new(0)));
 /// assert_eq!(pings, vec![(SimTime::ZERO, Ping(7))]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TraceLog {
     records: Vec<TraceRecord>,
 }

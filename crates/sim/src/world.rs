@@ -10,6 +10,8 @@ use crate::layer::{Action, Context, Layer};
 use crate::message::Message;
 use crate::network::{Network, Transit};
 use crate::rng::SimRng;
+use crate::snapshot::WorldSnapshot;
+use crate::snapshot::{Fnv, GuardedState, SnapEntry, SnapEvent, SnapNode, SnapshotError};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, NetTrace, TimerTrace, TraceLog};
 
@@ -108,6 +110,11 @@ pub struct World {
     boards: BoardStore,
     timer_seq: u64,
     cancelled_timers: HashSet<u64>,
+    /// Total events [`step`](World::step) has processed since creation (or
+    /// since the value captured by the last restored snapshot). Campaign
+    /// engines use the difference between a fork's starting count and zero
+    /// to report how much replay a snapshot skipped.
+    events_processed: u64,
     /// Record `NetTrace` events for every wire transmission.
     pub trace_packets: bool,
     /// Record `TimerTrace` events for every timer set/fire/cancel.
@@ -128,9 +135,15 @@ impl World {
             boards: BoardStore::new(),
             timer_seq: 0,
             cancelled_timers: HashSet::new(),
+            events_processed: 0,
             trace_packets: false,
             trace_timers: false,
         }
+    }
+
+    /// Total events processed by [`step`](World::step) so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Current virtual time.
@@ -315,6 +328,7 @@ impl World {
         };
         debug_assert!(entry.at >= self.now, "event queue went backwards");
         self.now = entry.at;
+        self.events_processed += 1;
         match entry.kind {
             EventKind::Node { node, ev } => self.process_node_event(node, ev),
             EventKind::Call(f) => f(self),
@@ -629,6 +643,270 @@ impl World {
     }
 }
 
+impl World {
+    /// Captures a deep snapshot of the world, or explains why it cannot.
+    ///
+    /// Fails if the queue holds a pending scheduled callback (`FnOnce`
+    /// closures cannot be cloned) or if any layer's
+    /// [`clone_box`](Layer::clone_box) returns `None`. Campaign-prepared
+    /// worlds have neither: their scheduled calls have all run by prepare
+    /// time, and their layers are script-configured.
+    pub fn try_snapshot(&self) -> Result<WorldSnapshot, SnapshotError> {
+        let mut entries: Vec<&Entry> = self.queue.iter().collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        let mut queue = Vec::with_capacity(entries.len());
+        for e in entries {
+            match &e.kind {
+                EventKind::Call(_) => return Err(SnapshotError::PendingCall { at: e.at }),
+                EventKind::Node { node, ev } => queue.push(SnapEntry {
+                    at: e.at,
+                    seq: e.seq,
+                    node: *node,
+                    ev: snap_event(ev),
+                }),
+            }
+        }
+        let mut layers = Vec::with_capacity(self.nodes.len());
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut stack = Vec::with_capacity(n.layers.len());
+            for l in &n.layers {
+                match l.clone_box() {
+                    Some(c) => stack.push(c),
+                    None => {
+                        return Err(SnapshotError::UnclonableLayer {
+                            node: NodeId::new(i as u32),
+                            layer: l.name(),
+                        })
+                    }
+                }
+            }
+            layers.push(stack);
+            nodes.push(SnapNode {
+                inbox: n.inbox.clone(),
+                crashed: n.crashed,
+                suspended: n
+                    .suspended
+                    .as_ref()
+                    .map(|evs| evs.iter().map(snap_event).collect()),
+            });
+        }
+        let mut cancelled: Vec<u64> = self.cancelled_timers.iter().copied().collect();
+        cancelled.sort_unstable();
+        Ok(WorldSnapshot {
+            now: self.now,
+            seq: self.seq,
+            timer_seq: self.timer_seq,
+            events_processed: self.events_processed,
+            queue,
+            nodes,
+            network: self.network.clone(),
+            rng: self.rng.clone(),
+            boards: self.boards.clone(),
+            cancelled_timers: cancelled,
+            trace_packets: self.trace_packets,
+            trace_timers: self.trace_timers,
+            digest: self.snapshot_digest(),
+            guarded: std::sync::Mutex::new(GuardedState {
+                layers,
+                trace: self.trace.clone(),
+            }),
+        })
+    }
+
+    /// [`try_snapshot`](World::try_snapshot), panicking on refusal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world cannot be snapshotted (see [`SnapshotError`]).
+    pub fn snapshot(&self) -> WorldSnapshot {
+        self.try_snapshot()
+            .unwrap_or_else(|e| panic!("world is not snapshottable: {e}"))
+    }
+
+    /// Overwrites this world with the captured state, discarding everything
+    /// that happened after (or instead of) the snapshot. The restored world
+    /// continues byte-identically to the snapshot's source.
+    pub fn restore(&mut self, snap: &WorldSnapshot) {
+        let guard = snap.guarded.lock().expect("snapshot mutex poisoned");
+        self.now = snap.now;
+        self.seq = snap.seq;
+        self.timer_seq = snap.timer_seq;
+        self.events_processed = snap.events_processed;
+        self.network = snap.network.clone();
+        self.rng = snap.rng.clone();
+        self.boards = snap.boards.clone();
+        self.trace = guard.trace.clone();
+        self.trace_packets = snap.trace_packets;
+        self.trace_timers = snap.trace_timers;
+        self.cancelled_timers = snap.cancelled_timers.iter().copied().collect();
+        self.queue = snap
+            .queue
+            .iter()
+            .map(|e| Entry {
+                at: e.at,
+                seq: e.seq,
+                kind: EventKind::Node {
+                    node: e.node,
+                    ev: unsnap_event(&e.ev),
+                },
+            })
+            .collect();
+        self.nodes = snap
+            .nodes
+            .iter()
+            .zip(guard.layers.iter())
+            .map(|(n, stack)| Node {
+                layers: stack
+                    .iter()
+                    .map(|l| {
+                        l.clone_box()
+                            .expect("snapshotted layers re-clone by construction")
+                    })
+                    .collect(),
+                inbox: n.inbox.clone(),
+                crashed: n.crashed,
+                suspended: n
+                    .suspended
+                    .as_ref()
+                    .map(|evs| evs.iter().map(unsnap_event).collect()),
+            })
+            .collect();
+    }
+
+    /// A deterministic digest of the world's observable state: clock,
+    /// queue, RNG, network, boards, per-node status, and trace. Layer
+    /// *internals* are not digestable (trait objects); equality of digests
+    /// therefore certifies everything the simulator itself owns, while
+    /// layer-state equivalence is established end-to-end by the campaign
+    /// differential tests (same digest + same continuation ⇒ same run).
+    pub fn snapshot_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.now.as_micros());
+        h.write_u64(self.seq);
+        h.write_u64(self.timer_seq);
+        h.write_u64(self.events_processed);
+        h.write(&[u8::from(self.trace_packets), u8::from(self.trace_timers)]);
+        let mut entries: Vec<&Entry> = self.queue.iter().collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        h.write_usize(entries.len());
+        for e in entries {
+            h.write_u64(e.at.as_micros());
+            h.write_u64(e.seq);
+            match &e.kind {
+                EventKind::Call(_) => h.write_str("call"),
+                EventKind::Node { node, ev } => {
+                    h.write_u64(u64::from(node.as_u32()));
+                    digest_event(&mut h, ev);
+                }
+            }
+        }
+        h.write_usize(self.nodes.len());
+        for n in &self.nodes {
+            h.write_usize(n.layers.len());
+            for l in &n.layers {
+                h.write_str(l.name());
+            }
+            h.write_usize(n.inbox.len());
+            for (t, m) in &n.inbox {
+                h.write_u64(t.as_micros());
+                digest_message(&mut h, m);
+            }
+            h.write(&[u8::from(n.crashed)]);
+            match &n.suspended {
+                None => h.write_str("running"),
+                Some(evs) => {
+                    h.write_str("suspended");
+                    h.write_usize(evs.len());
+                    for ev in evs {
+                        digest_event(&mut h, ev);
+                    }
+                }
+            }
+        }
+        self.network.digest_into(&mut h);
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        h.write_usize(self.boards.board_count());
+        for i in 0..self.boards.board_count() {
+            let entries = self.boards.entries(BoardId(i as u32));
+            h.write_usize(entries.len());
+            for (k, v) in entries {
+                h.write_str(&k);
+                h.write_str(&v);
+            }
+        }
+        let mut cancelled: Vec<u64> = self.cancelled_timers.iter().copied().collect();
+        cancelled.sort_unstable();
+        h.write_usize(cancelled.len());
+        for id in cancelled {
+            h.write_u64(id);
+        }
+        let lines = self.trace.render();
+        h.write_usize(lines.len());
+        for line in lines {
+            h.write_str(&line);
+        }
+        h.finish()
+    }
+}
+
+impl WorldSnapshot {
+    /// Builds a fresh world that continues byte-identically from the
+    /// captured instant. Many forks of one snapshot may proceed on
+    /// different threads concurrently.
+    pub fn fork(&self) -> World {
+        let mut w = World::new(0);
+        w.restore(self);
+        w
+    }
+}
+
+fn snap_event(ev: &NodeEvent) -> SnapEvent {
+    match ev {
+        NodeEvent::Deliver(m) => SnapEvent::Deliver(m.clone()),
+        NodeEvent::Timer { layer, id, token } => SnapEvent::Timer {
+            layer: *layer,
+            id: *id,
+            token: *token,
+        },
+    }
+}
+
+fn unsnap_event(ev: &SnapEvent) -> NodeEvent {
+    match ev {
+        SnapEvent::Deliver(m) => NodeEvent::Deliver(m.clone()),
+        SnapEvent::Timer { layer, id, token } => NodeEvent::Timer {
+            layer: *layer,
+            id: *id,
+            token: *token,
+        },
+    }
+}
+
+fn digest_event(h: &mut Fnv, ev: &NodeEvent) {
+    match ev {
+        NodeEvent::Deliver(m) => {
+            h.write_str("deliver");
+            digest_message(h, m);
+        }
+        NodeEvent::Timer { layer, id, token } => {
+            h.write_str("timer");
+            h.write_usize(*layer);
+            h.write_u64(id.as_u64());
+            h.write_u64(*token);
+        }
+    }
+}
+
+fn digest_message(h: &mut Fnv, m: &Message) {
+    h.write_u64(u64::from(m.src().as_u32()));
+    h.write_u64(u64::from(m.dst().as_u32()));
+    h.write_usize(m.len());
+    h.write(m.bytes());
+}
+
 /// Compile-time proof of the tentpole invariant: a fully-constructed world
 /// — layers, pending scheduled calls, trace log, blackboards and all — may
 /// be moved across threads. If any field regresses to `!Send` (an `Rc`
@@ -654,6 +932,7 @@ mod tests {
     use crate::layer::Layer;
 
     /// Echoes every received message straight back to its source.
+    #[derive(Clone)]
     struct Echo;
     impl Layer for Echo {
         fn name(&self) -> &'static str {
@@ -669,9 +948,13 @@ mod tests {
             msg.set_dst(src);
             ctx.send_down(msg);
         }
+        fn clone_box(&self) -> Option<Box<dyn Layer>> {
+            Some(Box::new(self.clone()))
+        }
     }
 
     /// Delivers everything upward into the inbox.
+    #[derive(Clone)]
     struct Sink;
     impl Layer for Sink {
         fn name(&self) -> &'static str {
@@ -683,11 +966,15 @@ mod tests {
         fn pop(&mut self, msg: Message, ctx: &mut Context<'_>) {
             ctx.send_up(msg);
         }
+        fn clone_box(&self) -> Option<Box<dyn Layer>> {
+            Some(Box::new(self.clone()))
+        }
     }
 
     /// Control op for `Pinger`: send a payload to a destination.
     struct SendTo(NodeId, Vec<u8>);
 
+    #[derive(Clone)]
     struct Pinger;
     impl Layer for Pinger {
         fn name(&self) -> &'static str {
@@ -703,6 +990,9 @@ mod tests {
             let SendTo(dst, payload) = *op.downcast::<SendTo>().expect("bad op");
             ctx.send_down(Message::new(ctx.node(), dst, &payload));
             Box::new(())
+        }
+        fn clone_box(&self) -> Option<Box<dyn Layer>> {
+            Some(Box::new(self.clone()))
         }
     }
 
@@ -910,5 +1200,140 @@ mod tests {
     fn empty_stack_rejected() {
         let mut w = World::new(1);
         let _ = w.add_node(vec![]);
+    }
+
+    /// A lossy/jittery ping world mid-conversation: every snapshottable
+    /// corner (queue in flight, RNG advanced, trace populated, boards set).
+    fn busy_world() -> (World, NodeId, NodeId) {
+        let mut w = World::new(99);
+        w.trace_packets = true;
+        w.network_mut().default_link_mut().loss = 0.2;
+        w.network_mut().default_link_mut().jitter = SimDuration::from_millis(4);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        let board = w.alloc_board();
+        w.boards_mut().set(board, "phase", "warm");
+        // All scheduled calls land inside the warm-up window: snapshots
+        // refuse pending calls, and the campaign engine snapshots only
+        // after its build phase has fully run.
+        for i in 0..20u64 {
+            let payload = vec![i as u8; 8];
+            w.schedule_in(SimDuration::from_millis(i * 2), move |w| {
+                w.control::<()>(a, 0, SendTo(b, payload));
+            });
+        }
+        w.run_for(SimDuration::from_millis(40));
+        (w, a, b)
+    }
+
+    #[test]
+    fn snapshot_digest_matches_world_and_restore() {
+        let (w, _, _) = busy_world();
+        let snap = w.try_snapshot().expect("busy world is snapshottable");
+        assert_eq!(snap.digest(), w.snapshot_digest());
+        assert!(snap.pending_events() > 0, "conversation still in flight");
+        let mut other = World::new(12345);
+        other.restore(&snap);
+        assert_eq!(other.snapshot_digest(), snap.digest());
+        assert_eq!(other.events_processed(), w.events_processed());
+    }
+
+    #[test]
+    fn fork_continues_byte_identically() {
+        let (mut w, a, _) = busy_world();
+        let snap = w.snapshot();
+        let mut fork = snap.fork();
+        w.run_for(SimDuration::from_secs(2));
+        fork.run_for(SimDuration::from_secs(2));
+        assert_eq!(fork.trace().render(), w.trace().render());
+        assert_eq!(fork.snapshot_digest(), w.snapshot_digest());
+        assert_eq!(fork.drain_inbox(a), w.drain_inbox(a));
+    }
+
+    #[test]
+    fn concurrent_forks_of_one_shared_snapshot_agree() {
+        let (w, _, _) = busy_world();
+        let snap = std::sync::Arc::new(w.snapshot());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let snap = std::sync::Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    let mut fork = snap.fork();
+                    fork.run_for(SimDuration::from_secs(2));
+                    fork.trace().render()
+                })
+            })
+            .collect();
+        let mut renders: Vec<Vec<String>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = renders.pop().unwrap();
+        assert!(renders.iter().all(|r| *r == first));
+    }
+
+    #[test]
+    fn restore_discards_post_snapshot_state() {
+        let (mut w, _, _) = busy_world();
+        let snap = w.snapshot();
+        // Diverge hard: more traffic, crashes, board writes.
+        w.run_for(SimDuration::from_millis(500));
+        w.crash(NodeId::new(1));
+        let board = w.alloc_board();
+        w.boards_mut().set(board, "phase", "diverged");
+        w.run_for(SimDuration::from_secs(1));
+        assert_ne!(w.snapshot_digest(), snap.digest());
+        w.restore(&snap);
+        assert_eq!(w.snapshot_digest(), snap.digest());
+        assert!(!w.is_crashed(NodeId::new(1)));
+    }
+
+    #[test]
+    fn pending_scheduled_call_refuses_snapshot() {
+        let mut w = World::new(1);
+        w.schedule_in(SimDuration::from_secs(1), |_| {});
+        match w.try_snapshot() {
+            Err(SnapshotError::PendingCall { at }) => {
+                assert_eq!(at, SimTime::from_micros(1_000_000));
+            }
+            other => panic!("expected PendingCall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclonable_layer_refuses_snapshot() {
+        /// Keeps the default `clone_box` (None).
+        struct Opaque;
+        impl Layer for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn push(&mut self, _m: Message, _c: &mut Context<'_>) {}
+            fn pop(&mut self, _m: Message, _c: &mut Context<'_>) {}
+        }
+        let mut w = World::new(1);
+        let n = w.add_node(vec![Box::new(Opaque)]);
+        match w.try_snapshot() {
+            Err(SnapshotError::UnclonableLayer { node, layer }) => {
+                assert_eq!(node, n);
+                assert_eq!(layer, "opaque");
+            }
+            other => panic!("expected UnclonableLayer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspended_node_state_survives_snapshot() {
+        let mut w = World::new(1);
+        let a = w.add_node(vec![Box::new(Pinger), Box::new(Sink)]);
+        let b = w.add_node(vec![Box::new(Echo)]);
+        w.suspend(b);
+        w.control::<()>(a, 0, SendTo(b, b"ping".to_vec()));
+        w.run_for(SimDuration::from_secs(1));
+        let snap = w.snapshot();
+        let mut fork = snap.fork();
+        fork.resume(b);
+        fork.run_for(SimDuration::from_millis(10));
+        let inbox = fork.drain_inbox(a);
+        assert_eq!(inbox.len(), 1, "deferred delivery replayed in the fork");
+        assert_eq!(inbox[0].1.bytes(), b"ping");
     }
 }

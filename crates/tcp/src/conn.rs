@@ -93,7 +93,7 @@ impl SentSeg {
 }
 
 /// One TCP connection.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Conn {
     pub(crate) id: usize,
     pub(crate) local_port: u16,

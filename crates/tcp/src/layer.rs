@@ -160,7 +160,7 @@ impl TcpReply {
 ///
 /// Place it at the top of a stack; it talks to the wire through whatever is
 /// below it (directly, or through a PFI layer).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpLayer {
     profile: TcpProfile,
     conns: Vec<Conn>,
@@ -226,6 +226,10 @@ impl TcpLayer {
 }
 
 impl Layer for TcpLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "tcp"
     }

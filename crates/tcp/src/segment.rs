@@ -198,6 +198,10 @@ impl Segment {
 pub struct TcpStub;
 
 impl PacketStub for TcpStub {
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
+    }
+
     fn protocol(&self) -> &'static str {
         "tcp"
     }

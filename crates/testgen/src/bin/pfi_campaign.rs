@@ -14,6 +14,7 @@
 //! pfi-campaign gmp --explore --budget 64 --seed 7
 //! pfi-campaign gmp --explore --jobs 4 --stats
 //! pfi-campaign gmp --explore --digest   # one-line outcome digest (CI golden)
+//! pfi-campaign gmp --explore --no-snapshots   # rebuild every world (same digest)
 //! pfi-campaign gmp --explore --journal run.journal        # crash-safe record
 //! pfi-campaign gmp --explore --resume run.journal --journal run.journal
 //! ```
@@ -54,6 +55,13 @@ FLAGS:
                       in --stats, and recorded in the journal)
     --no-prefilter    run statically-invalid candidates instead of rejecting them
                       up front (same digest either way; used by CI to prove it)
+    --snapshots       fork candidate runs from cached world snapshots instead of
+                      replaying shared schedule prefixes (default; same digest
+                      either way — CI diffs the two modes to prove it)
+    --no-snapshots    rebuild every candidate's world from scratch
+    --snapshot-cache N
+                      LRU capacity of the per-campaign snapshot store
+                      (default 64; statistics only, never part of the digest)
     --journal PATH    write-ahead journal: record dispatch intent and every
                       result to PATH as the exploration runs (crash-safe)
     --resume PATH     replay the completed work recorded in PATH instead of
@@ -161,6 +169,14 @@ fn main() {
         if args.iter().any(|a| a == "--no-prefilter") {
             config.prefilter = false;
         }
+        if args.iter().any(|a| a == "--no-snapshots") {
+            config.snapshots = false;
+        } else if args.iter().any(|a| a == "--snapshots") {
+            config.snapshots = true;
+        }
+        if let Some(cache) = flag_value("--snapshot-cache") {
+            config.snapshot_cache = (cache as usize).max(1);
+        }
         if let Some(retries) = flag_value("--max-retries") {
             config.max_retries = retries as u32;
         }
@@ -246,6 +262,20 @@ fn main() {
         if stats {
             println!();
             println!("resolved jobs: {jobs} worker thread(s)");
+            let snap = &outcome.snapshots;
+            if config.snapshots {
+                println!(
+                    "snapshots: {} hit(s), {} miss(es) ({:.1}% hit rate), {} stored, {} evicted, {} prefix event(s) skipped",
+                    snap.hits,
+                    snap.misses,
+                    snap.hit_rate() * 100.0,
+                    snap.stored,
+                    snap.evicted,
+                    snap.events_skipped
+                );
+            } else {
+                println!("snapshots: disabled (every world rebuilt from scratch)");
+            }
             print!("{report}");
         }
         // Same exit-code contract as the grid: violations are findings

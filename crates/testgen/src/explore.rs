@@ -23,10 +23,13 @@
 //!
 //! Candidates cross the thread boundary as typed [`FaultSchedule`]s —
 //! worlds are arena-backed and `Send`, so nothing needs a text round-trip.
-//! Each worker still builds its own worlds from the [`TargetFactory`] it
-//! was handed at construction: per-candidate world construction is part of
-//! the parallel work here, and prebuilding on the master (as
-//! [`crate::run_campaign_fleet`] does for fixed grids) would serialize it.
+//! With snapshot/fork execution on (the default), each candidate also
+//! carries an `Arc` of the cached base-world snapshot, so workers *fork*
+//! the prepared world instead of replaying `TestTarget::build` per run;
+//! with it off, each worker builds its own worlds from the
+//! [`TargetFactory`] it was handed at construction. Either way the
+//! outcome bytes are identical — forking a snapshot continues exactly the
+//! run a cold build would have produced.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,10 +43,12 @@ use crate::coverage::Coverage;
 use crate::journal::{Journal, JournalCase, JournalMeta, JournalQuarantine, JournalWriter};
 use crate::repro::Repro;
 use crate::runner::{
-    panic_text, run_schedule_limited, RunLimits, ScheduleRun, TargetFactory, TestTarget, Verdict,
+    panic_text, run_schedule_limited, run_schedule_snapshotted, RunLimits, ScheduleRun,
+    TargetFactory, TestTarget, Verdict,
 };
 use crate::schedule::{FaultSchedule, ScheduleMutator};
 use crate::shrink::shrink_schedule;
+use crate::snapshot::{prefix_digests, CaseSnapshot, SnapshotStats, SnapshotStore};
 use crate::spec::ProtocolSpec;
 
 /// Exploration parameters.
@@ -55,10 +60,14 @@ pub struct ExploreConfig {
     pub budget: usize,
     /// Maximum faults per schedule.
     pub max_faults: usize,
-    /// Candidates generated per dispatch epoch — the determinism unit.
-    /// Outcomes depend on it (corpus selection sees the epoch-start corpus)
-    /// but never on the worker count executing the epoch. `1` reproduces
-    /// the classic fully-sequential explorer byte-for-byte.
+    /// Mutation attempts per dispatch epoch — the determinism unit. One
+    /// corpus parent is drawn per epoch and every candidate of the batch
+    /// mutates it (batched corpus scheduling: siblings share the parent's
+    /// schedule prefix, so the whole batch forks off one dispatched
+    /// snapshot). Outcomes depend on it (corpus selection sees the
+    /// epoch-start corpus) but never on the worker count executing the
+    /// epoch. `1` reproduces the classic fully-sequential explorer
+    /// byte-for-byte.
     pub epoch: usize,
     /// Statically reject uninstallable candidates (out-of-topology fault
     /// sites, lowered scripts that do not parse) before dispatching them
@@ -88,6 +97,17 @@ pub struct ExploreConfig {
     /// Journal I/O failure panics: a crash-safety journal that silently
     /// stopped recording would be worse than none.
     pub journal: Option<PathBuf>,
+    /// Snapshot/fork execution: capture the prepared fault-free base world
+    /// once and fork it per candidate instead of replaying
+    /// `TestTarget::build` for every run. Outcomes — digest included — are
+    /// byte-identical with snapshots on or off (the differential tests
+    /// prove it), so this is deliberately **not** part of the journal
+    /// identity: a journal recorded with snapshots off resumes fine with
+    /// them on, and vice versa. Default `true`.
+    pub snapshots: bool,
+    /// Capacity of each snapshot LRU store (the master's dispatch cache
+    /// and every worker-local per-candidate store). Default 64.
+    pub snapshot_cache: usize,
     /// A journal loaded from an interrupted run of the *same* campaign
     /// (the metadata is checked; a mismatch panics). Recorded results are
     /// replayed without re-execution; only unrecorded work runs. The
@@ -105,6 +125,12 @@ impl ExploreConfig {
             step_budget: self.step_budget,
             ..RunLimits::default()
         }
+    }
+
+    /// The per-candidate snapshot-store capacity, `None` when snapshot/
+    /// fork execution is off.
+    fn cache(&self) -> Option<usize> {
+        self.snapshots.then_some(self.snapshot_cache)
     }
 
     /// The journal metadata identifying this campaign on `target`.
@@ -137,11 +163,18 @@ impl Default for ExploreConfig {
             prefilter: true,
             max_retries: DEFAULT_MAX_RETRIES,
             step_budget: 0,
+            snapshots: true,
+            snapshot_cache: DEFAULT_SNAPSHOT_CACHE,
             journal: None,
             resume: None,
         }
     }
 }
+
+/// The default snapshot LRU capacity — comfortably more than one base
+/// world per (target, limits) pair a campaign ever uses, while bounding
+/// memory if tests seed deeper prefixes.
+pub const DEFAULT_SNAPSHOT_CACHE: usize = 64;
 
 /// One campaign-found, shrunk failure.
 #[derive(Debug, Clone)]
@@ -193,6 +226,12 @@ pub struct ExploreOutcome {
     /// search lineage, reported loudly so a crashing target cannot leave a
     /// silent hole in the explored space.
     pub quarantined: Vec<JournalQuarantine>,
+    /// Snapshot/fork statistics: the master store's counters plus every
+    /// executed candidate's worker-local counters. All zeros when
+    /// [`ExploreConfig::snapshots`] is off. Statistics only — never part
+    /// of the [`digest`](ExploreOutcome::digest), since replayed work
+    /// legitimately skips the forks an uninterrupted run performs.
+    pub snapshots: SnapshotStats,
 }
 
 impl ExploreOutcome {
@@ -231,6 +270,20 @@ impl ExploreOutcome {
 // Worker-side candidate execution
 // ---------------------------------------------------------------------
 
+/// One dispatched candidate: the schedule to run, plus (with snapshots
+/// on) the cached base-world snapshot the master attached so the worker
+/// forks instead of rebuilding. The `Arc` crosses the fleet boundary
+/// directly — world snapshots are `Send + Sync` plain data.
+#[derive(Debug, Clone)]
+struct CandidateJob {
+    /// The candidate schedule.
+    schedule: FaultSchedule,
+    /// The longest cached prefix snapshot the master's store held at
+    /// dispatch time; `None` with snapshots off (or when the target's
+    /// world refuses to snapshot).
+    prepared: Option<Arc<CaseSnapshot>>,
+}
+
 /// Everything one candidate execution produced. Computed entirely on the
 /// worker that ran the candidate — a pure function of the schedule — so
 /// the master can merge reports in canonical order without re-running
@@ -246,6 +299,11 @@ struct CandidateReport {
     shrink: Option<ShrinkReport>,
     /// Which worker ran it (statistics only; 0 inline).
     worker: usize,
+    /// Snapshot counters from this candidate's worker-local store — a
+    /// pure function of the candidate (each candidate gets a *fresh*
+    /// store seeded with its dispatched snapshot), so totals are
+    /// independent of job scheduling and worker count.
+    snapshots: SnapshotStats,
 }
 
 #[derive(Debug, Clone)]
@@ -266,19 +324,32 @@ struct ShrinkReport {
 /// Runs one candidate: execute, and delta-debug to 1-minimal if it
 /// violated an oracle. Shrinking re-runs against the *same* oracle: the
 /// minimal schedule must reproduce this failure, not just any failure.
+///
+/// With a `cache` capacity, the candidate runs through a fresh
+/// worker-local [`SnapshotStore`] seeded with the snapshot it was
+/// dispatched with: the main run forks the base instead of rebuilding,
+/// and every shrink re-run forks it again (shrunk schedules share the
+/// same base `d_0`). A fresh store per candidate keeps the reported
+/// counters a pure function of the candidate.
 fn candidate_report(
     target: &dyn TestTarget,
-    schedule: FaultSchedule,
+    job: CandidateJob,
     limits: &RunLimits,
+    cache: Option<usize>,
 ) -> CandidateReport {
-    let run = run_schedule_limited(target, &schedule, limits);
+    let CandidateJob { schedule, prepared } = job;
+    let mut local = cache.map(SnapshotStore::new);
+    if let (Some(store), Some(snap)) = (local.as_mut(), prepared) {
+        store.seed(snap);
+    }
+    let run = run_schedule_snapshotted(target, &schedule, limits, local.as_mut());
     let shrink = match &run.verdict {
         Verdict::Violated(_) => {
             let oracle = run.oracle.clone().unwrap_or_else(|| "target".to_string());
             let mut runs = 0usize;
             let shrunk = shrink_schedule(&schedule, |s| {
                 runs += 1;
-                let rerun = run_schedule_limited(target, s, limits);
+                let rerun = run_schedule_snapshotted(target, s, limits, local.as_mut());
                 rerun.verdict.is_violation() && rerun.oracle.as_deref() == Some(oracle.as_str())
             });
             Some(ShrinkReport {
@@ -295,6 +366,7 @@ fn candidate_report(
         run,
         shrink,
         worker: 0,
+        snapshots: local.map(|s| s.stats().clone()).unwrap_or_default(),
     }
 }
 
@@ -320,6 +392,8 @@ fn replayed_report(world_seed: u64, case: JournalCase) -> CandidateReport {
         run,
         shrink,
         worker: 0,
+        // Replayed work performed no runs at all — no forks to count.
+        snapshots: SnapshotStats::default(),
     }
 }
 
@@ -332,7 +406,7 @@ fn replayed_report(world_seed: u64, case: JournalCase) -> CandidateReport {
 enum EpochResult {
     /// The candidate ran (possibly to a [`Verdict::Crashed`] — contained
     /// panics still yield reports) and reported back.
-    Report(CandidateReport),
+    Report(Box<CandidateReport>),
     /// Execution itself panicked past containment every time the
     /// supervisor tried it; the candidate produced nothing.
     Quarantined {
@@ -357,7 +431,7 @@ impl EpochResult {
 trait EpochRunner {
     /// Runs every candidate of an epoch; order of the returned results is
     /// irrelevant (the merge step canonicalises it).
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult>;
+    fn run_epoch(&mut self, batch: Vec<CandidateJob>) -> Vec<EpochResult>;
     /// Statistics hook: the candidate run by `worker` reached new coverage.
     fn note_novel(&mut self, _worker: usize) {}
     /// The resolved worker count executing epochs — recorded in the
@@ -372,13 +446,14 @@ trait EpochRunner {
 struct InlineEpochs<'a> {
     target: &'a dyn TestTarget,
     limits: RunLimits,
+    cache: Option<usize>,
 }
 
 impl EpochRunner for InlineEpochs<'_> {
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult> {
+    fn run_epoch(&mut self, batch: Vec<CandidateJob>) -> Vec<EpochResult> {
         batch
             .into_iter()
-            .map(|s| {
+            .map(|job| {
                 // The runner contains target/oracle panics itself
                 // (`Verdict::Crashed`); this outer net catches panics in
                 // the engine plumbing around it, mirroring the fleet
@@ -386,11 +461,11 @@ impl EpochRunner for InlineEpochs<'_> {
                 // instead of killing the campaign. No retry inline: a
                 // panic on this thread is deterministic by construction.
                 match catch_unwind(AssertUnwindSafe(|| {
-                    candidate_report(self.target, s.clone(), &self.limits)
+                    candidate_report(self.target, job.clone(), &self.limits, self.cache)
                 })) {
-                    Ok(report) => EpochResult::Report(report),
+                    Ok(report) => EpochResult::Report(Box::new(report)),
                     Err(payload) => EpochResult::Quarantined {
-                        schedule: s,
+                        schedule: job.schedule,
                         attempts: 1,
                         error: panic_text(payload.as_ref()),
                     },
@@ -405,11 +480,11 @@ impl EpochRunner for InlineEpochs<'_> {
 /// reports come back `Send`. Jobs whose worker dies repeatedly come back
 /// as supervisor quarantine errors instead of aborting the epoch.
 struct FleetEpochs {
-    fleet: Fleet<FaultSchedule, CandidateReport>,
+    fleet: Fleet<CandidateJob, CandidateReport>,
 }
 
 impl EpochRunner for FleetEpochs {
-    fn run_epoch(&mut self, batch: Vec<FaultSchedule>) -> Vec<EpochResult> {
+    fn run_epoch(&mut self, batch: Vec<CandidateJob>) -> Vec<EpochResult> {
         // `run_epoch_checked` returns items in dispatch (seq) order, which
         // is exactly `batch` order — zip to recover each job's schedule
         // without threading it through the failure path.
@@ -417,13 +492,13 @@ impl EpochRunner for FleetEpochs {
             .run_epoch_checked(batch.clone())
             .into_iter()
             .zip(batch)
-            .map(|(item, schedule)| match item.result {
+            .map(|(item, job)| match item.result {
                 Ok(mut report) => {
                     report.worker = item.worker;
-                    EpochResult::Report(report)
+                    EpochResult::Report(Box::new(report))
                 }
                 Err(failure) => EpochResult::Quarantined {
-                    schedule,
+                    schedule: job.schedule,
                     attempts: failure.attempts,
                     error: failure.error,
                 },
@@ -443,6 +518,27 @@ impl EpochRunner for FleetEpochs {
 // ---------------------------------------------------------------------
 // The search loop
 // ---------------------------------------------------------------------
+
+/// The snapshot to attach to a dispatched candidate: the master store's
+/// longest cached prefix (a non-counting peek — the executing worker's
+/// own lookup does the hit accounting), lazily capturing the base world
+/// on first need. The lazy capture covers resume: a resumed campaign may
+/// replay the baseline without ever running it, leaving the master store
+/// cold when the first live candidate dispatches.
+fn dispatch_snapshot(
+    master: &dyn TestTarget,
+    limits: &RunLimits,
+    store: &mut SnapshotStore,
+    schedule: &FaultSchedule,
+) -> Option<Arc<CaseSnapshot>> {
+    let digests = prefix_digests(master, limits, schedule);
+    if let Some(snap) = store.peek_longest(&digests) {
+        return Some(snap);
+    }
+    let snap = Arc::new(crate::runner::capture_base(master, limits)?);
+    store.insert(Arc::clone(&snap));
+    Some(snap)
+}
 
 /// Appends one merged result to the write-ahead journal (no-op without a
 /// writer). `message` is the confirmed bare violation message, present
@@ -504,8 +600,16 @@ fn explore_with(
         // under a different `--jobs` is legitimate.
         w.jobs(epochs.workers())
             .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
+        // Snapshot/fork execution is likewise statistics, not identity:
+        // outcomes are byte-identical with it on or off, so resume never
+        // checks this line either.
+        w.snapshots(config.snapshots, config.snapshot_cache)
+            .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
         w
     });
+
+    let mut master_store = config.cache().map(SnapshotStore::new);
+    let mut snap_stats = SnapshotStats::default();
 
     let mut rng = SimRng::seed_from(config.seed);
     let mutator = ScheduleMutator::new(spec, master.node_count(), master.fault_sites());
@@ -526,10 +630,13 @@ fn explore_with(
             replayed_report(master.seed(), case)
         }
         None => CandidateReport {
-            run: run_schedule_limited(master, &baseline, &limits),
+            // The baseline's miss is what first captures the base world
+            // into the master store (snapshots on).
+            run: run_schedule_snapshotted(master, &baseline, &limits, master_store.as_mut()),
             schedule: baseline.clone(),
             shrink: None,
             worker: 0,
+            snapshots: SnapshotStats::default(),
         },
     };
     journal_record(writer.as_mut(), &base_report, None);
@@ -552,14 +659,22 @@ fn explore_with(
     let sites = master.fault_sites();
     let mut attempted = 0usize;
     while attempted < config.budget {
-        // Generate the epoch serially against the epoch-start corpus; a
-        // mutant that re-derives an already-seen schedule still consumes
-        // budget but is not re-run.
+        // Generate the epoch serially against the epoch-start corpus.
+        // One parent is drawn per epoch and every candidate of the batch
+        // mutates *it* — batched corpus scheduling: siblings share the
+        // parent's schedule prefix, so the whole batch forks off one
+        // dispatched snapshot. An epoch consumes up to `epoch` mutation
+        // *attempts* (a mutant that re-derives an already-seen schedule
+        // still consumes budget but is not re-run), which at `epoch == 1`
+        // reproduces the classic sequential explorer's RNG stream
+        // exactly: one parent draw per attempt.
         let mut batch: Vec<FaultSchedule> = Vec::new();
-        while attempted < config.budget && batch.len() < config.epoch {
+        let parent = corpus[rng.uniform_u64(0, corpus.len() as u64) as usize].clone();
+        let mut batch_attempts = 0usize;
+        while attempted < config.budget && batch_attempts < config.epoch {
+            batch_attempts += 1;
             attempted += 1;
-            let parent = &corpus[rng.uniform_u64(0, corpus.len() as u64) as usize];
-            let candidate = mutator.mutate(parent, config.max_faults, &mut rng);
+            let candidate = mutator.mutate(&parent, config.max_faults, &mut rng);
             if seen.insert(candidate.id()) {
                 batch.push(candidate);
             }
@@ -594,14 +709,25 @@ fn explore_with(
         // Split candidates the resume journal already settled from the
         // ones that must actually execute.
         let mut results: Vec<EpochResult> = Vec::new();
-        let mut dispatch: Vec<FaultSchedule> = Vec::new();
+        let mut dispatch: Vec<CandidateJob> = Vec::new();
         for candidate in batch {
             match replay.remove(&candidate.id()) {
                 Some(case) => {
                     replayed += 1;
-                    results.push(EpochResult::Report(replayed_report(master.seed(), case)));
+                    results.push(EpochResult::Report(Box::new(replayed_report(
+                        master.seed(),
+                        case,
+                    ))));
                 }
-                None => dispatch.push(candidate),
+                None => {
+                    let prepared = master_store
+                        .as_mut()
+                        .and_then(|store| dispatch_snapshot(master, &limits, store, &candidate));
+                    dispatch.push(CandidateJob {
+                        schedule: candidate,
+                        prepared,
+                    });
+                }
             }
         }
         // Execute anywhere, merge canonically: schedule-id order makes the
@@ -614,7 +740,7 @@ fn explore_with(
 
         for result in results {
             let report = match result {
-                EpochResult::Report(report) => report,
+                EpochResult::Report(report) => *report,
                 EpochResult::Quarantined {
                     schedule,
                     attempts,
@@ -637,6 +763,7 @@ fn explore_with(
                     continue;
                 }
             };
+            snap_stats.merge(&report.snapshots);
             executed += 1 + report.shrink.as_ref().map_or(0, |s| s.runs);
             if report.run.verdict.is_crashed() {
                 crashed += 1;
@@ -677,7 +804,12 @@ fn explore_with(
                 // Confirm the shrunk schedule on the master and harvest
                 // the violation message for the artifact.
                 None => {
-                    let final_run = run_schedule_limited(master, &shrink.shrunk, &limits);
+                    let final_run = run_schedule_snapshotted(
+                        master,
+                        &shrink.shrunk,
+                        &limits,
+                        master_store.as_mut(),
+                    );
                     executed += 1;
                     match &final_run.verdict {
                         // The verdict text is "oracle-name: message"; the
@@ -713,6 +845,10 @@ fn explore_with(
             .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
     }
 
+    if let Some(store) = &master_store {
+        snap_stats.merge(store.stats());
+    }
+
     ExploreOutcome {
         corpus,
         coverage,
@@ -723,6 +859,7 @@ fn explore_with(
         crashed,
         hung,
         quarantined,
+        snapshots: snap_stats,
     }
 }
 
@@ -738,6 +875,7 @@ pub fn explore(
     let mut epochs = InlineEpochs {
         target,
         limits: config.limits(),
+        cache: config.cache(),
     };
     explore_with(target, &mut epochs, spec, config)
 }
@@ -756,11 +894,11 @@ pub fn explore_fleet(
     let master = factory.make();
     let worker_factory = Arc::clone(&factory);
     let limits = config.limits();
-    let mut fleet: Fleet<FaultSchedule, CandidateReport> = Fleet::new(jobs, move |_worker| {
+    let cache = config.cache();
+    let mut fleet: Fleet<CandidateJob, CandidateReport> = Fleet::new(jobs, move |_worker| {
         let target = worker_factory.make();
-        Box::new(move |schedule: FaultSchedule| {
-            candidate_report(target.as_ref(), schedule, &limits)
-        }) as Box<dyn JobRunner<FaultSchedule, CandidateReport>>
+        Box::new(move |job: CandidateJob| candidate_report(target.as_ref(), job, &limits, cache))
+            as Box<dyn JobRunner<CandidateJob, CandidateReport>>
     });
     fleet.set_max_retries(config.max_retries);
     let mut epochs = FleetEpochs { fleet };

@@ -31,6 +31,7 @@
 //! step-budget 0
 //! max-retries 2
 //! jobs 4
+//! snapshots on cache=64
 //! dispatch baseline
 //! case begin
 //! verdict degraded membership changed 2 times under the fault
@@ -51,10 +52,11 @@
 //! ```
 //!
 //! The `jobs` line records the resolved worker count of the run that
-//! wrote the journal — statistics for the campaign record, not identity:
-//! outcomes never depend on the worker count, so resume neither checks it
-//! nor requires it to match, and it is the one journal line that may
-//! differ between runs of the same campaign. `dispatch` lines are the
+//! wrote the journal, and the `snapshots` line whether it used
+//! snapshot/fork execution (and the LRU capacity) — statistics for the
+//! campaign record, not identity: outcomes depend on neither, so resume
+//! neither checks them nor requires them to match, and they are the only
+//! journal lines that may differ between runs of the same campaign. `dispatch` lines are the
 //! write-*ahead* part: the id of every candidate
 //! is journaled before its epoch executes, so an interrupted journal names
 //! the work that was in flight when the process died. `case` blocks are
@@ -162,10 +164,16 @@ pub struct Journal {
     /// The resolved worker count of the run that wrote the journal —
     /// statistics, not identity. Campaign outcomes are worker-count-
     /// independent by construction, so resume never checks this (a journal
-    /// recorded at `--jobs 4` resumes fine at `--jobs 1`), and it is the
-    /// one line of a journal that may legitimately differ between runs of
-    /// the same campaign.
+    /// recorded at `--jobs 4` resumes fine at `--jobs 1`), and — like
+    /// `snapshots` — it may legitimately differ between runs of the same
+    /// campaign.
     pub jobs: Option<usize>,
+    /// Whether the writing run used snapshot/fork execution, and its LRU
+    /// capacity — statistics, not identity, exactly like `jobs`: outcomes
+    /// are byte-identical with snapshots on or off, so resume never checks
+    /// this either (a journal recorded with snapshots on resumes fine with
+    /// them off, and vice versa).
+    pub snapshots: Option<(bool, usize)>,
     /// Every schedule id journaled as dispatched (write-ahead intent).
     pub dispatched: Vec<String>,
     /// Completed case records, in merge order.
@@ -256,6 +264,7 @@ impl Journal {
         Journal {
             meta,
             jobs: None,
+            snapshots: None,
             dispatched: Vec::new(),
             cases: Vec::new(),
             quarantined: Vec::new(),
@@ -279,6 +288,13 @@ impl Journal {
         let mut out = render_meta(&self.meta);
         if let Some(jobs) = self.jobs {
             let _ = writeln!(out, "jobs {jobs}");
+        }
+        if let Some((on, cache)) = self.snapshots {
+            let _ = writeln!(
+                out,
+                "snapshots {} cache={cache}",
+                if on { "on" } else { "off" }
+            );
         }
         for id in &self.dispatched {
             let _ = writeln!(out, "dispatch {id}");
@@ -380,6 +396,21 @@ impl Journal {
                     Some(("dispatch", id)) => journal.dispatched.push(id.to_string()),
                     Some(("jobs", v)) => {
                         journal.jobs = Some(parse_u64("jobs", v)? as usize);
+                    }
+                    Some(("snapshots", v)) => {
+                        let (mode, rest) = v
+                            .split_once(' ')
+                            .ok_or_else(|| format!("bad snapshots line: {v:?}"))?;
+                        let on = match mode {
+                            "on" => true,
+                            "off" => false,
+                            other => return Err(format!("bad snapshots mode {other:?}")),
+                        };
+                        let cache = rest
+                            .strip_prefix("cache=")
+                            .and_then(|c| c.parse::<usize>().ok())
+                            .ok_or_else(|| format!("bad snapshots cache: {rest:?}"))?;
+                        journal.snapshots = Some((on, cache));
                     }
                     _ => return Err(format!("unrecognised journal line: {line:?}")),
                 },
@@ -538,6 +569,16 @@ impl JournalWriter {
         self.append(&format!("jobs {jobs}\n"))
     }
 
+    /// Records whether the run uses snapshot/fork execution and its LRU
+    /// capacity. Statistics only, like [`jobs`](JournalWriter::jobs) —
+    /// outcomes are byte-identical either way, so resume never checks it.
+    pub fn snapshots(&mut self, on: bool, cache: usize) -> Result<(), String> {
+        self.append(&format!(
+            "snapshots {} cache={cache}\n",
+            if on { "on" } else { "off" }
+        ))
+    }
+
     /// Journals dispatch intent: `id` is about to execute (or replay).
     pub fn dispatch(&mut self, id: &str) -> Result<(), String> {
         self.append(&format!("dispatch {id}\n"))
@@ -599,6 +640,7 @@ mod tests {
                 max_retries: 2,
             },
             jobs: Some(4),
+            snapshots: Some((true, 64)),
             dispatched: vec!["baseline".to_string(), schedule.id()],
             cases: vec![
                 JournalCase {
@@ -693,6 +735,7 @@ mod tests {
             std::env::temp_dir().join(format!("pfi_journal_{}_writer_agrees", std::process::id()));
         let mut w = JournalWriter::create(&path, &journal.meta).unwrap();
         w.jobs(4).unwrap();
+        w.snapshots(true, 64).unwrap();
         for id in &journal.dispatched {
             w.dispatch(id).unwrap();
         }

@@ -62,12 +62,14 @@ mod repro;
 mod runner;
 mod schedule;
 mod shrink;
+mod snapshot;
 mod spec;
 mod validate;
 
 pub use coverage::Coverage;
 pub use explore::{
     explore, explore_fleet, replay, ExploreConfig, ExploreOutcome, FoundFailure, DEFAULT_EPOCH,
+    DEFAULT_SNAPSHOT_CACHE,
 };
 pub use generate::{generate, Campaign, FaultKind, TestCase};
 pub use journal::{
@@ -82,13 +84,16 @@ pub use oracle::{
 pub use pfi_fleet::{FleetReport, WorkerStats};
 pub use repro::Repro;
 pub use runner::{
-    prepare, run_campaign, run_campaign_fleet, run_case, run_case_prepared, run_prepared,
-    run_schedule, run_schedule_limited, CaseResult, ChaosOracleTarget, GmpTarget, PreparedCase,
-    RunLimits, ScheduleRun, TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict,
-    DRIVE_EVENT_CAP,
+    prepare, prepare_base, run_campaign, run_campaign_fleet, run_case, run_case_prepared,
+    run_prepared, run_schedule, run_schedule_limited, run_schedule_snapshotted, CaseResult,
+    ChaosOracleTarget, GmpTarget, PreparedCase, RunLimits, ScheduleRun, TargetFactory, TcpTarget,
+    TestTarget, TpcTarget, Verdict, DRIVE_EVENT_CAP,
 };
 pub use schedule::{FaultOp, FaultSchedule, ScheduleMutator, ScheduledFault, SiteScripts};
 pub use shrink::shrink_schedule;
+pub use snapshot::{
+    base_digest, prefix_digests, shared_prefix_len, CaseSnapshot, SnapshotStats, SnapshotStore,
+};
 pub use spec::{MessageSpec, ProtocolSpec, Role};
 pub use validate::{
     install_errors, schedule_is_installable, scripts_install_errors, validate_schedule,

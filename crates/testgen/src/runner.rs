@@ -22,6 +22,7 @@ use crate::oracle::{
     TcpNoSilentCloseOracle, TcpPrefixOracle, TcpRtoBoundsOracle, TpcAtomicityOracle,
 };
 use crate::schedule::{FaultSchedule, SiteScripts};
+use crate::snapshot::{prefix_digests, CaseSnapshot, SnapshotStore};
 
 /// Outcome of one test case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -390,6 +391,18 @@ pub fn prepare(
     if !install_errors.is_empty() {
         return Err(Verdict::Invalid(install_errors.join("; ")));
     }
+    let mut case = prepare_base(target, limits);
+    install_scripts(&mut case.world, &case.sites, target.name(), scripts);
+    Ok(case)
+}
+
+/// The filter-free half of [`prepare`]: build the world, arm timer
+/// tracing and step budgets, install *nothing*. This is the state the
+/// snapshot store caches under the schedule prefix chain's `d_0` — every
+/// schedule of the same target and limits shares it, and forking it skips
+/// `TestTarget::build` (for GMP, 40 virtual seconds of convergence
+/// traffic) on every subsequent run.
+pub fn prepare_base(target: &dyn TestTarget, limits: &RunLimits) -> PreparedCase {
     let (mut world, sites) = target.build();
     // Timer life-cycle records are a coverage signal; trace them for the
     // driven phase (build-time convergence stays untraced on purpose).
@@ -403,12 +416,41 @@ pub fn prepare(
             );
         }
     }
+    PreparedCase { world, sites }
+}
+
+/// Captures the prepared fault-free base world as a cacheable snapshot,
+/// or `None` when a layer refuses to clone (native filters, unclonable
+/// stubs). The campaign master uses this to warm a cold dispatch store —
+/// e.g. on resume, where the baseline was replayed rather than run.
+pub(crate) fn capture_base(target: &dyn TestTarget, limits: &RunLimits) -> Option<CaseSnapshot> {
+    let base = prepare_base(target, limits);
+    let world = base.world.try_snapshot().ok()?;
+    Some(CaseSnapshot::new(
+        crate::snapshot::base_digest(target, limits),
+        FaultSchedule::empty(),
+        base.sites,
+        world,
+    ))
+}
+
+/// Installs lowered per-site filter scripts on a prepared world. Filter
+/// installation is plain control-plane assignment: it emits no trace
+/// events, draws no RNG, and advances no virtual time — which is exactly
+/// what makes a forked-then-installed world byte-identical to a
+/// cold-prepared one.
+fn install_scripts(
+    world: &mut World,
+    sites: &[(NodeId, usize)],
+    target_name: &str,
+    scripts: &[SiteScripts],
+) {
     for s in scripts {
         let &(node, pfi_layer) = sites.get(s.site as usize).unwrap_or_else(|| {
             panic!(
                 "schedule addresses fault site n{} but target {:?} has only {}",
                 s.site,
-                target.name(),
+                target_name,
                 sites.len()
             )
         });
@@ -422,7 +464,127 @@ pub fn prepare(
             }
         }
     }
-    Ok(PreparedCase { world, sites })
+}
+
+/// Installs only the scripts that *differ* from what a forked snapshot
+/// already carries. `SetSendFilter`/`SetRecvFilter` replace the whole
+/// filter, and a cached prefix's per-site script is always a clause-prefix
+/// of the full schedule's (lowering groups clauses by site preserving
+/// fault order), so replacing the changed directions wholesale is exact.
+fn install_suffix(
+    world: &mut World,
+    sites: &[(NodeId, usize)],
+    target_name: &str,
+    installed: &[SiteScripts],
+    full: &[SiteScripts],
+) {
+    let mut suffix: Vec<SiteScripts> = Vec::new();
+    for s in full {
+        let old = installed.iter().find(|o| o.site == s.site);
+        let old_send = old.map_or("", |o| o.send.as_str());
+        let old_recv = old.map_or("", |o| o.recv.as_str());
+        debug_assert!(
+            (s.send.is_empty() <= old_send.is_empty())
+                && (s.recv.is_empty() <= old_recv.is_empty()),
+            "cached prefix carries a filter the full schedule lacks (site n{})",
+            s.site
+        );
+        if s.send != old_send || s.recv != old_recv {
+            suffix.push(SiteScripts {
+                site: s.site,
+                send: if s.send != old_send {
+                    s.send.clone()
+                } else {
+                    String::new()
+                },
+                recv: if s.recv != old_recv {
+                    s.recv.clone()
+                } else {
+                    String::new()
+                },
+            });
+        }
+    }
+    install_scripts(world, sites, target_name, &suffix);
+}
+
+/// [`run_schedule_limited`] with snapshot/fork execution: consult `store`
+/// for the longest cached schedule prefix, fork it instead of building
+/// cold, and install only the suffix of filters before driving. On a full
+/// miss the freshly prepared *base* world (no filters) is captured into
+/// the store under the chain's `d_0`, so every later schedule of the same
+/// target forks it. `None` for `store` is exactly
+/// [`run_schedule_limited`].
+///
+/// Byte-identical to the cold path for every schedule: forks restore the
+/// captured world exactly, and filter installation has no observable side
+/// effects beyond the filters themselves. Uninstallable schedules are
+/// refused ([`Verdict::Invalid`]) *before* the store is consulted —
+/// corrupted candidates (e.g. [`crate::ScheduleMutator`] scrambles) never
+/// enter the cache and never count as lookups.
+pub fn run_schedule_snapshotted(
+    target: &dyn TestTarget,
+    schedule: &FaultSchedule,
+    limits: &RunLimits,
+    store: Option<&mut SnapshotStore>,
+) -> ScheduleRun {
+    let Some(store) = store else {
+        return run_schedule_limited(target, schedule, limits);
+    };
+    let scripts = schedule.lower();
+    let install_errors = crate::validate::scripts_install_errors(&scripts, target.fault_sites());
+    if !install_errors.is_empty() {
+        return ScheduleRun {
+            schedule_id: schedule.id(),
+            seed: target.seed(),
+            scripts,
+            verdict: Verdict::Invalid(install_errors.join("; ")),
+            oracle: None,
+            coverage: Coverage::new(),
+        };
+    }
+    let digests = prefix_digests(target, limits, schedule);
+    let case = match store.lookup_longest(&digests) {
+        Some(snap) => {
+            store.note_skipped(snap.events_processed());
+            let mut world = snap.fork();
+            let sites = snap.sites().to_vec();
+            install_suffix(
+                &mut world,
+                &sites,
+                target.name(),
+                &snap.installed_scripts(),
+                &scripts,
+            );
+            PreparedCase { world, sites }
+        }
+        None => {
+            let mut base = prepare_base(target, limits);
+            // Capture the fault-free base for every later schedule of this
+            // target. Targets whose layers refuse to clone (native filters,
+            // say) simply keep building cold — correctness never depends
+            // on the cache.
+            if let Ok(world) = base.world.try_snapshot() {
+                store.insert(Arc::new(CaseSnapshot::new(
+                    digests[0],
+                    FaultSchedule::empty(),
+                    base.sites.clone(),
+                    world,
+                )));
+            }
+            install_scripts(&mut base.world, &base.sites, target.name(), &scripts);
+            base
+        }
+    };
+    let (verdict, oracle, coverage) = run_prepared(target, case, limits);
+    ScheduleRun {
+        schedule_id: schedule.id(),
+        seed: target.seed(),
+        scripts,
+        verdict,
+        oracle,
+        coverage,
+    }
 }
 
 /// The shared execution path: [`prepare`], then [`run_prepared`] —
@@ -1060,6 +1222,138 @@ mod tests {
             "expected Hung, got {:?}",
             run.verdict
         );
+    }
+
+    #[test]
+    fn snapshotted_run_is_byte_identical_to_cold_and_reuses_the_base() {
+        let target = GmpTarget::default();
+        let limits = RunLimits::default();
+        let schedule = drop_heartbeats();
+        let mut store = SnapshotStore::new(4);
+        // First run misses, captures the base, runs cold.
+        let first = run_schedule_snapshotted(&target, &schedule, &limits, Some(&mut store));
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().stored, 1);
+        // Second run (different schedule, same base) forks.
+        let second =
+            run_schedule_snapshotted(&target, &FaultSchedule::empty(), &limits, Some(&mut store));
+        assert_eq!(store.stats().hits, 1);
+        assert!(
+            store.stats().events_skipped > 0,
+            "the fork skipped the build phase"
+        );
+        // Both are byte-identical to their cold counterparts.
+        let cold_first = run_schedule_limited(&target, &schedule, &limits);
+        let cold_second = run_schedule_limited(&target, &FaultSchedule::empty(), &limits);
+        for (snap, cold) in [(&first, &cold_first), (&second, &cold_second)] {
+            assert_eq!(snap.verdict, cold.verdict);
+            assert_eq!(snap.oracle, cold.oracle);
+            assert_eq!(
+                snap.coverage.edges().collect::<Vec<_>>(),
+                cold.coverage.edges().collect::<Vec<_>>()
+            );
+            assert_eq!(snap.scripts, cold.scripts);
+        }
+        // A third run of the faulted schedule also forks and still matches.
+        let third = run_schedule_snapshotted(&target, &schedule, &limits, Some(&mut store));
+        assert_eq!(store.stats().hits, 2);
+        assert_eq!(third.verdict, cold_first.verdict);
+        assert_eq!(
+            third.coverage.edges().collect::<Vec<_>>(),
+            cold_first.coverage.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forking_a_deep_prefix_installs_only_the_suffix() {
+        let target = GmpTarget::default();
+        let limits = RunLimits::default();
+        let prefix = drop_heartbeats();
+        let mut full = prefix.clone();
+        full.faults.push(ScheduledFault {
+            site: 2,
+            dir: Direction::Send,
+            op: FaultOp::DelayMs {
+                msg_type: "COMMIT".to_string(),
+                ms: 250,
+            },
+        });
+        // Capture a snapshot *with the prefix installed*, cache it under
+        // the prefix chain's deepest digest, and run the full schedule.
+        let mut store = SnapshotStore::new(4);
+        let digests = crate::snapshot::prefix_digests(&target, &limits, &full);
+        let mut case = prepare_base(&target, &limits);
+        install_scripts(&mut case.world, &case.sites, target.name(), &prefix.lower());
+        store.insert(Arc::new(CaseSnapshot::new(
+            digests[prefix.len()],
+            prefix.clone(),
+            case.sites.clone(),
+            case.world.try_snapshot().unwrap(),
+        )));
+        let forked = run_schedule_snapshotted(&target, &full, &limits, Some(&mut store));
+        assert_eq!(store.stats().hits, 1);
+        let cold = run_schedule_limited(&target, &full, &limits);
+        assert_eq!(forked.verdict, cold.verdict);
+        assert_eq!(forked.oracle, cold.oracle);
+        assert_eq!(
+            forked.coverage.edges().collect::<Vec<_>>(),
+            cold.coverage.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invalid_schedules_never_touch_the_snapshot_store() {
+        let target = GmpTarget::default();
+        let limits = RunLimits::default();
+        let mut store = SnapshotStore::new(4);
+        // Both scramble classes: an out-of-topology site and a
+        // parse-breaking message type.
+        let bad_site = FaultSchedule {
+            faults: vec![ScheduledFault {
+                site: 99,
+                dir: Direction::Send,
+                op: FaultOp::DropAll {
+                    msg_type: "HEARTBEAT".to_string(),
+                },
+            }],
+        };
+        let bad_parse = FaultSchedule {
+            faults: vec![ScheduledFault {
+                site: 1,
+                dir: Direction::Send,
+                op: FaultOp::DropAll {
+                    msg_type: "H}EARTBEAT".to_string(),
+                },
+            }],
+        };
+        for bad in [&bad_site, &bad_parse] {
+            let run = run_schedule_snapshotted(&target, bad, &limits, Some(&mut store));
+            assert!(run.verdict.is_invalid(), "{:?}", run.verdict);
+        }
+        // Scrambles also never *come from* the store's perspective: no
+        // lookups, no captures, no stats movement at all.
+        assert!(store.is_empty());
+        assert_eq!(store.stats(), &crate::snapshot::SnapshotStats::default());
+        // ScheduleMutator's scramble mutants hit the same refusal.
+        let mutator =
+            crate::schedule::ScheduleMutator::new(&crate::spec::ProtocolSpec::gmp(), 3, 3);
+        let mut rng = pfi_sim::SimRng::seed_from(3);
+        let mut scrambles = 0usize;
+        for _ in 0..100 {
+            let child = mutator.mutate(&FaultSchedule::empty(), 4, &mut rng);
+            if crate::validate::schedule_is_installable(&child, target.fault_sites()) {
+                continue;
+            }
+            scrambles += 1;
+            let run = run_schedule_snapshotted(&target, &child, &limits, Some(&mut store));
+            assert!(run.verdict.is_invalid());
+        }
+        assert!(scrambles > 0, "no scramble mutants in 100 draws");
+        assert!(
+            store.is_empty(),
+            "scramble mutants must never enter the store"
+        );
+        assert_eq!(store.stats(), &crate::snapshot::SnapshotStats::default());
     }
 
     #[test]

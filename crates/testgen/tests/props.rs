@@ -258,7 +258,7 @@ fn journal_meta(seed: u64) -> JournalMeta {
         budget: (seed % 100) as usize,
         max_faults: 3,
         epoch: 1 + (seed % 16) as usize,
-        prefilter: seed % 2 == 0,
+        prefilter: seed.is_multiple_of(2),
         step_budget: seed % 5000,
         max_retries: (seed % 4) as u32,
     }
@@ -287,7 +287,7 @@ fn journal_case(
             faults: schedule.faults.first().cloned().into_iter().collect(),
         },
         runs: schedule.len() * 2,
-        message: (msg_ix % 2 == 0).then(|| msg.clone()),
+        message: msg_ix.is_multiple_of(2).then(|| msg.clone()),
     });
     JournalCase {
         schedule,
@@ -303,6 +303,59 @@ fn journal_case(
 // are a pure function of the campaign config; shipping candidates to fleet
 // worker threads (arena worlds, Send payloads) must not perturb the digest
 // for any seed. Budgets are tiny — each case runs two real explorations.
+
+// ---------------------------------------------------------------------------
+// Snapshot/fork differential. Forking a candidate run off a cached world
+// snapshot (restore the longest shared schedule prefix, install only the
+// suffix) must be observationally identical to replaying it cold from t=0 —
+// verdict, oracle, and coverage edges — for any seed-derived mutation
+// chain. The store-accounting property rides along: the base snapshot is
+// captured at most once, after which every installable run forks.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn forked_runs_match_cold_replays(seed in any::<u64>(), steps in 1usize..8) {
+        use pfi_testgen::{
+            run_schedule_limited, run_schedule_snapshotted, GmpTarget, RunLimits, SnapshotStore,
+            TestTarget,
+        };
+
+        let target = GmpTarget::default();
+        let limits = RunLimits::default();
+        let mutator = ScheduleMutator::new(
+            &ProtocolSpec::gmp(),
+            target.node_count(),
+            target.fault_sites(),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut store = SnapshotStore::new(8);
+        let mut sched = FaultSchedule::empty();
+        let mut installable = 0u64;
+        for _ in 0..steps {
+            sched = mutator.mutate(&sched, 3, &mut rng);
+            if schedule_is_installable(&sched, target.fault_sites()) {
+                installable += 1;
+            }
+            let forked = run_schedule_snapshotted(&target, &sched, &limits, Some(&mut store));
+            let cold = run_schedule_limited(&target, &sched, &limits);
+            prop_assert_eq!(&forked.verdict, &cold.verdict);
+            prop_assert_eq!(&forked.oracle, &cold.oracle);
+            prop_assert_eq!(
+                forked.coverage.edges().collect::<Vec<_>>(),
+                cold.coverage.edges().collect::<Vec<_>>()
+            );
+        }
+        let stats = store.stats();
+        prop_assert!(stats.misses <= 1, "only the first installable run may miss");
+        prop_assert_eq!(
+            stats.hits + stats.misses,
+            installable,
+            "uninstallable schedules must never touch the store"
+        );
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]

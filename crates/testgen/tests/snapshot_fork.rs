@@ -1,0 +1,166 @@
+//! Golden-digest acceptance for snapshot/fork execution: a campaign that
+//! forks candidate runs from cached world snapshots must be byte-for-byte
+//! indistinguishable from one that rebuilds every world from scratch —
+//! same digest, same corpus order, same repro artifact bytes — at every
+//! worker count, under cache pressure, and composed with journal resume.
+//! Snapshots are an execution strategy, never an outcome input.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pfi_testgen::{
+    explore, explore_fleet, ExploreConfig, ExploreOutcome, FaultSchedule, GmpTarget, Journal,
+    ProtocolSpec,
+};
+
+/// The seed the acceptance criteria pin (same as the CI smoke job and the
+/// committed golden digest).
+const SEED: u64 = 42;
+
+fn config(snapshots: bool) -> ExploreConfig {
+    ExploreConfig {
+        seed: SEED,
+        budget: 24,
+        max_faults: 3,
+        epoch: 8,
+        prefilter: true,
+        snapshots,
+        ..ExploreConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pfi_snapshot_fork_{}_{name}", std::process::id()))
+}
+
+fn corpus_ids(outcome: &ExploreOutcome) -> Vec<String> {
+    outcome.corpus.iter().map(FaultSchedule::id).collect()
+}
+
+fn repro_bytes(outcome: &ExploreOutcome) -> Vec<String> {
+    outcome.failures.iter().map(|f| f.repro.to_text()).collect()
+}
+
+/// The acceptance test proper: at seed 42, the snapshot-forking campaign
+/// and the cold-rebuild campaign produce byte-identical outcomes at jobs
+/// 1, 2, and 4 — and the forking one actually forks (nonzero hit rate,
+/// nonzero prefix events skipped), so the equality is not vacuous. The
+/// digest is additionally pinned to the committed golden line shared with
+/// the fleet determinism suite and the CI smoke job.
+#[test]
+fn snapshot_and_cold_campaigns_are_byte_identical() {
+    let target = Arc::new(GmpTarget::default());
+    let spec = ProtocolSpec::gmp();
+
+    for jobs in [1, 2, 4] {
+        let (on, _) = explore_fleet(Arc::clone(&target) as _, &spec, &config(true), jobs);
+        let (off, _) = explore_fleet(Arc::clone(&target) as _, &spec, &config(false), jobs);
+
+        assert_eq!(on.digest(), off.digest(), "digest diverged at jobs={jobs}");
+        assert_eq!(
+            corpus_ids(&on),
+            corpus_ids(&off),
+            "corpus order diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            repro_bytes(&on),
+            repro_bytes(&off),
+            "repro artifact bytes diverged at jobs={jobs}"
+        );
+        assert_eq!(on.executed, off.executed, "executed count, jobs={jobs}");
+
+        assert!(
+            on.snapshots.hits > 0,
+            "the forking campaign must reuse cached prefixes (jobs={jobs})"
+        );
+        assert!(
+            on.snapshots.events_skipped > 0,
+            "forking must skip replayed prefix events (jobs={jobs})"
+        );
+        assert_eq!(
+            off.snapshots,
+            Default::default(),
+            "the cold campaign must never touch a snapshot store (jobs={jobs})"
+        );
+
+        // Pin the digest to the committed golden line so this suite fails
+        // alongside the fleet determinism suite if the walk ever changes.
+        let golden = include_str!("../../fleet/tests/golden_campaign_digest.txt");
+        let line = format!(
+            "pfi-campaign digest gmp seed={SEED} budget=24 epoch=8 {}",
+            on.digest64()
+        );
+        assert_eq!(line, golden.trim_end(), "golden digest, jobs={jobs}");
+    }
+}
+
+/// Snapshot stats are a pure function of the campaign, not of how it was
+/// scheduled: the per-candidate stores make hit/miss counts identical at
+/// every worker count, and an LRU squeezed to capacity 1 still reproduces
+/// the same digest while actually evicting.
+#[test]
+fn snapshot_stats_are_worker_count_invariant_and_survive_cache_pressure() {
+    let target = Arc::new(GmpTarget::default());
+    let spec = ProtocolSpec::gmp();
+
+    let (reference, _) = explore_fleet(Arc::clone(&target) as _, &spec, &config(true), 1);
+    for jobs in [2, 4] {
+        let (outcome, _) = explore_fleet(Arc::clone(&target) as _, &spec, &config(true), jobs);
+        assert_eq!(
+            outcome.snapshots, reference.snapshots,
+            "snapshot stats diverged at jobs={jobs}"
+        );
+    }
+
+    let mut squeezed = config(true);
+    squeezed.snapshot_cache = 1;
+    let (outcome, _) = explore_fleet(Arc::clone(&target) as _, &spec, &squeezed, 2);
+    assert_eq!(
+        outcome.digest(),
+        reference.digest(),
+        "cache capacity must never change the outcome"
+    );
+    assert!(
+        outcome.snapshots.hits > 0,
+        "capacity 1 still serves the hot base"
+    );
+}
+
+/// Journal resume composes with snapshot forking: tear a journal written
+/// by a forking campaign at 50%, resume it — with forking on and with it
+/// off — and both resumed runs land on the uninterrupted digest with the
+/// journaled prefix replayed, not re-executed.
+#[test]
+fn resume_composes_with_snapshot_fork() {
+    let target = GmpTarget::default();
+    let spec = ProtocolSpec::gmp();
+
+    let full_path = tmp("full.journal");
+    let mut cfg = config(true);
+    cfg.journal = Some(full_path.clone());
+    let uninterrupted = explore(&target, &spec, &cfg);
+    assert!(uninterrupted.snapshots.hits > 0);
+    let full_bytes = fs::read_to_string(&full_path).unwrap();
+    let _ = fs::remove_file(&full_path);
+
+    let torn = Journal::from_text(&full_bytes[..full_bytes.len() / 2]).unwrap();
+    assert!(!torn.cases.is_empty(), "the cut must leave work to replay");
+
+    for snapshots in [true, false] {
+        let mut cfg = config(snapshots);
+        cfg.resume = Some(torn.clone());
+        let resumed = explore(&target, &spec, &cfg);
+        assert_eq!(
+            resumed.digest(),
+            uninterrupted.digest(),
+            "resumed digest diverged (snapshots={snapshots})"
+        );
+        assert_eq!(resumed.executed, uninterrupted.executed);
+        assert_eq!(
+            resumed.replayed,
+            torn.cases.len(),
+            "journaled cases must be replayed, never re-executed"
+        );
+    }
+}

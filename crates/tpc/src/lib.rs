@@ -270,7 +270,7 @@ impl TpcReply {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CoordTx {
     participants: Vec<NodeId>,
     votes: HashMap<NodeId, bool>,
@@ -280,7 +280,7 @@ struct CoordTx {
     vote_timer: Option<TimerId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PartTx {
     coordinator: NodeId,
     state: TpcState,
@@ -298,7 +298,7 @@ fn token_parts(t: u64) -> (u32, u64) {
 }
 
 /// The two-phase commit layer (coordinator and participant roles in one).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TpcLayer {
     config: TpcConfig,
     vote_yes: bool,
@@ -360,6 +360,10 @@ impl Default for TpcLayer {
 }
 
 impl Layer for TpcLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "tpc"
     }
@@ -557,6 +561,10 @@ impl Layer for TpcLayer {
 pub struct TpcStub;
 
 impl PacketStub for TpcStub {
+    fn clone_box(&self) -> Option<Box<dyn PacketStub>> {
+        Some(Box::new(*self))
+    }
+
     fn protocol(&self) -> &'static str {
         "tpc"
     }

@@ -2,11 +2,12 @@
 # Tracked bench pipeline: runs the ablation benchmark groups
 # (script_interpreter, pfi_interposition_overhead, congestion_ablation,
 # sim_engine, campaign_throughput) and aggregates the per-bench JSON
-# records into BENCH_3.json at the repository root — group -> bench ->
+# records into BENCH_4.json at the repository root — group -> bench ->
 # median ns/op (+ throughput where the bench declares one), so one report
-# carries the PR-1 interpreter/engine benches and the fleet scaling rows
-# (jobs 1/2/4/8, Send arena worlds). If scripts/bench_baseline.json
-# exists (the recorded
+# carries the PR-1 interpreter/engine benches, the fleet scaling rows
+# (jobs 1/2/4/8, Send arena worlds), and the snapshot/fork ablation
+# (gmp_explore_snapshots_{on,off} — the replay-savings exec/s ratio).
+# If scripts/bench_baseline.json exists (the recorded
 # pre-compile-once baseline, measured back-to-back with the optimized
 # build on the same machine), each entry also carries the baseline median
 # and the speedup factor. A `_meta` entry records the host's CPU count —
@@ -14,13 +15,13 @@
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args]
 # Knobs: PFI_BENCH_SAMPLE_MS, PFI_BENCH_WARMUP_MS, PFI_BENCH_SAMPLES
-#        (see crates/criterion), BENCH_OUT (default: BENCH_3.json).
+#        (see crates/criterion), BENCH_OUT (default: BENCH_4.json).
 
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 raw="$repo/target/pfi-bench"
-out="${BENCH_OUT:-$repo/BENCH_3.json}"
+out="${BENCH_OUT:-$repo/BENCH_4.json}"
 
 rm -rf "$raw"
 PFI_BENCH_OUT="$raw" cargo bench --manifest-path "$repo/Cargo.toml" \
