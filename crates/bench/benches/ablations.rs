@@ -384,6 +384,32 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             })
         });
     }
+
+    // Equivalence-pruning ablation on the same loop-heavy target at a
+    // budget where canonical collisions actually occur (seed 42,
+    // budget 2048, ≤2 faults → 9 pruned, see EXPERIMENTS.md). Digests are
+    // identical by construction (crates/testgen/tests/pruning.rs); the
+    // on/off wall-clock gap is the execution cost pruning saves.
+    for (label, pruning) in [("pruning_on", true), ("pruning_off", false)] {
+        let factory = Arc::new(GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 5,
+        });
+        let cfg = ExploreConfig {
+            pruning,
+            budget: 2048,
+            max_faults: 2,
+            ..config.clone()
+        };
+        let (outcome, _) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+        g.throughput(Throughput::Elements(outcome.executed as u64));
+        g.bench_function(&format!("gmp_explore_{label}"), |b| {
+            b.iter(|| {
+                let (outcome, report) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+                black_box((outcome.executed, report.executed()))
+            })
+        });
+    }
     g.finish();
 }
 

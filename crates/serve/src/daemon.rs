@@ -1,0 +1,624 @@
+//! The campaign daemon: accepts submissions over the line protocol, runs
+//! them sequentially on one long-lived [`CampaignFleet`], and persists
+//! everything in a [`Store`] so a crash — up to and including SIGKILL —
+//! loses no acknowledged campaign.
+//!
+//! Concurrency model: one listener loop (nonblocking accept + short
+//! sleep), one connection-handler thread per client, and one executor
+//! thread that owns the fleet. Shared state is a single mutex + condvar;
+//! the condvar signals both "queue has work" (to the executor) and
+//! "campaign finished" (to `wait`ing clients).
+//!
+//! Durability contract: `submit` writes the seed snapshot, then the index
+//! line (fsynced), then acknowledges. The campaign itself runs with a
+//! write-ahead journal in the store. On startup the daemon scans the
+//! index: campaigns whose journal carries the `complete` terminator are
+//! reconstructed (no re-execution) for `status`/`results`; everything
+//! else — running or still queued at the kill — is re-enqueued, and the
+//! torn journal's completed cases are replayed, not re-executed. Epoch-
+//! synchronous determinism makes the resumed outcome byte-identical to
+//! an uninterrupted run's.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pfi_gmp::GmpBugs;
+use pfi_testgen::{
+    CampaignFleet, ExploreOutcome, GmpTarget, Journal, ProtocolSpec, TargetFactory, TcpTarget,
+    TpcTarget,
+};
+
+use crate::proto::{write_reply, CampaignParams, Request, Stream};
+use crate::store::Store;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix domain socket path (removed and re-bound on start).
+    Unix(PathBuf),
+}
+
+/// Daemon launch options.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Store directory (created if missing).
+    pub store: PathBuf,
+    /// Listen address.
+    pub bind: Bind,
+    /// Fleet worker threads (0 = auto-detect).
+    pub jobs: usize,
+}
+
+/// A finished campaign, as `status`/`results` report it. Everything here
+/// is either a pure function of the campaign config (digest, counters,
+/// failures) or clearly-labelled observational statistics.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    digest64: String,
+    executed: usize,
+    rejected: usize,
+    pruned: usize,
+    replayed: usize,
+    crashed: usize,
+    hung: usize,
+    quarantined: usize,
+    corpus: usize,
+    edges: usize,
+    /// Schedules this campaign newly contributed to the shared pool.
+    shared: usize,
+    /// Failure repro artifacts, one text block each.
+    failures: Vec<String>,
+    // -- observational only --
+    snapshot_hits: u64,
+    snapshot_misses: u64,
+    elapsed_ms: u64,
+    dispatched: u64,
+    panics: u64,
+    exit: i32,
+}
+
+impl Summary {
+    fn from_outcome(outcome: &ExploreOutcome, shared: usize) -> Summary {
+        Summary {
+            digest64: outcome.digest64(),
+            executed: outcome.executed,
+            rejected: outcome.rejected,
+            pruned: outcome.pruned,
+            replayed: outcome.replayed,
+            crashed: outcome.crashed,
+            hung: outcome.hung,
+            quarantined: outcome.quarantined.len(),
+            corpus: outcome.corpus.len(),
+            edges: outcome.coverage.len(),
+            shared,
+            failures: outcome.failures.iter().map(|f| f.repro.to_text()).collect(),
+            snapshot_hits: outcome.snapshots.hits,
+            snapshot_misses: outcome.snapshots.misses,
+            exit: exit_code(outcome),
+            ..Summary::default()
+        }
+    }
+
+    fn status_kv(&self) -> String {
+        let hit_rate = if self.snapshot_hits + self.snapshot_misses > 0 {
+            self.snapshot_hits as f64 / (self.snapshot_hits + self.snapshot_misses) as f64 * 100.0
+        } else {
+            0.0
+        };
+        let exec_per_sec = if self.elapsed_ms > 0 {
+            self.executed as f64 / (self.elapsed_ms as f64 / 1e3)
+        } else {
+            0.0
+        };
+        format!(
+            "exit={} digest={} executed={} rejected={} pruned={} replayed={} \
+             crashed={} hung={} quarantined={} failures={} corpus={} edges={} \
+             corpus-shared={} snapshot-hit-rate={hit_rate:.1} exec-per-sec={exec_per_sec:.1} \
+             elapsed-ms={} dispatched={} worker-panics={}",
+            self.exit,
+            self.digest64,
+            self.executed,
+            self.rejected,
+            self.pruned,
+            self.replayed,
+            self.crashed,
+            self.hung,
+            self.quarantined,
+            self.failures.len(),
+            self.corpus,
+            self.edges,
+            self.shared,
+            self.elapsed_ms,
+            self.dispatched,
+            self.panics,
+        )
+    }
+}
+
+/// The standard campaign exit-code contract: violations are findings (1)
+/// and outrank infrastructure trouble (3).
+fn exit_code(outcome: &ExploreOutcome) -> i32 {
+    if !outcome.failures.is_empty() {
+        1
+    } else if outcome.crashed > 0 || outcome.hung > 0 || !outcome.quarantined.is_empty() {
+        3
+    } else {
+        0
+    }
+}
+
+enum CampaignState {
+    Queued,
+    Running { started: Instant },
+    Done(Box<Summary>),
+}
+
+struct CampaignEntry {
+    params: CampaignParams,
+    state: CampaignState,
+}
+
+struct DaemonState {
+    campaigns: BTreeMap<String, CampaignEntry>,
+    queue: VecDeque<String>,
+    next_seq: u64,
+    shutdown: bool,
+    executor_done: bool,
+}
+
+struct Shared {
+    state: Mutex<DaemonState>,
+    cv: Condvar,
+    store: Store,
+}
+
+/// Campaign ids sort `c1 < c2 < … < c10` only with a numeric tiebreak;
+/// keep ordering by sequence number explicit wherever it matters.
+fn seq_of(id: &str) -> u64 {
+    id.strip_prefix('c')
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs the daemon until a `shutdown` request (or an unrecoverable
+/// listener error). Blocks the calling thread.
+pub fn run(opts: DaemonOptions) -> io::Result<()> {
+    let store = Store::open(&opts.store)?;
+    let jobs = match opts.jobs {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        j => j,
+    };
+
+    // Startup scan: rebuild the world from the store. Complete journals
+    // reconstruct without execution; everything else re-enqueues.
+    let mut campaigns = BTreeMap::new();
+    let mut queue: Vec<String> = Vec::new();
+    let mut next_seq = 0;
+    for (id, params) in store.load_index()? {
+        next_seq = next_seq.max(seq_of(&id));
+        let state = match Journal::load(&store.journal_path(&id)) {
+            Ok(journal) if journal.complete => {
+                let outcome = journal.reconstruct();
+                // The pool merge already happened when the campaign first
+                // completed; merging again is a no-op by canonical dedup,
+                // and re-running it here heals a crash that landed between
+                // journal completion and the pool append.
+                let shared = store
+                    .merge_corpus(&params.corpus_key(), &outcome.corpus)
+                    .unwrap_or(0);
+                CampaignState::Done(Box::new(Summary::from_outcome(&outcome, shared)))
+            }
+            _ => {
+                queue.push(id.clone());
+                CampaignState::Queued
+            }
+        };
+        campaigns.insert(id, CampaignEntry { params, state });
+    }
+    queue.sort_by_key(|id| seq_of(id));
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(DaemonState {
+            campaigns,
+            queue: queue.into(),
+            next_seq,
+            shutdown: false,
+            executor_done: false,
+        }),
+        cv: Condvar::new(),
+        store,
+    });
+
+    let executor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || executor_loop(&shared, jobs))
+    };
+
+    enum Listener {
+        Tcp(TcpListener),
+        Unix(UnixListener),
+    }
+    let listener = match &opts.bind {
+        Bind::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Listener::Tcp(l)
+        }
+        Bind::Unix(path) => {
+            std::fs::remove_file(path).ok();
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Listener::Unix(l)
+        }
+    };
+
+    loop {
+        let accepted = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                s.set_nonblocking(false).ok();
+                Stream::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| {
+                s.set_nonblocking(false).ok();
+                Stream::Unix(s)
+            }),
+        };
+        match accepted {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &shared);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                {
+                    let state = shared.state.lock().unwrap();
+                    if state.shutdown && state.executor_done {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if let Bind::Unix(path) = &opts.bind {
+        std::fs::remove_file(path).ok();
+    }
+    executor.join().ok();
+    Ok(())
+}
+
+/// The executor: owns the long-lived fleet, drains the queue one campaign
+/// at a time, finishes the in-flight campaign on shutdown.
+fn executor_loop(shared: &Shared, jobs: usize) {
+    let mut pool = CampaignFleet::new(jobs);
+    loop {
+        let id = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                // Shutdown wins over queued work: queued campaigns stay in
+                // the store and resume on the next start.
+                if state.shutdown {
+                    state.executor_done = true;
+                    shared.cv.notify_all();
+                    drop(state);
+                    pool.shutdown();
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    let entry = state.campaigns.get_mut(&id).unwrap();
+                    entry.state = CampaignState::Running {
+                        started: Instant::now(),
+                    };
+                    break id;
+                }
+                state = shared.cv.wait(state).unwrap();
+            }
+        };
+        let params = shared.state.lock().unwrap().campaigns[&id].params.clone();
+        let started = Instant::now();
+        let summary = run_campaign(&mut pool, &shared.store, &id, &params);
+        let mut summary = summary.unwrap_or_else(|e| Summary {
+            digest64: format!("error: {e}"),
+            exit: 3,
+            ..Summary::default()
+        });
+        summary.elapsed_ms = started.elapsed().as_millis() as u64;
+        let mut state = shared.state.lock().unwrap();
+        state.campaigns.get_mut(&id).unwrap().state = CampaignState::Done(Box::new(summary));
+        shared.cv.notify_all();
+    }
+}
+
+/// Builds the bundled target a submission names.
+fn build_target(params: &CampaignParams) -> (ProtocolSpec, Arc<dyn TargetFactory>) {
+    match params.proto.as_str() {
+        "gmp" => (
+            ProtocolSpec::gmp(),
+            Arc::new(GmpTarget {
+                bugs: if params.buggy {
+                    GmpBugs::all()
+                } else {
+                    GmpBugs::none()
+                },
+                fault_secs: params.fault_secs,
+            }),
+        ),
+        "tpc" => (ProtocolSpec::two_phase_commit(), Arc::new(TpcTarget)),
+        _ => (ProtocolSpec::tcp(), Arc::new(TcpTarget::default())),
+    }
+}
+
+/// Runs (or resumes) one campaign on the shared pool and merges its
+/// corpus into the target's pool file.
+fn run_campaign(
+    pool: &mut CampaignFleet,
+    store: &Store,
+    id: &str,
+    params: &CampaignParams,
+) -> io::Result<Summary> {
+    let (spec, factory) = build_target(params);
+    let mut cfg = params.to_config();
+    cfg.seed_corpus = store.read_seeds(id)?;
+    let journal_path = store.journal_path(id);
+    match Journal::load(&journal_path) {
+        Ok(journal) if journal.complete => {
+            // Fully finished before a crash; reconstruct, don't re-run.
+            let outcome = journal.reconstruct();
+            let shared = store.merge_corpus(&params.corpus_key(), &outcome.corpus)?;
+            return Ok(Summary::from_outcome(&outcome, shared));
+        }
+        Ok(journal) => cfg.resume = Some(journal),
+        Err(_) => {} // no journal yet (or unreadable): fresh run
+    }
+    cfg.journal = Some(journal_path);
+
+    let before = pool.report();
+    let outcome = pool.explore(factory, &spec, &cfg);
+    let after = pool.report();
+    let shared = store.merge_corpus(&params.corpus_key(), &outcome.corpus)?;
+
+    let mut summary = Summary::from_outcome(&outcome, shared);
+    summary.dispatched = after.dispatched - before.dispatched;
+    summary.panics = after.panics() - before.panics();
+    Ok(summary)
+}
+
+/// Live progress for a running campaign, read from its in-progress
+/// write-ahead journal via the torn-tail-tolerant loader: completed
+/// cases, distinct coverage edges so far, dispatch-queue depth, and
+/// exec/s over elapsed wall time.
+fn live_status_kv(store: &Store, id: &str, started: Instant) -> String {
+    let elapsed = started.elapsed();
+    let (executed, edges, queued) = match std::fs::read_to_string(store.journal_path(id))
+        .ok()
+        .and_then(|text| Journal::from_text(&text).ok())
+    {
+        Some(journal) => {
+            let edges: BTreeSet<&str> = journal
+                .cases
+                .iter()
+                .flat_map(|c| c.coverage.iter().map(String::as_str))
+                .collect();
+            let done: BTreeSet<String> = journal.cases.iter().map(|c| c.schedule.id()).collect();
+            let queued = journal
+                .dispatched
+                .iter()
+                .filter(|d| !done.contains(*d))
+                .count();
+            (journal.cases.len(), edges.len(), queued)
+        }
+        None => (0, 0, 0),
+    };
+    let exec_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        executed as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    format!(
+        "executed={executed} edges={edges} queue-depth={queued} \
+         exec-per-sec={exec_per_sec:.1} elapsed-ms={}",
+        elapsed.as_millis()
+    )
+}
+
+/// Serves one client connection until EOF.
+fn handle_connection(stream: Stream, shared: &Shared) -> io::Result<()> {
+    let mut writer = match &stream {
+        Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                write_reply(&mut writer, false, &e, None)?;
+                continue;
+            }
+        };
+        match handle_request(&req, shared, &mut writer) {
+            Ok(done) if done => return Ok(()),
+            Ok(_) => {}
+            Err(e) => {
+                let _ = write_reply(&mut writer, false, &format!("internal: {e}"), None);
+            }
+        }
+    }
+}
+
+/// Handles one request; returns `Ok(true)` when the connection should
+/// close (after `shutdown`).
+fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Result<bool> {
+    match req {
+        Request::Ping => write_reply(w, true, "pong", None)?,
+
+        Request::Submit(params) => {
+            let id = {
+                let mut state = shared.state.lock().unwrap();
+                if state.shutdown {
+                    write_reply(w, false, "daemon is shutting down", None)?;
+                    return Ok(false);
+                }
+                state.next_seq += 1;
+                format!("c{}", state.next_seq)
+            };
+            // Durability order: seeds, then index (fsynced), then ack.
+            let seeds = if params.share_corpus {
+                shared.store.read_corpus(&params.corpus_key())?
+            } else {
+                Vec::new()
+            };
+            shared.store.write_seeds(&id, &seeds)?;
+            shared.store.append_index(&id, params)?;
+            let mut state = shared.state.lock().unwrap();
+            state.campaigns.insert(
+                id.clone(),
+                CampaignEntry {
+                    params: params.clone(),
+                    state: CampaignState::Queued,
+                },
+            );
+            state.queue.push_back(id.clone());
+            shared.cv.notify_all();
+            drop(state);
+            write_reply(w, true, &format!("id={id} seeds={}", seeds.len()), None)?;
+        }
+
+        Request::Status { id } => {
+            let state = shared.state.lock().unwrap();
+            let mut ids: Vec<&String> = match id {
+                Some(id) => {
+                    if !state.campaigns.contains_key(id) {
+                        drop(state);
+                        write_reply(w, false, &format!("unknown campaign {id}"), None)?;
+                        return Ok(false);
+                    }
+                    vec![id]
+                }
+                None => state.campaigns.keys().collect(),
+            };
+            ids.sort_by_key(|id| seq_of(id));
+            let lines: Vec<String> = ids
+                .iter()
+                .map(|id| {
+                    let entry = &state.campaigns[*id];
+                    let (word, kv) = match &entry.state {
+                        CampaignState::Queued => ("queued", String::new()),
+                        CampaignState::Running { started } => {
+                            ("running", live_status_kv(&shared.store, id, *started))
+                        }
+                        CampaignState::Done(s) => ("done", s.status_kv()),
+                    };
+                    let sep = if kv.is_empty() { "" } else { " " };
+                    format!("{id} state={word} proto={}{sep}{kv}", entry.params.proto)
+                })
+                .collect();
+            let head = format!("campaigns={}", lines.len());
+            drop(state);
+            write_reply(w, true, &head, Some(&lines))?;
+        }
+
+        Request::Results { id } => {
+            let state = shared.state.lock().unwrap();
+            match state.campaigns.get(id).map(|e| &e.state) {
+                Some(CampaignState::Done(summary)) => {
+                    let mut lines = vec![
+                        format!("digest {}", summary.digest64),
+                        format!(
+                            "counters executed={} rejected={} pruned={} replayed={} \
+                             crashed={} hung={} quarantined={}",
+                            summary.executed,
+                            summary.rejected,
+                            summary.pruned,
+                            summary.replayed,
+                            summary.crashed,
+                            summary.hung,
+                            summary.quarantined,
+                        ),
+                        format!(
+                            "corpus kept={} shared={} edges={}",
+                            summary.corpus, summary.shared, summary.edges
+                        ),
+                    ];
+                    for (i, repro) in summary.failures.iter().enumerate() {
+                        lines.push(format!("failure {i}"));
+                        lines.extend(repro.lines().map(str::to_string));
+                    }
+                    let head = format!("exit={} failures={}", summary.exit, summary.failures.len());
+                    drop(state);
+                    write_reply(w, true, &head, Some(&lines))?;
+                }
+                Some(_) => {
+                    drop(state);
+                    write_reply(w, false, &format!("campaign {id} is not finished"), None)?;
+                }
+                None => {
+                    drop(state);
+                    write_reply(w, false, &format!("unknown campaign {id}"), None)?;
+                }
+            }
+        }
+
+        Request::Corpus { key } => {
+            let pool = shared.store.read_corpus(key)?;
+            let lines: Vec<String> = pool.iter().map(|s| s.id()).collect();
+            write_reply(w, true, &format!("schedules={}", lines.len()), Some(&lines))?;
+        }
+
+        Request::Wait { id } => {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                match state.campaigns.get(id).map(|e| &e.state) {
+                    Some(CampaignState::Done(summary)) => {
+                        let head = format!("exit={} digest={}", summary.exit, summary.digest64);
+                        drop(state);
+                        write_reply(w, true, &head, None)?;
+                        break;
+                    }
+                    Some(_) => {
+                        if state.shutdown && state.executor_done {
+                            drop(state);
+                            write_reply(w, false, "daemon stopped before completion", None)?;
+                            break;
+                        }
+                        state = shared.cv.wait(state).unwrap();
+                    }
+                    None => {
+                        drop(state);
+                        write_reply(w, false, &format!("unknown campaign {id}"), None)?;
+                        break;
+                    }
+                }
+            }
+        }
+
+        Request::Shutdown => {
+            let mut state = shared.state.lock().unwrap();
+            state.shutdown = true;
+            shared.cv.notify_all();
+            drop(state);
+            write_reply(w, true, "stopping", None)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}

@@ -1,0 +1,496 @@
+//! The pfi-serve wire protocol: line-oriented text over TCP or a Unix
+//! socket, usable with nothing fancier than `nc`.
+//!
+//! Grammar (one request per line; `k=v` tokens separated by spaces):
+//!
+//! ```text
+//! request  = "submit" SP params | "status" [SP "id=" ID] | "results" SP "id=" ID
+//!          | "corpus" SP "key=" KEY | "wait" SP "id=" ID | "ping" | "shutdown"
+//! params   = "proto=" NAME SP "seed=" N SP "budget=" N SP "max-faults=" N
+//!            SP "epoch=" N SP "buggy=" B SP "fault-secs=" N SP "prefilter=" B
+//!            SP "pruning=" B SP "snapshots=" B SP "step-budget=" N
+//!            SP "share-corpus=" B
+//! reply    = ("ok" [SP kv*] | "err" SP message) NL [payload]
+//! payload  = *(line NL) "." NL        ; only for status / results / corpus
+//! ```
+//!
+//! Payload lines are dot-stuffed (a line starting with `.` is sent as
+//! `..`), and the payload is terminated by a lone `.` — the SMTP framing,
+//! chosen because repro artifacts are multi-line free text. Whether a
+//! reply carries a payload is a function of the *request* verb, so the
+//! client never guesses.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use pfi_testgen::ExploreConfig;
+
+/// Everything that identifies a campaign submission. The daemon persists
+/// exactly these fields in its store index, so a restart can rebuild the
+/// [`ExploreConfig`] and target byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignParams {
+    /// Bundled protocol: `gmp`, `tcp`, or `tpc`.
+    pub proto: String,
+    /// Use the implementation with the paper's seeded bugs (gmp only).
+    pub buggy: bool,
+    /// Fault window length in virtual seconds (gmp only; 60 is the grid
+    /// default, 5 the loop-heavy corpus used by the pruning experiments).
+    pub fault_secs: u64,
+    /// Exploration RNG seed.
+    pub seed: u64,
+    /// Mutation budget.
+    pub budget: usize,
+    /// Max faults per candidate schedule.
+    pub max_faults: usize,
+    /// Candidates per dispatch epoch.
+    pub epoch: usize,
+    /// Reject statically-invalid candidates before dispatch.
+    pub prefilter: bool,
+    /// Skip candidates whose canonical schedule already executed.
+    pub pruning: bool,
+    /// Fork candidate worlds from cached snapshots.
+    pub snapshots: bool,
+    /// Interpreter step budget per filter script (0 = default).
+    pub step_budget: u64,
+    /// Seed this campaign with the store's shared corpus pool for the
+    /// same target (snapshotted at submission time, so a resume replays
+    /// the identical seed set even if the pool has grown since).
+    pub share_corpus: bool,
+}
+
+impl Default for CampaignParams {
+    fn default() -> Self {
+        let cfg = ExploreConfig::default();
+        CampaignParams {
+            proto: "gmp".to_string(),
+            buggy: false,
+            fault_secs: 60,
+            seed: cfg.seed,
+            budget: cfg.budget,
+            max_faults: cfg.max_faults,
+            epoch: cfg.epoch,
+            prefilter: cfg.prefilter,
+            pruning: cfg.pruning,
+            snapshots: cfg.snapshots,
+            step_budget: cfg.step_budget,
+            share_corpus: false,
+        }
+    }
+}
+
+impl CampaignParams {
+    /// The `k=v` wire/index form, stable field order.
+    pub fn to_kv(&self) -> String {
+        format!(
+            "proto={} seed={} budget={} max-faults={} epoch={} buggy={} \
+             fault-secs={} prefilter={} pruning={} snapshots={} \
+             step-budget={} share-corpus={}",
+            self.proto,
+            self.seed,
+            self.budget,
+            self.max_faults,
+            self.epoch,
+            self.buggy as u8,
+            self.fault_secs,
+            self.prefilter as u8,
+            self.pruning as u8,
+            self.snapshots as u8,
+            self.step_budget,
+            self.share_corpus as u8,
+        )
+    }
+
+    /// Parses the [`to_kv`](CampaignParams::to_kv) form. Strict: every
+    /// field must be present, so a half-written (torn) index line can
+    /// never parse into a campaign with silently-defaulted fields.
+    pub fn from_kv(kv: &str) -> Result<Self, String> {
+        let map = parse_kv(kv);
+        let get = |k: &str| {
+            map.get(k)
+                .copied()
+                .ok_or_else(|| format!("missing {k}= in campaign params"))
+        };
+        let num = |k: &str| {
+            get(k)?
+                .parse::<u64>()
+                .map_err(|_| format!("bad {k}= value"))
+        };
+        let boolean = |k: &str| {
+            Ok::<bool, String>(match get(k)? {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                other => return Err(format!("bad {k}={other}")),
+            })
+        };
+        let proto = get("proto")?.to_string();
+        if !matches!(proto.as_str(), "gmp" | "tcp" | "tpc") {
+            return Err(format!(
+                "unknown proto {proto:?} (expected gmp, tcp, or tpc)"
+            ));
+        }
+        Ok(CampaignParams {
+            proto,
+            seed: num("seed")?,
+            budget: num("budget")? as usize,
+            max_faults: num("max-faults")? as usize,
+            epoch: (num("epoch")? as usize).max(1),
+            buggy: boolean("buggy")?,
+            fault_secs: num("fault-secs")?,
+            prefilter: boolean("prefilter")?,
+            pruning: boolean("pruning")?,
+            snapshots: boolean("snapshots")?,
+            step_budget: num("step-budget")?,
+            share_corpus: boolean("share-corpus")?,
+        })
+    }
+
+    /// The corpus-pool key: campaigns share seed schedules only with
+    /// campaigns exploring the *same* target build.
+    pub fn corpus_key(&self) -> String {
+        let mut key = self.proto.clone();
+        if self.buggy {
+            key.push_str("-buggy");
+        }
+        if self.proto == "gmp" && self.fault_secs != 60 {
+            key.push_str(&format!("-fs{}", self.fault_secs));
+        }
+        key
+    }
+
+    /// The exploration config these params pin (seed corpus, journal, and
+    /// resume state are the daemon's to attach).
+    pub fn to_config(&self) -> ExploreConfig {
+        ExploreConfig {
+            seed: self.seed,
+            budget: self.budget,
+            max_faults: self.max_faults,
+            epoch: self.epoch,
+            prefilter: self.prefilter,
+            pruning: self.pruning,
+            snapshots: self.snapshots,
+            step_budget: self.step_budget,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Queue a campaign; replies `ok id=cN`.
+    Submit(CampaignParams),
+    /// One status payload line per campaign (or just the named one).
+    Status { id: Option<String> },
+    /// The full result artifact of a finished campaign.
+    Results { id: String },
+    /// The shared corpus pool for a target key, one schedule per line.
+    Corpus { key: String },
+    /// Block until the campaign finishes; replies `ok exit=N digest=D`.
+    Wait { id: String },
+    /// Liveness probe; replies `ok pong`.
+    Ping,
+    /// Finish the running campaign, then exit. Queued campaigns stay in
+    /// the store and resume on the next start.
+    Shutdown,
+}
+
+impl Request {
+    /// Whether the *reply* to this request carries a dot-terminated
+    /// payload block.
+    pub fn has_payload(&self) -> bool {
+        matches!(
+            self,
+            Request::Status { .. } | Request::Results { .. } | Request::Corpus { .. }
+        )
+    }
+
+    /// The wire form.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Submit(p) => format!("submit {}", p.to_kv()),
+            Request::Status { id: None } => "status".to_string(),
+            Request::Status { id: Some(id) } => format!("status id={id}"),
+            Request::Results { id } => format!("results id={id}"),
+            Request::Corpus { key } => format!("corpus key={key}"),
+            Request::Wait { id } => format!("wait id={id}"),
+            Request::Ping => "ping".to_string(),
+            Request::Shutdown => "shutdown".to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let map = parse_kv(rest);
+        let id = |required: bool| -> Result<Option<String>, String> {
+            match map.get("id") {
+                Some(v) => Ok(Some(v.to_string())),
+                None if required => Err(format!("{verb} needs id=cN")),
+                None => Ok(None),
+            }
+        };
+        match verb {
+            "submit" => Ok(Request::Submit(CampaignParams::from_kv(rest)?)),
+            "status" => Ok(Request::Status { id: id(false)? }),
+            "results" => Ok(Request::Results {
+                id: id(true)?.unwrap(),
+            }),
+            "corpus" => Ok(Request::Corpus {
+                key: map
+                    .get("key")
+                    .map(|k| k.to_string())
+                    .ok_or("corpus needs key=<target>")?,
+            }),
+            "wait" => Ok(Request::Wait {
+                id: id(true)?.unwrap(),
+            }),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
+/// Splits `k=v k=v …` into a map; tokens without `=` are ignored.
+pub fn parse_kv(s: &str) -> BTreeMap<&str, &str> {
+    s.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+/// A parsed reply: the head line plus (when the request promised one) the
+/// un-dot-stuffed payload lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// `true` for `ok`, `false` for `err`.
+    pub ok: bool,
+    /// The rest of the head line: `k=v` pairs on `ok`, message on `err`.
+    pub head: String,
+    /// Payload lines (empty unless the request has a payload reply).
+    pub payload: Vec<String>,
+}
+
+impl Reply {
+    /// Looks up a `k=v` value in the head line.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        parse_kv(&self.head).get(key).copied()
+    }
+}
+
+/// Writes a reply: head line, then (if `Some`) the dot-stuffed payload.
+pub fn write_reply<W: Write>(
+    w: &mut W,
+    ok: bool,
+    head: &str,
+    payload: Option<&[String]>,
+) -> io::Result<()> {
+    if head.is_empty() {
+        writeln!(w, "{}", if ok { "ok" } else { "err" })?;
+    } else {
+        writeln!(w, "{} {}", if ok { "ok" } else { "err" }, head)?;
+    }
+    if let Some(lines) = payload {
+        for line in lines {
+            if line.starts_with('.') {
+                writeln!(w, ".{line}")?;
+            } else {
+                writeln!(w, "{line}")?;
+            }
+        }
+        writeln!(w, ".")?;
+    }
+    w.flush()
+}
+
+/// Reads one reply; `expect_payload` must mirror
+/// [`Request::has_payload`] for the request that elicited it (an `err`
+/// head never carries a payload).
+pub fn read_reply<R: BufRead>(r: &mut R, expect_payload: bool) -> io::Result<Reply> {
+    let mut head = String::new();
+    if r.read_line(&mut head)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before reply",
+        ));
+    }
+    let line = head.trim_end().to_string();
+    let (ok, head) = match line.split_once(' ') {
+        Some(("ok", rest)) => (true, rest.to_string()),
+        Some(("err", rest)) => (false, rest.to_string()),
+        None if line == "ok" => (true, String::new()),
+        None if line == "err" => (false, String::new()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed reply head {line:?}"),
+            ))
+        }
+    };
+    let mut payload = Vec::new();
+    if ok && expect_payload {
+        loop {
+            let mut line = String::new();
+            if r.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-payload",
+                ));
+            }
+            let line = line.trim_end_matches('\n');
+            if line == "." {
+                break;
+            }
+            payload.push(
+                line.strip_prefix('.')
+                    .map(str::to_string)
+                    .unwrap_or_else(|| line.to_string()),
+            );
+        }
+    }
+    Ok(Reply { ok, head, payload })
+}
+
+/// A client connection to a daemon, TCP or Unix socket.
+pub enum Stream {
+    /// TCP (`host:port`).
+    Tcp(TcpStream),
+    /// Unix domain socket (a filesystem path).
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A request/reply client over one daemon connection.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `addr`: anything containing `/` — or without the `:`
+    /// a TCP `host:port` must carry — is a Unix socket path.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let (reader, writer) = if addr.contains('/') || !addr.contains(':') {
+            let s = UnixStream::connect(addr)?;
+            (Stream::Unix(s.try_clone()?), Stream::Unix(s))
+        } else {
+            let s = TcpStream::connect(addr)?;
+            (Stream::Tcp(s.try_clone()?), Stream::Tcp(s))
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its reply.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        writeln!(self.writer, "{}", req.render())?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader, req.has_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_round_trip_through_kv() {
+        let mut p = CampaignParams {
+            proto: "gmp".into(),
+            buggy: true,
+            fault_secs: 5,
+            seed: 42,
+            budget: 1024,
+            max_faults: 2,
+            epoch: 8,
+            prefilter: false,
+            pruning: false,
+            snapshots: false,
+            step_budget: 7,
+            share_corpus: true,
+        };
+        assert_eq!(CampaignParams::from_kv(&p.to_kv()).unwrap(), p);
+        p.buggy = false;
+        assert_eq!(CampaignParams::from_kv(&p.to_kv()).unwrap(), p);
+        assert_eq!(p.corpus_key(), "gmp-fs5");
+        p.fault_secs = 60;
+        assert_eq!(p.corpus_key(), "gmp");
+    }
+
+    #[test]
+    fn torn_params_refuse_to_parse() {
+        let full = CampaignParams::default().to_kv();
+        let torn = &full[..full.len() / 2];
+        assert!(CampaignParams::from_kv(torn).is_err());
+        assert!(CampaignParams::from_kv("proto=smtp seed=1").is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(CampaignParams::default()),
+            Request::Status { id: None },
+            Request::Status {
+                id: Some("c3".into()),
+            },
+            Request::Results { id: "c1".into() },
+            Request::Corpus { key: "gmp".into() },
+            Request::Wait { id: "c9".into() },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        }
+        assert!(Request::parse("frobnicate").is_err());
+        assert!(Request::parse("results").is_err());
+    }
+
+    #[test]
+    fn payload_framing_dot_stuffs() {
+        let lines = vec![
+            "plain".to_string(),
+            ".starts-with-dot".to_string(),
+            String::new(),
+            "..double".to_string(),
+        ];
+        let mut wire = Vec::new();
+        write_reply(&mut wire, true, "n=4", Some(&lines)).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let reply = read_reply(&mut r, true).unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.get("n"), Some("4"));
+        assert_eq!(reply.payload, lines);
+    }
+}

@@ -1,0 +1,256 @@
+//! The daemon's journal-backed store: one directory holding everything a
+//! restart needs to resume every in-flight campaign byte-for-byte.
+//!
+//! Layout (all plain text, all torn-tail tolerant):
+//!
+//! ```text
+//! store.index        append-only: one `campaign <id> <params kv>` line
+//!                    per accepted submission, fsynced before the submit
+//!                    is acknowledged
+//! <id>.journal       the campaign's pfi-journal v1 write-ahead journal
+//!                    (crash-safe; a missing `complete` terminator marks
+//!                    the campaign as unfinished and resumable)
+//! <id>.seeds         the seed-corpus snapshot taken at submission, one
+//!                    schedule per line (` + `-joined fault lines);
+//!                    written before the index line so an indexed
+//!                    campaign always has its pinned seeds
+//! corpus-<key>       the shared corpus pool for one target build,
+//!                    deduplicated by canonical schedule — the
+//!                    cross-campaign minimization pass
+//! ```
+//!
+//! Identity lives in the index + seeds; progress lives in the journal.
+//! A SIGKILL can tear at most the trailing line of whichever file was
+//! being appended, and every reader here (and the journal loader) drops
+//! an unparseable tail instead of failing.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use pfi_testgen::FaultSchedule;
+
+use crate::proto::CampaignParams;
+
+/// Handle on a store directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `store.index` path.
+    pub fn index_path(&self) -> PathBuf {
+        self.dir.join("store.index")
+    }
+
+    /// A campaign's journal path.
+    pub fn journal_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.journal"))
+    }
+
+    /// A campaign's pinned seed-corpus path.
+    pub fn seeds_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.seeds"))
+    }
+
+    /// A target key's shared corpus-pool path.
+    pub fn corpus_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("corpus-{key}"))
+    }
+
+    /// Appends one submission to the index and fsyncs. Only after this
+    /// returns may the daemon acknowledge the submit — an unacknowledged
+    /// (torn) line fails the strict params parse and is skipped on load.
+    pub fn append_index(&self, id: &str, params: &CampaignParams) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.index_path())?;
+        writeln!(f, "campaign {id} {}", params.to_kv())?;
+        f.sync_all()
+    }
+
+    /// Loads the index: every fully-written submission, in order.
+    pub fn load_index(&self) -> io::Result<Vec<(String, CampaignParams)>> {
+        let text = match fs::read_to_string(self.index_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("campaign ") else {
+                continue; // torn or foreign line
+            };
+            let Some((id, kv)) = rest.split_once(' ') else {
+                continue;
+            };
+            if let Ok(params) = CampaignParams::from_kv(kv) {
+                out.push((id.to_string(), params));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a campaign's pinned seed corpus (one schedule per line) and
+    /// fsyncs. Empty baselines are never seeds.
+    pub fn write_seeds(&self, id: &str, seeds: &[FaultSchedule]) -> io::Result<()> {
+        let mut f = File::create(self.seeds_path(id))?;
+        for s in seeds.iter().filter(|s| !s.is_empty()) {
+            writeln!(f, "{}", s.id())?;
+        }
+        f.sync_all()
+    }
+
+    /// Reads a campaign's pinned seed corpus; a missing file is an empty
+    /// corpus (the campaign was submitted without `share-corpus`).
+    pub fn read_seeds(&self, id: &str) -> io::Result<Vec<FaultSchedule>> {
+        read_schedule_lines(&self.seeds_path(id))
+    }
+
+    /// Reads a target key's shared corpus pool.
+    pub fn read_corpus(&self, key: &str) -> io::Result<Vec<FaultSchedule>> {
+        read_schedule_lines(&self.corpus_path(key))
+    }
+
+    /// Merges a finished campaign's corpus into the target's shared pool,
+    /// the cross-campaign dedup/minimization pass: a schedule joins the
+    /// pool only if no pool schedule already has its canonical form, so
+    /// equivalent discoveries from different campaigns collapse to one
+    /// seed. Returns how many schedules were actually added. Append-only
+    /// and fsynced; pool order is deterministic in campaign completion
+    /// order.
+    pub fn merge_corpus(&self, key: &str, corpus: &[FaultSchedule]) -> io::Result<usize> {
+        let existing = self.read_corpus(key)?;
+        let mut seen: std::collections::BTreeSet<String> =
+            existing.iter().map(|s| s.canonical_id()).collect();
+        let fresh: Vec<&FaultSchedule> = corpus
+            .iter()
+            .filter(|s| !s.is_empty() && seen.insert(s.canonical_id()))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.corpus_path(key))?;
+        for s in &fresh {
+            writeln!(f, "{}", s.id())?;
+        }
+        f.sync_all()?;
+        Ok(fresh.len())
+    }
+}
+
+/// Reads one-schedule-per-line files (` + `-joined fault lines, the
+/// `FaultSchedule::id()` form). Unparseable lines — at worst one torn
+/// tail — are dropped.
+fn read_schedule_lines(path: &Path) -> io::Result<Vec<FaultSchedule>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(|line| FaultSchedule::from_lines(line.split(" + ")).ok())
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pfi_store_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn index_round_trips_and_skips_torn_tail() {
+        let dir = tmp("index");
+        fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let p1 = CampaignParams::default();
+        let p2 = CampaignParams {
+            seed: 7,
+            share_corpus: true,
+            ..CampaignParams::default()
+        };
+        store.append_index("c1", &p1).unwrap();
+        store.append_index("c2", &p2).unwrap();
+        // Simulate a SIGKILL mid-append: a torn trailing line.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store.index_path())
+            .unwrap();
+        write!(f, "campaign c3 proto=gmp seed=9").unwrap();
+        drop(f);
+        let loaded = store.load_index().unwrap();
+        assert_eq!(
+            loaded,
+            vec![("c1".to_string(), p1), ("c2".to_string(), p2)],
+            "the torn c3 line must be dropped, not half-parsed"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_pool_dedups_by_canonical_schedule() {
+        let dir = tmp("corpus");
+        fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let a = FaultSchedule::from_lines(["n1 send drop-all HEARTBEAT"]).unwrap();
+        let b = FaultSchedule::from_lines(["n0 recv delay-ms ACK 250"]).unwrap();
+        // Same canonical form as `a` composed with `b`, opposite order.
+        let ab = FaultSchedule {
+            faults: [a.faults.clone(), b.faults.clone()].concat(),
+        };
+        let ba = FaultSchedule {
+            faults: [b.faults.clone(), a.faults.clone()].concat(),
+        };
+        assert_eq!(ab.canonical_id(), ba.canonical_id());
+        assert_eq!(store.merge_corpus("gmp", &[a.clone(), ab]).unwrap(), 2);
+        assert_eq!(
+            store
+                .merge_corpus("gmp", &[a.clone(), ba, b.clone()])
+                .unwrap(),
+            1,
+            "only the genuinely new schedule may join the pool"
+        );
+        let pool = store.read_corpus("gmp").unwrap();
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool[0], a);
+        assert_eq!(pool[2], b);
+        assert!(store.read_corpus("tcp").unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeds_round_trip_and_drop_baseline() {
+        let dir = tmp("seeds");
+        fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let s = FaultSchedule::from_lines(["n2 recv drop-nth JOIN 2"]).unwrap();
+        store
+            .write_seeds("c1", &[FaultSchedule::empty(), s.clone()])
+            .unwrap();
+        assert_eq!(store.read_seeds("c1").unwrap(), vec![s]);
+        assert!(store.read_seeds("c9").unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

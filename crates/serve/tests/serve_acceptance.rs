@@ -1,0 +1,264 @@
+//! End-to-end daemon acceptance: a real `pfi-serve` process on a Unix
+//! socket, driven over the wire protocol.
+//!
+//! The two contracts pinned here are the tentpole's acceptance criteria:
+//!
+//! 1. A campaign run through the daemon is byte-identical (by outcome
+//!    digest) to the same campaign run in-process with [`explore`] —
+//!    the daemon adds persistence, never different results — and corpus
+//!    sharing seeds follow-up campaigns deterministically.
+//! 2. SIGKILL mid-campaign loses nothing: a restarted daemon resumes
+//!    every in-flight campaign — the one that was running (from its torn
+//!    journal, replaying completed cases) and the ones still queued —
+//!    to the same digests an uninterrupted daemon would have produced.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pfi_serve::proto::{parse_kv, Client, Request};
+use pfi_serve::CampaignParams;
+use pfi_testgen::{explore, ExploreConfig, FaultSchedule, GmpTarget, ProtocolSpec};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pfi_serve_{}_{name}", std::process::id()))
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(store: &Path, socket: &Path) -> Daemon {
+        std::fs::remove_file(socket).ok();
+        let child = Command::new(env!("CARGO_BIN_EXE_pfi-serve"))
+            .args([
+                "start",
+                "--store",
+                store.to_str().unwrap(),
+                "--socket",
+                socket.to_str().unwrap(),
+                "--jobs",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pfi-serve");
+        Daemon {
+            child,
+            socket: socket.to_path_buf(),
+        }
+    }
+
+    /// Connects, retrying until the daemon has bound its socket.
+    fn client(&self) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(mut c) = Client::connect(self.socket.to_str().unwrap()) {
+                if c.call(&Request::Ping).map(|r| r.ok).unwrap_or(false) {
+                    return c;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not come up within 30s"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn shutdown_and_join(mut self) {
+        let _ = self.client().call(&Request::Shutdown);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(Some(_)) = self.child.try_wait() {
+                return;
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit within 30s");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL the daemon");
+        self.child.wait().ok();
+    }
+}
+
+fn params(seed: u64, budget: usize) -> CampaignParams {
+    CampaignParams {
+        seed,
+        budget,
+        max_faults: 3,
+        epoch: 8,
+        ..CampaignParams::default()
+    }
+}
+
+/// The in-process reference for a daemon campaign: same config, same
+/// seed corpus, no persistence.
+fn inline_digest(p: &CampaignParams, seeds: Vec<FaultSchedule>) -> String {
+    let mut cfg: ExploreConfig = p.to_config();
+    cfg.seed_corpus = seeds;
+    let target = GmpTarget {
+        fault_secs: p.fault_secs,
+        ..GmpTarget::default()
+    };
+    explore(&target, &ProtocolSpec::gmp(), &cfg).digest64()
+}
+
+fn submit(client: &mut Client, p: &CampaignParams) -> String {
+    let reply = client.call(&Request::Submit(p.clone())).unwrap();
+    assert!(reply.ok, "submit refused: {}", reply.head);
+    reply.get("id").unwrap().to_string()
+}
+
+fn wait_digest(client: &mut Client, id: &str) -> (i32, String) {
+    let reply = client.call(&Request::Wait { id: id.into() }).unwrap();
+    assert!(reply.ok, "wait failed: {}", reply.head);
+    (
+        reply.get("exit").unwrap().parse().unwrap(),
+        reply.get("digest").unwrap().to_string(),
+    )
+}
+
+#[test]
+fn daemon_matches_inline_exploration_and_shares_corpus() {
+    let store = tmp("roundtrip_store");
+    let socket = tmp("roundtrip.sock");
+    std::fs::remove_dir_all(&store).ok();
+    let daemon = Daemon::start(&store, &socket);
+    let mut client = daemon.client();
+
+    // Campaign 1: no seeds.
+    let p1 = params(42, 24);
+    let id1 = submit(&mut client, &p1);
+    assert_eq!(id1, "c1");
+    let (exit1, digest1) = wait_digest(&mut client, &id1);
+    assert_eq!(digest1, inline_digest(&p1, Vec::new()));
+    let results = client.call(&Request::Results { id: id1.clone() }).unwrap();
+    assert!(results.ok);
+    assert_eq!(results.get("exit").unwrap().parse::<i32>().unwrap(), exit1);
+    assert!(results.payload[0].starts_with("digest "));
+    assert!(results.payload[1].starts_with("counters executed="));
+
+    // Its corpus entered the shared pool (minus the baseline).
+    let pool = client.call(&Request::Corpus { key: "gmp".into() }).unwrap();
+    assert!(pool.ok);
+    assert!(
+        !pool.payload.is_empty(),
+        "campaign 1's corpus must seed the shared pool"
+    );
+    let seeds: Vec<FaultSchedule> = pool
+        .payload
+        .iter()
+        .map(|l| FaultSchedule::from_lines(l.split(" + ")).unwrap())
+        .collect();
+
+    // Campaign 2: different seed, seeded from the pool. The daemon must
+    // reproduce exactly the inline exploration fed the same seeds.
+    let p2 = CampaignParams {
+        share_corpus: true,
+        ..params(7, 24)
+    };
+    let id2 = submit(&mut client, &p2);
+    let (_, digest2) = wait_digest(&mut client, &id2);
+    assert_eq!(digest2, inline_digest(&p2, seeds));
+    assert_ne!(digest2, digest1);
+
+    // The done-state status line carries the live-stats satellite fields.
+    let status = client.call(&Request::Status { id: Some(id2) }).unwrap();
+    assert!(status.ok);
+    let line = &status.payload[0];
+    for key in [
+        "state=done",
+        "exec-per-sec=",
+        "snapshot-hit-rate=",
+        "worker-panics=",
+        "pruned=",
+        "edges=",
+    ] {
+        assert!(line.contains(key), "status line missing {key}: {line}");
+    }
+
+    daemon.shutdown_and_join();
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn sigkill_mid_campaign_restart_resumes_every_in_flight_campaign() {
+    let store = tmp("kill_store");
+    let socket = tmp("kill.sock");
+    let socket2 = tmp("kill2.sock");
+    std::fs::remove_dir_all(&store).ok();
+    let daemon = Daemon::start(&store, &socket);
+    let mut client = daemon.client();
+
+    // c1 is big enough to be mid-flight when the kill lands; c2 sits
+    // queued behind it — "every in-flight campaign" covers both.
+    let p1 = params(42, 64);
+    let p2 = params(5, 16);
+    let id1 = submit(&mut client, &p1);
+    let id2 = submit(&mut client, &p2);
+
+    // Poll live status until c1 has journaled real progress, so the torn
+    // journal is guaranteed to contain completed cases worth replaying.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client
+            .call(&Request::Status {
+                id: Some(id1.clone()),
+            })
+            .unwrap();
+        let line = &status.payload[0];
+        let kv = parse_kv(line);
+        let executed: usize = kv.get("executed").and_then(|v| v.parse().ok()).unwrap_or(0);
+        if kv.get("state") == Some(&"running") && executed >= 4 {
+            break;
+        }
+        assert!(
+            kv.get("state") != Some(&"done"),
+            "campaign finished before the kill could land; raise its budget"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "campaign never reached 4 journaled cases"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.kill();
+
+    // Restart over the same store (different socket to prove nothing is
+    // address-bound). Both campaigns must finish: c1 resumed from its
+    // torn journal, c2 run from its queued submission.
+    let daemon = Daemon::start(&store, &socket2);
+    let mut client = daemon.client();
+    let (_, digest1) = wait_digest(&mut client, &id1);
+    let (_, digest2) = wait_digest(&mut client, &id2);
+    assert_eq!(
+        digest1,
+        inline_digest(&p1, Vec::new()),
+        "resumed campaign must be byte-identical to an uninterrupted one"
+    );
+    assert_eq!(digest2, inline_digest(&p2, Vec::new()));
+
+    // The resumed campaign replayed its journaled prefix instead of
+    // re-executing it.
+    let results = client.call(&Request::Results { id: id1 }).unwrap();
+    let counters = parse_kv(
+        results.payload[1]
+            .strip_prefix("counters ")
+            .expect("counters line"),
+    );
+    let replayed: usize = counters.get("replayed").unwrap().parse().unwrap();
+    assert!(
+        replayed >= 4,
+        "the ≥4 journaled cases must be replayed, not re-executed (got {replayed})"
+    );
+
+    daemon.shutdown_and_join();
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&socket).ok();
+}

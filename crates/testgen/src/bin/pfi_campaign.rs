@@ -49,12 +49,18 @@ FLAGS:
     --budget N        exploration mutation budget
     --epoch N         candidates per dispatch epoch (determinism unit; outcomes
                       depend on it, never on --jobs; 1 = classic sequential walk)
+    --max-faults N    cap on faults per generated schedule (outcome input)
     --jobs N          worker threads; 0 or omitted auto-detects the host's
                       available parallelism. Any value yields byte-identical
                       campaign results (the resolved count is printed, shown
                       in --stats, and recorded in the journal)
     --no-prefilter    run statically-invalid candidates instead of rejecting them
                       up front (same digest either way; used by CI to prove it)
+    --no-pruning      execute candidates even when an equivalent canonical
+                      schedule already ran (same digest either way — pruning
+                      only ever saves executions; CI diffs the modes)
+    --fault-secs N    gmp fault-window length in virtual seconds (default 60;
+                      5 is the loop-heavy corpus the pruning experiments use)
     --snapshots       fork candidate runs from cached world snapshots instead of
                       replaying shared schedule prefixes (default; same digest
                       either way — CI diffs the two modes to prove it)
@@ -76,6 +82,14 @@ FLAGS:
                       a message — exercises crash containment (CI resilience)
     --stats           print the fleet execution report (workers, exec/sec, queues)
     --digest          print a one-line outcome digest (for golden comparisons)
+    --serve ADDR      don't run locally: submit the exploration to a running
+                      pfi-serve daemon (host:port, or a Unix socket path
+                      containing '/'), wait for it, print its results, and
+                      exit with the campaign's usual exit code. --share-corpus
+                      seeds it from the daemon's corpus pool; --journal,
+                      --resume, and --jobs are the daemon's business and are
+                      ignored
+    --share-corpus    (with --serve) seed from the daemon's shared corpus pool
     --help            this text
 
 EXIT CODES:
@@ -139,6 +153,7 @@ fn main() {
             Arc::new(target)
         }
     }
+    let fault_secs = flag_value("--fault-secs").unwrap_or(60);
     let factory: Arc<dyn TargetFactory> = match proto {
         "gmp" => sabotage(
             GmpTarget {
@@ -147,7 +162,7 @@ fn main() {
                 } else {
                     GmpBugs::none()
                 },
-                fault_secs: 60,
+                fault_secs,
             },
             inject_panic,
         ),
@@ -166,8 +181,14 @@ fn main() {
         if let Some(epoch) = flag_value("--epoch") {
             config.epoch = (epoch as usize).max(1);
         }
+        if let Some(max_faults) = flag_value("--max-faults") {
+            config.max_faults = (max_faults as usize).max(1);
+        }
         if args.iter().any(|a| a == "--no-prefilter") {
             config.prefilter = false;
+        }
+        if args.iter().any(|a| a == "--no-pruning") {
+            config.pruning = false;
         }
         if args.iter().any(|a| a == "--no-snapshots") {
             config.snapshots = false;
@@ -199,6 +220,22 @@ fn main() {
                 }
             }
         }
+        // `--serve` hands the whole campaign to a daemon: the local
+        // process becomes a thin client with the same exit-code contract.
+        if let Some(addr) = args
+            .iter()
+            .position(|a| a == "--serve")
+            .and_then(|i| args.get(i + 1))
+        {
+            serve_shim(
+                addr,
+                proto,
+                buggy,
+                fault_secs,
+                args.iter().any(|a| a == "--share-corpus"),
+                &config,
+            );
+        }
         if !digest {
             println!(
                 "exploring {} (seed {}, budget {}, ≤{} faults per schedule, epoch {}, {} job(s))…\n",
@@ -219,7 +256,7 @@ fn main() {
             );
         } else {
             println!(
-                "ran {} schedules; corpus kept {} ({} coverage edges); {} candidate(s) rejected as uninstallable{}",
+                "ran {} schedules; corpus kept {} ({} coverage edges); {} candidate(s) rejected as uninstallable{}; {} pruned as equivalent",
                 outcome.executed,
                 outcome.corpus.len(),
                 outcome.coverage.len(),
@@ -228,7 +265,8 @@ fn main() {
                     " before dispatch"
                 } else {
                     " at install time"
-                }
+                },
+                outcome.pruned,
             );
             if outcome.replayed > 0 {
                 println!(
@@ -353,4 +391,109 @@ fn main() {
     if infra > 0 {
         std::process::exit(3);
     }
+}
+
+/// Submits the exploration to a pfi-serve daemon and relays its result.
+///
+/// This speaks the daemon's line protocol directly (pfi-serve depends on
+/// this crate, so the dependency cannot point the other way): one
+/// `submit` with the full campaign identity, a blocking `wait`, then
+/// `results` — a dot-terminated payload block — printed verbatim. Exits
+/// with the campaign's exit code (0 clean / 1 violations / 3
+/// infrastructure), exactly as a local run would.
+fn serve_shim(
+    addr: &str,
+    proto: &str,
+    buggy: bool,
+    fault_secs: u64,
+    share_corpus: bool,
+    config: &ExploreConfig,
+) -> ! {
+    use std::io::{BufRead, BufReader, Write};
+
+    trait Rw: std::io::Read + std::io::Write {}
+    impl<T: std::io::Read + std::io::Write> Rw for T {}
+
+    let die = |msg: String| -> ! {
+        eprintln!("--serve {addr}: {msg}");
+        std::process::exit(3);
+    };
+    // Anything with '/' — or without the ':' a host:port must carry —
+    // is a Unix socket path; the rest is TCP.
+    let stream: Box<dyn Rw> = if addr.contains('/') || !addr.contains(':') {
+        match std::os::unix::net::UnixStream::connect(addr) {
+            Ok(s) => Box::new(s),
+            Err(e) => die(format!("cannot connect: {e}")),
+        }
+    } else {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => Box::new(s),
+            Err(e) => die(format!("cannot connect: {e}")),
+        }
+    };
+    let mut conn = BufReader::new(stream);
+    let send = |conn: &mut BufReader<Box<dyn Rw>>, line: String| {
+        if let Err(e) = writeln!(conn.get_mut(), "{line}").and_then(|_| conn.get_mut().flush()) {
+            die(format!("send failed: {e}"));
+        }
+    };
+    let read_line = |conn: &mut BufReader<Box<dyn Rw>>| -> String {
+        let mut line = String::new();
+        match conn.read_line(&mut line) {
+            Ok(0) => die("daemon closed the connection".to_string()),
+            Ok(_) => line.trim_end().to_string(),
+            Err(e) => die(format!("read failed: {e}")),
+        }
+    };
+    let expect_ok = |head: &str| {
+        if !(head == "ok" || head.starts_with("ok ")) {
+            die(format!("daemon refused: {head}"));
+        }
+    };
+    let kv = |head: &str, key: &str| -> Option<String> {
+        head.split_whitespace()
+            .filter_map(|tok| tok.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.to_string())
+    };
+
+    send(
+        &mut conn,
+        format!(
+            "submit proto={proto} seed={} budget={} max-faults={} epoch={} buggy={} \
+             fault-secs={fault_secs} prefilter={} pruning={} snapshots={} \
+             step-budget={} share-corpus={}",
+            config.seed,
+            config.budget,
+            config.max_faults,
+            config.epoch,
+            buggy as u8,
+            config.prefilter as u8,
+            config.pruning as u8,
+            config.snapshots as u8,
+            config.step_budget,
+            share_corpus as u8,
+        ),
+    );
+    let head = read_line(&mut conn);
+    expect_ok(&head);
+    let id = kv(&head, "id").unwrap_or_else(|| die("daemon reply carried no id".to_string()));
+    println!("submitted {id} to {addr}; waiting…");
+
+    send(&mut conn, format!("wait id={id}"));
+    let head = read_line(&mut conn);
+    expect_ok(&head);
+    let exit: i32 = kv(&head, "exit").and_then(|e| e.parse().ok()).unwrap_or(3);
+
+    send(&mut conn, format!("results id={id}"));
+    let head = read_line(&mut conn);
+    expect_ok(&head);
+    loop {
+        let line = read_line(&mut conn);
+        if line == "." {
+            break;
+        }
+        println!("{}", line.strip_prefix('.').unwrap_or(&line));
+    }
+    std::process::exit(exit);
 }

@@ -40,7 +40,9 @@ use pfi_fleet::{Fleet, FleetReport, JobRunner, DEFAULT_MAX_RETRIES};
 use pfi_sim::SimRng;
 
 use crate::coverage::Coverage;
-use crate::journal::{Journal, JournalCase, JournalMeta, JournalQuarantine, JournalWriter};
+use crate::journal::{
+    Journal, JournalCase, JournalCounters, JournalMeta, JournalQuarantine, JournalWriter,
+};
 use crate::repro::Repro;
 use crate::runner::{
     panic_text, run_schedule_limited, run_schedule_snapshotted, RunLimits, ScheduleRun,
@@ -78,6 +80,35 @@ pub struct ExploreConfig {
     /// unfiltered engine runs the candidate just to watch it refuse
     /// installation). Default `true`.
     pub prefilter: bool,
+    /// Equivalence pruning: skip candidates whose *canonical form*
+    /// ([`FaultSchedule::canonical`] — faults stably sorted by
+    /// `(site, dir)`, which provably preserves the lowered scripts and
+    /// therefore the run) already executed with a non-violating verdict.
+    /// Such a candidate would replay a byte-identical run whose coverage
+    /// the campaign has already merged, so skipping it changes nothing
+    /// the campaign finds: corpus, coverage, failures — the whole digest —
+    /// are byte-identical with pruning on or off (pinned in CI like
+    /// `--no-prefilter`); only `executed` shrinks, by exactly the
+    /// `pruned` count. Violating equivalents still execute (delta
+    /// debugging a permuted fault vector can minimize to a *different*
+    /// 1-minimal schedule, a distinct failure the unpruned engine would
+    /// report), candidates are never pruned against others of the same
+    /// epoch batch (only against merge-settled results), and only
+    /// candidates passing the install predicate
+    /// ([`crate::validate::schedule_is_installable`]) are canonicalized
+    /// at all, so `rejected` accounting is untouched. Default `true`.
+    pub pruning: bool,
+    /// Schedules to execute before the budgeted search begins — a corpus
+    /// pool carried over from earlier campaigns against the same target
+    /// (the pfi-serve store shares coverage-novel schedules across
+    /// campaigns keyed by their snapshot prefix digests). Seeds run
+    /// through the ordinary dispatch/merge machinery (journaled,
+    /// replayable, prunable) right after the baseline: coverage-novel
+    /// ones join the corpus and steer parent selection from epoch one.
+    /// They count toward `executed` but consume no mutation budget and no
+    /// RNG draws. Identity: the journal records a digest of the seed ids,
+    /// and resume must be handed the same seeds. Default empty.
+    pub seed_corpus: Vec<FaultSchedule>,
     /// How many times a candidate whose execution *panics* (escaping the
     /// runner's own containment) is retried before it is quarantined and
     /// its lineage dropped. Fleet workers retry with exponential virtual
@@ -143,10 +174,34 @@ impl ExploreConfig {
             max_faults: self.max_faults,
             epoch: self.epoch,
             prefilter: self.prefilter,
+            pruning: self.pruning,
+            seed_corpus: seed_corpus_digest(&self.seed_corpus),
             step_budget: self.step_budget,
             max_retries: self.max_retries,
         }
     }
+}
+
+/// FNV-1a digest over the seed-corpus schedule ids (newline-separated);
+/// `0` for an empty seed corpus. This is the `seed-corpus` identity line
+/// of the campaign journal: two campaigns handed different seed schedules
+/// are different campaigns.
+pub fn seed_corpus_digest(seeds: &[FaultSchedule]) -> u64 {
+    if seeds.is_empty() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for s in seeds {
+        for b in s.id().bytes() {
+            mix(b);
+        }
+        mix(b'\n');
+    }
+    h
 }
 
 /// The default epoch width: wide enough to keep a handful of workers busy,
@@ -161,6 +216,8 @@ impl Default for ExploreConfig {
             max_faults: 3,
             epoch: DEFAULT_EPOCH,
             prefilter: true,
+            pruning: true,
+            seed_corpus: Vec::new(),
             max_retries: DEFAULT_MAX_RETRIES,
             step_budget: 0,
             snapshots: true,
@@ -211,6 +268,13 @@ pub struct ExploreOutcome {
     /// candidates are refused either way; with the pre-filter on they
     /// never consume a worker.
     pub rejected: usize,
+    /// Candidates skipped by equivalence pruning
+    /// ([`ExploreConfig::pruning`]): their canonical form already
+    /// executed with a non-violating verdict, so running them would have
+    /// replayed a byte-identical run and merged nothing new. Each one is
+    /// an execution the unpruned engine pays for the same digest
+    /// (`executed_off == executed_on + pruned_on`).
+    pub pruned: usize,
     /// How many of the `executed` results were replayed from a resume
     /// journal instead of re-executed. An uninterrupted campaign reports
     /// 0; a resumed one reports the work the interruption did not lose.
@@ -475,21 +539,50 @@ impl EpochRunner for InlineEpochs<'_> {
     }
 }
 
+/// Everything a fleet worker needs to execute one campaign's candidates —
+/// attached to each dispatched job so the *same* long-lived worker pool
+/// serves campaign after campaign (different targets, limits, and cache
+/// settings) without respawning threads. Target construction from the
+/// factory is cheap plain-data cloning; the expensive world build happens
+/// inside the run (and rides the dispatched snapshot when one is
+/// attached).
+struct CampaignContext {
+    factory: Arc<dyn TargetFactory>,
+    limits: RunLimits,
+    cache: Option<usize>,
+}
+
+/// One candidate paired with its campaign context, crossing the fleet's
+/// thread boundary.
+#[derive(Clone)]
+struct FleetJob {
+    job: CandidateJob,
+    ctx: Arc<CampaignContext>,
+}
+
 /// Fan-out across a worker fleet. Candidates cross the thread boundary as
 /// typed [`FaultSchedule`]s (plain data, `Send` — no text round-trip);
 /// reports come back `Send`. Jobs whose worker dies repeatedly come back
 /// as supervisor quarantine errors instead of aborting the epoch.
-struct FleetEpochs {
-    fleet: Fleet<CandidateJob, CandidateReport>,
+struct FleetEpochs<'a> {
+    fleet: &'a mut Fleet<FleetJob, CandidateReport>,
+    ctx: Arc<CampaignContext>,
 }
 
-impl EpochRunner for FleetEpochs {
+impl EpochRunner for FleetEpochs<'_> {
     fn run_epoch(&mut self, batch: Vec<CandidateJob>) -> Vec<EpochResult> {
+        let jobs: Vec<FleetJob> = batch
+            .iter()
+            .map(|job| FleetJob {
+                job: job.clone(),
+                ctx: Arc::clone(&self.ctx),
+            })
+            .collect();
         // `run_epoch_checked` returns items in dispatch (seq) order, which
         // is exactly `batch` order — zip to recover each job's schedule
         // without threading it through the failure path.
         self.fleet
-            .run_epoch_checked(batch.clone())
+            .run_epoch_checked(jobs)
             .into_iter()
             .zip(batch)
             .map(|(item, job)| match item.result {
@@ -512,6 +605,72 @@ impl EpochRunner for FleetEpochs {
 
     fn workers(&self) -> usize {
         self.fleet.workers()
+    }
+}
+
+/// A long-lived campaign worker pool: one [`pfi_fleet::Fleet`] whose
+/// threads outlive any single exploration, serving submitted campaigns
+/// back to back — the execution tier under the pfi-serve daemon. Each
+/// campaign hands its own target factory and limits along with every
+/// dispatched candidate, so consecutive campaigns may target different
+/// protocols entirely. Outcomes are byte-identical to a fresh
+/// [`explore_fleet`] (or inline [`explore`]) at the same config: the pool
+/// carries no campaign state across [`explore`](CampaignFleet::explore)
+/// calls, only warm threads and cumulative statistics.
+pub struct CampaignFleet {
+    fleet: Fleet<FleetJob, CandidateReport>,
+}
+
+impl CampaignFleet {
+    /// Spawns a pool of `jobs` worker threads (0 is clamped to 1).
+    pub fn new(jobs: usize) -> Self {
+        let fleet: Fleet<FleetJob, CandidateReport> = Fleet::new(jobs, |_worker| {
+            Box::new(|fj: FleetJob| {
+                let target = fj.ctx.factory.make();
+                candidate_report(target.as_ref(), fj.job, &fj.ctx.limits, fj.ctx.cache)
+            }) as Box<dyn JobRunner<FleetJob, CandidateReport>>
+        });
+        CampaignFleet { fleet }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.fleet.workers()
+    }
+
+    /// Runs one campaign on the pool. Byte-identical to [`explore`] /
+    /// [`explore_fleet`] at the same config, for any pool size and any
+    /// number of campaigns run before it.
+    pub fn explore(
+        &mut self,
+        factory: Arc<dyn TargetFactory>,
+        spec: &ProtocolSpec,
+        config: &ExploreConfig,
+    ) -> ExploreOutcome {
+        self.fleet.set_max_retries(config.max_retries);
+        let master = factory.make();
+        let ctx = Arc::new(CampaignContext {
+            factory,
+            limits: config.limits(),
+            cache: config.cache(),
+        });
+        let mut epochs = FleetEpochs {
+            fleet: &mut self.fleet,
+            ctx,
+        };
+        explore_with(master.as_ref(), &mut epochs, spec, config)
+    }
+
+    /// Cumulative pool statistics since construction (non-consuming; the
+    /// pool keeps running). Per-campaign accounting (`rejected`, `pruned`)
+    /// lives on each campaign's [`ExploreOutcome`], not here.
+    pub fn report(&self) -> FleetReport {
+        self.fleet.report()
+    }
+
+    /// Stops the workers and returns the final cumulative statistics.
+    pub fn shutdown(self) -> FleetReport {
+        self.fleet.shutdown()
     }
 }
 
@@ -657,26 +816,47 @@ fn explore_with(
     let mut rejected = 0usize;
 
     let sites = master.fault_sites();
+    let mut pruned = 0usize;
+    // Canonical ids of merge-settled, non-violating results — what
+    // equivalence pruning skips duplicates of. Updated only at merge
+    // time, so candidates are never pruned against siblings of their own
+    // epoch batch (which would race the canonical merge order).
+    let mut settled = std::collections::BTreeSet::new();
+    let mut seeds_pending = !config.seed_corpus.is_empty();
     let mut attempted = 0usize;
-    while attempted < config.budget {
-        // Generate the epoch serially against the epoch-start corpus.
-        // One parent is drawn per epoch and every candidate of the batch
-        // mutates *it* — batched corpus scheduling: siblings share the
-        // parent's schedule prefix, so the whole batch forks off one
-        // dispatched snapshot. An epoch consumes up to `epoch` mutation
-        // *attempts* (a mutant that re-derives an already-seen schedule
-        // still consumes budget but is not re-run), which at `epoch == 1`
-        // reproduces the classic sequential explorer's RNG stream
-        // exactly: one parent draw per attempt.
+    while seeds_pending || attempted < config.budget {
         let mut batch: Vec<FaultSchedule> = Vec::new();
-        let parent = corpus[rng.uniform_u64(0, corpus.len() as u64) as usize].clone();
-        let mut batch_attempts = 0usize;
-        while attempted < config.budget && batch_attempts < config.epoch {
-            batch_attempts += 1;
-            attempted += 1;
-            let candidate = mutator.mutate(&parent, config.max_faults, &mut rng);
-            if seen.insert(candidate.id()) {
-                batch.push(candidate);
+        if seeds_pending {
+            // The seed corpus is the zeroth batch: schedules carried over
+            // from earlier campaigns run through the ordinary dispatch
+            // and merge machinery (journaled, replayable, prunable), so
+            // coverage-novel ones steer parent selection from epoch one.
+            // They consume no mutation budget and no RNG draws.
+            seeds_pending = false;
+            for s in &config.seed_corpus {
+                if !s.is_empty() && seen.insert(s.id()) {
+                    batch.push(s.clone());
+                }
+            }
+        } else {
+            // Generate the epoch serially against the epoch-start corpus.
+            // One parent is drawn per epoch and every candidate of the batch
+            // mutates *it* — batched corpus scheduling: siblings share the
+            // parent's schedule prefix, so the whole batch forks off one
+            // dispatched snapshot. An epoch consumes up to `epoch` mutation
+            // *attempts* (a mutant that re-derives an already-seen schedule
+            // still consumes budget but is not re-run), which at `epoch == 1`
+            // reproduces the classic sequential explorer's RNG stream
+            // exactly: one parent draw per attempt.
+            let parent = corpus[rng.uniform_u64(0, corpus.len() as u64) as usize].clone();
+            let mut batch_attempts = 0usize;
+            while attempted < config.budget && batch_attempts < config.epoch {
+                batch_attempts += 1;
+                attempted += 1;
+                let candidate = mutator.mutate(&parent, config.max_faults, &mut rng);
+                if seen.insert(candidate.id()) {
+                    batch.push(candidate);
+                }
             }
         }
         // Static pre-filter: drop uninstallable candidates before they
@@ -690,6 +870,27 @@ fn explore_with(
                     rejected += 1;
                 }
                 ok
+            });
+        }
+        // Equivalence pruning: a candidate whose canonical form already
+        // executed (with a non-violating verdict) would replay a
+        // byte-identical run and merge nothing — skip it. Uninstallable
+        // candidates are never canonicalized (with the pre-filter off
+        // they must still reach the runner and be refused there, keeping
+        // `rejected` identical in every mode), and violating equivalence
+        // classes are deliberately absent from `settled` (delta-debugging
+        // a permuted fault vector can minimize to a different 1-minimal
+        // failure the unpruned engine would report).
+        if config.pruning {
+            batch.retain(|candidate| {
+                if !crate::validate::schedule_is_installable(candidate, sites) {
+                    return true;
+                }
+                if settled.contains(&candidate.canonical_id()) {
+                    pruned += 1;
+                    return false;
+                }
+                true
             });
         }
         if batch.is_empty() {
@@ -780,6 +981,12 @@ fn explore_with(
                 journal_record(writer.as_mut(), &report, None);
                 continue;
             }
+            if !report.run.verdict.is_violation() {
+                // This equivalence class is settled: any later candidate
+                // canonicalizing to the same form would replay this very
+                // run. Violating classes stay unpruned (see above).
+                settled.insert(report.schedule.canonical_id());
+            }
             if coverage.merge(&report.run.coverage) > 0 {
                 corpus.push(report.schedule.clone());
                 epochs.note_novel(report.worker);
@@ -841,6 +1048,18 @@ fn explore_with(
     }
 
     if let Some(w) = writer.as_mut() {
+        // The counters line is non-identity (a resumed run reports its
+        // own `replayed`), written last so `results`-style tooling can
+        // read the final accounting without replaying the campaign.
+        w.counters(&JournalCounters {
+            executed,
+            rejected,
+            pruned,
+            replayed,
+            crashed,
+            hung,
+        })
+        .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
         w.complete()
             .unwrap_or_else(|e| panic!("cannot append to campaign journal: {e}"));
     }
@@ -855,6 +1074,7 @@ fn explore_with(
         failures,
         executed,
         rejected,
+        pruned,
         replayed,
         crashed,
         hung,
@@ -891,20 +1111,11 @@ pub fn explore_fleet(
     config: &ExploreConfig,
     jobs: usize,
 ) -> (ExploreOutcome, FleetReport) {
-    let master = factory.make();
-    let worker_factory = Arc::clone(&factory);
-    let limits = config.limits();
-    let cache = config.cache();
-    let mut fleet: Fleet<CandidateJob, CandidateReport> = Fleet::new(jobs, move |_worker| {
-        let target = worker_factory.make();
-        Box::new(move |job: CandidateJob| candidate_report(target.as_ref(), job, &limits, cache))
-            as Box<dyn JobRunner<CandidateJob, CandidateReport>>
-    });
-    fleet.set_max_retries(config.max_retries);
-    let mut epochs = FleetEpochs { fleet };
-    let outcome = explore_with(master.as_ref(), &mut epochs, spec, config);
-    let mut report = epochs.fleet.shutdown();
+    let mut pool = CampaignFleet::new(jobs);
+    let outcome = pool.explore(factory, spec, config);
+    let mut report = pool.shutdown();
     report.rejected = outcome.rejected as u64;
+    report.pruned = outcome.pruned as u64;
     (outcome, report)
 }
 

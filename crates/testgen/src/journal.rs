@@ -28,6 +28,8 @@
 //! max-faults 3
 //! epoch 8
 //! prefilter true
+//! pruning true
+//! seed-corpus 0000000000000000
 //! step-budget 0
 //! max-retries 2
 //! jobs 4
@@ -48,15 +50,18 @@
 //! shrink-runs 3
 //! message n1 declared itself dead
 //! case end
+//! counters executed=27 rejected=2 pruned=0 replayed=0 crashed=0 hung=0
 //! complete
 //! ```
 //!
 //! The `jobs` line records the resolved worker count of the run that
-//! wrote the journal, and the `snapshots` line whether it used
-//! snapshot/fork execution (and the LRU capacity) — statistics for the
-//! campaign record, not identity: outcomes depend on neither, so resume
-//! neither checks them nor requires them to match, and they are the only
-//! journal lines that may differ between runs of the same campaign. `dispatch` lines are the
+//! wrote the journal, the `snapshots` line whether it used snapshot/fork
+//! execution (and the LRU capacity), and the `counters` line the final
+//! campaign counters — statistics for the campaign record, not identity:
+//! outcomes depend on none of them, so resume neither checks them nor
+//! requires them to match, and they are the only journal lines that may
+//! differ between runs of the same campaign (a resumed run's `counters`
+//! line reports its own nonzero `replayed`). `dispatch` lines are the
 //! write-*ahead* part: the id of every candidate
 //! is journaled before its epoch executes, so an interrupted journal names
 //! the work that was in flight when the process died. `case` blocks are
@@ -106,6 +111,16 @@ pub struct JournalMeta {
     pub epoch: usize,
     /// Whether static pre-filtering was on.
     pub prefilter: bool,
+    /// Whether equivalence pruning was on. Identity, exactly like
+    /// `prefilter`: pruning changes the `executed` accounting and which
+    /// candidates the journal records, so a journal recorded with it on
+    /// must resume with it on.
+    pub pruning: bool,
+    /// FNV-1a digest of the seed-corpus schedule ids (0 when the campaign
+    /// started from the bare baseline). Identity: a campaign seeded with a
+    /// different corpus walks a different space, so resume must be handed
+    /// the same seed schedules.
+    pub seed_corpus: u64,
     /// Interpreter step budget (0 = interpreter default).
     pub step_budget: u64,
     /// Panic-retry budget per candidate before quarantine.
@@ -141,6 +156,30 @@ pub struct JournalCase {
     /// Shrink results, when the run violated an oracle (the baseline is
     /// never shrunk, so a violated baseline legitimately lacks this).
     pub shrink: Option<JournalShrink>,
+}
+
+/// The campaign's final counters, journaled as one non-identity line just
+/// before the `complete` marker so `results`-style tooling (the pfi-serve
+/// daemon's store) can report them after a restart without replaying the
+/// campaign. Like `jobs` and `snapshots`, resume never compares this line:
+/// `replayed` legitimately differs between an uninterrupted run (0) and a
+/// resumed one, so counters are excluded from journal byte-equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalCounters {
+    /// Schedules that actually ran (baseline + novel mutants + shrink and
+    /// confirmation re-runs).
+    pub executed: usize,
+    /// Candidates refused as uninstallable.
+    pub rejected: usize,
+    /// Candidates skipped because their canonical form already executed
+    /// with a non-violating verdict.
+    pub pruned: usize,
+    /// Results replayed from a resume journal instead of re-executed.
+    pub replayed: usize,
+    /// Runs whose target or oracle panicked (contained).
+    pub crashed: usize,
+    /// Runs a runaway-run watchdog cut short.
+    pub hung: usize,
 }
 
 /// One candidate the worker supervisor quarantined: it panicked on every
@@ -180,6 +219,11 @@ pub struct Journal {
     pub cases: Vec<JournalCase>,
     /// Quarantined candidates, in merge order.
     pub quarantined: Vec<JournalQuarantine>,
+    /// The final counters, written just before `complete` — the third
+    /// non-identity line class (after `jobs` and `snapshots`): a resumed
+    /// run reports its own `replayed`, so this line may differ between
+    /// runs of the same campaign and is excluded from byte-equality.
+    pub counters: Option<JournalCounters>,
     /// Whether the journal ends with the `complete` marker — the campaign
     /// ran to its full budget.
     pub complete: bool,
@@ -206,9 +250,21 @@ fn render_meta(meta: &JournalMeta) -> String {
     let _ = writeln!(out, "max-faults {}", meta.max_faults);
     let _ = writeln!(out, "epoch {}", meta.epoch);
     let _ = writeln!(out, "prefilter {}", meta.prefilter);
+    let _ = writeln!(out, "pruning {}", meta.pruning);
+    let _ = writeln!(out, "seed-corpus {:016x}", meta.seed_corpus);
     let _ = writeln!(out, "step-budget {}", meta.step_budget);
     let _ = writeln!(out, "max-retries {}", meta.max_retries);
     out
+}
+
+/// The number of metadata lines [`render_meta`] writes after the header.
+const META_LINES: usize = 11;
+
+fn render_counters(c: &JournalCounters) -> String {
+    format!(
+        "counters executed={} rejected={} pruned={} replayed={} crashed={} hung={}\n",
+        c.executed, c.rejected, c.pruned, c.replayed, c.crashed, c.hung
+    )
 }
 
 fn render_case(case: &JournalCase) -> String {
@@ -268,6 +324,7 @@ impl Journal {
             dispatched: Vec::new(),
             cases: Vec::new(),
             quarantined: Vec::new(),
+            counters: None,
             complete: false,
         }
     }
@@ -305,6 +362,9 @@ impl Journal {
         for q in &self.quarantined {
             out.push_str(&render_quarantine(q));
         }
+        if let Some(c) = &self.counters {
+            out.push_str(&render_counters(c));
+        }
         if self.complete {
             out.push_str("complete\n");
         }
@@ -333,13 +393,19 @@ impl Journal {
         let mut max_faults = None;
         let mut epoch = None;
         let mut prefilter = None;
+        let mut pruning = None;
+        let mut seed_corpus = None;
         let mut step_budget = None;
         let mut max_retries = None;
         let parse_u64 = |field: &str, v: &str| {
             v.parse::<u64>()
                 .map_err(|e| format!("bad {field} {v:?}: {e}"))
         };
-        for _ in 0..9 {
+        let parse_bool = |field: &str, v: &str| {
+            v.parse::<bool>()
+                .map_err(|e| format!("bad {field} {v:?}: {e}"))
+        };
+        for _ in 0..META_LINES {
             let Some(line) = lines.next() else {
                 return Err("journal truncated inside its metadata header".to_string());
             };
@@ -350,10 +416,12 @@ impl Journal {
                 Some(("budget", v)) => budget = Some(parse_u64("budget", v)? as usize),
                 Some(("max-faults", v)) => max_faults = Some(parse_u64("max-faults", v)? as usize),
                 Some(("epoch", v)) => epoch = Some(parse_u64("epoch", v)? as usize),
-                Some(("prefilter", v)) => {
-                    prefilter = Some(
-                        v.parse::<bool>()
-                            .map_err(|e| format!("bad prefilter {v:?}: {e}"))?,
+                Some(("prefilter", v)) => prefilter = Some(parse_bool("prefilter", v)?),
+                Some(("pruning", v)) => pruning = Some(parse_bool("pruning", v)?),
+                Some(("seed-corpus", v)) => {
+                    seed_corpus = Some(
+                        u64::from_str_radix(v, 16)
+                            .map_err(|e| format!("bad seed-corpus {v:?}: {e}"))?,
                     )
                 }
                 Some(("step-budget", v)) => step_budget = Some(parse_u64("step-budget", v)?),
@@ -369,6 +437,8 @@ impl Journal {
             max_faults: max_faults.ok_or("missing max-faults line")?,
             epoch: epoch.ok_or("missing epoch line")?,
             prefilter: prefilter.ok_or("missing prefilter line")?,
+            pruning: pruning.ok_or("missing pruning line")?,
+            seed_corpus: seed_corpus.ok_or("missing seed-corpus line")?,
             step_budget: step_budget.ok_or("missing step-budget line")?,
             max_retries: max_retries.ok_or("missing max-retries line")?,
         };
@@ -397,6 +467,25 @@ impl Journal {
                     Some(("jobs", v)) => {
                         journal.jobs = Some(parse_u64("jobs", v)? as usize);
                     }
+                    Some(("counters", v)) => {
+                        let mut c = JournalCounters::default();
+                        for field in v.split_whitespace() {
+                            let (name, value) = field
+                                .split_once('=')
+                                .ok_or_else(|| format!("bad counters field {field:?}"))?;
+                            let value = parse_u64(name, value)? as usize;
+                            match name {
+                                "executed" => c.executed = value,
+                                "rejected" => c.rejected = value,
+                                "pruned" => c.pruned = value,
+                                "replayed" => c.replayed = value,
+                                "crashed" => c.crashed = value,
+                                "hung" => c.hung = value,
+                                other => return Err(format!("unknown counter {other:?}")),
+                            }
+                        }
+                        journal.counters = Some(c);
+                    }
                     Some(("snapshots", v)) => {
                         let (mode, rest) = v
                             .split_once(' ')
@@ -424,6 +513,67 @@ impl Journal {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
         Self::from_text(&text)
+    }
+
+    /// Rebuilds the campaign outcome the recorded cases merge to —
+    /// **without executing anything**. This replays exactly the merge the
+    /// engine performs (coverage-novel schedules join the corpus in case
+    /// order; cases whose shrink carries a confirmed message are the
+    /// first discoveries of their failure), so for a complete journal the
+    /// reconstructed [`digest`](crate::ExploreOutcome::digest) is
+    /// byte-identical to the live run's. Counters come from the journal's
+    /// `counters` line (zeros when an interrupted journal never wrote
+    /// one); snapshot statistics are not journaled and read as zeros.
+    ///
+    /// This is what lets `pfi-serve results` answer from the store alone
+    /// after a daemon restart.
+    pub fn reconstruct(&self) -> crate::ExploreOutcome {
+        let mut coverage = crate::Coverage::new();
+        let mut corpus: Vec<FaultSchedule> = Vec::new();
+        let mut failures = Vec::new();
+        for case in &self.cases {
+            if case.verdict.is_invalid() {
+                continue;
+            }
+            let novel = coverage.merge(&crate::Coverage::from_edges(case.coverage.clone())) > 0;
+            if corpus.is_empty() || novel {
+                // The first case is the baseline, which the engine always
+                // keeps regardless of novelty.
+                corpus.push(case.schedule.clone());
+            }
+            let Some(shrink) = &case.shrink else { continue };
+            let Some(message) = &shrink.message else {
+                continue; // duplicate of an earlier discovery
+            };
+            let oracle = case.oracle.clone().unwrap_or_else(|| "target".to_string());
+            failures.push(crate::FoundFailure {
+                schedule: case.schedule.clone(),
+                shrunk: shrink.shrunk.clone(),
+                oracle: oracle.clone(),
+                message: message.clone(),
+                repro: crate::Repro {
+                    target: self.meta.target.clone(),
+                    seed: self.meta.world_seed,
+                    oracle,
+                    message: message.clone(),
+                    schedule: shrink.shrunk.clone(),
+                },
+            });
+        }
+        let c = self.counters.unwrap_or_default();
+        crate::ExploreOutcome {
+            corpus,
+            coverage,
+            failures,
+            executed: c.executed,
+            rejected: c.rejected,
+            pruned: c.pruned,
+            replayed: c.replayed,
+            crashed: c.crashed,
+            hung: c.hung,
+            quarantined: self.quarantined.clone(),
+            snapshots: crate::SnapshotStats::default(),
+        }
     }
 }
 
@@ -594,6 +744,12 @@ impl JournalWriter {
         self.append(&render_quarantine(q))
     }
 
+    /// Journals the campaign's final counters (non-identity; written just
+    /// before [`complete`](JournalWriter::complete)).
+    pub fn counters(&mut self, c: &JournalCounters) -> Result<(), String> {
+        self.append(&render_counters(c))
+    }
+
     /// Marks the campaign complete (it ran to its full budget).
     pub fn complete(&mut self) -> Result<(), String> {
         self.append("complete\n")
@@ -636,6 +792,8 @@ mod tests {
                 max_faults: 3,
                 epoch: 8,
                 prefilter: true,
+                pruning: true,
+                seed_corpus: 0,
                 step_budget: 0,
                 max_retries: 2,
             },
@@ -669,6 +827,14 @@ mod tests {
                 attempts: 3,
                 error: "oracle exploded".into(),
             }],
+            counters: Some(JournalCounters {
+                executed: 6,
+                rejected: 1,
+                pruned: 2,
+                replayed: 0,
+                crashed: 0,
+                hung: 0,
+            }),
             complete: true,
         }
     }
@@ -745,6 +911,7 @@ mod tests {
         for q in &journal.quarantined {
             w.quarantine(q).unwrap();
         }
+        w.counters(journal.counters.as_ref().unwrap()).unwrap();
         w.complete().unwrap();
         let bytes = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).unwrap();

@@ -68,12 +68,13 @@ mod validate;
 
 pub use coverage::Coverage;
 pub use explore::{
-    explore, explore_fleet, replay, ExploreConfig, ExploreOutcome, FoundFailure, DEFAULT_EPOCH,
-    DEFAULT_SNAPSHOT_CACHE,
+    explore, explore_fleet, replay, seed_corpus_digest, CampaignFleet, ExploreConfig,
+    ExploreOutcome, FoundFailure, DEFAULT_EPOCH, DEFAULT_SNAPSHOT_CACHE,
 };
 pub use generate::{generate, Campaign, FaultKind, TestCase};
 pub use journal::{
-    Journal, JournalCase, JournalMeta, JournalQuarantine, JournalShrink, JournalWriter,
+    Journal, JournalCase, JournalCounters, JournalMeta, JournalQuarantine, JournalShrink,
+    JournalWriter,
 };
 pub use oracle::{
     first_violation, ChaosPanicOracle, DeliveredStream, GmpAgreementOracle,

@@ -301,6 +301,160 @@ impl FaultSchedule {
         Ok(FaultSchedule { faults })
     }
 
+    /// The schedule's canonical form under execution equivalence. Two
+    /// schedules with the same canonical form produce identical runs —
+    /// same trace, same coverage, same verdict — so the campaign engine
+    /// may skip one when the other already executed
+    /// ([`crate::ExploreConfig::pruning`]). Three rewrites, each proved
+    /// against the filter semantics the runner enforces:
+    ///
+    /// 1. **Window normalization** — `drop-after 0` fires on every
+    ///    instance (`Window::After(0)`: the counter is at least 1 by the
+    ///    first test), which is exactly `drop-all`; the canonical form
+    ///    uses `drop-all`.
+    /// 2. **Dead-verdict elimination** — a filter run evaluates every
+    ///    clause and keeps the *last* verdict written
+    ///    (`Effects::verdict` is a single slot): a verdict-only fault
+    ///    (the drops and delays, which have no side effect besides the
+    ///    verdict) followed by an all-window verdict fault on the same
+    ///    `(site, dir, msg_type)` is overwritten on every message it
+    ///    matches and contributes nothing — it is removed. Faults with
+    ///    non-verdict effects (duplicate copies accumulate, corruption
+    ///    mutates bytes, reorder's release flag survives) are never
+    ///    removed.
+    /// 3. **Commuting-fault sort** — faults stably sorted by
+    ///    `(site, dir, msg_type)`. Send/receive filters are independent
+    ///    interpreters; sites are independent layers; and clauses guard on
+    ///    `msg_type` equality, so a message only ever evaluates clauses of
+    ///    its own type — the relative order of faults targeting different
+    ///    types never matters, while the order of faults on the same
+    ///    `(site, dir, msg_type)` is semantic in general and preserved by
+    ///    the stable sort, except for the two commuting shapes below.
+    /// 4. **Within-group commuters** — duplicate counts accumulate in
+    ///    their own effect slot and corruption XORs bytes in place (XOR
+    ///    commutes; forwarded copies clone the message *after* the whole
+    ///    filter ran), so `duplicate` and `corrupt-byte` faults interact
+    ///    with nothing in their group: they float to a sorted tail of it.
+    ///    And a run of *consecutive* pure-drop faults all write the same
+    ///    `Drop` verdict — a message is dropped iff any of their windows
+    ///    fires, in any order — so each such run is sorted. (Drops
+    ///    separated by a delay do not commute: which verdict lands last
+    ///    depends on the order.)
+    ///
+    /// Only installable schedules are canonicalized by the engine,
+    /// validated with the same
+    /// [`crate::validate::schedule_is_installable`] predicate the runner
+    /// enforces — an uninstallable schedule never runs, so it has no
+    /// behaviour to be equivalent to.
+    pub fn canonical(&self) -> FaultSchedule {
+        let mut faults: Vec<ScheduledFault> = self
+            .faults
+            .iter()
+            .cloned()
+            .map(|mut f| {
+                if let FaultOp::DropAfter { msg_type, after: 0 } = &f.op {
+                    f.op = FaultOp::DropAll {
+                        msg_type: msg_type.clone(),
+                    };
+                }
+                f
+            })
+            .collect();
+        let verdict_only = |f: &ScheduledFault| {
+            matches!(
+                f.op,
+                FaultOp::DropAll { .. }
+                    | FaultOp::DropNth { .. }
+                    | FaultOp::DropAfter { .. }
+                    | FaultOp::DropToDest { .. }
+                    | FaultOp::DelayMs { .. }
+            )
+        };
+        // All-window, unguarded verdict writers: they overwrite the
+        // verdict of every message of their type.
+        let verdict_all =
+            |f: &ScheduledFault| matches!(f.op, FaultOp::DropAll { .. } | FaultOp::DelayMs { .. });
+        let dead: Vec<bool> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                verdict_only(f)
+                    && faults[i + 1..].iter().any(|g| {
+                        g.site == f.site
+                            && g.dir == f.dir
+                            && g.op.msg_type() == f.op.msg_type()
+                            && verdict_all(g)
+                    })
+            })
+            .collect();
+        let mut keep = dead.iter();
+        faults.retain(|_| !*keep.next().unwrap());
+        faults.sort_by(|a, b| {
+            (a.site, matches!(a.dir, Direction::Receive), a.op.msg_type()).cmp(&(
+                b.site,
+                matches!(b.dir, Direction::Receive),
+                b.op.msg_type(),
+            ))
+        });
+
+        // Normalize each (site, dir, msg_type) group: float the commuting
+        // faults (duplicate, corrupt-byte) to a sorted tail, and sort each
+        // maximal run of consecutive pure-drop faults.
+        let commutes = |f: &ScheduledFault| {
+            matches!(
+                f.op,
+                FaultOp::Duplicate { .. } | FaultOp::CorruptByteAt { .. }
+            )
+        };
+        let pure_drop = |f: &ScheduledFault| {
+            matches!(
+                f.op,
+                FaultOp::DropAll { .. }
+                    | FaultOp::DropNth { .. }
+                    | FaultOp::DropAfter { .. }
+                    | FaultOp::DropToDest { .. }
+            )
+        };
+        let mut out: Vec<ScheduledFault> = Vec::with_capacity(faults.len());
+        let mut i = 0;
+        while i < faults.len() {
+            let group_key = |f: &ScheduledFault| {
+                (
+                    f.site,
+                    matches!(f.dir, Direction::Receive),
+                    f.op.msg_type().to_string(),
+                )
+            };
+            let key = group_key(&faults[i]);
+            let mut j = i;
+            while j < faults.len() && group_key(&faults[j]) == key {
+                j += 1;
+            }
+            let (mut chained, mut floating): (Vec<_>, Vec<_>) =
+                faults[i..j].iter().cloned().partition(|f| !commutes(f));
+            floating.sort_by_key(ScheduledFault::to_line);
+            let mut k = 0;
+            while k < chained.len() {
+                let mut run = k;
+                while run < chained.len() && pure_drop(&chained[run]) {
+                    run += 1;
+                }
+                chained[k..run].sort_by_key(ScheduledFault::to_line);
+                k = run.max(k + 1);
+            }
+            out.extend(chained);
+            out.extend(floating);
+            i = j;
+        }
+        FaultSchedule { faults: out }
+    }
+
+    /// The [`id`](FaultSchedule::id) of the [`canonical`](FaultSchedule::canonical)
+    /// form — the equivalence-class key the campaign engine prunes on.
+    pub fn canonical_id(&self) -> String {
+        self.canonical().id()
+    }
+
     /// Lowers the schedule to per-site filter scripts, one entry per fault
     /// site the schedule touches (ascending by site index).
     pub fn lower(&self) -> Vec<SiteScripts> {
@@ -578,6 +732,165 @@ mod tests {
             sa = next;
         }
         assert!(sites_seen.len() > 1, "mutator never moved the fault site");
+    }
+
+    #[test]
+    fn canonicalization_is_behaviour_preserving() {
+        // The equivalence-pruning contract, checked against the actual
+        // runner: every mutator-produced schedule whose canonical form
+        // differs from it still executes to the same verdict, oracle, and
+        // coverage. This is the soundness property pruning rests on — a
+        // canonical collision means the runs were interchangeable.
+        let mutator = ScheduleMutator::new(&ProtocolSpec::gmp(), 3, 3);
+        let mut rng = SimRng::seed_from(1234);
+        let mut parent = FaultSchedule::empty();
+        let target = crate::runner::GmpTarget {
+            fault_secs: 5,
+            ..crate::runner::GmpTarget::default()
+        };
+        let mut rewritten = 0usize;
+        for _ in 0..500 {
+            let child = mutator.mutate(&parent, 4, &mut rng);
+            let canon = child.canonical();
+            // Canonicalization is idempotent, and the key is stable.
+            assert_eq!(canon.canonical(), canon, "{}", child.id());
+            assert_eq!(canon.id(), child.canonical_id());
+            if crate::validate::schedule_is_installable(&child, 3) {
+                if canon != child && rewritten < 60 {
+                    rewritten += 1;
+                    let a = crate::runner::run_schedule(&target, &child);
+                    let b = crate::runner::run_schedule(&target, &canon);
+                    assert_eq!(a.verdict, b.verdict, "{}", child.id());
+                    assert_eq!(a.oracle, b.oracle, "{}", child.id());
+                    assert_eq!(
+                        a.coverage.edges().collect::<Vec<_>>(),
+                        b.coverage.edges().collect::<Vec<_>>(),
+                        "{}",
+                        child.id()
+                    );
+                }
+                parent = child;
+            }
+        }
+        assert!(
+            rewritten > 0,
+            "500 mutations never produced a canonically-rewritten schedule"
+        );
+    }
+
+    #[test]
+    fn canonical_rewrites_pin_the_equivalence_classes() {
+        let fault = |site, dir, op| ScheduledFault { site, dir, op };
+        let a = fault(
+            2,
+            Direction::Receive,
+            FaultOp::DropAll {
+                msg_type: "COMMIT".into(),
+            },
+        );
+        let b = fault(
+            0,
+            Direction::Send,
+            FaultOp::DelayMs {
+                msg_type: "DATA".into(),
+                ms: 250,
+            },
+        );
+
+        // Cross-(site, dir) permutations collapse to one class.
+        let ab = FaultSchedule {
+            faults: vec![a.clone(), b.clone()],
+        };
+        let ba = FaultSchedule {
+            faults: vec![b.clone(), a.clone()],
+        };
+        assert_ne!(ab.id(), ba.id());
+        assert_eq!(ab.canonical_id(), ba.canonical_id());
+
+        // Same (site, dir), different message types commute too: a
+        // message only evaluates clauses guarding its own type.
+        let c = fault(
+            2,
+            Direction::Receive,
+            FaultOp::DropNth {
+                msg_type: "JOIN".into(),
+                nth: 2,
+            },
+        );
+        let ac = FaultSchedule {
+            faults: vec![a.clone(), c.clone()],
+        };
+        let ca = FaultSchedule {
+            faults: vec![c.clone(), a.clone()],
+        };
+        assert_ne!(ac.id(), ca.id());
+        assert_eq!(ac.canonical_id(), ca.canonical_id());
+
+        // Same (site, dir, msg_type): the verdict slot is last-writer-
+        // wins, so two all-window delays collapse to the later one — and
+        // the two orders are genuinely different programs.
+        let d1 = fault(
+            1,
+            Direction::Send,
+            FaultOp::DelayMs {
+                msg_type: "HEARTBEAT".into(),
+                ms: 250,
+            },
+        );
+        let d2 = fault(
+            1,
+            Direction::Send,
+            FaultOp::DelayMs {
+                msg_type: "HEARTBEAT".into(),
+                ms: 1_000,
+            },
+        );
+        let d12 = FaultSchedule {
+            faults: vec![d1.clone(), d2.clone()],
+        };
+        let d21 = FaultSchedule {
+            faults: vec![d2.clone(), d1.clone()],
+        };
+        assert_eq!(d12.canonical(), FaultSchedule { faults: vec![d2] });
+        assert_eq!(d21.canonical(), FaultSchedule { faults: vec![d1] });
+        assert_ne!(d12.canonical_id(), d21.canonical_id());
+
+        // drop-after 0 normalizes to drop-all, and a non-verdict fault
+        // (duplicate) is never eliminated by a later all-window verdict.
+        let after0 = FaultSchedule {
+            faults: vec![fault(
+                0,
+                Direction::Send,
+                FaultOp::DropAfter {
+                    msg_type: "DATA".into(),
+                    after: 0,
+                },
+            )],
+        };
+        let drop_all = FaultSchedule {
+            faults: vec![fault(
+                0,
+                Direction::Send,
+                FaultOp::DropAll {
+                    msg_type: "DATA".into(),
+                },
+            )],
+        };
+        assert_eq!(after0.canonical_id(), drop_all.canonical_id());
+        let dup_then_drop = FaultSchedule {
+            faults: vec![
+                fault(
+                    0,
+                    Direction::Send,
+                    FaultOp::Duplicate {
+                        msg_type: "DATA".into(),
+                        copies: 1,
+                    },
+                ),
+                drop_all.faults[0].clone(),
+            ],
+        };
+        assert_eq!(dup_then_drop.canonical().len(), 2);
     }
 
     #[test]

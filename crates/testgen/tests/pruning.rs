@@ -1,0 +1,180 @@
+//! Equivalence pruning end-to-end: skipping candidates whose canonical
+//! schedule was already executed must be a pure execution-saving measure —
+//! byte-identical corpus, coverage, and repro digests with pruning on or
+//! off, at any worker count — while the saved executions surface in the
+//! new `pruned` counter and round-trip through the journal.
+
+use std::sync::Arc;
+
+use pfi_testgen::{
+    explore, explore_fleet, CampaignFleet, ExploreConfig, GmpTarget, Journal, ProtocolSpec,
+};
+
+/// The loop-heavy target: short post-fault horizon, so big-budget
+/// campaigns (where canonical collisions actually occur) stay fast.
+fn heavy() -> GmpTarget {
+    GmpTarget {
+        fault_secs: 5,
+        ..GmpTarget::default()
+    }
+}
+
+/// A config at which seed 42 provably generates canonical duplicates
+/// (asserted below), so the pruning-on arm has something to skip.
+fn config(budget: usize) -> ExploreConfig {
+    ExploreConfig {
+        seed: 42,
+        budget,
+        max_faults: 2,
+        epoch: 8,
+        ..ExploreConfig::default()
+    }
+}
+
+const PRUNING_BUDGET: usize = 1024;
+
+/// The tentpole invariance pin, mirroring `--no-prefilter`: pruning on vs
+/// off is digest-identical at jobs 1, 2, and 4, and the off arm's
+/// execution count decomposes exactly into the on arm's executed + pruned.
+#[test]
+fn pruning_on_off_digests_agree_across_jobs() {
+    let spec = ProtocolSpec::gmp();
+    let on_cfg = config(PRUNING_BUDGET);
+    let off_cfg = ExploreConfig {
+        pruning: false,
+        ..config(PRUNING_BUDGET)
+    };
+
+    let on = explore(&heavy(), &spec, &on_cfg);
+    let off = explore(&heavy(), &spec, &off_cfg);
+    assert!(
+        on.pruned > 0,
+        "budget {PRUNING_BUDGET} must generate at least one canonical duplicate \
+         or this test pins nothing"
+    );
+    assert_eq!(off.pruned, 0, "pruning off must never prune");
+    assert_eq!(on.digest(), off.digest());
+    assert_eq!(
+        off.executed,
+        on.executed + on.pruned,
+        "every pruned candidate must be an execution the off arm actually spent"
+    );
+    assert_eq!(on.rejected, off.rejected);
+
+    for jobs in [1usize, 2, 4] {
+        let (fleet_on, report) = explore_fleet(Arc::new(heavy()), &spec, &on_cfg, jobs);
+        let (fleet_off, _) = explore_fleet(Arc::new(heavy()), &spec, &off_cfg, jobs);
+        assert_eq!(fleet_on.digest(), off.digest(), "jobs={jobs} pruning on");
+        assert_eq!(fleet_off.digest(), off.digest(), "jobs={jobs} pruning off");
+        assert_eq!(fleet_on.pruned, on.pruned, "jobs={jobs} pruned count");
+        assert_eq!(report.pruned, on.pruned as u64);
+    }
+}
+
+/// Campaign counters are non-identity journal lines: a completed journal
+/// carries them, and `Journal::reconstruct` rebuilds the outcome — digest
+/// included — without re-executing anything, which is what lets the serve
+/// daemon answer `results` after a restart.
+#[test]
+fn journal_counters_round_trip_and_reconstruct_matches_the_live_outcome() {
+    let spec = ProtocolSpec::gmp();
+    let path = std::env::temp_dir().join(format!(
+        "pfi_pruning_counters_{}.journal",
+        std::process::id()
+    ));
+    let mut cfg = config(PRUNING_BUDGET);
+    cfg.journal = Some(path.clone());
+    let live = explore(&heavy(), &spec, &cfg);
+
+    let journal = Journal::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let counters = journal
+        .counters
+        .expect("a complete journal records counters");
+    assert_eq!(counters.executed, live.executed);
+    assert_eq!(counters.rejected, live.rejected);
+    assert_eq!(counters.pruned, live.pruned);
+    assert!(counters.pruned > 0);
+    assert_eq!(counters.replayed, live.replayed);
+    assert_eq!(counters.crashed, live.crashed);
+    assert_eq!(counters.hung, live.hung);
+
+    let rebuilt = journal.reconstruct();
+    assert_eq!(rebuilt.digest(), live.digest());
+    assert_eq!(rebuilt.executed, live.executed);
+    assert_eq!(rebuilt.pruned, live.pruned);
+    assert_eq!(rebuilt.failures.len(), live.failures.len());
+}
+
+/// A seed corpus executes as the zeroth batch through the normal
+/// machinery: deterministic digest, seeds counted in `executed`, and the
+/// seeded exploration merges identically across worker counts.
+#[test]
+fn seed_corpus_is_deterministic_and_counts_toward_executed() {
+    let spec = ProtocolSpec::gmp();
+    let donor = explore(&heavy(), &spec, &config(24));
+    let seeds: Vec<_> = donor
+        .corpus
+        .iter()
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .collect();
+    assert!(!seeds.is_empty());
+
+    let mut cfg = config(24);
+    cfg.seed_corpus = seeds.clone();
+    let a = explore(&heavy(), &spec, &cfg);
+    let b = explore(&heavy(), &spec, &cfg);
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "seeded exploration must be deterministic"
+    );
+    assert!(
+        a.executed > seeds.len(),
+        "seeds ({}) must count toward executed ({}) on top of the baseline \
+         and the budgeted search",
+        seeds.len(),
+        a.executed
+    );
+
+    // The seeded config is a different campaign identity than the unseeded
+    // one — resume matching pins that via the seed-corpus digest in the
+    // journal meta, not via the outcome digest (seeding a run with its own
+    // corpus legitimately converges to the same outcome).
+    assert_ne!(
+        pfi_testgen::seed_corpus_digest(&seeds),
+        pfi_testgen::seed_corpus_digest(&[])
+    );
+
+    // Fleet execution of the same seeded config merges identically.
+    let (fleet, _) = explore_fleet(Arc::new(heavy()), &spec, &cfg, 3);
+    assert_eq!(fleet.digest(), a.digest());
+}
+
+/// One long-lived pool serves consecutive campaigns — different targets
+/// and configs, same threads — and each outcome is byte-identical to a
+/// fresh fleet's.
+#[test]
+fn campaign_fleet_reuse_is_outcome_invariant() {
+    let spec = ProtocolSpec::gmp();
+    let mut pool = CampaignFleet::new(3);
+    assert_eq!(pool.workers(), 3);
+
+    let first = pool.explore(Arc::new(GmpTarget::default()), &spec, &config(24));
+    let second = pool.explore(Arc::new(heavy()), &spec, &config(40));
+    let report = pool.shutdown();
+    assert_eq!(report.workers.len(), 3);
+
+    let (fresh_first, _) = explore_fleet(Arc::new(GmpTarget::default()), &spec, &config(24), 3);
+    let (fresh_second, _) = explore_fleet(Arc::new(heavy()), &spec, &config(40), 3);
+    assert_eq!(first.digest(), fresh_first.digest());
+    assert_eq!(second.digest(), fresh_second.digest());
+    // The baseline runs on the master; everything else was dispatched
+    // through the shared pool.
+    assert_eq!(
+        report.dispatched,
+        (first.executed - 1 + second.executed - 1) as u64,
+        "the shared pool dispatched exactly both campaigns' work"
+    );
+}

@@ -75,6 +75,7 @@ pub use pfi_ip as ip;
 pub use pfi_lint as lint;
 pub use pfi_rudp as rudp;
 pub use pfi_script as script;
+pub use pfi_serve as serve;
 pub use pfi_sim as sim;
 pub use pfi_tcp as tcp;
 pub use pfi_testgen as testgen;
