@@ -410,6 +410,34 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             })
         });
     }
+
+    // Semantic-analysis ablation at the same configuration: both arms keep
+    // the canonical tier, `on` additionally abstract-interprets every
+    // candidate's lowered scripts and dedups by semantic quotient
+    // (seed 42, budget 2048, ≤2 faults → 39 inert on top of 9 pruned, see
+    // EXPERIMENTS.md). Digests are identical by construction
+    // (crates/testgen/tests/pruning.rs); the on/off wall-clock gap is the
+    // saved executions net of the per-candidate analysis cost.
+    for (label, semantic) in [("semantic_on", true), ("semantic_off", false)] {
+        let factory = Arc::new(GmpTarget {
+            bugs: GmpBugs::none(),
+            fault_secs: 5,
+        });
+        let cfg = ExploreConfig {
+            semantic,
+            budget: 2048,
+            max_faults: 2,
+            ..config.clone()
+        };
+        let (outcome, _) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+        g.throughput(Throughput::Elements(outcome.executed as u64));
+        g.bench_function(&format!("gmp_explore_{label}"), |b| {
+            b.iter(|| {
+                let (outcome, report) = explore_fleet(factory.clone(), &spec, &cfg, 1);
+                black_box((outcome.executed, report.executed()))
+            })
+        });
+    }
     g.finish();
 }
 

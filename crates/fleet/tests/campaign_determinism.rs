@@ -129,11 +129,13 @@ fn reference_sequential_explore(
         executed,
         rejected: 0,
         pruned: 0,
+        inert: 0,
         replayed: 0,
         crashed: 0,
         hung: 0,
         quarantined: Vec::new(),
         snapshots: pfi_testgen::SnapshotStats::default(),
+        skipped: Vec::new(),
     }
 }
 

@@ -99,6 +99,9 @@ impl Linter {
             procs: HashMap::new(),
             proc_bodies: Vec::new(),
             recording_procs: true,
+            called_procs: HashSet::new(),
+            reads: HashSet::new(),
+            dynamic_dispatch: false,
             diags: Vec::new(),
         };
         let mut scope = Scope::default();
@@ -112,14 +115,41 @@ impl Linter {
 
         // Each proc body is its own scope, seeded with its parameters.
         let bodies = std::mem::take(&mut a.proc_bodies);
-        for body in bodies {
+        for body in &bodies {
             let mut pscope = Scope::default();
             for p in &body.params {
                 pscope.guarded.insert(p.clone());
             }
             a.collect(&body.script, &mut pscope);
             let mut pflow = Flow::new(false);
+            a.reads.clear();
             a.check(&body.script, &pscope, &mut pflow);
+            if !pscope.wildcard {
+                for p in &body.required {
+                    if !a.reads.contains(p) {
+                        a.diag(
+                            Severity::Warning,
+                            Category::UnusedParam,
+                            body.span,
+                            format!("proc \"{}\" parameter \"{p}\" is never read", body.name),
+                        );
+                    }
+                }
+            }
+        }
+        // Every call site has now been walked; procs nobody names are
+        // dead — unless dynamic dispatch could reach them invisibly.
+        if !a.dynamic_dispatch {
+            for body in &bodies {
+                if !a.called_procs.contains(&body.name) {
+                    a.diag(
+                        Severity::Warning,
+                        Category::DeadProc,
+                        body.span,
+                        format!("proc \"{}\" is defined but never called", body.name),
+                    );
+                }
+            }
         }
 
         a.diags.sort_by_key(|d| {
@@ -143,8 +173,15 @@ struct ProcSig {
 
 /// A proc body queued for its own scoped analysis.
 struct ProcBody {
+    name: String,
+    /// Position of the proc's name word, for dead-proc/unused-param spans.
+    span: Span,
     script: Script,
     params: Vec<String>,
+    /// Parameters without a default value — the only ones the
+    /// unused-param lint flags (a defaulted parameter may exist purely
+    /// for call-site compatibility).
+    required: Vec<String>,
 }
 
 /// What scope collection learned about one variable scope.
@@ -218,6 +255,16 @@ struct Analysis<'a> {
     /// True during the first collection sweep; proc bodies are queued
     /// exactly once.
     recording_procs: bool,
+    /// Proc names with at least one statically-visible call site, from the
+    /// main scope or any proc body.
+    called_procs: HashSet<String>,
+    /// `$var` reads observed by the check walk; snapshotted per proc body
+    /// for the unused-param lint.
+    reads: HashSet<String>,
+    /// A computed command word or dynamic `eval` exists somewhere: any
+    /// proc could be called through it, so dead-proc findings are
+    /// suppressed for the whole script.
+    dynamic_dispatch: bool,
     diags: Vec<Diagnostic>,
 }
 
@@ -437,7 +484,7 @@ impl Analysis<'_> {
     }
 
     fn collect_proc(&mut self, words: &[Word], _scope: &mut Scope) {
-        let (Some((name, _)), Some((params_src, _)), Some((body, origin))) = (
+        let (Some((name, name_span)), Some((params_src, _)), Some((body, origin))) = (
             words.get(1).and_then(static_text),
             words.get(2).and_then(static_text),
             words.get(3).and_then(static_text),
@@ -448,6 +495,7 @@ impl Analysis<'_> {
             return;
         };
         let mut params = Vec::new();
+        let mut required = Vec::new();
         let mut min = 0usize;
         let mut max = Some(0usize);
         for (i, spec) in param_specs.iter().enumerate() {
@@ -462,16 +510,23 @@ impl Analysis<'_> {
             max = max.map(|m| m + 1);
             if parts.len() == 1 {
                 min += 1;
+                required.push(pname.clone());
             }
         }
         if self.recording_procs {
-            self.procs.insert(name, ProcSig { min, max });
+            self.procs.insert(name.clone(), ProcSig { min, max });
             if let Some(script) = self.parse_body(&body, origin, false) {
                 // Recurse so procs defined inside this body are recorded;
                 // the throwaway scope keeps its assignments out of ours.
                 let mut inner = Scope::default();
                 self.collect(&script, &mut inner);
-                self.proc_bodies.push(ProcBody { script, params });
+                self.proc_bodies.push(ProcBody {
+                    name,
+                    span: name_span,
+                    script,
+                    params,
+                    required,
+                });
             }
         }
     }
@@ -513,7 +568,10 @@ impl Analysis<'_> {
                 }
             }
             let Some((name, _)) = static_text(&words[0]) else {
-                continue; // computed command word: never flagged
+                // Computed command word: never flagged, and it could be
+                // calling any proc.
+                self.dynamic_dispatch = true;
+                continue;
             };
             self.resolve_command(&name, words, cmd.span(), flow);
             match name.as_str() {
@@ -617,13 +675,14 @@ impl Analysis<'_> {
                     }
                 }
                 "switch" => self.check_switch(words, scope, flow),
-                "eval" => {
-                    if let Some((text, origin)) = self.static_eval_body(words) {
+                "eval" => match self.static_eval_body(words) {
+                    Some((text, origin)) => {
                         if let Some(s) = self.parse_body(&text, origin, flow.in_catch) {
                             self.check(&s, scope, flow);
                         }
                     }
-                }
+                    None => self.dynamic_dispatch = true,
+                },
                 "xAfter" => {
                     // Deferred body: runs later in the same interpreter.
                     self.check_branch_at(words, 2, scope, flow);
@@ -770,6 +829,7 @@ impl Analysis<'_> {
     }
 
     fn check_read(&mut self, name: &str, span: Span, scope: &Scope, flow: &Flow) {
+        self.reads.insert(base_name(name).to_string());
         if scope.wildcard
             || flow.definite.contains(name)
             || scope.guarded.contains(name)
@@ -858,6 +918,7 @@ impl Analysis<'_> {
             return;
         }
         if let Some(sig) = self.procs.get(name) {
+            self.called_procs.insert(name.to_string());
             let (min, max) = (sig.min, sig.max);
             if argc < min || max.is_some_and(|m| argc > m) {
                 self.diag(

@@ -58,6 +58,14 @@ pub enum Category {
     /// commands): replayable under a fixed seed, but draw-order
     /// dependent.
     Nondeterministic,
+    /// A script-local `proc` that is never called, statically or from any
+    /// other proc body.
+    DeadProc,
+    /// A `proc` parameter its body never reads.
+    UnusedParam,
+    /// A scheduled fault the reachability analysis proved can never fire
+    /// against the target's protocol spec and topology.
+    InertFault,
 }
 
 impl Category {
@@ -71,6 +79,9 @@ impl Category {
         Category::DeadCode,
         Category::ConstantCondition,
         Category::Nondeterministic,
+        Category::DeadProc,
+        Category::UnusedParam,
+        Category::InertFault,
     ];
 
     /// The kebab-case slug used in rendered diagnostics and CLI flags.
@@ -84,6 +95,9 @@ impl Category {
             Category::DeadCode => "dead-code",
             Category::ConstantCondition => "constant-condition",
             Category::Nondeterministic => "nondeterministic",
+            Category::DeadProc => "dead-proc",
+            Category::UnusedParam => "unused-param",
+            Category::InertFault => "inert-fault",
         }
     }
 
@@ -109,7 +123,9 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    pub(crate) fn new(
+    /// Builds a finding. Public so campaign tooling (e.g. the schedule
+    /// reachability analyzer) can report through the same renderer.
+    pub fn new(
         severity: Severity,
         category: Category,
         span: Span,

@@ -27,9 +27,11 @@
 
 mod analysis;
 mod diag;
+mod effects;
 
 pub use analysis::Linter;
 pub use diag::{render, Category, Diagnostic, Severity};
+pub use effects::{analyze_effects, ClauseEffect, Effect, EffectSet, ScriptEffects, WindowBound};
 
 #[cfg(test)]
 mod tests {
@@ -350,6 +352,62 @@ mod tests {
         let mut sorted = lines.clone();
         sorted.sort();
         assert_eq!(lines, sorted);
+    }
+
+    // ---- pass 5: interprocedural (dead procs, unused params) ----------
+
+    #[test]
+    fn uncalled_proc_is_dead() {
+        let src = "proc helper {t} { return $t }\nxPass\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::DeadProc]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("helper"));
+        assert_eq!(diags[0].span.line, 1);
+    }
+
+    #[test]
+    fn called_procs_are_not_dead_even_transitively() {
+        // `inner` is only reached through `outer`.
+        let src = "proc inner {t} { return $t }\n\
+                   proc outer {t} { return [inner $t] }\n\
+                   outer ACK\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dynamic_dispatch_suppresses_dead_proc() {
+        // `$op` could name any proc; stay silent rather than wrong.
+        let src = "proc helper {} { xPass }\nset op helper\n$op\n";
+        let diags = Linter::filter().lint(src);
+        assert!(
+            !diags.iter().any(|d| d.category == Category::DeadProc),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unused_required_param_warns() {
+        let src = "proc classify {t kind} { return $t }\nclassify ACK 1\n";
+        let diags = Linter::filter().lint(src);
+        assert_eq!(cats(&diags), vec![Category::UnusedParam]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("kind"), "{diags:?}");
+    }
+
+    #[test]
+    fn defaulted_and_args_params_are_exempt_from_unused() {
+        // `{b 0}` and `args` may exist purely for call-site compatibility.
+        let src = "proc f {a {b 0} args} { return $a }\nf 1\n";
+        let diags = Linter::filter().lint(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn params_read_inside_expr_count_as_used() {
+        let src = "proc sum {a b} { return [expr {$a + $b}] }\nsum 1 2\n";
+        assert!(Linter::filter().lint(src).is_empty());
     }
 
     #[test]

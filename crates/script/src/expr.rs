@@ -618,6 +618,160 @@ pub fn analyze_expr(src: &str) -> Result<ExprSummary, ScriptError> {
     Ok(summary)
 }
 
+/// A comparison operator as it appears in a guard atom, normalized so the
+/// substitution (`[cmd]` or `$var`) is always the left-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==` / `eq`
+    Eq,
+    /// `!=` / `ne`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The mirror operator: what `a OP b` becomes when rewritten `b OP' a`.
+    fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the comparison over a concrete integer pair.
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// One conjunct of a guard expression, as recovered by [`analyze_guard`].
+///
+/// The PFI campaign lowerer emits filter guards of the shape
+/// `[msg_type] == "COMMIT" && [msg_dst] == 2` and counter tests like
+/// `$c1 == 3`; this type is the static view of such conjuncts. Anything a
+/// pass cannot prove the shape of degrades to [`GuardAtom::Opaque`], which
+/// consumers must treat as "may be true or false".
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardAtom {
+    /// `[cmd] == "literal"` (or the mirrored / `eq` spelling).
+    CmdEqStr {
+        /// The command-substitution source text, e.g. `msg_type`.
+        cmd: String,
+        /// The string literal it is compared against.
+        value: String,
+        /// `false` for `==`/`eq`, `true` for `!=`/`ne`.
+        negated: bool,
+    },
+    /// `[cmd] OP int` (or the mirrored spelling), e.g. `[msg_len] > 8`.
+    CmdCmpInt {
+        /// The command-substitution source text, e.g. `msg_dst`.
+        cmd: String,
+        /// The normalized operator with the command on the left.
+        op: CmpOp,
+        /// The integer literal.
+        value: i64,
+    },
+    /// `$var OP int` (or the mirrored spelling), e.g. `$c1 == 3`.
+    VarCmpInt {
+        /// The variable name.
+        var: String,
+        /// The normalized operator with the variable on the left.
+        op: CmpOp,
+        /// The integer literal.
+        value: i64,
+    },
+    /// A conjunct no static shape was recovered for.
+    Opaque,
+}
+
+/// Splits a guard expression into its top-level `&&` conjuncts and
+/// classifies each as a [`GuardAtom`]. Disjunctions, ternaries, and any
+/// other shape collapse to a single [`GuardAtom::Opaque`] conjunct —
+/// sound for consumers that only act on atoms they fully recognize.
+///
+/// # Errors
+///
+/// Returns a [`ScriptError`] if the source does not parse as an expression.
+pub fn analyze_guard(src: &str) -> Result<Vec<GuardAtom>, ScriptError> {
+    let ast = parse_expr(src)?;
+    let mut atoms = Vec::new();
+    collect_guard(&ast.root, &mut atoms);
+    Ok(atoms)
+}
+
+fn collect_guard(n: &Node, out: &mut Vec<GuardAtom>) {
+    match n {
+        Node::Bin("&&", a, b) => {
+            collect_guard(a, out);
+            collect_guard(b, out);
+        }
+        other => out.push(classify_atom(other)),
+    }
+}
+
+fn classify_atom(n: &Node) -> GuardAtom {
+    let Node::Bin(op, a, b) = n else {
+        return GuardAtom::Opaque;
+    };
+    let cmp = match *op {
+        "==" | "eq" => CmpOp::Eq,
+        "!=" | "ne" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return GuardAtom::Opaque,
+    };
+    // Normalize so the substitution sits on the left.
+    let (lhs, rhs, cmp) = match (&**a, &**b) {
+        (Node::Cmd(_) | Node::Var(_), Node::Val(_)) => (&**a, &**b, cmp),
+        (Node::Val(_), Node::Cmd(_) | Node::Var(_)) => (&**b, &**a, cmp.flip()),
+        _ => return GuardAtom::Opaque,
+    };
+    let Node::Val(val) = rhs else {
+        return GuardAtom::Opaque;
+    };
+    match (lhs, val) {
+        (Node::Cmd(cmd), Value::Int(i)) => GuardAtom::CmdCmpInt {
+            cmd: cmd.clone(),
+            op: cmp,
+            value: *i,
+        },
+        (Node::Cmd(cmd), Value::Str(s)) => match cmp {
+            CmpOp::Eq | CmpOp::Ne => GuardAtom::CmdEqStr {
+                cmd: cmd.clone(),
+                value: s.clone(),
+                negated: cmp == CmpOp::Ne,
+            },
+            _ => GuardAtom::Opaque,
+        },
+        (Node::Var(var), Value::Int(i)) => GuardAtom::VarCmpInt {
+            var: var.clone(),
+            op: cmp,
+            value: *i,
+        },
+        _ => GuardAtom::Opaque,
+    }
+}
+
 fn collect_summary(n: &Node, out: &mut ExprSummary) {
     match n {
         Node::Val(_) => {}
@@ -1217,6 +1371,71 @@ mod tests {
         assert_eq!(analyze_expr("1 / 0").unwrap().constant, None);
         // A non-boolean string constant has no truth value either.
         assert_eq!(analyze_expr("{hello}").unwrap().constant, None);
+    }
+
+    #[test]
+    fn analyze_guard_recovers_lowered_conjuncts() {
+        let atoms = analyze_guard("[msg_type] == \"COMMIT\" && [msg_dst] == 2").unwrap();
+        assert_eq!(
+            atoms,
+            vec![
+                GuardAtom::CmdEqStr {
+                    cmd: "msg_type".into(),
+                    value: "COMMIT".into(),
+                    negated: false,
+                },
+                GuardAtom::CmdCmpInt {
+                    cmd: "msg_dst".into(),
+                    op: CmpOp::Eq,
+                    value: 2,
+                },
+            ]
+        );
+        let atoms = analyze_guard("$c1 == 3").unwrap();
+        assert_eq!(
+            atoms,
+            vec![GuardAtom::VarCmpInt {
+                var: "c1".into(),
+                op: CmpOp::Eq,
+                value: 3,
+            }]
+        );
+        // Mirrored spellings normalize; the operator flips with them.
+        let atoms = analyze_guard("8 < [msg_len]").unwrap();
+        assert_eq!(
+            atoms,
+            vec![GuardAtom::CmdCmpInt {
+                cmd: "msg_len".into(),
+                op: CmpOp::Gt,
+                value: 8,
+            }]
+        );
+        // Disjunctions and unrecognized shapes degrade to Opaque.
+        let atoms = analyze_guard("[msg_type] eq {ACK} || $x > 0").unwrap();
+        assert_eq!(atoms, vec![GuardAtom::Opaque]);
+        let atoms = analyze_guard("$a == $b && [msg_len] >= 4").unwrap();
+        assert_eq!(
+            atoms,
+            vec![
+                GuardAtom::Opaque,
+                GuardAtom::CmdCmpInt {
+                    cmd: "msg_len".into(),
+                    op: CmpOp::Ge,
+                    value: 4,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn cmp_op_holds() {
+        assert!(CmpOp::Eq.holds(3, 3));
+        assert!(CmpOp::Ne.holds(3, 4));
+        assert!(CmpOp::Lt.holds(3, 4));
+        assert!(CmpOp::Le.holds(4, 4));
+        assert!(CmpOp::Gt.holds(5, 4));
+        assert!(CmpOp::Ge.holds(4, 4));
+        assert!(!CmpOp::Eq.holds(3, 4));
     }
 
     #[test]

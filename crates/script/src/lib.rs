@@ -58,7 +58,7 @@ mod parse;
 pub use builtins::{builtins, lookup_builtin, BuiltinInfo};
 pub use cache::CacheStats;
 pub use error::{ScriptError, ScriptErrorKind};
-pub use expr::{analyze_expr, ExprSummary};
+pub use expr::{analyze_expr, analyze_guard, CmpOp, ExprSummary, GuardAtom};
 pub use interp::{Host, Interp, NoHost};
 pub use list::{glob_match, list_format, list_parse};
 pub use parse::{Command, Part, Script, Span, Word};

@@ -65,6 +65,7 @@ struct Summary {
     executed: usize,
     rejected: usize,
     pruned: usize,
+    inert: usize,
     replayed: usize,
     crashed: usize,
     hung: usize,
@@ -91,6 +92,7 @@ impl Summary {
             executed: outcome.executed,
             rejected: outcome.rejected,
             pruned: outcome.pruned,
+            inert: outcome.inert,
             replayed: outcome.replayed,
             crashed: outcome.crashed,
             hung: outcome.hung,
@@ -118,7 +120,7 @@ impl Summary {
             0.0
         };
         format!(
-            "exit={} digest={} executed={} rejected={} pruned={} replayed={} \
+            "exit={} digest={} executed={} rejected={} pruned={} inert={} replayed={} \
              crashed={} hung={} quarantined={} failures={} corpus={} edges={} \
              corpus-shared={} snapshot-hit-rate={hit_rate:.1} exec-per-sec={exec_per_sec:.1} \
              elapsed-ms={} dispatched={} worker-panics={}",
@@ -127,6 +129,7 @@ impl Summary {
             self.executed,
             self.rejected,
             self.pruned,
+            self.inert,
             self.replayed,
             self.crashed,
             self.hung,
@@ -544,11 +547,12 @@ fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Re
                     let mut lines = vec![
                         format!("digest {}", summary.digest64),
                         format!(
-                            "counters executed={} rejected={} pruned={} replayed={} \
+                            "counters executed={} rejected={} pruned={} inert={} replayed={} \
                              crashed={} hung={} quarantined={}",
                             summary.executed,
                             summary.rejected,
                             summary.pruned,
+                            summary.inert,
                             summary.replayed,
                             summary.crashed,
                             summary.hung,

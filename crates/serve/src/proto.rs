@@ -8,8 +8,8 @@
 //!          | "corpus" SP "key=" KEY | "wait" SP "id=" ID | "ping" | "shutdown"
 //! params   = "proto=" NAME SP "seed=" N SP "budget=" N SP "max-faults=" N
 //!            SP "epoch=" N SP "buggy=" B SP "fault-secs=" N SP "prefilter=" B
-//!            SP "pruning=" B SP "snapshots=" B SP "step-budget=" N
-//!            SP "share-corpus=" B
+//!            SP "pruning=" B SP "semantic=" B SP "snapshots=" B
+//!            SP "step-budget=" N SP "share-corpus=" B
 //! reply    = ("ok" [SP kv*] | "err" SP message) NL [payload]
 //! payload  = *(line NL) "." NL        ; only for status / results / corpus
 //! ```
@@ -51,6 +51,10 @@ pub struct CampaignParams {
     pub prefilter: bool,
     /// Skip candidates whose canonical schedule already executed.
     pub pruning: bool,
+    /// Additionally skip candidates whose semantic quotient (statically
+    /// inert faults stripped) matches a settled result. Only effective
+    /// with `pruning=1` and the default step budget.
+    pub semantic: bool,
     /// Fork candidate worlds from cached snapshots.
     pub snapshots: bool,
     /// Interpreter step budget per filter script (0 = default).
@@ -74,6 +78,7 @@ impl Default for CampaignParams {
             epoch: cfg.epoch,
             prefilter: cfg.prefilter,
             pruning: cfg.pruning,
+            semantic: cfg.semantic,
             snapshots: cfg.snapshots,
             step_budget: cfg.step_budget,
             share_corpus: false,
@@ -86,7 +91,7 @@ impl CampaignParams {
     pub fn to_kv(&self) -> String {
         format!(
             "proto={} seed={} budget={} max-faults={} epoch={} buggy={} \
-             fault-secs={} prefilter={} pruning={} snapshots={} \
+             fault-secs={} prefilter={} pruning={} semantic={} snapshots={} \
              step-budget={} share-corpus={}",
             self.proto,
             self.seed,
@@ -97,6 +102,7 @@ impl CampaignParams {
             self.fault_secs,
             self.prefilter as u8,
             self.pruning as u8,
+            self.semantic as u8,
             self.snapshots as u8,
             self.step_budget,
             self.share_corpus as u8,
@@ -141,6 +147,7 @@ impl CampaignParams {
             fault_secs: num("fault-secs")?,
             prefilter: boolean("prefilter")?,
             pruning: boolean("pruning")?,
+            semantic: boolean("semantic")?,
             snapshots: boolean("snapshots")?,
             step_budget: num("step-budget")?,
             share_corpus: boolean("share-corpus")?,
@@ -170,6 +177,7 @@ impl CampaignParams {
             epoch: self.epoch,
             prefilter: self.prefilter,
             pruning: self.pruning,
+            semantic: self.semantic,
             snapshots: self.snapshots,
             step_budget: self.step_budget,
             ..ExploreConfig::default()
@@ -436,6 +444,7 @@ mod tests {
             epoch: 8,
             prefilter: false,
             pruning: false,
+            semantic: false,
             snapshots: false,
             step_budget: 7,
             share_corpus: true,

@@ -178,6 +178,7 @@ fn daemon_matches_inline_exploration_and_shares_corpus() {
         "snapshot-hit-rate=",
         "worker-panics=",
         "pruned=",
+        "inert=",
         "edges=",
     ] {
         assert!(line.contains(key), "status line missing {key}: {line}");

@@ -28,7 +28,7 @@ use pfi_core::Direction;
 use pfi_gmp::GmpBugs;
 use pfi_testgen::{
     explore_fleet, generate, run_campaign_fleet, ChaosOracleTarget, ExploreConfig, FaultKind,
-    GmpTarget, ProtocolSpec, TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict,
+    GmpTarget, ProtocolSpec, SkipReason, TargetFactory, TcpTarget, TestTarget, TpcTarget, Verdict,
 };
 
 const HELP: &str = "pfi-campaign — script-driven fault-injection campaigns
@@ -59,6 +59,15 @@ FLAGS:
     --no-pruning      execute candidates even when an equivalent canonical
                       schedule already ran (same digest either way — pruning
                       only ever saves executions; CI diffs the modes)
+    --no-semantic     keep the canonical pruning tier but disable the semantic
+                      one: candidates whose quotient under the target's flow
+                      model (statically-inert faults stripped, shadowed
+                      corruptions removed) matches a settled result run anyway
+                      (same digest either way; CI diffs the modes)
+    --explain-pruned  print one line per skipped candidate naming the tier
+                      that skipped it (canonical duplicate / semantic
+                      duplicate / inert quotient) and, for inert faults, the
+                      reachability rule that proved each one can never fire
     --fault-secs N    gmp fault-window length in virtual seconds (default 60;
                       5 is the loop-heavy corpus the pruning experiments use)
     --snapshots       fork candidate runs from cached world snapshots instead of
@@ -190,6 +199,12 @@ fn main() {
         if args.iter().any(|a| a == "--no-pruning") {
             config.pruning = false;
         }
+        if args.iter().any(|a| a == "--no-semantic") {
+            config.semantic = false;
+        }
+        if args.iter().any(|a| a == "--explain-pruned") {
+            config.explain = true;
+        }
         if args.iter().any(|a| a == "--no-snapshots") {
             config.snapshots = false;
         } else if args.iter().any(|a| a == "--snapshots") {
@@ -256,7 +271,7 @@ fn main() {
             );
         } else {
             println!(
-                "ran {} schedules; corpus kept {} ({} coverage edges); {} candidate(s) rejected as uninstallable{}; {} pruned as equivalent",
+                "ran {} schedules; corpus kept {} ({} coverage edges); {} candidate(s) rejected as uninstallable{}; {} pruned as equivalent, {} pruned as inert",
                 outcome.executed,
                 outcome.corpus.len(),
                 outcome.coverage.len(),
@@ -267,7 +282,30 @@ fn main() {
                     " at install time"
                 },
                 outcome.pruned,
+                outcome.inert,
             );
+            for skip in &outcome.skipped {
+                match &skip.reason {
+                    SkipReason::CanonicalDuplicate { canonical } => println!(
+                        "SKIPPED {} — canonical duplicate of already-run {canonical}",
+                        skip.schedule.id()
+                    ),
+                    SkipReason::SemanticDuplicate { quotient } => println!(
+                        "SKIPPED {} — semantically equivalent to settled {quotient} \
+                         (shadowed corruption stripped)",
+                        skip.schedule.id()
+                    ),
+                    SkipReason::InertQuotient { quotient, facts } => {
+                        println!(
+                            "SKIPPED {} — quotient {quotient} already settled; inert faults:",
+                            skip.schedule.id()
+                        );
+                        for fact in facts {
+                            println!("    {} [{}]: {}", fact.line, fact.rule, fact.message);
+                        }
+                    }
+                }
+            }
             if outcome.replayed > 0 {
                 println!(
                     "resumed: {} of those results were replayed from the journal, not re-executed",
@@ -461,7 +499,7 @@ fn serve_shim(
         &mut conn,
         format!(
             "submit proto={proto} seed={} budget={} max-faults={} epoch={} buggy={} \
-             fault-secs={fault_secs} prefilter={} pruning={} snapshots={} \
+             fault-secs={fault_secs} prefilter={} pruning={} semantic={} snapshots={} \
              step-budget={} share-corpus={}",
             config.seed,
             config.budget,
@@ -470,6 +508,7 @@ fn serve_shim(
             buggy as u8,
             config.prefilter as u8,
             config.pruning as u8,
+            config.semantic as u8,
             config.snapshots as u8,
             config.step_budget,
             share_corpus as u8,

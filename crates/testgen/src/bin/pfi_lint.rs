@@ -6,6 +6,8 @@
 //! pfi-lint --target tpc schedule.txt      # validate a fault schedule
 //! pfi-lint failure.repro                  # validate a repro's schedule
 //! pfi-lint --deny nondeterministic *.tcl  # promote a category to error
+//! pfi-lint --spec gmp drop_acks.tcl       # + semantic reachability analysis
+//! pfi-lint --spec gmp --grid              # lint the generated grid corpus
 //! ```
 //!
 //! Input kind is sniffed per file (a `pfi-repro v1` header means a repro
@@ -14,8 +16,11 @@
 //! Exit status is nonzero iff any finding is an error after `--deny` /
 //! `--warn` adjustment.
 
-use pfi_lint::{render, Category, Diagnostic, Linter, Severity};
-use pfi_testgen::{validate_schedule, FaultSchedule, ProtocolSpec, Repro, ScheduleFinding};
+use pfi_lint::{analyze_effects, render, Category, Diagnostic, Effect, Linter, Severity};
+use pfi_testgen::{
+    generate, validate_schedule, FaultKind, FaultSchedule, FlowModel, ProtocolSpec, Repro,
+    ScheduleFinding,
+};
 
 const HELP: &str = "pfi-lint — static analysis for PFI scripts and fault schedules
 
@@ -29,6 +34,14 @@ anything else is linted as a PFI Tcl filter script.
 
 FLAGS:
     --target NAME   topology for schedule text: gmp (default), tcp, tpc
+    --spec NAME     run the semantic reachability pass too: every effectful
+                    clause is checked against the named protocol\'s flow
+                    model (message types, topology, wire-length bounds) and
+                    a clause proven unable to fire gets an `inert-fault`
+                    warning with the rule that proved it (promote with
+                    `--deny inert-fault`)
+    --grid          lint the generated grid campaign for the --spec protocol
+                    instead of reading input files (CI corpus self-check)
     --script        treat every input as a Tcl filter script
     --schedule      treat every input as fault-schedule text
     --deny CAT      treat findings of category CAT as errors (repeatable)
@@ -37,7 +50,8 @@ FLAGS:
 
 CATEGORIES:
     parse-error unknown-command bad-arity undef-var maybe-undef-var
-    dead-code constant-condition nondeterministic
+    dead-code constant-condition nondeterministic dead-proc unused-param
+    inert-fault
 ";
 
 /// What to lint a given input as.
@@ -46,6 +60,16 @@ enum Kind {
     Sniff,
     Script,
     Schedule,
+}
+
+/// The flow model the `--spec` semantic pass runs against.
+fn flow_model(target: &str) -> Option<FlowModel> {
+    match target {
+        "gmp" => Some(FlowModel::gmp()),
+        "tcp" => Some(FlowModel::tcp()),
+        "tpc" => Some(FlowModel::two_phase_commit()),
+        _ => None,
+    }
 }
 
 /// Per-target topology used when validating schedule text.
@@ -67,13 +91,80 @@ fn adjust(d: &mut Diagnostic, deny: &[Category], warn: &[Category]) {
     }
 }
 
-fn lint_script(name: &str, src: &str, deny: &[Category], warn: &[Category]) -> (String, bool) {
+fn lint_script(
+    name: &str,
+    src: &str,
+    model: Option<&FlowModel>,
+    deny: &[Category],
+    warn: &[Category],
+) -> (String, bool) {
     let mut diags = Linter::filter().lint(src);
+    if let Some(model) = model {
+        diags.extend(reachability_diags(src, model));
+        diags.sort_by_key(|d| (d.span.line, d.span.col));
+    }
     for d in &mut diags {
         adjust(d, deny, warn);
     }
     let failed = diags.iter().any(|d| d.severity == Severity::Error);
     (render(src, name, &diags), failed)
+}
+
+/// The `--spec` semantic pass: abstract-interprets the script into effect
+/// clauses and asks the flow model which of them can never fire. A bare
+/// script has no installation context, so placement-dependent rules stay
+/// quiet (`None`); the corruption gate is fed by the script\'s own clauses
+/// (a corrupting clause may rewrite the type byte a later guard reads).
+fn reachability_diags(src: &str, model: &FlowModel) -> Vec<Diagnostic> {
+    let Ok(effects) = analyze_effects(src) else {
+        // Parse errors are the Linter\'s findings; nothing to add here.
+        return Vec::new();
+    };
+    let self_corruption = effects
+        .clauses
+        .iter()
+        .any(|c| c.effects.contains(Effect::Corrupt));
+    effects
+        .clauses
+        .iter()
+        .filter_map(|clause| {
+            let (rule, why) = model.clause_unreachable(clause, None, self_corruption)?;
+            Some(Diagnostic::new(
+                Severity::Warning,
+                Category::InertFault,
+                clause.span,
+                format!("fault can never fire: {why} [{rule}]"),
+            ))
+        })
+        .collect()
+}
+
+/// `--grid`: regenerate the full grid campaign for the `--spec` protocol
+/// and lint every script in it, semantic pass included. This is the CI
+/// self-check that generated scripts never contain statically-dead faults.
+fn lint_grid(spec: &ProtocolSpec, model: &FlowModel, deny: &[Category], warn: &[Category]) -> bool {
+    let campaign = generate(
+        spec,
+        &FaultKind::default_matrix(),
+        &[pfi_core::Direction::Send, pfi_core::Direction::Receive],
+    );
+    let mut failed = false;
+    let mut findings = 0usize;
+    for case in &campaign.cases {
+        let (out, f) = lint_script(&case.id, &case.script, Some(model), deny, warn);
+        if !out.is_empty() {
+            print!("{out}");
+            findings += 1;
+        }
+        failed |= f;
+    }
+    println!(
+        "grid {}: {} script(s) linted, {} with findings",
+        campaign.protocol,
+        campaign.len(),
+        findings
+    );
+    failed
 }
 
 fn print_findings(name: &str, findings: Vec<ScheduleFinding>) -> bool {
@@ -185,6 +276,8 @@ fn main() {
 
     let mut kind = Kind::Sniff;
     let mut target = "gmp".to_string();
+    let mut spec_target: Option<String> = None;
+    let mut grid = false;
     let mut deny = Vec::new();
     let mut warn = Vec::new();
     let mut files = Vec::new();
@@ -193,12 +286,23 @@ fn main() {
         match args[i].as_str() {
             "--script" => kind = Kind::Script,
             "--schedule" => kind = Kind::Schedule,
+            "--grid" => grid = true,
             "--target" => {
                 i += 1;
                 match args.get(i) {
                     Some(v) => target = v.clone(),
                     None => {
                         eprintln!("--target needs a value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--spec" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => spec_target = Some(v.clone()),
+                    None => {
+                        eprintln!("--spec needs a protocol name (gmp, tcp, or tpc)");
                         std::process::exit(2);
                     }
                 }
@@ -230,6 +334,25 @@ fn main() {
         }
         i += 1;
     }
+    let model = match &spec_target {
+        Some(t) => match flow_model(t) {
+            Some(m) => Some(m),
+            None => {
+                eprintln!("--spec: unknown protocol {t:?} (expected gmp, tcp, or tpc)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if grid {
+        let Some(t) = &spec_target else {
+            eprintln!("--grid needs --spec NAME to know which campaign to generate");
+            std::process::exit(2);
+        };
+        let (spec, _, _) = topology(t).expect("flow_model and topology cover the same names");
+        let failed = lint_grid(&spec, model.as_ref().unwrap(), &deny, &warn);
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     if files.is_empty() {
         eprintln!("no input files (see --help)");
         std::process::exit(2);
@@ -255,7 +378,7 @@ fn main() {
             match resolved {
                 Kind::Schedule => lint_schedule(path, &text, &target, &deny, &warn),
                 _ => {
-                    let (out, f) = lint_script(path, &text, &deny, &warn);
+                    let (out, f) = lint_script(path, &text, model.as_ref(), &deny, &warn);
                     if out.is_empty() {
                         println!("{path}: clean");
                     } else {

@@ -98,6 +98,31 @@ pub struct ExploreConfig {
     /// ([`crate::validate::schedule_is_installable`]) are canonicalized
     /// at all, so `rejected` accounting is untouched. Default `true`.
     pub pruning: bool,
+    /// Semantic schedule pruning — the third prune tier, on top of
+    /// `pruning`'s canonical dedup. Candidates are keyed by their
+    /// [semantic quotient](crate::FlowModel::semantic_schedule) under the
+    /// target's [`FlowModel`](crate::FlowModel): statically-inert faults
+    /// stripped, corruption shadowed by an unconditional drop on the same
+    /// flow removed. A candidate whose quotient id is already
+    /// merge-settled (non-violating) is skipped and counted in `inert` —
+    /// running it would be behaviour-indistinguishable from a run the
+    /// campaign already merged, so corpus, coverage, failures — the whole
+    /// digest — are byte-identical with this on or off;
+    /// `executed_off == executed_on + pruned_on + inert_on` exactly.
+    /// Effective only when `pruning` is on (a canonical duplicate is also
+    /// a semantic duplicate; tiering keeps the counters disjoint), when
+    /// the target publishes a flow model
+    /// ([`TestTarget::flow_model`](crate::TestTarget::flow_model)), and
+    /// when `step_budget` is 0 (inert clauses still consume interpreter
+    /// steps, so at a budget boundary the quotient is *not* equivalent).
+    /// Default `true`.
+    pub semantic: bool,
+    /// Record every pruned candidate (all tiers) into
+    /// [`ExploreOutcome::skipped`] with the reason and the facts that
+    /// proved it — what `pfi-campaign --explain-pruned` prints.
+    /// Diagnostics only: never journaled, never part of the digest.
+    /// Default `false`.
+    pub explain: bool,
     /// Schedules to execute before the budgeted search begins — a corpus
     /// pool carried over from earlier campaigns against the same target
     /// (the pfi-serve store shares coverage-novel schedules across
@@ -175,6 +200,7 @@ impl ExploreConfig {
             epoch: self.epoch,
             prefilter: self.prefilter,
             pruning: self.pruning,
+            semantic: self.semantic,
             seed_corpus: seed_corpus_digest(&self.seed_corpus),
             step_budget: self.step_budget,
             max_retries: self.max_retries,
@@ -217,6 +243,8 @@ impl Default for ExploreConfig {
             epoch: DEFAULT_EPOCH,
             prefilter: true,
             pruning: true,
+            semantic: true,
+            explain: false,
             seed_corpus: Vec::new(),
             max_retries: DEFAULT_MAX_RETRIES,
             step_budget: 0,
@@ -275,6 +303,14 @@ pub struct ExploreOutcome {
     /// an execution the unpruned engine pays for the same digest
     /// (`executed_off == executed_on + pruned_on`).
     pub pruned: usize,
+    /// Candidates skipped by semantic pruning ([`ExploreConfig::semantic`]):
+    /// canonically novel, but their semantic quotient under the target's
+    /// flow model — inert faults stripped, shadowed corruption removed —
+    /// matches a merge-settled non-violating result, so executing them
+    /// could not be distinguished from a run already merged. Disjoint from
+    /// `pruned` by construction (the canonical tier runs first);
+    /// `executed_off == executed_on + pruned_on + inert_on` exactly.
+    pub inert: usize,
     /// How many of the `executed` results were replayed from a resume
     /// journal instead of re-executed. An uninterrupted campaign reports
     /// 0; a resumed one reports the work the interruption did not lose.
@@ -296,6 +332,47 @@ pub struct ExploreOutcome {
     /// of the [`digest`](ExploreOutcome::digest), since replayed work
     /// legitimately skips the forks an uninterrupted run performs.
     pub snapshots: SnapshotStats,
+    /// Why each skipped candidate was skipped, in skip order. Populated
+    /// only under [`ExploreConfig::explain`]; diagnostics only — never
+    /// journaled and never part of the digest.
+    pub skipped: Vec<SkippedCandidate>,
+}
+
+/// One candidate a prune tier skipped, with the proof that skipping it
+/// loses nothing ([`ExploreConfig::explain`] diagnostics).
+#[derive(Debug, Clone)]
+pub struct SkippedCandidate {
+    /// The candidate as the mutator produced it.
+    pub schedule: FaultSchedule,
+    /// Which tier skipped it, and why.
+    pub reason: SkipReason,
+}
+
+/// Why a candidate was skipped without executing.
+#[derive(Debug, Clone)]
+pub enum SkipReason {
+    /// Canonical tier: the candidate's canonical form already executed
+    /// with a non-violating verdict.
+    CanonicalDuplicate {
+        /// The settled canonical id the candidate rewrites to.
+        canonical: String,
+    },
+    /// Semantic tier, no quotient rewrites: a *different* canonical form
+    /// with the same semantic quotient already settled.
+    SemanticDuplicate {
+        /// The shared quotient id.
+        quotient: String,
+    },
+    /// Semantic tier with quotient rewrites: statically-inert faults (with
+    /// the reachability facts that proved each) and/or shadowed corruption
+    /// were stripped, and the residue already settled.
+    InertQuotient {
+        /// The quotient id the candidate reduces to.
+        quotient: String,
+        /// Proofs for each stripped inert fault (shadow removals carry no
+        /// per-fault fact; an empty list means only shadows were removed).
+        facts: Vec<crate::reach::InertFact>,
+    },
 }
 
 impl ExploreOutcome {
@@ -817,11 +894,30 @@ fn explore_with(
 
     let sites = master.fault_sites();
     let mut pruned = 0usize;
+    let mut inert = 0usize;
+    let mut skipped: Vec<SkippedCandidate> = Vec::new();
     // Canonical ids of merge-settled, non-violating results — what
     // equivalence pruning skips duplicates of. Updated only at merge
     // time, so candidates are never pruned against siblings of their own
     // epoch batch (which would race the canonical merge order).
     let mut settled = std::collections::BTreeSet::new();
+    // Semantic-quotient ids of the same results, for the third tier. Only
+    // maintained when the tier is active: it needs the canonical tier on
+    // (so the counters stay disjoint), a flow model from the target, and
+    // no interpreter step budget (inert clauses still burn steps, so at a
+    // budget boundary the quotient is not behaviour-equivalent).
+    let model = (config.pruning && config.semantic && config.step_budget == 0)
+        .then(|| master.flow_model())
+        .flatten();
+    let mut settled_sem = std::collections::BTreeSet::new();
+    if model.is_some() && !base_report.run.verdict.is_violation() {
+        // The baseline settles the empty quotient: a candidate made of
+        // nothing but statically-inert faults reduces to it and skips.
+        // (No candidate *canonicalizes* to the baseline — canonical
+        // rewrites never empty a schedule — so `settled` has no
+        // baseline entry and the tiers stay disjoint.)
+        settled_sem.insert(baseline.id());
+    }
     let mut seeds_pending = !config.seed_corpus.is_empty();
     let mut attempted = 0usize;
     while seeds_pending || attempted < config.budget {
@@ -886,8 +982,51 @@ fn explore_with(
                 if !crate::validate::schedule_is_installable(candidate, sites) {
                     return true;
                 }
-                if settled.contains(&candidate.canonical_id()) {
+                let canonical = candidate.canonical_id();
+                if settled.contains(&canonical) {
                     pruned += 1;
+                    if config.explain {
+                        skipped.push(SkippedCandidate {
+                            schedule: candidate.clone(),
+                            reason: SkipReason::CanonicalDuplicate { canonical },
+                        });
+                    }
+                    return false;
+                }
+                true
+            });
+        }
+        // Semantic pruning: a canonically-novel candidate whose semantic
+        // quotient — inert faults stripped, shadowed corruption removed —
+        // matches a settled non-violating result is behaviour-equivalent
+        // to a run the campaign already merged. Same discipline as the
+        // canonical tier: installable candidates only, settled results
+        // only (never same-epoch siblings), violating classes never
+        // settle.
+        if let Some(model) = &model {
+            batch.retain(|candidate| {
+                if !crate::validate::schedule_is_installable(candidate, sites) {
+                    return true;
+                }
+                let quotient = model.semantic_schedule(candidate);
+                if settled_sem.contains(&quotient.id()) {
+                    inert += 1;
+                    if config.explain {
+                        let reason = if quotient == candidate.canonical() {
+                            SkipReason::SemanticDuplicate {
+                                quotient: quotient.id(),
+                            }
+                        } else {
+                            SkipReason::InertQuotient {
+                                quotient: quotient.id(),
+                                facts: model.inert_facts(candidate),
+                            }
+                        };
+                        skipped.push(SkippedCandidate {
+                            schedule: candidate.clone(),
+                            reason,
+                        });
+                    }
                     return false;
                 }
                 true
@@ -986,6 +1125,9 @@ fn explore_with(
                 // canonicalizing to the same form would replay this very
                 // run. Violating classes stay unpruned (see above).
                 settled.insert(report.schedule.canonical_id());
+                if let Some(model) = &model {
+                    settled_sem.insert(model.semantic_id(&report.schedule));
+                }
             }
             if coverage.merge(&report.run.coverage) > 0 {
                 corpus.push(report.schedule.clone());
@@ -1055,6 +1197,7 @@ fn explore_with(
             executed,
             rejected,
             pruned,
+            inert,
             replayed,
             crashed,
             hung,
@@ -1075,11 +1218,13 @@ fn explore_with(
         executed,
         rejected,
         pruned,
+        inert,
         replayed,
         crashed,
         hung,
         quarantined,
         snapshots: snap_stats,
+        skipped,
     }
 }
 
@@ -1116,6 +1261,7 @@ pub fn explore_fleet(
     let mut report = pool.shutdown();
     report.rejected = outcome.rejected as u64;
     report.pruned = outcome.pruned as u64;
+    report.inert = outcome.inert as u64;
     (outcome, report)
 }
 

@@ -29,6 +29,7 @@
 //! epoch 8
 //! prefilter true
 //! pruning true
+//! semantic true
 //! seed-corpus 0000000000000000
 //! step-budget 0
 //! max-retries 2
@@ -50,7 +51,7 @@
 //! shrink-runs 3
 //! message n1 declared itself dead
 //! case end
-//! counters executed=27 rejected=2 pruned=0 replayed=0 crashed=0 hung=0
+//! counters executed=27 rejected=2 pruned=0 inert=0 replayed=0 crashed=0 hung=0
 //! complete
 //! ```
 //!
@@ -116,6 +117,10 @@ pub struct JournalMeta {
     /// candidates the journal records, so a journal recorded with it on
     /// must resume with it on.
     pub pruning: bool,
+    /// Whether semantic schedule pruning was on. Identity for the same
+    /// reason as `pruning`: the semantic tier changes which candidates the
+    /// journal records.
+    pub semantic: bool,
     /// FNV-1a digest of the seed-corpus schedule ids (0 when the campaign
     /// started from the bare baseline). Identity: a campaign seeded with a
     /// different corpus walks a different space, so resume must be handed
@@ -174,6 +179,9 @@ pub struct JournalCounters {
     /// Candidates skipped because their canonical form already executed
     /// with a non-violating verdict.
     pub pruned: usize,
+    /// Candidates skipped because their semantic quotient matched a
+    /// settled non-violating result.
+    pub inert: usize,
     /// Results replayed from a resume journal instead of re-executed.
     pub replayed: usize,
     /// Runs whose target or oracle panicked (contained).
@@ -251,6 +259,7 @@ fn render_meta(meta: &JournalMeta) -> String {
     let _ = writeln!(out, "epoch {}", meta.epoch);
     let _ = writeln!(out, "prefilter {}", meta.prefilter);
     let _ = writeln!(out, "pruning {}", meta.pruning);
+    let _ = writeln!(out, "semantic {}", meta.semantic);
     let _ = writeln!(out, "seed-corpus {:016x}", meta.seed_corpus);
     let _ = writeln!(out, "step-budget {}", meta.step_budget);
     let _ = writeln!(out, "max-retries {}", meta.max_retries);
@@ -258,12 +267,12 @@ fn render_meta(meta: &JournalMeta) -> String {
 }
 
 /// The number of metadata lines [`render_meta`] writes after the header.
-const META_LINES: usize = 11;
+const META_LINES: usize = 12;
 
 fn render_counters(c: &JournalCounters) -> String {
     format!(
-        "counters executed={} rejected={} pruned={} replayed={} crashed={} hung={}\n",
-        c.executed, c.rejected, c.pruned, c.replayed, c.crashed, c.hung
+        "counters executed={} rejected={} pruned={} inert={} replayed={} crashed={} hung={}\n",
+        c.executed, c.rejected, c.pruned, c.inert, c.replayed, c.crashed, c.hung
     )
 }
 
@@ -394,6 +403,7 @@ impl Journal {
         let mut epoch = None;
         let mut prefilter = None;
         let mut pruning = None;
+        let mut semantic = None;
         let mut seed_corpus = None;
         let mut step_budget = None;
         let mut max_retries = None;
@@ -418,6 +428,7 @@ impl Journal {
                 Some(("epoch", v)) => epoch = Some(parse_u64("epoch", v)? as usize),
                 Some(("prefilter", v)) => prefilter = Some(parse_bool("prefilter", v)?),
                 Some(("pruning", v)) => pruning = Some(parse_bool("pruning", v)?),
+                Some(("semantic", v)) => semantic = Some(parse_bool("semantic", v)?),
                 Some(("seed-corpus", v)) => {
                     seed_corpus = Some(
                         u64::from_str_radix(v, 16)
@@ -438,6 +449,7 @@ impl Journal {
             epoch: epoch.ok_or("missing epoch line")?,
             prefilter: prefilter.ok_or("missing prefilter line")?,
             pruning: pruning.ok_or("missing pruning line")?,
+            semantic: semantic.ok_or("missing semantic line")?,
             seed_corpus: seed_corpus.ok_or("missing seed-corpus line")?,
             step_budget: step_budget.ok_or("missing step-budget line")?,
             max_retries: max_retries.ok_or("missing max-retries line")?,
@@ -478,6 +490,7 @@ impl Journal {
                                 "executed" => c.executed = value,
                                 "rejected" => c.rejected = value,
                                 "pruned" => c.pruned = value,
+                                "inert" => c.inert = value,
                                 "replayed" => c.replayed = value,
                                 "crashed" => c.crashed = value,
                                 "hung" => c.hung = value,
@@ -568,11 +581,13 @@ impl Journal {
             executed: c.executed,
             rejected: c.rejected,
             pruned: c.pruned,
+            inert: c.inert,
             replayed: c.replayed,
             crashed: c.crashed,
             hung: c.hung,
             quarantined: self.quarantined.clone(),
             snapshots: crate::SnapshotStats::default(),
+            skipped: Vec::new(),
         }
     }
 }
@@ -793,6 +808,7 @@ mod tests {
                 epoch: 8,
                 prefilter: true,
                 pruning: true,
+                semantic: true,
                 seed_corpus: 0,
                 step_budget: 0,
                 max_retries: 2,
@@ -831,6 +847,7 @@ mod tests {
                 executed: 6,
                 rejected: 1,
                 pruned: 2,
+                inert: 0,
                 replayed: 0,
                 crashed: 0,
                 hung: 0,

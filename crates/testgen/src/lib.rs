@@ -58,6 +58,7 @@ mod explore;
 mod generate;
 mod journal;
 mod oracle;
+mod reach;
 mod repro;
 mod runner;
 mod schedule;
@@ -69,7 +70,8 @@ mod validate;
 pub use coverage::Coverage;
 pub use explore::{
     explore, explore_fleet, replay, seed_corpus_digest, CampaignFleet, ExploreConfig,
-    ExploreOutcome, FoundFailure, DEFAULT_EPOCH, DEFAULT_SNAPSHOT_CACHE,
+    ExploreOutcome, FoundFailure, SkipReason, SkippedCandidate, DEFAULT_EPOCH,
+    DEFAULT_SNAPSHOT_CACHE,
 };
 pub use generate::{generate, Campaign, FaultKind, TestCase};
 pub use journal::{
@@ -83,6 +85,7 @@ pub use oracle::{
     TpcAtomicityOracle,
 };
 pub use pfi_fleet::{FleetReport, WorkerStats};
+pub use reach::{FlowModel, InertFact};
 pub use repro::Repro;
 pub use runner::{
     prepare, prepare_base, run_campaign, run_campaign_fleet, run_case, run_case_prepared,

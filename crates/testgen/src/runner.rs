@@ -188,6 +188,15 @@ pub trait TestTarget {
     fn oracles(&self) -> Vec<Box<dyn Oracle>>;
     /// Service-level check after the oracles pass: `Pass` or `Degraded`.
     fn verdict(&self, world: &mut World) -> Verdict;
+    /// The target's static [`FlowModel`](crate::reach::FlowModel), when it
+    /// has one — what the spec and topology guarantee about the traffic
+    /// each fault site observes. `None` (the default) disables semantic
+    /// schedule pruning for the target; it never changes which schedules
+    /// *execute* to what, only which provably-equivalent candidates the
+    /// explorer skips.
+    fn flow_model(&self) -> Option<crate::reach::FlowModel> {
+        None
+    }
 }
 
 /// Builds fresh [`TestTarget`]s on demand — the `Send + Sync` handle a
@@ -762,6 +771,10 @@ impl TestTarget for GmpTarget {
         3
     }
 
+    fn flow_model(&self) -> Option<crate::reach::FlowModel> {
+        Some(crate::reach::FlowModel::gmp())
+    }
+
     fn fault_sites(&self) -> u32 {
         3
     }
@@ -899,6 +912,10 @@ impl TestTarget for TcpTarget {
         2
     }
 
+    fn flow_model(&self) -> Option<crate::reach::FlowModel> {
+        Some(crate::reach::FlowModel::tcp())
+    }
+
     fn build(&self) -> (World, Vec<(NodeId, usize)>) {
         let mut world = World::new(self.seed());
         let client = world.add_node(vec![Box::new(TcpLayer::new(self.profile.clone()))]);
@@ -1025,6 +1042,10 @@ impl TestTarget for TpcTarget {
         4
     }
 
+    fn flow_model(&self) -> Option<crate::reach::FlowModel> {
+        Some(crate::reach::FlowModel::two_phase_commit())
+    }
+
     fn fault_sites(&self) -> u32 {
         4
     }
@@ -1148,6 +1169,10 @@ impl<T: TestTarget> TestTarget for ChaosOracleTarget<T> {
 
     fn verdict(&self, world: &mut World) -> Verdict {
         self.inner.verdict(world)
+    }
+
+    fn flow_model(&self) -> Option<crate::reach::FlowModel> {
+        self.inner.flow_model()
     }
 }
 

@@ -22,7 +22,7 @@
 use pfi_lint::{Diagnostic, Linter, Severity};
 use pfi_script::Script;
 
-use crate::schedule::{FaultOp, FaultSchedule, SiteScripts};
+use crate::schedule::{FaultSchedule, SiteScripts};
 use crate::spec::ProtocolSpec;
 
 /// One schedule-level finding.
@@ -109,59 +109,23 @@ pub fn validate_schedule(
                 ),
             ));
         }
-        let msg_type = fault.op.msg_type();
-        if !spec.messages.iter().any(|m| m.name == msg_type) {
-            findings.push(ScheduleFinding::new(
-                Severity::Warning,
-                Some(i),
-                format!(
-                    "message type {msg_type:?} is not in the {} specification; \
-                     the fault will never fire",
-                    spec.name
-                ),
-            ));
-        }
-        match &fault.op {
-            FaultOp::DropToDest { dst, .. } if *dst >= nodes => {
-                findings.push(ScheduleFinding::new(
-                    Severity::Warning,
-                    Some(i),
-                    format!(
-                        "destination n{dst} is outside the {nodes}-node topology; \
-                         the fault will never fire"
-                    ),
-                ));
-            }
-            FaultOp::DropNth { nth: 0, .. } => {
-                findings.push(ScheduleFinding::new(
-                    Severity::Warning,
-                    Some(i),
-                    "drop-nth with n = 0 never fires (instances are 1-based)",
-                ));
-            }
-            FaultOp::Duplicate { copies: 0, .. } => {
-                findings.push(ScheduleFinding::new(
-                    Severity::Warning,
-                    Some(i),
-                    "duplicate with 0 copies is a no-op",
-                ));
-            }
-            FaultOp::CorruptByteAt { mask: 0, .. } => {
-                findings.push(ScheduleFinding::new(
-                    Severity::Warning,
-                    Some(i),
-                    "corrupt-byte with mask 0 is a no-op (XOR identity)",
-                ));
-            }
-            FaultOp::ReorderWindow { hold: 0, .. } => {
-                findings.push(ScheduleFinding::new(
-                    Severity::Warning,
-                    Some(i),
-                    "reorder with hold 0 never holds anything",
-                ));
-            }
-            _ => {}
-        }
+    }
+
+    // Inert-fault warnings are *not* re-derived here: the permissive flow
+    // model (spec + node count, no placement or routing facts) is the same
+    // predicate the semantic pruning tier and `pfi-lint --spec` run, so
+    // what validation warns about and what the explorer quotients away can
+    // never drift apart.
+    let model = crate::reach::FlowModel::permissive(spec, nodes);
+    for fact in model.inert_facts(schedule) {
+        findings.push(ScheduleFinding::new(
+            Severity::Warning,
+            Some(fact.fault),
+            format!(
+                "the fault will never fire: {} [{}]",
+                fact.message, fact.rule
+            ),
+        ));
     }
 
     let linter = Linter::filter();
@@ -193,7 +157,7 @@ pub fn validate_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::ScheduledFault;
+    use crate::schedule::{FaultOp, ScheduledFault};
     use pfi_core::Direction;
 
     fn fault(site: u32, op: FaultOp) -> ScheduledFault {

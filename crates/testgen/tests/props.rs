@@ -259,6 +259,9 @@ fn journal_meta(seed: u64) -> JournalMeta {
         max_faults: 3,
         epoch: 1 + (seed % 16) as usize,
         prefilter: seed.is_multiple_of(2),
+        pruning: seed.is_multiple_of(3),
+        semantic: seed.is_multiple_of(5),
+        seed_corpus: seed.wrapping_mul(7),
         step_budget: seed % 5000,
         max_retries: (seed % 4) as u32,
     }
@@ -354,6 +357,52 @@ proptest! {
             installable,
             "uninstallable schedules must never touch the store"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic quotient differential. A fault the flow model proves statically
+// inert must be *unobservable*: executing the schedule with the inert fault
+// installed and executing its quotient (the inert fault stripped) must give
+// byte-identical verdicts, oracles, and coverage edges. This is the
+// soundness obligation the explorer's third prune tier rests on.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn inert_faults_are_execution_equivalent_to_their_quotient(
+        seed in any::<u64>(), steps in 1usize..10,
+    ) {
+        use pfi_testgen::{run_schedule, FlowModel, GmpTarget, TestTarget};
+
+        let target = GmpTarget { fault_secs: 5, ..GmpTarget::default() };
+        let model = FlowModel::gmp();
+        let mutator = ScheduleMutator::new(
+            &ProtocolSpec::gmp(),
+            target.node_count(),
+            target.fault_sites(),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut sched = FaultSchedule::empty();
+        for _ in 0..steps {
+            sched = mutator.mutate(&sched, 3, &mut rng);
+            if !schedule_is_installable(&sched, target.fault_sites()) {
+                continue;
+            }
+            let quotient = model.semantic_schedule(&sched);
+            if quotient == sched.canonical() {
+                continue; // nothing was stripped; nothing to differentiate
+            }
+            let full = run_schedule(&target, &sched);
+            let stripped = run_schedule(&target, &quotient);
+            prop_assert_eq!(&full.verdict, &stripped.verdict);
+            prop_assert_eq!(&full.oracle, &stripped.oracle);
+            prop_assert_eq!(
+                full.coverage.edges().collect::<Vec<_>>(),
+                stripped.coverage.edges().collect::<Vec<_>>()
+            );
+        }
     }
 }
 

@@ -1,8 +1,10 @@
 //! Equivalence pruning end-to-end: skipping candidates whose canonical
-//! schedule was already executed must be a pure execution-saving measure —
-//! byte-identical corpus, coverage, and repro digests with pruning on or
-//! off, at any worker count — while the saved executions surface in the
-//! new `pruned` counter and round-trip through the journal.
+//! schedule was already executed — or whose *semantic quotient* under the
+//! target's flow model matches a settled result — must be a pure
+//! execution-saving measure: byte-identical corpus, coverage, and repro
+//! digests with pruning on or off, at any worker count, while the saved
+//! executions surface in the `pruned` and `inert` counters and round-trip
+//! through the journal.
 
 use std::sync::Arc;
 
@@ -33,42 +35,102 @@ fn config(budget: usize) -> ExploreConfig {
 
 const PRUNING_BUDGET: usize = 1024;
 
-/// The tentpole invariance pin, mirroring `--no-prefilter`: pruning on vs
-/// off is digest-identical at jobs 1, 2, and 4, and the off arm's
-/// execution count decomposes exactly into the on arm's executed + pruned.
+/// The budget at which the semantic-vs-syntactic strictness acceptance is
+/// pinned (loop-heavy corpus; see `semantic_pruning_strictly_exceeds…`).
+const STRICTNESS_BUDGET: usize = 2048;
+
+/// The tentpole invariance pin, mirroring `--no-prefilter`: all three
+/// pruning tiers on, semantic off (syntactic-only), and pruning fully off
+/// are digest-identical at jobs 1, 2, and 4, and the off arm's execution
+/// count decomposes exactly: `executed_off == executed_on + pruned_on +
+/// inert_on`.
 #[test]
 fn pruning_on_off_digests_agree_across_jobs() {
     let spec = ProtocolSpec::gmp();
     let on_cfg = config(PRUNING_BUDGET);
+    let syn_cfg = ExploreConfig {
+        semantic: false,
+        ..config(PRUNING_BUDGET)
+    };
     let off_cfg = ExploreConfig {
         pruning: false,
         ..config(PRUNING_BUDGET)
     };
 
     let on = explore(&heavy(), &spec, &on_cfg);
+    let syn = explore(&heavy(), &spec, &syn_cfg);
     let off = explore(&heavy(), &spec, &off_cfg);
     assert!(
         on.pruned > 0,
         "budget {PRUNING_BUDGET} must generate at least one canonical duplicate \
          or this test pins nothing"
     );
+    assert!(
+        on.inert > 0,
+        "budget {PRUNING_BUDGET} must generate at least one semantically-inert \
+         candidate or the third tier pins nothing"
+    );
+    assert_eq!(syn.inert, 0, "semantic off must never skip semantically");
     assert_eq!(off.pruned, 0, "pruning off must never prune");
+    assert_eq!(off.inert, 0, "pruning off disables the semantic tier too");
     assert_eq!(on.digest(), off.digest());
+    assert_eq!(syn.digest(), off.digest());
     assert_eq!(
         off.executed,
-        on.executed + on.pruned,
-        "every pruned candidate must be an execution the off arm actually spent"
+        on.executed + on.pruned + on.inert,
+        "every skipped candidate must be an execution the off arm actually spent"
+    );
+    assert_eq!(
+        off.executed,
+        syn.executed + syn.pruned,
+        "the syntactic-only arm keeps the PR 8 decomposition"
     );
     assert_eq!(on.rejected, off.rejected);
+    assert_eq!(on.rejected, syn.rejected);
 
     for jobs in [1usize, 2, 4] {
         let (fleet_on, report) = explore_fleet(Arc::new(heavy()), &spec, &on_cfg, jobs);
+        let (fleet_syn, _) = explore_fleet(Arc::new(heavy()), &spec, &syn_cfg, jobs);
         let (fleet_off, _) = explore_fleet(Arc::new(heavy()), &spec, &off_cfg, jobs);
-        assert_eq!(fleet_on.digest(), off.digest(), "jobs={jobs} pruning on");
+        assert_eq!(fleet_on.digest(), off.digest(), "jobs={jobs} semantic on");
+        assert_eq!(fleet_syn.digest(), off.digest(), "jobs={jobs} semantic off");
         assert_eq!(fleet_off.digest(), off.digest(), "jobs={jobs} pruning off");
         assert_eq!(fleet_on.pruned, on.pruned, "jobs={jobs} pruned count");
+        assert_eq!(fleet_on.inert, on.inert, "jobs={jobs} inert count");
         assert_eq!(report.pruned, on.pruned as u64);
+        assert_eq!(report.inert, on.inert as u64);
     }
+}
+
+/// The ISSUE 9 acceptance bar: on the loop-heavy 2048-budget corpus,
+/// semantic+inert pruning skips strictly more executions than the
+/// syntactic-only canonical tier — while staying digest-identical.
+#[test]
+fn semantic_pruning_strictly_exceeds_syntactic_only() {
+    let spec = ProtocolSpec::gmp();
+    let sem = explore(&heavy(), &spec, &config(STRICTNESS_BUDGET));
+    let syn = explore(
+        &heavy(),
+        &spec,
+        &ExploreConfig {
+            semantic: false,
+            ..config(STRICTNESS_BUDGET)
+        },
+    );
+    assert_eq!(sem.digest(), syn.digest());
+    assert!(sem.inert > 0);
+    assert!(
+        sem.pruned + sem.inert > syn.pruned,
+        "semantic pruning ({} + {}) must strictly exceed syntactic-only ({})",
+        sem.pruned,
+        sem.inert,
+        syn.pruned
+    );
+    assert_eq!(
+        sem.executed + sem.pruned + sem.inert,
+        syn.executed + syn.pruned,
+        "both arms account for the same candidate stream"
+    );
 }
 
 /// Campaign counters are non-identity journal lines: a completed journal
@@ -95,6 +157,8 @@ fn journal_counters_round_trip_and_reconstruct_matches_the_live_outcome() {
     assert_eq!(counters.rejected, live.rejected);
     assert_eq!(counters.pruned, live.pruned);
     assert!(counters.pruned > 0);
+    assert_eq!(counters.inert, live.inert);
+    assert!(counters.inert > 0);
     assert_eq!(counters.replayed, live.replayed);
     assert_eq!(counters.crashed, live.crashed);
     assert_eq!(counters.hung, live.hung);
@@ -103,6 +167,7 @@ fn journal_counters_round_trip_and_reconstruct_matches_the_live_outcome() {
     assert_eq!(rebuilt.digest(), live.digest());
     assert_eq!(rebuilt.executed, live.executed);
     assert_eq!(rebuilt.pruned, live.pruned);
+    assert_eq!(rebuilt.inert, live.inert);
     assert_eq!(rebuilt.failures.len(), live.failures.len());
 }
 

@@ -2,11 +2,14 @@
 # Tracked bench pipeline: runs the ablation benchmark groups
 # (script_interpreter, pfi_interposition_overhead, congestion_ablation,
 # sim_engine, campaign_throughput) and aggregates the per-bench JSON
-# records into BENCH_4.json at the repository root — group -> bench ->
+# records into BENCH_6.json at the repository root — group -> bench ->
 # median ns/op (+ throughput where the bench declares one), so one report
 # carries the PR-1 interpreter/engine benches, the fleet scaling rows
-# (jobs 1/2/4/8, Send arena worlds), and the snapshot/fork ablation
-# (gmp_explore_snapshots_{on,off} — the replay-savings exec/s ratio).
+# (jobs 1/2/4/8, Send arena worlds), the snapshot/fork ablation
+# (gmp_explore_snapshots_{on,off} — the replay-savings exec/s ratio),
+# the equivalence-pruning ablation (gmp_explore_pruning_{on,off}), and
+# the semantic-analysis ablation (gmp_explore_semantic_{on,off} — saved
+# executions net of the per-candidate quotient analysis).
 # If scripts/bench_baseline.json exists (the recorded
 # pre-compile-once baseline, measured back-to-back with the optimized
 # build on the same machine), each entry also carries the baseline median
@@ -15,13 +18,13 @@
 #
 # Usage: scripts/bench.sh [extra cargo-bench filter args]
 # Knobs: PFI_BENCH_SAMPLE_MS, PFI_BENCH_WARMUP_MS, PFI_BENCH_SAMPLES
-#        (see crates/criterion), BENCH_OUT (default: BENCH_4.json).
+#        (see crates/criterion), BENCH_OUT (default: BENCH_6.json).
 
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 raw="$repo/target/pfi-bench"
-out="${BENCH_OUT:-$repo/BENCH_4.json}"
+out="${BENCH_OUT:-$repo/BENCH_6.json}"
 
 rm -rf "$raw"
 PFI_BENCH_OUT="$raw" cargo bench --manifest-path "$repo/Cargo.toml" \
