@@ -11,7 +11,9 @@
 //! pfi-serve shutdown --socket /tmp/pfi.sock
 //! ```
 
-use pfi_serve::{daemon, Bind, CampaignParams, Client, DaemonOptions, Request};
+use pfi_serve::{
+    daemon, Bind, CampaignParams, Client, DaemonOptions, FaultConfig, Request, ServiceLimits,
+};
 
 const HELP: &str = "pfi-serve — persistent campaign daemon and client
 
@@ -35,8 +37,23 @@ start FLAGS:
     --store DIR       store directory (required; created if missing);
                       campaigns found unfinished in it resume immediately
     --jobs N          fleet worker threads (0/omitted = auto-detect)
+    --read-timeout S  per-connection read deadline, seconds (default 30);
+                      a slow-loris peer is dropped when it fires
+    --write-timeout S per-connection write deadline, seconds (default 30)
+    --max-conns N     concurrent connection cap (default 64); accepting
+                      over the cap evicts the oldest-idle connection
+    --max-line N      longest accepted request line, bytes (default 65536)
+    --max-payload N   largest reply payload, bytes (default 16777216)
+    --chaos-seed N    CHAOS TESTING ONLY: run the daemon's own wire and
+                      disk I/O through the deterministic fault layer
+    --chaos-wire N    wire-fault probability, per-mille (default 100)
+    --chaos-disk N    disk-fault probability, per-mille (default 100)
+    --chaos-budget N  total injected-fault cap (default 128)
 
 submit FLAGS (after the protocol name: gmp, tcp, or tpc):
+    --ident TOK       idempotency token ([A-Za-z0-9._-], <=64 bytes); a
+                      resubmit with the same token dedupes to the
+                      original campaign instead of double-running
     --seed N --budget N --max-faults N --epoch N --step-budget N
     --buggy           gmp with the paper's seeded bugs
     --fault-secs N    gmp fault-window length (default 60; 5 = loop-heavy)
@@ -97,7 +114,7 @@ fn flag_num(args: &[String], name: &str) -> Option<u64> {
 /// value-taking flag's value — so `submit --socket s.sock tcp` finds
 /// `tcp` no matter where the flags sit.
 fn positional(args: &[String]) -> Option<String> {
-    const VALUE_FLAGS: [&str; 11] = [
+    const VALUE_FLAGS: [&str; 21] = [
         "--addr",
         "--socket",
         "--store",
@@ -109,6 +126,16 @@ fn positional(args: &[String]) -> Option<String> {
         "--step-budget",
         "--fault-secs",
         "--id",
+        "--ident",
+        "--read-timeout",
+        "--write-timeout",
+        "--max-conns",
+        "--max-line",
+        "--max-payload",
+        "--chaos-seed",
+        "--chaos-wire",
+        "--chaos-disk",
+        "--chaos-budget",
     ];
     let mut i = 1;
     while i < args.len() {
@@ -151,10 +178,42 @@ fn main() {
                 (None, Some(s)) => Bind::Unix(s.into()),
                 _ => fail("start requires exactly one of --addr or --socket"),
             };
+            let mut limits = ServiceLimits::default();
+            if let Some(s) = flag_num(&args, "--read-timeout") {
+                limits.read_timeout = std::time::Duration::from_secs(s.max(1));
+            }
+            if let Some(s) = flag_num(&args, "--write-timeout") {
+                limits.write_timeout = std::time::Duration::from_secs(s.max(1));
+            }
+            if let Some(n) = flag_num(&args, "--max-conns") {
+                limits.max_conns = (n as usize).max(1);
+            }
+            if let Some(n) = flag_num(&args, "--max-line") {
+                limits.max_line = (n as usize).max(64);
+            }
+            if let Some(n) = flag_num(&args, "--max-payload") {
+                limits.max_payload = (n as usize).max(1024);
+            }
+            let chaos = flag_num(&args, "--chaos-seed").map(|seed| {
+                let defaults = FaultConfig::default();
+                FaultConfig {
+                    seed,
+                    wire_permille: flag_num(&args, "--chaos-wire")
+                        .map(|n| n.min(1000) as u16)
+                        .unwrap_or(defaults.wire_permille),
+                    disk_permille: flag_num(&args, "--chaos-disk")
+                        .map(|n| n.min(1000) as u16)
+                        .unwrap_or(defaults.disk_permille),
+                    max_faults: flag_num(&args, "--chaos-budget").unwrap_or(defaults.max_faults),
+                    ..defaults
+                }
+            });
             let opts = DaemonOptions {
                 store: store.into(),
                 bind,
                 jobs: flag_num(&args, "--jobs").unwrap_or(0) as usize,
+                limits,
+                chaos,
             };
             if let Err(e) = daemon::run(opts) {
                 eprintln!("daemon failed: {e}");
@@ -194,14 +253,20 @@ fn main() {
             params.snapshots = !args.iter().any(|a| a == "--no-snapshots");
             params.share_corpus = args.iter().any(|a| a == "--share-corpus");
 
+            let ident = flag_str(&args, "--ident");
             let mut client = connect(&args);
-            let reply = call_or_die(&mut client, &Request::Submit(params));
+            let reply = call_or_die(&mut client, &Request::Submit { params, ident });
             let id = reply
                 .get("id")
                 .unwrap_or_else(|| fail("daemon reply carried no campaign id"))
                 .to_string();
+            let dedup = if reply.get("deduped") == Some("1") {
+                " [deduplicated]"
+            } else {
+                ""
+            };
             println!(
-                "submitted {id} ({} seed schedule(s))",
+                "submitted {id} ({} seed schedule(s)){dedup}",
                 reply.get("seeds").unwrap_or("0")
             );
             if args.iter().any(|a| a == "--wait") {
@@ -259,8 +324,9 @@ fn main() {
 
         "ping" => {
             let mut client = connect(&args);
-            call_or_die(&mut client, &Request::Ping);
-            println!("pong");
+            let reply = call_or_die(&mut client, &Request::Ping);
+            // The head carries the service-boundary counters.
+            println!("{}", reply.head);
         }
 
         "shutdown" => {

@@ -9,6 +9,16 @@
 //! the condvar signals both "queue has work" (to the executor) and
 //! "campaign finished" (to `wait`ing clients).
 //!
+//! Hardening (the daemon probed by its own technique — see
+//! [`crate::faultio`]): every accepted connection carries read/write
+//! deadlines and a bounded request-line budget; connections are capped
+//! with oldest-idle eviction; accept-loop errors back off with a counted
+//! stat instead of being dropped; store writes retry with bounded
+//! backoff; submissions carrying an idempotency token dedupe instead of
+//! double-running; and shutdown drains — the in-flight campaign
+//! journal-settles and merges its corpus before the process exits, while
+//! queued campaigns stay in the store for the next start.
+//!
 //! Durability contract: `submit` writes the seed snapshot, then the index
 //! line (fsynced), then acknowledges. The campaign itself runs with a
 //! write-ahead journal in the store. On startup the daemon scans the
@@ -20,10 +30,11 @@
 //! an uninterrupted run's.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,7 +44,8 @@ use pfi_testgen::{
     TpcTarget,
 };
 
-use crate::proto::{write_reply, CampaignParams, Request, Stream};
+use crate::faultio::{FaultConfig, FaultPlan, FaultStream};
+use crate::proto::{read_line_bounded, write_reply, CampaignParams, LineOutcome, Request, Stream};
 use crate::store::Store;
 
 /// Where the daemon listens.
@@ -45,6 +57,39 @@ pub enum Bind {
     Unix(PathBuf),
 }
 
+/// Robustness knobs for the service boundary. Every limit exists because
+/// the chaos suite (or a hostile client) can violate it: a silent peer,
+/// an endless request line, a connection flood.
+#[derive(Debug, Clone)]
+pub struct ServiceLimits {
+    /// How long a connection may sit idle (or dribble a partial line)
+    /// before its next read fails and the connection closes — the
+    /// slow-loris deadline.
+    pub read_timeout: Duration,
+    /// How long one reply write may block before the connection closes.
+    pub write_timeout: Duration,
+    /// Concurrent connection cap; an accept beyond it evicts the
+    /// oldest-idle connection rather than refusing the newcomer.
+    pub max_conns: usize,
+    /// Longest accepted request line, bytes.
+    pub max_line: usize,
+    /// Largest reply payload the daemon will emit, bytes; bigger results
+    /// get a protocol `err` instead of an unbounded write.
+    pub max_payload: usize,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        ServiceLimits {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_conns: 64,
+            max_line: 64 * 1024,
+            max_payload: 16 * 1024 * 1024,
+        }
+    }
+}
+
 /// Daemon launch options.
 #[derive(Debug, Clone)]
 pub struct DaemonOptions {
@@ -54,6 +99,93 @@ pub struct DaemonOptions {
     pub bind: Bind,
     /// Fleet worker threads (0 = auto-detect).
     pub jobs: usize,
+    /// Service-boundary limits.
+    pub limits: ServiceLimits,
+    /// Deterministic self-fault-injection (chaos testing only): wire
+    /// faults on every accepted stream, disk faults on every store
+    /// write. `None` in production.
+    pub chaos: Option<FaultConfig>,
+}
+
+/// Monotonic service-boundary counters, surfaced in the `ping` reply so
+/// tests (and operators with `nc`) can watch the hardening work.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    accept_errors: AtomicU64,
+    evicted: AtomicU64,
+    timeouts: AtomicU64,
+    oversize: AtomicU64,
+    garbage: AtomicU64,
+    dedup_hits: AtomicU64,
+    disk_retries: AtomicU64,
+}
+
+impl DaemonStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One live connection the eviction registry can reach: the raw socket
+/// handle (to hard-close it) and when it last did useful work.
+struct ConnSlot {
+    handle: Stream,
+    last_active: Instant,
+}
+
+/// The bounded connection table. Acceptance over the cap evicts the
+/// oldest-idle connection: its socket is shut down, which wakes its
+/// handler thread with EOF/error, and the retrying client reconnects.
+#[derive(Default)]
+struct ConnRegistry {
+    slots: Mutex<BTreeMap<u64, ConnSlot>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, handle: Stream, max_conns: usize, stats: &DaemonStats) -> u64 {
+        let mut slots = self.slots.lock().unwrap();
+        while slots.len() >= max_conns.max(1) {
+            let victim = slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_active)
+                .map(|(id, _)| *id)
+                .expect("non-empty registry over cap");
+            if let Some(slot) = slots.remove(&victim) {
+                slot.handle.shutdown().ok();
+                DaemonStats::bump(&stats.evicted);
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        slots.insert(
+            id,
+            ConnSlot {
+                handle,
+                last_active: Instant::now(),
+            },
+        );
+        id
+    }
+
+    fn touch(&self, id: u64) {
+        if let Some(slot) = self.slots.lock().unwrap().get_mut(&id) {
+            slot.last_active = Instant::now();
+        }
+    }
+
+    fn deregister(&self, id: u64) {
+        self.slots.lock().unwrap().remove(&id);
+    }
+
+    fn open(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    fn shutdown_all(&self) {
+        for (_, slot) in std::mem::take(&mut *self.slots.lock().unwrap()) {
+            slot.handle.shutdown().ok();
+        }
+    }
 }
 
 /// A finished campaign, as `status`/`results` report it. Everything here
@@ -171,6 +303,9 @@ struct CampaignEntry {
 struct DaemonState {
     campaigns: BTreeMap<String, CampaignEntry>,
     queue: VecDeque<String>,
+    /// Idempotency token -> campaign id, rebuilt from the index on start.
+    /// A resubmitted token returns the existing id instead of re-running.
+    idents: BTreeMap<String, String>,
     next_seq: u64,
     shutdown: bool,
     executor_done: bool,
@@ -180,6 +315,30 @@ struct Shared {
     state: Mutex<DaemonState>,
     cv: Condvar,
     store: Store,
+    stats: DaemonStats,
+    limits: ServiceLimits,
+    conns: ConnRegistry,
+    chaos: Option<Arc<FaultPlan>>,
+}
+
+/// Bounded-retry wrapper for store writes: an injected (or real,
+/// transient) ENOSPC/short-write heals by retrying with a small
+/// exponential backoff instead of failing the request outright.
+fn retry_store<T>(stats: &DaemonStats, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut delay = Duration::from_millis(2);
+    let mut last = None;
+    for attempt in 0..6 {
+        if attempt > 0 {
+            DaemonStats::bump(&stats.disk_retries);
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(100));
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
 }
 
 /// Campaign ids sort `c1 < c2 < … < c10` only with a numeric tiebreak;
@@ -193,7 +352,11 @@ fn seq_of(id: &str) -> u64 {
 /// Runs the daemon until a `shutdown` request (or an unrecoverable
 /// listener error). Blocks the calling thread.
 pub fn run(opts: DaemonOptions) -> io::Result<()> {
-    let store = Store::open(&opts.store)?;
+    let chaos = opts.chaos.clone().map(FaultPlan::new);
+    let mut store = Store::open(&opts.store)?;
+    if let Some(plan) = &chaos {
+        store = store.with_fault_plan(Arc::clone(plan));
+    }
     let jobs = match opts.jobs {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -202,12 +365,18 @@ pub fn run(opts: DaemonOptions) -> io::Result<()> {
     };
 
     // Startup scan: rebuild the world from the store. Complete journals
-    // reconstruct without execution; everything else re-enqueues.
+    // reconstruct without execution; everything else re-enqueues. The
+    // idempotency map is rebuilt from the persisted index lines, so a
+    // resubmit after a daemon restart still dedupes.
     let mut campaigns = BTreeMap::new();
     let mut queue: Vec<String> = Vec::new();
+    let mut idents = BTreeMap::new();
     let mut next_seq = 0;
-    for (id, params) in store.load_index()? {
+    for (id, params, ident) in store.load_index()? {
         next_seq = next_seq.max(seq_of(&id));
+        if let Some(tok) = ident {
+            idents.insert(tok, id.clone());
+        }
         let state = match Journal::load(&store.journal_path(&id)) {
             Ok(journal) if journal.complete => {
                 let outcome = journal.reconstruct();
@@ -233,12 +402,17 @@ pub fn run(opts: DaemonOptions) -> io::Result<()> {
         state: Mutex::new(DaemonState {
             campaigns,
             queue: queue.into(),
+            idents,
             next_seq,
             shutdown: false,
             executor_done: false,
         }),
         cv: Condvar::new(),
         store,
+        stats: DaemonStats::default(),
+        limits: opts.limits.clone(),
+        conns: ConnRegistry::default(),
+        chaos,
     });
 
     let executor = {
@@ -264,22 +438,38 @@ pub fn run(opts: DaemonOptions) -> io::Result<()> {
         }
     };
 
+    // Accept-loop error policy: transient failures (EMFILE, EINTR,
+    // ECONNABORTED) are counted and backed off — doubling from 10ms to a
+    // 1s cap, reset on the next success — and NEVER kill the listener.
+    let mut backoff = Duration::from_millis(10);
     loop {
         let accepted = match &listener {
-            Listener::Tcp(l) => l.accept().map(|(s, _)| {
-                s.set_nonblocking(false).ok();
-                Stream::Tcp(s)
-            }),
-            Listener::Unix(l) => l.accept().map(|(s, _)| {
-                s.set_nonblocking(false).ok();
-                Stream::Unix(s)
-            }),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
         };
         match accepted {
             Ok(stream) => {
+                backoff = Duration::from_millis(10);
+                // The accepted socket needs blocking mode and deadlines
+                // before any handler I/O; a socket we can't configure is
+                // counted and dropped, never served half-configured.
+                if configure_conn(&stream, &shared.limits).is_err() {
+                    DaemonStats::bump(&shared.stats.accept_errors);
+                    continue;
+                }
+                let handle = match stream.try_clone() {
+                    Ok(h) => h,
+                    Err(_) => {
+                        DaemonStats::bump(&shared.stats.accept_errors);
+                        continue;
+                    }
+                };
+                let conn_id = shared
+                    .conns
+                    .register(handle, shared.limits.max_conns, &shared.stats);
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &shared);
+                    let _ = handle_connection(stream, &shared, conn_id);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -291,14 +481,47 @@ pub fn run(opts: DaemonOptions) -> io::Result<()> {
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }
-            Err(e) => return Err(e),
+            Err(_) => {
+                DaemonStats::bump(&shared.stats.accept_errors);
+                {
+                    let state = shared.state.lock().unwrap();
+                    if state.shutdown && state.executor_done {
+                        break;
+                    }
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
         }
     }
     if let Bind::Unix(path) = &opts.bind {
         std::fs::remove_file(path).ok();
     }
+    // Drain: wake any connection still blocked on the socket so its
+    // handler thread exits instead of pinning a dead daemon.
+    shared.conns.shutdown_all();
     executor.join().ok();
     Ok(())
+}
+
+/// Moves an accepted socket to blocking mode with the configured
+/// deadlines.
+fn configure_conn(stream: &Stream, limits: &ServiceLimits) -> io::Result<()> {
+    match stream {
+        Stream::Tcp(s) => s.set_nonblocking(false)?,
+        Stream::Unix(s) => s.set_nonblocking(false)?,
+    }
+    stream.set_read_timeout(Some(limits.read_timeout))?;
+    stream.set_write_timeout(Some(limits.write_timeout))
+}
+
+/// `WouldBlock`/`TimedOut` is the deadline firing — expected for idle or
+/// slow-loris peers, closed without fuss (but counted).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// The executor: owns the long-lived fleet, drains the queue one campaign
@@ -330,7 +553,7 @@ fn executor_loop(shared: &Shared, jobs: usize) {
         };
         let params = shared.state.lock().unwrap().campaigns[&id].params.clone();
         let started = Instant::now();
-        let summary = run_campaign(&mut pool, &shared.store, &id, &params);
+        let summary = run_campaign(&mut pool, shared, &id, &params);
         let mut summary = summary.unwrap_or_else(|e| Summary {
             digest64: format!("error: {e}"),
             exit: 3,
@@ -363,13 +586,15 @@ fn build_target(params: &CampaignParams) -> (ProtocolSpec, Arc<dyn TargetFactory
 }
 
 /// Runs (or resumes) one campaign on the shared pool and merges its
-/// corpus into the target's pool file.
+/// corpus into the target's pool file. Pool merges are disk writes, so
+/// they go through the same self-healing retry as submit's store writes.
 fn run_campaign(
     pool: &mut CampaignFleet,
-    store: &Store,
+    daemon: &Shared,
     id: &str,
     params: &CampaignParams,
 ) -> io::Result<Summary> {
+    let store = &daemon.store;
     let (spec, factory) = build_target(params);
     let mut cfg = params.to_config();
     cfg.seed_corpus = store.read_seeds(id)?;
@@ -378,7 +603,9 @@ fn run_campaign(
         Ok(journal) if journal.complete => {
             // Fully finished before a crash; reconstruct, don't re-run.
             let outcome = journal.reconstruct();
-            let shared = store.merge_corpus(&params.corpus_key(), &outcome.corpus)?;
+            let shared = retry_store(&daemon.stats, || {
+                store.merge_corpus(&params.corpus_key(), &outcome.corpus)
+            })?;
             return Ok(Summary::from_outcome(&outcome, shared));
         }
         Ok(journal) => cfg.resume = Some(journal),
@@ -389,7 +616,9 @@ fn run_campaign(
     let before = pool.report();
     let outcome = pool.explore(factory, &spec, &cfg);
     let after = pool.report();
-    let shared = store.merge_corpus(&params.corpus_key(), &outcome.corpus)?;
+    let shared = retry_store(&daemon.stats, || {
+        store.merge_corpus(&params.corpus_key(), &outcome.corpus)
+    })?;
 
     let mut summary = Summary::from_outcome(&outcome, shared);
     summary.dispatched = after.dispatched - before.dispatched;
@@ -435,25 +664,77 @@ fn live_status_kv(store: &Store, id: &str, started: Instant) -> String {
     )
 }
 
-/// Serves one client connection until EOF.
-fn handle_connection(stream: Stream, shared: &Shared) -> io::Result<()> {
-    let mut writer = match &stream {
-        Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
-        Stream::Unix(s) => Stream::Unix(s.try_clone()?),
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+/// Serves one client connection until EOF, timeout, or a boundary
+/// violation; always deregisters the connection slot on the way out.
+fn handle_connection(stream: Stream, shared: &Shared, conn_id: u64) -> io::Result<()> {
+    let result = match serve_connection(stream, shared, conn_id) {
+        Err(e) if is_timeout(&e) => {
+            DaemonStats::bump(&shared.stats.timeouts);
+            Ok(())
         }
+        other => other,
+    };
+    // Deregister LAST: the registry's handle holds the socket open, so
+    // the peer observes the close only here — after every stat above is
+    // already visible to whoever that wakes.
+    shared.conns.deregister(conn_id);
+    result
+}
+
+fn serve_connection(stream: Stream, shared: &Shared, conn_id: u64) -> io::Result<()> {
+    let writer_raw = stream.try_clone()?;
+    // Under chaos the daemon reads and writes through its own fault
+    // layer, so every injected short read, EINTR, and mid-frame
+    // disconnect lands on the daemon's request path.
+    let (mut reader, mut writer): (BufReader<Box<dyn Read + Send>>, Box<dyn Write + Send>) =
+        match &shared.chaos {
+            Some(plan) => (
+                BufReader::new(Box::new(FaultStream::new(stream, Arc::clone(plan)))),
+                Box::new(FaultStream::new(writer_raw, Arc::clone(plan))),
+            ),
+            None => (BufReader::new(Box::new(stream)), Box::new(writer_raw)),
+        };
+    loop {
+        let line = match read_line_bounded(&mut reader, shared.limits.max_line) {
+            Ok(LineOutcome::Eof) => return Ok(()), // client hung up
+            Ok(LineOutcome::Line(line)) => line,
+            Ok(LineOutcome::TooLong) => {
+                // The oversized tail is unread and unbounded; the only
+                // safe resync is to nack and close.
+                DaemonStats::bump(&shared.stats.oversize);
+                let _ = write_reply(
+                    &mut writer,
+                    false,
+                    &format!(
+                        "request line exceeds the {}-byte cap; closing",
+                        shared.limits.max_line
+                    ),
+                    None,
+                );
+                return Ok(());
+            }
+            Ok(LineOutcome::Garbage(why)) => {
+                // The line was consumed, so the stream is still framed;
+                // nack and keep serving.
+                DaemonStats::bump(&shared.stats.garbage);
+                write_reply(
+                    &mut writer,
+                    false,
+                    &format!("request rejected: {why}"),
+                    None,
+                )?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
+        shared.conns.touch(conn_id);
         let req = match Request::parse(&line) {
             Ok(req) => req,
             Err(e) => {
+                DaemonStats::bump(&shared.stats.garbage);
                 write_reply(&mut writer, false, &e, None)?;
                 continue;
             }
@@ -461,10 +742,38 @@ fn handle_connection(stream: Stream, shared: &Shared) -> io::Result<()> {
         match handle_request(&req, shared, &mut writer) {
             Ok(done) if done => return Ok(()),
             Ok(_) => {}
-            Err(e) => {
-                let _ = write_reply(&mut writer, false, &format!("internal: {e}"), None);
-            }
+            // An error out of handle_request is a failed reply write
+            // (store trouble is nacked in-protocol there). The frame is
+            // torn, so close WITHOUT writing anything else: a trailing
+            // "internal" nack would concatenate onto the half-written
+            // reply and parse as one corrupt frame on the client.
+            Err(e) => return Err(e),
         }
+    }
+}
+
+/// Writes an `ok` payload reply unless the payload would blow the
+/// `max_payload` budget, in which case the client gets a protocol `err`
+/// instead of an unbounded write.
+fn write_bounded_payload<W: Write>(
+    w: &mut W,
+    head: &str,
+    lines: &[String],
+    limits: &ServiceLimits,
+) -> io::Result<()> {
+    let total: usize = lines.iter().map(|l| l.len() + 1).sum();
+    if total > limits.max_payload {
+        write_reply(
+            w,
+            false,
+            &format!(
+                "reply payload {total} B exceeds the {}-byte cap",
+                limits.max_payload
+            ),
+            None,
+        )
+    } else {
+        write_reply(w, true, head, Some(lines))
     }
 }
 
@@ -472,26 +781,106 @@ fn handle_connection(stream: Stream, shared: &Shared) -> io::Result<()> {
 /// close (after `shutdown`).
 fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Result<bool> {
     match req {
-        Request::Ping => write_reply(w, true, "pong", None)?,
+        Request::Ping => {
+            let s = &shared.stats;
+            let (wire, disk) = shared
+                .chaos
+                .as_ref()
+                .map(|p| (p.wire_injected(), p.disk_injected()))
+                .unwrap_or((0, 0));
+            let head = format!(
+                "pong conns={} accept-errors={} evicted={} timeouts={} oversize={} \
+                 garbage={} dedup-hits={} disk-retries={} wire-faults={wire} disk-faults={disk}",
+                shared.conns.open(),
+                s.accept_errors.load(Ordering::Relaxed),
+                s.evicted.load(Ordering::Relaxed),
+                s.timeouts.load(Ordering::Relaxed),
+                s.oversize.load(Ordering::Relaxed),
+                s.garbage.load(Ordering::Relaxed),
+                s.dedup_hits.load(Ordering::Relaxed),
+                s.disk_retries.load(Ordering::Relaxed),
+            );
+            write_reply(w, true, &head, None)?
+        }
 
-        Request::Submit(params) => {
-            let id = {
+        Request::Submit { params, ident } => {
+            // Idempotency and id allocation share one critical section:
+            // two racing submits with the same token cannot both miss the
+            // map and double-run.
+            enum Admit {
+                Dedup(String),
+                Fresh(String),
+            }
+            let admit = {
                 let mut state = shared.state.lock().unwrap();
                 if state.shutdown {
                     write_reply(w, false, "daemon is shutting down", None)?;
                     return Ok(false);
                 }
-                state.next_seq += 1;
-                format!("c{}", state.next_seq)
+                match ident.as_ref().and_then(|t| state.idents.get(t)).cloned() {
+                    Some(existing) => {
+                        if state.campaigns[&existing].params != *params {
+                            drop(state);
+                            write_reply(
+                                w,
+                                false,
+                                &format!(
+                                    "ident reused with different params (campaign {existing})"
+                                ),
+                                None,
+                            )?;
+                            return Ok(false);
+                        }
+                        Admit::Dedup(existing)
+                    }
+                    None => {
+                        state.next_seq += 1;
+                        let id = format!("c{}", state.next_seq);
+                        if let Some(tok) = ident {
+                            // Reserved now, rolled back if the store nacks.
+                            state.idents.insert(tok.clone(), id.clone());
+                        }
+                        Admit::Fresh(id)
+                    }
+                }
+            };
+            let id = match admit {
+                Admit::Dedup(id) => {
+                    DaemonStats::bump(&shared.stats.dedup_hits);
+                    let seeds = shared.store.read_seeds(&id).map(|s| s.len()).unwrap_or(0);
+                    write_reply(w, true, &format!("id={id} seeds={seeds} deduped=1"), None)?;
+                    return Ok(false);
+                }
+                Admit::Fresh(id) => id,
             };
             // Durability order: seeds, then index (fsynced), then ack.
-            let seeds = if params.share_corpus {
-                shared.store.read_corpus(&params.corpus_key())?
-            } else {
-                Vec::new()
+            // Each write self-heals through bounded retries; a write that
+            // still fails rolls the reservation back and nacks, so a
+            // retrying client resubmits cleanly.
+            let stored = (|| -> io::Result<Vec<pfi_testgen::FaultSchedule>> {
+                let seeds = if params.share_corpus {
+                    retry_store(&shared.stats, || {
+                        shared.store.read_corpus(&params.corpus_key())
+                    })?
+                } else {
+                    Vec::new()
+                };
+                retry_store(&shared.stats, || shared.store.write_seeds(&id, &seeds))?;
+                retry_store(&shared.stats, || {
+                    shared.store.append_index(&id, params, ident.as_deref())
+                })?;
+                Ok(seeds)
+            })();
+            let seeds = match stored {
+                Ok(seeds) => seeds,
+                Err(e) => {
+                    if let Some(tok) = ident {
+                        shared.state.lock().unwrap().idents.remove(tok);
+                    }
+                    write_reply(w, false, &format!("submit failed: {e}"), None)?;
+                    return Ok(false);
+                }
             };
-            shared.store.write_seeds(&id, &seeds)?;
-            shared.store.append_index(&id, params)?;
             let mut state = shared.state.lock().unwrap();
             state.campaigns.insert(
                 id.clone(),
@@ -537,7 +926,7 @@ fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Re
                 .collect();
             let head = format!("campaigns={}", lines.len());
             drop(state);
-            write_reply(w, true, &head, Some(&lines))?;
+            write_bounded_payload(w, &head, &lines, &shared.limits)?;
         }
 
         Request::Results { id } => {
@@ -569,7 +958,7 @@ fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Re
                     }
                     let head = format!("exit={} failures={}", summary.exit, summary.failures.len());
                     drop(state);
-                    write_reply(w, true, &head, Some(&lines))?;
+                    write_bounded_payload(w, &head, &lines, &shared.limits)?;
                 }
                 Some(_) => {
                     drop(state);
@@ -582,11 +971,18 @@ fn handle_request<W: Write>(req: &Request, shared: &Shared, w: &mut W) -> io::Re
             }
         }
 
-        Request::Corpus { key } => {
-            let pool = shared.store.read_corpus(key)?;
-            let lines: Vec<String> = pool.iter().map(|s| s.id()).collect();
-            write_reply(w, true, &format!("schedules={}", lines.len()), Some(&lines))?;
-        }
+        Request::Corpus { key } => match shared.store.read_corpus(key) {
+            Ok(pool) => {
+                let lines: Vec<String> = pool.iter().map(|s| s.id()).collect();
+                write_bounded_payload(
+                    w,
+                    &format!("schedules={}", lines.len()),
+                    &lines,
+                    &shared.limits,
+                )?;
+            }
+            Err(e) => write_reply(w, false, &format!("corpus unavailable: {e}"), None)?,
+        },
 
         Request::Wait { id } => {
             let mut state = shared.state.lock().unwrap();

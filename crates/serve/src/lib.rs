@@ -11,16 +11,23 @@
 //! The pieces:
 //!
 //! - [`proto`]: the wire protocol (requests, replies, dot-stuffed
-//!   payloads) and a small [`proto::Client`] for TCP or Unix sockets.
+//!   payloads) and a small [`proto::Client`] for TCP or Unix sockets,
+//!   plus the bounded readers and [`proto::RetryClient`] the hardened
+//!   boundary demands.
 //! - [`store`]: the store directory — append-only index, per-campaign
 //!   journals and pinned seed corpora, and per-target shared corpus
 //!   pools deduplicated by canonical schedule.
 //! - [`daemon`]: the listener/executor runtime.
+//! - [`faultio`]: PFI turned on the daemon itself — a deterministic
+//!   seeded interposition layer for the daemon's own wire and disk I/O,
+//!   used by the chaos suite to prove the hardening above.
 
 pub mod daemon;
+pub mod faultio;
 pub mod proto;
 pub mod store;
 
-pub use daemon::{run, Bind, DaemonOptions};
-pub use proto::{CampaignParams, Client, Reply, Request};
+pub use daemon::{run, Bind, DaemonOptions, ServiceLimits};
+pub use faultio::{FaultConfig, FaultPlan, FaultStream};
+pub use proto::{CampaignParams, Client, Reply, Request, RetryClient, RetryPolicy};
 pub use store::Store;

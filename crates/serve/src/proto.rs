@@ -4,8 +4,9 @@
 //! Grammar (one request per line; `k=v` tokens separated by spaces):
 //!
 //! ```text
-//! request  = "submit" SP params | "status" [SP "id=" ID] | "results" SP "id=" ID
-//!          | "corpus" SP "key=" KEY | "wait" SP "id=" ID | "ping" | "shutdown"
+//! request  = "submit" SP params [SP "ident=" TOK] | "status" [SP "id=" ID]
+//!          | "results" SP "id=" ID | "corpus" SP "key=" KEY
+//!          | "wait" SP "id=" ID | "ping" | "shutdown"
 //! params   = "proto=" NAME SP "seed=" N SP "budget=" N SP "max-faults=" N
 //!            SP "epoch=" N SP "buggy=" B SP "fault-secs=" N SP "prefilter=" B
 //!            SP "pruning=" B SP "semantic=" B SP "snapshots=" B
@@ -22,10 +23,99 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use pfi_testgen::ExploreConfig;
+
+/// Budget caps for the protocol readers. Every reader in this module is
+/// bounded: a peer can never make the other side buffer without limit,
+/// whether by an endless request line or an unterminated dot-stuffed
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoLimits {
+    /// Longest accepted single line (request, reply head, or payload
+    /// line), newline excluded.
+    pub max_line: usize,
+    /// Total byte budget for one reply's payload block.
+    pub max_payload: usize,
+}
+
+impl Default for ProtoLimits {
+    fn default() -> Self {
+        ProtoLimits {
+            max_line: 64 * 1024,
+            max_payload: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// The outcome of one bounded line read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Clean end of stream before any byte of a new line.
+    Eof,
+    /// A complete, validated line (newline and optional trailing CR
+    /// stripped).
+    Line(String),
+    /// The line exceeded the cap. The excess is *not* consumed — the
+    /// only safe continuation is closing the connection.
+    TooLong,
+    /// The line carried bytes the protocol explicitly rejects (embedded
+    /// NUL, interior CR, or non-UTF-8); the reason names the offense.
+    Garbage(&'static str),
+}
+
+/// Reads one protocol line without ever buffering more than `max_line`
+/// bytes. Injected/real `EINTR` is retried here (matching kernel-loop
+/// convention); every other error propagates. A stream that ends mid-line
+/// reads as [`LineOutcome::Eof`] — a torn trailing line is the peer's
+/// loss, exactly like the store's torn-tail rule.
+pub fn read_line_bounded<R: BufRead>(r: &mut R, max_line: usize) -> io::Result<LineOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineOutcome::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max_line {
+                    return Ok(LineOutcome::TooLong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                r.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max_line {
+                    return Ok(LineOutcome::TooLong);
+                }
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+    }
+    if buf.contains(&0) {
+        return Ok(LineOutcome::Garbage("embedded NUL byte"));
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    if buf.contains(&b'\r') {
+        return Ok(LineOutcome::Garbage("embedded CR"));
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(LineOutcome::Line(s)),
+        Err(_) => Ok(LineOutcome::Garbage("non-UTF-8 bytes")),
+    }
+}
 
 /// Everything that identifies a campaign submission. The daemon persists
 /// exactly these fields in its store index, so a restart can rebuild the
@@ -188,8 +278,20 @@ impl CampaignParams {
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Queue a campaign; replies `ok id=cN`.
-    Submit(CampaignParams),
+    /// Queue a campaign; replies `ok id=cN`. The optional `ident` token
+    /// is the client's idempotency key: the daemon remembers every
+    /// accepted `ident` (persisted in the store index), and a repeated
+    /// submit carrying one it has already seen replies with the original
+    /// campaign id — `deduped=1` — instead of double-running. A client
+    /// retrying a submit across a torn connection MUST send an ident;
+    /// submits without one are never safe to retry blindly.
+    Submit {
+        /// The campaign configuration.
+        params: CampaignParams,
+        /// Client-chosen idempotency token (`[A-Za-z0-9._-]`, ≤ 64
+        /// bytes).
+        ident: Option<String>,
+    },
     /// One status payload line per campaign (or just the named one).
     Status { id: Option<String> },
     /// The full result artifact of a finished campaign.
@@ -218,7 +320,10 @@ impl Request {
     /// The wire form.
     pub fn render(&self) -> String {
         match self {
-            Request::Submit(p) => format!("submit {}", p.to_kv()),
+            Request::Submit { params, ident } => match ident {
+                Some(ident) => format!("submit {} ident={ident}", params.to_kv()),
+                None => format!("submit {}", params.to_kv()),
+            },
             Request::Status { id: None } => "status".to_string(),
             Request::Status { id: Some(id) } => format!("status id={id}"),
             Request::Results { id } => format!("results id={id}"),
@@ -245,7 +350,16 @@ impl Request {
             }
         };
         match verb {
-            "submit" => Ok(Request::Submit(CampaignParams::from_kv(rest)?)),
+            "submit" => {
+                let ident = match map.get("ident") {
+                    Some(tok) => Some(validate_ident(tok)?),
+                    None => None,
+                };
+                Ok(Request::Submit {
+                    params: CampaignParams::from_kv(rest)?,
+                    ident,
+                })
+            }
             "status" => Ok(Request::Status { id: id(false)? }),
             "results" => Ok(Request::Results {
                 id: id(true)?.unwrap(),
@@ -271,6 +385,32 @@ pub fn parse_kv(s: &str) -> BTreeMap<&str, &str> {
     s.split_whitespace()
         .filter_map(|tok| tok.split_once('='))
         .collect()
+}
+
+/// Checks an idempotency token: short and filename-safe, because the
+/// daemon persists it verbatim in the store index.
+fn validate_ident(tok: &str) -> Result<String, String> {
+    if tok.is_empty() || tok.len() > 64 {
+        return Err("ident must be 1–64 bytes".to_string());
+    }
+    if !tok
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return Err("ident may only contain [A-Za-z0-9._-]".to_string());
+    }
+    Ok(tok.to_string())
+}
+
+/// FNV-1a over bytes: the protocol's only hash, used for client identity
+/// digests and deterministic retry jitter.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
 }
 
 /// A parsed reply: the head line plus (when the request promised one) the
@@ -317,18 +457,42 @@ pub fn write_reply<W: Write>(
     w.flush()
 }
 
-/// Reads one reply; `expect_payload` must mirror
-/// [`Request::has_payload`] for the request that elicited it (an `err`
-/// head never carries a payload).
+/// Reads one reply with the default [`ProtoLimits`]; `expect_payload`
+/// must mirror [`Request::has_payload`] for the request that elicited it
+/// (an `err` head never carries a payload).
 pub fn read_reply<R: BufRead>(r: &mut R, expect_payload: bool) -> io::Result<Reply> {
-    let mut head = String::new();
-    if r.read_line(&mut head)? == 0 {
-        return Err(io::Error::new(
+    read_reply_limited(r, expect_payload, &ProtoLimits::default())
+}
+
+/// [`read_reply`] with explicit budgets: no single line may exceed
+/// `limits.max_line` and the whole payload block may not exceed
+/// `limits.max_payload` bytes — the dot-stuffed reader can never be made
+/// to buffer without bound by a hostile or fault-injected peer.
+pub fn read_reply_limited<R: BufRead>(
+    r: &mut R,
+    expect_payload: bool,
+    limits: &ProtoLimits,
+) -> io::Result<Reply> {
+    let bounded_line = |r: &mut R, what: &str| -> io::Result<Option<String>> {
+        match read_line_bounded(r, limits.max_line)? {
+            LineOutcome::Eof => Ok(None),
+            LineOutcome::Line(line) => Ok(Some(line)),
+            LineOutcome::TooLong => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{what} exceeds the {}-byte line cap", limits.max_line),
+            )),
+            LineOutcome::Garbage(why) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{what} rejected: {why}"),
+            )),
+        }
+    };
+    let line = bounded_line(r, "reply head")?.ok_or_else(|| {
+        io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "connection closed before reply",
-        ));
-    }
-    let line = head.trim_end().to_string();
+        )
+    })?;
     let (ok, head) = match line.split_once(' ') {
         Some(("ok", rest)) => (true, rest.to_string()),
         Some(("err", rest)) => (false, rest.to_string()),
@@ -343,23 +507,24 @@ pub fn read_reply<R: BufRead>(r: &mut R, expect_payload: bool) -> io::Result<Rep
     };
     let mut payload = Vec::new();
     if ok && expect_payload {
+        let mut budget = limits.max_payload;
         loop {
-            let mut line = String::new();
-            if r.read_line(&mut line)? == 0 {
-                return Err(io::Error::new(
+            let line = bounded_line(r, "payload line")?.ok_or_else(|| {
+                io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-payload",
-                ));
-            }
-            let line = line.trim_end_matches('\n');
+                )
+            })?;
             if line == "." {
                 break;
             }
-            payload.push(
-                line.strip_prefix('.')
-                    .map(str::to_string)
-                    .unwrap_or_else(|| line.to_string()),
-            );
+            budget = budget.checked_sub(line.len() + 1).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("payload exceeds the {}-byte budget", limits.max_payload),
+                )
+            })?;
+            payload.push(line.strip_prefix('.').map(str::to_string).unwrap_or(line));
         }
     }
     Ok(Reply { ok, head, payload })
@@ -371,6 +536,43 @@ pub enum Stream {
     Tcp(TcpStream),
     /// Unix domain socket (a filesystem path).
     Unix(UnixStream),
+}
+
+impl Stream {
+    /// A second handle on the same socket (for split read/write halves
+    /// and for the daemon's eviction registry).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Read deadline: a blocked read returns `WouldBlock`/`TimedOut`
+    /// once `d` elapses. `None` blocks forever.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Write deadline, same contract as the read deadline.
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(d),
+            Stream::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
+    /// Hard-closes both directions; any thread blocked on the socket
+    /// wakes with EOF or an error. Used by oldest-idle eviction.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -401,12 +603,18 @@ impl Write for Stream {
 pub struct Client {
     reader: BufReader<Stream>,
     writer: Stream,
+    limits: ProtoLimits,
 }
 
 impl Client {
     /// Connects to `addr`: anything containing `/` — or without the `:`
     /// a TCP `host:port` must carry — is a Unix socket path.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_with(addr, ProtoLimits::default())
+    }
+
+    /// [`connect`](Client::connect) with explicit reader budgets.
+    pub fn connect_with(addr: &str, limits: ProtoLimits) -> io::Result<Client> {
         let (reader, writer) = if addr.contains('/') || !addr.contains(':') {
             let s = UnixStream::connect(addr)?;
             (Stream::Unix(s.try_clone()?), Stream::Unix(s))
@@ -417,6 +625,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(reader),
             writer,
+            limits,
         })
     }
 
@@ -424,7 +633,146 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
         writeln!(self.writer, "{}", req.render())?;
         self.writer.flush()?;
-        read_reply(&mut self.reader, req.has_payload())
+        read_reply_limited(&mut self.reader, req.has_payload(), &self.limits)
+    }
+}
+
+/// Reconnect/backoff tuning for [`RetryClient`]. The jitter is
+/// deterministic — a hash of `(seed, attempt)` — so two runs of the same
+/// client behave identically, in the same spirit as every other seeded
+/// schedule in this codebase.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included).
+    pub attempts: u32,
+    /// Base backoff; attempt *n* waits roughly `base · 2ⁿ` capped below.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub cap_ms: u64,
+    /// Jitter seed (fold the campaign identity in for spread).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (1-based): exponential backoff
+    /// with deterministic jitter in `[exp/2, exp]`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms)
+            .max(1);
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&self.seed.to_le_bytes());
+        key[8..].copy_from_slice(&(attempt as u64).to_le_bytes());
+        let jitter = fnv64(&key) % (exp / 2 + 1);
+        Duration::from_millis(exp / 2 + jitter)
+    }
+}
+
+/// A self-healing client: reconnects with exponential backoff and
+/// deterministic jitter, and re-issues the request on the fresh
+/// connection. Safe for every request in the protocol except a `submit`
+/// *without* an ident (which could double-run a campaign) — those get
+/// exactly one attempt; attach an ident to make submits retryable.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    limits: ProtoLimits,
+    conn: Option<Client>,
+    /// Reconnect-and-retry count so far (observability for chaos runs).
+    pub retries: u64,
+}
+
+impl RetryClient {
+    /// A retrying client for `addr` (same syntax as
+    /// [`Client::connect`]).
+    pub fn new(addr: &str, policy: RetryPolicy) -> RetryClient {
+        RetryClient {
+            addr: addr.to_string(),
+            policy,
+            limits: ProtoLimits::default(),
+            conn: None,
+            retries: 0,
+        }
+    }
+
+    /// Overrides the reader budgets.
+    pub fn with_limits(mut self, limits: ProtoLimits) -> RetryClient {
+        self.limits = limits;
+        self
+    }
+
+    /// Sends `req`, reconnecting and retrying per the policy. `wait` and
+    /// `status` resume transparently across reconnects — the re-issued
+    /// request picks the campaign back up by id on the new connection.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        let retryable = !matches!(req, Request::Submit { ident: None, .. } | Request::Shutdown);
+        let attempts = if retryable {
+            self.policy.attempts.max(1)
+        } else {
+            1
+        };
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(self.policy.backoff(attempt));
+            }
+            if self.conn.is_none() {
+                match Client::connect_with(&self.addr, self.limits) {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            match self.conn.as_mut().unwrap().call(req) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // Anything torn mid-exchange poisons the connection:
+                    // drop it so the next attempt starts clean.
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+    }
+
+    /// Idempotent submit: attaches `ident` so a retry that lost the ack
+    /// dedupes server-side instead of double-running. Returns the
+    /// campaign id and whether the daemon had already seen this ident.
+    pub fn submit(&mut self, params: &CampaignParams, ident: &str) -> io::Result<(String, bool)> {
+        let reply = self.call(&Request::Submit {
+            params: params.clone(),
+            ident: Some(ident.to_string()),
+        })?;
+        if !reply.ok {
+            return Err(io::Error::other(format!("daemon refused: {}", reply.head)));
+        }
+        let id = reply
+            .get("id")
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("submit reply carried no id (head {:?})", reply.head),
+                )
+            })?
+            .to_string();
+        Ok((id, reply.get("deduped") == Some("1")))
     }
 }
 
@@ -468,7 +816,14 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Submit(CampaignParams::default()),
+            Request::Submit {
+                params: CampaignParams::default(),
+                ident: None,
+            },
+            Request::Submit {
+                params: CampaignParams::default(),
+                ident: Some("a1b2-c3.d4_e5".into()),
+            },
             Request::Status { id: None },
             Request::Status {
                 id: Some("c3".into()),
@@ -484,6 +839,77 @@ mod tests {
         }
         assert!(Request::parse("frobnicate").is_err());
         assert!(Request::parse("results").is_err());
+        // Idents the daemon would have to persist unescaped are refused
+        // at the parser.
+        let bad = format!(
+            "submit {} ident={}",
+            CampaignParams::default().to_kv(),
+            "x".repeat(65)
+        );
+        assert!(Request::parse(&bad).is_err());
+        assert!(Request::parse("submit ident=no/slash proto=gmp").is_err());
+    }
+
+    #[test]
+    fn bounded_reader_enforces_caps_and_rejects_garbage() {
+        use std::io::BufReader;
+        let read =
+            |bytes: &[u8], cap: usize| read_line_bounded(&mut BufReader::new(bytes), cap).unwrap();
+        assert_eq!(read(b"ping\n", 64), LineOutcome::Line("ping".into()));
+        assert_eq!(read(b"ping\r\n", 64), LineOutcome::Line("ping".into()));
+        assert_eq!(read(b"", 64), LineOutcome::Eof);
+        // A torn trailing line (no newline before EOF) is the peer's
+        // loss, like the store's torn-tail rule.
+        assert_eq!(read(b"pin", 64), LineOutcome::Eof);
+        assert_eq!(read(&[b'a'; 65], 64), LineOutcome::TooLong);
+        assert_eq!(
+            read(b"pi\0ng\n", 64),
+            LineOutcome::Garbage("embedded NUL byte")
+        );
+        assert_eq!(read(b"pi\rng\n", 64), LineOutcome::Garbage("embedded CR"));
+        assert_eq!(
+            read(&[0xff, 0xfe, b'\n'], 64),
+            LineOutcome::Garbage("non-UTF-8 bytes")
+        );
+        // Exactly at the cap is fine.
+        let mut exact = vec![b'a'; 64];
+        exact.push(b'\n');
+        assert!(matches!(read(&exact, 64), LineOutcome::Line(_)));
+    }
+
+    #[test]
+    fn payload_budget_is_enforced() {
+        let lines = vec!["x".repeat(100), "y".repeat(100)];
+        let mut wire = Vec::new();
+        write_reply(&mut wire, true, "n=2", Some(&lines)).unwrap();
+        let limits = ProtoLimits {
+            max_line: 1024,
+            max_payload: 150,
+        };
+        let err = read_reply_limited(&mut BufReader::new(&wire[..]), true, &limits).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let roomy = ProtoLimits {
+            max_line: 1024,
+            max_payload: 1024,
+        };
+        let reply = read_reply_limited(&mut BufReader::new(&wire[..]), true, &roomy).unwrap();
+        assert_eq!(reply.payload, lines);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0xabcd,
+        };
+        let q = RetryPolicy { ..p.clone() };
+        for attempt in 1..8 {
+            assert_eq!(p.backoff(attempt), q.backoff(attempt));
+            assert!(p.backoff(attempt) <= Duration::from_millis(2_000));
+        }
+        assert!(p.backoff(1) >= Duration::from_millis(50));
     }
 
     #[test]

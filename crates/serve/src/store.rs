@@ -13,29 +13,39 @@
 //! <id>.seeds         the seed-corpus snapshot taken at submission, one
 //!                    schedule per line (` + `-joined fault lines);
 //!                    written before the index line so an indexed
-//!                    campaign always has its pinned seeds
+//!                    campaign always has its pinned seeds; written via
+//!                    <id>.seeds.tmp + rename so the final path is
+//!                    always absent or complete, never torn
 //! corpus-<key>       the shared corpus pool for one target build,
 //!                    deduplicated by canonical schedule — the
 //!                    cross-campaign minimization pass
 //! ```
 //!
 //! Identity lives in the index + seeds; progress lives in the journal.
-//! A SIGKILL can tear at most the trailing line of whichever file was
-//! being appended, and every reader here (and the journal loader) drops
-//! an unparseable tail instead of failing.
+//! A SIGKILL — or an injected short write / ENOSPC from the chaos
+//! fault plan ([`crate::faultio`]) — can tear at most the trailing line
+//! of whichever file was being appended; every reader here (and the
+//! journal loader) drops an unparseable tail instead of failing, and
+//! every appender heals a torn tail (missing final newline) before
+//! writing so the fragment can never swallow a later good record.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use pfi_testgen::FaultSchedule;
 
+use crate::faultio::{faulty_sync, faulty_write_all, FaultPlan};
 use crate::proto::CampaignParams;
 
 /// Handle on a store directory.
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
+    /// When set, every write and fsync consults the plan — the chaos
+    /// suite's disk-fault surface. `None` in production.
+    plan: Option<Arc<FaultPlan>>,
 }
 
 impl Store {
@@ -43,7 +53,13 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Store { dir })
+        Ok(Store { dir, plan: None })
+    }
+
+    /// Routes this store's writes and fsyncs through a fault plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Store {
+        self.plan = Some(plan);
+        self
     }
 
     /// The store directory.
@@ -71,26 +87,70 @@ impl Store {
         self.dir.join(format!("corpus-{key}"))
     }
 
+    /// Appends one line to an append-only store file, healing a torn
+    /// tail first: if a previous short write (SIGKILL, ENOSPC) left the
+    /// file without a trailing newline, a separator newline is written
+    /// before the new record so the torn fragment can never concatenate
+    /// with — and thereby swallow — a later good line. The fragment
+    /// itself stays behind as a lone unparseable line, which every
+    /// loader here already drops.
+    fn append_line(&self, path: &Path, line: &str) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let len = f.metadata()?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            f.seek(SeekFrom::Start(len - 1))?;
+            f.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                f.write_all(b"\n")?;
+            }
+        }
+        let record = format!("{line}\n");
+        let sync_fails = faulty_write_all(&mut f, record.as_bytes(), self.plan.as_ref())?;
+        faulty_sync(&f, sync_fails)
+    }
+
     /// Appends one submission to the index and fsyncs. Only after this
     /// returns may the daemon acknowledge the submit — an unacknowledged
     /// (torn) line fails the strict params parse and is skipped on load.
-    pub fn append_index(&self, id: &str, params: &CampaignParams) -> io::Result<()> {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.index_path())?;
-        writeln!(f, "campaign {id} {}", params.to_kv())?;
-        f.sync_all()
+    /// The optional `ident` (the client's idempotency token) rides the
+    /// same line so dedup survives restarts.
+    pub fn append_index(
+        &self,
+        id: &str,
+        params: &CampaignParams,
+        ident: Option<&str>,
+    ) -> io::Result<()> {
+        let line = match ident {
+            Some(tok) => format!("campaign {id} {} ident={tok}", params.to_kv()),
+            None => format!("campaign {id} {}", params.to_kv()),
+        };
+        self.append_line(&self.index_path(), &line)
     }
 
-    /// Loads the index: every fully-written submission, in order.
-    pub fn load_index(&self) -> io::Result<Vec<(String, CampaignParams)>> {
+    /// Loads the index: every fully-written submission, in submission
+    /// order, with its idempotency token when the submit carried one.
+    ///
+    /// Self-healing: a write that failed *after* its bytes landed (an
+    /// injected or real fsync failure) gets retried by the daemon, which
+    /// appends the record a second time — so duplicate ids are expected
+    /// debris, and the loader keeps one entry per id. The LAST occurrence
+    /// wins: a retried complete line must beat any torn prefix of itself
+    /// that happens to still parse (e.g. a short write that cut the
+    /// trailing ident token).
+    #[allow(clippy::type_complexity)]
+    pub fn load_index(&self) -> io::Result<Vec<(String, CampaignParams, Option<String>)>> {
         let text = match fs::read_to_string(self.index_path()) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        let mut out = Vec::new();
+        let mut out: Vec<(String, CampaignParams, Option<String>)> = Vec::new();
+        let mut slot: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
         for line in text.lines() {
             let Some(rest) = line.strip_prefix("campaign ") else {
                 continue; // torn or foreign line
@@ -99,20 +159,39 @@ impl Store {
                 continue;
             };
             if let Ok(params) = CampaignParams::from_kv(kv) {
-                out.push((id.to_string(), params));
+                let ident = crate::proto::parse_kv(kv)
+                    .get("ident")
+                    .map(|s| s.to_string());
+                match slot.get(id) {
+                    Some(&i) => out[i] = (id.to_string(), params, ident),
+                    None => {
+                        slot.insert(id.to_string(), out.len());
+                        out.push((id.to_string(), params, ident));
+                    }
+                }
             }
         }
         Ok(out)
     }
 
     /// Writes a campaign's pinned seed corpus (one schedule per line) and
-    /// fsyncs. Empty baselines are never seeds.
+    /// fsyncs. Empty baselines are never seeds. Crash-safe by temp-file +
+    /// rename: the final path either doesn't exist or holds a complete,
+    /// fsynced seed set — an ENOSPC or short write mid-stream strands
+    /// only the `.tmp` file, which the next attempt overwrites.
     pub fn write_seeds(&self, id: &str, seeds: &[FaultSchedule]) -> io::Result<()> {
-        let mut f = File::create(self.seeds_path(id))?;
+        let final_path = self.seeds_path(id);
+        let tmp_path = self.dir.join(format!("{id}.seeds.tmp"));
+        let mut body = String::new();
         for s in seeds.iter().filter(|s| !s.is_empty()) {
-            writeln!(f, "{}", s.id())?;
+            body.push_str(&s.id());
+            body.push('\n');
         }
-        f.sync_all()
+        let mut f = File::create(&tmp_path)?;
+        let sync_fails = faulty_write_all(&mut f, body.as_bytes(), self.plan.as_ref())?;
+        faulty_sync(&f, sync_fails)?;
+        drop(f);
+        fs::rename(&tmp_path, &final_path)
     }
 
     /// Reads a campaign's pinned seed corpus; a missing file is an empty
@@ -144,14 +223,8 @@ impl Store {
         if fresh.is_empty() {
             return Ok(0);
         }
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.corpus_path(key))?;
-        for s in &fresh {
-            writeln!(f, "{}", s.id())?;
-        }
-        f.sync_all()?;
+        let lines: Vec<String> = fresh.iter().map(|s| s.id()).collect();
+        self.append_line(&self.corpus_path(key), &lines.join("\n"))?;
         Ok(fresh.len())
     }
 }
@@ -191,8 +264,8 @@ mod tests {
             share_corpus: true,
             ..CampaignParams::default()
         };
-        store.append_index("c1", &p1).unwrap();
-        store.append_index("c2", &p2).unwrap();
+        store.append_index("c1", &p1, None).unwrap();
+        store.append_index("c2", &p2, Some("tok-1")).unwrap();
         // Simulate a SIGKILL mid-append: a torn trailing line.
         let mut f = OpenOptions::new()
             .append(true)
@@ -203,9 +276,19 @@ mod tests {
         let loaded = store.load_index().unwrap();
         assert_eq!(
             loaded,
-            vec![("c1".to_string(), p1), ("c2".to_string(), p2)],
+            vec![
+                ("c1".to_string(), p1.clone(), None),
+                ("c2".to_string(), p2.clone(), Some("tok-1".to_string()))
+            ],
             "the torn c3 line must be dropped, not half-parsed"
         );
+        // Torn-tail healing: an append after the torn line must not let
+        // the fragment swallow it — the new record lands on its own line
+        // and the fragment stays an isolated, dropped, garbage line.
+        store.append_index("c4", &p1, None).unwrap();
+        let healed = store.load_index().unwrap();
+        assert_eq!(healed.len(), 3);
+        assert_eq!(healed[2].0, "c4");
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -237,6 +320,57 @@ mod tests {
         assert_eq!(pool[0], a);
         assert_eq!(pool[2], b);
         assert!(store.read_corpus("tcp").unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_disk_faults_never_corrupt_acknowledged_state() {
+        use crate::faultio::{FaultConfig, FaultPlan};
+        let dir = tmp("chaos_disk");
+        fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 9,
+            wire_permille: 0,
+            disk_permille: 600,
+            max_faults: 0, // unlimited: every op rolls the dice
+            max_delay_ms: 1,
+        });
+        let store = Store::open(&dir).unwrap().with_fault_plan(plan.clone());
+        // The daemon's contract: an append that returned Ok was acked; an
+        // append that errored is retried. After any interleaving of
+        // failures, the index must hold exactly the acked campaigns, in
+        // order, with no half-parsed ghosts.
+        let mut acked = Vec::new();
+        for i in 0..32 {
+            let id = format!("c{i}");
+            let p = CampaignParams {
+                seed: i,
+                ..CampaignParams::default()
+            };
+            for _ in 0..64 {
+                // bounded retry, like the daemon's
+                if store.append_index(&id, &p, None).is_ok() {
+                    acked.push((id.clone(), p.clone(), None));
+                    break;
+                }
+            }
+        }
+        assert!(plan.disk_injected() > 0, "the sweep must actually inject");
+        assert_eq!(store.load_index().unwrap(), acked);
+
+        // Seeds are atomic: a failed write leaves the previous (absent or
+        // complete) file; a successful one is complete.
+        let s = FaultSchedule::from_lines(["n1 send drop-all HEARTBEAT"]).unwrap();
+        for _ in 0..64 {
+            match store.write_seeds("c1", std::slice::from_ref(&s)) {
+                Ok(()) => break,
+                Err(_) => assert!(
+                    store.read_seeds("c1").unwrap().is_empty(),
+                    "a failed seeds write must not leave a partial final file"
+                ),
+            }
+        }
+        assert_eq!(store.read_seeds("c1").unwrap(), vec![s]);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -110,7 +110,12 @@ fn inline_digest(p: &CampaignParams, seeds: Vec<FaultSchedule>) -> String {
 }
 
 fn submit(client: &mut Client, p: &CampaignParams) -> String {
-    let reply = client.call(&Request::Submit(p.clone())).unwrap();
+    let reply = client
+        .call(&Request::Submit {
+            params: p.clone(),
+            ident: None,
+        })
+        .unwrap();
     assert!(reply.ok, "submit refused: {}", reply.head);
     reply.get("id").unwrap().to_string()
 }
